@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks behind the Section 5.4 overhead numbers:
+//! per-step training cost and per-access prediction latency for Voyager
+//! and Delta-LSTM (the paper reports a 15–20× gap at paper scale, due
+//! to Delta-LSTM's flat output vocabulary), plus the classical
+//! baselines' per-access cost and the simulator's throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use voyager::{DeltaLstmConfig, SeqBatch, VoyagerConfig, VoyagerModel};
+use voyager_prefetch::{BestOffset, Domino, Isb, Prefetcher, Stms};
+use voyager_sim::{simulate, SimConfig};
+use voyager_tensor::Tensor2;
+use voyager_trace::gen::{Benchmark, GeneratorConfig};
+use voyager_trace::MemoryAccess;
+
+fn seq_batch(b: usize, l: usize, page_vocab: usize) -> SeqBatch {
+    SeqBatch {
+        pc: (0..b).map(|i| (0..l).map(|j| (i * 7 + j) % 64).collect()).collect(),
+        page: (0..b).map(|i| (0..l).map(|j| (i * 13 + j * 3) % page_vocab).collect()).collect(),
+        offset: (0..b).map(|i| (0..l).map(|j| (i * 11 + j * 5) % 64).collect()).collect(),
+    }
+}
+
+fn bench_voyager(c: &mut Criterion) {
+    let cfg = VoyagerConfig::scaled();
+    let page_vocab = 2048;
+    let batch = seq_batch(cfg.batch_size, cfg.seq_len, page_vocab);
+    let mut pt = Tensor2::zeros(cfg.batch_size, page_vocab);
+    let mut ot = Tensor2::zeros(cfg.batch_size, 64);
+    for i in 0..cfg.batch_size {
+        pt.set(i, (i * 37) % page_vocab, 1.0);
+        ot.set(i, (i * 17) % 64, 1.0);
+    }
+    let mut group = c.benchmark_group("voyager");
+    group.sample_size(10);
+    group.bench_function("train_step_batch", |bencher| {
+        let mut model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
+        bencher.iter(|| model.train_multi(&batch, &pt, &ot));
+    });
+    group.bench_function("predict_batch", |bencher| {
+        let mut model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
+        bencher.iter(|| model.predict(&batch, 1));
+    });
+    group.finish();
+}
+
+fn bench_delta_lstm(c: &mut Criterion) {
+    // The flat delta vocabulary makes Delta-LSTM's output layer (and
+    // thus each step) far more expensive than Voyager's hierarchical
+    // heads at matched vocabulary coverage.
+    let cfg = DeltaLstmConfig::scaled();
+    let mut group = c.benchmark_group("delta_lstm");
+    group.sample_size(10);
+    group.bench_function("run_online_small_stream", |bencher| {
+        let trace: voyager_trace::Trace = (0..1500u64)
+            .map(|i| MemoryAccess::new(7, ((i * 3) % 700) * 64))
+            .collect();
+        let mut small = cfg;
+        small.epoch_accesses = 500;
+        small.train_passes = 1;
+        bencher.iter(|| voyager::DeltaLstm::run_online(&trace, &small));
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let trace = Benchmark::Pr.generate(&GeneratorConfig::small());
+    let mut group = c.benchmark_group("baseline_access");
+    for (name, make) in [
+        ("stms", Box::new(|| Box::new(Stms::new()) as Box<dyn Prefetcher>)
+            as Box<dyn Fn() -> Box<dyn Prefetcher>>),
+        ("domino", Box::new(|| Box::new(Domino::new()))),
+        ("isb", Box::new(|| Box::new(Isb::new()))),
+        ("bo", Box::new(|| Box::new(BestOffset::new()))),
+    ] {
+        group.bench_function(name, |bencher| {
+            bencher.iter_batched(
+                &make,
+                |mut p| {
+                    for a in &trace {
+                        std::hint::black_box(p.access(a));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = Benchmark::Bfs.generate(&GeneratorConfig::small());
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("no_prefetch_8k_accesses", |bencher| {
+        bencher.iter(|| {
+            simulate(&trace, &mut voyager_prefetch::NoPrefetcher::new(), &SimConfig::scaled())
+        });
+    });
+    group.finish();
+}
+
+fn bench_hier_softmax(c: &mut Criterion) {
+    // Section 5.5: hierarchical softmax vs a flat output layer over a
+    // large class space (the paper estimates 3-4x savings).
+    use voyager_nn::{Adam, HierarchicalSoftmax, Linear, ParamStore, Session};
+    let mut rng = rand::thread_rng();
+    let (hidden, classes, batch) = (64usize, 10_000usize, 32usize);
+    let mut group = c.benchmark_group("output_head_10k_classes");
+    group.sample_size(10);
+    group.bench_function("flat_softmax_step", |bencher| {
+        let mut store = ParamStore::new();
+        let head = Linear::new(&mut store, "flat", hidden, classes, &mut rng);
+        let mut adam = Adam::new(0.001);
+        let h = Tensor2::uniform(batch, hidden, 1.0, &mut rng);
+        let targets: Vec<usize> = (0..batch).map(|i| (i * 317) % classes).collect();
+        bencher.iter(|| {
+            let mut sess = Session::new();
+            let hv = sess.tape.leaf(h.clone(), false);
+            let logits = head.forward(&mut sess, &store, hv);
+            let loss = sess.tape.softmax_cross_entropy(logits, &targets);
+            sess.step(loss, &mut store, &mut adam);
+        });
+    });
+    group.bench_function("hierarchical_softmax_step", |bencher| {
+        let mut store = ParamStore::new();
+        let head = HierarchicalSoftmax::new(&mut store, "hs", hidden, classes, &mut rng);
+        let mut adam = Adam::new(0.001);
+        let h = Tensor2::uniform(batch, hidden, 1.0, &mut rng);
+        let targets: Vec<usize> = (0..batch).map(|i| (i * 317) % classes).collect();
+        bencher.iter(|| {
+            let mut sess = Session::new();
+            let hv = sess.tape.leaf(h.clone(), false);
+            let loss = head.loss(&mut sess, &store, hv, &targets);
+            sess.step(loss, &mut store, &mut adam);
+        });
+    });
+    group.finish();
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = rand::thread_rng();
+    let a = Tensor2::uniform(64, 128, 1.0, &mut rng);
+    let b = Tensor2::uniform(128, 192, 1.0, &mut rng);
+    c.bench_function("matmul_64x128x192", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.matmul(&b)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_voyager,
+    bench_delta_lstm,
+    bench_baselines,
+    bench_simulator,
+    bench_hier_softmax,
+    bench_tensor
+);
+criterion_main!(benches);

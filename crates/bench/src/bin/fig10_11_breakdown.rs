@@ -1,0 +1,136 @@
+//! Figures 10 and 11: breakdown of covered and uncovered access
+//! patterns for ISB (Fig. 10) and "Voyager w/o delta" (Fig. 11).
+//!
+//! Paper result: relative to ISB, Voyager-without-deltas improves
+//! spatial-pattern coverage from 45.2% to 56.8% and non-spatial from
+//! 13.1% to 22.2%, shrinking every uncovered category except
+//! compulsory misses (which need the delta vocabulary, see the
+//! `mcf_delta` experiment).
+//!
+//! Categories (per Section 5.3.1): a target access is *spatial* when a
+//! recent access was within 256 cache lines; *co-occurrence* when its
+//! (previous line -> line) pair recurs in the stream; *compulsory* on
+//! the first touch of a line; *other* otherwise. A target is covered
+//! when a prediction issued in the preceding window names its line.
+
+use std::collections::{HashMap, HashSet};
+
+use voyager::VoyagerConfig;
+use voyager::OnlineRun;
+use voyager_bench::{baseline_predictions, mean, prepare, Scale, UNIFIED_WINDOW};
+use voyager_prefetch::Isb;
+use voyager_trace::gen::Benchmark;
+use voyager_trace::Trace;
+
+const SPATIAL_LINES: u64 = 256;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Breakdown {
+    covered_spatial: f64,
+    covered_nonspatial: f64,
+    uncovered_spatial: f64,
+    uncovered_cooc: f64,
+    uncovered_other: f64,
+    uncovered_compulsory: f64,
+}
+
+fn classify(stream: &Trace, predictions: &[Vec<u64>]) -> Breakdown {
+    let n = stream.len();
+    let mut pair_count: HashMap<(u64, u64), u32> = HashMap::new();
+    for w in stream.as_slice().windows(2) {
+        *pair_count.entry((w[0].line(), w[1].line())).or_default() += 1;
+    }
+    let mut seen = HashSet::new();
+    seen.insert(stream[0].line());
+    let mut b = Breakdown::default();
+    let mut total = 0.0f64;
+    for t in 1..n {
+        let line = stream[t].line();
+        let compulsory = seen.insert(line);
+        let spatial = (t.saturating_sub(UNIFIED_WINDOW)..t)
+            .any(|j| stream[j].line().abs_diff(line) <= SPATIAL_LINES);
+        let covered = (t.saturating_sub(UNIFIED_WINDOW)..t)
+            .any(|j| predictions[j].contains(&line));
+        total += 1.0;
+        if covered {
+            if spatial {
+                b.covered_spatial += 1.0;
+            } else {
+                b.covered_nonspatial += 1.0;
+            }
+        } else if compulsory {
+            b.uncovered_compulsory += 1.0;
+        } else if spatial {
+            b.uncovered_spatial += 1.0;
+        } else if pair_count[&(stream[t - 1].line(), line)] >= 2 {
+            b.uncovered_cooc += 1.0;
+        } else {
+            b.uncovered_other += 1.0;
+        }
+    }
+    for v in [
+        &mut b.covered_spatial,
+        &mut b.covered_nonspatial,
+        &mut b.uncovered_spatial,
+        &mut b.uncovered_cooc,
+        &mut b.uncovered_other,
+        &mut b.uncovered_compulsory,
+    ] {
+        *v /= total.max(1.0);
+    }
+    b
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let columns =
+        ["cov-spatial", "cov-nonspat", "unc-spatial", "unc-cooc", "unc-other", "unc-compuls"];
+    let mut isb_rows = Vec::new();
+    let mut voy_rows = Vec::new();
+    for b in Benchmark::spec_gap() {
+        eprintln!("[fig10/11] {b} ...");
+        let w = prepare(b, scale);
+        let isb_preds = baseline_predictions(&w.stream, &mut Isb::new());
+        let ib = classify(&w.stream, &isb_preds);
+        isb_rows.push((
+            b.name().to_string(),
+            vec![
+                ib.covered_spatial,
+                ib.covered_nonspatial,
+                ib.uncovered_spatial,
+                ib.uncovered_cooc,
+                ib.uncovered_other,
+                ib.uncovered_compulsory,
+            ],
+        ));
+        // Voyager without the delta vocabulary (Section 5.3.1).
+        let mut cfg = VoyagerConfig::scaled().without_deltas();
+        cfg.train_passes = 10;
+        let run = OnlineRun::execute_profiled(&w.stream, &cfg);
+        let vb = classify(&w.stream, &run.predictions);
+        voy_rows.push((
+            b.name().to_string(),
+            vec![
+                vb.covered_spatial,
+                vb.covered_nonspatial,
+                vb.uncovered_spatial,
+                vb.uncovered_cooc,
+                vb.uncovered_other,
+                vb.uncovered_compulsory,
+            ],
+        ));
+    }
+    voyager_bench::print_table("Figure 10: ISB pattern breakdown", &columns, &isb_rows);
+    voyager_bench::print_table(
+        "Figure 11: Voyager w/o delta pattern breakdown",
+        &columns,
+        &voy_rows,
+    );
+    let isb_cov: Vec<f64> = isb_rows.iter().map(|(_, v)| v[0] + v[1]).collect();
+    let voy_cov: Vec<f64> = voy_rows.iter().map(|(_, v)| v[0] + v[1]).collect();
+    println!(
+        "\nmean coverage: isb {:.3}, voyager w/o delta {:.3} (paper: +19.4% for Voyager w/o delta)",
+        mean(&isb_cov),
+        mean(&voy_cov)
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 12: feature ablation. Voyager's richer *feature* (a sequence
+//! of data addresses) is isolated by fixing the labeling scheme:
+//! Voyager-global (global label) vs STMS, and Voyager-PC (PC label) vs
+//! ISB — plus Voyager-PC with and without the PC history as an input
+//! feature.
+//!
+//! Paper result: Voyager-global improves coverage over STMS by 19.8%
+//! and Voyager-PC over ISB by 16.4%, while adding the PC *feature*
+//! changes little (the PC is a useful labeler, not a useful feature).
+
+use voyager::{FeatureSet, LabelMode, OnlineRun, VoyagerConfig};
+use voyager_bench::{baseline_predictions, prepare, Scale, UNIFIED_WINDOW};
+use voyager_prefetch::{Isb, Stms};
+use voyager_sim::unified_accuracy_coverage_windowed as score;
+use voyager_trace::gen::Benchmark;
+use voyager_trace::labels::LabelScheme;
+
+/// Subset of benchmarks used for the ablation sweeps (documented in
+/// EXPERIMENTS.md): one per pattern family, to bound single-core
+/// runtime.
+const SUBSET: [Benchmark; 4] = [Benchmark::Pr, Benchmark::Mcf, Benchmark::Soplex, Benchmark::Omnetpp];
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut base = VoyagerConfig::scaled();
+    base.train_passes = 10;
+    let mut rows = Vec::new();
+    for b in SUBSET {
+        eprintln!("[fig12] {b} ...");
+        let w = prepare(b, scale);
+        let stream = &w.stream;
+        let stms = score(stream, &baseline_predictions(stream, &mut Stms::new()), UNIFIED_WINDOW);
+        let isb = score(stream, &baseline_predictions(stream, &mut Isb::new()), UNIFIED_WINDOW);
+        let vglobal = OnlineRun::execute_profiled(
+            stream,
+            &base.with_labels(LabelMode::Single(LabelScheme::Global)),
+        );
+        let vpc = OnlineRun::execute_profiled(stream, &base.with_labels(LabelMode::Single(LabelScheme::Pc)));
+        let vpc_nopc = OnlineRun::execute_profiled(
+            stream,
+            &base
+                .with_labels(LabelMode::Single(LabelScheme::Pc))
+                .with_features(FeatureSet { pc: false, address: true }),
+        );
+        rows.push((
+            b.name().to_string(),
+            vec![
+                stms.value(),
+                vglobal.unified_score_windowed(stream, UNIFIED_WINDOW).value(),
+                isb.value(),
+                vpc.unified_score_windowed(stream, UNIFIED_WINDOW).value(),
+                vpc_nopc.unified_score_windowed(stream, UNIFIED_WINDOW).value(),
+            ],
+        ));
+    }
+    voyager_bench::print_table(
+        "Figure 12: features (unified acc/cov, window 10)",
+        &["stms", "voy-global", "isb", "voy-pc", "voy-pc-noPCfeat"],
+        &rows,
+    );
+    println!("\npaper: Voyager-global > STMS by ~20pp; Voyager-PC > ISB by ~16pp; removing the PC feature changes little");
+}

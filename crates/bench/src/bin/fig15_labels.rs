@@ -1,0 +1,45 @@
+//! Figure 15: labeling-scheme comparison — each of the five single
+//! labeling schemes versus the multi-label training scheme.
+//!
+//! Paper result: individual schemes land close together, different
+//! benchmarks prefer different schemes (the soplex `vec[leave]` case of
+//! Fig. 16 needs co-occurrence), and the multi-label scheme gives a
+//! small average benefit by letting the model pick the most predictable
+//! label.
+
+use voyager::{LabelMode, OnlineRun, VoyagerConfig};
+use voyager_bench::{prepare, Scale, UNIFIED_WINDOW};
+use voyager_trace::gen::Benchmark;
+use voyager_trace::labels::LabelScheme;
+
+/// Subset of benchmarks for the sweep (one per pattern family plus an
+/// OLTP trace), documented in EXPERIMENTS.md.
+const SUBSET: [Benchmark; 4] =
+    [Benchmark::Pr, Benchmark::Soplex, Benchmark::Omnetpp, Benchmark::Search];
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut base = VoyagerConfig::scaled();
+    base.train_passes = 10;
+    let mut rows = Vec::new();
+    for b in SUBSET {
+        let w = prepare(b, scale);
+        let mut values = Vec::new();
+        for scheme in LabelScheme::all() {
+            eprintln!("[fig15] {b} / {scheme} ...");
+            let run =
+                OnlineRun::execute_profiled(&w.stream, &base.with_labels(LabelMode::Single(scheme)));
+            values.push(run.unified_score_windowed(&w.stream, UNIFIED_WINDOW).value());
+        }
+        eprintln!("[fig15] {b} / multi ...");
+        let multi = OnlineRun::execute_profiled(&w.stream, &base.with_labels(LabelMode::Multi));
+        values.push(multi.unified_score_windowed(&w.stream, UNIFIED_WINDOW).value());
+        rows.push((b.name().to_string(), values));
+    }
+    voyager_bench::print_table(
+        "Figure 15: labeling schemes (unified acc/cov, window 10)",
+        &["global", "pc", "basic-block", "spatial", "co-occur", "multi"],
+        &rows,
+    );
+    println!("\npaper: schemes are close; multi-label gives a small average benefit and wins where patterns span PCs (soplex)");
+}

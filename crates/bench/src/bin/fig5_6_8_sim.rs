@@ -1,0 +1,52 @@
+//! Figures 5, 6, and 8: prefetch accuracy, coverage and IPC through the
+//! simulator, for the nine SPEC/GAP benchmarks.
+//!
+//! Paper results (averages, degree 1): accuracy — Voyager 90.2% vs
+//! 81.6% best prior; coverage — Voyager 65.7% vs 47.2%; IPC uplift over
+//! no prefetching — Voyager +41.6%, ISB +28.2%, Domino +21.7%, STMS
+//! +14.9%, BO +13.3%, Delta-LSTM +24.6%. The reproduction target is the
+//! ordering and rough factors.
+
+use voyager_bench::{prepare, sim_comparison, Scale};
+use voyager_trace::gen::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut comparisons = Vec::new();
+    for b in Benchmark::spec_gap() {
+        eprintln!("[fig5/6/8] {b} ...");
+        let w = prepare(b, scale);
+        comparisons.push(sim_comparison(&w, 1, true));
+    }
+    let columns: Vec<&str> = comparisons[0].results.iter().map(|(n, _)| n.as_str()).collect();
+
+    let acc_rows: Vec<(String, Vec<f64>)> = comparisons
+        .iter()
+        .map(|c| (c.benchmark.clone(), c.results.iter().map(|(_, o)| o.accuracy()).collect()))
+        .collect();
+    voyager_bench::print_table("Figure 5: prefetch accuracy", &columns, &acc_rows);
+
+    let cov_rows: Vec<(String, Vec<f64>)> = comparisons
+        .iter()
+        .map(|c| {
+            (
+                c.benchmark.clone(),
+                c.results.iter().map(|(_, o)| o.coverage_vs(&c.baseline)).collect(),
+            )
+        })
+        .collect();
+    voyager_bench::print_table("Figure 6: prefetch coverage", &columns, &cov_rows);
+
+    let ipc_rows: Vec<(String, Vec<f64>)> = comparisons
+        .iter()
+        .map(|c| {
+            (
+                c.benchmark.clone(),
+                c.results.iter().map(|(_, o)| o.speedup_vs(&c.baseline)).collect(),
+            )
+        })
+        .collect();
+    voyager_bench::print_table("Figure 8: IPC normalized to no prefetching", &columns, &ipc_rows);
+
+    println!("\npaper IPC means: stms 1.149, domino 1.217, isb 1.282, bo 1.133, delta-lstm 1.246, voyager 1.416");
+}

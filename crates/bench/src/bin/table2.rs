@@ -1,0 +1,29 @@
+//! Table 2: benchmark statistics (#PCs, #addresses, #pages).
+//!
+//! Regenerates the paper's Table 2 for this reproduction's scaled
+//! traces. Absolute counts are smaller than the paper's (250M-
+//! instruction SimPoints); the orderings the paper highlights — mcf has
+//! by far the largest footprint, search/ads have by far the most PCs —
+//! are the reproduction target.
+
+use voyager_bench::Scale;
+use voyager_trace::gen::Benchmark;
+use voyager_trace::stats::TraceStats;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table 2: benchmark statistics ({:?} scale)", scale);
+    println!("{:<12} {:>8} {:>12} {:>8} {:>10}", "benchmark", "#PCs", "#addresses", "#pages", "#accesses");
+    for b in Benchmark::all() {
+        let trace = b.generate(&scale.generator());
+        let s = TraceStats::of(&trace);
+        println!(
+            "{:<12} {:>8} {:>12} {:>8} {:>10}",
+            b.name(),
+            s.unique_pcs,
+            s.unique_addresses,
+            s.unique_pages,
+            s.accesses
+        );
+    }
+}

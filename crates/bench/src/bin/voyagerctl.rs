@@ -1,0 +1,167 @@
+//! `voyagerctl` — command-line front end for the Voyager reproduction.
+//!
+//! ```text
+//! voyagerctl gen <benchmark> <out.vtrc> [accesses] [seed]
+//!     Generate a workload trace and save it in the binary format.
+//! voyagerctl stats <benchmark|trace.vtrc>
+//!     Print Table 2-style statistics.
+//! voyagerctl filter <in.vtrc> <out.vtrc>
+//!     Filter a raw trace to its LLC access stream (scaled hierarchy).
+//! voyagerctl run <benchmark|trace.vtrc> <prefetcher> [degree]
+//!     Evaluate a prefetcher (stms|domino|isb|bo|stride|markov|vldp|
+//!     sms|next-line|isb+bo|isb-structural|voyager|voyager-prof|delta-lstm) with the
+//!     unified metric and, for generated benchmarks, the simulator.
+//! voyagerctl simpoints <benchmark|trace.vtrc> [interval] [k]
+//!     SimPoint phase analysis.
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use std::str::FromStr;
+
+use voyager::{DeltaLstm, DeltaLstmConfig, OnlineRun, VoyagerConfig};
+use voyager_prefetch::{
+    BestOffset, Domino, Isb, IsbBoHybrid, IsbStructural, Markov, NextLine, Prefetcher, Sms,
+    StridePc, Stms, Vldp,
+};
+use voyager_sim::{llc_stream, unified_accuracy_coverage_windowed, SimConfig};
+use voyager_trace::gen::{Benchmark, GeneratorConfig};
+use voyager_trace::serialize::{read_trace, write_trace};
+use voyager_trace::simpoint::simpoints;
+use voyager_trace::stats::TraceStats;
+use voyager_trace::Trace;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("filter") => cmd_filter(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("simpoints") => cmd_simpoints(&args[1..]),
+        _ => {
+            eprintln!("usage: voyagerctl <gen|stats|filter|run|simpoints> ... (see --help in the module docs)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Loads a trace from a benchmark name or a `.vtrc` file.
+fn load(source: &str) -> Result<Trace, Box<dyn std::error::Error>> {
+    if source.ends_with(".vtrc") {
+        Ok(read_trace(BufReader::new(File::open(source)?))?)
+    } else {
+        let benchmark = Benchmark::from_str(source)?;
+        Ok(benchmark.generate(&GeneratorConfig::medium()))
+    }
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let [benchmark, out, rest @ ..] = args else {
+        return Err("usage: gen <benchmark> <out.vtrc> [accesses] [seed]".into());
+    };
+    let benchmark = Benchmark::from_str(benchmark)?;
+    let mut cfg = GeneratorConfig::medium();
+    if let Some(a) = rest.first() {
+        cfg = cfg.with_accesses(a.parse()?);
+    }
+    if let Some(s) = rest.get(1) {
+        cfg = cfg.with_seed(s.parse()?);
+    }
+    let trace = benchmark.generate(&cfg);
+    write_trace(BufWriter::new(File::create(out)?), &trace)?;
+    println!("wrote {trace} to {out}");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let [source] = args else {
+        return Err("usage: stats <benchmark|trace.vtrc>".into());
+    };
+    let trace = load(source)?;
+    println!("{trace}: {}", TraceStats::of(&trace));
+    Ok(())
+}
+
+fn cmd_filter(args: &[String]) -> CliResult {
+    let [input, out] = args else {
+        return Err("usage: filter <in.vtrc> <out.vtrc>".into());
+    };
+    let trace = load(input)?;
+    let stream = llc_stream(&trace, &SimConfig::scaled());
+    println!("{} -> {} LLC accesses", trace, stream.len());
+    write_trace(BufWriter::new(File::create(out)?), &stream)?;
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let [source, prefetcher, rest @ ..] = args else {
+        return Err("usage: run <benchmark|trace.vtrc> <prefetcher> [degree]".into());
+    };
+    let degree: usize = rest.first().map(|d| d.parse()).transpose()?.unwrap_or(1);
+    let trace = load(source)?;
+    let stream = llc_stream(&trace, &SimConfig::scaled());
+    let predictions: Vec<Vec<u64>> = match prefetcher.as_str() {
+        "voyager" => {
+            OnlineRun::execute(&stream, &VoyagerConfig::scaled().with_degree(degree)).predictions
+        }
+        "voyager-prof" => {
+            let mut cfg = VoyagerConfig::scaled().with_degree(degree);
+            cfg.train_passes = 10;
+            OnlineRun::execute_profiled(&stream, &cfg).predictions
+        }
+        "delta-lstm" => {
+            DeltaLstm::run_online(&stream, &DeltaLstmConfig::scaled().with_degree(degree))
+                .predictions
+        }
+        name => {
+            let mut p: Box<dyn Prefetcher> = match name {
+                "stms" => Box::new(Stms::new()),
+                "domino" => Box::new(Domino::new()),
+                "isb" => Box::new(Isb::new()),
+                "isb-structural" => Box::new(IsbStructural::new()),
+                "bo" => Box::new(BestOffset::new()),
+                "stride" => Box::new(StridePc::new()),
+                "markov" => Box::new(Markov::new()),
+                "vldp" => Box::new(Vldp::new()),
+                "sms" => Box::new(Sms::new()),
+                "next-line" => Box::new(NextLine::new()),
+                "isb+bo" => Box::new(IsbBoHybrid::new()),
+                other => return Err(format!("unknown prefetcher {other:?}").into()),
+            };
+            p.set_degree(degree);
+            stream.iter().map(|a| p.access(a)).collect()
+        }
+    };
+    let strict = unified_accuracy_coverage_windowed(&stream, &predictions, 1);
+    let windowed = unified_accuracy_coverage_windowed(&stream, &predictions, 10);
+    println!("{} / {prefetcher} (degree {degree}) on {} LLC accesses", trace.name(), stream.len());
+    println!("  unified acc/cov strict:    {strict}");
+    println!("  unified acc/cov window 10: {windowed}");
+    Ok(())
+}
+
+fn cmd_simpoints(args: &[String]) -> CliResult {
+    let [source, rest @ ..] = args else {
+        return Err("usage: simpoints <benchmark|trace.vtrc> [interval] [k]".into());
+    };
+    let interval: usize = rest.first().map(|v| v.parse()).transpose()?.unwrap_or(5_000);
+    let k: usize = rest.get(1).map(|v| v.parse()).transpose()?.unwrap_or(4);
+    let trace = load(source)?;
+    let points = simpoints(&trace, interval, k);
+    println!("{trace}: {} SimPoints (interval {interval}, k {k})", points.len());
+    for p in points {
+        println!("  start {:>8}  len {:>6}  weight {:.3}", p.start, p.len, p.weight);
+    }
+    Ok(())
+}

@@ -1,0 +1,446 @@
+//! The Voyager neural network (paper Fig. 2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use voyager_nn::{compress, Adam, Embedding, ExpertAttention, Linear, LstmCell, ParamStore, Session};
+use voyager_tensor::{Tensor2, Var};
+
+use crate::VoyagerConfig;
+
+/// A minibatch of token sequences: `[batch][seq_len]` ids for PCs,
+/// pages and offsets.
+#[derive(Debug, Clone, Default)]
+pub struct SeqBatch {
+    /// PC token ids.
+    pub pc: Vec<Vec<usize>>,
+    /// Page token ids.
+    pub page: Vec<Vec<usize>>,
+    /// Offset token ids (0..64).
+    pub offset: Vec<Vec<usize>>,
+}
+
+impl SeqBatch {
+    /// Number of sequences in the batch.
+    pub fn len(&self) -> usize {
+        self.page.len()
+    }
+
+    /// Returns `true` when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.page.is_empty()
+    }
+
+    /// Sequence length (0 for an empty batch).
+    pub fn seq_len(&self) -> usize {
+        self.page.first().map_or(0, Vec::len)
+    }
+
+    fn ids_at(ids: &[Vec<usize>], step: usize) -> Vec<usize> {
+        ids.iter().map(|seq| seq[step]).collect()
+    }
+
+    fn validate(&self) {
+        assert_eq!(self.pc.len(), self.page.len(), "pc/page batch mismatch");
+        assert_eq!(self.offset.len(), self.page.len(), "offset/page batch mismatch");
+        let l = self.seq_len();
+        assert!(l > 0, "empty sequences");
+        for seq in self.pc.iter().chain(&self.page).chain(&self.offset) {
+            assert_eq!(seq.len(), l, "ragged sequence lengths");
+        }
+    }
+}
+
+/// The hierarchical neural prefetching model.
+///
+/// Owns its parameters and optimizer; [`VoyagerModel::train_multi`] /
+/// [`VoyagerModel::train_single`] run one gradient step and
+/// [`VoyagerModel::predict`] produces degree-k candidate
+/// (page, offset) token pairs.
+#[derive(Debug)]
+pub struct VoyagerModel {
+    cfg: VoyagerConfig,
+    store: ParamStore,
+    adam: Adam,
+    rng: StdRng,
+    pc_emb: Embedding,
+    page_emb: Embedding,
+    offset_emb: Embedding,
+    attn: ExpertAttention,
+    page_lstm: LstmCell,
+    offset_lstm: LstmCell,
+    page_head: Linear,
+    offset_head: Linear,
+    page_vocab: usize,
+    offset_vocab: usize,
+}
+
+impl VoyagerModel {
+    /// Builds a model for the given vocabulary sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`VoyagerConfig::validate`]).
+    pub fn new(cfg: &VoyagerConfig, pc_vocab: usize, page_vocab: usize, offset_vocab: usize) -> Self {
+        cfg.validate();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let pc_emb = Embedding::new(&mut store, "pc_emb", pc_vocab.max(1), cfg.pc_embed, &mut rng);
+        let page_emb =
+            Embedding::new(&mut store, "page_emb", page_vocab.max(1), cfg.page_embed, &mut rng);
+        // With attention, the offset embedding is `experts` chunks of
+        // page_embed each (Fig. 3); the naive ablation uses a plain
+        // page_embed-wide embedding that aliases across pages.
+        let offset_width =
+            if cfg.page_aware_attention { cfg.offset_embed() } else { cfg.page_embed };
+        let offset_emb =
+            Embedding::new(&mut store, "offset_emb", offset_vocab, offset_width, &mut rng);
+        let attn = ExpertAttention::new(cfg.experts, 1.0 / (cfg.page_embed as f32).sqrt());
+        let input_dim = input_dim(cfg);
+        let page_lstm = LstmCell::new(&mut store, "page_lstm", input_dim, cfg.lstm_units, &mut rng);
+        let offset_lstm =
+            LstmCell::new(&mut store, "offset_lstm", input_dim, cfg.lstm_units, &mut rng);
+        let page_head =
+            Linear::new(&mut store, "page_head", cfg.lstm_units, page_vocab.max(1), &mut rng);
+        let offset_head =
+            Linear::new(&mut store, "offset_head", cfg.lstm_units, offset_vocab, &mut rng);
+        VoyagerModel {
+            cfg: *cfg,
+            store,
+            adam: Adam::new(cfg.learning_rate),
+            rng,
+            pc_emb,
+            page_emb,
+            offset_emb,
+            attn,
+            page_lstm,
+            offset_lstm,
+            page_head,
+            offset_head,
+            page_vocab,
+            offset_vocab,
+        }
+    }
+
+    /// Page vocabulary size the heads were built for.
+    pub fn page_vocab(&self) -> usize {
+        self.page_vocab
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &VoyagerConfig {
+        &self.cfg
+    }
+
+    /// Borrows the parameter store (for size accounting).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutably borrows the parameter store (for pruning/quantization in
+    /// the Section 5.4 experiments).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Applies one learning-rate decay step (Table 1: ratio 2).
+    pub fn decay_lr(&mut self) {
+        self.adam.decay_lr(self.cfg.lr_decay);
+    }
+
+    /// Storage accounting for Fig. 17.
+    pub fn model_size(&self) -> compress::ModelSize {
+        compress::model_size(&self.store)
+    }
+
+    /// Writes a weight checkpoint (the Section 5.5 profile-then-deploy
+    /// workflow: train offline, ship the weights to the inference
+    /// engine). A `&mut` reference may be passed for `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        voyager_nn::serialize::save_params(writer, &self.store)
+    }
+
+    /// Restores a checkpoint written by [`VoyagerModel::save`] into a
+    /// model built with the same configuration and vocabulary sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or layout mismatch (different
+    /// config or vocabulary).
+    pub fn load<R: std::io::Read>(
+        &mut self,
+        reader: R,
+    ) -> Result<(), voyager_nn::serialize::LoadParamsError> {
+        voyager_nn::serialize::load_params(reader, &mut self.store)
+    }
+
+    fn forward(&mut self, sess: &mut Session, batch: &SeqBatch, train: bool) -> (Var, Var) {
+        batch.validate();
+        let b = batch.len();
+        let mut page_state = self.page_lstm.zero_state(sess, b);
+        let mut offset_state = self.offset_lstm.zero_state(sess, b);
+        for step in 0..batch.seq_len() {
+            let page_ids = SeqBatch::ids_at(&batch.page, step);
+            let offset_ids = SeqBatch::ids_at(&batch.offset, step);
+            let pg = self.page_emb.forward(sess, &self.store, &page_ids);
+            let of = self.offset_emb.forward(sess, &self.store, &offset_ids);
+            // The page-aware offset embedding (Section 4.2.2), or the
+            // naive shared offset embedding in the aliasing ablation.
+            let of_ctx = if self.cfg.page_aware_attention {
+                self.attn.forward(sess, pg, of)
+            } else {
+                of
+            };
+            let mut parts: Vec<Var> = Vec::with_capacity(3);
+            if self.cfg.features.pc {
+                let pc_ids = SeqBatch::ids_at(&batch.pc, step);
+                parts.push(self.pc_emb.forward(sess, &self.store, &pc_ids));
+            }
+            if self.cfg.features.address {
+                parts.push(pg);
+                parts.push(of_ctx);
+            }
+            let mut x = sess.tape.concat_cols(&parts);
+            if train && self.cfg.dropout_keep < 1.0 {
+                x = sess.tape.dropout(x, self.cfg.dropout_keep, &mut self.rng);
+            }
+            page_state = self.page_lstm.forward(sess, &self.store, x, page_state);
+            offset_state = self.offset_lstm.forward(sess, &self.store, x, offset_state);
+        }
+        let page_logits = self.page_head.forward(sess, &self.store, page_state.h);
+        let offset_logits = self.offset_head.forward(sess, &self.store, offset_state.h);
+        (page_logits, offset_logits)
+    }
+
+    /// One multi-label training step (Section 4.4): binary cross-entropy
+    /// against multi-hot page and offset targets. Returns the summed
+    /// loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if target shapes do not match `[batch, vocab]`.
+    pub fn train_multi(
+        &mut self,
+        batch: &SeqBatch,
+        page_targets: &Tensor2,
+        offset_targets: &Tensor2,
+    ) -> f32 {
+        assert_eq!(page_targets.shape(), (batch.len(), self.page_vocab));
+        assert_eq!(offset_targets.shape(), (batch.len(), self.offset_vocab));
+        let mut sess = Session::new();
+        let (pl, ol) = self.forward(&mut sess, batch, true);
+        let lp = sess.tape.bce_with_logits(pl, page_targets);
+        let lo = sess.tape.bce_with_logits(ol, offset_targets);
+        let loss = sess.tape.add(lp, lo);
+        let value = sess.tape.value(loss).get(0, 0);
+        sess.step(loss, &mut self.store, &mut self.adam);
+        value
+    }
+
+    /// One single-label training step (softmax cross-entropy), used by
+    /// the Fig. 12 / Fig. 15 ablations. Returns the summed loss.
+    pub fn train_single(
+        &mut self,
+        batch: &SeqBatch,
+        page_targets: &[usize],
+        offset_targets: &[usize],
+    ) -> f32 {
+        let mut sess = Session::new();
+        let (pl, ol) = self.forward(&mut sess, batch, true);
+        let lp = sess.tape.softmax_cross_entropy(pl, page_targets);
+        let lo = sess.tape.softmax_cross_entropy(ol, offset_targets);
+        let loss = sess.tape.add(lp, lo);
+        let value = sess.tape.value(loss).get(0, 0);
+        sess.step(loss, &mut self.store, &mut self.adam);
+        value
+    }
+
+    /// Degree-`k` inference: returns, per sequence, up to `k`
+    /// `(page_token, offset_token, score)` candidates ranked by the
+    /// product of page and offset probabilities (the paper's top-k
+    /// extension of its argmax inference).
+    pub fn predict(&mut self, batch: &SeqBatch, k: usize) -> Vec<Vec<(u32, u32, f32)>> {
+        let mut sess = Session::new();
+        let (pl, ol) = self.forward(&mut sess, batch, false);
+        let pp = sess.tape.softmax_rows(pl);
+        let op = sess.tape.softmax_rows(ol);
+        let page_probs = sess.tape.value(pp);
+        let offset_probs = sess.tape.value(op);
+        let mut out = Vec::with_capacity(batch.len());
+        let fan = k.min(4).max(1);
+        for row in 0..batch.len() {
+            let top_pages = page_probs.topk_row(row, k.min(self.page_vocab));
+            let top_offsets = offset_probs.topk_row(row, fan.min(self.offset_vocab));
+            let mut pairs: Vec<(u32, u32, f32)> = Vec::new();
+            for &p in &top_pages {
+                for &o in &top_offsets {
+                    pairs.push((
+                        p as u32,
+                        o as u32,
+                        page_probs.get(row, p) * offset_probs.get(row, o),
+                    ));
+                }
+            }
+            pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
+            pairs.truncate(k);
+            out.push(pairs);
+        }
+        out
+    }
+}
+
+fn input_dim(cfg: &VoyagerConfig) -> usize {
+    let mut dim = 0;
+    if cfg.features.pc {
+        dim += cfg.pc_embed;
+    }
+    if cfg.features.address {
+        dim += cfg.page_embed * 2; // page embedding + page-aware offset embedding
+    }
+    dim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FeatureSet;
+    use voyager_tensor::Tensor2;
+
+    fn batch(b: usize, l: usize) -> SeqBatch {
+        SeqBatch {
+            pc: vec![vec![0; l]; b],
+            page: (0..b).map(|i| vec![i % 3; l]).collect(),
+            offset: (0..b).map(|i| vec![(i * 7) % 64; l]).collect(),
+        }
+    }
+
+    #[test]
+    fn predict_shapes_and_scores() {
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
+        let preds = m.predict(&batch(3, cfg.seq_len), 4);
+        assert_eq!(preds.len(), 3);
+        for row in &preds {
+            assert_eq!(row.len(), 4);
+            // Ranked descending.
+            for w in row.windows(2) {
+                assert!(w[0].2 >= w[1].2);
+            }
+            for &(p, o, s) in row {
+                assert!((p as usize) < 32 && (o as usize) < 64);
+                assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_label_loss_decreases_on_fixed_batch() {
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
+        let b = batch(8, cfg.seq_len);
+        let mut pt = Tensor2::zeros(8, 32);
+        let mut ot = Tensor2::zeros(8, 64);
+        for i in 0..8 {
+            pt.set(i, (i * 5) % 32, 1.0);
+            ot.set(i, (i * 11) % 64, 1.0);
+        }
+        let first = m.train_multi(&b, &pt, &ot);
+        let mut last = first;
+        for _ in 0..30 {
+            last = m.train_multi(&b, &pt, &ot);
+        }
+        assert!(last < first * 0.8, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn single_label_overfits_tiny_mapping() {
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 8, 64);
+        // Two distinguishable sequences with distinct labels.
+        let b = SeqBatch {
+            pc: vec![vec![1; 4], vec![2; 4]],
+            page: vec![vec![3; 4], vec![5; 4]],
+            offset: vec![vec![10; 4], vec![20; 4]],
+        };
+        for _ in 0..80 {
+            m.train_single(&b, &[6, 7], &[30, 40]);
+        }
+        let preds = m.predict(&b, 1);
+        assert_eq!(preds[0][0].0, 6);
+        assert_eq!(preds[0][0].1, 30);
+        assert_eq!(preds[1][0].0, 7);
+        assert_eq!(preds[1][0].1, 40);
+    }
+
+    #[test]
+    fn pc_feature_can_be_disabled() {
+        let cfg = VoyagerConfig::test()
+            .with_features(FeatureSet { pc: false, address: true });
+        let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
+        let preds = m.predict(&batch(2, cfg.seq_len), 1);
+        assert_eq!(preds.len(), 2);
+    }
+
+    #[test]
+    fn model_size_tracks_config_scale() {
+        let small = VoyagerModel::new(&VoyagerConfig::test(), 16, 32, 64).model_size();
+        let mut big_cfg = VoyagerConfig::test();
+        big_cfg.page_embed *= 2;
+        big_cfg.lstm_units *= 2;
+        let big = VoyagerModel::new(&big_cfg, 16, 32, 64).model_size();
+        assert!(big.params > small.params);
+        assert_eq!(small.dense_f32, small.params * 4);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let cfg = VoyagerConfig::test();
+        let mut a = VoyagerModel::new(&cfg, 16, 32, 64);
+        // Perturb A away from initialisation.
+        let b4 = batch(4, cfg.seq_len);
+        let mut pt = Tensor2::zeros(4, 32);
+        let mut ot = Tensor2::zeros(4, 64);
+        for i in 0..4 {
+            pt.set(i, i * 7, 1.0);
+            ot.set(i, i * 13, 1.0);
+        }
+        for _ in 0..20 {
+            a.train_multi(&b4, &pt, &ot);
+        }
+        let mut buf = Vec::new();
+        a.save(&mut buf).unwrap();
+        let mut cfg2 = cfg;
+        cfg2.seed = 999; // different init, same layout
+        let mut b = VoyagerModel::new(&cfg2, 16, 32, 64);
+        b.load(buf.as_slice()).unwrap();
+        assert_eq!(a.predict(&b4, 2), b.predict(&b4, 2));
+    }
+
+    #[test]
+    fn load_rejects_mismatched_vocab() {
+        let cfg = VoyagerConfig::test();
+        let a = VoyagerModel::new(&cfg, 16, 32, 64);
+        let mut buf = Vec::new();
+        a.save(&mut buf).unwrap();
+        let mut b = VoyagerModel::new(&cfg, 16, 48, 64);
+        assert!(b.load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged sequence")]
+    fn ragged_batch_rejected() {
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
+        let bad = SeqBatch {
+            pc: vec![vec![0; 4]],
+            page: vec![vec![0; 3]],
+            offset: vec![vec![0; 4]],
+        };
+        let _ = m.predict(&bad, 1);
+    }
+}

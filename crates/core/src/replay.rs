@@ -1,0 +1,95 @@
+//! Replaying precomputed neural predictions inside the simulator.
+
+use voyager_prefetch::Prefetcher;
+
+/// A [`Prefetcher`] that replays precomputed per-access predictions.
+///
+/// Because all prefetchers live at the LLC and prefetches are inserted
+/// into the LLC only, the *demand* stream reaching the LLC is identical
+/// with and without prefetching. Neural predictions can therefore be
+/// computed offline (per [`crate::OnlineRun`]) against the LLC stream
+/// and replayed position-by-position during IPC simulation — this is
+/// how the Fig. 8 experiment couples Voyager to the simulator, matching
+/// the paper's methodology where prediction cost is excluded from IPC.
+///
+/// # Example
+///
+/// ```
+/// use voyager::ReplayPrefetcher;
+/// use voyager_prefetch::Prefetcher;
+/// use voyager_trace::MemoryAccess;
+///
+/// let mut p = ReplayPrefetcher::new(vec![vec![42], vec![]]);
+/// assert_eq!(p.access(&MemoryAccess::new(1, 0)), vec![42]);
+/// assert!(p.access(&MemoryAccess::new(1, 64)).is_empty());
+/// ```
+#[derive(Debug)]
+pub struct ReplayPrefetcher {
+    predictions: Vec<Vec<u64>>,
+    pos: usize,
+    degree: usize,
+}
+
+impl ReplayPrefetcher {
+    /// Wraps per-access prediction sets (aligned with the LLC access
+    /// stream the simulator will produce).
+    pub fn new(predictions: Vec<Vec<u64>>) -> Self {
+        ReplayPrefetcher { predictions, pos: 0, degree: usize::MAX }
+    }
+
+    /// Number of accesses consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Prefetcher for ReplayPrefetcher {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn access(&mut self, _access: &voyager_trace::MemoryAccess) -> Vec<u64> {
+        let preds = match self.predictions.get(self.pos) {
+            Some(p) => p.iter().copied().take(self.degree).collect(),
+            None => Vec::new(),
+        };
+        self.pos += 1;
+        preds
+    }
+
+    fn degree(&self) -> usize {
+        self.degree.min(8)
+    }
+
+    fn set_degree(&mut self, degree: usize) {
+        assert!(degree > 0, "degree must be positive");
+        self.degree = degree;
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        0 // model storage is accounted separately (Fig. 17)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voyager_trace::MemoryAccess;
+
+    #[test]
+    fn replays_in_order_and_runs_out() {
+        let mut p = ReplayPrefetcher::new(vec![vec![1, 2], vec![3]]);
+        let a = MemoryAccess::new(1, 0);
+        assert_eq!(p.access(&a), vec![1, 2]);
+        assert_eq!(p.access(&a), vec![3]);
+        assert!(p.access(&a).is_empty(), "past the end");
+        assert_eq!(p.position(), 3);
+    }
+
+    #[test]
+    fn degree_truncates() {
+        let mut p = ReplayPrefetcher::new(vec![vec![1, 2, 3, 4]]);
+        p.set_degree(2);
+        assert_eq!(p.access(&MemoryAccess::new(1, 0)), vec![1, 2]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Model compression: magnitude pruning and 8-bit quantization.
+//!
+//! Section 5.4 of the paper reports that 80% of Voyager's weights can be
+//! pruned and the rest quantized from 32 to 8 bits with < 1% accuracy
+//! loss, making the final model 110–200× smaller than Delta-LSTM and
+//! 5–10× smaller than the metadata of conventional temporal prefetchers.
+//! This module implements both transforms plus the byte accounting used
+//! by the Fig. 17 experiment.
+
+use voyager_tensor::Tensor2;
+
+use crate::ParamStore;
+
+/// Zeroes the `fraction` of weights with the smallest magnitude, computed
+/// globally across all parameters in the store.
+///
+/// Returns the number of weights that were set to zero.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= fraction <= 1.0`.
+pub fn prune_magnitude(store: &mut ParamStore, fraction: f32) -> usize {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    let mut magnitudes: Vec<f32> = Vec::with_capacity(store.num_scalars());
+    for (_, _, value) in store.iter() {
+        magnitudes.extend(value.as_slice().iter().map(|v| v.abs()));
+    }
+    if magnitudes.is_empty() {
+        return 0;
+    }
+    let k = ((magnitudes.len() as f64) * fraction as f64).floor() as usize;
+    if k == 0 {
+        return 0;
+    }
+    let threshold = {
+        let mut m = magnitudes;
+        m.sort_by(f32::total_cmp);
+        m[k - 1]
+    };
+    let ids: Vec<_> = store.iter().map(|(id, _, _)| id).collect();
+    let mut zeroed = 0;
+    for id in ids {
+        let value = store.value_mut(id);
+        for v in value.as_mut_slice() {
+            // `<=` can zero slightly more than k elements when magnitudes
+            // tie at the threshold; pruning is approximate by nature.
+            if v.abs() <= threshold && *v != 0.0 {
+                *v = 0.0;
+                zeroed += 1;
+            }
+        }
+    }
+    zeroed
+}
+
+/// Fraction of exactly-zero weights in the store.
+pub fn sparsity(store: &ParamStore) -> f32 {
+    let total = store.num_scalars();
+    if total == 0 {
+        return 0.0;
+    }
+    let zeros: usize = store
+        .iter()
+        .map(|(_, _, v)| v.as_slice().iter().filter(|&&x| x == 0.0).count())
+        .sum();
+    zeros as f32 / total as f32
+}
+
+/// A tensor quantized to 8-bit integers with a per-tensor affine scheme:
+/// `value ≈ scale * (q - zero_point)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    rows: usize,
+    cols: usize,
+    scale: f32,
+    zero_point: i32,
+    data: Vec<i8>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor to int8 with a symmetric-range affine mapping
+    /// covering `[min, max]` of the tensor's values.
+    pub fn quantize(t: &Tensor2) -> Self {
+        let (rows, cols) = t.shape();
+        let (mut min, mut max) = (0.0f32, 0.0f32);
+        for &v in t.as_slice() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let range = (max - min).max(1e-12);
+        let scale = range / 255.0;
+        let zero_point = (-128.0 - min / scale).round() as i32;
+        let data = t
+            .as_slice()
+            .iter()
+            .map(|&v| ((v / scale).round() as i32 + zero_point).clamp(-128, 127) as i8)
+            .collect();
+        QuantizedTensor { rows, cols, scale, zero_point, data }
+    }
+
+    /// Reconstructs an `f32` tensor (lossy).
+    pub fn dequantize(&self) -> Tensor2 {
+        Tensor2::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&q| (q as i32 - self.zero_point) as f32 * self.scale).collect(),
+        )
+    }
+
+    /// Shape of the original tensor.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Storage size in bytes (1 byte per weight plus scale/zero-point).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() + 8
+    }
+}
+
+/// Quantizes every parameter in the store in place (quantize then
+/// dequantize), simulating int8 deployment while keeping the f32
+/// interface. Returns the maximum absolute reconstruction error.
+pub fn quantize_store_inplace(store: &mut ParamStore) -> f32 {
+    let ids: Vec<_> = store.iter().map(|(id, _, _)| id).collect();
+    let mut max_err = 0.0f32;
+    for id in ids {
+        let original = store.value(id).clone();
+        let q = QuantizedTensor::quantize(&original);
+        let restored = q.dequantize();
+        for (&a, &b) in original.as_slice().iter().zip(restored.as_slice()) {
+            max_err = max_err.max((a - b).abs());
+        }
+        *store.value_mut(id) = restored;
+    }
+    max_err
+}
+
+/// Storage accounting for a model under different deployment formats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelSize {
+    /// Total scalar parameter count.
+    pub params: usize,
+    /// Dense f32 storage in bytes.
+    pub dense_f32: usize,
+    /// Sparse storage in bytes after pruning: non-zeros as (4-byte
+    /// index, 4-byte value) pairs.
+    pub sparse_f32: usize,
+    /// Sparse + int8 storage in bytes: non-zeros as (4-byte index,
+    /// 1-byte value) pairs plus per-tensor scale/zero-point.
+    pub sparse_int8: usize,
+}
+
+/// Computes [`ModelSize`] for the store's current contents.
+pub fn model_size(store: &ParamStore) -> ModelSize {
+    let params = store.num_scalars();
+    let nonzero: usize = store
+        .iter()
+        .map(|(_, _, v)| v.as_slice().iter().filter(|&&x| x != 0.0).count())
+        .sum();
+    let tensors = store.len();
+    ModelSize {
+        params,
+        dense_f32: params * 4,
+        sparse_f32: nonzero * 8,
+        sparse_int8: nonzero * 5 + tensors * 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prune_removes_requested_fraction() {
+        let mut store = ParamStore::new();
+        let data: Vec<f32> = (1..=100).map(|i| i as f32).collect();
+        store.register("w", Tensor2::from_vec(10, 10, data));
+        let zeroed = prune_magnitude(&mut store, 0.8);
+        assert_eq!(zeroed, 80);
+        assert!((sparsity(&store) - 0.8).abs() < 1e-6);
+        // The largest weights survive.
+        assert_eq!(store.value(crate::ParamId(0)).get(9, 9), 100.0);
+        assert_eq!(store.value(crate::ParamId(0)).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn prune_zero_fraction_is_noop() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor2::full(2, 2, 1.0));
+        assert_eq!(prune_magnitude(&mut store, 0.0), 0);
+        assert_eq!(sparsity(&store), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn prune_rejects_bad_fraction() {
+        let mut store = ParamStore::new();
+        prune_magnitude(&mut store, 1.5);
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor2::uniform(8, 8, 2.0, &mut rng);
+        let q = QuantizedTensor::quantize(&t);
+        assert_eq!(q.shape(), (8, 8));
+        let r = q.dequantize();
+        // Max error is about one quantization bucket: range/255.
+        let bucket = 4.0 / 255.0;
+        for (&a, &b) in t.as_slice().iter().zip(r.as_slice()) {
+            assert!((a - b).abs() <= bucket * 1.5, "error too large: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantize_preserves_zero_exactly_for_pruned_models() {
+        // Pruned weights must stay exactly zero after dequantization so
+        // sparsity (and sparse storage size) is preserved.
+        let t = Tensor2::from_rows(&[&[0.0, 1.0, -1.0, 0.0]]);
+        let q = QuantizedTensor::quantize(&t);
+        let r = q.dequantize();
+        assert!(r.get(0, 0).abs() < 1e-2);
+        assert!(r.get(0, 3).abs() < 1e-2);
+    }
+
+    #[test]
+    fn model_size_shrinks_with_pruning_and_quantization() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut store = ParamStore::new();
+        store.register("w", Tensor2::uniform(100, 100, 1.0, &mut rng));
+        let before = model_size(&store);
+        assert_eq!(before.params, 10_000);
+        assert_eq!(before.dense_f32, 40_000);
+        prune_magnitude(&mut store, 0.8);
+        let after = model_size(&store);
+        assert!(after.sparse_f32 < before.dense_f32 / 2);
+        assert!(after.sparse_int8 < after.sparse_f32);
+    }
+
+    #[test]
+    fn quantize_store_inplace_reports_small_error() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        store.register("a", Tensor2::uniform(10, 10, 0.5, &mut rng));
+        store.register("b", Tensor2::uniform(5, 5, 0.5, &mut rng));
+        let err = quantize_store_inplace(&mut store);
+        assert!(err > 0.0 && err < 0.01, "unexpected quantization error {err}");
+    }
+}

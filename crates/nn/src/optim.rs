@@ -1,0 +1,214 @@
+//! Adam optimizer with gradient clipping, learning-rate decay and lazy
+//! (sparse) embedding updates.
+
+use std::collections::HashMap;
+
+use voyager_tensor::Tensor2;
+
+use crate::{ParamId, ParamStore};
+
+/// The Adam optimizer (Kingma & Ba), configured as in the paper's
+/// Table 1: learning rate `0.001`, and a learning-rate decay *ratio*
+/// applied between training epochs ([`Adam::decay_lr`]).
+///
+/// Dense parameters receive the standard update. Embedding tables
+/// updated through [`crate::Session::gather`] receive a *lazy* update:
+/// only the rows touched in the step are moved, using the global step
+/// count for bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    max_grad_norm: Option<f32>,
+    t: u64,
+    moments: HashMap<ParamId, (Tensor2, Tensor2)>,
+}
+
+impl Adam {
+    /// Creates an optimizer with the given learning rate and default
+    /// moment coefficients (`beta1 = 0.9`, `beta2 = 0.999`,
+    /// `eps = 1e-8`) and gradient-norm clipping at `5.0`.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            max_grad_norm: Some(5.0),
+            t: 0,
+            moments: HashMap::new(),
+        }
+    }
+
+    /// Sets the maximum global gradient norm (`None` disables clipping).
+    pub fn with_max_grad_norm(mut self, max: Option<f32>) -> Self {
+        self.max_grad_norm = max;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Divides the learning rate by `ratio` (the paper's "learning rate
+    /// decay ratio" of 2, applied when validation loss plateaus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio <= 0`.
+    pub fn decay_lr(&mut self, ratio: f32) {
+        assert!(ratio > 0.0, "decay ratio must be positive");
+        self.lr /= ratio;
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    pub(crate) fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Returns the multiplier that scales gradients so the global norm
+    /// (whose *square* is given) does not exceed the configured maximum.
+    pub(crate) fn clip_scale(&self, global_sq_norm: f32) -> f32 {
+        match self.max_grad_norm {
+            Some(max) if global_sq_norm > max * max => max / global_sq_norm.sqrt(),
+            _ => 1.0,
+        }
+    }
+
+    pub(crate) fn apply_dense(
+        &mut self,
+        store: &mut ParamStore,
+        id: ParamId,
+        grad: &Tensor2,
+        clip: f32,
+    ) {
+        let value = store.value_mut(id);
+        let (rows, cols) = value.shape();
+        let (m, v) = self
+            .moments
+            .entry(id)
+            .or_insert_with(|| (Tensor2::zeros(rows, cols), Tensor2::zeros(rows, cols)));
+        let (bc1, bc2) = {
+            let t = self.t as i32;
+            (1.0 - self.beta1.powi(t), 1.0 - self.beta2.powi(t))
+        };
+        for i in 0..value.len() {
+            let g = grad.as_slice()[i] * clip;
+            let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g;
+            let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g * g;
+            m.as_mut_slice()[i] = mi;
+            v.as_mut_slice()[i] = vi;
+            let mhat = mi / bc1;
+            let vhat = vi / bc2;
+            value.as_mut_slice()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    pub(crate) fn apply_sparse(
+        &mut self,
+        store: &mut ParamStore,
+        id: ParamId,
+        rows: &[usize],
+        grad: &Tensor2,
+        clip: f32,
+    ) {
+        let value = store.value_mut(id);
+        let (vrows, cols) = value.shape();
+        let (m, v) = self
+            .moments
+            .entry(id)
+            .or_insert_with(|| (Tensor2::zeros(vrows, cols), Tensor2::zeros(vrows, cols)));
+        let (bc1, bc2) = {
+            let t = self.t as i32;
+            (1.0 - self.beta1.powi(t), 1.0 - self.beta2.powi(t))
+        };
+        // Coalesce duplicate rows first so a row gathered k times gets a
+        // single combined update (matching dense semantics).
+        let mut combined: HashMap<usize, Vec<f32>> = HashMap::new();
+        for (i, &r) in rows.iter().enumerate() {
+            let entry = combined.entry(r).or_insert_with(|| vec![0.0; cols]);
+            for (e, &g) in entry.iter_mut().zip(grad.row(i)) {
+                *e += g * clip;
+            }
+        }
+        for (r, grow) in combined {
+            for c in 0..cols {
+                let g = grow[c];
+                let mi = self.beta1 * m.get(r, c) + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.get(r, c) + (1.0 - self.beta2) * g * g;
+                m.set(r, c, mi);
+                v.set(r, c, vi);
+                let update = self.lr * (mi / bc1) / ((vi / bc2).sqrt() + self.eps);
+                value.set(r, c, value.get(r, c) - update);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.register("x", Tensor2::scalar(5.0));
+        let mut adam = Adam::new(0.5);
+        for _ in 0..200 {
+            let mut sess = Session::new();
+            let x = sess.param(&store, id);
+            let sq = sess.tape.mul(x, x);
+            let loss = sess.tape.sum_all(sq);
+            sess.step(loss, &mut store, &mut adam);
+        }
+        assert!(store.value(id).get(0, 0).abs() < 0.05);
+        assert_eq!(adam.steps(), 200);
+    }
+
+    #[test]
+    fn lr_decay_halves() {
+        let mut adam = Adam::new(0.001);
+        adam.decay_lr(2.0);
+        assert!((adam.lr() - 0.0005).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay ratio must be positive")]
+    fn lr_decay_rejects_zero() {
+        Adam::new(0.001).decay_lr(0.0);
+    }
+
+    #[test]
+    fn clip_scale_caps_large_gradients() {
+        let adam = Adam::new(0.001).with_max_grad_norm(Some(1.0));
+        assert_eq!(adam.clip_scale(0.25), 1.0); // norm 0.5 < 1
+        let s = adam.clip_scale(100.0); // norm 10 -> scale 0.1
+        assert!((s - 0.1).abs() < 1e-6);
+        let unclipped = Adam::new(0.001).with_max_grad_norm(None);
+        assert_eq!(unclipped.clip_scale(1e12), 1.0);
+    }
+
+    #[test]
+    fn bias_correction_is_applied_on_first_step() {
+        // With bias correction, the very first Adam step moves the
+        // parameter by approximately -lr regardless of gradient scale.
+        let mut store = ParamStore::new();
+        let id = store.register("x", Tensor2::scalar(1.0));
+        let mut adam = Adam::new(0.1).with_max_grad_norm(None);
+        let mut sess = Session::new();
+        let x = sess.param(&store, id);
+        let loss = sess.tape.scale(x, 1000.0);
+        let loss = sess.tape.sum_all(loss);
+        sess.step(loss, &mut store, &mut adam);
+        let moved = 1.0 - store.value(id).get(0, 0);
+        assert!((moved - 0.1).abs() < 1e-3, "moved {moved}");
+    }
+}

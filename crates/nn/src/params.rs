@@ -1,0 +1,227 @@
+//! Parameter storage and the per-step training session.
+
+use voyager_tensor::{Tape, Tensor2, Var};
+
+use crate::Adam;
+
+/// Identifier of a parameter tensor inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// Named collection of trainable parameter tensors.
+///
+/// Layers register their weights here at construction time and refer to
+/// them by [`ParamId`]. The store outlives the per-step [`Session`] /
+/// [`Tape`](voyager_tensor::Tape) objects.
+#[derive(Debug, Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor2>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter tensor and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor2) -> ParamId {
+        self.names.push(name.into());
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameter tensors.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrows the current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor2 {
+        &self.values[id.0]
+    }
+
+    /// Mutably borrows the current value of a parameter.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor2 {
+        &mut self.values[id.0]
+    }
+
+    /// Returns the registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor2)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// Total number of scalar parameters across all tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor2::len).sum()
+    }
+}
+
+/// One forward/backward pass: a fresh tape plus the bookkeeping needed to
+/// route tape gradients back to [`ParamStore`] parameters.
+///
+/// Dense parameters enter the tape through [`Session::param`]; embedding
+/// rows enter through [`Session::gather`], which keeps the (potentially
+/// huge) table off the tape and produces *sparse* row gradients, exactly
+/// like a lazy embedding update in a deep-learning framework.
+#[derive(Debug, Default)]
+pub struct Session {
+    /// The underlying autograd tape. Exposed so model code can record
+    /// arbitrary ops between layer calls.
+    pub tape: Tape,
+    dense: Vec<(ParamId, Var)>,
+    sparse: Vec<(ParamId, Vec<usize>, Var)>,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Binds the full value of parameter `id` onto the tape as a
+    /// differentiable leaf and returns its [`Var`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let var = self.tape.leaf(store.value(id).clone(), true);
+        self.dense.push((id, var));
+        var
+    }
+
+    /// Gathers `rows` of the embedding table `id` into a
+    /// `[rows.len(), dim]` differentiable leaf.
+    ///
+    /// The backward pass scatter-adds the leaf's gradient back into only
+    /// the touched rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of bounds.
+    pub fn gather(&mut self, store: &ParamStore, id: ParamId, rows: &[usize]) -> Var {
+        let table = store.value(id);
+        let dim = table.cols();
+        let mut out = Tensor2::zeros(rows.len(), dim);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r < table.rows(), "embedding row {r} out of {}", table.rows());
+            out.row_mut(i).copy_from_slice(table.row(r));
+        }
+        let var = self.tape.leaf(out, true);
+        self.sparse.push((id, rows.to_vec(), var));
+        var
+    }
+
+    /// Runs backward from `loss` and applies one optimizer step to every
+    /// parameter bound in this session. Consumes nothing; the session can
+    /// be dropped afterwards.
+    pub fn step(&mut self, loss: Var, store: &mut ParamStore, adam: &mut Adam) {
+        self.tape.backward(loss);
+        adam.begin_step();
+        let clip = adam.clip_scale(self.global_grad_sq_norm());
+        for (id, var) in std::mem::take(&mut self.dense) {
+            if let Some(grad) = self.tape.grad(var) {
+                adam.apply_dense(store, id, grad, clip);
+            }
+        }
+        for (id, rows, var) in std::mem::take(&mut self.sparse) {
+            if let Some(grad) = self.tape.grad(var) {
+                adam.apply_sparse(store, id, &rows, grad, clip);
+            }
+        }
+    }
+
+    fn global_grad_sq_norm(&self) -> f32 {
+        let mut total = 0.0;
+        for (_, var) in &self.dense {
+            if let Some(g) = self.tape.grad(*var) {
+                total += g.sq_norm();
+            }
+        }
+        for (_, _, var) in &self.sparse {
+            if let Some(g) = self.tape.grad(*var) {
+                total += g.sq_norm();
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor2::scalar(2.0));
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.value(id).get(0, 0), 2.0);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        assert_eq!(store.num_scalars(), 1);
+    }
+
+    #[test]
+    fn gather_copies_requested_rows() {
+        let mut store = ParamStore::new();
+        let table =
+            Tensor2::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let id = store.register("emb", table);
+        let mut sess = Session::new();
+        let v = sess.gather(&store, id, &[2, 0, 2]);
+        assert_eq!(sess.tape.value(v).as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn sparse_step_only_touches_gathered_rows() {
+        let mut store = ParamStore::new();
+        let id = store.register("emb", Tensor2::zeros(3, 2));
+        let mut adam = Adam::new(0.1);
+        let mut sess = Session::new();
+        let v = sess.gather(&store, id, &[1]);
+        let s = sess.tape.sum_all(v);
+        // Maximize sum -> gradient is +1 on row 1; Adam moves it by -lr.
+        sess.step(s, &mut store, &mut adam);
+        let t = store.value(id);
+        assert_eq!(t.row(0), &[0.0, 0.0]);
+        assert_eq!(t.row(2), &[0.0, 0.0]);
+        assert!(t.get(1, 0) < 0.0 && t.get(1, 1) < 0.0);
+    }
+
+    #[test]
+    fn duplicate_gather_rows_accumulate() {
+        let mut store = ParamStore::new();
+        let id = store.register("emb", Tensor2::zeros(2, 1));
+        let mut adam = Adam::new(0.1);
+        let mut sess = Session::new();
+        let v = sess.gather(&store, id, &[0, 0]);
+        let s = sess.tape.sum_all(v);
+        sess.step(s, &mut store, &mut adam);
+        // Row 0 was gathered twice so its gradient is 2.0; Adam still
+        // moves it in the negative direction.
+        assert!(store.value(id).get(0, 0) < 0.0);
+        assert_eq!(store.value(id).get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn iter_exposes_all_params() {
+        let mut store = ParamStore::new();
+        store.register("a", Tensor2::zeros(1, 2));
+        store.register("b", Tensor2::zeros(2, 2));
+        let names: Vec<&str> = store.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(store.num_scalars(), 6);
+    }
+}

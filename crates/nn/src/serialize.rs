@@ -1,0 +1,217 @@
+//! Parameter checkpointing.
+//!
+//! The paper's profile-driven deployment (Section 5.5) trains offline
+//! and ships the weights to an inference engine "with a new ISA
+//! interface". This module provides the serialization half: a compact
+//! binary checkpoint of a [`ParamStore`], restorable into a store with
+//! identical layout.
+//!
+//! Format:
+//!
+//! ```text
+//! magic "VNNP"           4 bytes
+//! version u32 LE
+//! tensor count u32 LE
+//! per tensor: name len u32 LE, name bytes,
+//!             rows u32 LE, cols u32 LE, rows*cols f32 LE values
+//! ```
+
+use std::io::{self, Read, Write};
+
+use voyager_tensor::Tensor2;
+
+use crate::ParamStore;
+
+const MAGIC: &[u8; 4] = b"VNNP";
+const VERSION: u32 = 1;
+
+/// Errors returned by [`load_params`].
+#[derive(Debug)]
+pub enum LoadParamsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a parameter checkpoint.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u32),
+    /// Checkpoint layout does not match the target store (wrong tensor
+    /// count, name, or shape).
+    LayoutMismatch(String),
+}
+
+impl std::fmt::Display for LoadParamsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadParamsError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadParamsError::BadMagic => write!(f, "not a parameter checkpoint (bad magic)"),
+            LoadParamsError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            LoadParamsError::LayoutMismatch(what) => write!(f, "layout mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadParamsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadParamsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadParamsError {
+    fn from(e: io::Error) -> Self {
+        LoadParamsError::Io(e)
+    }
+}
+
+/// Writes every parameter of `store` to `writer`. A `&mut` reference
+/// may be passed for `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_params<W: Write>(mut writer: W, store: &ParamStore) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, value) in store.iter() {
+        writer.write_all(&(name.len() as u32).to_le_bytes())?;
+        writer.write_all(name.as_bytes())?;
+        let (rows, cols) = value.shape();
+        writer.write_all(&(rows as u32).to_le_bytes())?;
+        writer.write_all(&(cols as u32).to_le_bytes())?;
+        for &v in value.as_slice() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores a checkpoint written by [`save_params`] into `store`, which
+/// must have been built by the same model constructor (identical
+/// tensor names and shapes, in order). A `&mut` reference may be passed
+/// for `reader`.
+///
+/// # Errors
+///
+/// Returns [`LoadParamsError`] on malformed input or layout mismatch;
+/// the store is left partially updated only on I/O failure mid-stream.
+pub fn load_params<R: Read>(mut reader: R, store: &mut ParamStore) -> Result<(), LoadParamsError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(LoadParamsError::BadMagic);
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(LoadParamsError::BadVersion(version));
+    }
+    let count = read_u32(&mut reader)? as usize;
+    if count != store.len() {
+        return Err(LoadParamsError::LayoutMismatch(format!(
+            "checkpoint has {count} tensors, store has {}",
+            store.len()
+        )));
+    }
+    let ids: Vec<_> = store.iter().map(|(id, _, _)| id).collect();
+    for id in ids {
+        let name_len = read_u32(&mut reader)? as usize;
+        let mut name = vec![0u8; name_len];
+        reader.read_exact(&mut name)?;
+        let name = String::from_utf8_lossy(&name).into_owned();
+        if name != store.name(id) {
+            return Err(LoadParamsError::LayoutMismatch(format!(
+                "expected tensor {:?}, found {:?}",
+                store.name(id),
+                name
+            )));
+        }
+        let rows = read_u32(&mut reader)? as usize;
+        let cols = read_u32(&mut reader)? as usize;
+        if (rows, cols) != store.value(id).shape() {
+            return Err(LoadParamsError::LayoutMismatch(format!(
+                "tensor {name:?}: checkpoint {rows}x{cols}, store {:?}",
+                store.value(id).shape()
+            )));
+        }
+        let mut data = vec![0f32; rows * cols];
+        for v in &mut data {
+            let mut buf = [0u8; 4];
+            reader.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        *store.value_mut(id) = Tensor2::from_vec(rows, cols, data);
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store_pair() -> (ParamStore, ParamStore) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut a = ParamStore::new();
+        let _ = Linear::new(&mut a, "fc", 3, 2, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let mut b = ParamStore::new();
+        let _ = Linear::new(&mut b, "fc", 3, 2, &mut rng2);
+        (a, b)
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let (a, mut b) = store_pair();
+        let mut buf = Vec::new();
+        save_params(&mut buf, &a).unwrap();
+        load_params(buf.as_slice(), &mut b).unwrap();
+        for ((_, _, va), (_, _, vb)) in a.iter().zip(b.iter()) {
+            assert_eq!(va.as_slice(), vb.as_slice());
+        }
+    }
+
+    #[test]
+    fn layout_mismatch_is_detected() {
+        let (a, _) = store_pair();
+        let mut buf = Vec::new();
+        save_params(&mut buf, &a).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut other = ParamStore::new();
+        let _ = Linear::new(&mut other, "different", 3, 2, &mut rng);
+        let err = load_params(buf.as_slice(), &mut other).unwrap_err();
+        assert!(matches!(err, LoadParamsError::LayoutMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_shape_is_detected() {
+        let (a, _) = store_pair();
+        let mut buf = Vec::new();
+        save_params(&mut buf, &a).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut other = ParamStore::new();
+        let _ = Linear::new(&mut other, "fc", 4, 2, &mut rng);
+        assert!(matches!(
+            load_params(buf.as_slice(), &mut other).unwrap_err(),
+            LoadParamsError::LayoutMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let (_, mut b) = store_pair();
+        assert!(matches!(
+            load_params(&b"XXXX...."[..], &mut b).unwrap_err(),
+            LoadParamsError::BadMagic
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! Markov prefetching (Joseph & Grunwald, ISCA 1997).
+
+use std::collections::HashMap;
+
+use voyager_trace::MemoryAccess;
+
+use crate::Prefetcher;
+
+/// Maximum successors remembered per line (the classical design keeps
+/// a small set per entry).
+const SUCCESSORS: usize = 4;
+
+/// Idealized Markov prefetcher: for every line it keeps the most
+/// frequent observed successors (up to 4) with saturating counts, and
+/// prefetches them most-frequent-first. Unlike [`crate::Stms`]'s
+/// most-recent-successor policy, the Markov table accumulates
+/// *frequency*, making it robust to occasional noise but slow to adapt
+/// to pattern drift — the classical trade-off the paper's probabilistic
+/// framing (Eq. 2) makes explicit.
+#[derive(Debug, Default)]
+pub struct Markov {
+    table: HashMap<u64, Vec<(u64, u32)>>,
+    prev: Option<u64>,
+    degree: usize,
+}
+
+impl Markov {
+    /// Creates a Markov prefetcher with degree 1.
+    pub fn new() -> Self {
+        Markov { table: HashMap::new(), prev: None, degree: 1 }
+    }
+}
+
+impl Prefetcher for Markov {
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+
+    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+        let line = access.line();
+        // Train: bump the (prev -> line) edge.
+        if let Some(prev) = self.prev {
+            let succ = self.table.entry(prev).or_default();
+            match succ.iter_mut().find(|(l, _)| *l == line) {
+                Some((_, c)) => *c = c.saturating_add(1),
+                None => {
+                    if succ.len() == SUCCESSORS {
+                        // Evict the weakest successor.
+                        let min = succ
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, (_, c))| *c)
+                            .map(|(i, _)| i)
+                            .expect("nonempty");
+                        succ.remove(min);
+                    }
+                    succ.push((line, 1));
+                }
+            }
+        }
+        self.prev = Some(line);
+        // Predict: successors of the current line by descending count.
+        match self.table.get(&line) {
+            Some(succ) => {
+                let mut ranked = succ.clone();
+                ranked.sort_by(|a, b| b.1.cmp(&a.1));
+                ranked.into_iter().take(self.degree).map(|(l, _)| l).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn degree(&self) -> usize {
+        self.degree
+    }
+
+    fn set_degree(&mut self, degree: usize) {
+        assert!(degree > 0, "degree must be positive");
+        self.degree = degree;
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        // Entry: tag + up to 4 (line, count) pairs.
+        self.table.len() * 8 + self.table.values().map(|v| v.len() * 12).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(p: &mut Markov, lines: &[u64]) -> Vec<Vec<u64>> {
+        lines.iter().map(|&l| p.access(&MemoryAccess::new(1, l * 64))).collect()
+    }
+
+    #[test]
+    fn majority_successor_wins() {
+        let mut p = Markov::new();
+        // 5 -> 6 twice, 5 -> 7 once: predict 6 first.
+        run(&mut p, &[5, 6, 5, 7, 5, 6]);
+        let preds = p.access(&MemoryAccess::new(1, 5 * 64));
+        assert_eq!(preds, vec![6]);
+    }
+
+    #[test]
+    fn degree_returns_ranked_successors() {
+        let mut p = Markov::new();
+        p.set_degree(2);
+        run(&mut p, &[5, 6, 5, 6, 5, 7, 5]);
+        let preds = p.access(&MemoryAccess::new(1, 5 * 64));
+        assert_eq!(preds, vec![6, 7]);
+    }
+
+    #[test]
+    fn successor_set_is_bounded() {
+        let mut p = Markov::new();
+        for succ in 10..20u64 {
+            run(&mut p, &[1, succ]);
+        }
+        assert!(p.table[&1].len() <= SUCCESSORS);
+    }
+
+    #[test]
+    fn unknown_line_predicts_nothing() {
+        let mut p = Markov::new();
+        assert!(p.access(&MemoryAccess::new(1, 999 * 64)).is_empty());
+    }
+}

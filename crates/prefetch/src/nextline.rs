@@ -1,0 +1,64 @@
+//! Next-line (sequential) prefetching — the simplest spatial scheme.
+
+use voyager_trace::MemoryAccess;
+
+use crate::Prefetcher;
+
+/// Next-line prefetcher: on an access to line `X`, prefetch
+/// `X+1 .. X+degree`. The baseline for all sequential schemes (Smith
+/// 1978; stream buffers refine it), useful as a floor in ablations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NextLine {
+    degree: usize,
+}
+
+impl NextLine {
+    /// Creates a next-line prefetcher with degree 1.
+    pub fn new() -> Self {
+        NextLine { degree: 1 }
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+
+    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+        let line = access.line();
+        (1..=self.degree.max(1) as u64).filter_map(|k| line.checked_add(k)).collect()
+    }
+
+    fn degree(&self) -> usize {
+        self.degree.max(1)
+    }
+
+    fn set_degree(&mut self, degree: usize) {
+        assert!(degree > 0, "degree must be positive");
+        self.degree = degree;
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_following_lines() {
+        let mut p = NextLine::new();
+        assert_eq!(p.access(&MemoryAccess::new(1, 10 * 64)), vec![11]);
+        p.set_degree(3);
+        assert_eq!(p.access(&MemoryAccess::new(1, 10 * 64)), vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn stateless_and_free() {
+        let mut p = NextLine::new();
+        let _ = p.access(&MemoryAccess::new(1, 0));
+        assert_eq!(p.metadata_bytes(), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Feedback-directed prefetch throttling (Srinath et al., HPCA 2007
+//! style), the classical answer to the aggressiveness trade-off the
+//! paper sweeps in Fig. 9.
+
+use std::collections::VecDeque;
+
+use voyager_trace::MemoryAccess;
+
+use crate::Prefetcher;
+
+/// Accesses per evaluation interval.
+const INTERVAL: usize = 512;
+
+/// How many recent predictions are checked for usefulness.
+const PENDING: usize = 512;
+
+/// Wraps any [`Prefetcher`] with an accuracy-feedback degree
+/// controller: each interval it estimates the fraction of recent
+/// predictions that were demanded shortly after being issued, then
+/// raises the degree (up to `max_degree`) when accuracy is high and
+/// lowers it when accuracy is poor — trading Fig. 9's static degree
+/// sweep for a dynamic policy.
+///
+/// # Example
+///
+/// ```
+/// use voyager_prefetch::{NextLine, Prefetcher, Throttled};
+/// use voyager_trace::MemoryAccess;
+///
+/// let mut p = Throttled::new(NextLine::new(), 8);
+/// // A perfectly sequential stream drives the degree up over time.
+/// for i in 0..4096u64 {
+///     p.access(&MemoryAccess::new(1, i * 64));
+/// }
+/// assert!(p.degree() > 1);
+/// ```
+#[derive(Debug)]
+pub struct Throttled<P> {
+    inner: P,
+    max_degree: usize,
+    current: usize,
+    /// Recently issued predictions, oldest first.
+    pending: VecDeque<u64>,
+    hits: usize,
+    issued: usize,
+    since_eval: usize,
+}
+
+impl<P: Prefetcher> Throttled<P> {
+    /// Wraps `inner`, allowing the controller to move the degree within
+    /// `1..=max_degree`. Starts at degree 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_degree == 0`.
+    pub fn new(inner: P, max_degree: usize) -> Self {
+        assert!(max_degree > 0, "max degree must be positive");
+        let mut inner = inner;
+        inner.set_degree(1);
+        Throttled {
+            inner,
+            max_degree,
+            current: 1,
+            pending: VecDeque::with_capacity(PENDING),
+            hits: 0,
+            issued: 0,
+            since_eval: 0,
+        }
+    }
+
+    /// The wrapped prefetcher.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner prefetcher.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    fn evaluate(&mut self) {
+        let accuracy = if self.issued == 0 {
+            return;
+        } else {
+            self.hits as f64 / self.issued as f64
+        };
+        // Thresholds follow the feedback-directed prefetching scheme:
+        // aggressive when accurate, back off when polluting.
+        if accuracy > 0.75 && self.current < self.max_degree {
+            self.current += 1;
+        } else if accuracy < 0.40 && self.current > 1 {
+            self.current -= 1;
+        }
+        self.inner.set_degree(self.current);
+        self.hits = 0;
+        self.issued = 0;
+    }
+}
+
+impl<P: Prefetcher> Prefetcher for Throttled<P> {
+    fn name(&self) -> &'static str {
+        "throttled"
+    }
+
+    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+        let line = access.line();
+        // Score outstanding predictions: a demand to a predicted line
+        // counts as a useful prefetch.
+        if let Some(pos) = self.pending.iter().position(|&p| p == line) {
+            self.pending.remove(pos);
+            self.hits += 1;
+        }
+        let preds = self.inner.access(access);
+        for &p in &preds {
+            // Deduplicate: re-requests of an outstanding line do not
+            // count as separate issues (the hierarchy drops them too).
+            if self.pending.contains(&p) {
+                continue;
+            }
+            if self.pending.len() == PENDING {
+                self.pending.pop_front();
+            }
+            self.pending.push_back(p);
+            self.issued += 1;
+        }
+        self.since_eval += 1;
+        if self.since_eval >= INTERVAL {
+            self.since_eval = 0;
+            self.evaluate();
+        }
+        preds
+    }
+
+    fn degree(&self) -> usize {
+        self.current
+    }
+
+    /// Sets the *maximum* degree the controller may reach.
+    fn set_degree(&mut self, degree: usize) {
+        assert!(degree > 0, "degree must be positive");
+        self.max_degree = degree;
+        self.current = self.current.min(degree);
+        self.inner.set_degree(self.current);
+    }
+
+    fn metadata_bytes(&self) -> usize {
+        self.inner.metadata_bytes() + PENDING * 8 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NextLine, Stms};
+
+    #[test]
+    fn accurate_prefetcher_ramps_up() {
+        let mut p = Throttled::new(NextLine::new(), 8);
+        for i in 0..8 * INTERVAL as u64 {
+            p.access(&MemoryAccess::new(1, i * 64));
+        }
+        assert!(p.degree() >= 4, "degree stuck at {}", p.degree());
+    }
+
+    #[test]
+    fn inaccurate_prefetcher_backs_off() {
+        let mut p = Throttled::new(NextLine::new(), 8);
+        // Ramp up on a sequential phase...
+        for i in 0..4 * INTERVAL as u64 {
+            p.access(&MemoryAccess::new(1, i * 64));
+        }
+        let ramped = p.degree();
+        assert!(ramped > 1);
+        // ...then feed a scrambled phase: next-line accuracy collapses.
+        for i in 0..6 * INTERVAL as u64 {
+            let line = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20) % 1_000_000;
+            p.access(&MemoryAccess::new(1, line * 64));
+        }
+        assert!(p.degree() < ramped, "did not back off: {}", p.degree());
+    }
+
+    #[test]
+    fn degree_stays_within_bounds() {
+        let mut p = Throttled::new(Stms::new(), 4);
+        for i in 0..10_000u64 {
+            p.access(&MemoryAccess::new(1, (i % 64) * 64));
+            assert!((1..=4).contains(&p.degree()));
+        }
+    }
+
+    #[test]
+    fn set_degree_caps_the_controller() {
+        let mut p = Throttled::new(NextLine::new(), 8);
+        for i in 0..8 * INTERVAL as u64 {
+            p.access(&MemoryAccess::new(1, i * 64));
+        }
+        p.set_degree(2);
+        assert!(p.degree() <= 2);
+        assert_eq!(p.inner().degree(), p.degree());
+    }
+
+    #[test]
+    fn into_inner_returns_wrapped() {
+        let p = Throttled::new(NextLine::new(), 3);
+        let inner = p.into_inner();
+        assert_eq!(inner.name(), "next-line");
+    }
+}

@@ -1,0 +1,46 @@
+//! A minimal 2-D tensor library with reverse-mode automatic differentiation.
+//!
+//! This crate is the numerical substrate for the Voyager prefetcher
+//! reproduction. The paper's model (two LSTMs, embedding layers, a
+//! dot-product attention over "experts", softmax / binary-cross-entropy
+//! heads) only ever needs matrices of shape `[batch, features]`, so the
+//! engine is deliberately specialised to dense row-major 2-D `f32`
+//! tensors. Keeping the op set small makes every operation easy to verify
+//! with numeric gradient checks (see [`gradcheck`]).
+//!
+//! # Architecture
+//!
+//! * [`Tensor2`] — a plain dense matrix with element-wise and BLAS-like
+//!   helpers. No autograd state; cheap to clone.
+//! * [`Tape`] — a single-use computation graph ("tape"). Operations push
+//!   nodes onto the tape and return [`Var`] handles; [`Tape::backward`]
+//!   walks the tape in reverse and accumulates gradients for every leaf
+//!   created with [`Tape::leaf`].
+//! * [`gradcheck`] — finite-difference gradient checking used extensively
+//!   by this crate's tests and by downstream layer tests.
+//!
+//! # Example
+//!
+//! ```
+//! use voyager_tensor::{Tape, Tensor2};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor2::from_rows(&[&[1.0, 2.0]]), true);
+//! let w = tape.leaf(Tensor2::from_rows(&[&[3.0], &[4.0]]), true);
+//! let y = tape.matmul(x, w); // [[11.0]]
+//! let loss = tape.sum_all(y);
+//! tape.backward(loss);
+//! assert_eq!(tape.grad(w).unwrap().get(0, 0), 1.0);
+//! assert_eq!(tape.grad(x).unwrap().get(0, 1), 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tape;
+mod tensor;
+
+pub mod gradcheck;
+
+pub use tape::{Tape, Var};
+pub use tensor::Tensor2;

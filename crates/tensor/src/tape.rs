@@ -1,0 +1,748 @@
+//! Reverse-mode automatic differentiation over [`Tensor2`] values.
+
+use rand::Rng;
+
+use crate::Tensor2;
+
+/// Handle to a node on a [`Tape`].
+///
+/// `Var` is a plain index and is only meaningful for the tape that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+#[derive(Debug)]
+enum Op {
+    Leaf { requires_grad: bool },
+    Matmul { a: Var, b: Var },
+    Add { a: Var, b: Var },
+    AddRow { a: Var, bias: Var },
+    Sub { a: Var, b: Var },
+    Mul { a: Var, b: Var },
+    Scale { a: Var, c: f32 },
+    Sigmoid { a: Var },
+    Tanh { a: Var },
+    Relu { a: Var },
+    ConcatCols { parts: Vec<Var> },
+    SliceCols { a: Var, start: usize, len: usize },
+    SoftmaxRows { a: Var },
+    ChunkDot { q: Var, chunks: Var, n_chunks: usize },
+    ChunkWeightedSum { w: Var, chunks: Var },
+    MulMask { a: Var, mask: Tensor2 },
+    SumAll { a: Var },
+    MeanAll { a: Var },
+    SoftmaxCe { logits: Var, targets: Vec<usize>, probs: Tensor2 },
+    BceLogits { logits: Var, targets: Tensor2 },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor2,
+}
+
+/// A single-use computation graph.
+///
+/// Build the forward pass with the op methods ([`Tape::matmul`],
+/// [`Tape::sigmoid`], ...), then call [`Tape::backward`] on the final
+/// (typically scalar) node. Gradients of leaves created with
+/// `requires_grad = true` are then available through [`Tape::grad`].
+///
+/// A tape is intended to be built, differentiated and dropped once per
+/// training step; [`Tape::clear`] allows reusing the allocation.
+///
+/// # Example
+///
+/// ```
+/// use voyager_tensor::{Tape, Tensor2};
+///
+/// let mut tape = Tape::new();
+/// let x = tape.leaf(Tensor2::from_rows(&[&[0.5, -0.5]]), true);
+/// let y = tape.tanh(x);
+/// let loss = tape.sum_all(y);
+/// tape.backward(loss);
+/// let g = tape.grad(x).unwrap();
+/// assert!((g.get(0, 0) - (1.0 - 0.5f32.tanh().powi(2))).abs() < 1e-6);
+/// ```
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor2>>,
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tape({} nodes)", self.nodes.len())
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Drops all nodes and gradients, keeping allocations for reuse.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.grads.clear();
+    }
+
+    /// Returns the forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor2 {
+        &self.nodes[v.0].value
+    }
+
+    /// Returns the accumulated gradient of `v`, if [`Tape::backward`] has
+    /// produced one (leaves created with `requires_grad = false` and
+    /// unreachable nodes have no gradient).
+    pub fn grad(&self, v: Var) -> Option<&Tensor2> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    fn push(&mut self, op: Op, value: Tensor2) -> Var {
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a leaf holding `value`. If `requires_grad` is true its
+    /// gradient is accumulated during [`Tape::backward`].
+    pub fn leaf(&mut self, value: Tensor2, requires_grad: bool) -> Var {
+        self.push(Op::Leaf { requires_grad }, value)
+    }
+
+    /// Matrix product `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(Op::Matmul { a, b }, value)
+    }
+
+    /// Element-wise sum of two same-shaped tensors.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x + y);
+        self.push(Op::Add { a, b }, value)
+    }
+
+    /// Adds a `[1, n]` bias row to every row of `a` (`[m, n]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `[1, a.cols]`.
+    pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
+        let (m, n) = self.value(a).shape();
+        let bshape = self.value(bias).shape();
+        assert_eq!(bshape, (1, n), "bias must be [1,{n}], got {bshape:?}");
+        let mut value = self.value(a).clone();
+        let b = self.value(bias).as_slice().to_vec();
+        for i in 0..m {
+            for (v, &bv) in value.row_mut(i).iter_mut().zip(&b) {
+                *v += bv;
+            }
+        }
+        self.push(Op::AddRow { a, bias }, value)
+    }
+
+    /// Element-wise difference `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x - y);
+        self.push(Op::Sub { a, b }, value)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).zip(self.value(b), |x, y| x * y);
+        self.push(Op::Mul { a, b }, value)
+    }
+
+    /// Multiplies every element by the constant `c`.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).map(|v| v * c);
+        self.push(Op::Scale { a, c }, value)
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(sigmoid);
+        self.push(Op::Sigmoid { a }, value)
+    }
+
+    /// Element-wise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(Op::Tanh { a }, value)
+    }
+
+    /// Element-wise rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0));
+        self.push(Op::Relu { a }, value)
+    }
+
+    /// Concatenates tensors with equal row counts along the column axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the row counts differ.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols of zero tensors");
+        let m = self.value(parts[0]).rows();
+        let total: usize = parts.iter().map(|&p| self.value(p).cols()).sum();
+        let mut value = Tensor2::zeros(m, total);
+        for i in 0..m {
+            let mut off = 0;
+            for &p in parts {
+                let pv = self.value(p);
+                assert_eq!(pv.rows(), m, "concat_cols row mismatch");
+                let row = pv.row(i);
+                value.row_mut(i)[off..off + row.len()].copy_from_slice(row);
+                off += row.len();
+            }
+        }
+        self.push(Op::ConcatCols { parts: parts.to_vec() }, value)
+    }
+
+    /// Extracts columns `[start, start + len)` of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let av = self.value(a);
+        let (m, n) = av.shape();
+        assert!(start + len <= n, "slice_cols range {start}..{} out of {n}", start + len);
+        let mut value = Tensor2::zeros(m, len);
+        for i in 0..m {
+            value.row_mut(i).copy_from_slice(&av.row(i)[start..start + len]);
+        }
+        self.push(Op::SliceCols { a, start, len }, value)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let value = softmax_rows(self.value(a));
+        self.push(Op::SoftmaxRows { a }, value)
+    }
+
+    /// Per-row dot products between a query and `n_chunks` equal-width
+    /// column chunks: for query `q` of shape `[m, d]` and `chunks` of
+    /// shape `[m, n_chunks * d]`, produces `[m, n_chunks]` with
+    /// `out[i][s] = q[i] . chunks[i][s*d .. (s+1)*d]`.
+    ///
+    /// This is the scoring step of the paper's page-aware offset
+    /// embedding: the page embedding (query) is scored against each
+    /// offset-embedding "expert" (chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent with `n_chunks`.
+    pub fn chunk_dot(&mut self, q: Var, chunks: Var, n_chunks: usize) -> Var {
+        let (m, d) = self.value(q).shape();
+        let cshape = self.value(chunks).shape();
+        assert_eq!(cshape, (m, n_chunks * d), "chunk_dot shape mismatch");
+        let mut value = Tensor2::zeros(m, n_chunks);
+        for i in 0..m {
+            let qrow = self.value(q).row(i);
+            let crow = self.value(chunks).row(i);
+            for s in 0..n_chunks {
+                let chunk = &crow[s * d..(s + 1) * d];
+                value.set(i, s, qrow.iter().zip(chunk).map(|(&x, &y)| x * y).sum());
+            }
+        }
+        self.push(Op::ChunkDot { q, chunks, n_chunks }, value)
+    }
+
+    /// Per-row weighted sum of column chunks: for weights `w` of shape
+    /// `[m, n]` and `chunks` of shape `[m, n * d]`, produces `[m, d]`
+    /// with `out[i] = sum_s w[i][s] * chunks[i][s*d .. (s+1)*d]`.
+    ///
+    /// This is the mixing step of the paper's page-aware offset
+    /// embedding (Eq. 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks.cols` is not a multiple of `w.cols`.
+    pub fn chunk_weighted_sum(&mut self, w: Var, chunks: Var) -> Var {
+        let (m, n) = self.value(w).shape();
+        let (cm, cn) = self.value(chunks).shape();
+        assert_eq!(cm, m, "chunk_weighted_sum row mismatch");
+        assert!(n > 0 && cn % n == 0, "chunk width must divide evenly");
+        let d = cn / n;
+        let mut value = Tensor2::zeros(m, d);
+        for i in 0..m {
+            let wrow = self.value(w).row(i);
+            let crow = self.value(chunks).row(i);
+            let out = value.row_mut(i);
+            for s in 0..n {
+                let ws = wrow[s];
+                for (o, &c) in out.iter_mut().zip(&crow[s * d..(s + 1) * d]) {
+                    *o += ws * c;
+                }
+            }
+        }
+        self.push(Op::ChunkWeightedSum { w, chunks }, value)
+    }
+
+    /// Inverted dropout: each element is zeroed with probability
+    /// `1 - keep_prob` and survivors are scaled by `1 / keep_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < keep_prob <= 1.0`.
+    pub fn dropout<R: Rng>(&mut self, a: Var, keep_prob: f32, rng: &mut R) -> Var {
+        assert!(keep_prob > 0.0 && keep_prob <= 1.0, "keep_prob must be in (0, 1]");
+        let (m, n) = self.value(a).shape();
+        let inv = 1.0 / keep_prob;
+        let mask = Tensor2::from_vec(
+            m,
+            n,
+            (0..m * n).map(|_| if rng.gen::<f32>() < keep_prob { inv } else { 0.0 }).collect(),
+        );
+        self.mul_mask(a, mask)
+    }
+
+    /// Multiplies by a constant (non-differentiated) mask tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul_mask(&mut self, a: Var, mask: Tensor2) -> Var {
+        let value = self.value(a).zip(&mask, |x, y| x * y);
+        self.push(Op::MulMask { a, mask }, value)
+    }
+
+    /// Sum of all elements, as a `[1, 1]` tensor.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Tensor2::scalar(self.value(a).sum());
+        self.push(Op::SumAll { a }, value)
+    }
+
+    /// Mean of all elements, as a `[1, 1]` tensor.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Tensor2::scalar(self.value(a).mean());
+        self.push(Op::MeanAll { a }, value)
+    }
+
+    /// Mean softmax cross-entropy between row logits and integer class
+    /// targets, as a `[1, 1]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != logits.rows` or any target is out of
+    /// range.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = self.value(logits);
+        let (m, n) = lv.shape();
+        assert_eq!(targets.len(), m, "one target per row required");
+        let probs = softmax_rows(lv);
+        let mut loss = 0.0;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < n, "target {t} out of range for {n} classes");
+            loss -= probs.get(i, t).max(1e-12).ln();
+        }
+        loss /= m as f32;
+        self.push(
+            Op::SoftmaxCe { logits, targets: targets.to_vec(), probs },
+            Tensor2::scalar(loss),
+        )
+    }
+
+    /// Mean binary cross-entropy with logits against a same-shaped
+    /// `{0, 1}` target tensor (the multi-label loss of the paper's
+    /// Section 4.4), as a `[1, 1]` tensor.
+    ///
+    /// Uses the numerically stable formulation
+    /// `max(x, 0) - x * t + ln(1 + e^{-|x|})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &Tensor2) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.shape(), targets.shape(), "bce_with_logits shape mismatch");
+        let mut loss = 0.0;
+        for (&x, &t) in lv.as_slice().iter().zip(targets.as_slice()) {
+            loss += x.max(0.0) - x * t + (-x.abs()).exp().ln_1p();
+        }
+        loss /= lv.len().max(1) as f32;
+        self.push(Op::BceLogits { logits, targets: targets.clone() }, Tensor2::scalar(loss))
+    }
+
+    /// Runs reverse-mode differentiation from `output`, seeding its
+    /// gradient with ones. Gradients accumulate into every reachable
+    /// leaf that was created with `requires_grad = true` (and all
+    /// interior nodes, retrievable via [`Tape::grad`]).
+    pub fn backward(&mut self, output: Var) {
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        let seed = {
+            let (m, n) = self.value(output).shape();
+            Tensor2::full(m, n, 1.0)
+        };
+        self.grads[output.0] = Some(seed);
+        for idx in (0..=output.0).rev() {
+            let Some(g) = self.grads[idx].take() else { continue };
+            self.backprop_node(idx, &g);
+            self.grads[idx] = Some(g);
+        }
+        // Drop gradients of non-differentiable leaves so callers cannot
+        // mistake them for parameter gradients.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let Op::Leaf { requires_grad: false } = node.op {
+                self.grads[idx] = None;
+            }
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, delta: Tensor2) {
+        match &mut self.grads[v.0] {
+            Some(existing) => existing.add_scaled(&delta, 1.0),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn backprop_node(&mut self, idx: usize, g: &Tensor2) {
+        // `g` is the gradient of the final output w.r.t. node `idx`.
+        match &self.nodes[idx].op {
+            Op::Leaf { .. } => {}
+            Op::Matmul { a, b } => {
+                let (a, b) = (*a, *b);
+                let da = g.matmul_nt(self.value(b));
+                let db = self.value(a).matmul_tn(g);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::Add { a, b } => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.clone());
+            }
+            Op::AddRow { a, bias } => {
+                let (a, bias) = (*a, *bias);
+                let (m, n) = g.shape();
+                let mut db = Tensor2::zeros(1, n);
+                for i in 0..m {
+                    for (d, &gv) in db.row_mut(0).iter_mut().zip(g.row(i)) {
+                        *d += gv;
+                    }
+                }
+                self.accumulate(a, g.clone());
+                self.accumulate(bias, db);
+            }
+            Op::Sub { a, b } => {
+                let (a, b) = (*a, *b);
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.map(|v| -v));
+            }
+            Op::Mul { a, b } => {
+                let (a, b) = (*a, *b);
+                let da = g.zip(self.value(b), |gv, bv| gv * bv);
+                let db = g.zip(self.value(a), |gv, av| gv * av);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::Scale { a, c } => {
+                let (a, c) = (*a, *c);
+                self.accumulate(a, g.map(|v| v * c));
+            }
+            Op::Sigmoid { a } => {
+                let a = *a;
+                let da = g.zip(&self.nodes[idx].value, |gv, y| gv * y * (1.0 - y));
+                self.accumulate(a, da);
+            }
+            Op::Tanh { a } => {
+                let a = *a;
+                let da = g.zip(&self.nodes[idx].value, |gv, y| gv * (1.0 - y * y));
+                self.accumulate(a, da);
+            }
+            Op::Relu { a } => {
+                let a = *a;
+                let da = g.zip(&self.nodes[idx].value, |gv, y| if y > 0.0 { gv } else { 0.0 });
+                self.accumulate(a, da);
+            }
+            Op::ConcatCols { parts } => {
+                let parts = parts.clone();
+                let m = g.rows();
+                let mut off = 0;
+                for p in parts {
+                    let w = self.value(p).cols();
+                    let mut dp = Tensor2::zeros(m, w);
+                    for i in 0..m {
+                        dp.row_mut(i).copy_from_slice(&g.row(i)[off..off + w]);
+                    }
+                    off += w;
+                    self.accumulate(p, dp);
+                }
+            }
+            Op::SliceCols { a, start, len } => {
+                let (a, start, len) = (*a, *start, *len);
+                let (m, n) = self.value(a).shape();
+                let mut da = Tensor2::zeros(m, n);
+                for i in 0..m {
+                    da.row_mut(i)[start..start + len].copy_from_slice(g.row(i));
+                }
+                self.accumulate(a, da);
+            }
+            Op::SoftmaxRows { a } => {
+                let a = *a;
+                let y = self.nodes[idx].value.clone();
+                let (m, n) = y.shape();
+                let mut da = Tensor2::zeros(m, n);
+                for i in 0..m {
+                    let dotp: f32 = g.row(i).iter().zip(y.row(i)).map(|(&gv, &yv)| gv * yv).sum();
+                    for ((d, &gv), &yv) in da.row_mut(i).iter_mut().zip(g.row(i)).zip(y.row(i)) {
+                        *d = yv * (gv - dotp);
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::ChunkDot { q, chunks, n_chunks } => {
+                let (q, chunks, n) = (*q, *chunks, *n_chunks);
+                let (m, d) = self.value(q).shape();
+                let mut dq = Tensor2::zeros(m, d);
+                let mut dc = Tensor2::zeros(m, n * d);
+                for i in 0..m {
+                    let qrow = self.value(q).row(i).to_vec();
+                    let crow = self.value(chunks).row(i).to_vec();
+                    for s in 0..n {
+                        let gv = g.get(i, s);
+                        let chunk = &crow[s * d..(s + 1) * d];
+                        for (dqv, &cv) in dq.row_mut(i).iter_mut().zip(chunk) {
+                            *dqv += gv * cv;
+                        }
+                        for (dcv, &qv) in
+                            dc.row_mut(i)[s * d..(s + 1) * d].iter_mut().zip(&qrow)
+                        {
+                            *dcv += gv * qv;
+                        }
+                    }
+                }
+                self.accumulate(q, dq);
+                self.accumulate(chunks, dc);
+            }
+            Op::ChunkWeightedSum { w, chunks } => {
+                let (w, chunks) = (*w, *chunks);
+                let (m, n) = self.value(w).shape();
+                let d = self.value(chunks).cols() / n;
+                let mut dw = Tensor2::zeros(m, n);
+                let mut dc = Tensor2::zeros(m, n * d);
+                for i in 0..m {
+                    let wrow = self.value(w).row(i).to_vec();
+                    let crow = self.value(chunks).row(i).to_vec();
+                    let grow = g.row(i);
+                    for s in 0..n {
+                        let chunk = &crow[s * d..(s + 1) * d];
+                        dw.set(i, s, grow.iter().zip(chunk).map(|(&gv, &cv)| gv * cv).sum());
+                        for (dcv, &gv) in dc.row_mut(i)[s * d..(s + 1) * d].iter_mut().zip(grow)
+                        {
+                            *dcv += wrow[s] * gv;
+                        }
+                    }
+                }
+                self.accumulate(w, dw);
+                self.accumulate(chunks, dc);
+            }
+            Op::MulMask { a, mask } => {
+                let a = *a;
+                let da = g.zip(mask, |gv, mv| gv * mv);
+                self.accumulate(a, da);
+            }
+            Op::SumAll { a } => {
+                let a = *a;
+                let (m, n) = self.value(a).shape();
+                let da = Tensor2::full(m, n, g.get(0, 0));
+                self.accumulate(a, da);
+            }
+            Op::MeanAll { a } => {
+                let a = *a;
+                let (m, n) = self.value(a).shape();
+                let da = Tensor2::full(m, n, g.get(0, 0) / (m * n).max(1) as f32);
+                self.accumulate(a, da);
+            }
+            Op::SoftmaxCe { logits, targets, probs } => {
+                let logits = *logits;
+                let m = probs.rows();
+                let scale = g.get(0, 0) / m as f32;
+                let mut da = probs.map(|p| p * scale);
+                for (i, &t) in targets.iter().enumerate() {
+                    let v = da.get(i, t);
+                    da.set(i, t, v - scale);
+                }
+                self.accumulate(logits, da);
+            }
+            Op::BceLogits { logits, targets } => {
+                let logits = *logits;
+                let lv = self.value(logits).clone();
+                let scale = g.get(0, 0) / lv.len().max(1) as f32;
+                let da = lv.zip(targets, |x, t| (sigmoid(x) - t) * scale);
+                self.accumulate(logits, da);
+            }
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn softmax_rows(t: &Tensor2) -> Tensor2 {
+    let (m, n) = t.shape();
+    let mut out = Tensor2::zeros(m, n);
+    for i in 0..m {
+        let row = t.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (o, &v) in out.row_mut(i).iter_mut().zip(row) {
+            *o = (v - max).exp();
+            sum += *o;
+        }
+        for o in out.row_mut(i) {
+            *o /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn matmul_backward_matches_manual() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor2::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]), true);
+        let b = tape.leaf(Tensor2::from_rows(&[&[5.0], &[6.0]]), true);
+        let c = tape.matmul(a, b);
+        let loss = tape.sum_all(c);
+        tape.backward(loss);
+        // dC = ones(2,1); dA = dC @ B^T = [[5,6],[5,6]]; dB = A^T @ dC = [[4],[6]]
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[5.0, 6.0, 5.0, 6.0]);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn add_row_broadcasts_and_backprops() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor2::zeros(3, 2), true);
+        let b = tape.leaf(Tensor2::from_rows(&[&[1.0, 2.0]]), true);
+        let c = tape.add_row(a, b);
+        assert_eq!(tape.value(c).row(2), &[1.0, 2.0]);
+        let loss = tape.sum_all(c);
+        tape.backward(loss);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor2::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]), false);
+        let s = tape.softmax_rows(a);
+        for i in 0..2 {
+            approx(tape.value(s).row(i).iter().sum::<f32>(), 1.0, 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_ce_gradient_is_probs_minus_onehot() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Tensor2::from_rows(&[&[0.0, 0.0]]), true);
+        let loss = tape.softmax_cross_entropy(logits, &[1]);
+        approx(tape.value(loss).get(0, 0), (2.0f32).ln(), 1e-6);
+        tape.backward(loss);
+        let g = tape.grad(logits).unwrap();
+        approx(g.get(0, 0), 0.5, 1e-6);
+        approx(g.get(0, 1), -0.5, 1e-6);
+    }
+
+    #[test]
+    fn bce_with_logits_matches_closed_form() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Tensor2::from_rows(&[&[0.0, 2.0]]), true);
+        let targets = Tensor2::from_rows(&[&[1.0, 0.0]]);
+        let loss = tape.bce_with_logits(logits, &targets);
+        let expect = (((2.0f32).ln()) + (2.0 + (1.0 + (-2.0f32).exp()).ln())) / 2.0;
+        approx(tape.value(loss).get(0, 0), expect, 1e-5);
+        tape.backward(loss);
+        let g = tape.grad(logits).unwrap();
+        approx(g.get(0, 0), (0.5 - 1.0) / 2.0, 1e-6);
+        approx(g.get(0, 1), (sigmoid(2.0) - 0.0) / 2.0, 1e-6);
+    }
+
+    #[test]
+    fn concat_slice_roundtrip() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor2::from_rows(&[&[1.0, 2.0]]), true);
+        let b = tape.leaf(Tensor2::from_rows(&[&[3.0]]), true);
+        let c = tape.concat_cols(&[a, b]);
+        assert_eq!(tape.value(c).as_slice(), &[1.0, 2.0, 3.0]);
+        let s = tape.slice_cols(c, 1, 2);
+        assert_eq!(tape.value(s).as_slice(), &[2.0, 3.0]);
+        let loss = tape.sum_all(s);
+        tape.backward(loss);
+        assert_eq!(tape.grad(a).unwrap().as_slice(), &[0.0, 1.0]);
+        assert_eq!(tape.grad(b).unwrap().as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn chunk_dot_and_weighted_sum_forward() {
+        let mut tape = Tape::new();
+        // q = [1, 0]; chunks = [[1,2],[3,4]] flattened -> dots = [1, 3]
+        let q = tape.leaf(Tensor2::from_rows(&[&[1.0, 0.0]]), false);
+        let chunks = tape.leaf(Tensor2::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]), false);
+        let scores = tape.chunk_dot(q, chunks, 2);
+        assert_eq!(tape.value(scores).as_slice(), &[1.0, 3.0]);
+        let w = tape.leaf(Tensor2::from_rows(&[&[0.25, 0.75]]), false);
+        let mixed = tape.chunk_weighted_sum(w, chunks);
+        assert_eq!(tape.value(mixed).as_slice(), &[0.25 + 2.25, 0.5 + 3.0]);
+    }
+
+    #[test]
+    fn dropout_keep_prob_one_is_identity() {
+        let mut rng = rand::thread_rng();
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor2::from_rows(&[&[1.0, -2.0, 3.0]]), false);
+        let d = tape.dropout(a, 1.0, &mut rng);
+        assert_eq!(tape.value(d).as_slice(), &[1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn non_grad_leaf_has_no_gradient() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor2::scalar(2.0), false);
+        let b = tape.leaf(Tensor2::scalar(3.0), true);
+        let c = tape.mul(a, b);
+        tape.backward(c);
+        assert!(tape.grad(a).is_none());
+        assert_eq!(tape.grad(b).unwrap().get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor2::scalar(3.0), true);
+        let b = tape.mul(a, a); // a^2 -> grad 2a = 6
+        tape.backward(b);
+        approx(tape.grad(a).unwrap().get(0, 0), 6.0, 1e-6);
+    }
+
+    #[test]
+    fn clear_resets_tape() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor2::scalar(1.0), true);
+        let _ = tape.tanh(a);
+        assert_eq!(tape.len(), 2);
+        tape.clear();
+        assert!(tape.is_empty());
+    }
+}

@@ -1,0 +1,452 @@
+//! Dense row-major 2-D `f32` tensor.
+
+use std::fmt;
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// `Tensor2` is the only tensor shape in this workspace: every model
+/// quantity is a `[rows, cols]` matrix (a batch of feature vectors, a
+/// weight matrix, a bias stored as `[1, cols]`, or a scalar stored as
+/// `[1, 1]`).
+///
+/// # Example
+///
+/// ```
+/// use voyager_tensor::Tensor2;
+///
+/// let t = Tensor2::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(t.shape(), (2, 2));
+/// assert_eq!(t.get(1, 0), 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor2 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor2[{}x{}]", self.rows, self.cols)?;
+        if self.rows * self.cols <= 16 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Tensor2 {
+    fn default() -> Self {
+        Tensor2::zeros(0, 0)
+    }
+}
+
+impl Tensor2 {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor2 { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Tensor2 { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a `[1, 1]` scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor2::from_vec(1, 1, vec![value])
+    }
+
+    /// Creates a tensor from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Tensor2 { rows, cols, data }
+    }
+
+    /// Creates a tensor from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Tensor2 { rows: r, cols: c, data }
+    }
+
+    /// Creates a tensor with entries drawn uniformly from `[-scale, scale]`.
+    pub fn uniform<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Tensor2 { rows, cols, data }
+    }
+
+    /// Creates a tensor using Xavier/Glorot uniform initialisation for a
+    /// `rows -> cols` linear map.
+    pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let scale = (6.0 / (rows + cols) as f32).sqrt();
+        Self::uniform(rows, cols, scale, rng)
+    }
+
+    /// Returns `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows a row as a slice.
+    pub fn row(&self, row: usize) -> &[f32] {
+        let start = row * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutably borrows a row as a slice.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        let start = row * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Borrows the underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Matrix multiplication `self [m,k] @ rhs [k,n] -> [m,n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul(&self, rhs: &Tensor2) -> Tensor2 {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor2::zeros(m, n);
+        // i-k-j loop order keeps the inner loop streaming over contiguous
+        // rows of `rhs` and `out`.
+        for i in 0..m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix multiplication with the left operand transposed:
+    /// `self^T [k,m] @ rhs [k,n] -> [m,n]` where `self` is `[k,m]`.
+    pub fn matmul_tn(&self, rhs: &Tensor2) -> Tensor2 {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn shape mismatch: {}x{} (T) @ {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Tensor2::zeros(m, n);
+        for p in 0..k {
+            let lhs_row = &self.data[p * m..(p + 1) * m];
+            let rhs_row = &rhs.data[p * n..(p + 1) * n];
+            for (i, &a) in lhs_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix multiplication with the right operand transposed:
+    /// `self [m,k] @ rhs^T [k,n] -> [m,n]` where `rhs` is `[n,k]`.
+    pub fn matmul_nt(&self, rhs: &Tensor2) -> Tensor2 {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt shape mismatch: {}x{} @ {}x{} (T)",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let mut out = Tensor2::zeros(m, n);
+        for i in 0..m {
+            let lhs_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let rhs_row = &rhs.data[j * k..(j + 1) * k];
+                *o = dot(lhs_row, rhs_row);
+            }
+        }
+        out
+    }
+
+    /// Returns the transposed tensor.
+    pub fn transposed(&self) -> Tensor2 {
+        let mut out = Tensor2::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor2 {
+        Tensor2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise binary zip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip(&self, rhs: &Tensor2, f: impl Fn(f32, f32) -> f32) -> Tensor2 {
+        assert_eq!(self.shape(), rhs.shape(), "zip shape mismatch");
+        Tensor2 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// In-place `self += scale * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, rhs: &Tensor2, scale: f32) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Index of the maximum element in `row` (ties broken toward the
+    /// lowest index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row is out of bounds or the tensor has zero columns.
+    pub fn argmax_row(&self, row: usize) -> usize {
+        let r = self.row(row);
+        assert!(!r.is_empty(), "argmax of empty row");
+        let mut best = 0;
+        for (i, &v) in r.iter().enumerate() {
+            if v > r[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Indices of the `k` largest elements of `row`, in descending order
+    /// of value.
+    pub fn topk_row(&self, row: usize, k: usize) -> Vec<usize> {
+        let r = self.row(row);
+        let mut idx: Vec<usize> = (0..r.len()).collect();
+        idx.sort_by(|&a, &b| r[b].partial_cmp(&r[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(k);
+        idx
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_shape() {
+        let z = Tensor2::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert_eq!(z.len(), 6);
+        assert!(!z.is_empty());
+        assert!(Tensor2::zeros(0, 0).is_empty());
+        assert_eq!(Tensor2::full(1, 2, 7.0).as_slice(), &[7.0, 7.0]);
+        assert_eq!(Tensor2::scalar(3.0).get(0, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_rejects_bad_shape() {
+        let _ = Tensor2::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor2::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor2::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_variants_agree_with_explicit_transpose() {
+        let mut rng = rand::thread_rng();
+        let a = Tensor2::uniform(3, 4, 1.0, &mut rng);
+        let b = Tensor2::uniform(3, 5, 1.0, &mut rng);
+        let tn = a.matmul_tn(&b);
+        let explicit = a.transposed().matmul(&b);
+        for (x, y) in tn.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+
+        let c = Tensor2::uniform(4, 6, 1.0, &mut rng);
+        let d = Tensor2::uniform(2, 6, 1.0, &mut rng);
+        let nt = c.matmul_nt(&d);
+        let explicit = c.matmul(&d.transposed());
+        for (x, y) in nt.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_mismatch() {
+        let a = Tensor2::zeros(2, 3);
+        let b = Tensor2::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor2::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(t.sum(), 6.0);
+        assert_eq!(t.mean(), 1.5);
+        assert_eq!(t.sq_norm(), 1.0 + 4.0 + 9.0 + 16.0);
+    }
+
+    #[test]
+    fn argmax_and_topk() {
+        let t = Tensor2::from_rows(&[&[0.1, 0.9, 0.5, 0.9]]);
+        assert_eq!(t.argmax_row(0), 1);
+        assert_eq!(t.topk_row(0, 3), vec![1, 3, 2]);
+        assert_eq!(t.topk_row(0, 10).len(), 4);
+    }
+
+    #[test]
+    fn map_zip_add_scaled() {
+        let a = Tensor2::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor2::from_rows(&[&[3.0, 4.0]]);
+        assert_eq!(a.map(|v| v * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!(a.zip(&b, |x, y| x + y).as_slice(), &[4.0, 6.0]);
+        let mut c = a.clone();
+        c.add_scaled(&b, 0.5);
+        assert_eq!(c.as_slice(), &[2.5, 4.0]);
+    }
+
+    #[test]
+    fn debug_never_empty() {
+        assert!(!format!("{:?}", Tensor2::zeros(0, 0)).is_empty());
+        assert!(format!("{:?}", Tensor2::scalar(1.0)).contains("1.0"));
+    }
+}

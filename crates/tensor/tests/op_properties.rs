@@ -1,0 +1,135 @@
+//! Property-based tests of tensor-algebra identities and autograd
+//! invariants.
+
+use proptest::prelude::*;
+
+use voyager_tensor::{Tape, Tensor2};
+
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor2> {
+    prop::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |data| Tensor2::from_vec(rows, cols, data))
+}
+
+fn close(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_an_involution(t in arb_tensor(3, 5)) {
+        prop_assert_eq!(t.transposed().transposed(), t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_tensor(2, 3),
+        b in arb_tensor(3, 2),
+        c in arb_tensor(3, 2),
+    ) {
+        // a(b + c) == ab + ac
+        let bc = b.zip(&c, |x, y| x + y);
+        let left = a.matmul(&bc);
+        let right = {
+            let mut ab = a.matmul(&b);
+            ab.add_scaled(&a.matmul(&c), 1.0);
+            ab
+        };
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!(close(*l, *r), "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in arb_tensor(2, 4), b in arb_tensor(4, 3)) {
+        // (AB)^T == B^T A^T
+        let left = a.matmul(&b).transposed();
+        let right = b.transposed().matmul(&a.transposed());
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!(close(*l, *r));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in arb_tensor(3, 6)) {
+        let mut tape = Tape::new();
+        let v = tape.leaf(t, false);
+        let s = tape.softmax_rows(v);
+        let out = tape.value(s);
+        for r in 0..3 {
+            let sum: f32 = out.row(r).iter().sum();
+            prop_assert!(close(sum, 1.0));
+            prop_assert!(out.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(t in arb_tensor(1, 5), shift in -3.0f32..3.0) {
+        let mut tape = Tape::new();
+        let v1 = tape.leaf(t.clone(), false);
+        let s1 = tape.softmax_rows(v1);
+        let shifted = t.map(|x| x + shift);
+        let v2 = tape.leaf(shifted, false);
+        let s2 = tape.softmax_rows(v2);
+        for (a, b) in tape.value(s1).as_slice().iter().zip(tape.value(s2).as_slice()) {
+            prop_assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn topk_is_sorted_and_consistent_with_argmax(t in arb_tensor(1, 8), k in 1usize..8) {
+        let top = t.topk_row(0, k);
+        prop_assert_eq!(top.len(), k.min(8));
+        prop_assert_eq!(top[0], t.argmax_row(0));
+        for w in top.windows(2) {
+            prop_assert!(t.get(0, w[0]) >= t.get(0, w[1]));
+        }
+    }
+
+    #[test]
+    fn backward_of_sum_is_ones(t in arb_tensor(3, 4)) {
+        let mut tape = Tape::new();
+        let v = tape.leaf(t, true);
+        let s = tape.sum_all(v);
+        tape.backward(s);
+        for &g in tape.grad(v).unwrap().as_slice() {
+            prop_assert!(close(g, 1.0));
+        }
+    }
+
+    #[test]
+    fn linearity_of_gradients(t in arb_tensor(2, 3), c in 0.1f32..4.0) {
+        // d(c * sum(x)) / dx == c
+        let mut tape = Tape::new();
+        let v = tape.leaf(t, true);
+        let s = tape.sum_all(v);
+        let scaled = tape.scale(s, c);
+        tape.backward(scaled);
+        for &g in tape.grad(v).unwrap().as_slice() {
+            prop_assert!(close(g, c));
+        }
+    }
+
+    #[test]
+    fn bce_loss_is_nonnegative_and_zero_free(t in arb_tensor(2, 4)) {
+        let mut tape = Tape::new();
+        let v = tape.leaf(t.clone(), false);
+        let targets = t.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+        let loss = tape.bce_with_logits(v, &targets);
+        prop_assert!(tape.value(loss).get(0, 0) >= 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_bounded_below_by_log_of_uniform(t in arb_tensor(3, 4)) {
+        // CE >= 0 always; for a uniform predictor it equals ln(4).
+        let mut tape = Tape::new();
+        let v = tape.leaf(t, false);
+        let loss = tape.softmax_cross_entropy(v, &[0, 1, 2]);
+        prop_assert!(tape.value(loss).get(0, 0) >= 0.0);
+        let mut tape = Tape::new();
+        let u = tape.leaf(Tensor2::zeros(3, 4), false);
+        let loss = tape.softmax_cross_entropy(u, &[0, 1, 2]);
+        prop_assert!(close(tape.value(loss).get(0, 0), (4.0f32).ln()));
+    }
+}

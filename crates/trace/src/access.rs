@@ -1,0 +1,252 @@
+//! The memory-access record and trace container.
+
+use std::fmt;
+
+/// Bytes per cache line (64, as in the paper's ChampSim configuration).
+pub const LINE_BYTES: u64 = 64;
+
+/// Bytes per page (4 KiB).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Cache-line offsets per page (`PAGE_BYTES / LINE_BYTES` = 64).
+///
+/// This is the fixed size of Voyager's offset vocabulary (Section 4.2 of
+/// the paper: "the number of unique offsets is fixed at 64").
+pub const OFFSETS_PER_PAGE: usize = (PAGE_BYTES / LINE_BYTES) as usize;
+
+/// Cache-line number of a byte address.
+pub fn line_of(addr: u64) -> u64 {
+    addr / LINE_BYTES
+}
+
+/// Page number of a byte address.
+pub fn page_of(addr: u64) -> u64 {
+    addr / PAGE_BYTES
+}
+
+/// Cache-line offset within the page of a byte address (0..64).
+pub fn offset_of(addr: u64) -> usize {
+    ((addr % PAGE_BYTES) / LINE_BYTES) as usize
+}
+
+/// One load in a memory-access trace.
+///
+/// `bubble` is the number of non-memory instructions retired between the
+/// previous load and this one; the simulator uses it to reconstruct an
+/// instruction stream for IPC accounting (the Google traces in the paper
+/// have `bubble` information stripped, which is why `search`/`ads` are
+/// only evaluated with the unified accuracy/coverage metric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryAccess {
+    /// Program counter of the load instruction.
+    pub pc: u64,
+    /// Virtual byte address being loaded.
+    pub addr: u64,
+    /// Non-memory instructions preceding this load.
+    pub bubble: u8,
+}
+
+impl MemoryAccess {
+    /// Creates an access with the given PC and address and a default
+    /// bubble of 3 instructions.
+    pub fn new(pc: u64, addr: u64) -> Self {
+        MemoryAccess { pc, addr, bubble: 3 }
+    }
+
+    /// Cache-line number of the address.
+    pub fn line(&self) -> u64 {
+        line_of(self.addr)
+    }
+
+    /// Page number of the address.
+    pub fn page(&self) -> u64 {
+        page_of(self.addr)
+    }
+
+    /// Cache-line offset within the page (0..64).
+    pub fn offset(&self) -> usize {
+        offset_of(self.addr)
+    }
+}
+
+/// A named sequence of memory accesses.
+///
+/// # Example
+///
+/// ```
+/// use voyager_trace::{MemoryAccess, Trace};
+///
+/// let trace: Trace = vec![MemoryAccess::new(0x400000, 0x10000)]
+///     .into_iter()
+///     .collect();
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace[0].page(), 0x10);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    name: String,
+    accesses: Vec<MemoryAccess>,
+}
+
+impl Trace {
+    /// Creates an empty trace with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace { name: name.into(), accesses: Vec::new() }
+    }
+
+    /// Creates a trace from parts.
+    pub fn from_accesses(name: impl Into<String>, accesses: Vec<MemoryAccess>) -> Self {
+        Trace { name: name.into(), accesses }
+    }
+
+    /// The trace's name (usually the benchmark name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Returns `true` if the trace has no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Appends an access.
+    pub fn push(&mut self, access: MemoryAccess) {
+        self.accesses.push(access);
+    }
+
+    /// Borrows the accesses as a slice.
+    pub fn as_slice(&self) -> &[MemoryAccess] {
+        &self.accesses
+    }
+
+    /// Iterates over the accesses.
+    pub fn iter(&self) -> std::slice::Iter<'_, MemoryAccess> {
+        self.accesses.iter()
+    }
+
+    /// Truncates the trace to at most `len` accesses.
+    pub fn truncate(&mut self, len: usize) {
+        self.accesses.truncate(len);
+    }
+
+    /// Total instruction count implied by the trace (loads plus
+    /// bubbles), used for IPC accounting.
+    pub fn instruction_count(&self) -> u64 {
+        self.accesses.iter().map(|a| 1 + a.bubble as u64).sum()
+    }
+}
+
+impl std::ops::Index<usize> for Trace {
+    type Output = MemoryAccess;
+
+    fn index(&self, idx: usize) -> &MemoryAccess {
+        &self.accesses[idx]
+    }
+}
+
+impl FromIterator<MemoryAccess> for Trace {
+    fn from_iter<I: IntoIterator<Item = MemoryAccess>>(iter: I) -> Self {
+        Trace { name: String::from("anonymous"), accesses: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<MemoryAccess> for Trace {
+    fn extend<I: IntoIterator<Item = MemoryAccess>>(&mut self, iter: I) {
+        self.accesses.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a MemoryAccess;
+    type IntoIter = std::slice::Iter<'a, MemoryAccess>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = MemoryAccess;
+    type IntoIter = std::vec::IntoIter<MemoryAccess>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.into_iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} accesses)", self.name, self.accesses.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_decomposition() {
+        // Address 0x12345: page 0x12, line offset within page:
+        // (0x345 / 64) = 13.
+        let a = MemoryAccess::new(0x400000, 0x12345);
+        assert_eq!(a.page(), 0x12);
+        assert_eq!(a.offset(), 13);
+        assert_eq!(a.line(), 0x12345 / 64);
+    }
+
+    #[test]
+    fn offsets_per_page_is_64() {
+        assert_eq!(OFFSETS_PER_PAGE, 64);
+        // Every representable offset is < 64.
+        for addr in (0..PAGE_BYTES).step_by(LINE_BYTES as usize) {
+            assert!(offset_of(addr) < OFFSETS_PER_PAGE);
+        }
+    }
+
+    #[test]
+    fn page_and_offset_reconstruct_line() {
+        let addr = 0xdeadbeef_u64;
+        let line = line_of(addr);
+        let reconstructed = page_of(addr) * OFFSETS_PER_PAGE as u64 + offset_of(addr) as u64;
+        assert_eq!(line, reconstructed);
+    }
+
+    #[test]
+    fn trace_collect_and_iterate() {
+        let trace: Trace =
+            (0..5).map(|i| MemoryAccess::new(0x400000 + i, 0x1000 * i)).collect();
+        assert_eq!(trace.len(), 5);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.iter().count(), 5);
+        assert_eq!((&trace).into_iter().count(), 5);
+        assert_eq!(trace[2].addr, 0x2000);
+    }
+
+    #[test]
+    fn instruction_count_includes_bubbles() {
+        let mut trace = Trace::new("t");
+        trace.push(MemoryAccess { pc: 1, addr: 0, bubble: 4 });
+        trace.push(MemoryAccess { pc: 2, addr: 64, bubble: 0 });
+        assert_eq!(trace.instruction_count(), 5 + 1);
+    }
+
+    #[test]
+    fn extend_and_truncate() {
+        let mut trace = Trace::new("t");
+        trace.extend((0..10).map(|i| MemoryAccess::new(1, i * 64)));
+        trace.truncate(3);
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn display_contains_name_and_len() {
+        let trace = Trace::from_accesses("bfs", vec![MemoryAccess::new(1, 2)]);
+        let s = trace.to_string();
+        assert!(s.contains("bfs") && s.contains('1'));
+    }
+}

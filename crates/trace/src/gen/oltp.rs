@@ -1,0 +1,152 @@
+//! Google `search`/`ads`-like OLTP request-processing generators.
+//!
+//! The paper's search/ads traces come from production servers and are
+//! proprietary; these generators reproduce their published structural
+//! properties (Table 2: thousands to tens of thousands of PCs, ~1M
+//! unique addresses, tens of thousands of pages) with the request
+//! anatomy of an online serving system: hash-bucket pointer chasing over
+//! Zipf-popular keys, posting-list streaming bursts, scoring scatter
+//! loads, and short-lived per-request allocation. Like the paper's
+//! traces, they carry no timing, so only the unified accuracy/coverage
+//! metric applies.
+
+use rand::Rng;
+
+use super::util::{code, mix64, region, TraceBuilder, Zipf};
+use super::GeneratorConfig;
+use crate::Trace;
+
+struct OltpShape {
+    name: &'static str,
+    /// Number of basic blocks per pipeline stage pool (controls unique
+    /// PC count; ads has ~3x the code footprint of search).
+    stage_blocks: u64,
+    /// Number of distinct terms/keys.
+    keys: usize,
+    /// Documents per posting-list streaming burst.
+    burst: u64,
+    /// Size of the per-request feature tables (ads only).
+    feature_tables: u64,
+}
+
+fn run(shape: &OltpShape, cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+    let mut b = TraceBuilder::new(shape.name, cfg.accesses);
+    let index_buckets = region(40); // hash table buckets
+    let index_entries = region(41); // chained entries
+    let postings = region(42); // posting lists
+    let docs = region(43); // document metadata
+    let arena = region(44); // per-request scratch allocations
+    let features = region(45); // feature-hash tables (ads)
+    let zipf = Zipf::new(shape.keys, 0.9);
+    let mut request = 0u64;
+    while !b.done() {
+        request += 1;
+        let n_terms = rng.gen_range(2..=5);
+        // Per-request arena allocations: fresh lines from a recycled pool
+        // (short-lived, mostly-compulsory within the trace window).
+        let arena_base = arena + (request % 50_000) * 512;
+        for i in 0..4u64 {
+            b.load(pooled(shape, 0, i % 4, request + i), arena_base + i * 64, 1);
+        }
+        for t in 0..n_terms {
+            let key = zipf.sample(rng) as u64;
+            // Stage 1: bucket lookup + chain walk (1-3 pointer hops).
+            let bucket = mix64(key) % 65_536;
+            b.load(pooled(shape, 1, 0, key), index_buckets + bucket * 64, 2);
+            let hops = 1 + (mix64(key * 3) % 3);
+            for h in 0..hops {
+                let entry = mix64(key * 7 + h) % 262_144;
+                b.load(pooled(shape, 1, 1 + h % 3, key + h), index_entries + entry * 64, 2);
+            }
+            // Stage 2: posting-list streaming burst (short sequential
+            // runs; delta-compressed postings keep them modest).
+            let list_base = postings + (mix64(key) % 32_768) * 4096;
+            let burst = 3 + mix64(key * 11) % shape.burst;
+            for i in 0..burst {
+                b.load(pooled(shape, 2, i % 4, key % 127), list_base + i * 64, 1);
+            }
+            // Stage 3: doc scoring scatter loads.
+            for i in 0..6u64 {
+                let doc = mix64(key * 131 + i * 29 + request % 16) % 500_000;
+                b.load(pooled(shape, 3, i % 4, key * 5 + i), docs + doc * 64, 3);
+            }
+            let _ = t;
+        }
+        // Ads only: feature-hash lookups over wide tables.
+        for table in 0..shape.feature_tables {
+            let slot = mix64(request * 17 + table * 257) % 200_000;
+            b.load(pooled(shape, 4, table % 4, table * 101), features + table * 0x100_0000 + slot * 64, 2);
+        }
+    }
+    b.finish()
+}
+
+fn pooled(shape: &OltpShape, stage: u64, slot: u64, salt: u64) -> u64 {
+    code(200 + stage * shape.stage_blocks + mix64(salt * 2654435761) % shape.stage_blocks, slot)
+}
+
+/// Google `search`-like trace (~6.7K PCs in Table 2).
+pub fn search(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+    run(
+        &OltpShape {
+            name: "search",
+            stage_blocks: 280,
+            keys: 50_000,
+            burst: 12,
+            feature_tables: 0,
+        },
+        cfg,
+        rng,
+    )
+}
+
+/// Google `ads`-like trace (~21K PCs in Table 2).
+pub fn ads(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+    run(
+        &OltpShape {
+            name: "ads",
+            stage_blocks: 900,
+            keys: 120_000,
+            burst: 8,
+            feature_tables: 12,
+        },
+        cfg,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TraceStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ads_has_more_pcs_and_pages_than_search() {
+        let cfg = GeneratorConfig::medium();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = TraceStats::of(&search(&cfg, &mut rng));
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = TraceStats::of(&ads(&cfg, &mut rng));
+        assert!(a.unique_pcs > s.unique_pcs, "ads {a:?} vs search {s:?}");
+    }
+
+    #[test]
+    fn search_mixes_streaming_and_pointer_chasing() {
+        let cfg = GeneratorConfig::small();
+        let trace = search(&cfg, &mut StdRng::seed_from_u64(2));
+        let mut sequential = 0usize;
+        let mut far = 0usize;
+        for w in trace.as_slice().windows(2) {
+            let d = w[1].line() as i64 - w[0].line() as i64;
+            if d == 1 {
+                sequential += 1;
+            } else if d.unsigned_abs() > 1_000 {
+                far += 1;
+            }
+        }
+        assert!(sequential > trace.len() / 20, "missing streaming bursts");
+        assert!(far > trace.len() / 10, "missing irregular jumps");
+    }
+}

@@ -1,0 +1,298 @@
+//! The five labeling/localization schemes of Section 4.4.
+//!
+//! Data prefetching has no ground-truth label: after access `A`, *any*
+//! future address is a candidate. The paper trains Voyager with a set of
+//! candidate labels per access — the next access in the global stream,
+//! the next by the same PC, the next by the current basic block, the
+//! next within a spatial neighbourhood, and the most co-occurring
+//! address in a small future window — and lets the model pick whichever
+//! is most predictable.
+
+use std::collections::HashMap;
+
+use crate::Trace;
+
+/// How far ahead the spatial scheme searches for a nearby address.
+const SPATIAL_HORIZON: usize = 64;
+
+/// Spatial neighbourhood in cache lines (the paper uses 256, following
+/// the Best-Offset prefetcher's region size).
+pub const SPATIAL_RANGE_LINES: u64 = 256;
+
+/// Future window examined by the co-occurrence scheme (the paper uses
+/// 10 accesses).
+pub const CO_OCCURRENCE_WINDOW: usize = 10;
+
+/// A labeling scheme assigning each access one future access as its
+/// training label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LabelScheme {
+    /// Next access in the global stream (STMS-style).
+    Global,
+    /// Next access by the same PC (ISB-style PC localization).
+    Pc,
+    /// Next access by any PC in the same basic block.
+    BasicBlock,
+    /// Next access within ±[`SPATIAL_RANGE_LINES`] cache lines.
+    Spatial,
+    /// Most frequent address in the next [`CO_OCCURRENCE_WINDOW`]
+    /// accesses.
+    CoOccurrence,
+}
+
+impl LabelScheme {
+    /// All five schemes in the paper's order.
+    pub fn all() -> [LabelScheme; 5] {
+        [
+            LabelScheme::Global,
+            LabelScheme::Pc,
+            LabelScheme::BasicBlock,
+            LabelScheme::Spatial,
+            LabelScheme::CoOccurrence,
+        ]
+    }
+
+    /// Scheme name as used in Fig. 15.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LabelScheme::Global => "global",
+            LabelScheme::Pc => "pc",
+            LabelScheme::BasicBlock => "basic-block",
+            LabelScheme::Spatial => "spatial",
+            LabelScheme::CoOccurrence => "co-occurrence",
+        }
+    }
+}
+
+impl std::fmt::Display for LabelScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The candidate labels of one access: for each scheme, the index of the
+/// future access chosen as that scheme's label (if any).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelSet {
+    /// Next access in the global stream.
+    pub global: Option<u32>,
+    /// Next access by the same PC.
+    pub pc: Option<u32>,
+    /// Next access by the same basic block.
+    pub basic_block: Option<u32>,
+    /// Next spatially close access.
+    pub spatial: Option<u32>,
+    /// Most co-occurring future address.
+    pub co_occurrence: Option<u32>,
+}
+
+impl LabelSet {
+    /// Returns the label for a given scheme.
+    pub fn get(&self, scheme: LabelScheme) -> Option<u32> {
+        match scheme {
+            LabelScheme::Global => self.global,
+            LabelScheme::Pc => self.pc,
+            LabelScheme::BasicBlock => self.basic_block,
+            LabelScheme::Spatial => self.spatial,
+            LabelScheme::CoOccurrence => self.co_occurrence,
+        }
+    }
+
+    /// Iterates over the distinct trace indices across all schemes.
+    pub fn candidates(&self) -> impl Iterator<Item = u32> {
+        let mut v = [self.global, self.pc, self.basic_block, self.spatial, self.co_occurrence]
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>();
+        v.sort_unstable();
+        v.dedup();
+        v.into_iter()
+    }
+}
+
+/// Basic-block id of a PC. Generators lay load sites of one loop body
+/// within a 64-byte code block, so the high PC bits identify the block —
+/// the same granularity a real frontend would get from branch targets.
+pub fn basic_block_of(pc: u64) -> u64 {
+    pc >> 6
+}
+
+/// Computes the full [`LabelSet`] for every access of a trace.
+///
+/// Runs in `O(n * (SPATIAL_HORIZON + CO_OCCURRENCE_WINDOW))`.
+///
+/// # Example
+///
+/// ```
+/// use voyager_trace::{MemoryAccess, Trace};
+/// use voyager_trace::labels::compute_labels;
+///
+/// let trace = Trace::from_accesses(
+///     "t",
+///     vec![MemoryAccess::new(1, 0), MemoryAccess::new(2, 64), MemoryAccess::new(1, 128)],
+/// );
+/// let labels = compute_labels(&trace);
+/// assert_eq!(labels[0].global, Some(1));
+/// assert_eq!(labels[0].pc, Some(2)); // next access by PC 1
+/// ```
+pub fn compute_labels(trace: &Trace) -> Vec<LabelSet> {
+    let n = trace.len();
+    let mut labels = vec![LabelSet::default(); n];
+
+    // Global: trivially the next access.
+    for (i, l) in labels.iter_mut().enumerate().take(n.saturating_sub(1)) {
+        l.global = Some(i as u32 + 1);
+    }
+
+    // PC and basic-block localization: reverse scan with "next index by
+    // key" maps.
+    let mut next_by_pc: HashMap<u64, u32> = HashMap::new();
+    let mut next_by_bb: HashMap<u64, u32> = HashMap::new();
+    for i in (0..n).rev() {
+        let a = &trace[i];
+        labels[i].pc = next_by_pc.get(&a.pc).copied();
+        labels[i].basic_block = next_by_bb.get(&basic_block_of(a.pc)).copied();
+        next_by_pc.insert(a.pc, i as u32);
+        next_by_bb.insert(basic_block_of(a.pc), i as u32);
+    }
+
+    // Spatial: bounded forward scan. A recurrence of the *same* line is
+    // excluded — prefetching the line that just arrived is useless.
+    for i in 0..n {
+        let line = trace[i].line();
+        for j in i + 1..(i + 1 + SPATIAL_HORIZON).min(n) {
+            let other = trace[j].line();
+            if other != line && other.abs_diff(line) <= SPATIAL_RANGE_LINES {
+                labels[i].spatial = Some(j as u32);
+                break;
+            }
+        }
+    }
+
+    // Co-occurrence: most frequent line in the next 10 accesses (the
+    // current line excluded, as above), label pointing at its first
+    // occurrence.
+    for i in 0..n {
+        let end = (i + 1 + CO_OCCURRENCE_WINDOW).min(n);
+        if i + 1 >= end {
+            continue;
+        }
+        let mut counts: HashMap<u64, (u32, u32)> = HashMap::new(); // line -> (count, first idx)
+        for j in i + 1..end {
+            if trace[j].line() == trace[i].line() {
+                continue;
+            }
+            let e = counts.entry(trace[j].line()).or_insert((0, j as u32));
+            e.0 += 1;
+        }
+        labels[i].co_occurrence = counts
+            .values()
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+            .map(|&(_, first)| first);
+    }
+
+    labels
+}
+
+/// Convenience: labels for a single scheme.
+pub fn labels_for_scheme(trace: &Trace, scheme: LabelScheme) -> Vec<Option<u32>> {
+    compute_labels(trace).iter().map(|l| l.get(scheme)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryAccess;
+
+    fn t(entries: &[(u64, u64)]) -> Trace {
+        Trace::from_accesses(
+            "t",
+            entries.iter().map(|&(pc, addr)| MemoryAccess::new(pc, addr)).collect(),
+        )
+    }
+
+    #[test]
+    fn global_is_next_index() {
+        let trace = t(&[(1, 0), (2, 64), (3, 128)]);
+        let l = compute_labels(&trace);
+        assert_eq!(l[0].global, Some(1));
+        assert_eq!(l[1].global, Some(2));
+        assert_eq!(l[2].global, None);
+    }
+
+    #[test]
+    fn pc_localization_skips_other_pcs() {
+        // PC 7 accesses at indices 0 and 3.
+        let trace = t(&[(7, 0), (8, 64), (9, 128), (7, 192)]);
+        let l = compute_labels(&trace);
+        assert_eq!(l[0].pc, Some(3));
+        assert_eq!(l[3].pc, None);
+    }
+
+    #[test]
+    fn basic_block_groups_nearby_pcs() {
+        // PCs 0x400000 and 0x400008 share a 64-byte block.
+        let trace = t(&[(0x40_0000, 0), (0x40_1000, 64), (0x40_0008, 128)]);
+        let l = compute_labels(&trace);
+        assert_eq!(l[0].basic_block, Some(2));
+        assert_eq!(l[0].pc, None);
+    }
+
+    #[test]
+    fn spatial_finds_nearby_line_within_horizon() {
+        // Access 0 at line 0; access 1 is 10_000 lines away; access 2 is
+        // 100 lines away -> spatial label = 2.
+        let trace = t(&[(1, 0), (2, 10_000 * 64), (3, 100 * 64)]);
+        let l = compute_labels(&trace);
+        assert_eq!(l[0].spatial, Some(2));
+    }
+
+    #[test]
+    fn spatial_range_is_inclusive_256() {
+        let trace = t(&[(1, 0), (2, 256 * 64), (3, 64)]);
+        let l = compute_labels(&trace);
+        assert_eq!(l[0].spatial, Some(1), "256 lines away is within range");
+        let trace = t(&[(1, 0), (2, 257 * 64), (3, 64)]);
+        let l = compute_labels(&trace);
+        assert_eq!(l[0].spatial, Some(2), "257 lines away is out of range");
+    }
+
+    #[test]
+    fn co_occurrence_picks_most_frequent_future_line() {
+        // After index 0, line 5 appears three times, others once.
+        let trace = t(&[
+            (1, 0),
+            (2, 5 * 64),
+            (3, 9 * 64),
+            (4, 5 * 64),
+            (5, 7 * 64),
+            (6, 5 * 64),
+        ]);
+        let l = compute_labels(&trace);
+        assert_eq!(l[0].co_occurrence, Some(1), "first occurrence of the dominant line");
+    }
+
+    #[test]
+    fn candidates_deduplicate() {
+        let trace = t(&[(1, 0), (1, 64)]);
+        let l = compute_labels(&trace);
+        // global, pc, bb, spatial, cooc all point at index 1.
+        let c: Vec<u32> = l[0].candidates().collect();
+        assert_eq!(c, vec![1]);
+    }
+
+    #[test]
+    fn single_scheme_helper_matches_full_labels() {
+        let trace = t(&[(1, 0), (2, 64), (1, 128)]);
+        let full = compute_labels(&trace);
+        let pc_only = labels_for_scheme(&trace, LabelScheme::Pc);
+        for (a, b) in full.iter().zip(&pc_only) {
+            assert_eq!(a.pc, *b);
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_no_labels() {
+        assert!(compute_labels(&Trace::new("e")).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Memory-access traces for the Voyager prefetcher reproduction.
+//!
+//! The paper evaluates on SimPoint traces of irregular SPEC 2006 and GAP
+//! benchmarks plus proprietary Google `search`/`ads` server traces. None
+//! of those inputs can ship with this repository, so this crate provides
+//! *workload generators* that execute the same data-structure walks the
+//! benchmarks' hot loops perform and emit the resulting load-address
+//! stream (see `DESIGN.md`, substitution 1 and 2):
+//!
+//! * [`gen::Benchmark`] — the 11 workloads of Table 2 (`astar`, `bfs`,
+//!   `cc`, `mcf`, `omnetpp`, `pr`, `soplex`, `sphinx`, `xalancbmk`,
+//!   `search`, `ads`). The GAP kernels (`bfs`/`cc`/`pr`) genuinely run on
+//!   a generated CSR graph; the SPEC-like generators reproduce the
+//!   pointer-chasing / heap / simplex / tree patterns described in the
+//!   paper (Figures 13, 14 and 16).
+//! * [`stats::TraceStats`] — the per-benchmark counts of Table 2.
+//! * [`labels`] — the five labeling schemes of Section 4.4 (global, PC,
+//!   basic block, spatial, co-occurrence) used for multi-label training.
+//! * [`vocab`] — the hierarchical page/offset vocabulary with delta
+//!   tokens for infrequent addresses (Section 4.3).
+//! * [`simpoint`] — SimPoint-style phase sampling (the paper's trace
+//!   selection methodology) and [`serialize`] — a binary on-disk trace
+//!   format.
+//!
+//! # Example
+//!
+//! ```
+//! use voyager_trace::gen::{Benchmark, GeneratorConfig};
+//! use voyager_trace::stats::TraceStats;
+//!
+//! let trace = Benchmark::Bfs.generate(&GeneratorConfig::small());
+//! assert!(!trace.is_empty());
+//! let stats = TraceStats::of(&trace);
+//! assert!(stats.unique_pages > 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+
+pub mod gen;
+pub mod labels;
+pub mod serialize;
+pub mod simpoint;
+pub mod stats;
+pub mod vocab;
+
+pub use access::{
+    line_of, offset_of, page_of, MemoryAccess, Trace, LINE_BYTES, OFFSETS_PER_PAGE, PAGE_BYTES,
+};

@@ -1,0 +1,249 @@
+//! SimPoint-style phase analysis (Hamerly et al., the methodology the
+//! paper uses to pick representative 250M-instruction regions).
+//!
+//! A trace is split into fixed-length intervals, each summarised by its
+//! *basic-block vector* (the distribution of accesses over basic
+//! blocks). Intervals are clustered with k-means; the interval closest
+//! to each centroid becomes a SimPoint, weighted by its cluster's share
+//! of the trace. Replaying only the SimPoints approximates whole-trace
+//! behaviour at a fraction of the cost.
+
+use std::collections::HashMap;
+
+use crate::labels::basic_block_of;
+use crate::Trace;
+
+/// A representative interval chosen by [`simpoints`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimPoint {
+    /// First access index of the interval.
+    pub start: usize,
+    /// Interval length in accesses (the last interval may be shorter).
+    pub len: usize,
+    /// Fraction of all intervals represented by this SimPoint's
+    /// cluster (weights sum to 1).
+    pub weight: f64,
+}
+
+/// Computes up to `k` SimPoints over intervals of `interval_len`
+/// accesses.
+///
+/// Deterministic: k-means uses farthest-point initialisation seeded by
+/// the first interval.
+///
+/// # Panics
+///
+/// Panics if `interval_len == 0` or `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use voyager_trace::gen::{Benchmark, GeneratorConfig};
+/// use voyager_trace::simpoint::simpoints;
+///
+/// let trace = Benchmark::Mcf.generate(&GeneratorConfig::small());
+/// let points = simpoints(&trace, 1_000, 3);
+/// assert!(!points.is_empty() && points.len() <= 3);
+/// let total: f64 = points.iter().map(|p| p.weight).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+pub fn simpoints(trace: &Trace, interval_len: usize, k: usize) -> Vec<SimPoint> {
+    assert!(interval_len > 0, "interval length must be positive");
+    assert!(k > 0, "need at least one cluster");
+    let vectors = basic_block_vectors(trace, interval_len);
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    let k = k.min(vectors.len());
+    let assignment = kmeans(&vectors, k);
+    // Representative = interval closest to its cluster centroid.
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        clusters[c].push(i);
+    }
+    let centroids = centroids_of(&vectors, &assignment, k);
+    let n_intervals = vectors.len();
+    let mut points = Vec::new();
+    for (c, members) in clusters.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let rep = *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                distance(&vectors[a], &centroids[c])
+                    .total_cmp(&distance(&vectors[b], &centroids[c]))
+            })
+            .expect("non-empty cluster");
+        let start = rep * interval_len;
+        let len = interval_len.min(trace.len() - start);
+        points.push(SimPoint { start, len, weight: members.len() as f64 / n_intervals as f64 });
+    }
+    points.sort_by_key(|p| p.start);
+    points
+}
+
+/// Builds a reduced trace containing only the SimPoint intervals, in
+/// order — the input one would feed to a detailed simulator.
+pub fn sample_trace(trace: &Trace, points: &[SimPoint]) -> Trace {
+    let mut out = Trace::new(format!("{}-simpoints", trace.name()));
+    for p in points {
+        out.extend(trace.as_slice()[p.start..p.start + p.len].iter().copied());
+    }
+    out
+}
+
+type Bbv = HashMap<u64, f64>;
+
+fn basic_block_vectors(trace: &Trace, interval_len: usize) -> Vec<Bbv> {
+    let mut vectors = Vec::new();
+    for chunk in trace.as_slice().chunks(interval_len) {
+        let mut v: Bbv = HashMap::new();
+        for a in chunk {
+            *v.entry(basic_block_of(a.pc)).or_default() += 1.0;
+        }
+        let norm = chunk.len() as f64;
+        for val in v.values_mut() {
+            *val /= norm;
+        }
+        vectors.push(v);
+    }
+    vectors
+}
+
+fn distance(a: &Bbv, b: &Bbv) -> f64 {
+    let mut sum = 0.0;
+    for (k, &va) in a {
+        let vb = b.get(k).copied().unwrap_or(0.0);
+        sum += (va - vb) * (va - vb);
+    }
+    for (k, &vb) in b {
+        if !a.contains_key(k) {
+            sum += vb * vb;
+        }
+    }
+    sum
+}
+
+fn centroids_of(vectors: &[Bbv], assignment: &[usize], k: usize) -> Vec<Bbv> {
+    let mut centroids: Vec<Bbv> = vec![HashMap::new(); k];
+    let mut counts = vec![0usize; k];
+    for (v, &c) in vectors.iter().zip(assignment) {
+        counts[c] += 1;
+        for (key, val) in v {
+            *centroids[c].entry(*key).or_default() += val;
+        }
+    }
+    for (c, centroid) in centroids.iter_mut().enumerate() {
+        if counts[c] > 0 {
+            for val in centroid.values_mut() {
+                *val /= counts[c] as f64;
+            }
+        }
+    }
+    centroids
+}
+
+fn kmeans(vectors: &[Bbv], k: usize) -> Vec<usize> {
+    // Farthest-point initialisation from interval 0 (deterministic).
+    let mut seeds = vec![0usize];
+    while seeds.len() < k {
+        let next = (0..vectors.len())
+            .max_by(|&a, &b| {
+                let da = seeds.iter().map(|&s| distance(&vectors[a], &vectors[s])).fold(f64::MAX, f64::min);
+                let db = seeds.iter().map(|&s| distance(&vectors[b], &vectors[s])).fold(f64::MAX, f64::min);
+                da.total_cmp(&db)
+            })
+            .expect("non-empty");
+        if seeds.contains(&next) {
+            break;
+        }
+        seeds.push(next);
+    }
+    let mut centroids: Vec<Bbv> = seeds.iter().map(|&s| vectors[s].clone()).collect();
+    let mut assignment = vec![0usize; vectors.len()];
+    for _ in 0..20 {
+        let mut changed = false;
+        for (i, v) in vectors.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| distance(v, &centroids[a]).total_cmp(&distance(v, &centroids[b])))
+                .expect("non-empty centroids");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        centroids = centroids_of(vectors, &assignment, centroids.len());
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryAccess;
+
+    /// A trace with two obvious phases: PC 1 for the first half, PC 2
+    /// for the second.
+    fn two_phase() -> Trace {
+        let mut t = Trace::new("phases");
+        for i in 0..1000u64 {
+            t.push(MemoryAccess::new(0x40_0000, i * 64));
+        }
+        for i in 0..1000u64 {
+            t.push(MemoryAccess::new(0x80_0000, i * 64));
+        }
+        t
+    }
+
+    #[test]
+    fn distinct_phases_get_distinct_clusters() {
+        let points = simpoints(&two_phase(), 100, 2);
+        assert_eq!(points.len(), 2);
+        // One representative from each half.
+        assert!(points[0].start < 1000);
+        assert!(points[1].start >= 1000);
+        assert!((points[0].weight - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let trace = crate::gen::Benchmark::Soplex.generate(&crate::gen::GeneratorConfig::small());
+        let points = simpoints(&trace, 500, 4);
+        let total: f64 = points.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_trace_concatenates_intervals() {
+        let trace = two_phase();
+        let points = simpoints(&trace, 100, 2);
+        let sampled = sample_trace(&trace, &points);
+        assert_eq!(sampled.len(), 200);
+        assert!(sampled.name().contains("simpoints"));
+    }
+
+    #[test]
+    fn k_larger_than_intervals_is_clamped() {
+        let mut t = Trace::new("tiny");
+        for i in 0..50u64 {
+            t.push(MemoryAccess::new(1, i * 64));
+        }
+        let points = simpoints(&t, 25, 10);
+        assert!(points.len() <= 2);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_points() {
+        assert!(simpoints(&Trace::new("e"), 100, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval length must be positive")]
+    fn zero_interval_rejected() {
+        let _ = simpoints(&Trace::new("e"), 0, 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Trace statistics (Table 2 of the paper).
+
+use std::collections::HashSet;
+
+use crate::Trace;
+
+/// Unique-entity counts for a trace, as reported in the paper's Table 2
+/// (number of PCs, unique cache-line addresses, and unique pages).
+///
+/// # Example
+///
+/// ```
+/// use voyager_trace::{MemoryAccess, Trace};
+/// use voyager_trace::stats::TraceStats;
+///
+/// let trace = Trace::from_accesses(
+///     "t",
+///     vec![MemoryAccess::new(1, 0x1000), MemoryAccess::new(1, 0x1040)],
+/// );
+/// let s = TraceStats::of(&trace);
+/// assert_eq!((s.unique_pcs, s.unique_addresses, s.unique_pages), (1, 2, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Number of distinct load PCs.
+    pub unique_pcs: usize,
+    /// Number of distinct cache-line addresses.
+    pub unique_addresses: usize,
+    /// Number of distinct 4 KiB pages.
+    pub unique_pages: usize,
+    /// Total accesses in the trace.
+    pub accesses: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let mut pcs = HashSet::new();
+        let mut lines = HashSet::new();
+        let mut pages = HashSet::new();
+        for a in trace {
+            pcs.insert(a.pc);
+            lines.insert(a.line());
+            pages.insert(a.page());
+        }
+        TraceStats {
+            unique_pcs: pcs.len(),
+            unique_addresses: lines.len(),
+            unique_pages: pages.len(),
+            accesses: trace.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} PCs, {} addresses, {} pages over {} accesses",
+            self.unique_pcs, self.unique_addresses, self.unique_pages, self.accesses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryAccess;
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::of(&Trace::new("empty"));
+        assert_eq!(s, TraceStats::default());
+    }
+
+    #[test]
+    fn counts_are_deduplicated() {
+        let trace = Trace::from_accesses(
+            "t",
+            vec![
+                MemoryAccess::new(1, 0x0000),
+                MemoryAccess::new(1, 0x0000),
+                MemoryAccess::new(2, 0x0040),
+                MemoryAccess::new(2, 0x2000),
+            ],
+        );
+        let s = TraceStats::of(&trace);
+        assert_eq!(s.unique_pcs, 2);
+        assert_eq!(s.unique_addresses, 3);
+        assert_eq!(s.unique_pages, 2);
+        assert_eq!(s.accesses, 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!TraceStats::default().to_string().is_empty());
+    }
+}

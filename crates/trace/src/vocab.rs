@@ -1,0 +1,393 @@
+//! The hierarchical page/offset vocabulary with delta tokens
+//! (Sections 4.2 and 4.3 of the paper).
+//!
+//! Voyager decomposes each address into a page and a 6-bit line offset.
+//! Pages form the large half of the vocabulary; offsets are fixed at 64.
+//! To cover compulsory misses and avoid wasting capacity on one-off
+//! addresses, infrequent addresses (fewer than 2 occurrences, found by a
+//! profiling pass) are represented as *deltas* from the previous access:
+//! the page token becomes a marked delta entry and the offset token
+//! becomes the offset difference modulo 64. The paper finds that 10
+//! deltas cover 99% of mcf's compulsory misses.
+
+use std::collections::HashMap;
+
+use crate::{MemoryAccess, Trace, OFFSETS_PER_PAGE};
+
+/// Configuration of the vocabulary builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VocabConfig {
+    /// Maximum number of distinct pages kept in the vocabulary (most
+    /// frequent first). Pages beyond this map to the delta or rare
+    /// tokens. This bounds the model's output layer — the paper's
+    /// class-explosion mitigation.
+    pub max_pages: usize,
+    /// Maximum number of distinct page-delta tokens (the paper uses 10).
+    pub max_deltas: usize,
+    /// Addresses seen fewer than this many times are represented as
+    /// deltas (the paper uses 2).
+    pub min_address_freq: u32,
+    /// Maximum number of distinct PC tokens (rarely-seen PCs share a
+    /// rare token).
+    pub max_pcs: usize,
+}
+
+impl Default for VocabConfig {
+    fn default() -> Self {
+        VocabConfig { max_pages: 4096, max_deltas: 10, min_address_freq: 2, max_pcs: 4096 }
+    }
+}
+
+impl VocabConfig {
+    /// A configuration without delta tokens — the "Voyager w/o delta"
+    /// ablation of Section 5.3.1.
+    pub fn without_deltas(mut self) -> Self {
+        self.max_deltas = 0;
+        self
+    }
+}
+
+/// A page-position token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageToken {
+    /// A concrete page from the page vocabulary.
+    Page(u64),
+    /// A page delta relative to the previous access (marked entries,
+    /// the paper's "d:" prefix).
+    Delta(i64),
+    /// Out-of-vocabulary; the model cannot predict these.
+    Rare,
+}
+
+/// One access after tokenization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenizedAccess {
+    /// PC token id in `0..pc_vocab_len`.
+    pub pc: u32,
+    /// Page token id in `0..page_vocab_len` (pages, then deltas, then
+    /// the rare token).
+    pub page: u32,
+    /// Offset token in `0..64`: the literal line offset for page
+    /// entries, or the offset delta modulo 64 for delta entries.
+    pub offset: u32,
+}
+
+/// The hierarchical vocabulary built from a profiling pass over a trace.
+///
+/// # Example
+///
+/// ```
+/// use voyager_trace::gen::{Benchmark, GeneratorConfig};
+/// use voyager_trace::vocab::{VocabConfig, Vocabulary};
+///
+/// let trace = Benchmark::Bfs.generate(&GeneratorConfig::small());
+/// let vocab = Vocabulary::build(&trace, &VocabConfig::default());
+/// let tokens = vocab.tokenize(&trace);
+/// assert_eq!(tokens.len(), trace.len());
+/// assert!(vocab.page_vocab_len() <= 4096 + 10 + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    pages: Vec<u64>,
+    page_index: HashMap<u64, u32>,
+    deltas: Vec<i64>,
+    delta_index: HashMap<i64, u32>,
+    pcs: Vec<u64>,
+    pc_index: HashMap<u64, u32>,
+    frequent_lines: std::collections::HashSet<u64>,
+    config: VocabConfig,
+}
+
+impl Vocabulary {
+    /// Profiles `trace` and builds the vocabulary.
+    pub fn build(trace: &Trace, config: &VocabConfig) -> Self {
+        let mut line_freq: HashMap<u64, u32> = HashMap::new();
+        let mut page_freq: HashMap<u64, u32> = HashMap::new();
+        let mut pc_freq: HashMap<u64, u32> = HashMap::new();
+        for a in trace {
+            *line_freq.entry(a.line()).or_default() += 1;
+            *page_freq.entry(a.page()).or_default() += 1;
+            *pc_freq.entry(a.pc).or_default() += 1;
+        }
+        let frequent_lines = line_freq
+            .iter()
+            .filter(|&(_, &f)| f >= config.min_address_freq)
+            .map(|(&l, _)| l)
+            .collect();
+
+        let pages = top_keys(&page_freq, config.max_pages);
+        let pcs = top_keys(&pc_freq, config.max_pcs);
+
+        // Delta profiling: page deltas at the positions that will use the
+        // delta representation (infrequent lines).
+        let mut delta_freq: HashMap<i64, u32> = HashMap::new();
+        let mut prev_page: Option<u64> = None;
+        for a in trace {
+            if let Some(prev) = prev_page {
+                if line_freq[&a.line()] < config.min_address_freq {
+                    let d = a.page() as i64 - prev as i64;
+                    *delta_freq.entry(d).or_default() += 1;
+                }
+            }
+            prev_page = Some(a.page());
+        }
+        let deltas = top_keys(&delta_freq, config.max_deltas);
+
+        let page_index = pages.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        let delta_index = deltas.iter().enumerate().map(|(i, &d)| (d, i as u32)).collect();
+        let pc_index = pcs.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        Vocabulary {
+            pages,
+            page_index,
+            deltas,
+            delta_index,
+            pcs,
+            pc_index,
+            frequent_lines,
+            config: *config,
+        }
+    }
+
+    /// Size of the page token space: pages + deltas + 1 rare token.
+    pub fn page_vocab_len(&self) -> usize {
+        self.pages.len() + self.deltas.len() + 1
+    }
+
+    /// Size of the offset token space (always 64).
+    pub fn offset_vocab_len(&self) -> usize {
+        OFFSETS_PER_PAGE
+    }
+
+    /// Size of the PC token space: PCs + 1 rare token.
+    pub fn pc_vocab_len(&self) -> usize {
+        self.pcs.len() + 1
+    }
+
+    /// Number of delta entries in the vocabulary.
+    pub fn num_deltas(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Id of the rare page token.
+    pub fn rare_page_token(&self) -> u32 {
+        (self.pages.len() + self.deltas.len()) as u32
+    }
+
+    /// Decodes a page token id.
+    pub fn page_token(&self, id: u32) -> PageToken {
+        let id = id as usize;
+        if id < self.pages.len() {
+            PageToken::Page(self.pages[id])
+        } else if id < self.pages.len() + self.deltas.len() {
+            PageToken::Delta(self.deltas[id - self.pages.len()])
+        } else {
+            PageToken::Rare
+        }
+    }
+
+    /// PC token for a raw PC (rare token if out of vocabulary).
+    pub fn pc_token(&self, pc: u64) -> u32 {
+        self.pc_index.get(&pc).copied().unwrap_or(self.pcs.len() as u32)
+    }
+
+    /// Tokenizes one access given the previous access (None for the
+    /// first).
+    pub fn tokenize_access(&self, prev: Option<&MemoryAccess>, a: &MemoryAccess) -> TokenizedAccess {
+        let pc = self.pc_token(a.pc);
+        let frequent = self.frequent_lines.contains(&a.line());
+        let in_page_vocab = self.page_index.contains_key(&a.page());
+        if frequent && in_page_vocab {
+            TokenizedAccess { pc, page: self.page_index[&a.page()], offset: a.offset() as u32 }
+        } else if let Some(prev) = prev {
+            // Delta representation relative to the previous access.
+            let d = a.page() as i64 - prev.page() as i64;
+            match self.delta_index.get(&d) {
+                Some(&di) => TokenizedAccess {
+                    pc,
+                    page: self.pages.len() as u32 + di,
+                    offset: (a.offset() as i64 - prev.offset() as i64)
+                        .rem_euclid(OFFSETS_PER_PAGE as i64) as u32,
+                },
+                None if in_page_vocab => TokenizedAccess {
+                    pc,
+                    page: self.page_index[&a.page()],
+                    offset: a.offset() as u32,
+                },
+                None => TokenizedAccess { pc, page: self.rare_page_token(), offset: a.offset() as u32 },
+            }
+        } else if in_page_vocab {
+            TokenizedAccess { pc, page: self.page_index[&a.page()], offset: a.offset() as u32 }
+        } else {
+            TokenizedAccess { pc, page: self.rare_page_token(), offset: a.offset() as u32 }
+        }
+    }
+
+    /// Tokenizes a whole trace.
+    pub fn tokenize(&self, trace: &Trace) -> Vec<TokenizedAccess> {
+        let mut out = Vec::with_capacity(trace.len());
+        let mut prev: Option<&MemoryAccess> = None;
+        for a in trace {
+            out.push(self.tokenize_access(prev, a));
+            prev = Some(a);
+        }
+        out
+    }
+
+    /// Resolves a predicted `(page token, offset token)` pair into a
+    /// concrete cache-line address, given the access the prediction was
+    /// made *from* (needed to resolve delta tokens). Returns `None` for
+    /// the rare token.
+    pub fn resolve_prediction(
+        &self,
+        current: &MemoryAccess,
+        page_tok: u32,
+        offset_tok: u32,
+    ) -> Option<u64> {
+        debug_assert!((offset_tok as usize) < OFFSETS_PER_PAGE);
+        match self.page_token(page_tok) {
+            PageToken::Page(p) => Some(p * OFFSETS_PER_PAGE as u64 + offset_tok as u64),
+            PageToken::Delta(d) => {
+                let page = current.page() as i64 + d;
+                if page < 0 {
+                    return None;
+                }
+                let off =
+                    (current.offset() as i64 + offset_tok as i64) % OFFSETS_PER_PAGE as i64;
+                Some(page as u64 * OFFSETS_PER_PAGE as u64 + off as u64)
+            }
+            PageToken::Rare => None,
+        }
+    }
+
+    /// The builder configuration.
+    pub fn config(&self) -> &VocabConfig {
+        &self.config
+    }
+}
+
+fn top_keys<K: Copy + Eq + std::hash::Hash + Ord>(freq: &HashMap<K, u32>, limit: usize) -> Vec<K> {
+    let mut entries: Vec<(K, u32)> = freq.iter().map(|(&k, &v)| (k, v)).collect();
+    // Sort by descending frequency, tie-break on key for determinism.
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    entries.truncate(limit);
+    entries.into_iter().map(|(k, _)| k).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace() -> Trace {
+        // Lines: page 1 offset 0 (x3), page 1 offset 5 (x2), page 2
+        // offset 1 (x1, infrequent), page 3 offset 2 (x1, infrequent).
+        Trace::from_accesses(
+            "t",
+            vec![
+                MemoryAccess::new(10, 4096),           // page 1, off 0
+                MemoryAccess::new(10, 4096 + 5 * 64),  // page 1, off 5
+                MemoryAccess::new(11, 8192 + 64),      // page 2, off 1 (rare line)
+                MemoryAccess::new(11, 12288 + 2 * 64), // page 3, off 2 (rare line)
+                MemoryAccess::new(10, 4096),
+                MemoryAccess::new(10, 4096 + 5 * 64),
+                MemoryAccess::new(10, 4096),
+            ],
+        )
+    }
+
+    #[test]
+    fn frequent_addresses_get_page_tokens() {
+        let trace = small_trace();
+        let vocab = Vocabulary::build(&trace, &VocabConfig::default());
+        let toks = vocab.tokenize(&trace);
+        assert!(matches!(vocab.page_token(toks[0].page), PageToken::Page(1)));
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 5);
+    }
+
+    #[test]
+    fn infrequent_addresses_become_deltas() {
+        let trace = small_trace();
+        let vocab = Vocabulary::build(&trace, &VocabConfig::default());
+        let toks = vocab.tokenize(&trace);
+        // Access 2 (page 2, after page 1) is infrequent: delta +1.
+        assert!(matches!(vocab.page_token(toks[2].page), PageToken::Delta(1)));
+        // Offset delta: 1 - 5 mod 64 = 60.
+        assert_eq!(toks[2].offset, 60);
+        // Access 3 (page 3 after page 2): delta +1 again.
+        assert!(matches!(vocab.page_token(toks[3].page), PageToken::Delta(1)));
+    }
+
+    #[test]
+    fn without_deltas_maps_infrequent_to_rare_or_page() {
+        let trace = small_trace();
+        let vocab = Vocabulary::build(&trace, &VocabConfig::default().without_deltas());
+        assert_eq!(vocab.num_deltas(), 0);
+        let toks = vocab.tokenize(&trace);
+        // With pages 2 and 3 still in the page vocabulary, the fallback
+        // uses the concrete page.
+        assert!(matches!(
+            vocab.page_token(toks[2].page),
+            PageToken::Page(2) | PageToken::Rare
+        ));
+    }
+
+    #[test]
+    fn resolve_page_prediction() {
+        let trace = small_trace();
+        let vocab = Vocabulary::build(&trace, &VocabConfig::default());
+        let cur = MemoryAccess::new(10, 4096);
+        let toks = vocab.tokenize(&trace);
+        let line = vocab.resolve_prediction(&cur, toks[1].page, toks[1].offset).unwrap();
+        assert_eq!(line, trace[1].line());
+    }
+
+    #[test]
+    fn resolve_delta_prediction_reconstructs_line() {
+        let trace = small_trace();
+        let vocab = Vocabulary::build(&trace, &VocabConfig::default());
+        let toks = vocab.tokenize(&trace);
+        // Prediction made from access 1 resolves access 2's line.
+        let line = vocab.resolve_prediction(&trace[1], toks[2].page, toks[2].offset).unwrap();
+        assert_eq!(line, trace[2].line());
+    }
+
+    #[test]
+    fn rare_token_resolves_to_none() {
+        let trace = small_trace();
+        let vocab = Vocabulary::build(&trace, &VocabConfig::default());
+        let cur = MemoryAccess::new(10, 4096);
+        assert_eq!(vocab.resolve_prediction(&cur, vocab.rare_page_token(), 0), None);
+    }
+
+    #[test]
+    fn page_vocab_is_capped() {
+        let mut accesses = Vec::new();
+        for i in 0..100u64 {
+            // Every page visited 3 times -> all frequent.
+            for _ in 0..3 {
+                accesses.push(MemoryAccess::new(1, i * 4096));
+            }
+        }
+        let trace = Trace::from_accesses("t", accesses);
+        let cfg = VocabConfig { max_pages: 16, ..VocabConfig::default() };
+        let vocab = Vocabulary::build(&trace, &cfg);
+        assert_eq!(vocab.page_vocab_len(), 16 + vocab.num_deltas() + 1);
+    }
+
+    #[test]
+    fn pc_tokens_cover_vocab_and_rare() {
+        let trace = small_trace();
+        let vocab = Vocabulary::build(&trace, &VocabConfig::default());
+        assert!(vocab.pc_token(10) < vocab.pc_vocab_len() as u32 - 1);
+        assert_eq!(vocab.pc_token(0xdead), vocab.pc_vocab_len() as u32 - 1);
+    }
+
+    #[test]
+    fn offsets_always_below_64() {
+        let trace = crate::gen::Benchmark::Mcf.generate(&crate::gen::GeneratorConfig::small());
+        let vocab = Vocabulary::build(&trace, &VocabConfig::default());
+        for t in vocab.tokenize(&trace) {
+            assert!(t.offset < 64);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The prefetcher design space of the paper's Section 2, on one
+//! workload.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+//!
+//! Runs every implemented prefetcher family over the same LLC stream —
+//! sequential (next-line), offset (BO), stride (per-PC), delta-pattern
+//! (VLDP), spatial-footprint (SMS), temporal (Markov, STMS, Domino,
+//! ISB), hybrid (ISB+BO), and the two neural models — and prints the
+//! unified accuracy/coverage for each, so the probabilistic framing of
+//! Section 3 ("every prefetcher = a choice of features and labels")
+//! becomes concrete.
+
+use voyager::{DeltaLstm, DeltaLstmConfig, OnlineRun, VoyagerConfig};
+use voyager_prefetch::{
+    BestOffset, Domino, Isb, IsbBoHybrid, Markov, NextLine, Prefetcher, Sms, StridePc, Stms, Vldp,
+};
+use voyager_sim::{llc_stream, unified_accuracy_coverage_windowed, SimConfig};
+use voyager_trace::gen::{Benchmark, GeneratorConfig};
+
+fn main() {
+    let trace = Benchmark::Mcf.generate(&GeneratorConfig::medium());
+    let stream = llc_stream(&trace, &SimConfig::scaled());
+    println!("mcf LLC stream: {} accesses\n", stream.len());
+    println!("{:<34} {:>10} {:>14}", "prefetcher (features -> label)", "acc/cov", "metadata B");
+
+    let classical: Vec<(&str, Box<dyn Prefetcher>)> = vec![
+        ("next-line (none -> X+1)", Box::new(NextLine::new())),
+        ("bo (recent set -> X+d)", Box::new(BestOffset::new())),
+        ("stride (pc, last addr -> X+s)", Box::new(StridePc::new())),
+        ("vldp (delta history -> delta)", Box::new(Vldp::new())),
+        ("sms (pc+offset -> footprint)", Box::new(Sms::new())),
+        ("markov (addr -> frequent next)", Box::new(Markov::new())),
+        ("stms (addr -> global next)", Box::new(Stms::new())),
+        ("domino (2 addrs -> global next)", Box::new(Domino::new())),
+        ("isb (addr -> pc-local next)", Box::new(Isb::new())),
+        ("isb+bo hybrid", Box::new(IsbBoHybrid::new())),
+    ];
+    for (name, mut p) in classical {
+        let preds: Vec<Vec<u64>> = stream.iter().map(|a| p.access(a)).collect();
+        let score = unified_accuracy_coverage_windowed(&stream, &preds, 10);
+        println!("{:<34} {:>9.3} {:>14}", name, score.value(), p.metadata_bytes());
+    }
+
+    println!("\ntraining neural models ...");
+    let dl = DeltaLstm::run_online(&stream, &DeltaLstmConfig::scaled());
+    println!(
+        "{:<34} {:>9.3} {:>14}",
+        "delta-lstm (deltas -> delta)",
+        dl.unified_score_windowed(&stream, 10).value(),
+        dl.model_bytes
+    );
+    let vy = OnlineRun::execute(&stream, &VoyagerConfig::scaled());
+    println!(
+        "{:<34} {:>9.3} {:>14}",
+        "voyager (addr history -> multi)",
+        vy.unified_score_windowed(&stream, 10).value(),
+        vy.model_bytes
+    );
+}

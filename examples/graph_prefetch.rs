@@ -1,0 +1,50 @@
+//! The paper's Fig. 13/14 story: why graph workloads defeat classical
+//! temporal prefetchers and how address-history features fix it.
+//!
+//! ```sh
+//! cargo run --release --example graph_prefetch
+//! ```
+//!
+//! In PageRank's inner loop (`incoming_total += outgoing_contrib[v]`),
+//! the next neighbour `v` depends on the *parent* vertex, which a
+//! single-address-context prefetcher cannot see. This example builds a
+//! CSR graph, runs the real kernel, and compares prefetchers with
+//! increasing context: STMS (1 address), Domino (2 addresses), ISB
+//! (1 address, PC-localized) and Voyager (a learned sequence model over
+//! 8 addresses).
+
+use voyager::{OnlineRun, VoyagerConfig};
+use voyager_prefetch::{Domino, Isb, Prefetcher, Stms};
+use voyager_sim::{llc_stream, unified_accuracy_coverage_windowed, SimConfig};
+use voyager_trace::gen::{Benchmark, GeneratorConfig};
+use voyager_trace::Trace;
+
+fn classical(stream: &Trace, p: &mut dyn Prefetcher) -> f64 {
+    let preds: Vec<Vec<u64>> = stream.iter().map(|a| p.access(a)).collect();
+    unified_accuracy_coverage_windowed(stream, &preds, 10).value()
+}
+
+fn main() {
+    let trace = Benchmark::Pr.generate(&GeneratorConfig::medium());
+    let stream = llc_stream(&trace, &SimConfig::scaled());
+    println!("PageRank LLC stream: {} accesses\n", stream.len());
+
+    println!("context = 1 address (STMS):        {:.3}", classical(&stream, &mut Stms::new()));
+    println!("context = 1 address + PC (ISB):    {:.3}", classical(&stream, &mut Isb::new()));
+    println!("context = 2 addresses (Domino):    {:.3}", classical(&stream, &mut Domino::new()));
+
+    let mut cfg = VoyagerConfig::scaled();
+    cfg.train_passes = 10;
+    println!("training Voyager (profile-driven, Section 5.5) ...");
+    let run = OnlineRun::execute_profiled(&stream, &cfg);
+    println!(
+        "context = 8-address learned history (Voyager): {:.3}",
+        run.unified_score_windowed(&stream, 10).value()
+    );
+    println!(
+        "\nThe jump from 1-address to 2-address context is the paper's point:\n\
+         the neighbour stream is only predictable once the parent vertex is\n\
+         part of the context (Fig. 14). Voyager learns that context instead\n\
+         of memorizing it."
+    );
+}

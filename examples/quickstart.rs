@@ -1,0 +1,65 @@
+//! Quickstart: train Voyager online on one workload and measure it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates a PageRank-like trace (the paper's Fig. 13 motivating
+//! workload), filters it to the LLC access stream, runs the paper's
+//! online protocol (train on epoch k, predict epoch k+1), and reports
+//! the unified accuracy/coverage plus a comparison against an idealized
+//! ISB.
+
+use voyager::{OnlineRun, VoyagerConfig};
+use voyager_prefetch::{Isb, Prefetcher};
+use voyager_sim::{llc_stream, unified_accuracy_coverage_windowed, SimConfig};
+use voyager_trace::gen::{Benchmark, GeneratorConfig};
+
+fn main() {
+    // 1. A workload. Every benchmark of the paper's Table 2 is
+    //    available; PageRank is the paper's running example.
+    let trace = Benchmark::Pr.generate(&GeneratorConfig::medium());
+    println!("generated {trace}");
+
+    // 2. Prefetchers in the paper live at the last-level cache: they
+    //    see only the accesses that miss L1 and L2.
+    let stream = llc_stream(&trace, &SimConfig::scaled());
+    println!("LLC access stream: {} accesses", stream.len());
+
+    // 3. Train Voyager online (Section 5.1 protocol).
+    let cfg = VoyagerConfig::scaled();
+    println!(
+        "training Voyager: {} history steps, {} experts, {} LSTM units ...",
+        cfg.seq_len, cfg.experts, cfg.lstm_units
+    );
+    let run = OnlineRun::execute(&stream, &cfg);
+    println!(
+        "model: {} parameters ({} KiB dense); {:.1}s training, {:.0} ns/prediction",
+        run.model_params,
+        run.model_bytes / 1024,
+        run.train_seconds,
+        run.prediction_latency_ns()
+    );
+
+    // 4. The Section 5.5 profile-driven variant: train offline on a
+    //    profiling pass, then infer over the stream — the
+    //    apples-to-apples comparison against idealized table
+    //    prefetchers, which also see the whole stream.
+    let mut prof_cfg = cfg;
+    prof_cfg.train_passes = 10;
+    println!("training the profile-driven variant ...");
+    let profiled = OnlineRun::execute_profiled(&stream, &prof_cfg);
+
+    // 5. Score both against an idealized ISB on the same stream.
+    let online_score = run.unified_score_windowed(&stream, 10);
+    let profiled_score = profiled.unified_score_windowed(&stream, 10);
+    let mut isb = Isb::new();
+    let isb_preds: Vec<Vec<u64>> = stream.iter().map(|a| isb.access(a)).collect();
+    let isb_score = unified_accuracy_coverage_windowed(&stream, &isb_preds, 10);
+    println!("\nunified accuracy/coverage (window 10):");
+    println!("  voyager (online, §5.1):   {online_score}");
+    println!("  voyager (profiled, §5.5): {profiled_score}");
+    println!("  idealized isb:            {isb_score}");
+    println!("\nThe online protocol makes no predictions in its first epoch and is");
+    println!("data-starved at this scale; see EXPERIMENTS.md for the scaling story.");
+}

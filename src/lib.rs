@@ -1,0 +1,17 @@
+//! Umbrella crate for the Voyager reproduction workspace.
+//!
+//! This crate exists to host the repository-level `examples/` and
+//! `tests/` directories; the functionality lives in the member crates:
+//!
+//! * [`voyager`] — the hierarchical neural prefetcher itself.
+//! * [`voyager_tensor`] / [`voyager_nn`] — the from-scratch neural stack.
+//! * [`voyager_trace`] — traces, workload generators, labeling schemes.
+//! * [`voyager_sim`] — the ChampSim-like evaluation substrate.
+//! * [`voyager_prefetch`] — idealized baseline prefetchers.
+
+pub use voyager;
+pub use voyager_nn;
+pub use voyager_prefetch;
+pub use voyager_sim;
+pub use voyager_tensor;
+pub use voyager_trace;

@@ -1,0 +1,116 @@
+//! End-to-end integration tests across the workspace crates: trace
+//! generation -> LLC filtering -> online neural training -> prediction
+//! replay -> timing simulation.
+
+use voyager::{OnlineRun, ReplayPrefetcher, VoyagerConfig};
+use voyager_prefetch::{Isb, NoPrefetcher, Prefetcher};
+use voyager_sim::{llc_stream, simulate, unified_accuracy_coverage_windowed, SimConfig};
+use voyager_trace::gen::{Benchmark, GeneratorConfig};
+
+fn test_cfg() -> VoyagerConfig {
+    let mut cfg = VoyagerConfig::test();
+    cfg.epoch_accesses = 2_000;
+    cfg
+}
+
+#[test]
+fn full_pipeline_produces_consistent_metrics() {
+    let trace = Benchmark::Pr.generate(&GeneratorConfig::small());
+    let sim_cfg = SimConfig::scaled();
+    let stream = llc_stream(&trace, &sim_cfg);
+    assert!(!stream.is_empty() && stream.len() < trace.len());
+
+    let run = OnlineRun::execute(&stream, &test_cfg());
+    assert_eq!(run.predictions.len(), stream.len());
+
+    // Replay through the simulator.
+    let baseline = simulate(&trace, &mut NoPrefetcher::new(), &sim_cfg);
+    let mut replay = ReplayPrefetcher::new(run.predictions.clone());
+    let with = simulate(&trace, &mut replay, &sim_cfg);
+
+    // The replay must have consumed exactly the LLC access stream.
+    assert_eq!(replay.position(), stream.len());
+    // Demand stream at the LLC is unchanged by prefetching.
+    assert_eq!(baseline.llc_accesses, with.llc_accesses);
+    // Coverage is bounded and misses never increase (prefetches only add
+    // lines to the LLC).
+    let cov = with.coverage_vs(&baseline);
+    assert!((0.0..=1.0).contains(&cov), "coverage {cov}");
+    assert!(with.llc_misses <= baseline.llc_misses);
+    // Useful prefetches are a subset of issued ones.
+    assert!(with.useful_prefetches <= with.issued_prefetches);
+    // IPC can only improve when misses strictly decrease.
+    if with.llc_misses < baseline.llc_misses {
+        assert!(with.ipc >= baseline.ipc * 0.99, "{} vs {}", with.ipc, baseline.ipc);
+    }
+}
+
+#[test]
+fn epoch_zero_never_predicts_and_later_epochs_do() {
+    let trace = Benchmark::Soplex.generate(&GeneratorConfig::small());
+    let stream = llc_stream(&trace, &SimConfig::scaled());
+    let cfg = test_cfg();
+    let run = OnlineRun::execute(&stream, &cfg);
+    let epoch0 = cfg.epoch_accesses.min(stream.len());
+    assert!(run.predictions[..epoch0].iter().all(Vec::is_empty));
+    assert!(
+        run.predictions[epoch0..].iter().any(|p| !p.is_empty()),
+        "no predictions after the first epoch"
+    );
+}
+
+#[test]
+fn windowed_score_dominates_strict_score() {
+    let trace = Benchmark::Omnetpp.generate(&GeneratorConfig::small());
+    let stream = llc_stream(&trace, &SimConfig::scaled());
+    let mut isb = Isb::new();
+    let preds: Vec<Vec<u64>> = stream.iter().map(|a| isb.access(a)).collect();
+    let strict = unified_accuracy_coverage_windowed(&stream, &preds, 1);
+    let windowed = unified_accuracy_coverage_windowed(&stream, &preds, 10);
+    assert!(windowed.correct >= strict.correct);
+    assert_eq!(windowed.total, strict.total);
+}
+
+#[test]
+fn degree_truncation_is_a_prefix_of_higher_degree() {
+    // Voyager's ranked candidates mean a degree-1 deployment issues a
+    // prefix of the degree-4 deployment's prefetches.
+    let trace = Benchmark::Mcf.generate(&GeneratorConfig::small());
+    let stream = llc_stream(&trace, &SimConfig::scaled());
+    let run = OnlineRun::execute(&stream, &test_cfg().with_degree(4));
+    let mut r1 = ReplayPrefetcher::new(run.predictions.clone());
+    r1.set_degree(1);
+    let mut r4 = ReplayPrefetcher::new(run.predictions.clone());
+    r4.set_degree(4);
+    for a in &stream {
+        let p1 = r1.access(a);
+        let p4 = r4.access(a);
+        assert!(p1.len() <= 1);
+        assert!(p4.len() <= 4);
+        if !p1.is_empty() {
+            assert_eq!(p1[0], p4[0], "degree-1 must be the top-ranked candidate");
+        }
+    }
+}
+
+#[test]
+fn llc_stream_is_deterministic_and_config_sensitive() {
+    let trace = Benchmark::Bfs.generate(&GeneratorConfig::small());
+    let a = llc_stream(&trace, &SimConfig::scaled());
+    let b = llc_stream(&trace, &SimConfig::scaled());
+    assert_eq!(a, b);
+    let paper = llc_stream(&trace, &SimConfig::paper());
+    // Bigger caches filter more.
+    assert!(paper.len() <= a.len());
+}
+
+#[test]
+fn google_traces_run_unified_metric_only_path() {
+    // search/ads have no timing; the unified metric path must work on
+    // the raw trace.
+    let trace = Benchmark::Search.generate(&GeneratorConfig::small());
+    let run = OnlineRun::execute(&trace, &test_cfg());
+    let score = run.unified_score_windowed(&trace, 10);
+    assert!(score.total > 0);
+    assert!(score.value() <= 1.0);
+}
