@@ -1,27 +1,51 @@
-//! Criterion micro-benchmarks behind the Section 5.4 overhead numbers:
-//! per-step training cost and per-access prediction latency for Voyager
-//! and Delta-LSTM (the paper reports a 15–20× gap at paper scale, due
-//! to Delta-LSTM's flat output vocabulary), plus the classical
-//! baselines' per-access cost and the simulator's throughput.
+//! Micro-benchmarks behind the Section 5.4 overhead numbers: per-step
+//! training cost and per-access prediction latency for Voyager and
+//! Delta-LSTM (the paper reports a 15–20× gap at paper scale, due to
+//! Delta-LSTM's flat output vocabulary), plus the classical baselines'
+//! per-access cost and the simulator's throughput.
+//!
+//! Formerly a criterion harness; now a plain `harness = false` binary
+//! timed with `std::time::Instant` so the workspace builds with no
+//! external dependencies (offline-build policy). Run with
+//! `cargo bench --bench overheads`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 
 use voyager::{DeltaLstmConfig, SeqBatch, VoyagerConfig, VoyagerModel};
 use voyager_prefetch::{BestOffset, Domino, Isb, Prefetcher, Stms};
 use voyager_sim::{simulate, SimConfig};
+use voyager_tensor::rng::thread_rng;
 use voyager_tensor::Tensor2;
 use voyager_trace::gen::{Benchmark, GeneratorConfig};
 use voyager_trace::MemoryAccess;
 
+/// Times `f` over `iters` iterations after one warmup call and prints
+/// the mean per-iteration wall time.
+fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed() / iters as u32;
+    println!("{name:<44} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
 fn seq_batch(b: usize, l: usize, page_vocab: usize) -> SeqBatch {
     SeqBatch {
-        pc: (0..b).map(|i| (0..l).map(|j| (i * 7 + j) % 64).collect()).collect(),
-        page: (0..b).map(|i| (0..l).map(|j| (i * 13 + j * 3) % page_vocab).collect()).collect(),
-        offset: (0..b).map(|i| (0..l).map(|j| (i * 11 + j * 5) % 64).collect()).collect(),
+        pc: (0..b)
+            .map(|i| (0..l).map(|j| (i * 7 + j) % 64).collect())
+            .collect(),
+        page: (0..b)
+            .map(|i| (0..l).map(|j| (i * 13 + j * 3) % page_vocab).collect())
+            .collect(),
+        offset: (0..b)
+            .map(|i| (0..l).map(|j| (i * 11 + j * 5) % 64).collect())
+            .collect(),
     }
 }
 
-fn bench_voyager(c: &mut Criterion) {
+fn bench_voyager() {
     let cfg = VoyagerConfig::scaled();
     let page_vocab = 2048;
     let batch = seq_batch(cfg.batch_size, cfg.seq_len, page_vocab);
@@ -31,128 +55,110 @@ fn bench_voyager(c: &mut Criterion) {
         pt.set(i, (i * 37) % page_vocab, 1.0);
         ot.set(i, (i * 17) % 64, 1.0);
     }
-    let mut group = c.benchmark_group("voyager");
-    group.sample_size(10);
-    group.bench_function("train_step_batch", |bencher| {
-        let mut model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
-        bencher.iter(|| model.train_multi(&batch, &pt, &ot));
+    let mut model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
+    bench("voyager/train_step_batch", 10, || {
+        std::hint::black_box(model.train_multi(&batch, &pt, &ot));
     });
-    group.bench_function("predict_batch", |bencher| {
-        let mut model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
-        bencher.iter(|| model.predict(&batch, 1));
+    let mut model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
+    bench("voyager/predict_batch", 10, || {
+        std::hint::black_box(model.predict(&batch, 1));
     });
-    group.finish();
 }
 
-fn bench_delta_lstm(c: &mut Criterion) {
+fn bench_delta_lstm() {
     // The flat delta vocabulary makes Delta-LSTM's output layer (and
     // thus each step) far more expensive than Voyager's hierarchical
     // heads at matched vocabulary coverage.
     let cfg = DeltaLstmConfig::scaled();
-    let mut group = c.benchmark_group("delta_lstm");
-    group.sample_size(10);
-    group.bench_function("run_online_small_stream", |bencher| {
-        let trace: voyager_trace::Trace = (0..1500u64)
-            .map(|i| MemoryAccess::new(7, ((i * 3) % 700) * 64))
-            .collect();
-        let mut small = cfg;
-        small.epoch_accesses = 500;
-        small.train_passes = 1;
-        bencher.iter(|| voyager::DeltaLstm::run_online(&trace, &small));
+    let trace: voyager_trace::Trace = (0..1500u64)
+        .map(|i| MemoryAccess::new(7, ((i * 3) % 700) * 64))
+        .collect();
+    let mut small = cfg;
+    small.epoch_accesses = 500;
+    small.train_passes = 1;
+    bench("delta_lstm/run_online_small_stream", 3, || {
+        std::hint::black_box(voyager::DeltaLstm::run_online(&trace, &small));
     });
-    group.finish();
 }
 
-fn bench_baselines(c: &mut Criterion) {
+type MakePrefetcher = Box<dyn Fn() -> Box<dyn Prefetcher>>;
+
+fn bench_baselines() {
     let trace = Benchmark::Pr.generate(&GeneratorConfig::small());
-    let mut group = c.benchmark_group("baseline_access");
-    for (name, make) in [
-        ("stms", Box::new(|| Box::new(Stms::new()) as Box<dyn Prefetcher>)
-            as Box<dyn Fn() -> Box<dyn Prefetcher>>),
+    let makes: [(&str, MakePrefetcher); 4] = [
+        ("stms", Box::new(|| Box::new(Stms::new()))),
         ("domino", Box::new(|| Box::new(Domino::new()))),
         ("isb", Box::new(|| Box::new(Isb::new()))),
         ("bo", Box::new(|| Box::new(BestOffset::new()))),
-    ] {
-        group.bench_function(name, |bencher| {
-            bencher.iter_batched(
-                &make,
-                |mut p| {
-                    for a in &trace {
-                        std::hint::black_box(p.access(a));
-                    }
-                },
-                BatchSize::SmallInput,
-            );
+    ];
+    for (name, make) in makes {
+        bench(&format!("baseline_access/{name}"), 10, || {
+            let mut p = make();
+            for a in &trace {
+                std::hint::black_box(p.access(a));
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let trace = Benchmark::Bfs.generate(&GeneratorConfig::small());
-    let mut group = c.benchmark_group("simulator");
-    group.bench_function("no_prefetch_8k_accesses", |bencher| {
-        bencher.iter(|| {
-            simulate(&trace, &mut voyager_prefetch::NoPrefetcher::new(), &SimConfig::scaled())
-        });
+    bench("simulator/no_prefetch_8k_accesses", 20, || {
+        std::hint::black_box(simulate(
+            &trace,
+            &mut voyager_prefetch::NoPrefetcher::new(),
+            &SimConfig::scaled(),
+        ));
     });
-    group.finish();
 }
 
-fn bench_hier_softmax(c: &mut Criterion) {
+fn bench_hier_softmax() {
     // Section 5.5: hierarchical softmax vs a flat output layer over a
     // large class space (the paper estimates 3-4x savings).
     use voyager_nn::{Adam, HierarchicalSoftmax, Linear, ParamStore, Session};
-    let mut rng = rand::thread_rng();
+    let mut rng = thread_rng();
     let (hidden, classes, batch) = (64usize, 10_000usize, 32usize);
-    let mut group = c.benchmark_group("output_head_10k_classes");
-    group.sample_size(10);
-    group.bench_function("flat_softmax_step", |bencher| {
-        let mut store = ParamStore::new();
-        let head = Linear::new(&mut store, "flat", hidden, classes, &mut rng);
-        let mut adam = Adam::new(0.001);
-        let h = Tensor2::uniform(batch, hidden, 1.0, &mut rng);
-        let targets: Vec<usize> = (0..batch).map(|i| (i * 317) % classes).collect();
-        bencher.iter(|| {
-            let mut sess = Session::new();
-            let hv = sess.tape.leaf(h.clone(), false);
-            let logits = head.forward(&mut sess, &store, hv);
-            let loss = sess.tape.softmax_cross_entropy(logits, &targets);
-            sess.step(loss, &mut store, &mut adam);
-        });
+    let targets: Vec<usize> = (0..batch).map(|i| (i * 317) % classes).collect();
+
+    let mut store = ParamStore::new();
+    let head = Linear::new(&mut store, "flat", hidden, classes, &mut rng);
+    let mut adam = Adam::new(0.001);
+    let h = Tensor2::uniform(batch, hidden, 1.0, &mut rng);
+    bench("output_head_10k/flat_softmax_step", 10, || {
+        let mut sess = Session::new();
+        let hv = sess.tape.leaf(h.clone(), false);
+        let logits = head.forward(&mut sess, &store, hv);
+        let loss = sess.tape.softmax_cross_entropy(logits, &targets);
+        sess.step(loss, &mut store, &mut adam);
     });
-    group.bench_function("hierarchical_softmax_step", |bencher| {
-        let mut store = ParamStore::new();
-        let head = HierarchicalSoftmax::new(&mut store, "hs", hidden, classes, &mut rng);
-        let mut adam = Adam::new(0.001);
-        let h = Tensor2::uniform(batch, hidden, 1.0, &mut rng);
-        let targets: Vec<usize> = (0..batch).map(|i| (i * 317) % classes).collect();
-        bencher.iter(|| {
-            let mut sess = Session::new();
-            let hv = sess.tape.leaf(h.clone(), false);
-            let loss = head.loss(&mut sess, &store, hv, &targets);
-            sess.step(loss, &mut store, &mut adam);
-        });
+
+    let mut store = ParamStore::new();
+    let head = HierarchicalSoftmax::new(&mut store, "hs", hidden, classes, &mut rng);
+    let mut adam = Adam::new(0.001);
+    let h = Tensor2::uniform(batch, hidden, 1.0, &mut rng);
+    bench("output_head_10k/hierarchical_softmax_step", 10, || {
+        let mut sess = Session::new();
+        let hv = sess.tape.leaf(h.clone(), false);
+        let loss = head.loss(&mut sess, &store, hv, &targets);
+        sess.step(loss, &mut store, &mut adam);
     });
-    group.finish();
 }
 
-fn bench_tensor(c: &mut Criterion) {
-    let mut rng = rand::thread_rng();
+fn bench_tensor() {
+    let mut rng = thread_rng();
     let a = Tensor2::uniform(64, 128, 1.0, &mut rng);
     let b = Tensor2::uniform(128, 192, 1.0, &mut rng);
-    c.bench_function("matmul_64x128x192", |bencher| {
-        bencher.iter(|| std::hint::black_box(a.matmul(&b)));
+    bench("tensor/matmul_64x128x192", 200, || {
+        std::hint::black_box(a.matmul(&b));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_voyager,
-    bench_delta_lstm,
-    bench_baselines,
-    bench_simulator,
-    bench_hier_softmax,
-    bench_tensor
-);
-criterion_main!(benches);
+fn main() {
+    println!("voyager overhead micro-benchmarks (mean wall time)");
+    bench_tensor();
+    bench_baselines();
+    bench_simulator();
+    bench_hier_softmax();
+    bench_voyager();
+    bench_delta_lstm();
+}

@@ -15,8 +15,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use voyager::VoyagerConfig;
 use voyager::OnlineRun;
+use voyager::VoyagerConfig;
 use voyager_bench::{baseline_predictions, mean, prepare, Scale, UNIFIED_WINDOW};
 use voyager_prefetch::Isb;
 use voyager_trace::gen::Benchmark;
@@ -49,8 +49,7 @@ fn classify(stream: &Trace, predictions: &[Vec<u64>]) -> Breakdown {
         let compulsory = seen.insert(line);
         let spatial = (t.saturating_sub(UNIFIED_WINDOW)..t)
             .any(|j| stream[j].line().abs_diff(line) <= SPATIAL_LINES);
-        let covered = (t.saturating_sub(UNIFIED_WINDOW)..t)
-            .any(|j| predictions[j].contains(&line));
+        let covered = (t.saturating_sub(UNIFIED_WINDOW)..t).any(|j| predictions[j].contains(&line));
         total += 1.0;
         if covered {
             if spatial {
@@ -83,8 +82,14 @@ fn classify(stream: &Trace, predictions: &[Vec<u64>]) -> Breakdown {
 
 fn main() {
     let scale = Scale::from_env();
-    let columns =
-        ["cov-spatial", "cov-nonspat", "unc-spatial", "unc-cooc", "unc-other", "unc-compuls"];
+    let columns = [
+        "cov-spatial",
+        "cov-nonspat",
+        "unc-spatial",
+        "unc-cooc",
+        "unc-other",
+        "unc-compuls",
+    ];
     let mut isb_rows = Vec::new();
     let mut voy_rows = Vec::new();
     for b in Benchmark::spec_gap() {

@@ -18,7 +18,12 @@ use voyager_trace::labels::LabelScheme;
 /// Subset of benchmarks used for the ablation sweeps (documented in
 /// EXPERIMENTS.md): one per pattern family, to bound single-core
 /// runtime.
-const SUBSET: [Benchmark; 4] = [Benchmark::Pr, Benchmark::Mcf, Benchmark::Soplex, Benchmark::Omnetpp];
+const SUBSET: [Benchmark; 4] = [
+    Benchmark::Pr,
+    Benchmark::Mcf,
+    Benchmark::Soplex,
+    Benchmark::Omnetpp,
+];
 
 fn main() {
     let scale = Scale::from_env();
@@ -29,27 +34,45 @@ fn main() {
         eprintln!("[fig12] {b} ...");
         let w = prepare(b, scale);
         let stream = &w.stream;
-        let stms = score(stream, &baseline_predictions(stream, &mut Stms::new()), UNIFIED_WINDOW);
-        let isb = score(stream, &baseline_predictions(stream, &mut Isb::new()), UNIFIED_WINDOW);
+        let stms = score(
+            stream,
+            &baseline_predictions(stream, &mut Stms::new()),
+            UNIFIED_WINDOW,
+        );
+        let isb = score(
+            stream,
+            &baseline_predictions(stream, &mut Isb::new()),
+            UNIFIED_WINDOW,
+        );
         let vglobal = OnlineRun::execute_profiled(
             stream,
             &base.with_labels(LabelMode::Single(LabelScheme::Global)),
         );
-        let vpc = OnlineRun::execute_profiled(stream, &base.with_labels(LabelMode::Single(LabelScheme::Pc)));
+        let vpc = OnlineRun::execute_profiled(
+            stream,
+            &base.with_labels(LabelMode::Single(LabelScheme::Pc)),
+        );
         let vpc_nopc = OnlineRun::execute_profiled(
             stream,
             &base
                 .with_labels(LabelMode::Single(LabelScheme::Pc))
-                .with_features(FeatureSet { pc: false, address: true }),
+                .with_features(FeatureSet {
+                    pc: false,
+                    address: true,
+                }),
         );
         rows.push((
             b.name().to_string(),
             vec![
                 stms.value(),
-                vglobal.unified_score_windowed(stream, UNIFIED_WINDOW).value(),
+                vglobal
+                    .unified_score_windowed(stream, UNIFIED_WINDOW)
+                    .value(),
                 isb.value(),
                 vpc.unified_score_windowed(stream, UNIFIED_WINDOW).value(),
-                vpc_nopc.unified_score_windowed(stream, UNIFIED_WINDOW).value(),
+                vpc_nopc
+                    .unified_score_windowed(stream, UNIFIED_WINDOW)
+                    .value(),
             ],
         ));
     }

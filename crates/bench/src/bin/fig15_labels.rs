@@ -14,8 +14,12 @@ use voyager_trace::labels::LabelScheme;
 
 /// Subset of benchmarks for the sweep (one per pattern family plus an
 /// OLTP trace), documented in EXPERIMENTS.md.
-const SUBSET: [Benchmark; 4] =
-    [Benchmark::Pr, Benchmark::Soplex, Benchmark::Omnetpp, Benchmark::Search];
+const SUBSET: [Benchmark; 4] = [
+    Benchmark::Pr,
+    Benchmark::Soplex,
+    Benchmark::Omnetpp,
+    Benchmark::Search,
+];
 
 fn main() {
     let scale = Scale::from_env();
@@ -27,18 +31,34 @@ fn main() {
         let mut values = Vec::new();
         for scheme in LabelScheme::all() {
             eprintln!("[fig15] {b} / {scheme} ...");
-            let run =
-                OnlineRun::execute_profiled(&w.stream, &base.with_labels(LabelMode::Single(scheme)));
-            values.push(run.unified_score_windowed(&w.stream, UNIFIED_WINDOW).value());
+            let run = OnlineRun::execute_profiled(
+                &w.stream,
+                &base.with_labels(LabelMode::Single(scheme)),
+            );
+            values.push(
+                run.unified_score_windowed(&w.stream, UNIFIED_WINDOW)
+                    .value(),
+            );
         }
         eprintln!("[fig15] {b} / multi ...");
         let multi = OnlineRun::execute_profiled(&w.stream, &base.with_labels(LabelMode::Multi));
-        values.push(multi.unified_score_windowed(&w.stream, UNIFIED_WINDOW).value());
+        values.push(
+            multi
+                .unified_score_windowed(&w.stream, UNIFIED_WINDOW)
+                .value(),
+        );
         rows.push((b.name().to_string(), values));
     }
     voyager_bench::print_table(
         "Figure 15: labeling schemes (unified acc/cov, window 10)",
-        &["global", "pc", "basic-block", "spatial", "co-occur", "multi"],
+        &[
+            "global",
+            "pc",
+            "basic-block",
+            "spatial",
+            "co-occur",
+            "multi",
+        ],
         &rows,
     );
     println!("\npaper: schemes are close; multi-label gives a small average benefit and wins where patterns span PCs (soplex)");

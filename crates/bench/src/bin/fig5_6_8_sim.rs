@@ -18,11 +18,20 @@ fn main() {
         let w = prepare(b, scale);
         comparisons.push(sim_comparison(&w, 1, true));
     }
-    let columns: Vec<&str> = comparisons[0].results.iter().map(|(n, _)| n.as_str()).collect();
+    let columns: Vec<&str> = comparisons[0]
+        .results
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect();
 
     let acc_rows: Vec<(String, Vec<f64>)> = comparisons
         .iter()
-        .map(|c| (c.benchmark.clone(), c.results.iter().map(|(_, o)| o.accuracy()).collect()))
+        .map(|c| {
+            (
+                c.benchmark.clone(),
+                c.results.iter().map(|(_, o)| o.accuracy()).collect(),
+            )
+        })
         .collect();
     voyager_bench::print_table("Figure 5: prefetch accuracy", &columns, &acc_rows);
 
@@ -31,7 +40,10 @@ fn main() {
         .map(|c| {
             (
                 c.benchmark.clone(),
-                c.results.iter().map(|(_, o)| o.coverage_vs(&c.baseline)).collect(),
+                c.results
+                    .iter()
+                    .map(|(_, o)| o.coverage_vs(&c.baseline))
+                    .collect(),
             )
         })
         .collect();
@@ -42,11 +54,18 @@ fn main() {
         .map(|c| {
             (
                 c.benchmark.clone(),
-                c.results.iter().map(|(_, o)| o.speedup_vs(&c.baseline)).collect(),
+                c.results
+                    .iter()
+                    .map(|(_, o)| o.speedup_vs(&c.baseline))
+                    .collect(),
             )
         })
         .collect();
-    voyager_bench::print_table("Figure 8: IPC normalized to no prefetching", &columns, &ipc_rows);
+    voyager_bench::print_table(
+        "Figure 8: IPC normalized to no prefetching",
+        &columns,
+        &ipc_rows,
+    );
 
     println!("\npaper IPC means: stms 1.149, domino 1.217, isb 1.282, bo 1.133, delta-lstm 1.246, voyager 1.416");
 }

@@ -8,7 +8,9 @@
 //! irregular workloads) and the search/ads gap.
 
 use voyager::{DeltaLstm, DeltaLstmConfig};
-use voyager_bench::{baseline_predictions, prepare, voyager_profiled_run, voyager_run, Scale, UNIFIED_WINDOW};
+use voyager_bench::{
+    baseline_predictions, prepare, voyager_profiled_run, voyager_run, Scale, UNIFIED_WINDOW,
+};
 use voyager_prefetch::{BestOffset, Domino, Isb, Prefetcher, Stms};
 use voyager_sim::unified_accuracy_coverage_windowed as score;
 use voyager_trace::gen::Benchmark;
@@ -41,10 +43,20 @@ fn main() {
     }
     voyager_bench::print_table(
         "Figure 7: unified accuracy/coverage (window 10)",
-        &["stms", "domino", "isb", "bo", "delta-lstm", "voyager", "voyager-prof"],
+        &[
+            "stms",
+            "domino",
+            "isb",
+            "bo",
+            "delta-lstm",
+            "voyager",
+            "voyager-prof",
+        ],
         &rows,
     );
     println!("\npaper means: stms 0.386, domino 0.433, isb 0.511, bo 0.288, delta-lstm 0.529, voyager 0.739");
     println!("(voyager = online protocol of Section 5.1; voyager-prof = profile-driven protocol of Section 5.5,");
-    println!(" the apples-to-apples counterpart of the idealized, unbounded-metadata table baselines)");
+    println!(
+        " the apples-to-apples counterpart of the idealized, unbounded-metadata table baselines)"
+    );
 }

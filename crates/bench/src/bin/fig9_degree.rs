@@ -38,7 +38,10 @@ fn main() {
         }
     }
     println!("\n== Figure 9: mean coverage vs prefetch degree ==");
-    println!("{:<8} {:>10} {:>10} {:>10}", "degree", "isb", "isb+bo", "voyager");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "degree", "isb", "isb+bo", "voyager"
+    );
     for (di, &d) in DEGREES.iter().enumerate() {
         println!(
             "{:<8} {:>10.3} {:>10.3} {:>10.3}",

@@ -49,7 +49,10 @@ fn main() {
     let (comp_frac, cov_without) = compulsory_stats(stream, &without.predictions);
     let (_, cov_with) = compulsory_stats(stream, &with.predictions);
     println!("\n== mcf delta-vocabulary ablation ==");
-    println!("compulsory (first-touch) fraction of stream: {:.3} (paper: 0.216)", comp_frac);
+    println!(
+        "compulsory (first-touch) fraction of stream: {:.3} (paper: 0.216)",
+        comp_frac
+    );
     println!(
         "compulsory coverage:  w/o delta {:.3}  ->  with delta {:.3} (paper: ~0 -> 0.99)",
         cov_without, cov_with

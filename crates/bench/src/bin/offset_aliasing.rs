@@ -29,8 +29,11 @@ fn main() {
         rows.push((
             b.name().to_string(),
             vec![
-                with.unified_score_windowed(&w.stream, UNIFIED_WINDOW).value(),
-                naive.unified_score_windowed(&w.stream, UNIFIED_WINDOW).value(),
+                with.unified_score_windowed(&w.stream, UNIFIED_WINDOW)
+                    .value(),
+                naive
+                    .unified_score_windowed(&w.stream, UNIFIED_WINDOW)
+                    .value(),
             ],
         ));
     }

@@ -13,7 +13,10 @@ use voyager_trace::stats::TraceStats;
 fn main() {
     let scale = Scale::from_env();
     println!("Table 2: benchmark statistics ({:?} scale)", scale);
-    println!("{:<12} {:>8} {:>12} {:>8} {:>10}", "benchmark", "#PCs", "#addresses", "#pages", "#accesses");
+    println!(
+        "{:<12} {:>8} {:>12} {:>8} {:>10}",
+        "benchmark", "#PCs", "#addresses", "#pages", "#accesses"
+    );
     for b in Benchmark::all() {
         let trace = b.generate(&scale.generator());
         let s = TraceStats::of(&trace);

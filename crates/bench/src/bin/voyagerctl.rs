@@ -13,6 +13,18 @@
 //!     unified metric and, for generated benchmarks, the simulator.
 //! voyagerctl simpoints <benchmark|trace.vtrc> [interval] [k]
 //!     SimPoint phase analysis.
+//! voyagerctl train <benchmark|trace.vtrc> [--workers N] [--steps S]
+//!                  [--passes P] [--config test|scaled]
+//!                  [--checkpoint-dir DIR]
+//!     Data-parallel training over N worker threads. Per-step losses
+//!     are bitwise-identical for any N at a fixed seed; only the
+//!     wall-clock changes.
+//! voyagerctl serve-bench <benchmark|trace.vtrc> [--requests N]
+//!                        [--clients C] [--max-batch B]
+//!                        [--max-delay-us U] [--degree D]
+//!                        [--config test|scaled]
+//!     Drive the microbatched inference server with C client threads
+//!     and print throughput plus p50/p99 latency.
 //! ```
 
 use std::fs::File;
@@ -20,10 +32,14 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use std::str::FromStr;
 
-use voyager::{DeltaLstm, DeltaLstmConfig, OnlineRun, VoyagerConfig};
+use voyager::{DeltaLstm, DeltaLstmConfig, OnlineRun, TrainingSet, VoyagerConfig, VoyagerModel};
 use voyager_prefetch::{
-    BestOffset, Domino, Isb, IsbBoHybrid, IsbStructural, Markov, NextLine, Prefetcher, Sms,
-    StridePc, Stms, Vldp,
+    BestOffset, Domino, Isb, IsbBoHybrid, IsbStructural, Markov, NextLine, Prefetcher, Sms, Stms,
+    StridePc, Vldp,
+};
+use voyager_runtime::{
+    train_data_parallel, CheckpointManager, InferenceRequest, MicrobatchConfig, MicrobatchServer,
+    TrainerConfig, VoyagerService,
 };
 use voyager_sim::{llc_stream, unified_accuracy_coverage_windowed, SimConfig};
 use voyager_trace::gen::{Benchmark, GeneratorConfig};
@@ -40,8 +56,10 @@ fn main() -> ExitCode {
         Some("filter") => cmd_filter(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("simpoints") => cmd_simpoints(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("serve-bench") => cmd_serve_bench(&args[1..]),
         _ => {
-            eprintln!("usage: voyagerctl <gen|stats|filter|run|simpoints> ... (see --help in the module docs)");
+            eprintln!("usage: voyagerctl <gen|stats|filter|run|simpoints|train|serve-bench> ... (see --help in the module docs)");
             return ExitCode::from(2);
         }
     };
@@ -145,9 +163,203 @@ fn cmd_run(args: &[String]) -> CliResult {
     };
     let strict = unified_accuracy_coverage_windowed(&stream, &predictions, 1);
     let windowed = unified_accuracy_coverage_windowed(&stream, &predictions, 10);
-    println!("{} / {prefetcher} (degree {degree}) on {} LLC accesses", trace.name(), stream.len());
+    println!(
+        "{} / {prefetcher} (degree {degree}) on {} LLC accesses",
+        trace.name(),
+        stream.len()
+    );
     println!("  unified acc/cov strict:    {strict}");
     println!("  unified acc/cov window 10: {windowed}");
+    Ok(())
+}
+
+/// Parses `--flag value` pairs after the positional arguments.
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut flags = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, found {flag:?}"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} requires a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn config_preset(name: Option<&String>) -> Result<VoyagerConfig, String> {
+    match name.map(String::as_str) {
+        None | Some("scaled") => Ok(VoyagerConfig::scaled()),
+        Some("test") => Ok(VoyagerConfig::test()),
+        Some(other) => Err(format!("unknown config preset {other:?} (use test|scaled)")),
+    }
+}
+
+fn cmd_train(args: &[String]) -> CliResult {
+    let [source, rest @ ..] = args else {
+        return Err("usage: train <benchmark|trace.vtrc> [--workers N] [--steps S] [--passes P] [--config test|scaled] [--checkpoint-dir DIR]".into());
+    };
+    let flags = parse_flags(rest)?;
+    let workers: usize = flags
+        .get("workers")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(1);
+    let cfg = config_preset(flags.get("config"))?;
+    let trace = load(source)?;
+    let stream = llc_stream(&trace, &SimConfig::scaled());
+    let set = TrainingSet::build(&stream, &cfg);
+    if set.is_empty() {
+        return Err("stream produced no trainable samples".into());
+    }
+    let mut tcfg = TrainerConfig::new(workers, &cfg);
+    tcfg.passes = flags
+        .get("passes")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(1);
+    tcfg.max_steps = flags.get("steps").map(|v| v.parse()).transpose()?;
+    if let Some(rows) = flags.get("shard-rows") {
+        tcfg.shard_rows = rows.parse()?;
+    }
+    println!(
+        "training on {} ({} LLC accesses, {} samples) with {} worker(s), shard {} rows",
+        trace.name(),
+        stream.len(),
+        set.len(),
+        tcfg.workers,
+        tcfg.shard_rows
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if tcfg.workers > cores {
+        eprintln!(
+            "note: {} workers on {cores} core(s) — results stay identical, but the \
+             speedup needs at least as many cores as workers",
+            tcfg.workers
+        );
+    }
+    let (model, report) = train_data_parallel(&set, &cfg, &tcfg);
+    let show = report.step_losses.len().min(5);
+    for (i, loss) in report.step_losses[..show].iter().enumerate() {
+        println!("  step {:>4}  loss {loss:.6}", i + 1);
+    }
+    if report.step_losses.len() > show {
+        println!("  ... ({} more steps)", report.step_losses.len() - show);
+    }
+    println!(
+        "{} steps over {} samples in {:.2}s ({:.0} samples/s), final loss {:.6}",
+        report.steps,
+        report.samples,
+        report.wall_seconds,
+        report.throughput(),
+        report.step_losses.last().copied().unwrap_or(f32::NAN),
+    );
+    if let Some(dir) = flags.get("checkpoint-dir") {
+        let mgr = CheckpointManager::new(dir, 3)?;
+        let path = mgr.save(&model, report.steps as u64)?;
+        println!("checkpoint written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_serve_bench(args: &[String]) -> CliResult {
+    let [source, rest @ ..] = args else {
+        return Err("usage: serve-bench <benchmark|trace.vtrc> [--requests N] [--clients C] [--max-batch B] [--max-delay-us U] [--degree D] [--config test|scaled]".into());
+    };
+    let flags = parse_flags(rest)?;
+    let cfg = config_preset(flags.get("config"))?;
+    let requests: usize = flags
+        .get("requests")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(2000);
+    let clients: usize = flags
+        .get("clients")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(4)
+        .max(1);
+    let degree: usize = flags
+        .get("degree")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(2);
+    let mb = MicrobatchConfig {
+        max_batch: flags
+            .get("max-batch")
+            .map(|v| v.parse())
+            .transpose()?
+            .unwrap_or(32),
+        max_delay: std::time::Duration::from_micros(
+            flags
+                .get("max-delay-us")
+                .map(|v| v.parse())
+                .transpose()?
+                .unwrap_or(500),
+        ),
+    };
+    let trace = load(source)?;
+    let stream = llc_stream(&trace, &SimConfig::scaled());
+    let vocab = voyager_trace::vocab::Vocabulary::build(&stream, &cfg.vocab);
+    let tokens = vocab.tokenize(&stream);
+    if tokens.len() < cfg.seq_len {
+        return Err("stream shorter than one history window".into());
+    }
+    // History windows over the stream, reused round-robin as the
+    // request workload.
+    let windows: Vec<InferenceRequest> = (cfg.seq_len - 1..tokens.len())
+        .map(|t| {
+            let w = &tokens[t + 1 - cfg.seq_len..=t];
+            InferenceRequest {
+                pc: w.iter().map(|a| a.pc as usize).collect(),
+                page: w.iter().map(|a| a.page as usize).collect(),
+                offset: w.iter().map(|a| a.offset as usize).collect(),
+            }
+        })
+        .collect();
+    let model = VoyagerModel::new(
+        &cfg,
+        vocab.pc_vocab_len(),
+        vocab.page_vocab_len(),
+        vocab.offset_vocab_len(),
+    );
+    println!(
+        "serving {} requests from {} client(s) (max batch {}, max delay {:?}, degree {degree})",
+        requests, clients, mb.max_batch, mb.max_delay
+    );
+    let (server, client) = MicrobatchServer::spawn(VoyagerService::new(model, degree), mb);
+    let per_client = requests.div_ceil(clients);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let client = client.clone();
+            let windows = &windows;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let req = windows[(c * per_client + i) % windows.len()].clone();
+                    if client.infer(req).is_none() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    drop(client);
+    let stats = server.join();
+    println!(
+        "served {} requests in {} batches ({:.1} mean batch size) over {:.2}s",
+        stats.requests,
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.wall_seconds
+    );
+    println!("  throughput: {:.0} requests/s", stats.throughput());
+    println!(
+        "  latency: p50 {:?}, p99 {:?}",
+        stats.latency_quantile(0.5),
+        stats.latency_quantile(0.99)
+    );
     Ok(())
 }
 
@@ -155,13 +367,23 @@ fn cmd_simpoints(args: &[String]) -> CliResult {
     let [source, rest @ ..] = args else {
         return Err("usage: simpoints <benchmark|trace.vtrc> [interval] [k]".into());
     };
-    let interval: usize = rest.first().map(|v| v.parse()).transpose()?.unwrap_or(5_000);
+    let interval: usize = rest
+        .first()
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(5_000);
     let k: usize = rest.get(1).map(|v| v.parse()).transpose()?.unwrap_or(4);
     let trace = load(source)?;
     let points = simpoints(&trace, interval, k);
-    println!("{trace}: {} SimPoints (interval {interval}, k {k})", points.len());
+    println!(
+        "{trace}: {} SimPoints (interval {interval}, k {k})",
+        points.len()
+    );
     for p in points {
-        println!("  start {:>8}  len {:>6}  weight {:.3}", p.start, p.len, p.weight);
+        println!(
+            "  start {:>8}  len {:>6}  weight {:.3}",
+            p.start, p.len, p.weight
+        );
     }
     Ok(())
 }

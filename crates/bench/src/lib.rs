@@ -83,7 +83,11 @@ pub fn prepare(benchmark: Benchmark, scale: Scale) -> Workload {
     } else {
         trace.clone()
     };
-    Workload { benchmark, trace, stream }
+    Workload {
+        benchmark,
+        trace,
+        stream,
+    }
 }
 
 /// Collects per-access prediction sets from a classical prefetcher over
@@ -172,7 +176,11 @@ pub fn sim_comparison(workload: &Workload, degree: usize, neural: bool) -> SimCo
             replay_sim(&workload.trace, vp.predictions, degree),
         ));
     }
-    SimComparison { benchmark: workload.benchmark.name().to_string(), baseline, results }
+    SimComparison {
+        benchmark: workload.benchmark.name().to_string(),
+        baseline,
+        results,
+    }
 }
 
 /// Arithmetic mean (0.0 for an empty slice).
@@ -204,7 +212,10 @@ pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<f64>)]) {
     if !rows.is_empty() {
         print!("{:<12}", "mean");
         for col in 0..columns.len() {
-            let vals: Vec<f64> = rows.iter().filter_map(|(_, v)| v.get(col).copied()).collect();
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter_map(|(_, v)| v.get(col).copied())
+                .collect();
             print!(" {:>12.3}", mean(&vals));
         }
         println!();

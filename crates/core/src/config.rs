@@ -26,7 +26,10 @@ pub struct FeatureSet {
 
 impl Default for FeatureSet {
     fn default() -> Self {
-        FeatureSet { pc: true, address: true }
+        FeatureSet {
+            pc: true,
+            address: true,
+        }
     }
 }
 
@@ -108,7 +111,12 @@ impl VoyagerConfig {
             labels: LabelMode::Multi,
             features: FeatureSet::default(),
             page_aware_attention: true,
-            vocab: VocabConfig { max_pages: 100_000, max_deltas: 10, min_address_freq: 2, max_pcs: 65_536 },
+            vocab: VocabConfig {
+                max_pages: 100_000,
+                max_deltas: 10,
+                min_address_freq: 2,
+                max_pcs: 65_536,
+            },
             seed: 0x1337,
         }
     }
@@ -137,7 +145,12 @@ impl VoyagerConfig {
             labels: LabelMode::Multi,
             features: FeatureSet::default(),
             page_aware_attention: true,
-            vocab: VocabConfig { max_pages: 2_048, max_deltas: 10, min_address_freq: 2, max_pcs: 2_048 },
+            vocab: VocabConfig {
+                max_pages: 2_048,
+                max_deltas: 10,
+                min_address_freq: 2,
+                max_pcs: 2_048,
+            },
             seed: 0x1337,
         }
     }
@@ -161,7 +174,12 @@ impl VoyagerConfig {
             labels: LabelMode::Multi,
             features: FeatureSet::default(),
             page_aware_attention: true,
-            vocab: VocabConfig { max_pages: 256, max_deltas: 8, min_address_freq: 2, max_pcs: 256 },
+            vocab: VocabConfig {
+                max_pages: 256,
+                max_deltas: 8,
+                min_address_freq: 2,
+                max_pcs: 256,
+            },
             seed: 0x1337,
         }
     }
@@ -217,7 +235,10 @@ impl VoyagerConfig {
         assert!(self.page_embed > 0 && self.experts > 0 && self.lstm_units > 0);
         assert!(self.dropout_keep > 0.0 && self.dropout_keep <= 1.0);
         assert!(self.batch_size > 0 && self.degree > 0);
-        assert_eq!(self.lstm_layers, 1, "this reproduction implements 1-layer LSTMs (Table 1)");
+        assert_eq!(
+            self.lstm_layers, 1,
+            "this reproduction implements 1-layer LSTMs (Table 1)"
+        );
         assert!(
             self.features.address || self.features.pc,
             "at least one input feature required"
@@ -264,7 +285,10 @@ mod tests {
             .with_degree(4)
             .with_labels(LabelMode::Single(LabelScheme::Pc))
             .without_deltas()
-            .with_features(FeatureSet { pc: false, address: true });
+            .with_features(FeatureSet {
+                pc: false,
+                address: true,
+            });
         assert_eq!(c.degree, 4);
         assert_eq!(c.labels, LabelMode::Single(LabelScheme::Pc));
         assert_eq!(c.vocab.max_deltas, 0);
@@ -282,7 +306,10 @@ mod tests {
     #[should_panic(expected = "at least one input feature")]
     fn featureless_config_rejected() {
         VoyagerConfig::test()
-            .with_features(FeatureSet { pc: false, address: false })
+            .with_features(FeatureSet {
+                pc: false,
+                address: false,
+            })
             .validate();
     }
 }

@@ -1,0 +1,196 @@
+//! Standalone training-set construction for the data-parallel runtime.
+//!
+//! [`OnlineRun`](crate::OnlineRun) builds its batches on the fly inside
+//! the online protocol loop. The concurrent trainer in
+//! `voyager-runtime` instead needs a *materialized* view of the
+//! trainable samples so that work can be sharded deterministically:
+//! every worker must agree on which stream positions are trainable, in
+//! which order, and what their targets are, regardless of how many
+//! workers there are. [`TrainingSet`] provides exactly that — the same
+//! usable-sample filter and multi-label targets as the online trainer,
+//! addressable by sample index.
+
+use voyager_tensor::Tensor2;
+use voyager_trace::labels::compute_labels;
+use voyager_trace::vocab::{TokenizedAccess, Vocabulary};
+use voyager_trace::Trace;
+
+use crate::{SeqBatch, VoyagerConfig};
+
+/// One trainable stream position: its index and its multi-label
+/// `(page, offset)` target tokens (non-rare candidate labels).
+#[derive(Debug, Clone)]
+struct TrainSample {
+    index: usize,
+    targets: Vec<(u32, u32)>,
+}
+
+/// A materialized, index-addressable training set over an access
+/// stream: the vocabulary, the tokenized stream, and every trainable
+/// sample with its multi-label targets.
+///
+/// Samples keep stream order. [`TrainingSet::slice_batch`] builds the
+/// model inputs for any contiguous sample range, which is the primitive
+/// the data-parallel trainer shards on.
+#[derive(Debug)]
+pub struct TrainingSet {
+    vocab: Vocabulary,
+    tokens: Vec<TokenizedAccess>,
+    samples: Vec<TrainSample>,
+    seq_len: usize,
+}
+
+impl TrainingSet {
+    /// Profiles `stream` (vocabulary + labels) and materializes every
+    /// trainable sample, using the multi-label scheme of Section 4.4: a
+    /// position is trainable when its history window exists and at
+    /// least one candidate label tokenizes to a non-rare page.
+    pub fn build(stream: &Trace, cfg: &VoyagerConfig) -> TrainingSet {
+        cfg.validate();
+        let vocab = Vocabulary::build(stream, &cfg.vocab);
+        let tokens = vocab.tokenize(stream);
+        let labels = compute_labels(stream);
+        let rare = vocab.rare_page_token();
+        let mut samples = Vec::new();
+        for (t, label) in labels.iter().enumerate() {
+            if t + 1 < cfg.seq_len {
+                continue;
+            }
+            let targets: Vec<(u32, u32)> = label
+                .candidates()
+                .filter(|&j| tokens[j as usize].page != rare)
+                .map(|j| {
+                    let tok = tokens[j as usize];
+                    (tok.page, tok.offset)
+                })
+                .collect();
+            if !targets.is_empty() {
+                samples.push(TrainSample { index: t, targets });
+            }
+        }
+        TrainingSet {
+            vocab,
+            tokens,
+            samples,
+            seq_len: cfg.seq_len,
+        }
+    }
+
+    /// Number of trainable samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when the stream produced no trainable samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The vocabulary the stream was tokenized with (use its sizes to
+    /// construct matching models).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// History window length of every sample.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Builds model inputs and multi-hot targets for samples
+    /// `start..end` (in stream order): the history-window batch plus
+    /// `[rows, page_vocab]` and `[rows, offset_vocab]` target tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn slice_batch(&self, start: usize, end: usize) -> (SeqBatch, Tensor2, Tensor2) {
+        assert!(
+            start < end && end <= self.samples.len(),
+            "bad sample range {start}..{end}"
+        );
+        let mut batch = SeqBatch::default();
+        let mut pt = Tensor2::zeros(end - start, self.vocab.page_vocab_len());
+        let mut ot = Tensor2::zeros(end - start, self.vocab.offset_vocab_len());
+        for (row, sample) in self.samples[start..end].iter().enumerate() {
+            let window = &self.tokens[sample.index + 1 - self.seq_len..=sample.index];
+            batch
+                .pc
+                .push(window.iter().map(|a| a.pc as usize).collect());
+            batch
+                .page
+                .push(window.iter().map(|a| a.page as usize).collect());
+            batch
+                .offset
+                .push(window.iter().map(|a| a.offset as usize).collect());
+            for &(p, o) in &sample.targets {
+                pt.set(row, p as usize, 1.0);
+                ot.set(row, o as usize, 1.0);
+            }
+        }
+        (batch, pt, ot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voyager_trace::MemoryAccess;
+
+    fn stream() -> Trace {
+        let mut t = Trace::new("s");
+        for i in 0..600u64 {
+            t.push(MemoryAccess::new(100 + i % 4, ((i * 17) % 300) * 64));
+        }
+        t
+    }
+
+    #[test]
+    fn samples_follow_the_usable_filter() {
+        let cfg = VoyagerConfig::test();
+        let set = TrainingSet::build(&stream(), &cfg);
+        assert!(!set.is_empty());
+        assert_eq!(set.seq_len(), cfg.seq_len);
+        // No sample may predate a full history window.
+        let (batch, pt, ot) = set.slice_batch(0, set.len().min(8));
+        assert_eq!(batch.len(), set.len().min(8));
+        assert_eq!(batch.seq_len(), cfg.seq_len);
+        assert_eq!(pt.shape().0, batch.len());
+        assert_eq!(ot.shape().0, batch.len());
+        // Every row has at least one positive page and offset target.
+        for r in 0..batch.len() {
+            assert!(pt.row(r).contains(&1.0));
+            assert!(ot.row(r).contains(&1.0));
+        }
+    }
+
+    #[test]
+    fn slicing_is_consistent_with_the_whole() {
+        let cfg = VoyagerConfig::test();
+        let set = TrainingSet::build(&stream(), &cfg);
+        let n = set.len().min(10);
+        let (whole, wpt, wot) = set.slice_batch(0, n);
+        let mid = n / 2;
+        let (a, apt, aot) = set.slice_batch(0, mid);
+        let (b, bpt, bot) = set.slice_batch(mid, n);
+        assert_eq!(a.len() + b.len(), whole.len());
+        for (i, row) in a.page.iter().chain(&b.page).enumerate() {
+            assert_eq!(row, &whole.page[i]);
+        }
+        for i in 0..mid {
+            assert_eq!(apt.row(i), wpt.row(i));
+            assert_eq!(aot.row(i), wot.row(i));
+        }
+        for i in mid..n {
+            assert_eq!(bpt.row(i - mid), wpt.row(i));
+            assert_eq!(bot.row(i - mid), wot.row(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sample range")]
+    fn empty_range_is_rejected() {
+        let set = TrainingSet::build(&stream(), &VoyagerConfig::test());
+        let _ = set.slice_batch(3, 3);
+    }
+}

@@ -12,8 +12,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use voyager_tensor::rng::{SeedableRng, StdRng};
 
 use voyager_nn::{Adam, Embedding, Linear, LstmCell, ParamStore, Session};
 use voyager_trace::Trace;
@@ -132,7 +131,14 @@ impl DeltaLstm {
         let emb = Embedding::new(&mut store, "delta_emb", vocab, cfg.embed, &mut rng);
         let lstm = LstmCell::new(&mut store, "delta_lstm", cfg.embed, cfg.hidden, &mut rng);
         let head = Linear::new(&mut store, "delta_head", cfg.hidden, vocab, &mut rng);
-        DeltaLstm { store, adam: Adam::new(cfg.learning_rate), emb, lstm, head, vocab }
+        DeltaLstm {
+            store,
+            adam: Adam::new(cfg.learning_rate),
+            emb,
+            lstm,
+            head,
+            vocab,
+        }
     }
 
     /// Total scalar parameter count (dominated by the delta embedding
@@ -168,7 +174,12 @@ impl DeltaLstm {
         let probs = sess.tape.softmax_rows(logits);
         let pv = sess.tape.value(probs);
         (0..batch.len())
-            .map(|row| pv.topk_row(row, k.min(self.vocab)).into_iter().map(|i| i as u32).collect())
+            .map(|row| {
+                pv.topk_row(row, k.min(self.vocab))
+                    .into_iter()
+                    .map(|i| i as u32)
+                    .collect()
+            })
             .collect()
     }
 
@@ -186,15 +197,21 @@ impl DeltaLstm {
         top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         top.truncate(cfg.max_deltas);
         let deltas: Vec<i64> = top.into_iter().map(|(d, _)| d).collect();
-        let index: HashMap<i64, u32> =
-            deltas.iter().enumerate().map(|(i, &d)| (d, i as u32)).collect();
+        let index: HashMap<i64, u32> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i as u32))
+            .collect();
         let rare = deltas.len() as u32;
         let vocab = deltas.len() + 1;
         // Token stream: token[t] = delta from access t-1 to t (token[0]
         // is rare).
         let tokens: Vec<u32> = std::iter::once(rare)
             .chain(lines.windows(2).map(|w| {
-                index.get(&(w[1] as i64 - w[0] as i64)).copied().unwrap_or(rare)
+                index
+                    .get(&(w[1] as i64 - w[0] as i64))
+                    .copied()
+                    .unwrap_or(rare)
             }))
             .collect();
 
@@ -220,20 +237,22 @@ impl DeltaLstm {
         let mut epoch_idx = 0usize;
         while epoch_start < n {
             let epoch_end = (epoch_start + epoch_len).min(n);
-            let usable: Vec<usize> =
-                (epoch_start..epoch_end).filter(|&t| t + 1 >= cfg.seq_len).collect();
+            let usable: Vec<usize> = (epoch_start..epoch_end)
+                .filter(|&t| t + 1 >= cfg.seq_len)
+                .collect();
             if epoch_idx > 0 {
                 let t0 = Instant::now();
                 for chunk in usable.chunks(cfg.batch_size) {
-                    let batch: Vec<&[u32]> =
-                        chunk.iter().map(|&t| &tokens[t + 1 - cfg.seq_len..=t]).collect();
+                    let batch: Vec<&[u32]> = chunk
+                        .iter()
+                        .map(|&t| &tokens[t + 1 - cfg.seq_len..=t])
+                        .collect();
                     let preds = model.predict_batch(&batch, cfg.degree);
                     for (&t, ds) in chunk.iter().zip(preds) {
                         let mut out = Vec::new();
                         for d in ds {
                             if d != rare {
-                                if let Some(line) =
-                                    lines[t].checked_add_signed(deltas[d as usize])
+                                if let Some(line) = lines[t].checked_add_signed(deltas[d as usize])
                                 {
                                     if !out.contains(&line) {
                                         out.push(line);
@@ -251,12 +270,17 @@ impl DeltaLstm {
             let t0 = Instant::now();
             let mut total = 0.0f64;
             let mut batches = 0;
-            let trainable: Vec<usize> =
-                usable.iter().copied().filter(|&t| t + 1 < n && tokens[t + 1] != rare).collect();
+            let trainable: Vec<usize> = usable
+                .iter()
+                .copied()
+                .filter(|&t| t + 1 < n && tokens[t + 1] != rare)
+                .collect();
             for _pass in 0..cfg.train_passes.max(1) {
                 for chunk in trainable.chunks(cfg.batch_size) {
-                    let batch: Vec<&[u32]> =
-                        chunk.iter().map(|&t| &tokens[t + 1 - cfg.seq_len..=t]).collect();
+                    let batch: Vec<&[u32]> = chunk
+                        .iter()
+                        .map(|&t| &tokens[t + 1 - cfg.seq_len..=t])
+                        .collect();
                     let targets: Vec<usize> =
                         chunk.iter().map(|&t| tokens[t + 1] as usize).collect();
                     total += model.train_batch(&batch, &targets) as f64;
@@ -264,7 +288,11 @@ impl DeltaLstm {
                 }
             }
             run.train_seconds += t0.elapsed().as_secs_f64();
-            run.epoch_losses.push(if batches == 0 { 0.0 } else { (total / batches as f64) as f32 });
+            run.epoch_losses.push(if batches == 0 {
+                0.0
+            } else {
+                (total / batches as f64) as f32
+            });
             epoch_start = epoch_end;
             epoch_idx += 1;
         }
@@ -296,7 +324,10 @@ mod tests {
         let stream = strided_stream(2400);
         let run = DeltaLstm::run_online(&stream, &DeltaLstmConfig::test());
         let score = run.unified_score(&stream);
-        assert!(score.value() > 0.5, "Delta-LSTM failed on delta pattern: {score}");
+        assert!(
+            score.value() > 0.5,
+            "Delta-LSTM failed on delta pattern: {score}"
+        );
     }
 
     #[test]
@@ -325,7 +356,10 @@ mod tests {
         cfg.max_deltas = 2; // too small to represent the pattern's deltas
         let run = DeltaLstm::run_online(&t, &cfg);
         let score = run.unified_score(&t);
-        assert!(score.value() < 0.3, "should fail without delta coverage: {score}");
+        assert!(
+            score.value() < 0.3,
+            "should fail without delta coverage: {score}"
+        );
     }
 
     #[test]

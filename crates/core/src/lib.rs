@@ -47,12 +47,16 @@
 #![warn(missing_docs)]
 
 mod config;
+mod data;
 mod delta_lstm;
 mod model;
 mod online;
 mod replay;
 
+pub use voyager_tensor::rng;
+
 pub use config::{FeatureSet, LabelMode, VoyagerConfig};
+pub use data::TrainingSet;
 pub use delta_lstm::{DeltaLstm, DeltaLstmConfig};
 pub use model::{SeqBatch, VoyagerModel};
 pub use online::OnlineRun;

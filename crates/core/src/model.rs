@@ -1,9 +1,10 @@
 //! The Voyager neural network (paper Fig. 2).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use voyager_tensor::rng::{SeedableRng, StdRng};
 
-use voyager_nn::{compress, Adam, Embedding, ExpertAttention, Linear, LstmCell, ParamStore, Session};
+use voyager_nn::{
+    compress, Adam, Embedding, ExpertAttention, GradSet, Linear, LstmCell, ParamStore, Session,
+};
 use voyager_tensor::{Tensor2, Var};
 
 use crate::VoyagerConfig;
@@ -42,7 +43,11 @@ impl SeqBatch {
 
     fn validate(&self) {
         assert_eq!(self.pc.len(), self.page.len(), "pc/page batch mismatch");
-        assert_eq!(self.offset.len(), self.page.len(), "offset/page batch mismatch");
+        assert_eq!(
+            self.offset.len(),
+            self.page.len(),
+            "offset/page batch mismatch"
+        );
         let l = self.seq_len();
         assert!(l > 0, "empty sequences");
         for seq in self.pc.iter().chain(&self.page).chain(&self.offset) {
@@ -82,29 +87,68 @@ impl VoyagerModel {
     ///
     /// Panics if the configuration is invalid (see
     /// [`VoyagerConfig::validate`]).
-    pub fn new(cfg: &VoyagerConfig, pc_vocab: usize, page_vocab: usize, offset_vocab: usize) -> Self {
+    pub fn new(
+        cfg: &VoyagerConfig,
+        pc_vocab: usize,
+        page_vocab: usize,
+        offset_vocab: usize,
+    ) -> Self {
         cfg.validate();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut store = ParamStore::new();
-        let pc_emb = Embedding::new(&mut store, "pc_emb", pc_vocab.max(1), cfg.pc_embed, &mut rng);
-        let page_emb =
-            Embedding::new(&mut store, "page_emb", page_vocab.max(1), cfg.page_embed, &mut rng);
+        let pc_emb = Embedding::new(
+            &mut store,
+            "pc_emb",
+            pc_vocab.max(1),
+            cfg.pc_embed,
+            &mut rng,
+        );
+        let page_emb = Embedding::new(
+            &mut store,
+            "page_emb",
+            page_vocab.max(1),
+            cfg.page_embed,
+            &mut rng,
+        );
         // With attention, the offset embedding is `experts` chunks of
         // page_embed each (Fig. 3); the naive ablation uses a plain
         // page_embed-wide embedding that aliases across pages.
-        let offset_width =
-            if cfg.page_aware_attention { cfg.offset_embed() } else { cfg.page_embed };
-        let offset_emb =
-            Embedding::new(&mut store, "offset_emb", offset_vocab, offset_width, &mut rng);
+        let offset_width = if cfg.page_aware_attention {
+            cfg.offset_embed()
+        } else {
+            cfg.page_embed
+        };
+        let offset_emb = Embedding::new(
+            &mut store,
+            "offset_emb",
+            offset_vocab,
+            offset_width,
+            &mut rng,
+        );
         let attn = ExpertAttention::new(cfg.experts, 1.0 / (cfg.page_embed as f32).sqrt());
         let input_dim = input_dim(cfg);
         let page_lstm = LstmCell::new(&mut store, "page_lstm", input_dim, cfg.lstm_units, &mut rng);
-        let offset_lstm =
-            LstmCell::new(&mut store, "offset_lstm", input_dim, cfg.lstm_units, &mut rng);
-        let page_head =
-            Linear::new(&mut store, "page_head", cfg.lstm_units, page_vocab.max(1), &mut rng);
-        let offset_head =
-            Linear::new(&mut store, "offset_head", cfg.lstm_units, offset_vocab, &mut rng);
+        let offset_lstm = LstmCell::new(
+            &mut store,
+            "offset_lstm",
+            input_dim,
+            cfg.lstm_units,
+            &mut rng,
+        );
+        let page_head = Linear::new(
+            &mut store,
+            "page_head",
+            cfg.lstm_units,
+            page_vocab.max(1),
+            &mut rng,
+        );
+        let offset_head = Linear::new(
+            &mut store,
+            "offset_head",
+            cfg.lstm_units,
+            offset_vocab,
+            &mut rng,
+        );
         VoyagerModel {
             cfg: *cfg,
             store,
@@ -177,6 +221,97 @@ impl VoyagerModel {
         reader: R,
     ) -> Result<(), voyager_nn::serialize::LoadParamsError> {
         voyager_nn::serialize::load_params(reader, &mut self.store)
+    }
+
+    /// Writes a *training-state* checkpoint: weights plus optimizer
+    /// state (Adam moments, step count, decayed learning rate), so an
+    /// interrupted training run resumes exactly where it stopped —
+    /// unlike [`VoyagerModel::save`], which ships weights only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_training_state<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        voyager_nn::serialize::save_training_state(writer, &self.store, &self.adam)
+    }
+
+    /// Restores a checkpoint written by
+    /// [`VoyagerModel::save_training_state`] into a model built with the
+    /// same configuration and vocabulary sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or layout mismatch.
+    pub fn load_training_state<R: std::io::Read>(
+        &mut self,
+        reader: R,
+    ) -> Result<(), voyager_nn::serialize::LoadParamsError> {
+        voyager_nn::serialize::load_training_state(reader, &mut self.store, &mut self.adam)
+    }
+
+    /// Clones all parameter values, for broadcasting to replicas built
+    /// with the same configuration and vocabulary sizes (see
+    /// [`VoyagerModel::import_param_values`]).
+    pub fn export_param_values(&self) -> Vec<Tensor2> {
+        self.store.export_values()
+    }
+
+    /// Overwrites this model's parameters with values exported from a
+    /// same-layout model via [`VoyagerModel::export_param_values`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on layout mismatch.
+    pub fn import_param_values(&mut self, values: &[Tensor2]) {
+        self.store.import_values(values);
+    }
+
+    /// Forward + backward on a multi-label batch *without* updating the
+    /// parameters: returns the summed loss and the materialized
+    /// gradients. Data-parallel workers run this on their shard; the
+    /// aggregated set is applied with [`VoyagerModel::apply_grad_set`].
+    ///
+    /// Dropout is driven by the model's own RNG, so replicas are only
+    /// bitwise-reproducible when `dropout_keep == 1.0`.
+    pub fn grad_multi(
+        &mut self,
+        batch: &SeqBatch,
+        page_targets: &Tensor2,
+        offset_targets: &Tensor2,
+    ) -> (f32, GradSet) {
+        assert_eq!(page_targets.shape(), (batch.len(), self.page_vocab));
+        assert_eq!(offset_targets.shape(), (batch.len(), self.offset_vocab));
+        let mut sess = Session::new();
+        let (pl, ol) = self.forward(&mut sess, batch, true);
+        let lp = sess.tape.bce_with_logits(pl, page_targets);
+        let lo = sess.tape.bce_with_logits(ol, offset_targets);
+        let loss = sess.tape.add(lp, lo);
+        let value = sess.tape.value(loss).get(0, 0);
+        (value, sess.collect_grads(loss))
+    }
+
+    /// Single-label counterpart of [`VoyagerModel::grad_multi`].
+    pub fn grad_single(
+        &mut self,
+        batch: &SeqBatch,
+        page_targets: &[usize],
+        offset_targets: &[usize],
+    ) -> (f32, GradSet) {
+        let mut sess = Session::new();
+        let (pl, ol) = self.forward(&mut sess, batch, true);
+        let lp = sess.tape.softmax_cross_entropy(pl, page_targets);
+        let lo = sess.tape.softmax_cross_entropy(ol, offset_targets);
+        let loss = sess.tape.add(lp, lo);
+        let value = sess.tape.value(loss).get(0, 0);
+        (value, sess.collect_grads(loss))
+    }
+
+    /// Applies one optimizer step from gradients collected via
+    /// [`VoyagerModel::grad_multi`] / [`VoyagerModel::grad_single`]
+    /// (possibly reduced across replicas with
+    /// [`GradSet::merge_scaled`]).
+    pub fn apply_grad_set(&mut self, grads: &GradSet) {
+        self.adam.apply_grad_set(&mut self.store, grads);
     }
 
     fn forward(&mut self, sess: &mut Session, batch: &SeqBatch, train: bool) -> (Var, Var) {
@@ -272,7 +407,7 @@ impl VoyagerModel {
         let page_probs = sess.tape.value(pp);
         let offset_probs = sess.tape.value(op);
         let mut out = Vec::with_capacity(batch.len());
-        let fan = k.min(4).max(1);
+        let fan = k.clamp(1, 4);
         for row in 0..batch.len() {
             let top_pages = page_probs.topk_row(row, k.min(self.page_vocab));
             let top_offsets = offset_probs.topk_row(row, fan.min(self.offset_vocab));
@@ -354,7 +489,10 @@ mod tests {
         for _ in 0..30 {
             last = m.train_multi(&b, &pt, &ot);
         }
-        assert!(last < first * 0.8, "loss did not decrease: {first} -> {last}");
+        assert!(
+            last < first * 0.8,
+            "loss did not decrease: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -378,9 +516,84 @@ mod tests {
     }
 
     #[test]
+    fn grad_then_apply_matches_train_multi() {
+        // The decomposed collect/apply path must reproduce the fused
+        // train_multi path bit for bit (dropout is off in the test
+        // config, so both run the same computation).
+        let cfg = VoyagerConfig::test();
+        let mut fused = VoyagerModel::new(&cfg, 16, 32, 64);
+        let mut split = VoyagerModel::new(&cfg, 16, 32, 64);
+        let b = batch(6, cfg.seq_len);
+        let mut pt = Tensor2::zeros(6, 32);
+        let mut ot = Tensor2::zeros(6, 64);
+        for i in 0..6 {
+            pt.set(i, (i * 5) % 32, 1.0);
+            ot.set(i, (i * 11) % 64, 1.0);
+        }
+        for _ in 0..3 {
+            let lf = fused.train_multi(&b, &pt, &ot);
+            let (ls, grads) = split.grad_multi(&b, &pt, &ot);
+            split.apply_grad_set(&grads);
+            assert_eq!(lf, ls);
+        }
+        for ((_, _, va), (_, _, vb)) in fused.store().iter().zip(split.store().iter()) {
+            assert_eq!(va.as_slice(), vb.as_slice());
+        }
+    }
+
+    #[test]
+    fn param_value_export_import_syncs_replicas() {
+        let cfg = VoyagerConfig::test();
+        let mut a = VoyagerModel::new(&cfg, 16, 32, 64);
+        let mut cfg2 = cfg;
+        cfg2.seed = 99; // different init, same layout
+        let mut b = VoyagerModel::new(&cfg2, 16, 32, 64);
+        let b4 = batch(4, cfg.seq_len);
+        let mut pt = Tensor2::zeros(4, 32);
+        let mut ot = Tensor2::zeros(4, 64);
+        for i in 0..4 {
+            pt.set(i, i * 7, 1.0);
+            ot.set(i, i * 13, 1.0);
+        }
+        for _ in 0..5 {
+            a.train_multi(&b4, &pt, &ot);
+        }
+        b.import_param_values(&a.export_param_values());
+        assert_eq!(a.predict(&b4, 2), b.predict(&b4, 2));
+    }
+
+    #[test]
+    fn training_state_roundtrip_resumes_bitwise() {
+        let cfg = VoyagerConfig::test();
+        let mut a = VoyagerModel::new(&cfg, 16, 32, 64);
+        let b4 = batch(4, cfg.seq_len);
+        let mut pt = Tensor2::zeros(4, 32);
+        let mut ot = Tensor2::zeros(4, 64);
+        for i in 0..4 {
+            pt.set(i, i * 7, 1.0);
+            ot.set(i, i * 13, 1.0);
+        }
+        for _ in 0..5 {
+            a.train_multi(&b4, &pt, &ot);
+        }
+        a.decay_lr(); // state beyond the weights must survive the roundtrip
+        let mut buf = Vec::new();
+        a.save_training_state(&mut buf).unwrap();
+        let mut b = VoyagerModel::new(&cfg, 16, 32, 64);
+        b.load_training_state(buf.as_slice()).unwrap();
+        for _ in 0..5 {
+            let la = a.train_multi(&b4, &pt, &ot);
+            let lb = b.train_multi(&b4, &pt, &ot);
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
     fn pc_feature_can_be_disabled() {
-        let cfg = VoyagerConfig::test()
-            .with_features(FeatureSet { pc: false, address: true });
+        let cfg = VoyagerConfig::test().with_features(FeatureSet {
+            pc: false,
+            address: true,
+        });
         let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
         let preds = m.predict(&batch(2, cfg.seq_len), 1);
         assert_eq!(preds.len(), 2);

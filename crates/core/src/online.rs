@@ -158,7 +158,15 @@ impl OnlineRun {
             prev_loss = loss;
         }
         let t0 = Instant::now();
-        predict_epoch(&mut model, cfg, &tokens, stream, &vocab, 0..n, &mut run.predictions);
+        predict_epoch(
+            &mut model,
+            cfg,
+            &tokens,
+            stream,
+            &vocab,
+            0..n,
+            &mut run.predictions,
+        );
         run.predict_seconds += t0.elapsed().as_secs_f64();
         run.predicted_accesses = n;
         run
@@ -199,9 +207,15 @@ fn make_batch(tokens: &[TokenizedAccess], indices: &[usize], seq_len: usize) -> 
     let mut batch = SeqBatch::default();
     for &t in indices {
         let window = &tokens[t + 1 - seq_len..=t];
-        batch.pc.push(window.iter().map(|a| a.pc as usize).collect());
-        batch.page.push(window.iter().map(|a| a.page as usize).collect());
-        batch.offset.push(window.iter().map(|a| a.offset as usize).collect());
+        batch
+            .pc
+            .push(window.iter().map(|a| a.pc as usize).collect());
+        batch
+            .page
+            .push(window.iter().map(|a| a.page as usize).collect());
+        batch
+            .offset
+            .push(window.iter().map(|a| a.offset as usize).collect());
     }
     batch
 }
@@ -259,33 +273,33 @@ fn train_epoch(
     let mut batches = 0usize;
     for _pass in 0..cfg.train_passes.max(1) {
         for chunk in usable.chunks(cfg.batch_size) {
-        let batch = make_batch(tokens, chunk, cfg.seq_len);
-        let loss = match cfg.labels {
-            LabelMode::Multi => {
-                let mut pt = Tensor2::zeros(chunk.len(), vocab.page_vocab_len());
-                let mut ot = Tensor2::zeros(chunk.len(), vocab.offset_vocab_len());
-                for (row, &t) in chunk.iter().enumerate() {
-                    for j in labels[t].candidates() {
-                        let tok = tokens[j as usize];
-                        if tok.page != rare {
-                            pt.set(row, tok.page as usize, 1.0);
-                            ot.set(row, tok.offset as usize, 1.0);
+            let batch = make_batch(tokens, chunk, cfg.seq_len);
+            let loss = match cfg.labels {
+                LabelMode::Multi => {
+                    let mut pt = Tensor2::zeros(chunk.len(), vocab.page_vocab_len());
+                    let mut ot = Tensor2::zeros(chunk.len(), vocab.offset_vocab_len());
+                    for (row, &t) in chunk.iter().enumerate() {
+                        for j in labels[t].candidates() {
+                            let tok = tokens[j as usize];
+                            if tok.page != rare {
+                                pt.set(row, tok.page as usize, 1.0);
+                                ot.set(row, tok.offset as usize, 1.0);
+                            }
                         }
                     }
+                    model.train_multi(&batch, &pt, &ot)
                 }
-                model.train_multi(&batch, &pt, &ot)
-            }
-            LabelMode::Single(scheme) => {
-                let mut pages = Vec::with_capacity(chunk.len());
-                let mut offsets = Vec::with_capacity(chunk.len());
-                for &t in chunk {
-                    let j = labels[t].get(scheme).expect("filtered above") as usize;
-                    pages.push(tokens[j].page as usize);
-                    offsets.push(tokens[j].offset as usize);
+                LabelMode::Single(scheme) => {
+                    let mut pages = Vec::with_capacity(chunk.len());
+                    let mut offsets = Vec::with_capacity(chunk.len());
+                    for &t in chunk {
+                        let j = labels[t].get(scheme).expect("filtered above") as usize;
+                        pages.push(tokens[j].page as usize);
+                        offsets.push(tokens[j].offset as usize);
+                    }
+                    model.train_single(&batch, &pages, &offsets)
                 }
-                model.train_single(&batch, &pages, &offsets)
-            }
-        };
+            };
             total += loss as f64;
             batches += 1;
         }

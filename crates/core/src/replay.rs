@@ -34,7 +34,11 @@ impl ReplayPrefetcher {
     /// Wraps per-access prediction sets (aligned with the LLC access
     /// stream the simulator will produce).
     pub fn new(predictions: Vec<Vec<u64>>) -> Self {
-        ReplayPrefetcher { predictions, pos: 0, degree: usize::MAX }
+        ReplayPrefetcher {
+            predictions,
+            pos: 0,
+            degree: usize::MAX,
+        }
     }
 
     /// Number of accesses consumed so far.

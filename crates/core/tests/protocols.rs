@@ -23,10 +23,19 @@ fn profiled_protocol_predicts_the_whole_stream() {
     let run = OnlineRun::execute_profiled(&stream, &cfg);
     assert_eq!(run.predicted_accesses, stream.len());
     // Unlike the online protocol, early accesses get predictions too.
-    let early_nonempty = run.predictions[..100].iter().filter(|p| !p.is_empty()).count();
-    assert!(early_nonempty > 50, "profiled run should predict early accesses");
+    let early_nonempty = run.predictions[..100]
+        .iter()
+        .filter(|p| !p.is_empty())
+        .count();
+    assert!(
+        early_nonempty > 50,
+        "profiled run should predict early accesses"
+    );
     let score = run.unified_score_windowed(&stream, 10);
-    assert!(score.value() > 0.6, "profiled run should master a repeating pattern: {score}");
+    assert!(
+        score.value() > 0.6,
+        "profiled run should master a repeating pattern: {score}"
+    );
 }
 
 #[test]
@@ -36,8 +45,7 @@ fn profiled_beats_online_on_short_streams() {
     let stream = repeating_stream(150);
     let cfg = VoyagerConfig::test();
     let online = OnlineRun::execute(&stream, &cfg).unified_score_windowed(&stream, 10);
-    let profiled =
-        OnlineRun::execute_profiled(&stream, &cfg).unified_score_windowed(&stream, 10);
+    let profiled = OnlineRun::execute_profiled(&stream, &cfg).unified_score_windowed(&stream, 10);
     assert!(
         profiled.value() >= online.value(),
         "profiled {profiled} should not lose to online {online} here"
@@ -66,9 +74,10 @@ fn attention_ablation_changes_model_size_not_interface() {
 fn degree_is_respected_by_both_protocols() {
     let stream = repeating_stream(120);
     let cfg = VoyagerConfig::test().with_degree(3);
-    for run in
-        [OnlineRun::execute(&stream, &cfg), OnlineRun::execute_profiled(&stream, &cfg)]
-    {
+    for run in [
+        OnlineRun::execute(&stream, &cfg),
+        OnlineRun::execute_profiled(&stream, &cfg),
+    ] {
         assert!(run.predictions.iter().all(|p| p.len() <= 3));
     }
 }
@@ -88,7 +97,10 @@ fn all_unique_addresses_stream_is_handled_gracefully() {
     let score = run.unified_score_windowed(&t, 10);
     // A +7-line stride is one page delta pattern away: the delta
     // vocabulary should capture a good share of it.
-    assert!(score.value() > 0.2, "delta tokens should cover a strided compulsory stream: {score}");
+    assert!(
+        score.value() > 0.2,
+        "delta tokens should cover a strided compulsory stream: {score}"
+    );
 }
 
 #[test]

@@ -20,7 +20,10 @@ use crate::ParamStore;
 ///
 /// Panics unless `0.0 <= fraction <= 1.0`.
 pub fn prune_magnitude(store: &mut ParamStore, fraction: f32) -> usize {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     let mut magnitudes: Vec<f32> = Vec::with_capacity(store.num_scalars());
     for (_, _, value) in store.iter() {
         magnitudes.extend(value.as_slice().iter().map(|v| v.abs()));
@@ -95,7 +98,13 @@ impl QuantizedTensor {
             .iter()
             .map(|&v| ((v / scale).round() as i32 + zero_point).clamp(-128, 127) as i8)
             .collect();
-        QuantizedTensor { rows, cols, scale, zero_point, data }
+        QuantizedTensor {
+            rows,
+            cols,
+            scale,
+            zero_point,
+            data,
+        }
     }
 
     /// Reconstructs an `f32` tensor (lossy).
@@ -103,7 +112,10 @@ impl QuantizedTensor {
         Tensor2::from_vec(
             self.rows,
             self.cols,
-            self.data.iter().map(|&q| (q as i32 - self.zero_point) as f32 * self.scale).collect(),
+            self.data
+                .iter()
+                .map(|&q| (q as i32 - self.zero_point) as f32 * self.scale)
+                .collect(),
         )
     }
 
@@ -170,8 +182,7 @@ pub fn model_size(store: &ParamStore) -> ModelSize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use voyager_tensor::rng::{SeedableRng, StdRng};
 
     #[test]
     fn prune_removes_requested_fraction() {
@@ -247,6 +258,9 @@ mod tests {
         store.register("a", Tensor2::uniform(10, 10, 0.5, &mut rng));
         store.register("b", Tensor2::uniform(5, 5, 0.5, &mut rng));
         let err = quantize_store_inplace(&mut store);
-        assert!(err > 0.0 && err < 0.01, "unexpected quantization error {err}");
+        assert!(
+            err > 0.0 && err < 0.01,
+            "unexpected quantization error {err}"
+        );
     }
 }

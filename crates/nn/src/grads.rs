@@ -1,0 +1,309 @@
+//! Materialized gradients, decoupled from the tape that produced them.
+//!
+//! [`Session::step`](crate::Session::step) couples backward pass and
+//! optimizer application; data-parallel training needs them apart. A
+//! worker runs [`Session::collect_grads`](crate::Session::collect_grads)
+//! on its shard to obtain a [`GradSet`], the aggregator reduces the
+//! shards with [`GradSet::merge_scaled`] in a fixed order, and a single
+//! optimizer applies the result with
+//! [`Adam::apply_grad_set`](crate::Adam::apply_grad_set). Because every
+//! shard runs the same model code, all shards produce structurally
+//! identical sets (same parameter ids in the same order), which is what
+//! makes the entry-wise merge below valid.
+
+use voyager_tensor::Tensor2;
+
+use crate::ParamId;
+
+/// Gradient of one parameter tensor.
+#[derive(Debug, Clone)]
+pub enum GradEntry {
+    /// Gradient for the full parameter tensor.
+    Dense(Tensor2),
+    /// Row gradients for an embedding table gathered via
+    /// [`Session::gather`](crate::Session::gather): `grad.row(i)` is the
+    /// gradient of table row `rows[i]`. Duplicate rows are legal and are
+    /// coalesced at application time.
+    Sparse {
+        /// Touched table rows, in gather order.
+        rows: Vec<usize>,
+        /// One gradient row per entry of `rows`.
+        grad: Tensor2,
+    },
+}
+
+/// The gradients of one backward pass (or a weighted reduction of
+/// several), keyed by parameter id in binding order.
+#[derive(Debug, Clone, Default)]
+pub struct GradSet {
+    entries: Vec<(ParamId, GradEntry)>,
+}
+
+impl GradSet {
+    /// Creates an empty set (the identity of [`GradSet::merge_scaled`]).
+    pub fn new() -> Self {
+        GradSet::default()
+    }
+
+    pub(crate) fn from_entries(entries: Vec<(ParamId, GradEntry)>) -> Self {
+        GradSet { entries }
+    }
+
+    /// Number of parameter gradients in the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the set holds no gradients.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, gradient)` pairs in binding order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &GradEntry)> {
+        self.entries.iter().map(|(id, e)| (*id, e))
+    }
+
+    /// Accumulates `other * weight` into `self`.
+    ///
+    /// Merging into an empty set clones `other` (scaled); otherwise the
+    /// two sets must be structurally identical — same parameter ids in
+    /// the same order, dense-vs-sparse agreeing per id — as is the case
+    /// for shards produced by the same model code. Dense gradients are
+    /// added; sparse gradients are concatenated (coalescing happens when
+    /// the optimizer applies them).
+    ///
+    /// With shard weights `len(shard) / len(batch)` this reproduces the
+    /// gradient of the mean-reduced loss over the whole batch, and
+    /// reducing shards in a fixed order makes the result independent of
+    /// how shards were assigned to workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both sets are non-empty and structurally different.
+    pub fn merge_scaled(&mut self, other: &GradSet, weight: f32) {
+        if self.entries.is_empty() {
+            self.entries = other
+                .entries
+                .iter()
+                .map(|(id, e)| (*id, scale_entry(e, weight)))
+                .collect();
+            return;
+        }
+        assert_eq!(
+            self.entries.len(),
+            other.entries.len(),
+            "cannot merge structurally different GradSets"
+        );
+        for ((id_a, a), (id_b, b)) in self.entries.iter_mut().zip(&other.entries) {
+            assert_eq!(id_a, id_b, "GradSet parameter order differs");
+            match (a, b) {
+                (GradEntry::Dense(da), GradEntry::Dense(db)) => da.add_scaled(db, weight),
+                (
+                    GradEntry::Sparse { rows: ra, grad: ga },
+                    GradEntry::Sparse { rows: rb, grad: gb },
+                ) => {
+                    ra.extend_from_slice(rb);
+                    let cols = ga.cols();
+                    assert_eq!(cols, gb.cols(), "sparse gradient widths differ");
+                    let mut data = ga.as_slice().to_vec();
+                    data.extend(gb.as_slice().iter().map(|&g| g * weight));
+                    *ga = Tensor2::from_vec(ra.len(), cols, data);
+                }
+                _ => panic!("GradSet entry kind differs for parameter {id_a:?}"),
+            }
+        }
+    }
+
+    /// Collapses duplicate rows in every sparse entry, accumulating in
+    /// first-occurrence order (the same order the optimizer's own
+    /// coalescing uses, so per-row sums are bitwise unchanged).
+    ///
+    /// A merged gradient repeats each gathered row once per shard and
+    /// once per in-shard occurrence; every replica applying it would
+    /// redo the same duplicate bookkeeping. Coalescing once at the
+    /// aggregator does that work a single time before broadcast.
+    pub fn coalesce_sparse(&mut self) {
+        for (_, entry) in &mut self.entries {
+            let GradEntry::Sparse { rows, grad } = entry else {
+                continue;
+            };
+            let cols = grad.cols();
+            let mut slot_of = std::collections::HashMap::with_capacity(rows.len());
+            let mut out_rows: Vec<usize> = Vec::new();
+            let mut data: Vec<f32> = Vec::new();
+            for (i, &r) in rows.iter().enumerate() {
+                let slot = *slot_of.entry(r).or_insert_with(|| {
+                    out_rows.push(r);
+                    data.extend(std::iter::repeat_n(0.0, cols));
+                    out_rows.len() - 1
+                });
+                for (acc, &g) in data[slot * cols..(slot + 1) * cols]
+                    .iter_mut()
+                    .zip(grad.row(i))
+                {
+                    *acc += g;
+                }
+            }
+            if out_rows.len() < rows.len() {
+                *rows = out_rows;
+                *grad = Tensor2::from_vec(rows.len(), cols, data);
+            }
+        }
+    }
+
+    /// Sum of squared gradient elements across all entries — the squared
+    /// global norm used for clipping, matching what
+    /// [`Session::step`](crate::Session::step) computes for a
+    /// single-tape pass.
+    pub fn sq_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|(_, e)| match e {
+                GradEntry::Dense(g) => g.sq_norm(),
+                GradEntry::Sparse { grad, .. } => grad.sq_norm(),
+            })
+            .sum()
+    }
+}
+
+fn scale_entry(e: &GradEntry, weight: f32) -> GradEntry {
+    match e {
+        GradEntry::Dense(g) => GradEntry::Dense(g.map(|x| x * weight)),
+        GradEntry::Sparse { rows, grad } => GradEntry::Sparse {
+            rows: rows.clone(),
+            grad: grad.map(|x| x * weight),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, ParamStore, Session};
+
+    #[test]
+    fn collect_then_apply_matches_step() {
+        // Identical models + data: sess.step() and
+        // collect_grads()/apply_grad_set() must produce the same values.
+        let build = || {
+            let mut store = ParamStore::new();
+            let w = store.register("w", Tensor2::from_rows(&[&[1.0, -2.0]]));
+            let e = store.register("e", Tensor2::from_rows(&[&[0.5], &[1.5]]));
+            (store, w, e)
+        };
+        let (mut s1, w1, e1) = build();
+        let (mut s2, w2, e2) = build();
+        let mut a1 = Adam::new(0.05);
+        let mut a2 = Adam::new(0.05);
+        for _ in 0..5 {
+            let run = |store: &ParamStore, w: ParamId, e: ParamId, sess: &mut Session| {
+                let wv = sess.param(store, w);
+                let ev = sess.gather(store, e, &[1, 0, 1]);
+                let sum_w = sess.tape.sum_all(wv);
+                let sum_e = sess.tape.sum_all(ev);
+                let loss = sess.tape.add(sum_w, sum_e);
+                let sq = sess.tape.mul(loss, loss);
+                sess.tape.sum_all(sq)
+            };
+            let mut sess1 = Session::new();
+            let loss1 = run(&s1, w1, e1, &mut sess1);
+            sess1.step(loss1, &mut s1, &mut a1);
+
+            let mut sess2 = Session::new();
+            let loss2 = run(&s2, w2, e2, &mut sess2);
+            let grads = sess2.collect_grads(loss2);
+            a2.apply_grad_set(&mut s2, &grads);
+        }
+        for ((_, _, va), (_, _, vb)) in s1.iter().zip(s2.iter()) {
+            assert_eq!(va.as_slice(), vb.as_slice());
+        }
+        assert_eq!(a1.steps(), a2.steps());
+    }
+
+    #[test]
+    fn merge_scaled_weights_dense_and_concats_sparse() {
+        let mut a = GradSet::from_entries(vec![
+            (ParamId(0), GradEntry::Dense(Tensor2::from_rows(&[&[2.0]]))),
+            (
+                ParamId(1),
+                GradEntry::Sparse {
+                    rows: vec![3],
+                    grad: Tensor2::from_rows(&[&[4.0]]),
+                },
+            ),
+        ]);
+        let b = GradSet::from_entries(vec![
+            (ParamId(0), GradEntry::Dense(Tensor2::from_rows(&[&[10.0]]))),
+            (
+                ParamId(1),
+                GradEntry::Sparse {
+                    rows: vec![7],
+                    grad: Tensor2::from_rows(&[&[8.0]]),
+                },
+            ),
+        ]);
+        let mut total = GradSet::new();
+        total.merge_scaled(&a, 0.5);
+        total.merge_scaled(&b, 0.25);
+        a.merge_scaled(&b, 1.0);
+        let entries: Vec<_> = total.iter().collect();
+        match &entries[0].1 {
+            GradEntry::Dense(g) => assert_eq!(g.as_slice(), &[2.0 * 0.5 + 10.0 * 0.25]),
+            _ => panic!("expected dense"),
+        }
+        match &entries[1].1 {
+            GradEntry::Sparse { rows, grad } => {
+                assert_eq!(rows, &[3, 7]);
+                assert_eq!(grad.as_slice(), &[4.0 * 0.5, 8.0 * 0.25]);
+            }
+            _ => panic!("expected sparse"),
+        }
+        assert!((total.sq_norm() - (3.5f32 * 3.5 + 4.0 + 4.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coalesce_sums_duplicate_rows_in_occurrence_order() {
+        let mut set = GradSet::from_entries(vec![
+            (ParamId(0), GradEntry::Dense(Tensor2::from_rows(&[&[1.0]]))),
+            (
+                ParamId(1),
+                GradEntry::Sparse {
+                    rows: vec![3, 7, 3, 7, 3],
+                    grad: Tensor2::from_rows(&[
+                        &[1.0, 10.0],
+                        &[2.0, 20.0],
+                        &[4.0, 40.0],
+                        &[8.0, 80.0],
+                        &[16.0, 160.0],
+                    ]),
+                },
+            ),
+        ]);
+        set.coalesce_sparse();
+        let entries: Vec<_> = set.iter().collect();
+        match &entries[1].1 {
+            GradEntry::Sparse { rows, grad } => {
+                assert_eq!(rows, &[3, 7]);
+                assert_eq!(grad.as_slice(), &[21.0, 210.0, 10.0, 100.0]);
+            }
+            _ => panic!("expected sparse"),
+        }
+        match &entries[0].1 {
+            GradEntry::Dense(g) => assert_eq!(g.as_slice(), &[1.0]),
+            _ => panic!("expected dense"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "structurally different")]
+    fn merging_mismatched_sets_panics() {
+        let mut a =
+            GradSet::from_entries(vec![(ParamId(0), GradEntry::Dense(Tensor2::scalar(1.0)))]);
+        let b = GradSet::from_entries(vec![
+            (ParamId(0), GradEntry::Dense(Tensor2::scalar(1.0))),
+            (ParamId(1), GradEntry::Dense(Tensor2::scalar(1.0))),
+        ]);
+        a.merge_scaled(&b, 1.0);
+    }
+}

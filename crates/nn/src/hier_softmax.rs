@@ -8,7 +8,7 @@
 //! and the per-cluster leaf weights are touched sparsely, like an
 //! embedding.
 
-use rand::Rng;
+use voyager_tensor::rng::Rng;
 use voyager_tensor::{Tensor2, Var};
 
 use crate::{Linear, ParamId, ParamStore, Session};
@@ -48,7 +48,14 @@ impl HierarchicalSoftmax {
             format!("{name}.leaves"),
             Tensor2::xavier(clusters * branch, hidden, rng),
         );
-        HierarchicalSoftmax { cluster_head, leaf_weights, hidden, branch, clusters, num_classes }
+        HierarchicalSoftmax {
+            cluster_head,
+            leaf_weights,
+            hidden,
+            branch,
+            clusters,
+            num_classes,
+        }
     }
 
     /// Number of classes.
@@ -78,23 +85,23 @@ impl HierarchicalSoftmax {
     /// # Panics
     ///
     /// Panics if any target is out of range or the batch is empty.
-    pub fn loss(
-        &self,
-        sess: &mut Session,
-        store: &ParamStore,
-        h: Var,
-        targets: &[usize],
-    ) -> Var {
+    pub fn loss(&self, sess: &mut Session, store: &ParamStore, h: Var, targets: &[usize]) -> Var {
         let b = targets.len();
         assert!(b > 0, "empty batch");
         assert_eq!(sess.tape.value(h).rows(), b, "one hidden row per target");
         for &t in targets {
-            assert!(t < self.num_classes, "target {t} out of {} classes", self.num_classes);
+            assert!(
+                t < self.num_classes,
+                "target {t} out of {} classes",
+                self.num_classes
+            );
         }
         // Cluster-level CE.
         let cluster_logits = self.cluster_head.forward(sess, store, h);
         let cluster_targets: Vec<usize> = targets.iter().map(|&t| t / self.branch).collect();
-        let cluster_loss = sess.tape.softmax_cross_entropy(cluster_logits, &cluster_targets);
+        let cluster_loss = sess
+            .tape
+            .softmax_cross_entropy(cluster_logits, &cluster_targets);
         // Leaf-level CE within each sample's target cluster: the
         // cluster's `branch` weight rows are gathered sparsely and
         // scored against the hidden state with chunk_dot.
@@ -139,8 +146,9 @@ impl HierarchicalSoftmax {
         let mut out: Vec<Vec<(usize, f32)>> = vec![Vec::new(); b];
         // Evaluate leaf scores for the top `fan` clusters of each row.
         for rank in 0..fan {
-            let top_clusters: Vec<usize> =
-                (0..b).map(|row| cluster_probs.topk_row(row, fan)[rank.min(fan - 1)]).collect();
+            let top_clusters: Vec<usize> = (0..b)
+                .map(|row| cluster_probs.topk_row(row, fan)[rank.min(fan - 1)])
+                .collect();
             let chunks = self.gather_chunks(sess, store, &top_clusters);
             let leaf_logits = sess.tape.chunk_dot(h, chunks, self.branch);
             let leaf_probs_var = sess.tape.softmax_rows(leaf_logits);
@@ -174,8 +182,7 @@ impl HierarchicalSoftmax {
 mod tests {
     use super::*;
     use crate::Adam;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use voyager_tensor::rng::{SeedableRng, StdRng};
 
     #[test]
     fn geometry_is_square_ish() {

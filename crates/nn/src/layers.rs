@@ -1,6 +1,6 @@
 //! Layers used by the Voyager architecture (Fig. 2 of the paper).
 
-use rand::Rng;
+use voyager_tensor::rng::Rng;
 use voyager_tensor::{Tensor2, Var};
 
 use crate::{ParamId, ParamStore, Session};
@@ -12,7 +12,7 @@ use crate::{ParamId, ParamStore, Session};
 /// ```
 /// use voyager_nn::{Linear, ParamStore, Session};
 /// use voyager_tensor::Tensor2;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use voyager_tensor::rng::{StdRng, SeedableRng};
 ///
 /// let mut rng = StdRng::seed_from_u64(1);
 /// let mut store = ParamStore::new();
@@ -40,9 +40,17 @@ impl Linear {
         out_dim: usize,
         rng: &mut R,
     ) -> Self {
-        let weight = store.register(format!("{name}.weight"), Tensor2::xavier(in_dim, out_dim, rng));
+        let weight = store.register(
+            format!("{name}.weight"),
+            Tensor2::xavier(in_dim, out_dim, rng),
+        );
         let bias = store.register(format!("{name}.bias"), Tensor2::zeros(1, out_dim));
-        Linear { weight, bias, in_dim, out_dim }
+        Linear {
+            weight,
+            bias,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input feature dimension.
@@ -96,7 +104,10 @@ impl Embedding {
         dim: usize,
         rng: &mut R,
     ) -> Self {
-        let table = store.register(format!("{name}.table"), Tensor2::uniform(vocab, dim, 0.1, rng));
+        let table = store.register(
+            format!("{name}.table"),
+            Tensor2::uniform(vocab, dim, 0.1, rng),
+        );
         Embedding { table, vocab, dim }
     }
 
@@ -160,15 +171,26 @@ impl LstmCell {
         hidden: usize,
         rng: &mut R,
     ) -> Self {
-        let wx =
-            store.register(format!("{name}.wx"), Tensor2::xavier(input_dim, 4 * hidden, rng));
-        let wh = store.register(format!("{name}.wh"), Tensor2::xavier(hidden, 4 * hidden, rng));
+        let wx = store.register(
+            format!("{name}.wx"),
+            Tensor2::xavier(input_dim, 4 * hidden, rng),
+        );
+        let wh = store.register(
+            format!("{name}.wh"),
+            Tensor2::xavier(hidden, 4 * hidden, rng),
+        );
         let mut b = Tensor2::zeros(1, 4 * hidden);
         for j in hidden..2 * hidden {
             b.set(0, j, 1.0); // forget gate bias
         }
         let bias = store.register(format!("{name}.bias"), b);
-        LstmCell { wx, wh, bias, input_dim, hidden }
+        LstmCell {
+            wx,
+            wh,
+            bias,
+            input_dim,
+            hidden,
+        }
     }
 
     /// Number of hidden units.
@@ -287,8 +309,7 @@ impl ExpertAttention {
 mod tests {
     use super::*;
     use crate::Adam;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use voyager_tensor::rng::{SeedableRng, StdRng};
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(42)
@@ -327,11 +348,18 @@ mod tests {
         assert_eq!(cell.input_dim(), 3);
         let mut sess = Session::new();
         let s0 = cell.zero_state(&mut sess, 1);
-        let x1 = sess.tape.leaf(Tensor2::from_rows(&[&[1.0, 0.0, -1.0]]), false);
+        let x1 = sess
+            .tape
+            .leaf(Tensor2::from_rows(&[&[1.0, 0.0, -1.0]]), false);
         let s1 = cell.forward(&mut sess, &store, x1, s0);
-        let x2 = sess.tape.leaf(Tensor2::from_rows(&[&[0.0, 2.0, 0.0]]), false);
+        let x2 = sess
+            .tape
+            .leaf(Tensor2::from_rows(&[&[0.0, 2.0, 0.0]]), false);
         let s2 = cell.forward(&mut sess, &store, x2, s1);
-        assert_ne!(sess.tape.value(s1.h).as_slice(), sess.tape.value(s2.h).as_slice());
+        assert_ne!(
+            sess.tape.value(s1.h).as_slice(),
+            sess.tape.value(s2.h).as_slice()
+        );
         // Bounded activations.
         for &v in sess.tape.value(s2.h).as_slice() {
             assert!(v.abs() <= 1.0);
@@ -374,7 +402,9 @@ mod tests {
         // Two experts with constant chunks [1,1] and [3,3]: output must
         // lie between them.
         let page = sess.tape.leaf(Tensor2::from_rows(&[&[0.2, -0.1]]), false);
-        let chunks = sess.tape.leaf(Tensor2::from_rows(&[&[1.0, 1.0, 3.0, 3.0]]), false);
+        let chunks = sess
+            .tape
+            .leaf(Tensor2::from_rows(&[&[1.0, 1.0, 3.0, 3.0]]), false);
         let attn = ExpertAttention::new(2, 1.0);
         let (out, w) = attn.forward_with_weights(&mut sess, page, chunks);
         let wsum: f32 = sess.tape.value(w).row(0).iter().sum();
@@ -394,17 +424,23 @@ mod tests {
         // (0.251, 0.216, 0.532) giving output (0.415, -0.019)).
         let mut sess = Session::new();
         let page = sess.tape.leaf(Tensor2::from_rows(&[&[0.5, -0.5]]), false);
-        let chunks = sess
-            .tape
-            .leaf(Tensor2::from_rows(&[&[0.3, 0.6, -0.4, 0.2, 0.8, -0.4]]), false);
+        let chunks = sess.tape.leaf(
+            Tensor2::from_rows(&[&[0.3, 0.6, -0.4, 0.2, 0.8, -0.4]]),
+            false,
+        );
         let attn = ExpertAttention::new(3, 1.0);
         let (out, w) = attn.forward_with_weights(&mut sess, page, chunks);
         let weights = sess.tape.value(w).row(0).to_vec();
-        let argmax = (0..3).max_by(|&a, &b| weights[a].total_cmp(&weights[b])).unwrap();
+        let argmax = (0..3)
+            .max_by(|&a, &b| weights[a].total_cmp(&weights[b]))
+            .unwrap();
         assert_eq!(argmax, 2, "third expert should dominate: {weights:?}");
         assert!((weights[2] - 0.532).abs() < 0.01, "weights {weights:?}");
         let o = sess.tape.value(out).row(0).to_vec();
-        assert!((o[0] - 0.415).abs() < 0.01 && (o[1] + 0.019).abs() < 0.01, "out {o:?}");
+        assert!(
+            (o[0] - 0.415).abs() < 0.01 && (o[1] + 0.019).abs() < 0.01,
+            "out {o:?}"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! ```
 //! use voyager_nn::{Adam, Linear, ParamStore, Session};
 //! use voyager_tensor::Tensor2;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use voyager_tensor::rng::{StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let mut store = ParamStore::new();
@@ -54,12 +54,16 @@
 pub mod compress;
 pub mod serialize;
 
+mod grads;
 mod hier_softmax;
 mod layers;
 mod optim;
 mod params;
 
+pub use voyager_tensor::rng;
+
+pub use grads::{GradEntry, GradSet};
 pub use hier_softmax::HierarchicalSoftmax;
 pub use layers::{Embedding, ExpertAttention, Linear, LstmCell, LstmState};
-pub use optim::Adam;
+pub use optim::{Adam, AdamState};
 pub use params::{ParamId, ParamStore, Session};

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use voyager_tensor::Tensor2;
 
+use crate::grads::{GradEntry, GradSet};
 use crate::{ParamId, ParamStore};
 
 /// The Adam optimizer (Kingma & Ba), configured as in the paper's
@@ -73,6 +74,52 @@ impl Adam {
         self.t += 1;
     }
 
+    /// Applies one optimizer step from a materialized [`GradSet`] (the
+    /// counterpart of [`Session::step`](crate::Session::step) for the
+    /// decomposed collect/reduce/apply flow). Clipping uses the set's
+    /// global norm, so an aggregated set is clipped exactly once, as a
+    /// whole.
+    pub fn apply_grad_set(&mut self, store: &mut ParamStore, grads: &GradSet) {
+        self.begin_step();
+        let clip = self.clip_scale(grads.sq_norm());
+        for (id, entry) in grads.iter() {
+            match entry {
+                GradEntry::Dense(g) => self.apply_dense(store, id, g, clip),
+                GradEntry::Sparse { rows, grad } => self.apply_sparse(store, id, rows, grad, clip),
+            }
+        }
+    }
+
+    /// Clones the optimizer's mutable state (learning rate, step count,
+    /// per-parameter moments) for checkpointing. Moments are sorted by
+    /// parameter index so the export is deterministic.
+    pub fn export_state(&self) -> AdamState {
+        let mut moments: Vec<(usize, Tensor2, Tensor2)> = self
+            .moments
+            .iter()
+            .map(|(id, (m, v))| (id.0, m.clone(), v.clone()))
+            .collect();
+        moments.sort_by_key(|(i, _, _)| *i);
+        AdamState {
+            lr: self.lr,
+            steps: self.t,
+            moments,
+        }
+    }
+
+    /// Restores state exported by [`Adam::export_state`]. Hyperparameters
+    /// (betas, epsilon, clip threshold) are construction-time constants
+    /// and are kept as-is.
+    pub fn import_state(&mut self, state: AdamState) {
+        self.lr = state.lr;
+        self.t = state.steps;
+        self.moments = state
+            .moments
+            .into_iter()
+            .map(|(i, m, v)| (ParamId(i), (m, v)))
+            .collect();
+    }
+
     /// Returns the multiplier that scales gradients so the global norm
     /// (whose *square* is given) does not exceed the configured maximum.
     pub(crate) fn clip_scale(&self, global_sq_norm: f32) -> f32 {
@@ -139,8 +186,7 @@ impl Adam {
             }
         }
         for (r, grow) in combined {
-            for c in 0..cols {
-                let g = grow[c];
+            for (c, &g) in grow.iter().enumerate() {
                 let mi = self.beta1 * m.get(r, c) + (1.0 - self.beta1) * g;
                 let vi = self.beta2 * v.get(r, c) + (1.0 - self.beta2) * g * g;
                 m.set(r, c, mi);
@@ -150,6 +196,19 @@ impl Adam {
             }
         }
     }
+}
+
+/// Snapshot of an [`Adam`] optimizer's mutable state, as produced by
+/// [`Adam::export_state`]. Moment tensors are keyed by parameter index
+/// within the owning [`ParamStore`] and sorted ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Current (possibly decayed) learning rate.
+    pub lr: f32,
+    /// Number of optimizer steps taken.
+    pub steps: u64,
+    /// `(param index, first moment, second moment)`, sorted by index.
+    pub moments: Vec<(usize, Tensor2, Tensor2)>,
 }
 
 #[cfg(test)]

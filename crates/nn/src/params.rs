@@ -2,6 +2,7 @@
 
 use voyager_tensor::{Tape, Tensor2, Var};
 
+use crate::grads::{GradEntry, GradSet};
 use crate::Adam;
 
 /// Identifier of a parameter tensor inside a [`ParamStore`].
@@ -69,6 +70,40 @@ impl ParamStore {
     pub fn num_scalars(&self) -> usize {
         self.values.iter().map(Tensor2::len).sum()
     }
+
+    /// Clones every parameter value, in registration order. Together
+    /// with [`ParamStore::import_values`] this synchronizes model
+    /// replicas built by the same constructor (data-parallel training
+    /// keeps worker replicas equal to the master this way).
+    pub fn export_values(&self) -> Vec<Tensor2> {
+        self.values.clone()
+    }
+
+    /// Overwrites every parameter with `values` (in registration order),
+    /// as exported by [`ParamStore::export_values`] from a store with
+    /// identical layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on count or shape mismatch.
+    pub fn import_values(&mut self, values: &[Tensor2]) {
+        assert_eq!(
+            values.len(),
+            self.values.len(),
+            "store has {} tensors, import has {}",
+            self.values.len(),
+            values.len()
+        );
+        for (i, (dst, src)) in self.values.iter_mut().zip(values).enumerate() {
+            assert_eq!(
+                dst.shape(),
+                src.shape(),
+                "tensor {:?} shape mismatch",
+                self.names[i]
+            );
+            *dst = src.clone();
+        }
+    }
 }
 
 /// One forward/backward pass: a fresh tape plus the bookkeeping needed to
@@ -115,7 +150,11 @@ impl Session {
         let dim = table.cols();
         let mut out = Tensor2::zeros(rows.len(), dim);
         for (i, &r) in rows.iter().enumerate() {
-            assert!(r < table.rows(), "embedding row {r} out of {}", table.rows());
+            assert!(
+                r < table.rows(),
+                "embedding row {r} out of {}",
+                table.rows()
+            );
             out.row_mut(i).copy_from_slice(table.row(r));
         }
         let var = self.tape.leaf(out, true);
@@ -140,6 +179,34 @@ impl Session {
                 adam.apply_sparse(store, id, &rows, grad, clip);
             }
         }
+    }
+
+    /// Runs backward from `loss` and returns the materialized gradients
+    /// of every parameter bound in this session *without* touching the
+    /// store — the decomposed half of [`Session::step`] that
+    /// data-parallel workers use. Reduce shards with
+    /// [`GradSet::merge_scaled`] and apply with
+    /// [`Adam::apply_grad_set`].
+    pub fn collect_grads(&mut self, loss: Var) -> GradSet {
+        self.tape.backward(loss);
+        let mut entries = Vec::new();
+        for (id, var) in std::mem::take(&mut self.dense) {
+            if let Some(grad) = self.tape.grad(var) {
+                entries.push((id, GradEntry::Dense(grad.clone())));
+            }
+        }
+        for (id, rows, var) in std::mem::take(&mut self.sparse) {
+            if let Some(grad) = self.tape.grad(var) {
+                entries.push((
+                    id,
+                    GradEntry::Sparse {
+                        rows,
+                        grad: grad.clone(),
+                    },
+                ));
+            }
+        }
+        GradSet::from_entries(entries)
     }
 
     fn global_grad_sq_norm(&self) -> f32 {
@@ -176,12 +243,14 @@ mod tests {
     #[test]
     fn gather_copies_requested_rows() {
         let mut store = ParamStore::new();
-        let table =
-            Tensor2::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let table = Tensor2::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let id = store.register("emb", table);
         let mut sess = Session::new();
         let v = sess.gather(&store, id, &[2, 0, 2]);
-        assert_eq!(sess.tape.value(v).as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(
+            sess.tape.value(v).as_slice(),
+            &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]
+        );
     }
 
     #[test]

@@ -2,15 +2,17 @@
 //! that `Session::step` applies must match central finite differences
 //! of the loss with respect to every parameter tensor.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use voyager_tensor::rng::{SeedableRng, StdRng};
 
 use voyager_nn::{Embedding, ExpertAttention, Linear, LstmCell, ParamStore, Session};
 use voyager_tensor::gradcheck::assert_grads_close;
 use voyager_tensor::{Tape, Tensor2};
 
 /// Computes the loss value for the current store contents.
-fn loss_value(build: &dyn Fn(&mut Session, &ParamStore) -> voyager_tensor::Var, store: &ParamStore) -> f32 {
+fn loss_value(
+    build: &dyn Fn(&mut Session, &ParamStore) -> voyager_tensor::Var,
+    store: &ParamStore,
+) -> f32 {
     let mut sess = Session::new();
     let loss = build(&mut sess, store);
     sess.tape.value(loss).get(0, 0)

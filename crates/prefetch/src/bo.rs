@@ -10,8 +10,7 @@ use crate::Prefetcher;
 /// prime factorisation is limited to {2, 3, 5}; this is that list up
 /// to 64, plus their negatives.
 const CANDIDATE_OFFSETS: [i64; 26] = [
-    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
-    60,
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
 ];
 
 /// Length of one learning round in accesses.
@@ -132,7 +131,10 @@ mod tests {
     use super::*;
 
     fn stream(p: &mut BestOffset, lines: impl IntoIterator<Item = u64>) -> Vec<Vec<u64>> {
-        lines.into_iter().map(|l| p.access(&MemoryAccess::new(1, l * 64))).collect()
+        lines
+            .into_iter()
+            .map(|l| p.access(&MemoryAccess::new(1, l * 64)))
+            .collect()
     }
 
     #[test]

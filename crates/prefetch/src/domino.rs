@@ -46,7 +46,11 @@ impl Prefetcher for Domino {
             .and_then(|p| self.pair_pos.get(&(p, line)).copied())
             .or_else(|| self.single_pos.get(&line).copied());
         let preds = match pos {
-            Some(pos) => self.history[pos + 1..].iter().take(self.degree).copied().collect(),
+            Some(pos) => self.history[pos + 1..]
+                .iter()
+                .take(self.degree)
+                .copied()
+                .collect(),
             None => Vec::new(),
         };
         // Train.
@@ -79,7 +83,10 @@ mod tests {
     use super::*;
 
     fn run(p: &mut Domino, lines: &[u64]) -> Vec<Vec<u64>> {
-        lines.iter().map(|&l| p.access(&MemoryAccess::new(1, l * 64))).collect()
+        lines
+            .iter()
+            .map(|&l| p.access(&MemoryAccess::new(1, l * 64)))
+            .collect()
     }
 
     #[test]

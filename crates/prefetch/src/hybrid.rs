@@ -21,7 +21,11 @@ pub struct IsbBoHybrid {
 impl IsbBoHybrid {
     /// Creates the hybrid with degree 1 (ISB only).
     pub fn new() -> Self {
-        let mut h = IsbBoHybrid { isb: Isb::new(), bo: BestOffset::new(), degree: 1 };
+        let mut h = IsbBoHybrid {
+            isb: Isb::new(),
+            bo: BestOffset::new(),
+            degree: 1,
+        };
         h.set_degree(1);
         h
     }
@@ -38,7 +42,11 @@ impl Prefetcher for IsbBoHybrid {
         let mut isb_preds = self.isb.access(access);
         let mut bo_preds = self.bo.access(access);
         isb_preds.truncate(self.isb.degree());
-        bo_preds.truncate(if self.degree == 1 { 0 } else { self.bo.degree() });
+        bo_preds.truncate(if self.degree == 1 {
+            0
+        } else {
+            self.bo.degree()
+        });
         let mut out = isb_preds;
         for p in bo_preds {
             if !out.contains(&p) {
@@ -99,7 +107,10 @@ mod tests {
             h.access(&acc(1, 1000 + l));
         }
         let preds = h.access(&acc(1, 1601));
-        assert!(preds.len() >= 2, "hybrid should emit several candidates: {preds:?}");
+        assert!(
+            preds.len() >= 2,
+            "hybrid should emit several candidates: {preds:?}"
+        );
         assert!(preds.contains(&1602), "unit offset expected");
     }
 

@@ -30,7 +30,11 @@ pub struct Isb {
 impl Isb {
     /// Creates an ISB prefetcher with degree 1.
     pub fn new() -> Self {
-        Isb { successor: HashMap::new(), last_by_pc: HashMap::new(), degree: 1 }
+        Isb {
+            successor: HashMap::new(),
+            last_by_pc: HashMap::new(),
+            degree: 1,
+        }
     }
 }
 

@@ -27,7 +27,11 @@ pub struct Markov {
 impl Markov {
     /// Creates a Markov prefetcher with degree 1.
     pub fn new() -> Self {
-        Markov { table: HashMap::new(), prev: None, degree: 1 }
+        Markov {
+            table: HashMap::new(),
+            prev: None,
+            degree: 1,
+        }
     }
 }
 
@@ -63,8 +67,12 @@ impl Prefetcher for Markov {
         match self.table.get(&line) {
             Some(succ) => {
                 let mut ranked = succ.clone();
-                ranked.sort_by(|a, b| b.1.cmp(&a.1));
-                ranked.into_iter().take(self.degree).map(|(l, _)| l).collect()
+                ranked.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+                ranked
+                    .into_iter()
+                    .take(self.degree)
+                    .map(|(l, _)| l)
+                    .collect()
             }
             None => Vec::new(),
         }
@@ -90,7 +98,10 @@ mod tests {
     use super::*;
 
     fn run(p: &mut Markov, lines: &[u64]) -> Vec<Vec<u64>> {
-        lines.iter().map(|&l| p.access(&MemoryAccess::new(1, l * 64))).collect()
+        lines
+            .iter()
+            .map(|&l| p.access(&MemoryAccess::new(1, l * 64)))
+            .collect()
     }
 
     #[test]

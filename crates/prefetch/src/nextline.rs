@@ -26,7 +26,9 @@ impl Prefetcher for NextLine {
 
     fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
         let line = access.line();
-        (1..=self.degree.max(1) as u64).filter_map(|k| line.checked_add(k)).collect()
+        (1..=self.degree.max(1) as u64)
+            .filter_map(|k| line.checked_add(k))
+            .collect()
     }
 
     fn degree(&self) -> usize {

@@ -41,7 +41,11 @@ impl Sms {
     /// inherently multi-line; the paper's Fig. 9 hybrid-style splits
     /// still apply via [`Prefetcher::set_degree`]).
     pub fn new() -> Self {
-        Sms { active: HashMap::new(), history: HashMap::new(), degree: 4 }
+        Sms {
+            active: HashMap::new(),
+            history: HashMap::new(),
+            degree: 4,
+        }
     }
 }
 
@@ -68,8 +72,14 @@ impl Prefetcher for Sms {
                 // Region trigger: open a generation and replay any
                 // stored footprint for this (PC, offset) key.
                 let key = (access.pc, offset);
-                self.active
-                    .insert(region, Generation { key, bitmap: 1 << offset, accesses: 1 });
+                self.active.insert(
+                    region,
+                    Generation {
+                        key,
+                        bitmap: 1 << offset,
+                        accesses: 1,
+                    },
+                );
                 if let Some(&bitmap) = self.history.get(&key) {
                     let base = region * REGION_LINES;
                     for o in 0..REGION_LINES {

@@ -36,7 +36,11 @@ pub struct Stms {
 impl Stms {
     /// Creates an STMS prefetcher with degree 1.
     pub fn new() -> Self {
-        Stms { history: Vec::new(), last_pos: HashMap::new(), degree: 1 }
+        Stms {
+            history: Vec::new(),
+            last_pos: HashMap::new(),
+            degree: 1,
+        }
     }
 }
 
@@ -49,9 +53,7 @@ impl Prefetcher for Stms {
         let line = access.line();
         let mut preds = Vec::new();
         if let Some(&pos) = self.last_pos.get(&line) {
-            preds.extend(
-                self.history[pos + 1..].iter().take(self.degree).copied(),
-            );
+            preds.extend(self.history[pos + 1..].iter().take(self.degree).copied());
         }
         self.last_pos.insert(line, self.history.len());
         self.history.push(line);
@@ -78,7 +80,10 @@ mod tests {
     use super::*;
 
     fn run(p: &mut Stms, lines: &[u64]) -> Vec<Vec<u64>> {
-        lines.iter().map(|&l| p.access(&MemoryAccess::new(1, l * 64))).collect()
+        lines
+            .iter()
+            .map(|&l| p.access(&MemoryAccess::new(1, l * 64)))
+            .collect()
     }
 
     #[test]

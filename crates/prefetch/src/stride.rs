@@ -29,7 +29,10 @@ pub struct StridePc {
 impl StridePc {
     /// Creates a stride prefetcher with degree 1.
     pub fn new() -> Self {
-        StridePc { table: HashMap::new(), degree: 1 }
+        StridePc {
+            table: HashMap::new(),
+            degree: 1,
+        }
     }
 }
 
@@ -89,7 +92,10 @@ mod tests {
     fn detects_constant_stride_after_confirmation() {
         let mut p = StridePc::new();
         assert!(p.access(&acc(1, 100)).is_empty());
-        assert!(p.access(&acc(1, 104)).is_empty(), "first stride unconfirmed");
+        assert!(
+            p.access(&acc(1, 104)).is_empty(),
+            "first stride unconfirmed"
+        );
         assert_eq!(p.access(&acc(1, 108)), vec![112], "stride 4 confirmed");
     }
 

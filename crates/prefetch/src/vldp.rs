@@ -61,10 +61,10 @@ impl Prefetcher for Vldp {
     fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
         let line = access.line();
         let page = page_of(access.addr);
-        let state = self
-            .pages
-            .entry(page)
-            .or_insert(PageState { last_line: line, history: Vec::new() });
+        let state = self.pages.entry(page).or_insert(PageState {
+            last_line: line,
+            history: Vec::new(),
+        });
         let delta = line as i64 - state.last_line as i64;
         if delta != 0 {
             // Train every history length with the observed next delta.
@@ -127,7 +127,10 @@ mod tests {
     use super::*;
 
     fn run(p: &mut Vldp, lines: &[u64]) -> Vec<Vec<u64>> {
-        lines.iter().map(|&l| p.access(&MemoryAccess::new(1, l * 64))).collect()
+        lines
+            .iter()
+            .map(|&l| p.access(&MemoryAccess::new(1, l * 64)))
+            .collect()
     }
 
     #[test]
@@ -148,7 +151,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 7, "VLDP failed the +1,+1,+5 pattern: {correct}/9");
+        assert!(
+            correct >= 7,
+            "VLDP failed the +1,+1,+5 pattern: {correct}/9"
+        );
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Checkpoint management for long training runs.
+//!
+//! Wraps `voyager-nn`'s training-state serialization (weights +
+//! optimizer state) in a directory convention: numbered snapshots
+//! (`ckpt-<step>.vnnt`) written atomically via a temp-file rename, a
+//! retention limit, and restore-latest for crash recovery.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use voyager::VoyagerModel;
+use voyager_nn::serialize::LoadParamsError;
+
+const PREFIX: &str = "ckpt-";
+const SUFFIX: &str = ".vnnt";
+
+/// Errors returned by [`CheckpointManager::restore_latest`].
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The snapshot exists but does not match the model (or is
+    /// corrupt).
+    Load(LoadParamsError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "i/o error: {e}"),
+            CheckpointError::Load(e) => write!(f, "checkpoint load failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Load(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<LoadParamsError> for CheckpointError {
+    fn from(e: LoadParamsError) -> Self {
+        CheckpointError::Load(e)
+    }
+}
+
+/// Snapshots model + optimizer state into a directory and restores the
+/// newest snapshot on demand.
+#[derive(Debug)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointManager {
+    /// Opens (creating if needed) the checkpoint directory, retaining
+    /// at most `keep` snapshots (older ones are pruned on save;
+    /// `keep = 0` is treated as 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointManager {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// The managed directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes a snapshot of `model` (weights + optimizer state) tagged
+    /// with `step` and returns its path. The write goes to a temp file
+    /// that is renamed into place, so a crash mid-write never leaves a
+    /// half-written `ckpt-*.vnnt` behind. Saving the same step twice
+    /// overwrites.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, model: &VoyagerModel, step: u64) -> io::Result<PathBuf> {
+        let tmp = self.dir.join(format!(".tmp-{PREFIX}{step}"));
+        let file = fs::File::create(&tmp)?;
+        let mut writer = io::BufWriter::new(file);
+        model.save_training_state(&mut writer)?;
+        io::Write::flush(&mut writer)?;
+        drop(writer);
+        let path = self.dir.join(format!("{PREFIX}{step:010}{SUFFIX}"));
+        fs::rename(&tmp, &path)?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// Lists `(step, path)` for every snapshot, sorted by step
+    /// ascending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures.
+    pub fn list(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut found = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name
+                .strip_prefix(PREFIX)
+                .and_then(|s| s.strip_suffix(SUFFIX))
+            else {
+                continue;
+            };
+            if let Ok(step) = stem.parse::<u64>() {
+                found.push((step, entry.path()));
+            }
+        }
+        found.sort_by_key(|(step, _)| *step);
+        Ok(found)
+    }
+
+    /// The newest snapshot, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures.
+    pub fn latest(&self) -> io::Result<Option<(u64, PathBuf)>> {
+        Ok(self.list()?.pop())
+    }
+
+    /// Restores the newest snapshot into `model` and returns its step,
+    /// or `None` if the directory holds no snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on I/O failure or if the snapshot
+    /// does not match the model layout.
+    pub fn restore_latest(&self, model: &mut VoyagerModel) -> Result<Option<u64>, CheckpointError> {
+        let Some((step, path)) = self.latest()? else {
+            return Ok(None);
+        };
+        let file = fs::File::open(path)?;
+        model.load_training_state(io::BufReader::new(file))?;
+        Ok(Some(step))
+    }
+
+    fn prune(&self) -> io::Result<()> {
+        let mut snapshots = self.list()?;
+        while snapshots.len() > self.keep {
+            let (_, path) = snapshots.remove(0);
+            fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voyager::{SeqBatch, VoyagerConfig};
+    use voyager_tensor::Tensor2;
+
+    fn model_and_batch() -> (VoyagerModel, SeqBatch, Tensor2, Tensor2) {
+        let cfg = VoyagerConfig::test();
+        let model = VoyagerModel::new(&cfg, 16, 32, 64);
+        let batch = SeqBatch {
+            pc: vec![vec![1; cfg.seq_len], vec![2; cfg.seq_len]],
+            page: vec![vec![3; cfg.seq_len], vec![5; cfg.seq_len]],
+            offset: vec![vec![10; cfg.seq_len], vec![20; cfg.seq_len]],
+        };
+        let mut pt = Tensor2::zeros(2, 32);
+        let mut ot = Tensor2::zeros(2, 64);
+        pt.set(0, 6, 1.0);
+        pt.set(1, 7, 1.0);
+        ot.set(0, 30, 1.0);
+        ot.set(1, 40, 1.0);
+        (model, batch, pt, ot)
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("voyager-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_restore_resumes_bitwise() {
+        let dir = tempdir("roundtrip");
+        let mgr = CheckpointManager::new(&dir, 3).unwrap();
+        let (mut a, batch, pt, ot) = model_and_batch();
+        for _ in 0..4 {
+            a.train_multi(&batch, &pt, &ot);
+        }
+        mgr.save(&a, 4).unwrap();
+
+        let (mut b, ..) = model_and_batch();
+        assert_eq!(mgr.restore_latest(&mut b).unwrap(), Some(4));
+        for _ in 0..3 {
+            let la = a.train_multi(&batch, &pt, &ot);
+            let lb = b.train_multi(&batch, &pt, &ot);
+            assert_eq!(la, lb);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_keeps_newest_and_leaves_no_temp_files() {
+        let dir = tempdir("retention");
+        let mgr = CheckpointManager::new(&dir, 2).unwrap();
+        let (model, ..) = model_and_batch();
+        for step in [1u64, 2, 3, 4, 5] {
+            mgr.save(&model, step).unwrap();
+        }
+        let steps: Vec<u64> = mgr.list().unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(steps, vec![4, 5]);
+        assert_eq!(mgr.latest().unwrap().unwrap().0, 5);
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().starts_with(".tmp-"),
+                "temp file left behind: {name:?}"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restore_from_empty_dir_is_none() {
+        let dir = tempdir("empty");
+        let mgr = CheckpointManager::new(&dir, 1).unwrap();
+        let (mut model, ..) = model_and_batch();
+        assert!(mgr.restore_latest(&mut model).unwrap().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_model_is_a_load_error() {
+        let dir = tempdir("mismatch");
+        let mgr = CheckpointManager::new(&dir, 1).unwrap();
+        let (model, ..) = model_and_batch();
+        mgr.save(&model, 1).unwrap();
+        let cfg = VoyagerConfig::test();
+        let mut other = VoyagerModel::new(&cfg, 16, 48, 64); // different page vocab
+        assert!(matches!(
+            mgr.restore_latest(&mut other).unwrap_err(),
+            CheckpointError::Load(_)
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

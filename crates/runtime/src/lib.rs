@@ -1,0 +1,46 @@
+//! Concurrent runtime for the Voyager reproduction: data-parallel
+//! training, microbatched inference serving, and checkpoint management.
+//!
+//! The paper (Section 5.4) treats Voyager's practicality as an open
+//! systems problem: training costs thousands of PC-hours and inference
+//! takes ~18 µs per access. This crate supplies the single-node systems
+//! layer that attacks both ends:
+//!
+//! * [`trainer`] — synchronous data-parallel training over
+//!   `std::thread` workers with deterministic shard reduction: for a
+//!   fixed seed, per-step losses are bitwise-identical at any worker
+//!   count.
+//! * [`microbatch`] — an mpsc-fed inference server that coalesces
+//!   requests under size/time thresholds into batched forward passes
+//!   and reports throughput and p50/p99 latency; [`serve`] adapts a
+//!   trained [`VoyagerModel`](voyager::VoyagerModel) to it.
+//! * [`checkpoint`] — atomic numbered snapshots of model + optimizer
+//!   state with retention and restore-latest.
+//!
+//! # Example: deterministic parallel training
+//!
+//! ```no_run
+//! use voyager::{TrainingSet, VoyagerConfig};
+//! use voyager_runtime::{train_data_parallel, TrainerConfig};
+//! use voyager_trace::gen::{Benchmark, GeneratorConfig};
+//!
+//! let cfg = VoyagerConfig::test();
+//! let trace = Benchmark::Pr.generate(&GeneratorConfig::small());
+//! let set = TrainingSet::build(&trace, &cfg);
+//! let (model, report) = train_data_parallel(&set, &cfg, &TrainerConfig::new(4, &cfg));
+//! println!("{} steps, {:.0} samples/s", report.steps, report.throughput());
+//! # let _ = model;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod microbatch;
+pub mod serve;
+pub mod trainer;
+
+pub use checkpoint::{CheckpointError, CheckpointManager};
+pub use microbatch::{BatchModel, ClientHandle, MicrobatchConfig, MicrobatchServer, ServerStats};
+pub use serve::{InferenceRequest, VoyagerService};
+pub use trainer::{train_data_parallel, TrainReport, TrainerConfig};

@@ -1,0 +1,333 @@
+//! Microbatched inference serving.
+//!
+//! A hardware prefetcher sees one access at a time, but neural
+//! inference amortizes poorly at batch size 1 (the paper's 18 µs
+//! per-access latency, Section 5.4, is the motivating pain). This
+//! module implements the standard serving remedy: requests flow through
+//! an mpsc queue into a dedicated model thread that *coalesces* them
+//! into a batch until either a size threshold or a time deadline is
+//! hit, then runs one batched forward pass and fans the results back
+//! out. The server records per-request queue-to-response latencies and
+//! reports throughput plus p50/p99 at shutdown.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A model that can serve a whole batch of requests in one forward
+/// pass. Implementations run on the server thread, so they may be
+/// freely stateful and `&mut`.
+pub trait BatchModel: Send + 'static {
+    /// One inference request.
+    type Request: Send + 'static;
+    /// The per-request result.
+    type Response: Send + 'static;
+
+    /// Runs one batched forward pass. Must return exactly one response
+    /// per request, in order.
+    fn forward_batch(&mut self, requests: &[Self::Request]) -> Vec<Self::Response>;
+}
+
+/// Batching thresholds for [`MicrobatchServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct MicrobatchConfig {
+    /// Flush as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Flush a non-empty batch this long after its first request was
+    /// dequeued, even if `max_batch` was not reached.
+    pub max_delay: Duration,
+}
+
+impl Default for MicrobatchConfig {
+    fn default() -> Self {
+        MicrobatchConfig {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Serving statistics, returned by [`MicrobatchServer::join`].
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Requests served.
+    pub requests: usize,
+    /// Batched forward passes executed.
+    pub batches: usize,
+    /// Wall-clock seconds the server thread was alive.
+    pub wall_seconds: f64,
+    /// Per-request latencies (enqueue to response), sorted ascending.
+    latencies: Vec<Duration>,
+}
+
+impl ServerStats {
+    /// Mean requests per batched forward pass.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Requests served per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Latency at quantile `q` in `[0, 1]` (`0.5` = p50, `0.99` = p99);
+    /// zero when nothing was served.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((self.latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies[idx]
+    }
+}
+
+struct Envelope<M: BatchModel> {
+    payload: M::Request,
+    enqueued: Instant,
+    reply: mpsc::Sender<M::Response>,
+}
+
+/// Handle for submitting requests to a running [`MicrobatchServer`].
+/// Clone it to issue requests from several client threads; the server
+/// shuts down once every clone is dropped.
+pub struct ClientHandle<M: BatchModel> {
+    tx: mpsc::Sender<Envelope<M>>,
+}
+
+impl<M: BatchModel> Clone for ClientHandle<M> {
+    fn clone(&self) -> Self {
+        ClientHandle {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<M: BatchModel> ClientHandle<M> {
+    /// Submits one request and blocks until its response arrives.
+    ///
+    /// Returns `None` if the server stopped before responding.
+    pub fn infer(&self, request: M::Request) -> Option<M::Response> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Envelope {
+                payload: request,
+                enqueued: Instant::now(),
+                reply,
+            })
+            .ok()?;
+        rx.recv().ok()
+    }
+}
+
+/// A model thread fed by an mpsc request queue with size/deadline
+/// coalescing. See the module docs.
+pub struct MicrobatchServer {
+    handle: JoinHandle<ServerStats>,
+}
+
+impl MicrobatchServer {
+    /// Moves `model` onto a fresh server thread and returns the server
+    /// plus the first [`ClientHandle`].
+    pub fn spawn<M: BatchModel>(mut model: M, cfg: MicrobatchConfig) -> (Self, ClientHandle<M>) {
+        let max_batch = cfg.max_batch.max(1);
+        let (tx, rx) = mpsc::channel::<Envelope<M>>();
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            let mut stats = ServerStats {
+                requests: 0,
+                batches: 0,
+                wall_seconds: 0.0,
+                latencies: Vec::new(),
+            };
+            // Outer recv blocks for the batch-opening request; the
+            // queue disconnecting (all clients dropped) is shutdown.
+            while let Ok(first) = rx.recv() {
+                let deadline = Instant::now() + cfg.max_delay;
+                let mut batch = vec![first];
+                let mut disconnected = false;
+                while batch.len() < max_batch {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(envelope) => batch.push(envelope),
+                        Err(mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
+                    }
+                }
+                let mut payloads = Vec::with_capacity(batch.len());
+                let mut meta = Vec::with_capacity(batch.len());
+                for envelope in batch {
+                    payloads.push(envelope.payload);
+                    meta.push((envelope.enqueued, envelope.reply));
+                }
+                let responses = model.forward_batch(&payloads);
+                assert_eq!(
+                    responses.len(),
+                    payloads.len(),
+                    "BatchModel returned {} responses for {} requests",
+                    responses.len(),
+                    payloads.len()
+                );
+                stats.requests += payloads.len();
+                stats.batches += 1;
+                let now = Instant::now();
+                for ((enqueued, reply), response) in meta.into_iter().zip(responses) {
+                    stats.latencies.push(now.duration_since(enqueued));
+                    // A client that gave up waiting is not an error.
+                    let _ = reply.send(response);
+                }
+                if disconnected {
+                    break;
+                }
+            }
+            stats.wall_seconds = started.elapsed().as_secs_f64();
+            stats.latencies.sort_unstable();
+            stats
+        });
+        (MicrobatchServer { handle }, ClientHandle { tx })
+    }
+
+    /// Waits for the server to finish (it stops when every
+    /// [`ClientHandle`] is dropped) and returns its statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread panicked.
+    pub fn join(self) -> ServerStats {
+        self.handle.join().expect("microbatch server panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Mock model: echoes each request + 1 and records batch sizes.
+    struct Echo {
+        batch_sizes: Arc<Mutex<Vec<usize>>>,
+    }
+
+    impl BatchModel for Echo {
+        type Request = u64;
+        type Response = u64;
+
+        fn forward_batch(&mut self, requests: &[u64]) -> Vec<u64> {
+            self.batch_sizes.lock().unwrap().push(requests.len());
+            requests.iter().map(|r| r + 1).collect()
+        }
+    }
+
+    fn echo() -> (Echo, Arc<Mutex<Vec<usize>>>) {
+        let sizes = Arc::new(Mutex::new(Vec::new()));
+        (
+            Echo {
+                batch_sizes: sizes.clone(),
+            },
+            sizes,
+        )
+    }
+
+    #[test]
+    fn flushes_when_size_threshold_reached() {
+        let (model, sizes) = echo();
+        let cfg = MicrobatchConfig {
+            max_batch: 4,
+            // Deadline far away: only the size threshold can flush.
+            max_delay: Duration::from_secs(30),
+        };
+        let (server, client) = MicrobatchServer::spawn(model, cfg);
+        let clients: Vec<_> = (0..8).map(|_| client.clone()).collect();
+        drop(client);
+        let threads: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| std::thread::spawn(move || c.infer(i as u64)))
+            .collect();
+        for (i, t) in threads.into_iter().enumerate() {
+            assert_eq!(t.join().unwrap(), Some(i as u64 + 1));
+        }
+        let stats = server.join();
+        assert_eq!(stats.requests, 8);
+        // 8 concurrent requests with an unreachable deadline must have
+        // been coalesced into full batches of 4.
+        assert!(
+            sizes.lock().unwrap().iter().all(|&s| s == 4),
+            "expected full batches, got {:?}",
+            sizes.lock().unwrap()
+        );
+        assert!(stats.latency_quantile(0.99) >= stats.latency_quantile(0.5));
+    }
+
+    #[test]
+    fn flushes_on_deadline_without_filling_batch() {
+        let (model, sizes) = echo();
+        let cfg = MicrobatchConfig {
+            max_batch: 1000, // unreachable: only the deadline can flush
+            max_delay: Duration::from_millis(5),
+        };
+        let (server, client) = MicrobatchServer::spawn(model, cfg);
+        assert_eq!(client.infer(41), Some(42));
+        drop(client);
+        let stats = server.join();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(sizes.lock().unwrap().as_slice(), &[1]);
+        assert!((stats.mean_batch_size() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn shuts_down_cleanly_on_empty_queue() {
+        let (model, sizes) = echo();
+        let (server, client) = MicrobatchServer::spawn(model, MicrobatchConfig::default());
+        drop(client); // no requests ever submitted
+        let stats = server.join();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.batches, 0);
+        assert!(sizes.lock().unwrap().is_empty());
+        assert_eq!(stats.latency_quantile(0.5), Duration::ZERO);
+        assert_eq!(stats.throughput(), 0.0);
+    }
+
+    #[test]
+    fn serves_many_requests_from_many_clients() {
+        let (model, _) = echo();
+        let cfg = MicrobatchConfig {
+            max_batch: 16,
+            max_delay: Duration::from_millis(1),
+        };
+        let (server, client) = MicrobatchServer::spawn(model, cfg);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let c = client.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        assert_eq!(c.infer(t * 1000 + i), Some(t * 1000 + i + 1));
+                    }
+                })
+            })
+            .collect();
+        drop(client);
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = server.join();
+        assert_eq!(stats.requests, 200);
+        assert!(stats.batches <= 200);
+        assert!(stats.throughput() > 0.0);
+    }
+}

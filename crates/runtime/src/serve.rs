@@ -1,0 +1,54 @@
+//! [`BatchModel`] adapter for serving a trained Voyager model.
+
+use voyager::{SeqBatch, VoyagerModel};
+
+use crate::microbatch::BatchModel;
+
+/// One inference request: a tokenized history window (all three token
+/// streams, each `seq_len` long — the same shape as one row of a
+/// [`SeqBatch`]).
+#[derive(Debug, Clone)]
+pub struct InferenceRequest {
+    /// PC token ids of the window.
+    pub pc: Vec<usize>,
+    /// Page token ids of the window.
+    pub page: Vec<usize>,
+    /// Offset token ids of the window.
+    pub offset: Vec<usize>,
+}
+
+/// Wraps a trained [`VoyagerModel`] as a [`BatchModel`]: coalesced
+/// requests become one [`SeqBatch`] and one batched
+/// [`VoyagerModel::predict`] call.
+#[derive(Debug)]
+pub struct VoyagerService {
+    model: VoyagerModel,
+    degree: usize,
+}
+
+impl VoyagerService {
+    /// Serves `model` at prefetch degree `degree` (candidates returned
+    /// per request).
+    pub fn new(model: VoyagerModel, degree: usize) -> Self {
+        VoyagerService {
+            model,
+            degree: degree.max(1),
+        }
+    }
+}
+
+impl BatchModel for VoyagerService {
+    type Request = InferenceRequest;
+    /// Up to `degree` `(page_token, offset_token, score)` candidates.
+    type Response = Vec<(u32, u32, f32)>;
+
+    fn forward_batch(&mut self, requests: &[InferenceRequest]) -> Vec<Self::Response> {
+        let mut batch = SeqBatch::default();
+        for r in requests {
+            batch.pc.push(r.pc.clone());
+            batch.page.push(r.page.clone());
+            batch.offset.push(r.offset.clone());
+        }
+        self.model.predict(&batch, self.degree)
+    }
+}

@@ -1,0 +1,62 @@
+//! The data-parallel trainer's core contract: for a fixed seed, the
+//! worker count changes wall-clock time, never results.
+
+use voyager::{TrainingSet, VoyagerConfig};
+use voyager_runtime::{train_data_parallel, TrainerConfig};
+use voyager_trace::{MemoryAccess, Trace};
+
+fn stream() -> Trace {
+    let mut t = Trace::new("det");
+    for i in 0..1200u64 {
+        t.push(MemoryAccess::new(100 + i % 4, ((i * 17) % 300) * 64));
+    }
+    t
+}
+
+fn run(workers: usize) -> (Vec<f32>, Vec<voyager_tensor::Tensor2>) {
+    let cfg = VoyagerConfig::test();
+    let set = TrainingSet::build(&stream(), &cfg);
+    let mut tcfg = TrainerConfig::new(workers, &cfg);
+    tcfg.max_steps = Some(12);
+    let (model, report) = train_data_parallel(&set, &cfg, &tcfg);
+    assert_eq!(report.steps, 12);
+    assert_eq!(report.workers, workers);
+    assert_eq!(report.step_losses.len(), 12);
+    (report.step_losses, model.export_param_values())
+}
+
+#[test]
+fn one_and_four_workers_match_bitwise() {
+    let (losses1, params1) = run(1);
+    let (losses4, params4) = run(4);
+    // Per-step losses must be identical, not merely close.
+    assert_eq!(losses1, losses4);
+    // And so must every trained parameter.
+    assert_eq!(params1.len(), params4.len());
+    for (a, b) in params1.iter().zip(&params4) {
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+}
+
+#[test]
+fn three_workers_match_too() {
+    // An uneven worker count exercises round-robin shard assignment
+    // where workers get different shard loads.
+    let (losses1, _) = run(1);
+    let (losses3, _) = run(3);
+    assert_eq!(losses1, losses3);
+}
+
+#[test]
+fn losses_decrease_over_training() {
+    let cfg = VoyagerConfig::test();
+    let set = TrainingSet::build(&stream(), &cfg);
+    let mut tcfg = TrainerConfig::new(2, &cfg);
+    tcfg.passes = 4;
+    let (_, report) = train_data_parallel(&set, &cfg, &tcfg);
+    let first = report.step_losses.first().copied().unwrap();
+    let last = report.step_losses.last().copied().unwrap();
+    assert!(last < first, "no learning progress: {first} -> {last}");
+    assert!(report.throughput() > 0.0);
+    assert_eq!(report.samples, set.len() * 4);
+}

@@ -37,8 +37,14 @@ struct Line {
     ready_at: f64,
 }
 
-const INVALID: Line =
-    Line { tag: 0, valid: false, lru: 0, rrpv: RRPV_MAX, prefetched: false, ready_at: 0.0 };
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    lru: 0,
+    rrpv: RRPV_MAX,
+    prefetched: false,
+    ready_at: 0.0,
+};
 
 /// Result of a demand lookup.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -136,11 +142,19 @@ impl Cache {
                 let first_use = l.prefetched;
                 l.prefetched = false;
                 let residual = (l.ready_at - now).max(0.0);
-                return LookupResult { hit: true, first_use_of_prefetch: first_use, residual };
+                return LookupResult {
+                    hit: true,
+                    first_use_of_prefetch: first_use,
+                    residual,
+                };
             }
         }
         self.misses += 1;
-        LookupResult { hit: false, first_use_of_prefetch: false, residual: 0.0 }
+        LookupResult {
+            hit: false,
+            first_use_of_prefetch: false,
+            residual: 0.0,
+        }
     }
 
     /// Returns `true` if `line` is present (no statistics, no LRU
@@ -178,9 +192,7 @@ impl Cache {
                 // set until one exists.
                 loop {
                     let set = &self.lines[range.clone()];
-                    if let Some(i) =
-                        set.iter().position(|l| !l.valid || l.rrpv == RRPV_MAX)
-                    {
+                    if let Some(i) = set.iter().position(|l| !l.valid || l.rrpv == RRPV_MAX) {
                         break i;
                     }
                     for l in &mut self.lines[range.clone()] {
@@ -194,8 +206,14 @@ impl Cache {
             self.prefetches_evicted_unused += 1;
         }
         let rrpv = if prefetch { RRPV_MAX } else { RRPV_MAX - 1 };
-        *victim =
-            Line { tag: line, valid: true, lru: stamp, rrpv, prefetched: prefetch, ready_at };
+        *victim = Line {
+            tag: line,
+            valid: true,
+            lru: stamp,
+            rrpv,
+            prefetched: prefetch,
+            ready_at,
+        };
     }
 
     /// Number of demand accesses so far.
@@ -229,7 +247,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways.
-        Cache::new(&CacheConfig { bytes: 4 * 64, ways: 2, latency: 1 })
+        Cache::new(&CacheConfig {
+            bytes: 4 * 64,
+            ways: 2,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -286,7 +308,11 @@ mod tests {
 
     #[test]
     fn srrip_evicts_distant_rrpv_first() {
-        let cfg = CacheConfig { bytes: 4 * 64, ways: 2, latency: 1 };
+        let cfg = CacheConfig {
+            bytes: 4 * 64,
+            ways: 2,
+            latency: 1,
+        };
         let mut c = Cache::with_policy(&cfg, ReplacementPolicy::Srrip);
         assert_eq!(c.policy(), ReplacementPolicy::Srrip);
         // Fill set 0 with a demand line (RRPV 2) and a prefetch (RRPV 3).
@@ -300,7 +326,11 @@ mod tests {
 
     #[test]
     fn srrip_hit_promotion_protects_lines() {
-        let cfg = CacheConfig { bytes: 4 * 64, ways: 2, latency: 1 };
+        let cfg = CacheConfig {
+            bytes: 4 * 64,
+            ways: 2,
+            latency: 1,
+        };
         let mut c = Cache::with_policy(&cfg, ReplacementPolicy::Srrip);
         c.fill(0, 0.0, false);
         c.fill(2, 0.0, false);

@@ -26,7 +26,7 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         let lines = self.lines();
         assert!(
-            self.ways > 0 && lines % self.ways == 0,
+            self.ways > 0 && lines.is_multiple_of(self.ways),
             "{} lines not divisible into {}-way sets",
             lines,
             self.ways
@@ -72,9 +72,21 @@ impl SimConfig {
     /// these caches.
     pub fn paper() -> Self {
         SimConfig {
-            l1d: CacheConfig { bytes: 64 * 1024, ways: 4, latency: 3 },
-            l2: CacheConfig { bytes: 512 * 1024, ways: 8, latency: 11 },
-            llc: CacheConfig { bytes: 2 * 1024 * 1024, ways: 16, latency: 20 },
+            l1d: CacheConfig {
+                bytes: 64 * 1024,
+                ways: 4,
+                latency: 3,
+            },
+            l2: CacheConfig {
+                bytes: 512 * 1024,
+                ways: 8,
+                latency: 11,
+            },
+            llc: CacheConfig {
+                bytes: 2 * 1024 * 1024,
+                ways: 16,
+                latency: 20,
+            },
             // tRP + tRCD + tCAS = 60 DRAM cycles plus transfer; ~150
             // core cycles is the conventional ChampSim ballpark.
             dram_latency: 150,
@@ -92,9 +104,21 @@ impl SimConfig {
     /// default for all experiments (DESIGN.md, substitution 4).
     pub fn scaled() -> Self {
         SimConfig {
-            l1d: CacheConfig { bytes: 4 * 1024, ways: 4, latency: 3 },
-            l2: CacheConfig { bytes: 16 * 1024, ways: 8, latency: 11 },
-            llc: CacheConfig { bytes: 64 * 1024, ways: 16, latency: 20 },
+            l1d: CacheConfig {
+                bytes: 4 * 1024,
+                ways: 4,
+                latency: 3,
+            },
+            l2: CacheConfig {
+                bytes: 16 * 1024,
+                ways: 8,
+                latency: 11,
+            },
+            llc: CacheConfig {
+                bytes: 64 * 1024,
+                ways: 16,
+                latency: 20,
+            },
             dram_latency: 150,
             dram_gap: 16,
             width: 4,

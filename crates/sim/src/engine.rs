@@ -84,12 +84,20 @@ impl Hierarchy {
         let c = &self.config;
         let l1_lat = c.l1d.latency as f64;
         if self.l1.lookup(line, now).hit {
-            return DemandOutcome { latency: l1_lat, reached_llc: false, dram: false };
+            return DemandOutcome {
+                latency: l1_lat,
+                reached_llc: false,
+                dram: false,
+            };
         }
         let l2_lat = l1_lat + c.l2.latency as f64;
         if self.l2.lookup(line, now).hit {
             self.l1.fill(line, now, false);
-            return DemandOutcome { latency: l2_lat, reached_llc: false, dram: false };
+            return DemandOutcome {
+                latency: l2_lat,
+                reached_llc: false,
+                dram: false,
+            };
         }
         let llc_lat = l2_lat + c.llc.latency as f64;
         let r = self.llc.lookup(line, now);
@@ -103,7 +111,11 @@ impl Hierarchy {
             // time with the LLC lookup; the demand waits for whichever
             // finishes last.
             let wait = (c.llc.latency as f64).max(r.residual);
-            return DemandOutcome { latency: l2_lat + wait, reached_llc: true, dram: false };
+            return DemandOutcome {
+                latency: l2_lat + wait,
+                reached_llc: true,
+                dram: false,
+            };
         }
         // DRAM access; fill all levels. Bandwidth contention queues
         // transfers behind in-flight ones (including prefetches).
@@ -113,7 +125,11 @@ impl Hierarchy {
         self.llc.fill(line, now + latency, false);
         self.l2.fill(line, now, false);
         self.l1.fill(line, now, false);
-        DemandOutcome { latency, reached_llc: true, dram: true }
+        DemandOutcome {
+            latency,
+            reached_llc: true,
+            dram: true,
+        }
     }
 
     /// Issues a prefetch for `line` into the LLC. Lines already present
@@ -126,8 +142,7 @@ impl Hierarchy {
         // delay each other (an over-aggressive prefetcher starves its
         // own timeliness) but never demand traffic.
         let queue = self.prefetch_queue_delay(now);
-        let ready =
-            now + queue + (self.config.llc.latency + self.config.dram_latency) as f64;
+        let ready = now + queue + (self.config.llc.latency + self.config.dram_latency) as f64;
         self.llc.fill(line, ready, true);
         self.issued_prefetches += 1;
     }
@@ -276,8 +291,7 @@ pub fn simulate<P: Prefetcher + ?Sized>(
             for p in prefetcher.access(a) {
                 h.prefetch(p, cycle);
             }
-            if o.latency > (config.l1d.latency + config.l2.latency + config.llc.latency) as f64
-            {
+            if o.latency > (config.l1d.latency + config.l2.latency + config.llc.latency) as f64 {
                 outstanding.push_back((instr, cycle + o.latency));
             }
         }
@@ -306,7 +320,9 @@ mod tests {
     fn seq_trace(n: u64) -> Trace {
         Trace::from_accesses(
             "seq",
-            (0..n).map(|i| MemoryAccess::new(0x400000, i * 64)).collect(),
+            (0..n)
+                .map(|i| MemoryAccess::new(0x400000, i * 64))
+                .collect(),
         )
     }
 
@@ -338,7 +354,11 @@ mod tests {
             with.ipc,
             base.ipc
         );
-        assert!(with.coverage_vs(&base) > 0.3, "coverage {}", with.coverage_vs(&base));
+        assert!(
+            with.coverage_vs(&base) > 0.3,
+            "coverage {}",
+            with.coverage_vs(&base)
+        );
         assert!(with.accuracy() > 0.8, "accuracy {}", with.accuracy());
     }
 
@@ -352,8 +372,10 @@ mod tests {
             all.extend(lines.iter().copied());
         }
         lines = all;
-        let trace: Trace =
-            lines.iter().map(|&l| MemoryAccess::new(1, l * 64)).collect();
+        let trace: Trace = lines
+            .iter()
+            .map(|&l| MemoryAccess::new(1, l * 64))
+            .collect();
         let cfg = SimConfig::scaled();
         let base = simulate(&trace, &mut NoPrefetcher::new(), &cfg);
         let mut stms = Stms::new();

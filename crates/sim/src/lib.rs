@@ -44,6 +44,5 @@ pub use cache::{Cache, ReplacementPolicy};
 pub use config::{CacheConfig, SimConfig};
 pub use engine::{llc_stream, simulate, Hierarchy, SimOutcome};
 pub use metrics::{
-    unified_accuracy_coverage, unified_accuracy_coverage_windowed, PredictionOutcome,
-    UnifiedScore,
+    unified_accuracy_coverage, unified_accuracy_coverage_windowed, PredictionOutcome, UnifiedScore,
 };

@@ -132,8 +132,11 @@ pub fn unified_accuracy_coverage_windowed(
     );
     assert!(window > 0, "window must be positive");
     let mut score = UnifiedScore::default();
-    for t in 0..stream.len().saturating_sub(1) {
-        let preds = &predictions[t];
+    for (t, preds) in predictions
+        .iter()
+        .enumerate()
+        .take(stream.len().saturating_sub(1))
+    {
         let outcome = if preds.is_empty() {
             PredictionOutcome::NoPrediction
         } else {
@@ -156,7 +159,10 @@ mod tests {
     use voyager_trace::MemoryAccess;
 
     fn stream(lines: &[u64]) -> Trace {
-        lines.iter().map(|&l| MemoryAccess::new(1, l * 64)).collect()
+        lines
+            .iter()
+            .map(|&l| MemoryAccess::new(1, l * 64))
+            .collect()
     }
 
     #[test]
@@ -205,7 +211,11 @@ mod tests {
         let s = stream(&[1, 2, 3, 4, 5]);
         // Prediction at t=0 targets line 3 (two ahead).
         let preds = vec![vec![3], vec![], vec![], vec![], vec![]];
-        assert_eq!(unified_accuracy_coverage(&s, &preds).correct, 0, "strict misses it");
+        assert_eq!(
+            unified_accuracy_coverage(&s, &preds).correct,
+            0,
+            "strict misses it"
+        );
         assert_eq!(
             unified_accuracy_coverage_windowed(&s, &preds, 10).correct,
             1,

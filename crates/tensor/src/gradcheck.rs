@@ -30,11 +30,7 @@ use crate::Tensor2;
 /// );
 /// assert!((grads[0].get(0, 0) - 4.0).abs() < 1e-2);
 /// ```
-pub fn numeric_grad(
-    f: impl Fn(&[Tensor2]) -> f32,
-    inputs: &[Tensor2],
-    eps: f32,
-) -> Vec<Tensor2> {
+pub fn numeric_grad(f: impl Fn(&[Tensor2]) -> f32, inputs: &[Tensor2], eps: f32) -> Vec<Tensor2> {
     let mut grads = Vec::with_capacity(inputs.len());
     for (which, input) in inputs.iter().enumerate() {
         let (rows, cols) = input.shape();
@@ -62,7 +58,12 @@ pub fn numeric_grad(
 /// disagrees.
 pub fn assert_grads_close(analytic: &Tensor2, numeric: &Tensor2, tol: f32) {
     assert_eq!(analytic.shape(), numeric.shape(), "gradient shape mismatch");
-    for (i, (&a, &n)) in analytic.as_slice().iter().zip(numeric.as_slice()).enumerate() {
+    for (i, (&a, &n)) in analytic
+        .as_slice()
+        .iter()
+        .zip(numeric.as_slice())
+        .enumerate()
+    {
         let denom = 1.0f32.max(a.abs()).max(n.abs());
         assert!(
             (a - n).abs() / denom < tol,
@@ -74,9 +75,8 @@ pub fn assert_grads_close(analytic: &Tensor2, numeric: &Tensor2, tol: f32) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::{SeedableRng, StdRng};
     use crate::{Tape, Var};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Checks one tape-built graph against finite differences.
     fn check(build: impl Fn(&mut Tape, &[Var]) -> Var, inputs: &[Tensor2], tol: f32) {

@@ -41,6 +41,7 @@ mod tape;
 mod tensor;
 
 pub mod gradcheck;
+pub mod rng;
 
 pub use tape::{Tape, Var};
 pub use tensor::Tensor2;

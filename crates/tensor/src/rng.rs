@@ -1,0 +1,310 @@
+//! Deterministic in-workspace pseudo-random number generation.
+//!
+//! The workspace builds with **no external dependencies** (see the
+//! offline-build policy in DESIGN.md), so this module provides the small
+//! slice of a `rand`-style API the reproduction needs: a seedable
+//! generator, uniform integer/float ranges, and unit-interval samples.
+//!
+//! [`StdRng`] is a splitmix64 generator: 64 bits of state, full 2^64
+//! period, excellent statistical quality for simulation workloads, and —
+//! crucially for this repository — a byte-for-byte stable stream for a
+//! given seed on every platform.
+//!
+//! # Example
+//!
+//! ```
+//! use voyager_tensor::rng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let a = rng.gen_range(0..10u64);
+//! let b: f32 = rng.gen();
+//! assert!(a < 10 && (0.0..1.0).contains(&b));
+//! assert_eq!(StdRng::seed_from_u64(7).gen_range(0..10u64), a);
+//! ```
+
+/// A source of uniformly distributed random numbers.
+///
+/// Only [`Rng::next_u64`] is required; the sampling helpers are derived
+/// from it.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of a [`Standard`]-distributed type: floats in
+    /// `[0, 1)`, integers over their full range, fair booleans.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types seedable from a single `u64` (mirrors the subset of `rand`'s
+/// trait of the same name that this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard generator: splitmix64.
+///
+/// Not cryptographically secure — it seeds models, synthesizes traces
+/// and drives randomized tests, nothing more.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// Returns a generator with a process-unique, time-perturbed seed, for
+/// callers (tests, micro-benchmarks) that do not care about the exact
+/// stream. Reproducible code paths should use
+/// [`SeedableRng::seed_from_u64`] instead.
+pub fn thread_rng() -> StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    StdRng::seed_from_u64(t ^ n.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// Distribution of [`Rng::gen`]: unit-interval floats, full-range
+/// integers, fair booleans.
+pub trait Standard: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 24 explicit mantissa bits -> uniform on [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 explicit mantissa bits -> uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+///
+/// Blanket-implemented for `Range<T>` and `RangeInclusive<T>` over every
+/// [`SampleUniform`] `T`, which is what lets integer-literal ranges
+/// (`0..n`) infer their type from the surrounding expression exactly as
+/// they did under `rand`.
+pub trait SampleRange<T>: Sized {
+    /// Draws one sample from `rng`, uniformly over this range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over half-open and closed intervals.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[lo, hi)` (`inclusive == false`) or
+    /// `[lo, hi]` (`inclusive == true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty.
+    fn sample_range<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_range(lo, hi, true, rng)
+    }
+}
+
+macro_rules! int_uniform_impls {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    if span == u64::MAX {
+                        return rng.next_u64() as $u as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % (span + 1)) as $u as $t)
+                } else {
+                    assert!(lo < hi, "cannot sample from empty range");
+                    lo.wrapping_add((rng.next_u64() % span) as $u as $t)
+                }
+            }
+        }
+    )*};
+}
+
+int_uniform_impls!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+macro_rules! float_uniform_impls {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample from empty range");
+                } else {
+                    assert!(lo < hi, "cannot sample from empty range");
+                }
+                let u: $t = Standard::sample(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_uniform_impls!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(
+            StdRng::seed_from_u64(1).next_u64(),
+            StdRng::seed_from_u64(2).next_u64()
+        );
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let a = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&b));
+            let c = rng.gen_range(0..=0u32);
+            assert_eq!(c, 0);
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn float_samples_are_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let x = rng.gen_range(-2.0f32..=2.0);
+        assert!((-2.0..=2.0).contains(&x));
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(0..=u64::MAX);
+        let _ = rng.gen_range(i64::MIN..=i64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = StdRng::seed_from_u64(0).gen_range(5..5usize);
+    }
+
+    #[test]
+    fn mut_ref_is_an_rng_too() {
+        fn takes_rng(rng: &mut impl Rng) -> u64 {
+            let r = &mut *rng;
+            fn inner<R: Rng>(mut r: R) -> u64 {
+                r.next_u64()
+            }
+            inner(r)
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = takes_rng(&mut rng);
+    }
+
+    #[test]
+    fn thread_rng_returns_distinct_streams() {
+        assert_ne!(thread_rng().next_u64(), thread_rng().next_u64());
+    }
+}

@@ -1,6 +1,6 @@
 //! Reverse-mode automatic differentiation over [`Tensor2`] values.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::Tensor2;
 
@@ -13,26 +13,81 @@ pub struct Var(usize);
 
 #[derive(Debug)]
 enum Op {
-    Leaf { requires_grad: bool },
-    Matmul { a: Var, b: Var },
-    Add { a: Var, b: Var },
-    AddRow { a: Var, bias: Var },
-    Sub { a: Var, b: Var },
-    Mul { a: Var, b: Var },
-    Scale { a: Var, c: f32 },
-    Sigmoid { a: Var },
-    Tanh { a: Var },
-    Relu { a: Var },
-    ConcatCols { parts: Vec<Var> },
-    SliceCols { a: Var, start: usize, len: usize },
-    SoftmaxRows { a: Var },
-    ChunkDot { q: Var, chunks: Var, n_chunks: usize },
-    ChunkWeightedSum { w: Var, chunks: Var },
-    MulMask { a: Var, mask: Tensor2 },
-    SumAll { a: Var },
-    MeanAll { a: Var },
-    SoftmaxCe { logits: Var, targets: Vec<usize>, probs: Tensor2 },
-    BceLogits { logits: Var, targets: Tensor2 },
+    Leaf {
+        requires_grad: bool,
+    },
+    Matmul {
+        a: Var,
+        b: Var,
+    },
+    Add {
+        a: Var,
+        b: Var,
+    },
+    AddRow {
+        a: Var,
+        bias: Var,
+    },
+    Sub {
+        a: Var,
+        b: Var,
+    },
+    Mul {
+        a: Var,
+        b: Var,
+    },
+    Scale {
+        a: Var,
+        c: f32,
+    },
+    Sigmoid {
+        a: Var,
+    },
+    Tanh {
+        a: Var,
+    },
+    Relu {
+        a: Var,
+    },
+    ConcatCols {
+        parts: Vec<Var>,
+    },
+    SliceCols {
+        a: Var,
+        start: usize,
+        len: usize,
+    },
+    SoftmaxRows {
+        a: Var,
+    },
+    ChunkDot {
+        q: Var,
+        chunks: Var,
+        n_chunks: usize,
+    },
+    ChunkWeightedSum {
+        w: Var,
+        chunks: Var,
+    },
+    MulMask {
+        a: Var,
+        mask: Tensor2,
+    },
+    SumAll {
+        a: Var,
+    },
+    MeanAll {
+        a: Var,
+    },
+    SoftmaxCe {
+        logits: Var,
+        targets: Vec<usize>,
+        probs: Tensor2,
+    },
+    BceLogits {
+        logits: Var,
+        targets: Tensor2,
+    },
 }
 
 struct Node {
@@ -207,7 +262,12 @@ impl Tape {
                 off += row.len();
             }
         }
-        self.push(Op::ConcatCols { parts: parts.to_vec() }, value)
+        self.push(
+            Op::ConcatCols {
+                parts: parts.to_vec(),
+            },
+            value,
+        )
     }
 
     /// Extracts columns `[start, start + len)` of `a`.
@@ -218,10 +278,16 @@ impl Tape {
     pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
         let av = self.value(a);
         let (m, n) = av.shape();
-        assert!(start + len <= n, "slice_cols range {start}..{} out of {n}", start + len);
+        assert!(
+            start + len <= n,
+            "slice_cols range {start}..{} out of {n}",
+            start + len
+        );
         let mut value = Tensor2::zeros(m, len);
         for i in 0..m {
-            value.row_mut(i).copy_from_slice(&av.row(i)[start..start + len]);
+            value
+                .row_mut(i)
+                .copy_from_slice(&av.row(i)[start..start + len]);
         }
         self.push(Op::SliceCols { a, start, len }, value)
     }
@@ -257,7 +323,14 @@ impl Tape {
                 value.set(i, s, qrow.iter().zip(chunk).map(|(&x, &y)| x * y).sum());
             }
         }
-        self.push(Op::ChunkDot { q, chunks, n_chunks }, value)
+        self.push(
+            Op::ChunkDot {
+                q,
+                chunks,
+                n_chunks,
+            },
+            value,
+        )
     }
 
     /// Per-row weighted sum of column chunks: for weights `w` of shape
@@ -298,13 +371,24 @@ impl Tape {
     ///
     /// Panics unless `0.0 < keep_prob <= 1.0`.
     pub fn dropout<R: Rng>(&mut self, a: Var, keep_prob: f32, rng: &mut R) -> Var {
-        assert!(keep_prob > 0.0 && keep_prob <= 1.0, "keep_prob must be in (0, 1]");
+        assert!(
+            keep_prob > 0.0 && keep_prob <= 1.0,
+            "keep_prob must be in (0, 1]"
+        );
         let (m, n) = self.value(a).shape();
         let inv = 1.0 / keep_prob;
         let mask = Tensor2::from_vec(
             m,
             n,
-            (0..m * n).map(|_| if rng.gen::<f32>() < keep_prob { inv } else { 0.0 }).collect(),
+            (0..m * n)
+                .map(|_| {
+                    if rng.gen::<f32>() < keep_prob {
+                        inv
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
         );
         self.mul_mask(a, mask)
     }
@@ -350,7 +434,11 @@ impl Tape {
         }
         loss /= m as f32;
         self.push(
-            Op::SoftmaxCe { logits, targets: targets.to_vec(), probs },
+            Op::SoftmaxCe {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
             Tensor2::scalar(loss),
         )
     }
@@ -367,13 +455,23 @@ impl Tape {
     /// Panics if shapes differ.
     pub fn bce_with_logits(&mut self, logits: Var, targets: &Tensor2) -> Var {
         let lv = self.value(logits);
-        assert_eq!(lv.shape(), targets.shape(), "bce_with_logits shape mismatch");
+        assert_eq!(
+            lv.shape(),
+            targets.shape(),
+            "bce_with_logits shape mismatch"
+        );
         let mut loss = 0.0;
         for (&x, &t) in lv.as_slice().iter().zip(targets.as_slice()) {
             loss += x.max(0.0) - x * t + (-x.abs()).exp().ln_1p();
         }
         loss /= lv.len().max(1) as f32;
-        self.push(Op::BceLogits { logits, targets: targets.clone() }, Tensor2::scalar(loss))
+        self.push(
+            Op::BceLogits {
+                logits,
+                targets: targets.clone(),
+            },
+            Tensor2::scalar(loss),
+        )
     }
 
     /// Runs reverse-mode differentiation from `output`, seeding its
@@ -388,14 +486,19 @@ impl Tape {
         };
         self.grads[output.0] = Some(seed);
         for idx in (0..=output.0).rev() {
-            let Some(g) = self.grads[idx].take() else { continue };
+            let Some(g) = self.grads[idx].take() else {
+                continue;
+            };
             self.backprop_node(idx, &g);
             self.grads[idx] = Some(g);
         }
         // Drop gradients of non-differentiable leaves so callers cannot
         // mistake them for parameter gradients.
         for (idx, node) in self.nodes.iter().enumerate() {
-            if let Op::Leaf { requires_grad: false } = node.op {
+            if let Op::Leaf {
+                requires_grad: false,
+            } = node.op
+            {
                 self.grads[idx] = None;
             }
         }
@@ -464,7 +567,10 @@ impl Tape {
             }
             Op::Relu { a } => {
                 let a = *a;
-                let da = g.zip(&self.nodes[idx].value, |gv, y| if y > 0.0 { gv } else { 0.0 });
+                let da = g.zip(
+                    &self.nodes[idx].value,
+                    |gv, y| if y > 0.0 { gv } else { 0.0 },
+                );
                 self.accumulate(a, da);
             }
             Op::ConcatCols { parts } => {
@@ -496,14 +602,23 @@ impl Tape {
                 let (m, n) = y.shape();
                 let mut da = Tensor2::zeros(m, n);
                 for i in 0..m {
-                    let dotp: f32 = g.row(i).iter().zip(y.row(i)).map(|(&gv, &yv)| gv * yv).sum();
+                    let dotp: f32 = g
+                        .row(i)
+                        .iter()
+                        .zip(y.row(i))
+                        .map(|(&gv, &yv)| gv * yv)
+                        .sum();
                     for ((d, &gv), &yv) in da.row_mut(i).iter_mut().zip(g.row(i)).zip(y.row(i)) {
                         *d = yv * (gv - dotp);
                     }
                 }
                 self.accumulate(a, da);
             }
-            Op::ChunkDot { q, chunks, n_chunks } => {
+            Op::ChunkDot {
+                q,
+                chunks,
+                n_chunks,
+            } => {
                 let (q, chunks, n) = (*q, *chunks, *n_chunks);
                 let (m, d) = self.value(q).shape();
                 let mut dq = Tensor2::zeros(m, d);
@@ -517,9 +632,7 @@ impl Tape {
                         for (dqv, &cv) in dq.row_mut(i).iter_mut().zip(chunk) {
                             *dqv += gv * cv;
                         }
-                        for (dcv, &qv) in
-                            dc.row_mut(i)[s * d..(s + 1) * d].iter_mut().zip(&qrow)
-                        {
+                        for (dcv, &qv) in dc.row_mut(i)[s * d..(s + 1) * d].iter_mut().zip(&qrow) {
                             *dcv += gv * qv;
                         }
                     }
@@ -540,8 +653,7 @@ impl Tape {
                     for s in 0..n {
                         let chunk = &crow[s * d..(s + 1) * d];
                         dw.set(i, s, grow.iter().zip(chunk).map(|(&gv, &cv)| gv * cv).sum());
-                        for (dcv, &gv) in dc.row_mut(i)[s * d..(s + 1) * d].iter_mut().zip(grow)
-                        {
+                        for (dcv, &gv) in dc.row_mut(i)[s * d..(s + 1) * d].iter_mut().zip(grow) {
                             *dcv += wrow[s] * gv;
                         }
                     }
@@ -566,7 +678,11 @@ impl Tape {
                 let da = Tensor2::full(m, n, g.get(0, 0) / (m * n).max(1) as f32);
                 self.accumulate(a, da);
             }
-            Op::SoftmaxCe { logits, targets, probs } => {
+            Op::SoftmaxCe {
+                logits,
+                targets,
+                probs,
+            } => {
                 let logits = *logits;
                 let m = probs.rows();
                 let scale = g.get(0, 0) / m as f32;
@@ -646,7 +762,10 @@ mod tests {
     #[test]
     fn softmax_rows_sums_to_one() {
         let mut tape = Tape::new();
-        let a = tape.leaf(Tensor2::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]), false);
+        let a = tape.leaf(
+            Tensor2::from_rows(&[&[1.0, 2.0, 3.0], &[-1.0, 0.0, 1.0]]),
+            false,
+        );
         let s = tape.softmax_rows(a);
         for i in 0..2 {
             approx(tape.value(s).row(i).iter().sum::<f32>(), 1.0, 1e-6);
@@ -709,7 +828,7 @@ mod tests {
 
     #[test]
     fn dropout_keep_prob_one_is_identity() {
-        let mut rng = rand::thread_rng();
+        let mut rng = crate::rng::thread_rng();
         let mut tape = Tape::new();
         let a = tape.leaf(Tensor2::from_rows(&[&[1.0, -2.0, 3.0]]), false);
         let d = tape.dropout(a, 1.0, &mut rng);

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -46,12 +46,20 @@ impl Default for Tensor2 {
 impl Tensor2 {
     /// Creates a tensor of zeros with the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor2 { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor2 {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor2 { rows, cols, data: vec![value; rows * cols] }
+        Tensor2 {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a `[1, 1]` scalar tensor.
@@ -89,12 +97,18 @@ impl Tensor2 {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Tensor2 { rows: r, cols: c, data }
+        Tensor2 {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a tensor with entries drawn uniformly from `[-scale, scale]`.
     pub fn uniform<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
         Tensor2 { rows, cols, data }
     }
 
@@ -136,7 +150,10 @@ impl Tensor2 {
     ///
     /// Panics if the indices are out of bounds.
     pub fn get(&self, row: usize, col: usize) -> f32 {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -146,7 +163,10 @@ impl Tensor2 {
     ///
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, row: usize, col: usize, value: f32) {
-        assert!(row < self.rows && col < self.cols, "index ({row},{col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row},{col}) out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -292,7 +312,12 @@ impl Tensor2 {
         Tensor2 {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -391,7 +416,7 @@ mod tests {
 
     #[test]
     fn matmul_variants_agree_with_explicit_transpose() {
-        let mut rng = rand::thread_rng();
+        let mut rng = crate::rng::thread_rng();
         let a = Tensor2::uniform(3, 4, 1.0, &mut rng);
         let b = Tensor2::uniform(3, 5, 1.0, &mut rng);
         let tn = a.matmul_tn(&b);

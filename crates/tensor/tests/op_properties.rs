@@ -1,33 +1,43 @@
-//! Property-based tests of tensor-algebra identities and autograd
+//! Randomized tests of tensor-algebra identities and autograd
 //! invariants.
+//!
+//! Formerly a `proptest` suite; ported to plain `#[test]` functions
+//! driven by the workspace's deterministic PRNG so the test suite
+//! builds with no external dependencies (offline-build policy). Each
+//! property is checked over a fixed number of seeded random cases.
 
-use proptest::prelude::*;
-
+use voyager_tensor::rng::{Rng, SeedableRng, StdRng};
 use voyager_tensor::{Tape, Tensor2};
 
-fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor2> {
-    prop::collection::vec(-4.0f32..4.0, rows * cols)
-        .prop_map(move |data| Tensor2::from_vec(rows, cols, data))
+const CASES: usize = 64;
+
+fn rand_tensor(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor2 {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-4.0f32..4.0))
+        .collect();
+    Tensor2::from_vec(rows, cols, data)
 }
 
 fn close(a: f32, b: f32) -> bool {
     (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn transpose_is_an_involution(t in arb_tensor(3, 5)) {
-        prop_assert_eq!(t.transposed().transposed(), t);
+#[test]
+fn transpose_is_an_involution() {
+    let mut rng = StdRng::seed_from_u64(41216);
+    for _ in 0..CASES {
+        let t = rand_tensor(3, 5, &mut rng);
+        assert_eq!(t.transposed().transposed(), t);
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in arb_tensor(2, 3),
-        b in arb_tensor(3, 2),
-        c in arb_tensor(3, 2),
-    ) {
+#[test]
+fn matmul_distributes_over_addition() {
+    let mut rng = StdRng::seed_from_u64(41217);
+    for _ in 0..CASES {
+        let a = rand_tensor(2, 3, &mut rng);
+        let b = rand_tensor(3, 2, &mut rng);
+        let c = rand_tensor(3, 2, &mut rng);
         // a(b + c) == ab + ac
         let bc = b.zip(&c, |x, y| x + y);
         let left = a.matmul(&bc);
@@ -37,69 +47,102 @@ proptest! {
             ab
         };
         for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
-            prop_assert!(close(*l, *r), "{l} vs {r}");
+            assert!(close(*l, *r), "{l} vs {r}");
         }
     }
+}
 
-    #[test]
-    fn transpose_reverses_matmul(a in arb_tensor(2, 4), b in arb_tensor(4, 3)) {
+#[test]
+fn transpose_reverses_matmul() {
+    let mut rng = StdRng::seed_from_u64(41218);
+    for _ in 0..CASES {
+        let a = rand_tensor(2, 4, &mut rng);
+        let b = rand_tensor(4, 3, &mut rng);
         // (AB)^T == B^T A^T
         let left = a.matmul(&b).transposed();
         let right = b.transposed().matmul(&a.transposed());
         for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
-            prop_assert!(close(*l, *r));
+            assert!(close(*l, *r));
         }
     }
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(t in arb_tensor(3, 6)) {
+#[test]
+fn softmax_rows_are_distributions() {
+    let mut rng = StdRng::seed_from_u64(41219);
+    for _ in 0..CASES {
+        let t = rand_tensor(3, 6, &mut rng);
         let mut tape = Tape::new();
         let v = tape.leaf(t, false);
         let s = tape.softmax_rows(v);
         let out = tape.value(s);
         for r in 0..3 {
             let sum: f32 = out.row(r).iter().sum();
-            prop_assert!(close(sum, 1.0));
-            prop_assert!(out.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!(close(sum, 1.0));
+            assert!(out.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
+}
 
-    #[test]
-    fn softmax_is_shift_invariant(t in arb_tensor(1, 5), shift in -3.0f32..3.0) {
+#[test]
+fn softmax_is_shift_invariant() {
+    let mut rng = StdRng::seed_from_u64(41220);
+    for _ in 0..CASES {
+        let t = rand_tensor(1, 5, &mut rng);
+        let shift = rng.gen_range(-3.0f32..3.0);
         let mut tape = Tape::new();
         let v1 = tape.leaf(t.clone(), false);
         let s1 = tape.softmax_rows(v1);
         let shifted = t.map(|x| x + shift);
         let v2 = tape.leaf(shifted, false);
         let s2 = tape.softmax_rows(v2);
-        for (a, b) in tape.value(s1).as_slice().iter().zip(tape.value(s2).as_slice()) {
-            prop_assert!(close(*a, *b));
+        for (a, b) in tape
+            .value(s1)
+            .as_slice()
+            .iter()
+            .zip(tape.value(s2).as_slice())
+        {
+            assert!(close(*a, *b));
         }
     }
+}
 
-    #[test]
-    fn topk_is_sorted_and_consistent_with_argmax(t in arb_tensor(1, 8), k in 1usize..8) {
+#[test]
+fn topk_is_sorted_and_consistent_with_argmax() {
+    let mut rng = StdRng::seed_from_u64(41221);
+    for _ in 0..CASES {
+        let t = rand_tensor(1, 8, &mut rng);
+        let k = rng.gen_range(1usize..8);
         let top = t.topk_row(0, k);
-        prop_assert_eq!(top.len(), k.min(8));
-        prop_assert_eq!(top[0], t.argmax_row(0));
+        assert_eq!(top.len(), k.min(8));
+        assert_eq!(top[0], t.argmax_row(0));
         for w in top.windows(2) {
-            prop_assert!(t.get(0, w[0]) >= t.get(0, w[1]));
+            assert!(t.get(0, w[0]) >= t.get(0, w[1]));
         }
     }
+}
 
-    #[test]
-    fn backward_of_sum_is_ones(t in arb_tensor(3, 4)) {
+#[test]
+fn backward_of_sum_is_ones() {
+    let mut rng = StdRng::seed_from_u64(41222);
+    for _ in 0..CASES {
+        let t = rand_tensor(3, 4, &mut rng);
         let mut tape = Tape::new();
         let v = tape.leaf(t, true);
         let s = tape.sum_all(v);
         tape.backward(s);
         for &g in tape.grad(v).unwrap().as_slice() {
-            prop_assert!(close(g, 1.0));
+            assert!(close(g, 1.0));
         }
     }
+}
 
-    #[test]
-    fn linearity_of_gradients(t in arb_tensor(2, 3), c in 0.1f32..4.0) {
+#[test]
+fn linearity_of_gradients() {
+    let mut rng = StdRng::seed_from_u64(41223);
+    for _ in 0..CASES {
+        let t = rand_tensor(2, 3, &mut rng);
+        let c = rng.gen_range(0.1f32..4.0);
         // d(c * sum(x)) / dx == c
         let mut tape = Tape::new();
         let v = tape.leaf(t, true);
@@ -107,29 +150,37 @@ proptest! {
         let scaled = tape.scale(s, c);
         tape.backward(scaled);
         for &g in tape.grad(v).unwrap().as_slice() {
-            prop_assert!(close(g, c));
+            assert!(close(g, c));
         }
     }
+}
 
-    #[test]
-    fn bce_loss_is_nonnegative_and_zero_free(t in arb_tensor(2, 4)) {
+#[test]
+fn bce_loss_is_nonnegative_and_zero_free() {
+    let mut rng = StdRng::seed_from_u64(41224);
+    for _ in 0..CASES {
+        let t = rand_tensor(2, 4, &mut rng);
         let mut tape = Tape::new();
         let v = tape.leaf(t.clone(), false);
         let targets = t.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
         let loss = tape.bce_with_logits(v, &targets);
-        prop_assert!(tape.value(loss).get(0, 0) >= 0.0);
+        assert!(tape.value(loss).get(0, 0) >= 0.0);
     }
+}
 
-    #[test]
-    fn cross_entropy_bounded_below_by_log_of_uniform(t in arb_tensor(3, 4)) {
+#[test]
+fn cross_entropy_bounded_below_by_log_of_uniform() {
+    let mut rng = StdRng::seed_from_u64(41225);
+    for _ in 0..CASES {
+        let t = rand_tensor(3, 4, &mut rng);
         // CE >= 0 always; for a uniform predictor it equals ln(4).
         let mut tape = Tape::new();
         let v = tape.leaf(t, false);
         let loss = tape.softmax_cross_entropy(v, &[0, 1, 2]);
-        prop_assert!(tape.value(loss).get(0, 0) >= 0.0);
-        let mut tape = Tape::new();
-        let u = tape.leaf(Tensor2::zeros(3, 4), false);
-        let loss = tape.softmax_cross_entropy(u, &[0, 1, 2]);
-        prop_assert!(close(tape.value(loss).get(0, 0), (4.0f32).ln()));
+        assert!(tape.value(loss).get(0, 0) >= 0.0);
     }
+    let mut tape = Tape::new();
+    let u = tape.leaf(Tensor2::zeros(3, 4), false);
+    let loss = tape.softmax_cross_entropy(u, &[0, 1, 2]);
+    assert!(close(tape.value(loss).get(0, 0), (4.0f32).ln()));
 }

@@ -50,7 +50,11 @@ impl MemoryAccess {
     /// Creates an access with the given PC and address and a default
     /// bubble of 3 instructions.
     pub fn new(pc: u64, addr: u64) -> Self {
-        MemoryAccess { pc, addr, bubble: 3 }
+        MemoryAccess {
+            pc,
+            addr,
+            bubble: 3,
+        }
     }
 
     /// Cache-line number of the address.
@@ -91,12 +95,18 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace with a name.
     pub fn new(name: impl Into<String>) -> Self {
-        Trace { name: name.into(), accesses: Vec::new() }
+        Trace {
+            name: name.into(),
+            accesses: Vec::new(),
+        }
     }
 
     /// Creates a trace from parts.
     pub fn from_accesses(name: impl Into<String>, accesses: Vec<MemoryAccess>) -> Self {
-        Trace { name: name.into(), accesses }
+        Trace {
+            name: name.into(),
+            accesses,
+        }
     }
 
     /// The trace's name (usually the benchmark name).
@@ -151,7 +161,10 @@ impl std::ops::Index<usize> for Trace {
 
 impl FromIterator<MemoryAccess> for Trace {
     fn from_iter<I: IntoIterator<Item = MemoryAccess>>(iter: I) -> Self {
-        Trace { name: String::from("anonymous"), accesses: iter.into_iter().collect() }
+        Trace {
+            name: String::from("anonymous"),
+            accesses: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -218,8 +231,9 @@ mod tests {
 
     #[test]
     fn trace_collect_and_iterate() {
-        let trace: Trace =
-            (0..5).map(|i| MemoryAccess::new(0x400000 + i, 0x1000 * i)).collect();
+        let trace: Trace = (0..5)
+            .map(|i| MemoryAccess::new(0x400000 + i, 0x1000 * i))
+            .collect();
         assert_eq!(trace.len(), 5);
         assert!(!trace.is_empty());
         assert_eq!(trace.iter().count(), 5);
@@ -230,8 +244,16 @@ mod tests {
     #[test]
     fn instruction_count_includes_bubbles() {
         let mut trace = Trace::new("t");
-        trace.push(MemoryAccess { pc: 1, addr: 0, bubble: 4 });
-        trace.push(MemoryAccess { pc: 2, addr: 64, bubble: 0 });
+        trace.push(MemoryAccess {
+            pc: 1,
+            addr: 0,
+            bubble: 4,
+        });
+        trace.push(MemoryAccess {
+            pc: 2,
+            addr: 64,
+            bubble: 0,
+        });
         assert_eq!(trace.instruction_count(), 5 + 1);
     }
 

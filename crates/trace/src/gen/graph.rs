@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use super::util::{code, region, ColdCode, TraceBuilder};
 use super::GeneratorConfig;
@@ -58,7 +58,10 @@ impl CsrGraph {
         }
     }
 
-    fn build_csr(n: usize, edges: impl Iterator<Item = (u32, u32)> + Clone) -> (Vec<u32>, Vec<u32>) {
+    fn build_csr(
+        n: usize,
+        edges: impl Iterator<Item = (u32, u32)> + Clone,
+    ) -> (Vec<u32>, Vec<u32>) {
         let mut counts = vec![0u32; n + 1];
         for (u, _) in edges.clone() {
             counts[u as usize + 1] += 1;
@@ -147,7 +150,7 @@ pub fn pr(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
             }
         }
         // Line 45-51: incoming_total += outgoing_contrib[v] over in_neigh(u)
-        for u in 0..n {
+        for (u, score) in scores.iter_mut().enumerate() {
             b.load(code(1, 0), offsets_addr(R_OFFSETS, u), 2); // in_offsets[u]
             let mut total = 0.0;
             let (lo, hi) = (g.in_offsets[u] as usize, g.in_offsets[u + 1] as usize);
@@ -161,7 +164,7 @@ pub fn pr(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
             }
             // Line 49: scores[u]
             b.load(code(1, 3), offsets_addr(R_PROP_A, u), 3);
-            scores[u] = 0.15 / n as f32 + 0.85 * total;
+            *score = 0.15 / n as f32 + 0.85 * total;
             if b.done() {
                 break 'outer;
             }
@@ -248,8 +251,7 @@ pub fn cc(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::{SeedableRng, StdRng};
 
     #[test]
     fn csr_roundtrip_edges() {
@@ -281,17 +283,27 @@ mod tests {
         // The irregular contrib load (code(1, 2)) must be present and
         // touch many distinct pages.
         let contrib_pc = code(1, 2);
-        let pages: std::collections::HashSet<u64> =
-            trace.iter().filter(|a| a.pc == contrib_pc).map(|a| a.page()).collect();
-        assert!(pages.len() >= 3, "irregular PR load covers {} pages", pages.len());
+        let pages: std::collections::HashSet<u64> = trace
+            .iter()
+            .filter(|a| a.pc == contrib_pc)
+            .map(|a| a.page())
+            .collect();
+        assert!(
+            pages.len() >= 3,
+            "irregular PR load covers {} pages",
+            pages.len()
+        );
     }
 
     #[test]
     fn bfs_visits_many_vertices() {
         let trace = bfs(&GeneratorConfig::small(), &mut StdRng::seed_from_u64(2));
         let parent_pc = code(2, 2);
-        let distinct: std::collections::HashSet<u64> =
-            trace.iter().filter(|a| a.pc == parent_pc).map(|a| a.addr).collect();
+        let distinct: std::collections::HashSet<u64> = trace
+            .iter()
+            .filter(|a| a.pc == parent_pc)
+            .map(|a| a.addr)
+            .collect();
         assert!(distinct.len() > 100);
     }
 

@@ -11,8 +11,7 @@ mod graph;
 mod oltp;
 mod spec;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::rng::{SeedableRng, StdRng};
 
 use crate::Trace;
 
@@ -32,17 +31,26 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// A tiny configuration for unit tests (~8K accesses).
     pub fn small() -> Self {
-        GeneratorConfig { accesses: 8_000, seed: 0xA5_0001 }
+        GeneratorConfig {
+            accesses: 8_000,
+            seed: 0xA5_0001,
+        }
     }
 
     /// A medium configuration for quick experiments (~60K accesses).
     pub fn medium() -> Self {
-        GeneratorConfig { accesses: 60_000, seed: 0xA5_0001 }
+        GeneratorConfig {
+            accesses: 60_000,
+            seed: 0xA5_0001,
+        }
     }
 
     /// The default experiment configuration (~200K accesses).
     pub fn full() -> Self {
-        GeneratorConfig { accesses: 200_000, seed: 0xA5_0001 }
+        GeneratorConfig {
+            accesses: 200_000,
+            seed: 0xA5_0001,
+        }
     }
 
     /// Returns a copy with a different seed.
@@ -109,7 +117,9 @@ impl Benchmark {
     /// All 11 benchmarks in Table 2 order.
     pub fn all() -> [Benchmark; 11] {
         use Benchmark::*;
-        [Astar, Bfs, Cc, Mcf, Omnetpp, Pr, Soplex, Sphinx, Xalancbmk, Search, Ads]
+        [
+            Astar, Bfs, Cc, Mcf, Omnetpp, Pr, Soplex, Sphinx, Xalancbmk, Search, Ads,
+        ]
     }
 
     /// The nine SPEC/GAP benchmarks that run through the IPC simulator
@@ -178,7 +188,9 @@ impl std::str::FromStr for Benchmark {
         Benchmark::all()
             .into_iter()
             .find(|b| b.name() == s)
-            .ok_or_else(|| ParseBenchmarkError { name: s.to_string() })
+            .ok_or_else(|| ParseBenchmarkError {
+                name: s.to_string(),
+            })
     }
 }
 
@@ -198,7 +210,7 @@ impl std::error::Error for ParseBenchmarkError {}
 
 /// Helpers shared by the generator modules.
 pub(crate) mod util {
-    use rand::Rng;
+    use crate::rng::Rng;
 
     use crate::{MemoryAccess, Trace};
 
@@ -224,7 +236,10 @@ pub(crate) mod util {
 
     impl TraceBuilder {
         pub fn new(name: &str, target: usize) -> Self {
-            TraceBuilder { trace: Trace::new(name), target }
+            TraceBuilder {
+                trace: Trace::new(name),
+                target,
+            }
         }
 
         /// Records a load of `addr` at `pc` preceded by `bubble`
@@ -309,7 +324,12 @@ pub(crate) mod util {
         /// sites starting at `base_block`, touching data region
         /// `region_index`.
         pub fn new(region_index: u64, base_block: u64, blocks: u64) -> Self {
-            ColdCode { region: region(region_index), base_block, blocks, counter: 0 }
+            ColdCode {
+                region: region(region_index),
+                base_block,
+                blocks,
+                counter: 0,
+            }
         }
 
         /// Emits one sweep of `loads` bookkeeping loads. All loads hit
@@ -390,16 +410,21 @@ mod tests {
         let cfg = GeneratorConfig::medium();
         let pages = |b: Benchmark| TraceStats::of(&b.generate(&cfg)).unique_pages;
         let mcf = pages(Benchmark::Mcf);
-        for b in [Benchmark::Bfs, Benchmark::Cc, Benchmark::Pr, Benchmark::Sphinx] {
+        for b in [
+            Benchmark::Bfs,
+            Benchmark::Cc,
+            Benchmark::Pr,
+            Benchmark::Sphinx,
+        ] {
             assert!(mcf > pages(b), "mcf {mcf} <= {b}");
         }
     }
 
     #[test]
     fn zipf_prefers_small_indices() {
-        use rand::SeedableRng;
+        use crate::rng::{SeedableRng, StdRng};
         let z = util::Zipf::new(1000, 1.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = StdRng::seed_from_u64(1);
         let mut low = 0;
         for _ in 0..1000 {
             if z.sample(&mut rng) < 10 {
@@ -418,8 +443,16 @@ mod tests {
         }
         let trace = b.finish();
         let stats = crate::stats::TraceStats::of(&trace);
-        assert!(stats.unique_pcs > 150, "cold pool under-covered: {}", stats.unique_pcs);
-        assert!(stats.unique_addresses <= 2, "cold data must stay tiny: {}", stats.unique_addresses);
+        assert!(
+            stats.unique_pcs > 150,
+            "cold pool under-covered: {}",
+            stats.unique_pcs
+        );
+        assert!(
+            stats.unique_addresses <= 2,
+            "cold data must stay tiny: {}",
+            stats.unique_addresses
+        );
     }
 
     #[test]

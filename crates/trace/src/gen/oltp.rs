@@ -10,7 +10,7 @@
 //! traces, they carry no timing, so only the unified accuracy/coverage
 //! metric applies.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use super::util::{code, mix64, region, TraceBuilder, Zipf};
 use super::GeneratorConfig;
@@ -56,7 +56,11 @@ fn run(shape: &OltpShape, cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
             let hops = 1 + (mix64(key * 3) % 3);
             for h in 0..hops {
                 let entry = mix64(key * 7 + h) % 262_144;
-                b.load(pooled(shape, 1, 1 + h % 3, key + h), index_entries + entry * 64, 2);
+                b.load(
+                    pooled(shape, 1, 1 + h % 3, key + h),
+                    index_entries + entry * 64,
+                    2,
+                );
             }
             // Stage 2: posting-list streaming burst (short sequential
             // runs; delta-compressed postings keep them modest).
@@ -75,14 +79,21 @@ fn run(shape: &OltpShape, cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
         // Ads only: feature-hash lookups over wide tables.
         for table in 0..shape.feature_tables {
             let slot = mix64(request * 17 + table * 257) % 200_000;
-            b.load(pooled(shape, 4, table % 4, table * 101), features + table * 0x100_0000 + slot * 64, 2);
+            b.load(
+                pooled(shape, 4, table % 4, table * 101),
+                features + table * 0x100_0000 + slot * 64,
+                2,
+            );
         }
     }
     b.finish()
 }
 
 fn pooled(shape: &OltpShape, stage: u64, slot: u64, salt: u64) -> u64 {
-    code(200 + stage * shape.stage_blocks + mix64(salt * 2654435761) % shape.stage_blocks, slot)
+    code(
+        200 + stage * shape.stage_blocks + mix64(salt * 2654435761) % shape.stage_blocks,
+        slot,
+    )
 }
 
 /// Google `search`-like trace (~6.7K PCs in Table 2).
@@ -118,9 +129,8 @@ pub fn ads(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::{SeedableRng, StdRng};
     use crate::stats::TraceStats;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn ads_has_more_pcs_and_pages_than_search() {

@@ -14,7 +14,7 @@
 //!   [`ColdCode`](super::util::ColdCode) sweeps whose loads are
 //!   L1-resident and therefore invisible to the LLC.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use super::util::{code, mix64, region, ColdCode, TraceBuilder, Zipf};
 use super::GeneratorConfig;
@@ -31,7 +31,9 @@ pub fn astar(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let heap_region = region(10);
     let grid_region = region(11);
     let gcost_region = region(12);
-    let starts: Vec<u32> = (0..8).map(|_| rng.gen_range(0..(dim * dim)) as u32).collect();
+    let starts: Vec<u32> = (0..8)
+        .map(|_| rng.gen_range(0..(dim * dim)) as u32)
+        .collect();
     let mut cold = ColdCode::new(9, 130, 22);
     let mut episode = 0usize;
     let mut heap: Vec<u32> = Vec::new();
@@ -40,7 +42,7 @@ pub fn astar(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
         heap.clear();
         heap.push(starts[episode % starts.len()]);
         episode += 1;
-        if episode % 2 == 0 {
+        if episode.is_multiple_of(2) {
             cold.sweep(&mut b, 40);
         }
         let mut expanded = 0;
@@ -49,10 +51,18 @@ pub fn astar(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
         let mut decide = mix64(episode as u64 * 83);
         while let Some(cell) = pop_heap(&mut heap, &mut b, heap_region) {
             let (x, y) = ((cell as usize) % dim, (cell as usize) / dim);
-            for (i, (dx, dy)) in
-                [(-1i64, 0i64), (1, 0), (0, -1), (0, 1), (-1, -1), (1, 1), (-1, 1), (1, -1)]
-                    .iter()
-                    .enumerate()
+            for (i, (dx, dy)) in [
+                (-1i64, 0i64),
+                (1, 0),
+                (0, -1),
+                (0, 1),
+                (-1, -1),
+                (1, 1),
+                (-1, 1),
+                (1, -1),
+            ]
+            .iter()
+            .enumerate()
             {
                 let nx = (x as i64 + dx).rem_euclid(dim as i64) as usize;
                 let ny = (y as i64 + dy).rem_euclid(dim as i64) as usize;
@@ -60,7 +70,7 @@ pub fn astar(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
                 b.load(code(20, i as u64 % 4), grid_region + 4 * ncell as u64, 2);
                 b.load(code(21, i as u64 % 4), gcost_region + 8 * ncell as u64, 1);
                 decide = mix64(decide);
-                if decide % 4 == 0 && heap.len() < 64 {
+                if decide.is_multiple_of(4) && heap.len() < 64 {
                     push_heap(&mut heap, ncell as u32, &mut b, heap_region);
                 }
             }
@@ -129,8 +139,8 @@ pub fn mcf(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let arena = region(15);
     let tree_region = region(16);
     const ARC_BYTES: u64 = 64; // one arc per cache line
-    // Pre-existing network: large relative to the trace so footprint
-    // dominates Table 2 (mcf: 4.58M addresses vs ~0.2M for the rest).
+                               // Pre-existing network: large relative to the trace so footprint
+                               // dominates Table 2 (mcf: 4.58M addresses vs ~0.2M for the rest).
     let mut arcs: u64 = (cfg.accesses as u64 / 3).max(4_096);
     let mut next: Vec<u32> = (0..arcs as u32).collect();
     // Random permutation -> long pointer chains.
@@ -142,7 +152,7 @@ pub fn mcf(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut iter = 0u64;
     'outer: while !b.done() {
         iter += 1;
-        if iter % 4 == 0 {
+        if iter.is_multiple_of(4) {
             cold.sweep(&mut b, 32);
         }
         // Phase 1: allocate a batch of new arcs (compulsory misses,
@@ -156,7 +166,11 @@ pub fn mcf(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
         // pattern: the same chains recur across simplex iterations).
         for _ in 0..5 {
             for _hop in 0..64 {
-                b.load(code(33, cursor as u64 % 2), arena + cursor as u64 * ARC_BYTES, 3);
+                b.load(
+                    code(33, cursor as u64 % 2),
+                    arena + cursor as u64 * ARC_BYTES,
+                    3,
+                );
                 b.load(code(36, 0), tree_region + 8 * (cursor as u64 % 4096), 2);
                 cursor = next[cursor as usize];
                 if b.done() {
@@ -197,7 +211,7 @@ pub fn omnetpp(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut events = 0u64;
     while !b.done() {
         events += 1;
-        if events % 16 == 0 {
+        if events.is_multiple_of(16) {
             cold.sweep(&mut b, 48);
         }
         // Pop earliest event: heap sift-down loads.
@@ -219,7 +233,11 @@ pub fn omnetpp(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
         // Destination module state: hot handler loads from a few sites.
         let module = mix64(msg) % n_modules;
         for s in 0..3u64 {
-            b.load(code(42 + module % 2, s), module_region + module * 256 + s * 64, 2);
+            b.load(
+                code(42 + module % 2, s),
+                module_region + module * 256 + s * 64,
+                2,
+            );
         }
         // Handler schedules 1-2 future events.
         for _ in 0..rng.gen_range(1..=2) {
@@ -251,7 +269,7 @@ pub fn soplex(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut epoch = 0u64;
     while !b.done() {
         epoch += 1;
-        if epoch % 4 == 0 {
+        if epoch.is_multiple_of(4) {
             cold.sweep(&mut b, 48);
         }
         // Pricing sweep: strided loads over matrix columns from a few
@@ -277,7 +295,7 @@ pub fn soplex(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
                 b.load(code(51, 1), vec + 8 * leave, 1);
             }
         }
-        if epoch % 8 == 0 {
+        if epoch.is_multiple_of(8) {
             // Slow drift of the working set.
             for _ in 0..32 {
                 let i = rng.gen_range(0..working.len());
@@ -302,7 +320,7 @@ pub fn sphinx(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut frame = 0u64;
     while !b.done() {
         frame += 1;
-        if frame % 4 == 0 {
+        if frame.is_multiple_of(4) {
             cold.sweep(&mut b, 48);
         }
         // Score a frame against a set of active senones: each senone's
@@ -349,7 +367,7 @@ pub fn xalancbmk(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut pass = 0usize;
     while !b.done() {
         pass += 1;
-        if pass % 2 == 0 {
+        if pass.is_multiple_of(2) {
             cold.sweep(&mut b, 48);
         }
         let mut stack = vec![roots[pass % roots.len()]];
@@ -358,10 +376,18 @@ pub fn xalancbmk(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
             let v = v as usize;
             let kind = kinds[v] as u64;
             // Node header loads from a few hot dispatch sites.
-            b.load(code(80 + kind % 2, kind % 4), nodes_region + v as u64 * 128, 2);
+            b.load(
+                code(80 + kind % 2, kind % 4),
+                nodes_region + v as u64 * 128,
+                2,
+            );
             b.load(code(82, kind % 4), nodes_region + v as u64 * 128 + 64, 1);
             // String-table lookup for the node's name.
-            b.load(code(84, 0), strings_region + (mix64(v as u64) % 8_192) * 64, 2);
+            b.load(
+                code(84, 0),
+                strings_region + (mix64(v as u64) % 8_192) * 64,
+                2,
+            );
             for &c in children[v].iter().rev() {
                 stack.push(c);
             }
@@ -377,9 +403,8 @@ pub fn xalancbmk(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::{SeedableRng, StdRng};
     use crate::stats::TraceStats;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn gen(f: fn(&GeneratorConfig, &mut StdRng) -> Trace) -> Trace {
         f(&GeneratorConfig::small(), &mut StdRng::seed_from_u64(7))
@@ -391,9 +416,16 @@ mod tests {
         // Among accesses from the allocation PC, consecutive fresh pages
         // differ by +1 (sequential arena growth).
         let alloc_pc = code(32, 0);
-        let alloc_pages: Vec<u64> =
-            trace.iter().filter(|a| a.pc == alloc_pc).map(|a| a.page()).collect();
-        assert!(alloc_pages.len() > 100, "too few allocations: {}", alloc_pages.len());
+        let alloc_pages: Vec<u64> = trace
+            .iter()
+            .filter(|a| a.pc == alloc_pc)
+            .map(|a| a.page())
+            .collect();
+        assert!(
+            alloc_pages.len() > 100,
+            "too few allocations: {}",
+            alloc_pages.len()
+        );
         let mut plus_one = 0;
         let mut steps = 0;
         for w in alloc_pages.windows(2) {
@@ -428,7 +460,11 @@ mod tests {
             .filter(|a| a.addr >= vec_region && a.addr < vec_region + 0x1_0000_0000)
             .map(|a| a.pc)
             .collect();
-        assert_eq!(pcs.len(), 2, "vec[] must be loaded from exactly 2 PCs (Fig. 16)");
+        assert_eq!(
+            pcs.len(),
+            2,
+            "vec[] must be loaded from exactly 2 PCs (Fig. 16)"
+        );
     }
 
     #[test]
@@ -441,7 +477,10 @@ mod tests {
             .map(|a| a.line())
             .collect();
         assert!(grid_lines.len() > 500);
-        let near = grid_lines.windows(2).filter(|w| w[0].abs_diff(w[1]) <= 256).count();
+        let near = grid_lines
+            .windows(2)
+            .filter(|w| w[0].abs_diff(w[1]) <= 256)
+            .count();
         assert!(
             near * 10 > grid_lines.len() * 7,
             "astar grid scan lost spatial locality: {near}/{}",
@@ -455,8 +494,11 @@ mod tests {
         // expanded cell must repeat across the trace.
         let trace = gen(astar);
         let grid = region(11);
-        let first_grid_addrs: Vec<u64> =
-            trace.iter().filter(|a| a.addr >= grid && a.addr < grid + 0x1_0000_0000).map(|a| a.addr).collect();
+        let first_grid_addrs: Vec<u64> = trace
+            .iter()
+            .filter(|a| a.addr >= grid && a.addr < grid + 0x1_0000_0000)
+            .map(|a| a.addr)
+            .collect();
         let mut counts = std::collections::HashMap::new();
         for a in &first_grid_addrs {
             *counts.entry(*a).or_insert(0usize) += 1;
@@ -477,16 +519,25 @@ mod tests {
             .filter(|a| a.addr >= msg && a.addr < msg + 0x1_0000_0000)
             .map(|a| a.pc)
             .collect();
-        assert!(msg_pcs.len() <= 2, "message loads fragmented over {} PCs", msg_pcs.len());
+        assert!(
+            msg_pcs.len() <= 2,
+            "message loads fragmented over {} PCs",
+            msg_pcs.len()
+        );
         let s = TraceStats::of(&trace);
-        assert!(s.unique_pcs > 300, "omnetpp should have many cold PCs: {}", s.unique_pcs);
+        assert!(
+            s.unique_pcs > 300,
+            "omnetpp should have many cold PCs: {}",
+            s.unique_pcs
+        );
     }
 
     #[test]
     fn pc_pools_produce_expected_diversity() {
         // Medium-scale traces; bounds bracket the Table 2 counts
         // loosely (cold-code pools fill in as traces lengthen).
-        let cases: [(&str, fn(&GeneratorConfig, &mut StdRng) -> Trace, usize, usize); 6] = [
+        type Generate = fn(&GeneratorConfig, &mut StdRng) -> Trace;
+        let cases: [(&str, Generate, usize, usize); 6] = [
             ("omnetpp", omnetpp, 400, 2_500),
             ("soplex", soplex, 600, 4_000),
             ("sphinx", sphinx, 400, 3_000),

@@ -100,10 +100,16 @@ impl LabelSet {
 
     /// Iterates over the distinct trace indices across all schemes.
     pub fn candidates(&self) -> impl Iterator<Item = u32> {
-        let mut v = [self.global, self.pc, self.basic_block, self.spatial, self.co_occurrence]
-            .into_iter()
-            .flatten()
-            .collect::<Vec<_>>();
+        let mut v = [
+            self.global,
+            self.pc,
+            self.basic_block,
+            self.spatial,
+            self.co_occurrence,
+        ]
+        .into_iter()
+        .flatten()
+        .collect::<Vec<_>>();
         v.sort_unstable();
         v.dedup();
         v.into_iter()
@@ -196,7 +202,10 @@ pub fn compute_labels(trace: &Trace) -> Vec<LabelSet> {
 
 /// Convenience: labels for a single scheme.
 pub fn labels_for_scheme(trace: &Trace, scheme: LabelScheme) -> Vec<Option<u32>> {
-    compute_labels(trace).iter().map(|l| l.get(scheme)).collect()
+    compute_labels(trace)
+        .iter()
+        .map(|l| l.get(scheme))
+        .collect()
 }
 
 #[cfg(test)]
@@ -207,7 +216,10 @@ mod tests {
     fn t(entries: &[(u64, u64)]) -> Trace {
         Trace::from_accesses(
             "t",
-            entries.iter().map(|&(pc, addr)| MemoryAccess::new(pc, addr)).collect(),
+            entries
+                .iter()
+                .map(|&(pc, addr)| MemoryAccess::new(pc, addr))
+                .collect(),
         )
     }
 
@@ -269,7 +281,11 @@ mod tests {
             (6, 5 * 64),
         ]);
         let l = compute_labels(&trace);
-        assert_eq!(l[0].co_occurrence, Some(1), "first occurrence of the dominant line");
+        assert_eq!(
+            l[0].co_occurrence,
+            Some(1),
+            "first occurrence of the dominant line"
+        );
     }
 
     #[test]

@@ -39,6 +39,10 @@
 
 mod access;
 
+/// Deterministic PRNG shared across the workspace (re-exported from
+/// [`voyager_tensor`] so generator code and tests need no extra dep).
+pub use voyager_tensor::rng;
+
 pub mod gen;
 pub mod labels;
 pub mod serialize;

@@ -105,7 +105,11 @@ pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, ReadTraceError> {
         let addr = read_u64(&mut reader)?;
         let mut bubble = [0u8; 1];
         reader.read_exact(&mut bubble)?;
-        trace.push(MemoryAccess { pc, addr, bubble: bubble[0] });
+        trace.push(MemoryAccess {
+            pc,
+            addr,
+            bubble: bubble[0],
+        });
     }
     Ok(trace)
 }
@@ -130,9 +134,21 @@ mod tests {
         Trace::from_accesses(
             "sample",
             vec![
-                MemoryAccess { pc: 0x400000, addr: 0xdead_beef, bubble: 3 },
-                MemoryAccess { pc: 0x400008, addr: 0, bubble: 0 },
-                MemoryAccess { pc: u64::MAX, addr: u64::MAX, bubble: 255 },
+                MemoryAccess {
+                    pc: 0x400000,
+                    addr: 0xdead_beef,
+                    bubble: 3,
+                },
+                MemoryAccess {
+                    pc: 0x400008,
+                    addr: 0,
+                    bubble: 0,
+                },
+                MemoryAccess {
+                    pc: u64::MAX,
+                    addr: u64::MAX,
+                    bubble: 255,
+                },
             ],
         )
     }
@@ -178,13 +194,15 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &sample()).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(matches!(read_trace(buf.as_slice()).unwrap_err(), ReadTraceError::Io(_)));
+        assert!(matches!(
+            read_trace(buf.as_slice()).unwrap_err(),
+            ReadTraceError::Io(_)
+        ));
     }
 
     #[test]
     fn generated_trace_roundtrips() {
-        let trace =
-            crate::gen::Benchmark::Sphinx.generate(&crate::gen::GeneratorConfig::small());
+        let trace = crate::gen::Benchmark::Sphinx.generate(&crate::gen::GeneratorConfig::small());
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).unwrap();
         let restored = read_trace(buf.as_slice()).unwrap();

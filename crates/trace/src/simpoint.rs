@@ -77,7 +77,11 @@ pub fn simpoints(trace: &Trace, interval_len: usize, k: usize) -> Vec<SimPoint> 
             .expect("non-empty cluster");
         let start = rep * interval_len;
         let len = interval_len.min(trace.len() - start);
-        points.push(SimPoint { start, len, weight: members.len() as f64 / n_intervals as f64 });
+        points.push(SimPoint {
+            start,
+            len,
+            weight: members.len() as f64 / n_intervals as f64,
+        });
     }
     points.sort_by_key(|p| p.start);
     points
@@ -150,8 +154,14 @@ fn kmeans(vectors: &[Bbv], k: usize) -> Vec<usize> {
     while seeds.len() < k {
         let next = (0..vectors.len())
             .max_by(|&a, &b| {
-                let da = seeds.iter().map(|&s| distance(&vectors[a], &vectors[s])).fold(f64::MAX, f64::min);
-                let db = seeds.iter().map(|&s| distance(&vectors[b], &vectors[s])).fold(f64::MAX, f64::min);
+                let da = seeds
+                    .iter()
+                    .map(|&s| distance(&vectors[a], &vectors[s]))
+                    .fold(f64::MAX, f64::min);
+                let db = seeds
+                    .iter()
+                    .map(|&s| distance(&vectors[b], &vectors[s]))
+                    .fold(f64::MAX, f64::min);
                 da.total_cmp(&db)
             })
             .expect("non-empty");

@@ -34,7 +34,12 @@ pub struct VocabConfig {
 
 impl Default for VocabConfig {
     fn default() -> Self {
-        VocabConfig { max_pages: 4096, max_deltas: 10, min_address_freq: 2, max_pcs: 4096 }
+        VocabConfig {
+            max_pages: 4096,
+            max_deltas: 10,
+            min_address_freq: 2,
+            max_pcs: 4096,
+        }
     }
 }
 
@@ -133,9 +138,21 @@ impl Vocabulary {
         }
         let deltas = top_keys(&delta_freq, config.max_deltas);
 
-        let page_index = pages.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
-        let delta_index = deltas.iter().enumerate().map(|(i, &d)| (d, i as u32)).collect();
-        let pc_index = pcs.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        let page_index = pages
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+        let delta_index = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, i as u32))
+            .collect();
+        let pc_index = pcs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
         Vocabulary {
             pages,
             page_index,
@@ -187,17 +204,28 @@ impl Vocabulary {
 
     /// PC token for a raw PC (rare token if out of vocabulary).
     pub fn pc_token(&self, pc: u64) -> u32 {
-        self.pc_index.get(&pc).copied().unwrap_or(self.pcs.len() as u32)
+        self.pc_index
+            .get(&pc)
+            .copied()
+            .unwrap_or(self.pcs.len() as u32)
     }
 
     /// Tokenizes one access given the previous access (None for the
     /// first).
-    pub fn tokenize_access(&self, prev: Option<&MemoryAccess>, a: &MemoryAccess) -> TokenizedAccess {
+    pub fn tokenize_access(
+        &self,
+        prev: Option<&MemoryAccess>,
+        a: &MemoryAccess,
+    ) -> TokenizedAccess {
         let pc = self.pc_token(a.pc);
         let frequent = self.frequent_lines.contains(&a.line());
         let in_page_vocab = self.page_index.contains_key(&a.page());
         if frequent && in_page_vocab {
-            TokenizedAccess { pc, page: self.page_index[&a.page()], offset: a.offset() as u32 }
+            TokenizedAccess {
+                pc,
+                page: self.page_index[&a.page()],
+                offset: a.offset() as u32,
+            }
         } else if let Some(prev) = prev {
             // Delta representation relative to the previous access.
             let d = a.page() as i64 - prev.page() as i64;
@@ -213,12 +241,24 @@ impl Vocabulary {
                     page: self.page_index[&a.page()],
                     offset: a.offset() as u32,
                 },
-                None => TokenizedAccess { pc, page: self.rare_page_token(), offset: a.offset() as u32 },
+                None => TokenizedAccess {
+                    pc,
+                    page: self.rare_page_token(),
+                    offset: a.offset() as u32,
+                },
             }
         } else if in_page_vocab {
-            TokenizedAccess { pc, page: self.page_index[&a.page()], offset: a.offset() as u32 }
+            TokenizedAccess {
+                pc,
+                page: self.page_index[&a.page()],
+                offset: a.offset() as u32,
+            }
         } else {
-            TokenizedAccess { pc, page: self.rare_page_token(), offset: a.offset() as u32 }
+            TokenizedAccess {
+                pc,
+                page: self.rare_page_token(),
+                offset: a.offset() as u32,
+            }
         }
     }
 
@@ -251,8 +291,7 @@ impl Vocabulary {
                 if page < 0 {
                     return None;
                 }
-                let off =
-                    (current.offset() as i64 + offset_tok as i64) % OFFSETS_PER_PAGE as i64;
+                let off = (current.offset() as i64 + offset_tok as i64) % OFFSETS_PER_PAGE as i64;
                 Some(page as u64 * OFFSETS_PER_PAGE as u64 + off as u64)
             }
             PageToken::Rare => None,
@@ -310,11 +349,17 @@ mod tests {
         let vocab = Vocabulary::build(&trace, &VocabConfig::default());
         let toks = vocab.tokenize(&trace);
         // Access 2 (page 2, after page 1) is infrequent: delta +1.
-        assert!(matches!(vocab.page_token(toks[2].page), PageToken::Delta(1)));
+        assert!(matches!(
+            vocab.page_token(toks[2].page),
+            PageToken::Delta(1)
+        ));
         // Offset delta: 1 - 5 mod 64 = 60.
         assert_eq!(toks[2].offset, 60);
         // Access 3 (page 3 after page 2): delta +1 again.
-        assert!(matches!(vocab.page_token(toks[3].page), PageToken::Delta(1)));
+        assert!(matches!(
+            vocab.page_token(toks[3].page),
+            PageToken::Delta(1)
+        ));
     }
 
     #[test]
@@ -337,7 +382,9 @@ mod tests {
         let vocab = Vocabulary::build(&trace, &VocabConfig::default());
         let cur = MemoryAccess::new(10, 4096);
         let toks = vocab.tokenize(&trace);
-        let line = vocab.resolve_prediction(&cur, toks[1].page, toks[1].offset).unwrap();
+        let line = vocab
+            .resolve_prediction(&cur, toks[1].page, toks[1].offset)
+            .unwrap();
         assert_eq!(line, trace[1].line());
     }
 
@@ -347,7 +394,9 @@ mod tests {
         let vocab = Vocabulary::build(&trace, &VocabConfig::default());
         let toks = vocab.tokenize(&trace);
         // Prediction made from access 1 resolves access 2's line.
-        let line = vocab.resolve_prediction(&trace[1], toks[2].page, toks[2].offset).unwrap();
+        let line = vocab
+            .resolve_prediction(&trace[1], toks[2].page, toks[2].offset)
+            .unwrap();
         assert_eq!(line, trace[2].line());
     }
 
@@ -356,7 +405,10 @@ mod tests {
         let trace = small_trace();
         let vocab = Vocabulary::build(&trace, &VocabConfig::default());
         let cur = MemoryAccess::new(10, 4096);
-        assert_eq!(vocab.resolve_prediction(&cur, vocab.rare_page_token(), 0), None);
+        assert_eq!(
+            vocab.resolve_prediction(&cur, vocab.rare_page_token(), 0),
+            None
+        );
     }
 
     #[test]
@@ -369,7 +421,10 @@ mod tests {
             }
         }
         let trace = Trace::from_accesses("t", accesses);
-        let cfg = VocabConfig { max_pages: 16, ..VocabConfig::default() };
+        let cfg = VocabConfig {
+            max_pages: 16,
+            ..VocabConfig::default()
+        };
         let vocab = Vocabulary::build(&trace, &cfg);
         assert_eq!(vocab.page_vocab_len(), 16 + vocab.num_deltas() + 1);
     }

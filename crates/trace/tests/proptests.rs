@@ -1,83 +1,106 @@
-//! Property-based tests of trace-level invariants: labeling schemes,
-//! the hierarchical vocabulary, statistics, serialization and SimPoint
+//! Randomized tests of trace-level invariants: labeling schemes, the
+//! hierarchical vocabulary, statistics, serialization and SimPoint
 //! sampling.
-
-use proptest::prelude::*;
+//!
+//! Formerly a `proptest` suite; ported to seeded loops over the
+//! workspace PRNG so the test suite builds with no external
+//! dependencies (offline-build policy).
 
 use voyager_trace::labels::{basic_block_of, compute_labels};
+use voyager_trace::rng::{Rng, SeedableRng, StdRng};
 use voyager_trace::serialize::{read_trace, write_trace};
 use voyager_trace::simpoint::{sample_trace, simpoints};
 use voyager_trace::stats::TraceStats;
 use voyager_trace::vocab::{PageToken, VocabConfig, Vocabulary};
 use voyager_trace::{MemoryAccess, Trace, OFFSETS_PER_PAGE};
 
-fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
-    prop::collection::vec((0u64..32, 0u64..10_000), 2..max_len).prop_map(|entries| {
-        entries
-            .into_iter()
-            .map(|(pc, line)| MemoryAccess::new(0x40_0000 + pc * 8, line * 64))
-            .collect()
-    })
+const CASES: usize = 48;
+
+fn rand_trace(max_len: usize, rng: &mut StdRng) -> Trace {
+    let len = rng.gen_range(2..max_len);
+    (0..len)
+        .map(|_| {
+            let pc = rng.gen_range(0u64..32);
+            let line = rng.gen_range(0u64..10_000);
+            MemoryAccess::new(0x40_0000 + pc * 8, line * 64)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn labels_always_point_forward(trace in arb_trace(120)) {
+#[test]
+fn labels_always_point_forward() {
+    let mut rng = StdRng::seed_from_u64(0xB001);
+    for _ in 0..CASES {
+        let trace = rand_trace(120, &mut rng);
         let labels = compute_labels(&trace);
         for (i, l) in labels.iter().enumerate() {
             for j in l.candidates() {
-                prop_assert!(j as usize > i, "label {j} not after {i}");
-                prop_assert!((j as usize) < trace.len());
+                assert!(j as usize > i, "label {j} not after {i}");
+                assert!((j as usize) < trace.len());
             }
         }
     }
+}
 
-    #[test]
-    fn pc_label_matches_pc_and_bb_label_matches_block(trace in arb_trace(120)) {
+#[test]
+fn pc_label_matches_pc_and_bb_label_matches_block() {
+    let mut rng = StdRng::seed_from_u64(0xB002);
+    for _ in 0..CASES {
+        let trace = rand_trace(120, &mut rng);
         let labels = compute_labels(&trace);
         for (i, l) in labels.iter().enumerate() {
             if let Some(j) = l.pc {
-                prop_assert_eq!(trace[j as usize].pc, trace[i].pc);
+                assert_eq!(trace[j as usize].pc, trace[i].pc);
             }
             if let Some(j) = l.basic_block {
-                prop_assert_eq!(
+                assert_eq!(
                     basic_block_of(trace[j as usize].pc),
                     basic_block_of(trace[i].pc)
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn global_label_is_dense(trace in arb_trace(80)) {
+#[test]
+fn global_label_is_dense() {
+    let mut rng = StdRng::seed_from_u64(0xB003);
+    for _ in 0..CASES {
+        let trace = rand_trace(80, &mut rng);
         let labels = compute_labels(&trace);
         for (i, l) in labels.iter().enumerate() {
             if i + 1 < trace.len() {
-                prop_assert_eq!(l.global, Some(i as u32 + 1));
+                assert_eq!(l.global, Some(i as u32 + 1));
             } else {
-                prop_assert_eq!(l.global, None);
+                assert_eq!(l.global, None);
             }
         }
     }
+}
 
-    #[test]
-    fn tokenization_is_total_and_offsets_bounded(trace in arb_trace(150)) {
+#[test]
+fn tokenization_is_total_and_offsets_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xB004);
+    for _ in 0..CASES {
+        let trace = rand_trace(150, &mut rng);
         let vocab = Vocabulary::build(&trace, &VocabConfig::default());
         let tokens = vocab.tokenize(&trace);
-        prop_assert_eq!(tokens.len(), trace.len());
+        assert_eq!(tokens.len(), trace.len());
         for t in &tokens {
-            prop_assert!((t.offset as usize) < OFFSETS_PER_PAGE);
-            prop_assert!((t.page as usize) < vocab.page_vocab_len());
-            prop_assert!((t.pc as usize) < vocab.pc_vocab_len());
+            assert!((t.offset as usize) < OFFSETS_PER_PAGE);
+            assert!((t.page as usize) < vocab.page_vocab_len());
+            assert!((t.pc as usize) < vocab.pc_vocab_len());
         }
     }
+}
 
-    #[test]
-    fn page_tokens_resolve_back_to_their_line(trace in arb_trace(150)) {
-        // For any access tokenized as a concrete page, resolving the
-        // (page, offset) pair from any position reconstructs its line.
+#[test]
+fn page_tokens_resolve_back_to_their_line() {
+    // For any access tokenized as a concrete page, resolving the
+    // (page, offset) pair from any position reconstructs its line.
+    let mut rng = StdRng::seed_from_u64(0xB005);
+    for _ in 0..CASES {
+        let trace = rand_trace(150, &mut rng);
         let vocab = Vocabulary::build(&trace, &VocabConfig::default());
         let tokens = vocab.tokenize(&trace);
         for (i, t) in tokens.iter().enumerate() {
@@ -85,51 +108,69 @@ proptest! {
                 let line = vocab
                     .resolve_prediction(&trace[0], t.page, t.offset)
                     .expect("page tokens always resolve");
-                prop_assert_eq!(line, trace[i].line());
+                assert_eq!(line, trace[i].line());
             }
         }
     }
+}
 
-    #[test]
-    fn delta_tokens_resolve_relative_to_previous_access(trace in arb_trace(150)) {
+#[test]
+fn delta_tokens_resolve_relative_to_previous_access() {
+    let mut rng = StdRng::seed_from_u64(0xB006);
+    for _ in 0..CASES {
+        let trace = rand_trace(150, &mut rng);
         let vocab = Vocabulary::build(&trace, &VocabConfig::default());
         let tokens = vocab.tokenize(&trace);
         for i in 1..trace.len() {
             if matches!(vocab.page_token(tokens[i].page), PageToken::Delta(_)) {
-                let line = vocab.resolve_prediction(&trace[i - 1], tokens[i].page, tokens[i].offset);
-                prop_assert_eq!(line, Some(trace[i].line()), "delta token must reconstruct");
+                let line =
+                    vocab.resolve_prediction(&trace[i - 1], tokens[i].page, tokens[i].offset);
+                assert_eq!(line, Some(trace[i].line()), "delta token must reconstruct");
             }
         }
     }
+}
 
-    #[test]
-    fn stats_are_bounded_by_trace_length(trace in arb_trace(200)) {
+#[test]
+fn stats_are_bounded_by_trace_length() {
+    let mut rng = StdRng::seed_from_u64(0xB007);
+    for _ in 0..CASES {
+        let trace = rand_trace(200, &mut rng);
         let s = TraceStats::of(&trace);
-        prop_assert!(s.unique_pcs <= trace.len());
-        prop_assert!(s.unique_pages <= s.unique_addresses);
-        prop_assert!(s.unique_addresses <= trace.len());
-        prop_assert_eq!(s.accesses, trace.len());
+        assert!(s.unique_pcs <= trace.len());
+        assert!(s.unique_pages <= s.unique_addresses);
+        assert!(s.unique_addresses <= trace.len());
+        assert_eq!(s.accesses, trace.len());
     }
+}
 
-    #[test]
-    fn serialization_roundtrips(trace in arb_trace(200)) {
+#[test]
+fn serialization_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xB008);
+    for _ in 0..CASES {
+        let trace = rand_trace(200, &mut rng);
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).unwrap();
         let restored = read_trace(buf.as_slice()).unwrap();
-        prop_assert_eq!(restored, trace);
+        assert_eq!(restored, trace);
     }
+}
 
-    #[test]
-    fn simpoint_weights_form_a_distribution(trace in arb_trace(300), k in 1usize..5) {
+#[test]
+fn simpoint_weights_form_a_distribution() {
+    let mut rng = StdRng::seed_from_u64(0xB009);
+    for _ in 0..CASES {
+        let trace = rand_trace(300, &mut rng);
+        let k = rng.gen_range(1usize..5);
         let points = simpoints(&trace, 32, k);
-        prop_assert!(!points.is_empty());
-        prop_assert!(points.len() <= k);
+        assert!(!points.is_empty());
+        assert!(points.len() <= k);
         let total: f64 = points.iter().map(|p| p.weight).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
         for p in &points {
-            prop_assert!(p.start + p.len <= trace.len());
+            assert!(p.start + p.len <= trace.len());
         }
         let sampled = sample_trace(&trace, &points);
-        prop_assert!(sampled.len() <= trace.len());
+        assert!(sampled.len() <= trace.len());
     }
 }

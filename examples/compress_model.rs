@@ -18,15 +18,26 @@ fn main() {
     // 16 distinct histories, each mapping to a distinct (page, offset).
     let cfg = VoyagerConfig::test();
     let mut model = VoyagerModel::new(&cfg, 32, 64, 64);
-    let histories: Vec<(usize, usize, usize)> =
-        (0..16).map(|i| (i % 32, (i * 5) % 64, (i * 11) % 64)).collect();
+    let histories: Vec<(usize, usize, usize)> = (0..16)
+        .map(|i| (i % 32, (i * 5) % 64, (i * 11) % 64))
+        .collect();
     let batch = SeqBatch {
-        pc: histories.iter().map(|&(pc, _, _)| vec![pc; cfg.seq_len]).collect(),
-        page: histories.iter().map(|&(_, pg, _)| vec![pg; cfg.seq_len]).collect(),
-        offset: histories.iter().map(|&(_, _, of)| vec![of; cfg.seq_len]).collect(),
+        pc: histories
+            .iter()
+            .map(|&(pc, _, _)| vec![pc; cfg.seq_len])
+            .collect(),
+        page: histories
+            .iter()
+            .map(|&(_, pg, _)| vec![pg; cfg.seq_len])
+            .collect(),
+        offset: histories
+            .iter()
+            .map(|&(_, _, of)| vec![of; cfg.seq_len])
+            .collect(),
     };
-    let targets: Vec<(usize, usize)> =
-        (0..16).map(|i| ((i * 7 + 3) % 64, (i * 13 + 1) % 64)).collect();
+    let targets: Vec<(usize, usize)> = (0..16)
+        .map(|i| ((i * 7 + 3) % 64, (i * 13 + 1) % 64))
+        .collect();
     let mut pt = Tensor2::zeros(16, 64);
     let mut ot = Tensor2::zeros(16, 64);
     for (row, &(p, o)) in targets.iter().enumerate() {

@@ -15,7 +15,7 @@
 
 use voyager::{DeltaLstm, DeltaLstmConfig, OnlineRun, VoyagerConfig};
 use voyager_prefetch::{
-    BestOffset, Domino, Isb, IsbBoHybrid, Markov, NextLine, Prefetcher, Sms, StridePc, Stms, Vldp,
+    BestOffset, Domino, Isb, IsbBoHybrid, Markov, NextLine, Prefetcher, Sms, Stms, StridePc, Vldp,
 };
 use voyager_sim::{llc_stream, unified_accuracy_coverage_windowed, SimConfig};
 use voyager_trace::gen::{Benchmark, GeneratorConfig};
@@ -24,7 +24,10 @@ fn main() {
     let trace = Benchmark::Mcf.generate(&GeneratorConfig::medium());
     let stream = llc_stream(&trace, &SimConfig::scaled());
     println!("mcf LLC stream: {} accesses\n", stream.len());
-    println!("{:<34} {:>10} {:>14}", "prefetcher (features -> label)", "acc/cov", "metadata B");
+    println!(
+        "{:<34} {:>10} {:>14}",
+        "prefetcher (features -> label)", "acc/cov", "metadata B"
+    );
 
     let classical: Vec<(&str, Box<dyn Prefetcher>)> = vec![
         ("next-line (none -> X+1)", Box::new(NextLine::new())),
@@ -41,7 +44,12 @@ fn main() {
     for (name, mut p) in classical {
         let preds: Vec<Vec<u64>> = stream.iter().map(|a| p.access(a)).collect();
         let score = unified_accuracy_coverage_windowed(&stream, &preds, 10);
-        println!("{:<34} {:>9.3} {:>14}", name, score.value(), p.metadata_bytes());
+        println!(
+            "{:<34} {:>9.3} {:>14}",
+            name,
+            score.value(),
+            p.metadata_bytes()
+        );
     }
 
     println!("\ntraining neural models ...");

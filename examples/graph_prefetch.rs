@@ -29,9 +29,18 @@ fn main() {
     let stream = llc_stream(&trace, &SimConfig::scaled());
     println!("PageRank LLC stream: {} accesses\n", stream.len());
 
-    println!("context = 1 address (STMS):        {:.3}", classical(&stream, &mut Stms::new()));
-    println!("context = 1 address + PC (ISB):    {:.3}", classical(&stream, &mut Isb::new()));
-    println!("context = 2 addresses (Domino):    {:.3}", classical(&stream, &mut Domino::new()));
+    println!(
+        "context = 1 address (STMS):        {:.3}",
+        classical(&stream, &mut Stms::new())
+    );
+    println!(
+        "context = 1 address + PC (ISB):    {:.3}",
+        classical(&stream, &mut Isb::new())
+    );
+    println!(
+        "context = 2 addresses (Domino):    {:.3}",
+        classical(&stream, &mut Domino::new())
+    );
 
     let mut cfg = VoyagerConfig::scaled();
     cfg.train_passes = 10;

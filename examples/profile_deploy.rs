@@ -26,7 +26,11 @@ fn main() {
     let sim = SimConfig::scaled();
     let profile = llc_stream(&profile_trace, &sim);
     let deploy = llc_stream(&deploy_trace, &sim);
-    println!("profiling stream {} accesses, deployment stream {}", profile.len(), deploy.len());
+    println!(
+        "profiling stream {} accesses, deployment stream {}",
+        profile.len(),
+        deploy.len()
+    );
 
     let mut cfg = VoyagerConfig::scaled();
     cfg.train_passes = 8;
@@ -35,8 +39,7 @@ fn main() {
     let vocab = Vocabulary::build(&profile, &cfg.vocab);
     let tokens = vocab.tokenize(&profile);
     let labels = compute_labels(&profile);
-    let mut model =
-        VoyagerModel::new(&cfg, vocab.pc_vocab_len(), vocab.page_vocab_len(), 64);
+    let mut model = VoyagerModel::new(&cfg, vocab.pc_vocab_len(), vocab.page_vocab_len(), 64);
     println!("training offline ({} passes) ...", cfg.train_passes);
     let rare = vocab.rare_page_token();
     for _pass in 0..cfg.train_passes {
@@ -49,7 +52,9 @@ fn main() {
                 let w = &tokens[i + 1 - cfg.seq_len..=i];
                 batch.pc.push(w.iter().map(|a| a.pc as usize).collect());
                 batch.page.push(w.iter().map(|a| a.page as usize).collect());
-                batch.offset.push(w.iter().map(|a| a.offset as usize).collect());
+                batch
+                    .offset
+                    .push(w.iter().map(|a| a.offset as usize).collect());
                 for j in labels[i].candidates() {
                     let tok = tokens[j as usize];
                     if tok.page != rare {
@@ -64,7 +69,9 @@ fn main() {
 
     // Checkpoint and "ship".
     let mut checkpoint = Vec::new();
-    model.save(&mut checkpoint).expect("in-memory write cannot fail");
+    model
+        .save(&mut checkpoint)
+        .expect("in-memory write cannot fail");
     println!("checkpoint: {} KiB", checkpoint.len() / 1024);
     let mut deployed = VoyagerModel::new(&cfg, vocab.pc_vocab_len(), vocab.page_vocab_len(), 64);
     deployed.load(checkpoint.as_slice()).expect("same layout");
@@ -80,7 +87,9 @@ fn main() {
             let w = &dep_tokens[i + 1 - cfg.seq_len..=i];
             batch.pc.push(w.iter().map(|a| a.pc as usize).collect());
             batch.page.push(w.iter().map(|a| a.page as usize).collect());
-            batch.offset.push(w.iter().map(|a| a.offset as usize).collect());
+            batch
+                .offset
+                .push(w.iter().map(|a| a.offset as usize).collect());
         }
         let preds = deployed.predict(&batch, 1);
         for (row, &i) in chunk.iter().enumerate() {
@@ -88,9 +97,7 @@ fn main() {
                 if let Some(line) = vocab.resolve_prediction(&deploy[i], p, o) {
                     total += 1;
                     // Windowed check, as in the unified metric.
-                    if (i + 1..=(i + 10).min(deploy.len() - 1))
-                        .any(|j| deploy[j].line() == line)
-                    {
+                    if (i + 1..=(i + 10).min(deploy.len() - 1)).any(|j| deploy[j].line() == line) {
                         correct += 1;
                     }
                 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Full local gate, mirroring CI. Network-free by design: the workspace
+# has no third-party dependencies, so no step ever touches a registry.
+# Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release
+run cargo test -q
+
+echo "==> all checks passed"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-7f2d2fa5b839c712.d: crates/runtime/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-7f2d2fa5b839c712: crates/runtime/tests/determinism.rs
+
+crates/runtime/tests/determinism.rs:

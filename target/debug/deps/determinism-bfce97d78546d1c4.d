@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-bfce97d78546d1c4.d: crates/runtime/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-bfce97d78546d1c4.rmeta: crates/runtime/tests/determinism.rs Cargo.toml
+
+crates/runtime/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9332ec0bd4429d9c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9332ec0bd4429d9c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_11_breakdown-2ce6fdab31c3990e.d: crates/bench/src/bin/fig10_11_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_11_breakdown-2ce6fdab31c3990e.rmeta: crates/bench/src/bin/fig10_11_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig10_11_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

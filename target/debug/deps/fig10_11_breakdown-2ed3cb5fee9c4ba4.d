@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_11_breakdown-2ed3cb5fee9c4ba4.d: crates/bench/src/bin/fig10_11_breakdown.rs
+
+/root/repo/target/debug/deps/fig10_11_breakdown-2ed3cb5fee9c4ba4: crates/bench/src/bin/fig10_11_breakdown.rs
+
+crates/bench/src/bin/fig10_11_breakdown.rs:

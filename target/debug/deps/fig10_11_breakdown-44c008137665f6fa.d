@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_11_breakdown-44c008137665f6fa.d: crates/bench/src/bin/fig10_11_breakdown.rs
+
+/root/repo/target/debug/deps/fig10_11_breakdown-44c008137665f6fa: crates/bench/src/bin/fig10_11_breakdown.rs
+
+crates/bench/src/bin/fig10_11_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_11_breakdown-c8577ab95e8fad70.d: crates/bench/src/bin/fig10_11_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_11_breakdown-c8577ab95e8fad70.rmeta: crates/bench/src/bin/fig10_11_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig10_11_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

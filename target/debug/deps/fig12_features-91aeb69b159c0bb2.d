@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_features-91aeb69b159c0bb2.d: crates/bench/src/bin/fig12_features.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_features-91aeb69b159c0bb2.rmeta: crates/bench/src/bin/fig12_features.rs Cargo.toml
+
+crates/bench/src/bin/fig12_features.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_features-c44bc250e52b321e.d: crates/bench/src/bin/fig12_features.rs
+
+/root/repo/target/debug/deps/fig12_features-c44bc250e52b321e: crates/bench/src/bin/fig12_features.rs
+
+crates/bench/src/bin/fig12_features.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_features-ceeb2d73f83b42f9.d: crates/bench/src/bin/fig12_features.rs
+
+/root/repo/target/debug/deps/fig12_features-ceeb2d73f83b42f9: crates/bench/src/bin/fig12_features.rs
+
+crates/bench/src/bin/fig12_features.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_labels-0219358f670c3522.d: crates/bench/src/bin/fig15_labels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_labels-0219358f670c3522.rmeta: crates/bench/src/bin/fig15_labels.rs Cargo.toml
+
+crates/bench/src/bin/fig15_labels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

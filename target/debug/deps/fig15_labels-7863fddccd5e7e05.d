@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_labels-7863fddccd5e7e05.d: crates/bench/src/bin/fig15_labels.rs
+
+/root/repo/target/debug/deps/fig15_labels-7863fddccd5e7e05: crates/bench/src/bin/fig15_labels.rs
+
+crates/bench/src/bin/fig15_labels.rs:

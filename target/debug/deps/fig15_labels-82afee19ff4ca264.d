@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_labels-82afee19ff4ca264.d: crates/bench/src/bin/fig15_labels.rs
+
+/root/repo/target/debug/deps/fig15_labels-82afee19ff4ca264: crates/bench/src/bin/fig15_labels.rs
+
+crates/bench/src/bin/fig15_labels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_overheads-297b90b808512fcd.d: crates/bench/src/bin/fig17_overheads.rs
+
+/root/repo/target/debug/deps/fig17_overheads-297b90b808512fcd: crates/bench/src/bin/fig17_overheads.rs
+
+crates/bench/src/bin/fig17_overheads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_overheads-7914f486a1bfbb70.d: crates/bench/src/bin/fig17_overheads.rs
+
+/root/repo/target/debug/deps/fig17_overheads-7914f486a1bfbb70: crates/bench/src/bin/fig17_overheads.rs
+
+crates/bench/src/bin/fig17_overheads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_overheads-8e528d62437e9661.d: crates/bench/src/bin/fig17_overheads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_overheads-8e528d62437e9661.rmeta: crates/bench/src/bin/fig17_overheads.rs Cargo.toml
+
+crates/bench/src/bin/fig17_overheads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_6_8_sim-24b19f4d3d26fc0a.d: crates/bench/src/bin/fig5_6_8_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_6_8_sim-24b19f4d3d26fc0a.rmeta: crates/bench/src/bin/fig5_6_8_sim.rs Cargo.toml
+
+crates/bench/src/bin/fig5_6_8_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

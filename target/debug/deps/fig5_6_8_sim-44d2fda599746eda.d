@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6_8_sim-44d2fda599746eda.d: crates/bench/src/bin/fig5_6_8_sim.rs
+
+/root/repo/target/debug/deps/fig5_6_8_sim-44d2fda599746eda: crates/bench/src/bin/fig5_6_8_sim.rs
+
+crates/bench/src/bin/fig5_6_8_sim.rs:

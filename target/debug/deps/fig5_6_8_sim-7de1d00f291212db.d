@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_6_8_sim-7de1d00f291212db.d: crates/bench/src/bin/fig5_6_8_sim.rs
+
+/root/repo/target/debug/deps/fig5_6_8_sim-7de1d00f291212db: crates/bench/src/bin/fig5_6_8_sim.rs
+
+crates/bench/src/bin/fig5_6_8_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_unified-89fc7856dd2e8230.d: crates/bench/src/bin/fig7_unified.rs
+
+/root/repo/target/debug/deps/fig7_unified-89fc7856dd2e8230: crates/bench/src/bin/fig7_unified.rs
+
+crates/bench/src/bin/fig7_unified.rs:

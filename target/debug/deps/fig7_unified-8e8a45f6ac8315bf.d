@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_unified-8e8a45f6ac8315bf.d: crates/bench/src/bin/fig7_unified.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_unified-8e8a45f6ac8315bf.rmeta: crates/bench/src/bin/fig7_unified.rs Cargo.toml
+
+crates/bench/src/bin/fig7_unified.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_unified-be965cc7b2260e8b.d: crates/bench/src/bin/fig7_unified.rs
+
+/root/repo/target/debug/deps/fig7_unified-be965cc7b2260e8b: crates/bench/src/bin/fig7_unified.rs
+
+crates/bench/src/bin/fig7_unified.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_unified-d35ddf4cd1e2c52e.d: crates/bench/src/bin/fig7_unified.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_unified-d35ddf4cd1e2c52e.rmeta: crates/bench/src/bin/fig7_unified.rs Cargo.toml
+
+crates/bench/src/bin/fig7_unified.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

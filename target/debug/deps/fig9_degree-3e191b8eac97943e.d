@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_degree-3e191b8eac97943e.d: crates/bench/src/bin/fig9_degree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_degree-3e191b8eac97943e.rmeta: crates/bench/src/bin/fig9_degree.rs Cargo.toml
+
+crates/bench/src/bin/fig9_degree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_degree-be7c151509b2b6b2.d: crates/bench/src/bin/fig9_degree.rs
+
+/root/repo/target/debug/deps/fig9_degree-be7c151509b2b6b2: crates/bench/src/bin/fig9_degree.rs
+
+crates/bench/src/bin/fig9_degree.rs:

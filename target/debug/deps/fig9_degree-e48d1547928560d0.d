@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_degree-e48d1547928560d0.d: crates/bench/src/bin/fig9_degree.rs
+
+/root/repo/target/debug/deps/fig9_degree-e48d1547928560d0: crates/bench/src/bin/fig9_degree.rs
+
+crates/bench/src/bin/fig9_degree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/layer_gradcheck-7184ff4dbc518c95.d: crates/nn/tests/layer_gradcheck.rs
+
+/root/repo/target/debug/deps/layer_gradcheck-7184ff4dbc518c95: crates/nn/tests/layer_gradcheck.rs
+
+crates/nn/tests/layer_gradcheck.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/layer_gradcheck-7c7a7aeaf6bdfb71.d: crates/nn/tests/layer_gradcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblayer_gradcheck-7c7a7aeaf6bdfb71.rmeta: crates/nn/tests/layer_gradcheck.rs Cargo.toml
+
+crates/nn/tests/layer_gradcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mcf_delta-5ce180cf7acb809d.d: crates/bench/src/bin/mcf_delta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmcf_delta-5ce180cf7acb809d.rmeta: crates/bench/src/bin/mcf_delta.rs Cargo.toml
+
+crates/bench/src/bin/mcf_delta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

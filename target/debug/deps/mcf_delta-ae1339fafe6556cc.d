@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcf_delta-ae1339fafe6556cc.d: crates/bench/src/bin/mcf_delta.rs
+
+/root/repo/target/debug/deps/mcf_delta-ae1339fafe6556cc: crates/bench/src/bin/mcf_delta.rs
+
+crates/bench/src/bin/mcf_delta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mcf_delta-e1803ba6cc7fb513.d: crates/bench/src/bin/mcf_delta.rs
+
+/root/repo/target/debug/deps/mcf_delta-e1803ba6cc7fb513: crates/bench/src/bin/mcf_delta.rs
+
+crates/bench/src/bin/mcf_delta.rs:

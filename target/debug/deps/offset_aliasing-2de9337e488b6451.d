@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/offset_aliasing-2de9337e488b6451.d: crates/bench/src/bin/offset_aliasing.rs
+
+/root/repo/target/debug/deps/offset_aliasing-2de9337e488b6451: crates/bench/src/bin/offset_aliasing.rs
+
+crates/bench/src/bin/offset_aliasing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/offset_aliasing-4ff043da469f7876.d: crates/bench/src/bin/offset_aliasing.rs
+
+/root/repo/target/debug/deps/offset_aliasing-4ff043da469f7876: crates/bench/src/bin/offset_aliasing.rs
+
+crates/bench/src/bin/offset_aliasing.rs:

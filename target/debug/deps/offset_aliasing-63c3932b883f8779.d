@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/offset_aliasing-63c3932b883f8779.d: crates/bench/src/bin/offset_aliasing.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboffset_aliasing-63c3932b883f8779.rmeta: crates/bench/src/bin/offset_aliasing.rs Cargo.toml
+
+crates/bench/src/bin/offset_aliasing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/op_properties-bb50a967d62c4bce.d: crates/tensor/tests/op_properties.rs
+
+/root/repo/target/debug/deps/op_properties-bb50a967d62c4bce: crates/tensor/tests/op_properties.rs
+
+crates/tensor/tests/op_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/op_properties-d16e80aafcae4bb0.d: crates/tensor/tests/op_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libop_properties-d16e80aafcae4bb0.rmeta: crates/tensor/tests/op_properties.rs Cargo.toml
+
+crates/tensor/tests/op_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

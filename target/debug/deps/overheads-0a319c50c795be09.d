@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overheads-0a319c50c795be09.d: crates/bench/benches/overheads.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverheads-0a319c50c795be09.rmeta: crates/bench/benches/overheads.rs Cargo.toml
+
+crates/bench/benches/overheads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

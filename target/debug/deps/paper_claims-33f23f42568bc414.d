@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-33f23f42568bc414.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-33f23f42568bc414: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetcher_properties-04c0cc2c17db2759.d: tests/prefetcher_properties.rs
+
+/root/repo/target/debug/deps/prefetcher_properties-04c0cc2c17db2759: tests/prefetcher_properties.rs
+
+tests/prefetcher_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prefetcher_properties-312cd5fb48207444.d: tests/prefetcher_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprefetcher_properties-312cd5fb48207444.rmeta: tests/prefetcher_properties.rs Cargo.toml
+
+tests/prefetcher_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

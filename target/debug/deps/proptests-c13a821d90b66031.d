@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c13a821d90b66031.d: crates/trace/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c13a821d90b66031: crates/trace/tests/proptests.rs
+
+crates/trace/tests/proptests.rs:

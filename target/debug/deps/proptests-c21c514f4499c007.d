@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c21c514f4499c007.d: crates/trace/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c21c514f4499c007.rmeta: crates/trace/tests/proptests.rs Cargo.toml
+
+crates/trace/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocols-492a032a61c0cdad.d: crates/core/tests/protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocols-492a032a61c0cdad.rmeta: crates/core/tests/protocols.rs Cargo.toml
+
+crates/core/tests/protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

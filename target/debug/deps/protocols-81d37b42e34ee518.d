@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocols-81d37b42e34ee518.d: crates/core/tests/protocols.rs
+
+/root/repo/target/debug/deps/protocols-81d37b42e34ee518: crates/core/tests/protocols.rs
+
+crates/core/tests/protocols.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-02972a91ffb75814.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-02972a91ffb75814: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

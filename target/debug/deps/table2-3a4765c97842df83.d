@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3a4765c97842df83.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3a4765c97842df83: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

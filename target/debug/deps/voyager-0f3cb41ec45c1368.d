@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/voyager-0f3cb41ec45c1368.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/delta_lstm.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/replay.rs
+
+/root/repo/target/debug/deps/voyager-0f3cb41ec45c1368: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/delta_lstm.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/replay.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/data.rs:
+crates/core/src/delta_lstm.rs:
+crates/core/src/model.rs:
+crates/core/src/online.rs:
+crates/core/src/replay.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/voyager-19a332ae0856aafa.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/delta_lstm.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager-19a332ae0856aafa.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/delta_lstm.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/replay.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/data.rs:
+crates/core/src/delta_lstm.rs:
+crates/core/src/model.rs:
+crates/core/src/online.rs:
+crates/core/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

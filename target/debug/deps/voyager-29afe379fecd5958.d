@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/voyager-29afe379fecd5958.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/delta_lstm.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/replay.rs
+
+/root/repo/target/debug/deps/libvoyager-29afe379fecd5958.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/delta_lstm.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/replay.rs
+
+/root/repo/target/debug/deps/libvoyager-29afe379fecd5958.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/delta_lstm.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/replay.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/data.rs:
+crates/core/src/delta_lstm.rs:
+crates/core/src/model.rs:
+crates/core/src/online.rs:
+crates/core/src/replay.rs:

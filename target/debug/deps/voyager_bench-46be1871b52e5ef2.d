@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/voyager_bench-46be1871b52e5ef2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libvoyager_bench-46be1871b52e5ef2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libvoyager_bench-46be1871b52e5ef2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/voyager_bench-5e069c935e869d23.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager_bench-5e069c935e869d23.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

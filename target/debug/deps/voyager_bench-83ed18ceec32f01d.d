@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/voyager_bench-83ed18ceec32f01d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/voyager_bench-83ed18ceec32f01d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

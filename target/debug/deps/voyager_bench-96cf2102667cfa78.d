@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/voyager_bench-96cf2102667cfa78.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager_bench-96cf2102667cfa78.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/voyager_nn-670f9d014c6d7135.d: crates/nn/src/lib.rs crates/nn/src/compress.rs crates/nn/src/serialize.rs crates/nn/src/grads.rs crates/nn/src/hier_softmax.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/debug/deps/voyager_nn-670f9d014c6d7135: crates/nn/src/lib.rs crates/nn/src/compress.rs crates/nn/src/serialize.rs crates/nn/src/grads.rs crates/nn/src/hier_softmax.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/compress.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/grads.rs:
+crates/nn/src/hier_softmax.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/voyager_nn-d40399249ea835cc.d: crates/nn/src/lib.rs crates/nn/src/compress.rs crates/nn/src/serialize.rs crates/nn/src/grads.rs crates/nn/src/hier_softmax.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/debug/deps/libvoyager_nn-d40399249ea835cc.rlib: crates/nn/src/lib.rs crates/nn/src/compress.rs crates/nn/src/serialize.rs crates/nn/src/grads.rs crates/nn/src/hier_softmax.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/debug/deps/libvoyager_nn-d40399249ea835cc.rmeta: crates/nn/src/lib.rs crates/nn/src/compress.rs crates/nn/src/serialize.rs crates/nn/src/grads.rs crates/nn/src/hier_softmax.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/compress.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/grads.rs:
+crates/nn/src/hier_softmax.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/voyager_nn-deff308e21b027bf.d: crates/nn/src/lib.rs crates/nn/src/compress.rs crates/nn/src/serialize.rs crates/nn/src/grads.rs crates/nn/src/hier_softmax.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager_nn-deff308e21b027bf.rmeta: crates/nn/src/lib.rs crates/nn/src/compress.rs crates/nn/src/serialize.rs crates/nn/src/grads.rs crates/nn/src/hier_softmax.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/compress.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/grads.rs:
+crates/nn/src/hier_softmax.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/voyager_prefetch-281ba096d5d1776d.d: crates/prefetch/src/lib.rs crates/prefetch/src/bo.rs crates/prefetch/src/domino.rs crates/prefetch/src/hybrid.rs crates/prefetch/src/isb.rs crates/prefetch/src/isb_structural.rs crates/prefetch/src/markov.rs crates/prefetch/src/nextline.rs crates/prefetch/src/sms.rs crates/prefetch/src/stms.rs crates/prefetch/src/stride.rs crates/prefetch/src/throttle.rs crates/prefetch/src/vldp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager_prefetch-281ba096d5d1776d.rmeta: crates/prefetch/src/lib.rs crates/prefetch/src/bo.rs crates/prefetch/src/domino.rs crates/prefetch/src/hybrid.rs crates/prefetch/src/isb.rs crates/prefetch/src/isb_structural.rs crates/prefetch/src/markov.rs crates/prefetch/src/nextline.rs crates/prefetch/src/sms.rs crates/prefetch/src/stms.rs crates/prefetch/src/stride.rs crates/prefetch/src/throttle.rs crates/prefetch/src/vldp.rs Cargo.toml
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/bo.rs:
+crates/prefetch/src/domino.rs:
+crates/prefetch/src/hybrid.rs:
+crates/prefetch/src/isb.rs:
+crates/prefetch/src/isb_structural.rs:
+crates/prefetch/src/markov.rs:
+crates/prefetch/src/nextline.rs:
+crates/prefetch/src/sms.rs:
+crates/prefetch/src/stms.rs:
+crates/prefetch/src/stride.rs:
+crates/prefetch/src/throttle.rs:
+crates/prefetch/src/vldp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

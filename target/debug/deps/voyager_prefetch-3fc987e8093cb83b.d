@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/voyager_prefetch-3fc987e8093cb83b.d: crates/prefetch/src/lib.rs crates/prefetch/src/bo.rs crates/prefetch/src/domino.rs crates/prefetch/src/hybrid.rs crates/prefetch/src/isb.rs crates/prefetch/src/isb_structural.rs crates/prefetch/src/markov.rs crates/prefetch/src/nextline.rs crates/prefetch/src/sms.rs crates/prefetch/src/stms.rs crates/prefetch/src/stride.rs crates/prefetch/src/throttle.rs crates/prefetch/src/vldp.rs
+
+/root/repo/target/debug/deps/libvoyager_prefetch-3fc987e8093cb83b.rlib: crates/prefetch/src/lib.rs crates/prefetch/src/bo.rs crates/prefetch/src/domino.rs crates/prefetch/src/hybrid.rs crates/prefetch/src/isb.rs crates/prefetch/src/isb_structural.rs crates/prefetch/src/markov.rs crates/prefetch/src/nextline.rs crates/prefetch/src/sms.rs crates/prefetch/src/stms.rs crates/prefetch/src/stride.rs crates/prefetch/src/throttle.rs crates/prefetch/src/vldp.rs
+
+/root/repo/target/debug/deps/libvoyager_prefetch-3fc987e8093cb83b.rmeta: crates/prefetch/src/lib.rs crates/prefetch/src/bo.rs crates/prefetch/src/domino.rs crates/prefetch/src/hybrid.rs crates/prefetch/src/isb.rs crates/prefetch/src/isb_structural.rs crates/prefetch/src/markov.rs crates/prefetch/src/nextline.rs crates/prefetch/src/sms.rs crates/prefetch/src/stms.rs crates/prefetch/src/stride.rs crates/prefetch/src/throttle.rs crates/prefetch/src/vldp.rs
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/bo.rs:
+crates/prefetch/src/domino.rs:
+crates/prefetch/src/hybrid.rs:
+crates/prefetch/src/isb.rs:
+crates/prefetch/src/isb_structural.rs:
+crates/prefetch/src/markov.rs:
+crates/prefetch/src/nextline.rs:
+crates/prefetch/src/sms.rs:
+crates/prefetch/src/stms.rs:
+crates/prefetch/src/stride.rs:
+crates/prefetch/src/throttle.rs:
+crates/prefetch/src/vldp.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/voyager_prefetch-c92e6938e8066a2a.d: crates/prefetch/src/lib.rs crates/prefetch/src/bo.rs crates/prefetch/src/domino.rs crates/prefetch/src/hybrid.rs crates/prefetch/src/isb.rs crates/prefetch/src/isb_structural.rs crates/prefetch/src/markov.rs crates/prefetch/src/nextline.rs crates/prefetch/src/sms.rs crates/prefetch/src/stms.rs crates/prefetch/src/stride.rs crates/prefetch/src/throttle.rs crates/prefetch/src/vldp.rs
+
+/root/repo/target/debug/deps/voyager_prefetch-c92e6938e8066a2a: crates/prefetch/src/lib.rs crates/prefetch/src/bo.rs crates/prefetch/src/domino.rs crates/prefetch/src/hybrid.rs crates/prefetch/src/isb.rs crates/prefetch/src/isb_structural.rs crates/prefetch/src/markov.rs crates/prefetch/src/nextline.rs crates/prefetch/src/sms.rs crates/prefetch/src/stms.rs crates/prefetch/src/stride.rs crates/prefetch/src/throttle.rs crates/prefetch/src/vldp.rs
+
+crates/prefetch/src/lib.rs:
+crates/prefetch/src/bo.rs:
+crates/prefetch/src/domino.rs:
+crates/prefetch/src/hybrid.rs:
+crates/prefetch/src/isb.rs:
+crates/prefetch/src/isb_structural.rs:
+crates/prefetch/src/markov.rs:
+crates/prefetch/src/nextline.rs:
+crates/prefetch/src/sms.rs:
+crates/prefetch/src/stms.rs:
+crates/prefetch/src/stride.rs:
+crates/prefetch/src/throttle.rs:
+crates/prefetch/src/vldp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/voyager_repro-6044b1a49b5020cf.d: src/lib.rs
+
+/root/repo/target/debug/deps/voyager_repro-6044b1a49b5020cf: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/voyager_repro-8cfd5e80303bdaa0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libvoyager_repro-8cfd5e80303bdaa0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libvoyager_repro-8cfd5e80303bdaa0.rmeta: src/lib.rs
+
+src/lib.rs:

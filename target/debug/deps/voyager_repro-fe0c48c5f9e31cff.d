@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/voyager_repro-fe0c48c5f9e31cff.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager_repro-fe0c48c5f9e31cff.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/voyager_runtime-b5b14c3b21f05c7a.d: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs
+
+/root/repo/target/debug/deps/libvoyager_runtime-b5b14c3b21f05c7a.rlib: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs
+
+/root/repo/target/debug/deps/libvoyager_runtime-b5b14c3b21f05c7a.rmeta: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/checkpoint.rs:
+crates/runtime/src/microbatch.rs:
+crates/runtime/src/serve.rs:
+crates/runtime/src/trainer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/voyager_runtime-cc787c815d714667.d: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs
+
+/root/repo/target/debug/deps/voyager_runtime-cc787c815d714667: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/checkpoint.rs:
+crates/runtime/src/microbatch.rs:
+crates/runtime/src/serve.rs:
+crates/runtime/src/trainer.rs:

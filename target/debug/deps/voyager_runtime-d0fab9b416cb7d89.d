@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/voyager_runtime-d0fab9b416cb7d89.d: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager_runtime-d0fab9b416cb7d89.rmeta: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/checkpoint.rs:
+crates/runtime/src/microbatch.rs:
+crates/runtime/src/serve.rs:
+crates/runtime/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

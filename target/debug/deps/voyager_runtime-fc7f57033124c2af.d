@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/voyager_runtime-fc7f57033124c2af.d: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager_runtime-fc7f57033124c2af.rmeta: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/checkpoint.rs:
+crates/runtime/src/microbatch.rs:
+crates/runtime/src/serve.rs:
+crates/runtime/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/voyager_sim-10ed2d3c50bb51cb.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs
+
+/root/repo/target/debug/deps/voyager_sim-10ed2d3c50bb51cb: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:

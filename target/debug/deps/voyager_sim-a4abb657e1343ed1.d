@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/voyager_sim-a4abb657e1343ed1.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager_sim-a4abb657e1343ed1.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/voyager_sim-fd2e9aa3364f8100.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs
+
+/root/repo/target/debug/deps/libvoyager_sim-fd2e9aa3364f8100.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs
+
+/root/repo/target/debug/deps/libvoyager_sim-fd2e9aa3364f8100.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:

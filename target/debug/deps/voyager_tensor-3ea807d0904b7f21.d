@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/voyager_tensor-3ea807d0904b7f21.d: crates/tensor/src/lib.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs crates/tensor/src/gradcheck.rs crates/tensor/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager_tensor-3ea807d0904b7f21.rmeta: crates/tensor/src/lib.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs crates/tensor/src/gradcheck.rs crates/tensor/src/rng.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/tape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/voyager_tensor-4d44dc9d2d44265e.d: crates/tensor/src/lib.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs crates/tensor/src/gradcheck.rs crates/tensor/src/rng.rs
+
+/root/repo/target/debug/deps/voyager_tensor-4d44dc9d2d44265e: crates/tensor/src/lib.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs crates/tensor/src/gradcheck.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/tape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/rng.rs:

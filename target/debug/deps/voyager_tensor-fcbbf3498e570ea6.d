@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/voyager_tensor-fcbbf3498e570ea6.d: crates/tensor/src/lib.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs crates/tensor/src/gradcheck.rs crates/tensor/src/rng.rs
+
+/root/repo/target/debug/deps/libvoyager_tensor-fcbbf3498e570ea6.rlib: crates/tensor/src/lib.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs crates/tensor/src/gradcheck.rs crates/tensor/src/rng.rs
+
+/root/repo/target/debug/deps/libvoyager_tensor-fcbbf3498e570ea6.rmeta: crates/tensor/src/lib.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs crates/tensor/src/gradcheck.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/tape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/rng.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/voyager_trace-007857ed4b799a86.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/graph.rs crates/trace/src/gen/oltp.rs crates/trace/src/gen/spec.rs crates/trace/src/labels.rs crates/trace/src/serialize.rs crates/trace/src/simpoint.rs crates/trace/src/stats.rs crates/trace/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyager_trace-007857ed4b799a86.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/graph.rs crates/trace/src/gen/oltp.rs crates/trace/src/gen/spec.rs crates/trace/src/labels.rs crates/trace/src/serialize.rs crates/trace/src/simpoint.rs crates/trace/src/stats.rs crates/trace/src/vocab.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/gen/mod.rs:
+crates/trace/src/gen/graph.rs:
+crates/trace/src/gen/oltp.rs:
+crates/trace/src/gen/spec.rs:
+crates/trace/src/labels.rs:
+crates/trace/src/serialize.rs:
+crates/trace/src/simpoint.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

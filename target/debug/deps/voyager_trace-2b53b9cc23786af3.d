@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/voyager_trace-2b53b9cc23786af3.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/graph.rs crates/trace/src/gen/oltp.rs crates/trace/src/gen/spec.rs crates/trace/src/labels.rs crates/trace/src/serialize.rs crates/trace/src/simpoint.rs crates/trace/src/stats.rs crates/trace/src/vocab.rs
+
+/root/repo/target/debug/deps/libvoyager_trace-2b53b9cc23786af3.rlib: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/graph.rs crates/trace/src/gen/oltp.rs crates/trace/src/gen/spec.rs crates/trace/src/labels.rs crates/trace/src/serialize.rs crates/trace/src/simpoint.rs crates/trace/src/stats.rs crates/trace/src/vocab.rs
+
+/root/repo/target/debug/deps/libvoyager_trace-2b53b9cc23786af3.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/graph.rs crates/trace/src/gen/oltp.rs crates/trace/src/gen/spec.rs crates/trace/src/labels.rs crates/trace/src/serialize.rs crates/trace/src/simpoint.rs crates/trace/src/stats.rs crates/trace/src/vocab.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/gen/mod.rs:
+crates/trace/src/gen/graph.rs:
+crates/trace/src/gen/oltp.rs:
+crates/trace/src/gen/spec.rs:
+crates/trace/src/labels.rs:
+crates/trace/src/serialize.rs:
+crates/trace/src/simpoint.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/vocab.rs:

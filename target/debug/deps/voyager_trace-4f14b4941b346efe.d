@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/voyager_trace-4f14b4941b346efe.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/graph.rs crates/trace/src/gen/oltp.rs crates/trace/src/gen/spec.rs crates/trace/src/labels.rs crates/trace/src/serialize.rs crates/trace/src/simpoint.rs crates/trace/src/stats.rs crates/trace/src/vocab.rs
+
+/root/repo/target/debug/deps/voyager_trace-4f14b4941b346efe: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/graph.rs crates/trace/src/gen/oltp.rs crates/trace/src/gen/spec.rs crates/trace/src/labels.rs crates/trace/src/serialize.rs crates/trace/src/simpoint.rs crates/trace/src/stats.rs crates/trace/src/vocab.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/gen/mod.rs:
+crates/trace/src/gen/graph.rs:
+crates/trace/src/gen/oltp.rs:
+crates/trace/src/gen/spec.rs:
+crates/trace/src/labels.rs:
+crates/trace/src/serialize.rs:
+crates/trace/src/simpoint.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/vocab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/voyagerctl-3b054d0952699224.d: crates/bench/src/bin/voyagerctl.rs
+
+/root/repo/target/debug/deps/voyagerctl-3b054d0952699224: crates/bench/src/bin/voyagerctl.rs
+
+crates/bench/src/bin/voyagerctl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/voyagerctl-63f5dcc1177cf740.d: crates/bench/src/bin/voyagerctl.rs
+
+/root/repo/target/debug/deps/voyagerctl-63f5dcc1177cf740: crates/bench/src/bin/voyagerctl.rs
+
+crates/bench/src/bin/voyagerctl.rs:

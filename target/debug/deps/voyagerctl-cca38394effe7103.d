@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/voyagerctl-cca38394effe7103.d: crates/bench/src/bin/voyagerctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvoyagerctl-cca38394effe7103.rmeta: crates/bench/src/bin/voyagerctl.rs Cargo.toml
+
+crates/bench/src/bin/voyagerctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

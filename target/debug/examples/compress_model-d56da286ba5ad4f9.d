@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compress_model-d56da286ba5ad4f9.d: examples/compress_model.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompress_model-d56da286ba5ad4f9.rmeta: examples/compress_model.rs Cargo.toml
+
+examples/compress_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compress_model-f4a6728802c08b3b.d: examples/compress_model.rs
+
+/root/repo/target/debug/examples/compress_model-f4a6728802c08b3b: examples/compress_model.rs
+
+examples/compress_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-3b9143f4ef40fdb8.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-3b9143f4ef40fdb8: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/graph_prefetch-07e4addf8a5ab7bf.d: examples/graph_prefetch.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgraph_prefetch-07e4addf8a5ab7bf.rmeta: examples/graph_prefetch.rs Cargo.toml
+
+examples/graph_prefetch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

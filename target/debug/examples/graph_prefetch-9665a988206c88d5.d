@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_prefetch-9665a988206c88d5.d: examples/graph_prefetch.rs
+
+/root/repo/target/debug/examples/graph_prefetch-9665a988206c88d5: examples/graph_prefetch.rs
+
+examples/graph_prefetch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/labeling_schemes-a3a6e0efab0fc005.d: examples/labeling_schemes.rs
+
+/root/repo/target/debug/examples/labeling_schemes-a3a6e0efab0fc005: examples/labeling_schemes.rs
+
+examples/labeling_schemes.rs:

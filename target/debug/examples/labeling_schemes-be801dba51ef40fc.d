@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/labeling_schemes-be801dba51ef40fc.d: examples/labeling_schemes.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblabeling_schemes-be801dba51ef40fc.rmeta: examples/labeling_schemes.rs Cargo.toml
+
+examples/labeling_schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

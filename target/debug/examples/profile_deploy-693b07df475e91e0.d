@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/profile_deploy-693b07df475e91e0.d: examples/profile_deploy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprofile_deploy-693b07df475e91e0.rmeta: examples/profile_deploy.rs Cargo.toml
+
+examples/profile_deploy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

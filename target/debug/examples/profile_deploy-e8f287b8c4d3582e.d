@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_deploy-e8f287b8c4d3582e.d: examples/profile_deploy.rs
+
+/root/repo/target/debug/examples/profile_deploy-e8f287b8c4d3582e: examples/profile_deploy.rs
+
+examples/profile_deploy.rs:

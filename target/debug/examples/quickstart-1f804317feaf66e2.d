@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1f804317feaf66e2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1f804317feaf66e2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/simulate_ipc-4b9e36dac1e04d96.d: examples/simulate_ipc.rs
+
+/root/repo/target/debug/examples/simulate_ipc-4b9e36dac1e04d96: examples/simulate_ipc.rs
+
+examples/simulate_ipc.rs:

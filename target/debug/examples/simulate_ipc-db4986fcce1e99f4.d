@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/simulate_ipc-db4986fcce1e99f4.d: examples/simulate_ipc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsimulate_ipc-db4986fcce1e99f4.rmeta: examples/simulate_ipc.rs Cargo.toml
+
+examples/simulate_ipc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_11_breakdown-ec8b740517f6b243.d: crates/bench/src/bin/fig10_11_breakdown.rs
+
+/root/repo/target/release/deps/fig10_11_breakdown-ec8b740517f6b243: crates/bench/src/bin/fig10_11_breakdown.rs
+
+crates/bench/src/bin/fig10_11_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_features-0ced2b4c0ae62c28.d: crates/bench/src/bin/fig12_features.rs
+
+/root/repo/target/release/deps/fig12_features-0ced2b4c0ae62c28: crates/bench/src/bin/fig12_features.rs
+
+crates/bench/src/bin/fig12_features.rs:

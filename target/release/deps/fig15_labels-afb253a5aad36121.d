@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_labels-afb253a5aad36121.d: crates/bench/src/bin/fig15_labels.rs
+
+/root/repo/target/release/deps/fig15_labels-afb253a5aad36121: crates/bench/src/bin/fig15_labels.rs
+
+crates/bench/src/bin/fig15_labels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_overheads-686edf209fa30194.d: crates/bench/src/bin/fig17_overheads.rs
+
+/root/repo/target/release/deps/fig17_overheads-686edf209fa30194: crates/bench/src/bin/fig17_overheads.rs
+
+crates/bench/src/bin/fig17_overheads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_6_8_sim-19100e9c2ebaa800.d: crates/bench/src/bin/fig5_6_8_sim.rs
+
+/root/repo/target/release/deps/fig5_6_8_sim-19100e9c2ebaa800: crates/bench/src/bin/fig5_6_8_sim.rs
+
+crates/bench/src/bin/fig5_6_8_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_unified-dc887a03b6c44018.d: crates/bench/src/bin/fig7_unified.rs
+
+/root/repo/target/release/deps/fig7_unified-dc887a03b6c44018: crates/bench/src/bin/fig7_unified.rs
+
+crates/bench/src/bin/fig7_unified.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_degree-1dabfeafe4c451bb.d: crates/bench/src/bin/fig9_degree.rs
+
+/root/repo/target/release/deps/fig9_degree-1dabfeafe4c451bb: crates/bench/src/bin/fig9_degree.rs
+
+crates/bench/src/bin/fig9_degree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mcf_delta-76853c3e7617fa7e.d: crates/bench/src/bin/mcf_delta.rs
+
+/root/repo/target/release/deps/mcf_delta-76853c3e7617fa7e: crates/bench/src/bin/mcf_delta.rs
+
+crates/bench/src/bin/mcf_delta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/offset_aliasing-0d35a4af54446a22.d: crates/bench/src/bin/offset_aliasing.rs
+
+/root/repo/target/release/deps/offset_aliasing-0d35a4af54446a22: crates/bench/src/bin/offset_aliasing.rs
+
+crates/bench/src/bin/offset_aliasing.rs:

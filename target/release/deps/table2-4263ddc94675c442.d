@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-4263ddc94675c442.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-4263ddc94675c442: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

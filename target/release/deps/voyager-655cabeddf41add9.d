@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/voyager-655cabeddf41add9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/delta_lstm.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/replay.rs
+
+/root/repo/target/release/deps/libvoyager-655cabeddf41add9.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/delta_lstm.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/replay.rs
+
+/root/repo/target/release/deps/libvoyager-655cabeddf41add9.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/data.rs crates/core/src/delta_lstm.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/replay.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/data.rs:
+crates/core/src/delta_lstm.rs:
+crates/core/src/model.rs:
+crates/core/src/online.rs:
+crates/core/src/replay.rs:

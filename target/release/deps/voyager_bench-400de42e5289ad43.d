@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/voyager_bench-400de42e5289ad43.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libvoyager_bench-400de42e5289ad43.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libvoyager_bench-400de42e5289ad43.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/voyager_nn-e91b946dd7ce51b5.d: crates/nn/src/lib.rs crates/nn/src/compress.rs crates/nn/src/serialize.rs crates/nn/src/grads.rs crates/nn/src/hier_softmax.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/release/deps/libvoyager_nn-e91b946dd7ce51b5.rlib: crates/nn/src/lib.rs crates/nn/src/compress.rs crates/nn/src/serialize.rs crates/nn/src/grads.rs crates/nn/src/hier_softmax.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+/root/repo/target/release/deps/libvoyager_nn-e91b946dd7ce51b5.rmeta: crates/nn/src/lib.rs crates/nn/src/compress.rs crates/nn/src/serialize.rs crates/nn/src/grads.rs crates/nn/src/hier_softmax.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/compress.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/grads.rs:
+crates/nn/src/hier_softmax.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:

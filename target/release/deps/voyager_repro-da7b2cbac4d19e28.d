@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/voyager_repro-da7b2cbac4d19e28.d: src/lib.rs
+
+/root/repo/target/release/deps/libvoyager_repro-da7b2cbac4d19e28.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libvoyager_repro-da7b2cbac4d19e28.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/voyager_runtime-bb50b571e39e7ce8.d: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs
+
+/root/repo/target/release/deps/libvoyager_runtime-bb50b571e39e7ce8.rlib: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs
+
+/root/repo/target/release/deps/libvoyager_runtime-bb50b571e39e7ce8.rmeta: crates/runtime/src/lib.rs crates/runtime/src/checkpoint.rs crates/runtime/src/microbatch.rs crates/runtime/src/serve.rs crates/runtime/src/trainer.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/checkpoint.rs:
+crates/runtime/src/microbatch.rs:
+crates/runtime/src/serve.rs:
+crates/runtime/src/trainer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/voyager_sim-5166a5e9c4db1875.d: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs
+
+/root/repo/target/release/deps/libvoyager_sim-5166a5e9c4db1875.rlib: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs
+
+/root/repo/target/release/deps/libvoyager_sim-5166a5e9c4db1875.rmeta: crates/sim/src/lib.rs crates/sim/src/cache.rs crates/sim/src/config.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cache.rs:
+crates/sim/src/config.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/voyager_tensor-c28421409c4939d5.d: crates/tensor/src/lib.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs crates/tensor/src/gradcheck.rs crates/tensor/src/rng.rs
+
+/root/repo/target/release/deps/libvoyager_tensor-c28421409c4939d5.rlib: crates/tensor/src/lib.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs crates/tensor/src/gradcheck.rs crates/tensor/src/rng.rs
+
+/root/repo/target/release/deps/libvoyager_tensor-c28421409c4939d5.rmeta: crates/tensor/src/lib.rs crates/tensor/src/tape.rs crates/tensor/src/tensor.rs crates/tensor/src/gradcheck.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/tape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/gradcheck.rs:
+crates/tensor/src/rng.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/voyager_trace-b98e39b6e18f4f36.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/graph.rs crates/trace/src/gen/oltp.rs crates/trace/src/gen/spec.rs crates/trace/src/labels.rs crates/trace/src/serialize.rs crates/trace/src/simpoint.rs crates/trace/src/stats.rs crates/trace/src/vocab.rs
+
+/root/repo/target/release/deps/libvoyager_trace-b98e39b6e18f4f36.rlib: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/graph.rs crates/trace/src/gen/oltp.rs crates/trace/src/gen/spec.rs crates/trace/src/labels.rs crates/trace/src/serialize.rs crates/trace/src/simpoint.rs crates/trace/src/stats.rs crates/trace/src/vocab.rs
+
+/root/repo/target/release/deps/libvoyager_trace-b98e39b6e18f4f36.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/graph.rs crates/trace/src/gen/oltp.rs crates/trace/src/gen/spec.rs crates/trace/src/labels.rs crates/trace/src/serialize.rs crates/trace/src/simpoint.rs crates/trace/src/stats.rs crates/trace/src/vocab.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/gen/mod.rs:
+crates/trace/src/gen/graph.rs:
+crates/trace/src/gen/oltp.rs:
+crates/trace/src/gen/spec.rs:
+crates/trace/src/labels.rs:
+crates/trace/src/serialize.rs:
+crates/trace/src/simpoint.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/vocab.rs:

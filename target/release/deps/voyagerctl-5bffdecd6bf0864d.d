@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/voyagerctl-5bffdecd6bf0864d.d: crates/bench/src/bin/voyagerctl.rs
+
+/root/repo/target/release/deps/voyagerctl-5bffdecd6bf0864d: crates/bench/src/bin/voyagerctl.rs
+
+crates/bench/src/bin/voyagerctl.rs:

@@ -41,7 +41,12 @@ fn full_pipeline_produces_consistent_metrics() {
     assert!(with.useful_prefetches <= with.issued_prefetches);
     // IPC can only improve when misses strictly decrease.
     if with.llc_misses < baseline.llc_misses {
-        assert!(with.ipc >= baseline.ipc * 0.99, "{} vs {}", with.ipc, baseline.ipc);
+        assert!(
+            with.ipc >= baseline.ipc * 0.99,
+            "{} vs {}",
+            with.ipc,
+            baseline.ipc
+        );
     }
 }
 

@@ -19,8 +19,9 @@ fn classical(stream: &Trace, p: &mut dyn Prefetcher) -> f64 {
 /// An irregular but repeating single-PC address pattern: temporal
 /// correlation with no spatial or delta structure.
 fn temporal_stream() -> Trace {
-    let pattern: Vec<u64> =
-        vec![323, 5777, 892, 4930, 2657, 1928, 7730, 4235, 9011, 12473, 660, 15031];
+    let pattern: Vec<u64> = vec![
+        323, 5777, 892, 4930, 2657, 1928, 7730, 4235, 9011, 12473, 660, 15031,
+    ];
     let mut t = Trace::new("temporal");
     for _ in 0..500 {
         for &line in &pattern {
@@ -39,10 +40,16 @@ fn voyager_learns_temporal_correlation_like_isb_but_with_learning() {
     cfg.epoch_accesses = 1_200;
     let run = OnlineRun::execute(&stream, &cfg);
     let v = run.unified_score_windowed(&stream, W).value();
-    assert!(v > 0.5, "Voyager should learn the repeating pattern: {v:.3}");
+    assert!(
+        v > 0.5,
+        "Voyager should learn the repeating pattern: {v:.3}"
+    );
     // ISB memorizes the same pattern (idealized); both should be high.
     let isb = classical(&stream, &mut Isb::new());
-    assert!(isb > 0.8, "idealized ISB should replay the pattern: {isb:.3}");
+    assert!(
+        isb > 0.8,
+        "idealized ISB should replay the pattern: {isb:.3}"
+    );
     // BO has nothing spatial to work with.
     let bo = classical(&stream, &mut BestOffset::new());
     assert!(bo < 0.3, "BO should fail on temporal patterns: {bo:.3}");
@@ -58,7 +65,10 @@ fn delta_lstm_cannot_do_temporal_prefetching() {
     cfg.epoch_accesses = 1_200;
     let run = DeltaLstm::run_online(&stream, &cfg);
     let d = run.unified_score_windowed(&stream, W).value();
-    assert!(d < 0.45, "Delta-LSTM should be unable to cover the pattern: {d:.3}");
+    assert!(
+        d < 0.45,
+        "Delta-LSTM should be unable to cover the pattern: {d:.3}"
+    );
 }
 
 #[test]
@@ -98,7 +108,10 @@ fn stms_beats_nothing_on_random_but_all_learn_repeats() {
     assert!(s < 0.1, "STMS cannot predict a random stream: {s:.3}");
     let repeating = temporal_stream();
     let s = classical(&repeating, &mut Stms::new());
-    assert!(s > 0.8, "STMS must replay a repeating global stream: {s:.3}");
+    assert!(
+        s > 0.8,
+        "STMS must replay a repeating global stream: {s:.3}"
+    );
 }
 
 #[test]
@@ -137,7 +150,9 @@ fn simulator_ipc_reflects_prefetch_quality() {
     let mut oracle: Vec<Vec<u64>> = Vec::with_capacity(stream.len());
     for t in 0..stream.len() {
         oracle.push(
-            (t + 1..(t + 5).min(stream.len())).map(|j| stream[j].line()).collect(),
+            (t + 1..(t + 5).min(stream.len()))
+                .map(|j| stream[j].line())
+                .collect(),
         );
     }
     let base = voyager_sim::simulate(&trace, &mut voyager_prefetch::NoPrefetcher::new(), &cfg);
@@ -149,5 +164,9 @@ fn simulator_ipc_reflects_prefetch_quality() {
         with.ipc,
         base.ipc
     );
-    assert!(with.coverage_vs(&base) > 0.5, "oracle coverage {:.3}", with.coverage_vs(&base));
+    assert!(
+        with.coverage_vs(&base) > 0.5,
+        "oracle coverage {:.3}",
+        with.coverage_vs(&base)
+    );
 }

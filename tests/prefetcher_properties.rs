@@ -1,22 +1,29 @@
-//! Property-based tests of prefetcher and metric invariants across
-//! random access streams.
-
-use proptest::prelude::*;
+//! Randomized tests of prefetcher and metric invariants across random
+//! access streams.
+//!
+//! Formerly a `proptest` suite; ported to seeded loops over the
+//! workspace PRNG so the test suite builds with no external
+//! dependencies (offline-build policy).
 
 use voyager_prefetch::{
-    BestOffset, Domino, Isb, IsbStructural, Markov, NextLine, NoPrefetcher, Prefetcher, Sms,
-    StridePc, Stms, Vldp,
+    BestOffset, Domino, Isb, IsbStructural, Markov, NextLine, NoPrefetcher, Prefetcher, Sms, Stms,
+    StridePc, Vldp,
 };
 use voyager_sim::{simulate, unified_accuracy_coverage_windowed, SimConfig};
+use voyager_trace::rng::{Rng, SeedableRng, StdRng};
 use voyager_trace::{MemoryAccess, Trace};
 
-fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
-    prop::collection::vec((0u64..64, 0u64..200_000), 2..max_len).prop_map(|entries| {
-        entries
-            .into_iter()
-            .map(|(pc, line)| MemoryAccess::new(0x400000 + pc * 8, line * 64))
-            .collect()
-    })
+const CASES: usize = 32;
+
+fn rand_trace(max_len: usize, rng: &mut StdRng) -> Trace {
+    let len = rng.gen_range(2..max_len);
+    (0..len)
+        .map(|_| {
+            let pc = rng.gen_range(0u64..64);
+            let line = rng.gen_range(0u64..200_000);
+            MemoryAccess::new(0x400000 + pc * 8, line * 64)
+        })
+        .collect()
 }
 
 fn all_prefetchers() -> Vec<Box<dyn Prefetcher>> {
@@ -35,88 +42,119 @@ fn all_prefetchers() -> Vec<Box<dyn Prefetcher>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn predictions_never_exceed_degree(trace in arb_trace(200), degree in 1usize..8) {
+#[test]
+fn predictions_never_exceed_degree() {
+    let mut rng = StdRng::seed_from_u64(0xC001);
+    for _ in 0..CASES {
+        let trace = rand_trace(200, &mut rng);
+        let degree = rng.gen_range(1usize..8);
         for mut p in all_prefetchers() {
             p.set_degree(degree);
             for a in &trace {
-                prop_assert!(p.access(a).len() <= degree, "{} exceeded degree", p.name());
+                assert!(p.access(a).len() <= degree, "{} exceeded degree", p.name());
             }
         }
     }
+}
 
-    #[test]
-    fn prefetchers_are_deterministic(trace in arb_trace(150)) {
+#[test]
+fn prefetchers_are_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xC002);
+    for _ in 0..CASES {
+        let trace = rand_trace(150, &mut rng);
         for (mut p1, mut p2) in all_prefetchers().into_iter().zip(all_prefetchers()) {
             for a in &trace {
-                prop_assert_eq!(p1.access(a), p2.access(a));
+                assert_eq!(p1.access(a), p2.access(a));
             }
         }
     }
+}
 
-    #[test]
-    fn metadata_is_monotone_nondecreasing(trace in arb_trace(150)) {
+#[test]
+fn metadata_is_monotone_nondecreasing() {
+    let mut rng = StdRng::seed_from_u64(0xC003);
+    for _ in 0..CASES {
+        let trace = rand_trace(150, &mut rng);
         for mut p in all_prefetchers() {
             let mut last = p.metadata_bytes();
             for a in &trace {
                 let _ = p.access(a);
                 let now = p.metadata_bytes();
-                prop_assert!(now >= last, "{} metadata shrank", p.name());
+                assert!(now >= last, "{} metadata shrank", p.name());
                 last = now;
             }
         }
     }
+}
 
-    #[test]
-    fn simulator_conservation_laws(trace in arb_trace(300)) {
+#[test]
+fn simulator_conservation_laws() {
+    let mut rng = StdRng::seed_from_u64(0xC004);
+    for _ in 0..CASES {
+        let trace = rand_trace(300, &mut rng);
         let cfg = SimConfig::scaled();
         let base = simulate(&trace, &mut NoPrefetcher::new(), &cfg);
-        prop_assert!(base.llc_misses <= base.llc_accesses);
-        prop_assert!(base.llc_accesses <= trace.len() as u64);
-        prop_assert!(base.instructions >= trace.len() as u64);
-        prop_assert!(base.ipc > 0.0 && base.ipc <= cfg.width as f64);
+        assert!(base.llc_misses <= base.llc_accesses);
+        assert!(base.llc_accesses <= trace.len() as u64);
+        assert!(base.instructions >= trace.len() as u64);
+        assert!(base.ipc > 0.0 && base.ipc <= cfg.width as f64);
         // With a prefetcher, misses never increase and accuracy is in [0,1].
         let mut bo = BestOffset::new();
         let with = simulate(&trace, &mut bo, &cfg);
-        prop_assert!(with.llc_misses <= base.llc_misses);
-        prop_assert!((0.0..=1.0).contains(&with.accuracy()));
+        assert!(with.llc_misses <= base.llc_misses);
+        assert!((0.0..=1.0).contains(&with.accuracy()));
     }
+}
 
-    #[test]
-    fn windowed_score_is_monotone_in_window(trace in arb_trace(200)) {
+#[test]
+fn windowed_score_is_monotone_in_window() {
+    let mut rng = StdRng::seed_from_u64(0xC005);
+    for _ in 0..CASES {
+        let trace = rand_trace(200, &mut rng);
         let mut isb = Isb::new();
         let preds: Vec<Vec<u64>> = trace.iter().map(|a| isb.access(a)).collect();
         let mut last = 0usize;
         for w in [1usize, 2, 4, 8, 16] {
             let s = unified_accuracy_coverage_windowed(&trace, &preds, w);
-            prop_assert!(s.correct >= last, "window {w} lost correct predictions");
+            assert!(s.correct >= last, "window {w} lost correct predictions");
             last = s.correct;
         }
     }
+}
 
-    #[test]
-    fn score_value_and_precision_are_probabilities(trace in arb_trace(200), degree in 1usize..4) {
+#[test]
+fn score_value_and_precision_are_probabilities() {
+    let mut rng = StdRng::seed_from_u64(0xC006);
+    for _ in 0..CASES {
+        let trace = rand_trace(200, &mut rng);
+        let degree = rng.gen_range(1usize..4);
         for mut p in all_prefetchers() {
             p.set_degree(degree);
             let preds: Vec<Vec<u64>> = trace.iter().map(|a| p.access(a)).collect();
             let s = unified_accuracy_coverage_windowed(&trace, &preds, 10);
-            prop_assert!((0.0..=1.0).contains(&s.value()));
-            prop_assert!((0.0..=1.0).contains(&s.precision()));
-            prop_assert!(s.correct <= s.predicted && s.predicted <= s.total);
+            assert!((0.0..=1.0).contains(&s.value()));
+            assert!((0.0..=1.0).contains(&s.precision()));
+            assert!(s.correct <= s.predicted && s.predicted <= s.total);
         }
     }
+}
 
-    #[test]
-    fn stms_exactly_replays_a_repeated_stream(lines in prop::collection::vec(0u64..1000, 4..40)) {
-        // Determinized STMS property: on the second repetition of any
-        // sequence of distinct lines, every prediction is correct.
+#[test]
+fn stms_exactly_replays_a_repeated_stream() {
+    // Determinized STMS property: on the second repetition of any
+    // sequence of distinct lines, every prediction is correct.
+    let mut rng = StdRng::seed_from_u64(0xC007);
+    let mut checked = 0usize;
+    while checked < CASES {
+        let len = rng.gen_range(4usize..40);
+        let lines: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..1000)).collect();
         let mut distinct = lines.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assume!(distinct.len() == lines.len());
+        if distinct.len() != lines.len() {
+            continue; // only streams of distinct lines qualify
+        }
+        checked += 1;
         let trace: Trace = lines
             .iter()
             .chain(lines.iter())
@@ -126,7 +164,7 @@ proptest! {
         let preds: Vec<Vec<u64>> = trace.iter().map(|a| stms.access(a)).collect();
         // Predictions during the second pass (except the very last access).
         for t in lines.len()..trace.len() - 1 {
-            prop_assert_eq!(&preds[t], &vec![trace[t + 1].line()]);
+            assert_eq!(&preds[t], &vec![trace[t + 1].line()]);
         }
     }
 }
