@@ -1,0 +1,217 @@
+//! The grandfathered-violations ratchet.
+//!
+//! `analyze-allowlist.txt` (repo root) caps how many violations of each
+//! lint a given file may still contain. The contract is a one-way
+//! ratchet:
+//!
+//! * a file may never *gain* violations (actual > allowed fails), and
+//! * an entry may never be looser than reality (actual < allowed fails
+//!   with instructions to shrink the entry) — so the allowlist can only
+//!   ever shrink, never silently pad new debt.
+//!
+//! Format: one `lint path count` triple per line; `#` starts a comment.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// Parsed allowlist: `(lint, path) → allowed count`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Allowlist {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+/// A malformed allowlist line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the allowlist file.
+    pub line: u32,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// Parses the `lint path count` line format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] for the first malformed or duplicate
+    /// line.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx as u32 + 1;
+            let no_comment = raw.split('#').next().unwrap_or("");
+            let mut fields = no_comment.split_whitespace();
+            let Some(lint) = fields.next() else { continue };
+            let (Some(path), Some(count), None) = (fields.next(), fields.next(), fields.next())
+            else {
+                return Err(ParseError {
+                    line,
+                    message: format!("expected `lint path count`, got {raw:?}"),
+                });
+            };
+            let count: usize = count.parse().map_err(|_| ParseError {
+                line,
+                message: format!("count {count:?} is not a number"),
+            })?;
+            if count == 0 {
+                return Err(ParseError {
+                    line,
+                    message: "a zero entry is dead weight; delete the line".into(),
+                });
+            }
+            if entries
+                .insert((lint.to_string(), path.to_string()), count)
+                .is_some()
+            {
+                return Err(ParseError {
+                    line,
+                    message: format!("duplicate entry for {lint} {path}"),
+                });
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no violations are grandfathered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total grandfathered violation count across all entries.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+}
+
+/// Outcome of checking findings against the allowlist.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Findings not covered by the allowlist (each must be fixed or an
+    /// entry consciously added).
+    pub violations: Vec<Finding>,
+    /// Entries looser than reality (`lint`, `path`, allowed, actual):
+    /// the allowlist must shrink to match.
+    pub stale: Vec<(String, String, usize, usize)>,
+}
+
+impl RatchetReport {
+    /// True when the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Applies the ratchet: groups `findings` by `(lint, path)` and
+/// compares each group against the allowlist.
+pub fn check(findings: &[Finding], allowlist: &Allowlist) -> RatchetReport {
+    let mut by_key: BTreeMap<(String, String), Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        by_key
+            .entry((f.lint.to_string(), f.path.clone()))
+            .or_default()
+            .push(f);
+    }
+    let mut report = RatchetReport::default();
+    for (key, group) in &by_key {
+        let allowed = allowlist.entries.get(key).copied().unwrap_or(0);
+        if group.len() > allowed {
+            // Over budget: every finding in the group is reported so
+            // the developer sees all candidate sites, not just the
+            // overflow.
+            report.violations.extend(group.iter().map(|&f| f.clone()));
+        } else if group.len() < allowed {
+            report
+                .stale
+                .push((key.0.clone(), key.1.clone(), allowed, group.len()));
+        }
+    }
+    for (key, &allowed) in &allowlist.entries {
+        if !by_key.contains_key(key) {
+            report
+                .stale
+                .push((key.0.clone(), key.1.clone(), allowed, 0));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, path: &str) -> Finding {
+        Finding {
+            lint,
+            path: path.into(),
+            line: 1,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_blank_lines() {
+        let a = Allowlist::parse("# header\n\nno-expect crates/x.rs 2 # why\n").unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_and_zero_and_duplicate() {
+        assert!(Allowlist::parse("no-expect crates/x.rs").is_err());
+        assert!(Allowlist::parse("no-expect crates/x.rs many").is_err());
+        assert!(Allowlist::parse("no-expect crates/x.rs 0").is_err());
+        assert!(Allowlist::parse("no-expect crates/x.rs 1\nno-expect crates/x.rs 2").is_err());
+    }
+
+    #[test]
+    fn unlisted_finding_is_a_violation() {
+        let r = check(&[finding("no-unwrap", "a.rs")], &Allowlist::default());
+        assert_eq!(r.violations.len(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn exactly_allowed_count_is_clean() {
+        let a = Allowlist::parse("no-unwrap a.rs 2").unwrap();
+        let fs = [finding("no-unwrap", "a.rs"), finding("no-unwrap", "a.rs")];
+        assert!(check(&fs, &a).is_clean());
+    }
+
+    #[test]
+    fn ratchet_only_shrinks_fixing_a_violation_stales_the_entry() {
+        let a = Allowlist::parse("no-unwrap a.rs 2").unwrap();
+        // One of the two grandfathered sites was fixed: the entry is
+        // now stale and the gate fails until the count shrinks to 1.
+        let r = check(&[finding("no-unwrap", "a.rs")], &a);
+        assert!(!r.is_clean());
+        assert_eq!(r.stale, vec![("no-unwrap".into(), "a.rs".into(), 2, 1)]);
+        // Shrinking the entry makes it clean again.
+        let a = Allowlist::parse("no-unwrap a.rs 1").unwrap();
+        assert!(check(&[finding("no-unwrap", "a.rs")], &a).is_clean());
+        // Growing it back is impossible without editing the file, and
+        // a grown entry (violations all fixed) is also stale.
+        let a = Allowlist::parse("no-unwrap a.rs 1").unwrap();
+        let r = check(&[], &a);
+        assert_eq!(r.stale, vec![("no-unwrap".into(), "a.rs".into(), 1, 0)]);
+    }
+
+    #[test]
+    fn exceeding_the_budget_reports_the_whole_group() {
+        let a = Allowlist::parse("no-unwrap a.rs 1").unwrap();
+        let fs = [finding("no-unwrap", "a.rs"), finding("no-unwrap", "a.rs")];
+        let r = check(&fs, &a);
+        assert_eq!(r.violations.len(), 2);
+    }
+}

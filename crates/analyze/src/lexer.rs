@@ -1,0 +1,399 @@
+//! A small hand-written Rust lexer.
+//!
+//! This is not a full Rust tokenizer; it is just enough to let lint
+//! passes see code the way `rustc` roughly does: comments and string
+//! literals are recognized (so an `unwrap()` inside a doc comment or a
+//! string never trips a lint), doc comments are kept as tokens (so the
+//! missing-docs pass can see them), and every token carries its source
+//! line for reporting.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Instant`, ...).
+    Ident,
+    /// Numeric, string, char or byte literal. The text of string
+    /// literals is *not* preserved (replaced by `"…"`) so lints cannot
+    /// accidentally match inside them.
+    Literal,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Single punctuation character (`.`, `:`, `{`, `!`, ...).
+    Punct,
+    /// Outer doc comment (`///` or `/** */`) attached to the next item.
+    DocComment,
+    /// Inner doc comment (`//!` or `/*! */`).
+    InnerDocComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (`"…"` placeholder for string literal bodies).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: impl Into<String>, line: u32) -> Self {
+        Token {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+
+    /// True if this token is the exact punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True if this token is an identifier with exactly the text `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// Lexes `source` into a token stream, discarding plain comments and
+/// whitespace but keeping doc comments.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                'r' if matches!(self.peek(1), Some('"' | '#')) && self.is_raw_string(1) => {
+                    self.bump();
+                    self.raw_string_literal();
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal();
+                }
+                'b' if self.peek(1) == Some('r') && self.is_raw_string(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string_literal();
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_literal();
+                }
+                '\'' => self.quote(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    let c = match self.bump() {
+                        Some(c) => c,
+                        None => break,
+                    };
+                    self.tokens.push(Token::new(TokenKind::Punct, c, line));
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Is the run starting at offset `at` (after an `r` / `br` prefix)
+    /// actually a raw string opener (`#*"`), as opposed to e.g. the
+    /// identifier `r#union`?
+    fn is_raw_string(&self, at: usize) -> bool {
+        let mut k = at;
+        while self.peek(k) == Some('#') {
+            k += 1;
+        }
+        self.peek(k) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let kind = match self.peek(0) {
+            // `//!` inner doc; `///` outer doc unless `////...` (plain).
+            Some('!') => Some(TokenKind::InnerDocComment),
+            Some('/') if self.peek(1) != Some('/') => Some(TokenKind::DocComment),
+            _ => None,
+        };
+        let mut text = String::from("//");
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if let Some(kind) = kind {
+            self.tokens.push(Token::new(kind, text, line));
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let kind = match self.peek(0) {
+            Some('!') => Some(TokenKind::InnerDocComment),
+            // `/**/` is empty, not a doc comment; `/***` is plain.
+            Some('*') if !matches!(self.peek(1), Some('*' | '/')) => Some(TokenKind::DocComment),
+            _ => None,
+        };
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        if let Some(kind) = kind {
+            self.tokens.push(Token::new(kind, "/* doc */", line));
+        }
+    }
+
+    fn string_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.tokens
+            .push(Token::new(TokenKind::Literal, "\"…\"", line));
+    }
+
+    fn raw_string_literal(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.tokens
+            .push(Token::new(TokenKind::Literal, "\"…\"", line));
+    }
+
+    fn char_literal(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.tokens
+            .push(Token::new(TokenKind::Literal, "'…'", line));
+    }
+
+    /// A `'` is either a char literal or a lifetime. `'x'` (quote within
+    /// two chars, allowing escapes) is a char; otherwise a lifetime.
+    fn quote(&mut self) {
+        match self.peek(1) {
+            Some('\\') => self.char_literal(),
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                if self.peek(2) == Some('\'') {
+                    self.char_literal();
+                } else {
+                    let line = self.line;
+                    self.bump();
+                    let mut text = String::from("'");
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.tokens
+                        .push(Token::new(TokenKind::Lifetime, text, line));
+                }
+            }
+            _ => self.char_literal(),
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.tokens.push(Token::new(TokenKind::Ident, text, line));
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            // Rough: digits, `_`, type suffixes, hex, and `1.5e-3`
+            // floats (a trailing `.` method call like `1.max(2)` is cut
+            // by requiring a digit after `.`).
+            let take = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                || ((c == '+' || c == '-')
+                    && matches!(text.chars().last(), Some('e' | 'E'))
+                    && text.starts_with(|f: char| f.is_ascii_digit()));
+            if take {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.tokens.push(Token::new(TokenKind::Literal, text, line));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_are_stripped_but_doc_comments_kept() {
+        let toks = lex("/// doc\nfn x() {} // plain unwrap()\n/* block */ let y;");
+        assert_eq!(toks[0].kind, TokenKind::DocComment);
+        assert!(toks.iter().all(|t| t.text != "unwrap"));
+        assert!(toks.iter().any(|t| t.is_ident("let")));
+    }
+
+    #[test]
+    fn strings_do_not_leak_their_contents() {
+        let src = "let s = \"call unwrap() here\"; let r = r#\"panic!\"#;";
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| t.text != "unwrap" && t.text != "panic"));
+        assert_eq!(toks.iter().filter(|t| t.text == "\"…\"").count(), 2);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_are_distinguished() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Literal && t.text == "'…'")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = lex("/* a /* b */ c */ fn f() {}");
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert!(toks.iter().all(|t| t.text != "a" && t.text != "c"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("fn a() {}\nfn b() {}\n\nfn c() {}");
+        let lines: Vec<u32> = toks
+            .iter()
+            .filter(|t| t.is_ident("fn"))
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn floats_and_method_calls_on_numbers() {
+        assert_eq!(
+            texts("1.5e-3 + 2.max(3)"),
+            vec!["1.5e-3", "+", "2", ".", "max", "(", "3", ")"]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let toks = lex("let r#type = 1; r#\"raw str\"#;");
+        assert!(toks.iter().any(|t| t.is_ident("r")));
+        assert!(toks.iter().any(|t| t.text == "\"…\""));
+    }
+}

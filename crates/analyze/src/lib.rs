@@ -1,0 +1,274 @@
+//! `voyager-analyze`: hand-rolled, zero-dependency static analysis for
+//! the Voyager workspace, in the spirit of rustc's `tidy`.
+//!
+//! Three passes, all built on the same tiny Rust [`lexer`]:
+//!
+//! 1. [`policy`] — source lints that enforce repo policy: no
+//!    third-party dependencies (the offline policy), no nondeterminism
+//!    sources (`Instant::now`, `SystemTime::now`, env reads) outside an
+//!    allowlisted set of timing modules (the trainer's determinism
+//!    contract), no `unwrap`/`expect`/`panic!`/`static mut`/
+//!    `get_unchecked` in library code outside `#[cfg(test)]`, and docs
+//!    on public items.
+//! 2. [`lockorder`] — extracts a static lock-acquisition graph from
+//!    `Mutex`/`RwLock` usage, flags cycles (potential deadlocks) and
+//!    blocking channel receives performed while holding a lock.
+//! 3. [`allowlist`] — a ratchet over grandfathered violations: the
+//!    checked-in `analyze-allowlist.txt` caps per-file violation counts
+//!    and must only ever shrink.
+//!
+//! Run it as `cargo run -p voyager-analyze`; it exits non-zero on any
+//! finding not covered by the allowlist and on any stale allowlist
+//! entry.
+
+pub mod allowlist;
+pub mod lexer;
+pub mod lockorder;
+pub mod policy;
+pub mod run;
+
+use lexer::{Token, TokenKind};
+use std::path::{Path, PathBuf};
+
+/// One lint violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable lint name (`no-unwrap`, `lock-cycle`, ...), used as the
+    /// allowlist key.
+    pub lint: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// A lexed source file plus a parallel mask of which tokens live inside
+/// `#[cfg(test)]` / `#[test]` items.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// Token stream from [`lexer::lex`].
+    pub tokens: Vec<Token>,
+    /// `in_test[i]` is true if `tokens[i]` is test-only code.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `source` and computes the test mask.
+    pub fn parse(path: impl Into<String>, source: &str) -> Self {
+        let tokens = lexer::lex(source);
+        let in_test = test_mask(&tokens);
+        SourceFile {
+            path: path.into(),
+            tokens,
+            in_test,
+        }
+    }
+}
+
+/// Marks every token belonging to an item annotated `#[cfg(test)]`
+/// (or `#[test]`, or `#[cfg(all(test, ...))]`; `#[cfg(not(test))]`
+/// does *not* count) — typically the trailing `mod tests { ... }`.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, is_test) = scan_attribute(tokens, i + 1);
+            if is_test {
+                // Skip any further attributes / doc comments between
+                // this attribute and the item it decorates.
+                let mut j = attr_end;
+                loop {
+                    match tokens.get(j) {
+                        Some(t) if t.is_punct('#') => {
+                            let (end, _) = scan_attribute(tokens, j + 1);
+                            j = end;
+                        }
+                        Some(t)
+                            if t.kind == TokenKind::DocComment
+                                || t.kind == TokenKind::InnerDocComment =>
+                        {
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let item_end = skip_item(tokens, j);
+                for m in mask.iter_mut().take(item_end).skip(i) {
+                    *m = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans an attribute whose `[` is at `open`. Returns the index one
+/// past the closing `]` and whether the attribute gates test code.
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    if !tokens.get(open).is_some_and(|t| t.is_punct('[')) {
+        return (open, false);
+    }
+    let mut depth = 0usize;
+    let mut end = tokens.len();
+    let mut body = Vec::new();
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                end = k + 1;
+                break;
+            }
+        } else if depth >= 1 {
+            body.push(t);
+        }
+    }
+    let first = body.first().map(|t| t.text.as_str());
+    let is_test = match first {
+        Some("test") => true,
+        Some("cfg" | "cfg_attr") => {
+            // `test` anywhere in the body, except right after `not(`.
+            body.iter().enumerate().any(|(k, t)| {
+                t.is_ident("test")
+                    && !(k >= 2 && body[k - 2].is_ident("not") && body[k - 1].is_punct('('))
+            })
+        }
+        _ => false,
+    };
+    (end, is_test)
+}
+
+/// Returns the index one past the end of the item starting at `start`:
+/// through the matching `}` of its first block, or through the first
+/// top-level `;` for block-less items (`use`, `type`, ...).
+fn skip_item(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(start) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return k + 1;
+        }
+    }
+    tokens.len()
+}
+
+/// Recursively collects `.rs` files under `root`, skipping `target`
+/// and hidden directories, sorted for deterministic output.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Converts `path` to a `root`-relative string with forward slashes.
+pub fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\nfn after() {}";
+        let f = SourceFile::parse("x.rs", src);
+        let unwraps: Vec<bool> = f
+            .tokens
+            .iter()
+            .zip(&f.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        // Code after the test module is live again.
+        let after = f.tokens.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(!f.in_test[after]);
+    }
+
+    #[test]
+    fn test_attribute_masks_single_fn() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn live() { }";
+        let f = SourceFile::parse("x.rs", src);
+        let unwrap = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(f.in_test[unwrap]);
+        let live = f.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(!f.in_test[live]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn live() { a.unwrap(); }";
+        let f = SourceFile::parse("x.rs", src);
+        let unwrap = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(!f.in_test[unwrap]);
+    }
+
+    #[test]
+    fn cfg_all_test_is_masked() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod helpers { fn h() {} }";
+        let f = SourceFile::parse("x.rs", src);
+        let h = f.tokens.iter().position(|t| t.is_ident("h")).unwrap();
+        assert!(f.in_test[h]);
+    }
+
+    #[test]
+    fn stacked_attributes_before_test_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() {} }";
+        let f = SourceFile::parse("x.rs", src);
+        let t = f.tokens.iter().position(|t| t.is_ident("t")).unwrap();
+        assert!(f.in_test[t]);
+    }
+}

@@ -1,0 +1,373 @@
+//! Static lock-order analysis.
+//!
+//! Extracts a lock-acquisition graph from the token stream: every
+//! `<path>.lock()`, zero-argument `<path>.read()` / `<path>.write()`
+//! (the `RwLock` shapes) is an acquisition of the lock named by
+//! `<path>`; an acquisition performed while another guard is still
+//! live (same block or an enclosing one) adds a directed edge
+//! `held → acquired`. A cycle in the union of these edges across the
+//! whole workspace is a potential deadlock: two threads can take the
+//! participating locks in incompatible orders.
+//!
+//! The same scope tracking also flags blocking channel receives
+//! (`.recv()` / `.recv_timeout(..)`) made while holding a lock — the
+//! sender may need that lock to ever send.
+//!
+//! Identity is textual (`self.stats`, `STATS`); this is a heuristic in
+//! the `tidy` tradition, deliberately simple and allowlist-escapable,
+//! not an alias analysis. The runtime's [`OrderedMutex`] provides the
+//! dynamic complement: rank-checked acquisition that panics on
+//! inversion under `debug_assertions`.
+//!
+//! [`OrderedMutex`]: ../../voyager_runtime/lockorder/struct.OrderedMutex.html
+
+use crate::lexer::TokenKind;
+use crate::{Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `held → acquired` event with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// Lock already held at the acquisition site.
+    pub held: String,
+    /// Lock being acquired.
+    pub acquired: String,
+    /// Repo-relative file of the acquisition.
+    pub path: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+}
+
+/// Scans `file` for nested lock acquisitions (edges) and blocking
+/// receives under a lock (returned as findings directly).
+pub fn extract(file: &SourceFile) -> (Vec<LockEdge>, Vec<Finding>) {
+    let toks = &file.tokens;
+    let mut edges = Vec::new();
+    let mut findings = Vec::new();
+    // Guards currently live: (lock name, brace depth at acquisition).
+    let mut held: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            while held.last().is_some_and(|&(_, d)| d > depth) {
+                held.pop();
+            }
+        }
+        if file.in_test[i] {
+            continue;
+        }
+        if let Some(kind) = acquisition_at(file, i) {
+            let Some(name) = receiver_path(file, i) else {
+                continue;
+            };
+            match kind {
+                Acquire::Lock => {
+                    for (h, _) in &held {
+                        if *h != name {
+                            edges.push(LockEdge {
+                                held: h.clone(),
+                                acquired: name.clone(),
+                                path: file.path.clone(),
+                                line: toks[i].line,
+                            });
+                        }
+                    }
+                    held.push((name, depth));
+                }
+                Acquire::Recv => {
+                    if let Some((h, _)) = held.last() {
+                        findings.push(Finding {
+                            lint: "recv-under-lock",
+                            path: file.path.clone(),
+                            line: toks[i].line,
+                            message: format!(
+                                "blocking `{name}.{}(..)` while holding lock `{h}`; \
+                                 the sender may need that lock to make progress",
+                                toks[i].text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    (edges, findings)
+}
+
+enum Acquire {
+    Lock,
+    Recv,
+}
+
+/// Is token `i` the method name of a lock acquisition or a blocking
+/// receive (`<recv>.name(...)`)?
+fn acquisition_at(file: &SourceFile, i: usize) -> Option<Acquire> {
+    let toks = &file.tokens;
+    let t = &toks[i];
+    if t.kind != TokenKind::Ident || i == 0 || !toks[i - 1].is_punct('.') {
+        return None;
+    }
+    let open_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+    if !open_paren {
+        return None;
+    }
+    match t.text.as_str() {
+        "lock" => Some(Acquire::Lock),
+        // io::Read/Write methods take a buffer; the zero-argument
+        // shapes are the RwLock ones.
+        "read" | "write" if toks.get(i + 2).is_some_and(|n| n.is_punct(')')) => Some(Acquire::Lock),
+        "recv" | "recv_timeout" | "recv_deadline" => Some(Acquire::Recv),
+        _ => None,
+    }
+}
+
+/// The dotted path preceding the `.` before token `i`, e.g.
+/// `self.stats` for `self.stats.lock()`. Returns `None` when the
+/// receiver is not a plain path (e.g. a call result).
+fn receiver_path(file: &SourceFile, i: usize) -> Option<String> {
+    let toks = &file.tokens;
+    let mut parts: Vec<String> = Vec::new();
+    let mut k = i - 1; // the `.`
+    loop {
+        if k == 0 {
+            break;
+        }
+        let p = &toks[k - 1];
+        if p.kind == TokenKind::Ident {
+            parts.push(p.text.clone());
+            if k - 1 == 0 {
+                break;
+            }
+            // Continue through `.` or `::`.
+            let pp = &toks[k - 2];
+            if pp.is_punct('.') || pp.is_punct(':') {
+                k = if pp.is_punct(':') && k >= 3 && toks[k - 3].is_punct(':') {
+                    k - 3
+                } else {
+                    k - 2
+                };
+                if toks
+                    .get(k.wrapping_sub(1))
+                    .is_some_and(|t| t.kind == TokenKind::Ident)
+                {
+                    continue;
+                }
+            }
+            break;
+        }
+        return None;
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+/// A lock-order cycle: the participating locks in order, plus the
+/// source locations of the edges that close it.
+#[derive(Debug, Clone)]
+pub struct Cycle {
+    /// Lock names along the cycle (first repeated implicitly).
+    pub locks: Vec<String>,
+    /// Provenance: one representative `(path, line)` per edge.
+    pub sites: Vec<(String, u32)>,
+}
+
+/// Detects cycles in the union of `edges` and reports each as a
+/// `lock-cycle` finding (deterministic order, each cycle once).
+pub fn find_cycles(edges: &[LockEdge]) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut sites: BTreeMap<(&str, &str), (&str, u32)> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.held).or_default().insert(&e.acquired);
+        adj.entry(&e.acquired).or_default();
+        sites
+            .entry((&e.held, &e.acquired))
+            .or_insert((&e.path, e.line));
+    }
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut findings = Vec::new();
+    // Three-color DFS from every node (sorted: deterministic output).
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut color: BTreeMap<&str, u8> = nodes.iter().map(|&n| (n, 0)).collect();
+    for &start in &nodes {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, Vec::new())];
+        let mut path: Vec<&str> = Vec::new();
+        while let Some((node, _)) = stack.last().cloned() {
+            if color[node] == 0 {
+                color.insert(node, 1);
+                path.push(node);
+                for &next in adj[node].iter().rev() {
+                    match color[next] {
+                        0 => stack.push((next, Vec::new())),
+                        1 => {
+                            // Back edge: the cycle is path[pos..] + next.
+                            let pos = path.iter().position(|&p| p == next).unwrap_or(0);
+                            let cycle: Vec<String> =
+                                path[pos..].iter().map(|s| s.to_string()).collect();
+                            let canon = canonicalize(&cycle);
+                            if seen_cycles.insert(canon.clone()) {
+                                findings.push(cycle_finding(&cycle, &sites));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                stack.pop();
+                if color[node] == 1 {
+                    color.insert(node, 2);
+                    path.pop();
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Rotates a cycle so its lexicographically smallest lock comes first,
+/// making duplicates detectable regardless of DFS entry point.
+fn canonicalize(cycle: &[String]) -> Vec<String> {
+    let min = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.as_str())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(cycle.len());
+    for k in 0..cycle.len() {
+        out.push(cycle[(min + k) % cycle.len()].clone());
+    }
+    out
+}
+
+fn cycle_finding(cycle: &[String], sites: &BTreeMap<(&str, &str), (&str, u32)>) -> Finding {
+    let canon = canonicalize(cycle);
+    let mut desc = canon.join(" → ");
+    desc.push_str(" → ");
+    desc.push_str(&canon[0]);
+    let mut where_ = Vec::new();
+    let (mut path0, mut line0) = (String::new(), 0u32);
+    for k in 0..canon.len() {
+        let from = canon[k].as_str();
+        let to = canon[(k + 1) % canon.len()].as_str();
+        if let Some(&(p, l)) = sites.get(&(from, to)) {
+            if k == 0 {
+                path0 = p.to_string();
+                line0 = l;
+            }
+            where_.push(format!("{from}→{to} at {p}:{l}"));
+        }
+    }
+    Finding {
+        lint: "lock-cycle",
+        path: path0,
+        line: line0,
+        message: format!(
+            "lock-order cycle {desc} is a potential deadlock ({})",
+            where_.join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges_of(src: &str) -> Vec<(String, String)> {
+        let file = SourceFile::parse("x.rs", src);
+        let (edges, _) = extract(&file);
+        edges.into_iter().map(|e| (e.held, e.acquired)).collect()
+    }
+
+    #[test]
+    fn nested_acquisition_is_an_edge() {
+        let e = edges_of("fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }");
+        assert_eq!(e, vec![("self.alpha".to_string(), "self.beta".to_string())]);
+    }
+
+    #[test]
+    fn guard_scope_ends_at_block_close() {
+        // `a` is released before `b` is taken: no edge.
+        let e = edges_of("fn f() { { let g = a.lock(); } let h = b.lock(); }");
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_counts_io_write_does_not() {
+        let e = edges_of("fn f() { let g = a.lock(); let r = b.read(); }");
+        assert_eq!(e.len(), 1);
+        // `.write(&buf)` has arguments: io, not RwLock.
+        let e = edges_of("fn f() { let g = a.lock(); w.write(&buf); }");
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn ab_ba_inversion_is_a_cycle() {
+        let file = SourceFile::parse(
+            "x.rs",
+            "fn f() { let g = a.lock(); let h = b.lock(); }\n\
+             fn g() { let h = b.lock(); let g = a.lock(); }",
+        );
+        let (edges, _) = extract(&file);
+        let cycles = find_cycles(&edges);
+        assert_eq!(cycles.len(), 1);
+        assert!(
+            cycles[0].message.contains("a → b → a"),
+            "{}",
+            cycles[0].message
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_no_cycle() {
+        let file = SourceFile::parse(
+            "x.rs",
+            "fn f() { let g = a.lock(); let h = b.lock(); }\n\
+             fn g() { let g = a.lock(); let h = b.lock(); }",
+        );
+        let (edges, _) = extract(&file);
+        assert!(find_cycles(&edges).is_empty());
+    }
+
+    #[test]
+    fn three_lock_cycle_detected_once() {
+        let file = SourceFile::parse(
+            "x.rs",
+            "fn f() { let g = a.lock(); let h = b.lock(); }\n\
+             fn g() { let g = b.lock(); let h = c.lock(); }\n\
+             fn h() { let g = c.lock(); let h = a.lock(); }",
+        );
+        let (edges, _) = extract(&file);
+        let cycles = find_cycles(&edges);
+        assert_eq!(cycles.len(), 1);
+    }
+
+    #[test]
+    fn recv_under_lock_is_flagged() {
+        let file = SourceFile::parse("x.rs", "fn f() { let g = a.lock(); let m = rx.recv(); }");
+        let (_, findings) = extract(&file);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "recv-under-lock");
+    }
+
+    #[test]
+    fn recv_without_lock_is_fine() {
+        let file = SourceFile::parse("x.rs", "fn f() { let m = rx.recv(); }");
+        let (_, findings) = extract(&file);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn reacquiring_same_name_is_not_an_edge() {
+        let e = edges_of("fn f() { let g = a.lock(); let h = a.lock(); }");
+        assert!(e.is_empty());
+    }
+}

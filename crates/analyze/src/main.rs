@@ -1,0 +1,118 @@
+//! CLI for `voyager-analyze`.
+//!
+//! ```text
+//! cargo run -p voyager-analyze              # gate the workspace
+//! cargo run -p voyager-analyze -- --graph   # dump the lock graph
+//! cargo run -p voyager-analyze -- --emit-allowlist
+//! cargo run -p voyager-analyze -- /path/to/workspace
+//! ```
+//!
+//! Exit status 0 means every finding is covered by
+//! `analyze-allowlist.txt` and no allowlist entry is stale; anything
+//! else is a failure with the findings on stdout.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use voyager_analyze::run::{analyze_workspace, load_allowlist};
+
+fn main() -> ExitCode {
+    let mut emit_allowlist = false;
+    let mut graph = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--emit-allowlist" => emit_allowlist = true,
+            "--graph" => graph = true,
+            "--help" | "-h" => {
+                println!("usage: voyager-analyze [--emit-allowlist] [--graph] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() && !arg.starts_with('-') => root = Some(PathBuf::from(arg)),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    let allowlist = match load_allowlist(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match analyze_workspace(&root, &allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: analysis failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if emit_allowlist {
+        // Print the triples that would make the current tree pass, for
+        // seeding (and then only ever shrinking) the allowlist.
+        let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+        for f in &report.findings {
+            *counts.entry((f.lint, &f.path)).or_default() += 1;
+        }
+        for ((lint, path), n) in counts {
+            println!("{lint} {path} {n}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if graph {
+        println!("lock-acquisition edges ({}):", report.edges.len());
+        for e in &report.edges {
+            println!("  {} → {} ({}:{})", e.held, e.acquired, e.path, e.line);
+        }
+    }
+
+    for f in &report.ratchet.violations {
+        println!("{f}");
+    }
+    for (lint, path, allowed, actual) in &report.ratchet.stale {
+        println!(
+            "{path}: [allowlist] stale entry `{lint} {path} {allowed}`: only {actual} \
+             violation(s) remain; shrink the count (the allowlist only ever shrinks)"
+        );
+    }
+
+    let grandfathered = allowlist.total();
+    if report.is_clean() {
+        println!(
+            "voyager-analyze: {} files clean ({} findings, all {grandfathered} grandfathered)",
+            report.files_scanned,
+            report.findings.len(),
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "voyager-analyze: FAILED — {} violation(s), {} stale allowlist entr(ies) \
+             across {} files",
+            report.ratchet.violations.len(),
+            report.ratchet.stale.len(),
+            report.files_scanned,
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` under cargo, else
+/// the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let mut p = PathBuf::from(dir);
+            p.pop();
+            p.pop();
+            p
+        }
+        None => PathBuf::from("."),
+    }
+}

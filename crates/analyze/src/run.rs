@@ -1,0 +1,196 @@
+//! Workspace orchestration: which lints run on which files, and the
+//! full gate pipeline used by both `main` and the self-test.
+
+use crate::allowlist::{self, Allowlist, RatchetReport};
+use crate::lockorder::{self, LockEdge};
+use crate::policy::{self, PolicyConfig};
+use crate::{collect_rust_files, relative_path, Finding, SourceFile};
+use std::path::Path;
+
+/// Workspace crates whose `src/` is *library* code, held to the strict
+/// panic/docs lints (the analyzer dogfoods its own rules). `bench`
+/// (CLI tools) is exempt from the panic lints but still policed for
+/// offline-ness and lock order.
+const LIB_CRATES: &[&str] = &[
+    "tensor", "nn", "trace", "sim", "prefetch", "core", "runtime", "analyze",
+];
+
+/// Modules whose entire purpose is wall-clock measurement or seeding:
+/// the only places `Instant::now` / `SystemTime::now` may appear.
+/// Everything else in a library crate must be deterministic — that is
+/// the trainer's bitwise-reproducibility contract.
+const TIMING_MODULES: &[&str] = &[
+    "crates/core/src/delta_lstm.rs",    // per-phase profiling counters
+    "crates/core/src/online.rs",        // online-loop latency accounting
+    "crates/runtime/src/microbatch.rs", // serving latency percentiles
+    "crates/runtime/src/trainer.rs",    // wall-clock throughput report
+    "crates/tensor/src/rng.rs",         // thread_rng seeding (the one
+                                        // sanctioned nondeterminism entry)
+];
+
+/// Import roots every workspace file may use.
+const WORKSPACE_ROOTS: &[&str] = &[
+    "voyager",
+    "voyager_tensor",
+    "voyager_nn",
+    "voyager_trace",
+    "voyager_sim",
+    "voyager_prefetch",
+    "voyager_runtime",
+    "voyager_bench",
+    "voyager_analyze",
+    "voyager_repro",
+];
+
+/// Everything the analysis produced, before and after the ratchet.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// Every raw finding (policy + lock passes), allowlisted or not.
+    pub findings: Vec<Finding>,
+    /// All nested-acquisition edges seen (for `--graph`).
+    pub edges: Vec<LockEdge>,
+    /// Ratchet outcome of `findings` against the allowlist.
+    pub ratchet: RatchetReport,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl AnalysisReport {
+    /// True when the gate passes: no unallowlisted finding, no stale
+    /// allowlist entry.
+    pub fn is_clean(&self) -> bool {
+        self.ratchet.is_clean()
+    }
+}
+
+/// How a file is policed, derived from its repo-relative path.
+fn config_for(rel: &str) -> PolicyConfig {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    let in_src = rel.contains("/src/") || rel.starts_with("src/");
+    let is_bin = rel.contains("/bin/") || rel.ends_with("/main.rs");
+    let is_lib = in_src && !is_bin && (LIB_CRATES.contains(&crate_name) || rel.starts_with("src/"));
+    let timing_exempt = TIMING_MODULES.contains(&rel);
+    let mut cfg = PolicyConfig::strict().with_workspace_crates(WORKSPACE_ROOTS);
+    cfg.lint_nondeterminism =
+        in_src && !is_bin && LIB_CRATES.contains(&crate_name) && !timing_exempt;
+    cfg.lint_panics = is_lib;
+    cfg.lint_docs = is_lib;
+    cfg
+}
+
+/// Runs the full analysis over the workspace at `root` and checks the
+/// result against `allowlist`.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the tree.
+pub fn analyze_workspace(root: &Path, allowlist: &Allowlist) -> std::io::Result<AnalysisReport> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            for sub in ["src", "tests"] {
+                let dir = entry.path().join(sub);
+                if dir.is_dir() {
+                    files.extend(collect_rust_files(&dir)?);
+                }
+            }
+        }
+    }
+    for sub in ["src", "tests", "examples"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            files.extend(collect_rust_files(&dir)?);
+        }
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut edges = Vec::new();
+    let mut files_scanned = 0usize;
+    for path in &files {
+        let rel = relative_path(root, path);
+        // Lint-violation fixtures are inputs to the analyzer's own
+        // tests, not workspace code.
+        if rel.contains("/fixtures/") {
+            continue;
+        }
+        let source = std::fs::read_to_string(path)?;
+        let file = SourceFile::parse(rel.clone(), &source);
+        files_scanned += 1;
+        findings.extend(policy::check(&file, &config_for(&rel)));
+        let (file_edges, recv_findings) = lockorder::extract(&file);
+        edges.extend(file_edges);
+        findings.extend(recv_findings);
+    }
+    findings.extend(lockorder::find_cycles(&edges));
+    findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    let ratchet = allowlist::check(&findings, allowlist);
+    Ok(AnalysisReport {
+        findings,
+        edges,
+        ratchet,
+        files_scanned,
+    })
+}
+
+/// Loads `analyze-allowlist.txt` from `root` (empty if absent).
+///
+/// # Errors
+///
+/// Returns a message for unreadable or malformed allowlists.
+pub fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("analyze-allowlist.txt");
+    if !path.is_file() {
+        return Ok(Allowlist::default());
+    }
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Allowlist::parse(&text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lib_crate_src_gets_full_strictness() {
+        let cfg = config_for("crates/tensor/src/tensor.rs");
+        assert!(cfg.lint_nondeterminism && cfg.lint_panics && cfg.lint_docs);
+    }
+
+    #[test]
+    fn timing_modules_skip_only_the_nondeterminism_lint() {
+        let cfg = config_for("crates/runtime/src/trainer.rs");
+        assert!(!cfg.lint_nondeterminism);
+        assert!(cfg.lint_panics && cfg.lint_docs);
+    }
+
+    #[test]
+    fn bins_and_tools_skip_panic_lints() {
+        for rel in [
+            "crates/bench/src/bin/voyagerctl.rs",
+            "crates/bench/src/lib.rs",
+            "crates/analyze/src/main.rs",
+        ] {
+            let cfg = config_for(rel);
+            assert!(!cfg.lint_panics, "{rel}");
+            assert!(!cfg.lint_nondeterminism, "{rel}");
+        }
+        // ... but the analyzer's own library code dogfoods the rules.
+        assert!(config_for("crates/analyze/src/policy.rs").lint_panics);
+    }
+
+    #[test]
+    fn integration_tests_only_get_the_offline_lint() {
+        let cfg = config_for("tests/end_to_end.rs");
+        assert!(!cfg.lint_panics && !cfg.lint_docs && !cfg.lint_nondeterminism);
+    }
+}

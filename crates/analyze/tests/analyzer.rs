@@ -1,0 +1,108 @@
+//! End-to-end tests for `voyager-analyze`: each fixture under
+//! `tests/fixtures/` trips exactly its lint, a broken fixture workspace
+//! fails the gate, the ratchet only shrinks, and the real workspace
+//! passes — making `cargo test` itself enforce the analyzer's
+//! invariants.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use voyager_analyze::allowlist::{self, Allowlist};
+use voyager_analyze::lockorder;
+use voyager_analyze::policy::{self, PolicyConfig};
+use voyager_analyze::run::{analyze_workspace, load_allowlist};
+use voyager_analyze::SourceFile;
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Runs every pass over one fixture and returns the distinct lints hit.
+fn lints_in(name: &str) -> Vec<&'static str> {
+    let source = std::fs::read_to_string(fixtures().join(name)).unwrap();
+    let file = SourceFile::parse(name, &source);
+    let mut lints: Vec<&'static str> = policy::check(&file, &PolicyConfig::strict())
+        .iter()
+        .map(|f| f.lint)
+        .collect();
+    let (edges, recv) = lockorder::extract(&file);
+    lints.extend(recv.iter().map(|f| f.lint));
+    lints.extend(lockorder::find_cycles(&edges).iter().map(|f| f.lint));
+    lints.sort_unstable();
+    lints.dedup();
+    lints
+}
+
+#[test]
+fn each_fixture_trips_exactly_its_lint() {
+    for (file, lint) in [
+        ("third_party_dep.rs", "third-party-dep"),
+        ("nondeterminism.rs", "nondeterminism"),
+        ("no_unwrap.rs", "no-unwrap"),
+        ("no_expect.rs", "no-expect"),
+        ("no_panic.rs", "no-panic"),
+        ("static_mut.rs", "static-mut"),
+        ("unchecked_index.rs", "unchecked-index"),
+        ("missing_docs.rs", "missing-docs"),
+        ("lock_inversion.rs", "lock-cycle"),
+        ("recv_under_lock.rs", "recv-under-lock"),
+    ] {
+        assert_eq!(lints_in(file), vec![lint], "fixture {file}");
+    }
+}
+
+#[test]
+fn broken_workspace_fails_the_gate() {
+    let report =
+        analyze_workspace(&fixtures().join("bad_workspace"), &Allowlist::default()).unwrap();
+    assert!(!report.is_clean());
+    let lints: Vec<&str> = report.findings.iter().map(|f| f.lint).collect();
+    for expected in ["third-party-dep", "no-unwrap", "missing-docs"] {
+        assert!(lints.contains(&expected), "{expected} not in {lints:?}");
+    }
+    // Nothing is allowlisted, so every finding is a violation.
+    assert_eq!(report.ratchet.violations.len(), report.findings.len());
+}
+
+#[test]
+fn allowlist_ratchet_only_shrinks_end_to_end() {
+    let report =
+        analyze_workspace(&fixtures().join("bad_workspace"), &Allowlist::default()).unwrap();
+    let mut counts: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+    for f in &report.findings {
+        *counts.entry((f.lint, f.path.as_str())).or_insert(0) += 1;
+    }
+    // Budgeting every finding exactly makes the gate pass...
+    let mut exact = String::new();
+    for ((lint, path), n) in &counts {
+        writeln!(exact, "{lint} {path} {n}").unwrap();
+    }
+    let a = Allowlist::parse(&exact).unwrap();
+    assert!(allowlist::check(&report.findings, &a).is_clean());
+    // ...but padding any budget is a stale entry: the allowlist can
+    // never be looser than reality, so fixes force it to shrink.
+    let mut padded = String::new();
+    for (i, ((lint, path), n)) in counts.iter().enumerate() {
+        writeln!(padded, "{lint} {path} {}", if i == 0 { n + 1 } else { *n }).unwrap();
+    }
+    let a = Allowlist::parse(&padded).unwrap();
+    let r = allowlist::check(&report.findings, &a);
+    assert!(!r.is_clean());
+    assert_eq!(r.stale.len(), 1);
+}
+
+#[test]
+fn real_workspace_passes_the_gate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allowlist = load_allowlist(&root).unwrap();
+    let report = analyze_workspace(&root, &allowlist).unwrap();
+    assert!(
+        report.is_clean(),
+        "violations: {:#?}\nstale: {:?}",
+        report.ratchet.violations,
+        report.ratchet.stale,
+    );
+    // Sanity: the scan actually covered the workspace.
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+}

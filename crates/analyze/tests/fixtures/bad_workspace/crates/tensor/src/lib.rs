@@ -1,0 +1,11 @@
+//! Deliberately broken "workspace" for the analyzer's end-to-end test:
+//! a third-party import, a library `unwrap`, and an undocumented `pub`
+//! item must each be reported, and the gate must fail.
+
+use rand::Rng;
+
+pub fn undocumented(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+fn _roll<R: Rng>(_rng: R) {}

@@ -1,0 +1,23 @@
+//! Fixture: `alpha → beta` in one function and `beta → alpha` in
+//! another closes a cycle in the acquisition graph (`lock-cycle`).
+
+use std::sync::Mutex;
+
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    fn _forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+
+    fn _backward(&self) -> u32 {
+        let b = self.beta.lock().unwrap_or_else(|e| e.into_inner());
+        let a = self.alpha.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture: an undocumented `pub` item trips `missing-docs`.
+
+pub fn undocumented() {}

@@ -1,0 +1,5 @@
+//! Fixture: `Result::expect` in library code trips `no-expect`.
+
+fn _parse(s: &str) -> u32 {
+    s.parse().expect("fixture")
+}

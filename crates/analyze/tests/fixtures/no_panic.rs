@@ -1,0 +1,5 @@
+//! Fixture: an explicit `panic!` in library code trips `no-panic`.
+
+fn _boom() {
+    panic!("fixture");
+}

@@ -1,0 +1,5 @@
+//! Fixture: `Option::unwrap` in library code trips `no-unwrap`.
+
+fn _first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture: a wall-clock read outside the timing modules trips
+//! `nondeterminism` (the trainer's bitwise-reproducibility contract).
+
+use std::time::Instant;
+
+fn _stamp() -> Instant {
+    Instant::now()
+}

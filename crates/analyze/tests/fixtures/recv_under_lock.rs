@@ -1,0 +1,11 @@
+//! Fixture: a blocking channel receive while holding a lock trips
+//! `recv-under-lock`.
+
+use std::sync::{mpsc, Mutex};
+
+fn _drain(state: &Mutex<Vec<u64>>, rx: &mpsc::Receiver<u64>) {
+    let mut guard = state.lock().unwrap_or_else(|e| e.into_inner());
+    if let Ok(v) = rx.recv() {
+        guard.push(v);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a `static mut` trips `static-mut`.
+
+static mut COUNTER: u32 = 0;
+
+fn _read() -> u32 {
+    0
+}

@@ -1,0 +1,6 @@
+//! Fixture: importing a crate outside the workspace trips
+//! `third-party-dep` (the offline policy).
+
+use serde::Serialize;
+
+fn _serialize<T: Serialize>(_value: T) {}

@@ -1,0 +1,5 @@
+//! Fixture: `get_unchecked` trips `unchecked-index`.
+
+fn _peek(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -293,7 +293,13 @@ fn train_epoch(
                     let mut pages = Vec::with_capacity(chunk.len());
                     let mut offsets = Vec::with_capacity(chunk.len());
                     for &t in chunk {
-                        let j = labels[t].get(scheme).expect("filtered above") as usize;
+                        // `usable` keeps only samples labeled for
+                        // `scheme`; a miss would surface as a row-count
+                        // mismatch in `train_single`.
+                        let Some(j) = labels[t].get(scheme) else {
+                            continue;
+                        };
+                        let j = j as usize;
                         pages.push(tokens[j].page as usize);
                         offsets.push(tokens[j].offset as usize);
                     }

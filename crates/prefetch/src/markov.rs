@@ -50,13 +50,14 @@ impl Prefetcher for Markov {
                 None => {
                     if succ.len() == SUCCESSORS {
                         // Evict the weakest successor.
-                        let min = succ
+                        if let Some(min) = succ
                             .iter()
                             .enumerate()
                             .min_by_key(|(_, (_, c))| *c)
                             .map(|(i, _)| i)
-                            .expect("nonempty");
-                        succ.remove(min);
+                        {
+                            succ.remove(min);
+                        }
                     }
                     succ.push((line, 1));
                 }

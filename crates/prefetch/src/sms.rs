@@ -64,8 +64,9 @@ impl Prefetcher for Sms {
                 generation.bitmap |= 1 << offset;
                 generation.accesses += 1;
                 if generation.accesses >= GENERATION_LEN {
-                    let g = self.active.remove(&region).expect("present");
-                    self.history.insert(g.key, g.bitmap);
+                    let (key, bitmap) = (generation.key, generation.bitmap);
+                    self.active.remove(&region);
+                    self.history.insert(key, bitmap);
                 }
             }
             None => {

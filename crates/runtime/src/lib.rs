@@ -36,11 +36,15 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod lockorder;
 pub mod microbatch;
 pub mod serve;
 pub mod trainer;
 
 pub use checkpoint::{CheckpointError, CheckpointManager};
-pub use microbatch::{BatchModel, ClientHandle, MicrobatchConfig, MicrobatchServer, ServerStats};
+pub use lockorder::{LockRank, OrderedMutex};
+pub use microbatch::{
+    BatchModel, ClientHandle, LiveStats, MicrobatchConfig, MicrobatchServer, ServerStats,
+};
 pub use serve::{InferenceRequest, VoyagerService};
 pub use trainer::{train_data_parallel, TrainReport, TrainerConfig};

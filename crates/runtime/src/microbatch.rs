@@ -10,9 +10,11 @@
 //! out. The server records per-request queue-to-response latencies and
 //! reports throughput plus p50/p99 at shutdown.
 
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use crate::lockorder::{ranks, OrderedMutex};
 
 /// A model that can serve a whole batch of requests in one forward
 /// pass. Implementations run on the server thread, so they may be
@@ -90,6 +92,16 @@ impl ServerStats {
     }
 }
 
+/// A point-in-time snapshot of a running server's counters, taken with
+/// [`MicrobatchServer::live_stats`] without stopping the server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Requests served so far.
+    pub requests: usize,
+    /// Batched forward passes executed so far.
+    pub batches: usize,
+}
+
 struct Envelope<M: BatchModel> {
     payload: M::Request,
     enqueued: Instant,
@@ -132,6 +144,7 @@ impl<M: BatchModel> ClientHandle<M> {
 /// coalescing. See the module docs.
 pub struct MicrobatchServer {
     handle: JoinHandle<ServerStats>,
+    live: Arc<OrderedMutex<LiveStats>>,
 }
 
 impl MicrobatchServer {
@@ -140,6 +153,12 @@ impl MicrobatchServer {
     pub fn spawn<M: BatchModel>(mut model: M, cfg: MicrobatchConfig) -> (Self, ClientHandle<M>) {
         let max_batch = cfg.max_batch.max(1);
         let (tx, rx) = mpsc::channel::<Envelope<M>>();
+        let live = Arc::new(OrderedMutex::new(
+            "microbatch-live-stats",
+            ranks::SERVER_STATS,
+            LiveStats::default(),
+        ));
+        let live_writer = live.clone();
         let handle = std::thread::spawn(move || {
             let started = Instant::now();
             let mut stats = ServerStats {
@@ -184,6 +203,11 @@ impl MicrobatchServer {
                 );
                 stats.requests += payloads.len();
                 stats.batches += 1;
+                {
+                    let mut live = live_writer.lock();
+                    live.requests = stats.requests;
+                    live.batches = stats.batches;
+                }
                 let now = Instant::now();
                 for ((enqueued, reply), response) in meta.into_iter().zip(responses) {
                     stats.latencies.push(now.duration_since(enqueued));
@@ -198,7 +222,14 @@ impl MicrobatchServer {
             stats.latencies.sort_unstable();
             stats
         });
-        (MicrobatchServer { handle }, ClientHandle { tx })
+        (MicrobatchServer { handle, live }, ClientHandle { tx })
+    }
+
+    /// Snapshots the running server's counters. Safe to call from any
+    /// thread at any time; the server publishes after each batch, so
+    /// the snapshot trails in-flight work by at most one batch.
+    pub fn live_stats(&self) -> LiveStats {
+        *self.live.lock()
     }
 
     /// Waits for the server to finish (it stops when every
@@ -301,6 +332,34 @@ mod tests {
         assert!(sizes.lock().unwrap().is_empty());
         assert_eq!(stats.latency_quantile(0.5), Duration::ZERO);
         assert_eq!(stats.throughput(), 0.0);
+    }
+
+    #[test]
+    fn live_stats_track_progress_while_serving() {
+        let (model, _) = echo();
+        let cfg = MicrobatchConfig {
+            max_batch: 1,
+            max_delay: Duration::from_millis(1),
+        };
+        let (server, client) = MicrobatchServer::spawn(model, cfg);
+        assert_eq!(server.live_stats(), LiveStats::default());
+        // Counters are published before replies fan out, so once a
+        // response arrives the snapshot must include its batch.
+        assert_eq!(client.infer(1), Some(2));
+        let live = server.live_stats();
+        assert_eq!(
+            live,
+            LiveStats {
+                requests: 1,
+                batches: 1
+            }
+        );
+        assert_eq!(client.infer(2), Some(3));
+        assert_eq!(server.live_stats().requests, 2);
+        drop(client);
+        let stats = server.join();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.batches, 2);
     }
 
     #[test]

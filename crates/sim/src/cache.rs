@@ -185,7 +185,8 @@ impl Cache {
                     .enumerate()
                     .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
                     .map(|(i, _)| i)
-                    .expect("non-zero associativity")
+                    // Sets are never empty (associativity ≥ 1).
+                    .unwrap_or(0)
             }
             ReplacementPolicy::Srrip => {
                 // Find an invalid way or a line with RRPV_MAX, aging the

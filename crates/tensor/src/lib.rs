@@ -39,9 +39,11 @@
 
 mod tape;
 mod tensor;
+mod verify;
 
 pub mod gradcheck;
 pub mod rng;
 
 pub use tape::{Tape, Var};
 pub use tensor::Tensor2;
+pub use verify::{TapeError, TapeReport};

@@ -9,10 +9,10 @@ use crate::Tensor2;
 /// `Var` is a plain index and is only meaningful for the tape that
 /// produced it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Var(usize);
+pub struct Var(pub(crate) usize);
 
 #[derive(Debug)]
-enum Op {
+pub(crate) enum Op {
     Leaf {
         requires_grad: bool,
     },
@@ -90,9 +90,9 @@ enum Op {
     },
 }
 
-struct Node {
-    op: Op,
-    value: Tensor2,
+pub(crate) struct Node {
+    pub(crate) op: Op,
+    pub(crate) value: Tensor2,
 }
 
 /// A single-use computation graph.
@@ -120,8 +120,8 @@ struct Node {
 /// ```
 #[derive(Default)]
 pub struct Tape {
-    nodes: Vec<Node>,
-    grads: Vec<Option<Tensor2>>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) grads: Vec<Option<Tensor2>>,
 }
 
 impl std::fmt::Debug for Tape {
@@ -478,7 +478,20 @@ impl Tape {
     /// gradient with ones. Gradients accumulate into every reachable
     /// leaf that was created with `requires_grad = true` (and all
     /// interior nodes, retrievable via [`Tape::grad`]).
+    ///
+    /// Under `debug_assertions` the tape is first validated with
+    /// [`Tape::verify`]; a structurally invalid tape aborts rather
+    /// than differentiating garbage.
     pub fn backward(&mut self, output: Var) {
+        #[cfg(debug_assertions)]
+        {
+            let check = self.verify(output);
+            assert!(
+                check.is_ok(),
+                "tape verification failed before backward: {}",
+                check.err().map(|e| e.to_string()).unwrap_or_default()
+            );
+        }
         self.grads = (0..self.nodes.len()).map(|_| None).collect();
         let seed = {
             let (m, n) = self.value(output).shape();

@@ -129,7 +129,7 @@ fn offsets_addr(base: u64, i: usize) -> u64 {
 }
 
 /// GAP PageRank (the paper's Fig. 13 code: lines 43–51).
-pub fn pr(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn pr(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let n = graph_size_for(cfg);
     let g = CsrGraph::random(n, 12, rng);
     let mut b = TraceBuilder::new("pr", cfg.accesses);
@@ -176,7 +176,7 @@ pub fn pr(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
 /// GAP breadth-first search. Like the GAP benchmark driver, BFS runs
 /// repeated trials; sources cycle through a small pool so the traversal
 /// patterns recur across trials (and across online-training epochs).
-pub fn bfs(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn bfs(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let n = graph_size_for(cfg);
     let g = CsrGraph::random(n, 12, rng);
     let mut b = TraceBuilder::new("bfs", cfg.accesses);
@@ -211,7 +211,7 @@ pub fn bfs(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
 }
 
 /// GAP connected components by label propagation.
-pub fn cc(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn cc(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let n = graph_size_for(cfg);
     let g = CsrGraph::random(n, 12, rng);
     let mut b = TraceBuilder::new("cc", cfg.accesses);

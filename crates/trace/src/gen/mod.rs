@@ -216,26 +216,28 @@ pub(crate) mod util {
 
     /// Distinct, non-overlapping data regions. Each region spans 4 GiB of
     /// virtual address space so pages never collide across arrays.
-    pub fn region(index: u64) -> u64 {
+    pub(crate) fn region(index: u64) -> u64 {
         0x10_0000_0000 + index * 0x1_0000_0000
     }
 
     /// Code region for load PCs. Sites within a loop body are placed in
     /// the same 64-byte block so that `pc >> 6` recovers basic blocks.
-    pub fn code(block: u64, slot: u64) -> u64 {
+    pub(crate) fn code(block: u64, slot: u64) -> u64 {
         debug_assert!(slot < 8, "at most 8 load sites per basic block");
         0x40_0000 + block * 64 + slot * 8
     }
 
     /// Trace under construction.
     #[derive(Debug)]
-    pub struct TraceBuilder {
+    pub(crate) struct TraceBuilder {
         trace: Trace,
         target: usize,
     }
 
     impl TraceBuilder {
-        pub fn new(name: &str, target: usize) -> Self {
+        /// Starts an empty trace named `name` aiming for `target`
+        /// accesses.
+        pub(crate) fn new(name: &str, target: usize) -> Self {
             TraceBuilder {
                 trace: Trace::new(name),
                 target,
@@ -244,17 +246,18 @@ pub(crate) mod util {
 
         /// Records a load of `addr` at `pc` preceded by `bubble`
         /// non-memory instructions.
-        pub fn load(&mut self, pc: u64, addr: u64, bubble: u8) {
+        pub(crate) fn load(&mut self, pc: u64, addr: u64, bubble: u8) {
             self.trace.push(MemoryAccess { pc, addr, bubble });
         }
 
         /// True once the access budget (plus slack for the current
         /// algorithmic step) is met.
-        pub fn done(&self) -> bool {
+        pub(crate) fn done(&self) -> bool {
             self.trace.len() >= self.target
         }
 
-        pub fn finish(self) -> Trace {
+        /// Consumes the builder, yielding the finished trace.
+        pub(crate) fn finish(self) -> Trace {
             self.trace
         }
     }
@@ -262,7 +265,7 @@ pub(crate) mod util {
     /// Samples from a Zipf-like distribution over `0..n` with exponent
     /// `s` using rejection-free inverse-CDF approximation.
     #[derive(Debug, Clone)]
-    pub struct Zipf {
+    pub(crate) struct Zipf {
         cdf: Vec<f64>,
     }
 
@@ -272,7 +275,7 @@ pub(crate) mod util {
         /// # Panics
         ///
         /// Panics if `n == 0`.
-        pub fn new(n: usize, s: f64) -> Self {
+        pub(crate) fn new(n: usize, s: f64) -> Self {
             assert!(n > 0, "zipf over empty support");
             let mut cdf = Vec::with_capacity(n);
             let mut total = 0.0;
@@ -287,9 +290,9 @@ pub(crate) mod util {
         }
 
         /// Draws one sample in `0..n`.
-        pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        pub(crate) fn sample<R: Rng>(&self, rng: &mut R) -> usize {
             let u: f64 = rng.gen();
-            match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
                 Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
             }
         }
@@ -297,7 +300,7 @@ pub(crate) mod util {
 
     /// Deterministic 64-bit hash (splitmix64 finalizer) used to spread
     /// logical entities over PC pools and hash buckets.
-    pub fn mix64(mut x: u64) -> u64 {
+    pub(crate) fn mix64(mut x: u64) -> u64 {
         x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -312,7 +315,7 @@ pub(crate) mod util {
     /// region, so they register in the PC statistics but are filtered
     /// by the L1 after warm-up and barely perturb the LLC stream.
     #[derive(Debug)]
-    pub struct ColdCode {
+    pub(crate) struct ColdCode {
         region: u64,
         base_block: u64,
         blocks: u64,
@@ -323,7 +326,7 @@ pub(crate) mod util {
         /// Creates a cold-code pool of roughly `blocks * 8` static load
         /// sites starting at `base_block`, touching data region
         /// `region_index`.
-        pub fn new(region_index: u64, base_block: u64, blocks: u64) -> Self {
+        pub(crate) fn new(region_index: u64, base_block: u64, blocks: u64) -> Self {
             ColdCode {
                 region: region(region_index),
                 base_block,
@@ -336,7 +339,7 @@ pub(crate) mod util {
         /// the same two cache lines (globals/flags re-read on every
         /// path), so after the very first sweep they are L1-resident
         /// and never reach the LLC — they add PCs, not misses.
-        pub fn sweep(&mut self, b: &mut TraceBuilder, loads: u64) {
+        pub(crate) fn sweep(&mut self, b: &mut TraceBuilder, loads: u64) {
             for i in 0..loads {
                 let salt = self.counter.wrapping_mul(131).wrapping_add(i * 7);
                 let pc = code(self.base_block + mix64(salt) % self.blocks, salt % 8);

@@ -97,7 +97,7 @@ fn pooled(shape: &OltpShape, stage: u64, slot: u64, salt: u64) -> u64 {
 }
 
 /// Google `search`-like trace (~6.7K PCs in Table 2).
-pub fn search(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn search(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     run(
         &OltpShape {
             name: "search",
@@ -112,7 +112,7 @@ pub fn search(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
 }
 
 /// Google `ads`-like trace (~21K PCs in Table 2).
-pub fn ads(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn ads(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     run(
         &OltpShape {
             name: "ads",

@@ -25,7 +25,7 @@ use crate::Trace;
 /// recurring traversal patterns; loads alternate between the open-list
 /// heap, the spatially local grid scan, and per-cell cost arrays.
 /// Table 2: 192 PCs.
-pub fn astar(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn astar(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut b = TraceBuilder::new("astar", cfg.accesses);
     let dim = 256usize; // 256x256 grid
     let heap_region = region(10);
@@ -134,7 +134,7 @@ fn pop_heap(heap: &mut Vec<u32>, b: &mut TraceBuilder, heap_region: u64) -> Opti
 /// the property the paper exploits with its delta vocabulary (10 deltas
 /// cover 99% of mcf's compulsory misses). Table 2: 169 PCs and by far
 /// the largest footprint.
-pub fn mcf(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn mcf(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut b = TraceBuilder::new("mcf", cfg.accesses);
     let arena = region(15);
     let tree_region = region(16);
@@ -193,7 +193,7 @@ pub fn mcf(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
 /// pattern is the binary-heap future-event set plus per-module state
 /// touched by handler code; events live in a scattered allocation pool.
 /// Table 2: 1101 PCs.
-pub fn omnetpp(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn omnetpp(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut b = TraceBuilder::new("omnetpp", cfg.accesses);
     let heap_region = region(18);
     let msg_region = region(19);
@@ -254,7 +254,7 @@ pub fn omnetpp(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
 /// both load `vec[leave]`, plus `ub`/`lb` — and adds the strided
 /// sparse-matrix pricing sweeps that give soplex its spatial component.
 /// Table 2: 2129 PCs (mostly cold pricing specialisations).
-pub fn soplex(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn soplex(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut b = TraceBuilder::new("soplex", cfg.accesses);
     let upd = region(22);
     let ubr = region(23);
@@ -309,7 +309,7 @@ pub fn soplex(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
 /// SPEC `sphinx3`: speech recognition. Streams over Gaussian mixture
 /// parameters (long sequential runs) interleaved with irregular lexicon
 /// / HMM-state lookups. Table 2: 1519 PCs, small footprint (4.3K pages).
-pub fn sphinx(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn sphinx(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut b = TraceBuilder::new("sphinx", cfg.accesses);
     let gauss = region(28);
     let lexicon = region(29);
@@ -345,7 +345,7 @@ pub fn sphinx(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
 /// SPEC `xalancbmk`: XSLT processing over a DOM tree. Repeated DFS
 /// traversals over a pointer-linked tree; template dispatch gives the
 /// benchmark its large cold-code footprint. Table 2: 2071 PCs.
-pub fn xalancbmk(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
+pub(crate) fn xalancbmk(cfg: &GeneratorConfig, rng: &mut impl Rng) -> Trace {
     let mut b = TraceBuilder::new("xalancbmk", cfg.accesses);
     let nodes_region = region(33);
     let strings_region = region(34);

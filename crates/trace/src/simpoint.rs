@@ -68,13 +68,11 @@ pub fn simpoints(trace: &Trace, interval_len: usize, k: usize) -> Vec<SimPoint> 
         if members.is_empty() {
             continue;
         }
-        let rep = *members
-            .iter()
-            .min_by(|&&a, &&b| {
-                distance(&vectors[a], &centroids[c])
-                    .total_cmp(&distance(&vectors[b], &centroids[c]))
-            })
-            .expect("non-empty cluster");
+        let Some(&rep) = members.iter().min_by(|&&a, &&b| {
+            distance(&vectors[a], &centroids[c]).total_cmp(&distance(&vectors[b], &centroids[c]))
+        }) else {
+            continue; // unreachable: empty clusters were skipped above
+        };
         let start = rep * interval_len;
         let len = interval_len.min(trace.len() - start);
         points.push(SimPoint {
@@ -152,19 +150,19 @@ fn kmeans(vectors: &[Bbv], k: usize) -> Vec<usize> {
     // Farthest-point initialisation from interval 0 (deterministic).
     let mut seeds = vec![0usize];
     while seeds.len() < k {
-        let next = (0..vectors.len())
-            .max_by(|&a, &b| {
-                let da = seeds
-                    .iter()
-                    .map(|&s| distance(&vectors[a], &vectors[s]))
-                    .fold(f64::MAX, f64::min);
-                let db = seeds
-                    .iter()
-                    .map(|&s| distance(&vectors[b], &vectors[s]))
-                    .fold(f64::MAX, f64::min);
-                da.total_cmp(&db)
-            })
-            .expect("non-empty");
+        let Some(next) = (0..vectors.len()).max_by(|&a, &b| {
+            let da = seeds
+                .iter()
+                .map(|&s| distance(&vectors[a], &vectors[s]))
+                .fold(f64::MAX, f64::min);
+            let db = seeds
+                .iter()
+                .map(|&s| distance(&vectors[b], &vectors[s]))
+                .fold(f64::MAX, f64::min);
+            da.total_cmp(&db)
+        }) else {
+            break; // no vectors: nothing left to seed
+        };
         if seeds.contains(&next) {
             break;
         }
@@ -177,7 +175,8 @@ fn kmeans(vectors: &[Bbv], k: usize) -> Vec<usize> {
         for (i, v) in vectors.iter().enumerate() {
             let best = (0..centroids.len())
                 .min_by(|&a, &b| distance(v, &centroids[a]).total_cmp(&distance(v, &centroids[b])))
-                .expect("non-empty centroids");
+                // k ≥ 1 is enforced by the caller; 0 is a safe default.
+                .unwrap_or(0);
             if assignment[i] != best {
                 assignment[i] = best;
                 changed = true;

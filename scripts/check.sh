@@ -13,6 +13,7 @@ run() {
 
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
+run cargo run --release -p voyager-analyze
 run cargo build --release
 run cargo test -q
 
