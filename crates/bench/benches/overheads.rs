@@ -94,8 +94,10 @@ fn bench_baselines() {
     for (name, make) in makes {
         bench(&format!("baseline_access/{name}"), 10, || {
             let mut p = make();
+            let mut preds = Vec::new();
             for a in &trace {
-                std::hint::black_box(p.access(a));
+                p.access(a, &mut preds);
+                std::hint::black_box(&preds);
             }
         });
     }
@@ -115,7 +117,7 @@ fn bench_simulator() {
 fn bench_hier_softmax() {
     // Section 5.5: hierarchical softmax vs a flat output layer over a
     // large class space (the paper estimates 3-4x savings).
-    use voyager_nn::{Adam, HierarchicalSoftmax, Linear, ParamStore, Session};
+    use voyager_nn::{Adam, HierarchicalSoftmax, Layer, Linear, ParamStore, Session};
     let mut rng = thread_rng();
     let (hidden, classes, batch) = (64usize, 10_000usize, 32usize);
     let targets: Vec<usize> = (0..batch).map(|i| (i * 317) % classes).collect();

@@ -1,0 +1,435 @@
+//! Kernel-layer benchmark: GEMM GFLOP/s (naive vs blocked vs
+//! parallel), end-to-end training-step throughput with the fused/blocked
+//! kernels on and off, and microbatched serving latency. Emits
+//! `BENCH_pr3_kernels.json` at the workspace root.
+//!
+//! Run `cargo run --release -p voyager-bench --bin pr3_kernels` for the
+//! full measurement, or with `--smoke` for the fast CI variant (same
+//! schema, smaller sizes and iteration counts).
+
+use std::time::Instant;
+
+use voyager::{SeqBatch, VoyagerConfig, VoyagerModel};
+use voyager_runtime::{
+    par_gemm, ChunkPool, InferenceRequest, MicrobatchConfig, MicrobatchServer, VoyagerService,
+};
+use voyager_tensor::kernels::{self, Layout};
+use voyager_tensor::rng::thread_rng;
+use voyager_tensor::Tensor2;
+
+/// Times `f` over `iters` iterations after one warmup call and returns
+/// the mean seconds per iteration (same harness style as `overheads`).
+fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+struct GemmRow {
+    layout: &'static str,
+    size: usize,
+    naive_gflops: f64,
+    blocked_gflops: f64,
+    parallel_gflops: f64,
+    speedup: f64,
+    threads: usize,
+}
+
+fn operands(size: usize, layout: Layout) -> (Tensor2, Tensor2) {
+    let mut rng = thread_rng();
+    let (m, n, k) = (size, size, size);
+    let (ashape, bshape) = match layout {
+        Layout::NN => ((m, k), (k, n)),
+        Layout::TN => ((k, m), (k, n)),
+        Layout::NT => ((m, k), (n, k)),
+    };
+    (
+        Tensor2::uniform(ashape.0, ashape.1, 1.0, &mut rng),
+        Tensor2::uniform(bshape.0, bshape.1, 1.0, &mut rng),
+    )
+}
+
+fn bench_gemm(size: usize, layout: Layout, iters: usize, pool: &ChunkPool) -> GemmRow {
+    let (a, b) = operands(size, layout);
+    let flops = 2.0 * (size as f64).powi(3);
+    let mut out = Tensor2::zeros(size, size);
+
+    let naive = time_per_iter(iters, || {
+        kernels::naive_gemm(&a, &b, layout, &mut out);
+    });
+    let blocked = time_per_iter(iters, || {
+        kernels::gemm(&a, &b, layout, &mut out);
+    });
+    let parallel = time_per_iter(iters, || {
+        par_gemm(pool, &a, &b, layout, &mut out);
+    });
+    GemmRow {
+        layout: match layout {
+            Layout::NN => "NN",
+            Layout::TN => "TN",
+            Layout::NT => "NT",
+        },
+        size,
+        naive_gflops: flops / naive / 1e9,
+        blocked_gflops: flops / blocked / 1e9,
+        parallel_gflops: flops / parallel / 1e9,
+        speedup: naive / blocked,
+        threads: pool.threads(),
+    }
+}
+
+/// Verifies that parallel GEMM is bitwise-identical to the
+/// single-threaded kernel and stable across repeated runs at fixed
+/// thread counts. Uses explicit multi-thread pools so the chunked code
+/// path is exercised even on a single-core host.
+fn check_determinism() -> bool {
+    let (a, b) = operands(96, Layout::NN);
+    let mut reference = Tensor2::zeros(1, 1);
+    kernels::gemm(&a, &b, Layout::NN, &mut reference);
+    for threads in [2, 4, 8] {
+        let pool = ChunkPool::new(threads);
+        for _ in 0..3 {
+            let mut out = Tensor2::zeros(1, 1);
+            par_gemm(&pool, &a, &b, Layout::NN, &mut out);
+            let same = out
+                .as_slice()
+                .iter()
+                .zip(reference.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            if !same {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn seq_batch(b: usize, l: usize, page_vocab: usize) -> SeqBatch {
+    SeqBatch {
+        pc: (0..b)
+            .map(|i| (0..l).map(|j| (i * 7 + j) % 64).collect())
+            .collect(),
+        page: (0..b)
+            .map(|i| (0..l).map(|j| (i * 13 + j * 3) % page_vocab).collect())
+            .collect(),
+        offset: (0..b)
+            .map(|i| (0..l).map(|j| (i * 11 + j * 5) % 64).collect())
+            .collect(),
+    }
+}
+
+struct TrainNumbers {
+    batch_size: usize,
+    naive_steps_per_s: f64,
+    blocked_steps_per_s: f64,
+    speedup: f64,
+}
+
+fn bench_training(iters: usize) -> TrainNumbers {
+    let cfg = VoyagerConfig::scaled();
+    let page_vocab = 1024;
+    let batch = seq_batch(cfg.batch_size, cfg.seq_len, page_vocab);
+    let mut pt = Tensor2::zeros(cfg.batch_size, page_vocab);
+    let mut ot = Tensor2::zeros(cfg.batch_size, 64);
+    for i in 0..cfg.batch_size {
+        pt.set(i, (i * 37) % page_vocab, 1.0);
+        ot.set(i, (i * 17) % 64, 1.0);
+    }
+
+    kernels::set_force_naive(true);
+    let mut model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
+    let naive = time_per_iter(iters, || {
+        std::hint::black_box(model.train_multi(&batch, &pt, &ot));
+    });
+    kernels::set_force_naive(false);
+    let mut model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
+    let blocked = time_per_iter(iters, || {
+        std::hint::black_box(model.train_multi(&batch, &pt, &ot));
+    });
+    TrainNumbers {
+        batch_size: cfg.batch_size,
+        naive_steps_per_s: 1.0 / naive,
+        blocked_steps_per_s: 1.0 / blocked,
+        speedup: naive / blocked,
+    }
+}
+
+struct ServeNumbers {
+    requests: usize,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_batch: f64,
+}
+
+fn bench_serving(requests: usize) -> ServeNumbers {
+    let cfg = VoyagerConfig::test();
+    let page_vocab = 256;
+    let model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
+    let service = VoyagerService::new(model, 2);
+    let (server, client) = MicrobatchServer::spawn(service, MicrobatchConfig::default());
+    let clients = 4;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let client = client.clone();
+            let per_client = requests / clients;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let t = c * per_client + i;
+                    let req = InferenceRequest {
+                        pc: (0..cfg.seq_len).map(|j| (t + j) % 64).collect(),
+                        page: (0..cfg.seq_len).map(|j| (t * 3 + j) % page_vocab).collect(),
+                        offset: (0..cfg.seq_len).map(|j| (t * 5 + j) % 64).collect(),
+                    };
+                    std::hint::black_box(client.infer(req));
+                }
+            });
+        }
+    });
+    drop(client);
+    let stats = server.join();
+    ServeNumbers {
+        requests: stats.requests,
+        throughput_rps: stats.throughput(),
+        p50_us: stats.latency_quantile(0.5).as_secs_f64() * 1e6,
+        p99_us: stats.latency_quantile(0.99).as_secs_f64() * 1e6,
+        mean_batch: stats.mean_batch_size(),
+    }
+}
+
+fn fmt_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn render_json(
+    mode: &str,
+    gemm: &[GemmRow],
+    deterministic: bool,
+    train: &TrainNumbers,
+    serve: &ServeNumbers,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"pr3_kernels\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str("  \"gemm\": [\n");
+    for (i, r) in gemm.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"layout\": \"{}\", \"size\": {}, \"naive_gflops\": {}, \"blocked_gflops\": {}, \"parallel_gflops\": {}, \"speedup\": {}, \"threads\": {}}}{}\n",
+            r.layout,
+            r.size,
+            fmt_f(r.naive_gflops),
+            fmt_f(r.blocked_gflops),
+            fmt_f(r.parallel_gflops),
+            fmt_f(r.speedup),
+            r.threads,
+            if i + 1 < gemm.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"parallel_bitwise_identical\": {deterministic},\n"
+    ));
+    s.push_str(&format!(
+        "  \"training\": {{\"batch_size\": {}, \"naive_steps_per_s\": {}, \"blocked_steps_per_s\": {}, \"speedup\": {}}},\n",
+        train.batch_size,
+        fmt_f(train.naive_steps_per_s),
+        fmt_f(train.blocked_steps_per_s),
+        fmt_f(train.speedup),
+    ));
+    s.push_str(&format!(
+        "  \"serve\": {{\"requests\": {}, \"throughput_rps\": {}, \"p50_us\": {}, \"p99_us\": {}, \"mean_batch\": {}}}\n",
+        serve.requests,
+        fmt_f(serve.throughput_rps),
+        fmt_f(serve.p50_us),
+        fmt_f(serve.p99_us),
+        fmt_f(serve.mean_batch),
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Minimal JSON well-formedness check (no third-party deps): validates
+/// one complete JSON value with balanced structure and legal scalars.
+fn check_json(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    fn skip_ws(b: &[u8], p: &mut usize) {
+        while *p < b.len() && (b[*p] as char).is_ascii_whitespace() {
+            *p += 1;
+        }
+    }
+    fn value(b: &[u8], p: &mut usize) -> Result<(), String> {
+        skip_ws(b, p);
+        match b.get(*p) {
+            Some(b'{') => {
+                *p += 1;
+                skip_ws(b, p);
+                if b.get(*p) == Some(&b'}') {
+                    *p += 1;
+                    return Ok(());
+                }
+                loop {
+                    skip_ws(b, p);
+                    string(b, p)?;
+                    skip_ws(b, p);
+                    if b.get(*p) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {p:?}"));
+                    }
+                    *p += 1;
+                    value(b, p)?;
+                    skip_ws(b, p);
+                    match b.get(*p) {
+                        Some(b',') => *p += 1,
+                        Some(b'}') => {
+                            *p += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {p:?}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *p += 1;
+                skip_ws(b, p);
+                if b.get(*p) == Some(&b']') {
+                    *p += 1;
+                    return Ok(());
+                }
+                loop {
+                    value(b, p)?;
+                    skip_ws(b, p);
+                    match b.get(*p) {
+                        Some(b',') => *p += 1,
+                        Some(b']') => {
+                            *p += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {p:?}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, p),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = *p;
+                *p += 1;
+                while *p < b.len()
+                    && (b[*p].is_ascii_digit()
+                        || b[*p] == b'.'
+                        || b[*p] == b'e'
+                        || b[*p] == b'E'
+                        || b[*p] == b'+'
+                        || b[*p] == b'-')
+                {
+                    *p += 1;
+                }
+                let text = std::str::from_utf8(&b[start..*p]).map_err(|e| e.to_string())?;
+                text.parse::<f64>()
+                    .map(|_| ())
+                    .map_err(|_| format!("bad number {text:?}"))
+            }
+            Some(_) => {
+                for lit in ["true", "false", "null"] {
+                    if b[*p..].starts_with(lit.as_bytes()) {
+                        *p += lit.len();
+                        return Ok(());
+                    }
+                }
+                Err(format!("unexpected token at byte {p:?}"))
+            }
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+    fn string(b: &[u8], p: &mut usize) -> Result<(), String> {
+        if b.get(*p) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {p:?}"));
+        }
+        *p += 1;
+        while let Some(&c) = b.get(*p) {
+            match c {
+                b'"' => {
+                    *p += 1;
+                    return Ok(());
+                }
+                b'\\' => *p += 2,
+                _ => *p += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sizes, gemm_iters, train_iters, serve_requests): (&[usize], usize, usize, usize) = if smoke
+    {
+        (&[64, 256], 2, 2, 64)
+    } else {
+        (&[64, 128, 256, 512], 5, 8, 512)
+    };
+    let pool = ChunkPool::with_available_parallelism();
+
+    let mut gemm = Vec::new();
+    for &size in sizes {
+        for layout in [Layout::NN, Layout::TN, Layout::NT] {
+            let row = bench_gemm(size, layout, gemm_iters, &pool);
+            println!(
+                "gemm/{}/{}: naive {:.2} GF/s, blocked {:.2} GF/s ({:.1}x), parallel {:.2} GF/s ({} threads)",
+                row.layout, size, row.naive_gflops, row.blocked_gflops, row.speedup,
+                row.parallel_gflops, row.threads
+            );
+            gemm.push(row);
+        }
+    }
+    let deterministic = check_determinism();
+    println!("parallel bitwise identical: {deterministic}");
+    assert!(deterministic, "parallel GEMM diverged from single-thread");
+
+    let train = bench_training(train_iters);
+    println!(
+        "training: {:.3} steps/s naive, {:.3} steps/s blocked ({:.1}x), batch {}",
+        train.naive_steps_per_s, train.blocked_steps_per_s, train.speedup, train.batch_size
+    );
+    let serve = bench_serving(serve_requests);
+    println!(
+        "serve: {} requests, {:.0} rps, p50 {:.0} us, p99 {:.0} us, mean batch {:.1}",
+        serve.requests, serve.throughput_rps, serve.p50_us, serve.p99_us, serve.mean_batch
+    );
+
+    let json = render_json(
+        if smoke { "smoke" } else { "full" },
+        &gemm,
+        deterministic,
+        &train,
+        &serve,
+    );
+    if let Err(e) = check_json(&json) {
+        eprintln!("generated JSON is malformed: {e}\n{json}");
+        std::process::exit(1);
+    }
+    // Smoke runs (CI) validate the harness without clobbering the
+    // committed full-mode measurement at the workspace root.
+    let path = if smoke {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_pr3_kernels.smoke.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3_kernels.json")
+    };
+    std::fs::write(path, &json).expect("write BENCH_pr3_kernels.json");
+    println!("wrote {path}");
+}

@@ -158,7 +158,7 @@ fn cmd_run(args: &[String]) -> CliResult {
                 other => return Err(format!("unknown prefetcher {other:?}").into()),
             };
             p.set_degree(degree);
-            stream.iter().map(|a| p.access(a)).collect()
+            stream.iter().map(|a| p.access_collect(a)).collect()
         }
     };
     let strict = unified_accuracy_coverage_windowed(&stream, &predictions, 1);

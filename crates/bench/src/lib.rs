@@ -93,7 +93,14 @@ pub fn prepare(benchmark: Benchmark, scale: Scale) -> Workload {
 /// Collects per-access prediction sets from a classical prefetcher over
 /// a stream.
 pub fn baseline_predictions(stream: &Trace, prefetcher: &mut dyn Prefetcher) -> Vec<Vec<u64>> {
-    stream.iter().map(|a| prefetcher.access(a)).collect()
+    let mut preds = Vec::new();
+    stream
+        .iter()
+        .map(|a| {
+            prefetcher.access(a, &mut preds);
+            preds.clone()
+        })
+        .collect()
 }
 
 /// Runs Voyager's online protocol with the scaled config at a given

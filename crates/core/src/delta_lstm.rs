@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use voyager_tensor::rng::{SeedableRng, StdRng};
 
-use voyager_nn::{Adam, Embedding, Linear, LstmCell, ParamStore, Session};
+use voyager_nn::{Adam, Embedding, Layer, Linear, LstmCell, ParamStore, Session};
 use voyager_trace::Trace;
 
 use crate::OnlineRun;
@@ -154,7 +154,7 @@ impl DeltaLstm {
         for step in 0..seq_len {
             let ids: Vec<usize> = batch.iter().map(|s| s[step] as usize).collect();
             let x = self.emb.forward(sess, &self.store, &ids);
-            state = self.lstm.forward(sess, &self.store, x, state);
+            state = self.lstm.forward(sess, &self.store, (x, state));
         }
         self.head.forward(sess, &self.store, state.h)
     }

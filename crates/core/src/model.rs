@@ -3,7 +3,8 @@
 use voyager_tensor::rng::{SeedableRng, StdRng};
 
 use voyager_nn::{
-    compress, Adam, Embedding, ExpertAttention, GradSet, Linear, LstmCell, ParamStore, Session,
+    compress, Adam, Embedding, ExpertAttention, GradSet, Layer, Linear, LstmCell, ParamStore,
+    Session,
 };
 use voyager_tensor::{Tensor2, Var};
 
@@ -327,7 +328,7 @@ impl VoyagerModel {
             // The page-aware offset embedding (Section 4.2.2), or the
             // naive shared offset embedding in the aliasing ablation.
             let of_ctx = if self.cfg.page_aware_attention {
-                self.attn.forward(sess, pg, of)
+                self.attn.forward(sess, &self.store, (pg, of))
             } else {
                 of
             };
@@ -344,8 +345,10 @@ impl VoyagerModel {
             if train && self.cfg.dropout_keep < 1.0 {
                 x = sess.tape.dropout(x, self.cfg.dropout_keep, &mut self.rng);
             }
-            page_state = self.page_lstm.forward(sess, &self.store, x, page_state);
-            offset_state = self.offset_lstm.forward(sess, &self.store, x, offset_state);
+            page_state = self.page_lstm.forward(sess, &self.store, (x, page_state));
+            offset_state = self
+                .offset_lstm
+                .forward(sess, &self.store, (x, offset_state));
         }
         let page_logits = self.page_head.forward(sess, &self.store, page_state.h);
         let offset_logits = self.offset_head.forward(sess, &self.store, offset_state.h);

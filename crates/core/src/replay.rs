@@ -20,8 +20,8 @@ use voyager_prefetch::Prefetcher;
 /// use voyager_trace::MemoryAccess;
 ///
 /// let mut p = ReplayPrefetcher::new(vec![vec![42], vec![]]);
-/// assert_eq!(p.access(&MemoryAccess::new(1, 0)), vec![42]);
-/// assert!(p.access(&MemoryAccess::new(1, 64)).is_empty());
+/// assert_eq!(p.access_collect(&MemoryAccess::new(1, 0)), vec![42]);
+/// assert!(p.access_collect(&MemoryAccess::new(1, 64)).is_empty());
 /// ```
 #[derive(Debug)]
 pub struct ReplayPrefetcher {
@@ -52,13 +52,12 @@ impl Prefetcher for ReplayPrefetcher {
         "replay"
     }
 
-    fn access(&mut self, _access: &voyager_trace::MemoryAccess) -> Vec<u64> {
-        let preds = match self.predictions.get(self.pos) {
-            Some(p) => p.iter().copied().take(self.degree).collect(),
-            None => Vec::new(),
-        };
+    fn access(&mut self, _access: &voyager_trace::MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
+        if let Some(p) = self.predictions.get(self.pos) {
+            out.extend(p.iter().copied().take(self.degree));
+        }
         self.pos += 1;
-        preds
     }
 
     fn degree(&self) -> usize {
@@ -84,9 +83,9 @@ mod tests {
     fn replays_in_order_and_runs_out() {
         let mut p = ReplayPrefetcher::new(vec![vec![1, 2], vec![3]]);
         let a = MemoryAccess::new(1, 0);
-        assert_eq!(p.access(&a), vec![1, 2]);
-        assert_eq!(p.access(&a), vec![3]);
-        assert!(p.access(&a).is_empty(), "past the end");
+        assert_eq!(p.access_collect(&a), vec![1, 2]);
+        assert_eq!(p.access_collect(&a), vec![3]);
+        assert!(p.access_collect(&a).is_empty(), "past the end");
         assert_eq!(p.position(), 3);
     }
 
@@ -94,6 +93,6 @@ mod tests {
     fn degree_truncates() {
         let mut p = ReplayPrefetcher::new(vec![vec![1, 2, 3, 4]]);
         p.set_degree(2);
-        assert_eq!(p.access(&MemoryAccess::new(1, 0)), vec![1, 2]);
+        assert_eq!(p.access_collect(&MemoryAccess::new(1, 0)), vec![1, 2]);
     }
 }

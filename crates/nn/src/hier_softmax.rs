@@ -11,7 +11,7 @@
 use voyager_tensor::rng::Rng;
 use voyager_tensor::{Tensor2, Var};
 
-use crate::{Linear, ParamId, ParamStore, Session};
+use crate::{Layer, Linear, ParamId, ParamStore, Session};
 
 /// A hierarchical softmax output head over `num_classes` classes.
 #[derive(Debug, Clone)]

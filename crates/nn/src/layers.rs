@@ -3,14 +3,14 @@
 use voyager_tensor::rng::Rng;
 use voyager_tensor::{Tensor2, Var};
 
-use crate::{ParamId, ParamStore, Session};
+use crate::{Layer, ParamId, ParamStore, Session};
 
 /// A fully-connected layer `y = x W + b`.
 ///
 /// # Example
 ///
 /// ```
-/// use voyager_nn::{Linear, ParamStore, Session};
+/// use voyager_nn::{Layer, Linear, ParamStore, Session};
 /// use voyager_tensor::Tensor2;
 /// use voyager_tensor::rng::{StdRng, SeedableRng};
 ///
@@ -63,14 +63,6 @@ impl Linear {
         self.out_dim
     }
 
-    /// Applies the layer to a `[batch, in_dim]` input.
-    pub fn forward(&self, sess: &mut Session, store: &ParamStore, x: Var) -> Var {
-        let w = sess.param(store, self.weight);
-        let b = sess.param(store, self.bias);
-        let xw = sess.tape.matmul(x, w);
-        sess.tape.add_row(xw, b)
-    }
-
     /// Id of the weight matrix parameter.
     pub fn weight_id(&self) -> ParamId {
         self.weight
@@ -79,6 +71,18 @@ impl Linear {
     /// Id of the bias parameter.
     pub fn bias_id(&self) -> ParamId {
         self.bias
+    }
+}
+
+impl Layer<Var> for Linear {
+    type Output = Var;
+
+    /// Applies the layer to a `[batch, in_dim]` input.
+    fn forward(&self, sess: &mut Session, store: &ParamStore, x: Var) -> Var {
+        let w = sess.param(store, self.weight);
+        let b = sess.param(store, self.bias);
+        let xw = sess.tape.matmul(x, w);
+        sess.tape.add_row(xw, b)
     }
 }
 
@@ -125,13 +129,17 @@ impl Embedding {
     pub fn table_id(&self) -> ParamId {
         self.table
     }
+}
+
+impl<'a> Layer<&'a [usize]> for Embedding {
+    type Output = Var;
 
     /// Looks up a batch of ids, producing a `[ids.len(), dim]` tensor.
     ///
     /// # Panics
     ///
     /// Panics if any id is out of vocabulary.
-    pub fn forward(&self, sess: &mut Session, store: &ParamStore, ids: &[usize]) -> Var {
+    fn forward(&self, sess: &mut Session, store: &ParamStore, ids: &'a [usize]) -> Var {
         sess.gather(store, self.table, ids)
     }
 }
@@ -209,23 +217,28 @@ impl LstmCell {
         let c = sess.tape.leaf(Tensor2::zeros(batch, self.hidden), false);
         LstmState { h, c }
     }
+}
 
-    /// Advances the cell one timestep.
-    pub fn forward(
+impl Layer<(Var, LstmState)> for LstmCell {
+    type Output = LstmState;
+
+    /// Advances the cell one timestep on an `(input, state)` pair.
+    ///
+    /// All four gate pre-activations come from a single fused
+    /// [`lstm_gates`](voyager_tensor::Tape::lstm_gates) node — one
+    /// batched GEMM pair per step instead of four separate matmul /
+    /// add nodes.
+    fn forward(
         &self,
         sess: &mut Session,
         store: &ParamStore,
-        x: Var,
-        state: LstmState,
+        (x, state): (Var, LstmState),
     ) -> LstmState {
         let wx = sess.param(store, self.wx);
         let wh = sess.param(store, self.wh);
         let b = sess.param(store, self.bias);
         let t = &mut sess.tape;
-        let xg = t.matmul(x, wx);
-        let hg = t.matmul(state.h, wh);
-        let sum = t.add(xg, hg);
-        let gates = t.add_row(sum, b);
+        let gates = t.lstm_gates(x, state.h, wx, wh, b);
         let hdim = self.hidden;
         let i_raw = t.slice_cols(gates, 0, hdim);
         let f_raw = t.slice_cols(gates, hdim, hdim);
@@ -278,23 +291,15 @@ impl ExpertAttention {
         self.n_experts
     }
 
-    /// Applies attention: `page` is `[batch, dim]`, `offset_experts` is
-    /// `[batch, n_experts * dim]`; the result is `[batch, dim]`.
-    pub fn forward(&self, sess: &mut Session, page: Var, offset_experts: Var) -> Var {
-        let t = &mut sess.tape;
-        let scores = t.chunk_dot(page, offset_experts, self.n_experts);
-        let scaled = t.scale(scores, self.scale);
-        let weights = t.softmax_rows(scaled);
-        t.chunk_weighted_sum(weights, offset_experts)
-    }
-
-    /// Like [`ExpertAttention::forward`] but also returns the attention
-    /// weights (`[batch, n_experts]`), useful for inspection and tests.
+    /// Like the [`Layer`] `forward` but also returns the attention
+    /// weights (`[batch, n_experts]`), useful for inspection and
+    /// tests. Follows the same `(sess, store, input)` convention; the
+    /// layer has no parameters, so `store` is unused.
     pub fn forward_with_weights(
         &self,
         sess: &mut Session,
-        page: Var,
-        offset_experts: Var,
+        _store: &ParamStore,
+        (page, offset_experts): (Var, Var),
     ) -> (Var, Var) {
         let t = &mut sess.tape;
         let scores = t.chunk_dot(page, offset_experts, self.n_experts);
@@ -302,6 +307,18 @@ impl ExpertAttention {
         let weights = t.softmax_rows(scaled);
         let mixed = t.chunk_weighted_sum(weights, offset_experts);
         (mixed, weights)
+    }
+}
+
+impl Layer<(Var, Var)> for ExpertAttention {
+    type Output = Var;
+
+    /// Applies attention to a `(page, offset_experts)` pair: `page` is
+    /// `[batch, dim]`, `offset_experts` is `[batch, n_experts * dim]`;
+    /// the result is `[batch, dim]`. The layer has no parameters, so
+    /// `store` is unused.
+    fn forward(&self, sess: &mut Session, store: &ParamStore, input: (Var, Var)) -> Var {
+        self.forward_with_weights(sess, store, input).0
     }
 }
 
@@ -351,11 +368,11 @@ mod tests {
         let x1 = sess
             .tape
             .leaf(Tensor2::from_rows(&[&[1.0, 0.0, -1.0]]), false);
-        let s1 = cell.forward(&mut sess, &store, x1, s0);
+        let s1 = cell.forward(&mut sess, &store, (x1, s0));
         let x2 = sess
             .tape
             .leaf(Tensor2::from_rows(&[&[0.0, 2.0, 0.0]]), false);
-        let s2 = cell.forward(&mut sess, &store, x2, s1);
+        let s2 = cell.forward(&mut sess, &store, (x2, s1));
         assert_ne!(
             sess.tape.value(s1.h).as_slice(),
             sess.tape.value(s2.h).as_slice()
@@ -383,7 +400,7 @@ mod tests {
             for i in 0..3 {
                 let v = if i == 0 { first } else { 0.0 };
                 let x = sess.tape.leaf(Tensor2::from_rows(&[&[v]]), false);
-                state = cell.forward(&mut sess, &store, x, state);
+                state = cell.forward(&mut sess, &store, (x, state));
             }
             let y = head.forward(&mut sess, &store, state.h);
             let t = sess.tape.leaf(Tensor2::scalar(first), false);
@@ -399,6 +416,7 @@ mod tests {
     #[test]
     fn expert_attention_output_is_convex_combination() {
         let mut sess = Session::new();
+        let store = ParamStore::new();
         // Two experts with constant chunks [1,1] and [3,3]: output must
         // lie between them.
         let page = sess.tape.leaf(Tensor2::from_rows(&[&[0.2, -0.1]]), false);
@@ -406,7 +424,7 @@ mod tests {
             .tape
             .leaf(Tensor2::from_rows(&[&[1.0, 1.0, 3.0, 3.0]]), false);
         let attn = ExpertAttention::new(2, 1.0);
-        let (out, w) = attn.forward_with_weights(&mut sess, page, chunks);
+        let (out, w) = attn.forward_with_weights(&mut sess, &store, (page, chunks));
         let wsum: f32 = sess.tape.value(w).row(0).iter().sum();
         assert!((wsum - 1.0).abs() < 1e-6);
         for &v in sess.tape.value(out).as_slice() {
@@ -423,13 +441,14 @@ mod tests {
         // softmax (the figure rounds its weights; the exact softmax is
         // (0.251, 0.216, 0.532) giving output (0.415, -0.019)).
         let mut sess = Session::new();
+        let store = ParamStore::new();
         let page = sess.tape.leaf(Tensor2::from_rows(&[&[0.5, -0.5]]), false);
         let chunks = sess.tape.leaf(
             Tensor2::from_rows(&[&[0.3, 0.6, -0.4, 0.2, 0.8, -0.4]]),
             false,
         );
         let attn = ExpertAttention::new(3, 1.0);
-        let (out, w) = attn.forward_with_weights(&mut sess, page, chunks);
+        let (out, w) = attn.forward_with_weights(&mut sess, &store, (page, chunks));
         let weights = sess.tape.value(w).row(0).to_vec();
         let argmax = (0..3)
             .max_by(|&a, &b| weights[a].total_cmp(&weights[b]))

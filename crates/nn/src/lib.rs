@@ -11,7 +11,8 @@
 //!   and learning-rate decay.
 //! * Layers: [`Linear`], [`Embedding`], [`LstmCell`], and
 //!   [`ExpertAttention`] — the page-aware offset embedding mechanism of
-//!   Section 4.2.2.
+//!   Section 4.2.2 — all applied through the uniform [`Layer`] contract
+//!   (`layer.forward(sess, store, input)`).
 //! * [`compress`] — magnitude pruning and 8-bit quantization used in
 //!   Section 5.4 to shrink Voyager 110–200× below Delta-LSTM.
 //! * [`HierarchicalSoftmax`] — the Section 5.5 future-work output head
@@ -22,7 +23,7 @@
 //! # Example: one gradient step on a tiny regression
 //!
 //! ```
-//! use voyager_nn::{Adam, Linear, ParamStore, Session};
+//! use voyager_nn::{Adam, Layer, Linear, ParamStore, Session};
 //! use voyager_tensor::Tensor2;
 //! use voyager_tensor::rng::{StdRng, SeedableRng};
 //!
@@ -56,6 +57,7 @@ pub mod serialize;
 
 mod grads;
 mod hier_softmax;
+mod layer;
 mod layers;
 mod optim;
 mod params;
@@ -64,6 +66,7 @@ pub use voyager_tensor::rng;
 
 pub use grads::{GradEntry, GradSet};
 pub use hier_softmax::HierarchicalSoftmax;
+pub use layer::Layer;
 pub use layers::{Embedding, ExpertAttention, Linear, LstmCell, LstmState};
 pub use optim::{Adam, AdamState};
 pub use params::{ParamId, ParamStore, Session};

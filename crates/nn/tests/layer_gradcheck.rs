@@ -4,7 +4,7 @@
 
 use voyager_tensor::rng::{SeedableRng, StdRng};
 
-use voyager_nn::{Embedding, ExpertAttention, Linear, LstmCell, ParamStore, Session};
+use voyager_nn::{Embedding, ExpertAttention, Layer, Linear, LstmCell, ParamStore, Session};
 use voyager_tensor::gradcheck::assert_grads_close;
 use voyager_tensor::{Tape, Tensor2};
 
@@ -92,9 +92,9 @@ fn lstm_cell_descends_along_numeric_gradient() {
     let build = move |sess: &mut Session, store: &ParamStore| {
         let s0 = cell.zero_state(sess, 2);
         let x1v = sess.tape.leaf(x1.clone(), false);
-        let s1 = cell.forward(sess, store, x1v, s0);
+        let s1 = cell.forward(sess, store, (x1v, s0));
         let x2v = sess.tape.leaf(x2.clone(), false);
-        let s2 = cell.forward(sess, store, x2v, s1);
+        let s2 = cell.forward(sess, store, (x2v, s1));
         let sq = sess.tape.mul(s2.h, s2.h);
         sess.tape.sum_all(sq)
     };
@@ -111,7 +111,7 @@ fn attention_plus_embedding_descends_along_numeric_gradient() {
     let build = move |sess: &mut Session, store: &ParamStore| {
         let pg = page.forward(sess, store, &[1, 3]);
         let of = offset.forward(sess, store, &[2, 6]);
-        let mixed = attn.forward(sess, pg, of);
+        let mixed = attn.forward(sess, store, (pg, of));
         let sq = sess.tape.mul(mixed, mixed);
         sess.tape.sum_all(sq)
     };

@@ -78,7 +78,8 @@ impl Prefetcher for BestOffset {
         "bo"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         let line = access.line();
         // Learning: credit offsets d for which line - d is recent.
         for (i, &d) in CANDIDATE_OFFSETS.iter().enumerate() {
@@ -106,9 +107,7 @@ impl Prefetcher for BestOffset {
         }
         self.remember(line);
         // Prefetch with the current best offset.
-        (1..=self.degree as i64)
-            .filter_map(|k| line.checked_add_signed(self.best * k))
-            .collect()
+        out.extend((1..=self.degree as i64).filter_map(|k| line.checked_add_signed(self.best * k)));
     }
 
     fn degree(&self) -> usize {
@@ -133,7 +132,7 @@ mod tests {
     fn stream(p: &mut BestOffset, lines: impl IntoIterator<Item = u64>) -> Vec<Vec<u64>> {
         lines
             .into_iter()
-            .map(|l| p.access(&MemoryAccess::new(1, l * 64)))
+            .map(|l| p.access_collect(&MemoryAccess::new(1, l * 64)))
             .collect()
     }
 
@@ -142,7 +141,7 @@ mod tests {
         let mut p = BestOffset::new();
         stream(&mut p, (0..600).map(|i| 1000 + 2 * i));
         assert_eq!(p.current_offset(), 2);
-        let preds = p.access(&MemoryAccess::new(1, (1000 + 1200) * 64));
+        let preds = p.access_collect(&MemoryAccess::new(1, (1000 + 1200) * 64));
         assert_eq!(preds, vec![1000 + 1200 + 2]);
     }
 
@@ -152,7 +151,7 @@ mod tests {
         p.set_degree(3);
         stream(&mut p, 5000..5600);
         assert_eq!(p.current_offset(), 1);
-        let preds = p.access(&MemoryAccess::new(1, 5600 * 64));
+        let preds = p.access_collect(&MemoryAccess::new(1, 5600 * 64));
         assert_eq!(preds, vec![5601, 5602, 5603]);
     }
 
@@ -163,7 +162,7 @@ mod tests {
         stream(&mut p, (0..600).map(|i| (i * 7919 + 13) % 1_000_000));
         // Must still produce *a* prediction (the design always has an
         // active offset).
-        let preds = p.access(&MemoryAccess::new(1, 64_000));
+        let preds = p.access_collect(&MemoryAccess::new(1, 64_000));
         assert_eq!(preds.len(), 1);
     }
 

@@ -38,21 +38,17 @@ impl Prefetcher for Domino {
         "domino"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         let line = access.line();
         // Predict: prefer the two-address index, fall back to one.
         let pos = self
             .prev
             .and_then(|p| self.pair_pos.get(&(p, line)).copied())
             .or_else(|| self.single_pos.get(&line).copied());
-        let preds = match pos {
-            Some(pos) => self.history[pos + 1..]
-                .iter()
-                .take(self.degree)
-                .copied()
-                .collect(),
-            None => Vec::new(),
-        };
+        if let Some(pos) = pos {
+            out.extend(self.history[pos + 1..].iter().take(self.degree).copied());
+        }
         // Train.
         let idx = self.history.len();
         if let Some(p) = self.prev {
@@ -61,7 +57,6 @@ impl Prefetcher for Domino {
         self.single_pos.insert(line, idx);
         self.history.push(line);
         self.prev = Some(line);
-        preds
     }
 
     fn degree(&self) -> usize {
@@ -85,7 +80,7 @@ mod tests {
     fn run(p: &mut Domino, lines: &[u64]) -> Vec<Vec<u64>> {
         lines
             .iter()
-            .map(|&l| p.access(&MemoryAccess::new(1, l * 64)))
+            .map(|&l| p.access_collect(&MemoryAccess::new(1, l * 64)))
             .collect()
     }
 

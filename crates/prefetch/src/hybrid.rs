@@ -16,6 +16,10 @@ pub struct IsbBoHybrid {
     isb: Isb,
     bo: BestOffset,
     degree: usize,
+    // Owned scratch buffers for the two components, reused across
+    // accesses so the hybrid stays allocation-free at steady state.
+    isb_scratch: Vec<u64>,
+    bo_scratch: Vec<u64>,
 }
 
 impl IsbBoHybrid {
@@ -25,6 +29,8 @@ impl IsbBoHybrid {
             isb: Isb::new(),
             bo: BestOffset::new(),
             degree: 1,
+            isb_scratch: Vec::new(),
+            bo_scratch: Vec::new(),
         };
         h.set_degree(1);
         h
@@ -36,25 +42,25 @@ impl Prefetcher for IsbBoHybrid {
         "isb+bo"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         // Both components always observe the full stream (training), but
         // only emit their share of the degree.
-        let mut isb_preds = self.isb.access(access);
-        let mut bo_preds = self.bo.access(access);
-        isb_preds.truncate(self.isb.degree());
-        bo_preds.truncate(if self.degree == 1 {
+        self.isb.access(access, &mut self.isb_scratch);
+        self.bo.access(access, &mut self.bo_scratch);
+        self.isb_scratch.truncate(self.isb.degree());
+        self.bo_scratch.truncate(if self.degree == 1 {
             0
         } else {
             self.bo.degree()
         });
-        let mut out = isb_preds;
-        for p in bo_preds {
+        out.extend_from_slice(&self.isb_scratch);
+        for &p in &self.bo_scratch {
             if !out.contains(&p) {
                 out.push(p);
             }
         }
         out.truncate(self.degree);
-        out
     }
 
     fn degree(&self) -> usize {
@@ -90,10 +96,10 @@ mod tests {
         let mut h = IsbBoHybrid::new();
         // Teach ISB: PC 1 alternates 100 -> 500.
         for _ in 0..3 {
-            h.access(&acc(1, 100));
-            h.access(&acc(1, 500));
+            h.access_collect(&acc(1, 100));
+            h.access_collect(&acc(1, 500));
         }
-        let preds = h.access(&acc(1, 100));
+        let preds = h.access_collect(&acc(1, 100));
         assert_eq!(preds, vec![500], "degree 1 must not include BO offsets");
     }
 
@@ -104,9 +110,9 @@ mod tests {
         // Sequential stream: BO learns offset 1; ISB learns the same
         // chain.
         for l in 0..600u64 {
-            h.access(&acc(1, 1000 + l));
+            h.access_collect(&acc(1, 1000 + l));
         }
-        let preds = h.access(&acc(1, 1601));
+        let preds = h.access_collect(&acc(1, 1601));
         assert!(
             preds.len() >= 2,
             "hybrid should emit several candidates: {preds:?}"
@@ -119,7 +125,7 @@ mod tests {
         let mut h = IsbBoHybrid::new();
         h.set_degree(3);
         for l in 0..600u64 {
-            let preds = h.access(&acc(1, 2000 + l));
+            let preds = h.access_collect(&acc(1, 2000 + l));
             assert!(preds.len() <= 3);
         }
     }
@@ -128,7 +134,7 @@ mod tests {
     fn metadata_sums_components() {
         let mut h = IsbBoHybrid::new();
         for l in 0..100u64 {
-            h.access(&acc(1, l));
+            h.access_collect(&acc(1, l));
         }
         assert!(h.metadata_bytes() > BestOffset::new().metadata_bytes());
     }

@@ -43,7 +43,8 @@ impl Prefetcher for Isb {
         "isb"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         let line = access.line();
         let pc = access.pc;
         // Train: link the previous line in this PC's stream to this one.
@@ -52,18 +53,16 @@ impl Prefetcher for Isb {
         }
         self.last_by_pc.insert(pc, line);
         // Predict: follow this PC's successor chain.
-        let mut preds = Vec::with_capacity(self.degree);
         let mut cur = line;
         for _ in 0..self.degree {
             match self.successor.get(&(pc, cur)) {
                 Some(&next) => {
-                    preds.push(next);
+                    out.push(next);
                     cur = next;
                 }
                 None => break,
             }
         }
-        preds
     }
 
     fn degree(&self) -> usize {
@@ -95,13 +94,13 @@ mod tests {
         let mut p = Isb::new();
         // PC 1 walks 10 -> 11 -> 12; PC 2 interleaves 50 -> 60.
         for &(pc, l) in &[(1, 10), (2, 50), (1, 11), (2, 60), (1, 12)] {
-            p.access(&acc(pc, l));
+            p.access_collect(&acc(pc, l));
         }
         // Revisit: PC 1 at 10 should predict 11 even though the global
         // stream had 50 after 10.
-        let preds = p.access(&acc(1, 10));
+        let preds = p.access_collect(&acc(1, 10));
         assert_eq!(preds, vec![11]);
-        let preds = p.access(&acc(2, 50));
+        let preds = p.access_collect(&acc(2, 50));
         assert_eq!(preds, vec![60]);
     }
 
@@ -109,10 +108,10 @@ mod tests {
     fn degree_follows_chain() {
         let mut p = Isb::new();
         for l in [1u64, 2, 3, 4] {
-            p.access(&acc(7, l));
+            p.access_collect(&acc(7, l));
         }
         p.set_degree(3);
-        let preds = p.access(&acc(7, 1));
+        let preds = p.access_collect(&acc(7, 1));
         assert_eq!(preds, vec![2, 3, 4]);
     }
 
@@ -120,16 +119,16 @@ mod tests {
     fn retrains_on_changed_successor() {
         let mut p = Isb::new();
         for l in [1u64, 2, 1, 9] {
-            p.access(&acc(7, l));
+            p.access_collect(&acc(7, l));
         }
-        let preds = p.access(&acc(7, 1));
+        let preds = p.access_collect(&acc(7, 1));
         assert_eq!(preds, vec![9], "newest successor replaces the old");
     }
 
     #[test]
     fn no_prediction_for_unseen_address() {
         let mut p = Isb::new();
-        assert!(p.access(&acc(1, 42)).is_empty());
+        assert!(p.access_collect(&acc(1, 42)).is_empty());
     }
 
     #[test]
@@ -137,9 +136,9 @@ mod tests {
         // The access that just arrived must not predict itself through a
         // stale chain: 1 -> 1 self-loop.
         let mut p = Isb::new();
-        p.access(&acc(1, 5));
-        p.access(&acc(1, 5));
-        let preds = p.access(&acc(1, 5));
+        p.access_collect(&acc(1, 5));
+        p.access_collect(&acc(1, 5));
+        let preds = p.access_collect(&acc(1, 5));
         assert_eq!(preds, vec![5], "self-loop is representable");
     }
 }

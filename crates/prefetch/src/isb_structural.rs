@@ -91,7 +91,8 @@ impl Prefetcher for IsbStructural {
         "isb-structural"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         let line = access.line();
         // Train: a line already in the structural space keeps its
         // position (streams are stable under replay); only new lines
@@ -106,14 +107,12 @@ impl Prefetcher for IsbStructural {
         // *trained* position. After append_after, `sa` is the stream
         // tail, so predictions come from the previously linearized
         // continuation (if this position had one from an earlier pass).
-        let mut preds = Vec::with_capacity(self.degree);
         for k in 1..=self.degree as u64 {
             match self.sp.get(&(sa + k)) {
-                Some(&next) => preds.push(next),
+                Some(&next) => out.push(next),
                 None => break,
             }
         }
-        preds
     }
 
     fn degree(&self) -> usize {
@@ -145,12 +144,12 @@ mod tests {
         let mut p = IsbStructural::new();
         let stream = [10u64, 55, 23, 89, 41];
         for &l in &stream {
-            p.access(&acc(7, l));
+            p.access_collect(&acc(7, l));
         }
         // Second pass: each access should predict the next element.
         let mut correct = 0;
         for (i, &l) in stream.iter().enumerate() {
-            let preds = p.access(&acc(7, l));
+            let preds = p.access_collect(&acc(7, l));
             if i + 1 < stream.len() && preds == vec![stream[i + 1]] {
                 correct += 1;
             }
@@ -162,7 +161,7 @@ mod tests {
     fn streams_are_linearized_contiguously() {
         let mut p = IsbStructural::new();
         for &l in &[1u64, 2, 3, 4] {
-            p.access(&acc(9, l));
+            p.access_collect(&acc(9, l));
         }
         // All four lines must occupy consecutive structural addresses.
         let sas: Vec<u64> = [1u64, 2, 3, 4].iter().map(|l| p.ps[l]).collect();
@@ -176,21 +175,21 @@ mod tests {
         let mut p = IsbStructural::new();
         // Stream A-B-C, then A-D-C: C must follow D afterwards.
         for &l in &[100u64, 200, 300] {
-            p.access(&acc(1, l));
+            p.access_collect(&acc(1, l));
         }
         for &l in &[100u64, 400, 300] {
-            p.access(&acc(1, l));
+            p.access_collect(&acc(1, l));
         }
-        let preds = p.access(&acc(1, 400));
+        let preds = p.access_collect(&acc(1, 400));
         assert_eq!(preds, vec![300], "C should follow D after divergence");
     }
 
     #[test]
     fn per_pc_streams_do_not_interleave_structurally() {
         let mut p = IsbStructural::new();
-        p.access(&acc(1, 10));
-        p.access(&acc(2, 99));
-        p.access(&acc(1, 11));
+        p.access_collect(&acc(1, 10));
+        p.access_collect(&acc(2, 99));
+        p.access_collect(&acc(1, 11));
         // PC 1's stream stays contiguous despite PC 2's interleaving.
         assert_eq!(p.ps[&11], p.ps[&10] + 1);
         // PC 2 lives in a different chunk.
@@ -201,10 +200,10 @@ mod tests {
     fn degree_walks_the_structural_space() {
         let mut p = IsbStructural::new();
         for &l in &[5u64, 6, 7, 8, 9] {
-            p.access(&acc(3, l));
+            p.access_collect(&acc(3, l));
         }
         p.set_degree(3);
-        let preds = p.access(&acc(3, 5));
+        let preds = p.access_collect(&acc(3, 5));
         assert_eq!(preds, vec![6, 7, 8]);
     }
 
@@ -212,7 +211,7 @@ mod tests {
     fn footprint_grows_with_unique_lines() {
         let mut p = IsbStructural::new();
         for l in 0..100u64 {
-            p.access(&acc(1, l));
+            p.access_collect(&acc(1, l));
         }
         assert_eq!(p.structural_footprint(), 100);
         assert!(p.metadata_bytes() > 100 * 24);

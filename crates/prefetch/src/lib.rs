@@ -70,10 +70,25 @@ pub trait Prefetcher {
     /// Short display name (as used in the paper's figure legends).
     fn name(&self) -> &'static str;
 
-    /// Observes `access`, updates internal state, and returns prefetch
-    /// candidates (cache-line numbers, highest confidence first, at most
-    /// [`Prefetcher::degree`] entries).
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64>;
+    /// Observes `access`, updates internal state, and writes prefetch
+    /// candidates into `out` (cache-line numbers, highest confidence
+    /// first, at most [`Prefetcher::degree`] entries).
+    ///
+    /// The callee **clears `out` first**: after the call, `out` holds
+    /// exactly this access's candidates. Callers on the simulation hot
+    /// path reuse one scratch `Vec` across the whole run so the
+    /// per-access path allocates only when a prediction burst exceeds
+    /// every previous burst's capacity.
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>);
+
+    /// Convenience wrapper over [`access`](Prefetcher::access) that
+    /// allocates a fresh `Vec` per call. Prefer `access` with a reused
+    /// scratch buffer on hot paths.
+    fn access_collect(&mut self, access: &MemoryAccess) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.access(access, &mut out);
+        out
+    }
 
     /// Current prefetch degree (predictions per trigger access).
     fn degree(&self) -> usize;
@@ -106,8 +121,8 @@ impl Prefetcher for NoPrefetcher {
         "none"
     }
 
-    fn access(&mut self, _access: &MemoryAccess) -> Vec<u64> {
-        Vec::new()
+    fn access(&mut self, _access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
     }
 
     fn degree(&self) -> usize {
@@ -128,7 +143,7 @@ mod tests {
     #[test]
     fn no_prefetcher_is_silent() {
         let mut p = NoPrefetcher::new();
-        assert!(p.access(&MemoryAccess::new(1, 64)).is_empty());
+        assert!(p.access_collect(&MemoryAccess::new(1, 64)).is_empty());
         assert_eq!(p.metadata_bytes(), 0);
         assert_eq!(p.name(), "none");
     }
@@ -136,6 +151,14 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         let mut boxed: Box<dyn Prefetcher> = Box::new(NoPrefetcher::new());
-        assert!(boxed.access(&MemoryAccess::new(1, 64)).is_empty());
+        assert!(boxed.access_collect(&MemoryAccess::new(1, 64)).is_empty());
+    }
+
+    #[test]
+    fn access_clears_stale_scratch_contents() {
+        let mut p = NoPrefetcher::new();
+        let mut out = vec![7, 8, 9];
+        p.access(&MemoryAccess::new(1, 64), &mut out);
+        assert!(out.is_empty());
     }
 }

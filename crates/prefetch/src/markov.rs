@@ -40,7 +40,8 @@ impl Prefetcher for Markov {
         "markov"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         let line = access.line();
         // Train: bump the (prev -> line) edge.
         if let Some(prev) = self.prev {
@@ -65,17 +66,10 @@ impl Prefetcher for Markov {
         }
         self.prev = Some(line);
         // Predict: successors of the current line by descending count.
-        match self.table.get(&line) {
-            Some(succ) => {
-                let mut ranked = succ.clone();
-                ranked.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
-                ranked
-                    .into_iter()
-                    .take(self.degree)
-                    .map(|(l, _)| l)
-                    .collect()
-            }
-            None => Vec::new(),
+        if let Some(succ) = self.table.get(&line) {
+            let mut ranked = succ.clone();
+            ranked.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+            out.extend(ranked.into_iter().take(self.degree).map(|(l, _)| l));
         }
     }
 
@@ -101,7 +95,7 @@ mod tests {
     fn run(p: &mut Markov, lines: &[u64]) -> Vec<Vec<u64>> {
         lines
             .iter()
-            .map(|&l| p.access(&MemoryAccess::new(1, l * 64)))
+            .map(|&l| p.access_collect(&MemoryAccess::new(1, l * 64)))
             .collect()
     }
 
@@ -110,7 +104,7 @@ mod tests {
         let mut p = Markov::new();
         // 5 -> 6 twice, 5 -> 7 once: predict 6 first.
         run(&mut p, &[5, 6, 5, 7, 5, 6]);
-        let preds = p.access(&MemoryAccess::new(1, 5 * 64));
+        let preds = p.access_collect(&MemoryAccess::new(1, 5 * 64));
         assert_eq!(preds, vec![6]);
     }
 
@@ -119,7 +113,7 @@ mod tests {
         let mut p = Markov::new();
         p.set_degree(2);
         run(&mut p, &[5, 6, 5, 6, 5, 7, 5]);
-        let preds = p.access(&MemoryAccess::new(1, 5 * 64));
+        let preds = p.access_collect(&MemoryAccess::new(1, 5 * 64));
         assert_eq!(preds, vec![6, 7]);
     }
 
@@ -135,6 +129,6 @@ mod tests {
     #[test]
     fn unknown_line_predicts_nothing() {
         let mut p = Markov::new();
-        assert!(p.access(&MemoryAccess::new(1, 999 * 64)).is_empty());
+        assert!(p.access_collect(&MemoryAccess::new(1, 999 * 64)).is_empty());
     }
 }

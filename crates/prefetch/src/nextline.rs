@@ -24,11 +24,10 @@ impl Prefetcher for NextLine {
         "next-line"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         let line = access.line();
-        (1..=self.degree.max(1) as u64)
-            .filter_map(|k| line.checked_add(k))
-            .collect()
+        out.extend((1..=self.degree.max(1) as u64).filter_map(|k| line.checked_add(k)));
     }
 
     fn degree(&self) -> usize {
@@ -52,15 +51,18 @@ mod tests {
     #[test]
     fn predicts_following_lines() {
         let mut p = NextLine::new();
-        assert_eq!(p.access(&MemoryAccess::new(1, 10 * 64)), vec![11]);
+        assert_eq!(p.access_collect(&MemoryAccess::new(1, 10 * 64)), vec![11]);
         p.set_degree(3);
-        assert_eq!(p.access(&MemoryAccess::new(1, 10 * 64)), vec![11, 12, 13]);
+        assert_eq!(
+            p.access_collect(&MemoryAccess::new(1, 10 * 64)),
+            vec![11, 12, 13]
+        );
     }
 
     #[test]
     fn stateless_and_free() {
         let mut p = NextLine::new();
-        let _ = p.access(&MemoryAccess::new(1, 0));
+        let _ = p.access_collect(&MemoryAccess::new(1, 0));
         assert_eq!(p.metadata_bytes(), 0);
     }
 }

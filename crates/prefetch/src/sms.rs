@@ -54,11 +54,11 @@ impl Prefetcher for Sms {
         "sms"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         let line = access.line();
         let region = line / REGION_LINES;
         let offset = line % REGION_LINES;
-        let mut preds = Vec::new();
         match self.active.get_mut(&region) {
             Some(generation) => {
                 generation.bitmap |= 1 << offset;
@@ -85,8 +85,8 @@ impl Prefetcher for Sms {
                     let base = region * REGION_LINES;
                     for o in 0..REGION_LINES {
                         if o != offset && bitmap & (1 << o) != 0 {
-                            preds.push(base + o);
-                            if preds.len() == self.degree {
+                            out.push(base + o);
+                            if out.len() == self.degree {
                                 break;
                             }
                         }
@@ -94,7 +94,6 @@ impl Prefetcher for Sms {
                 }
             }
         }
-        preds
     }
 
     fn degree(&self) -> usize {
@@ -120,37 +119,37 @@ mod tests {
         let mut p = Sms::new();
         // Region 0: trigger at offset 3 by PC 7, then touch offsets 5
         // and 9; fill the generation so it archives.
-        p.access(&MemoryAccess::new(7, 3 * 64));
-        p.access(&MemoryAccess::new(8, 5 * 64));
-        p.access(&MemoryAccess::new(8, 9 * 64));
+        p.access_collect(&MemoryAccess::new(7, 3 * 64));
+        p.access_collect(&MemoryAccess::new(8, 5 * 64));
+        p.access_collect(&MemoryAccess::new(8, 9 * 64));
         for _ in 0..GENERATION_LEN {
-            p.access(&MemoryAccess::new(8, 5 * 64));
+            p.access_collect(&MemoryAccess::new(8, 5 * 64));
         }
         // New region 10 triggered by the same (PC 7, offset 3):
         // footprint offsets 5 and 9 are prefetched relative to region
         // 10.
-        let preds = p.access(&MemoryAccess::new(7, (10 * 64 + 3) * 64));
+        let preds = p.access_collect(&MemoryAccess::new(7, (10 * 64 + 3) * 64));
         assert_eq!(preds, vec![10 * 64 + 5, 10 * 64 + 9]);
     }
 
     #[test]
     fn no_prediction_without_history() {
         let mut p = Sms::new();
-        assert!(p.access(&MemoryAccess::new(1, 0)).is_empty());
+        assert!(p.access_collect(&MemoryAccess::new(1, 0)).is_empty());
     }
 
     #[test]
     fn degree_truncates_footprint() {
         let mut p = Sms::new();
         p.set_degree(1);
-        p.access(&MemoryAccess::new(7, 0));
+        p.access_collect(&MemoryAccess::new(7, 0));
         for o in 1..8u64 {
-            p.access(&MemoryAccess::new(8, o * 64));
+            p.access_collect(&MemoryAccess::new(8, o * 64));
         }
         for _ in 0..GENERATION_LEN {
-            p.access(&MemoryAccess::new(8, 64));
+            p.access_collect(&MemoryAccess::new(8, 64));
         }
-        let preds = p.access(&MemoryAccess::new(7, 64 * 64 * 5));
+        let preds = p.access_collect(&MemoryAccess::new(7, 64 * 64 * 5));
         assert!(preds.len() <= 1);
     }
 }

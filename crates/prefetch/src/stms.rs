@@ -20,7 +20,7 @@ use crate::Prefetcher;
 ///
 /// let mut p = Stms::new();
 /// for addr in [0, 64, 128, 0] {
-///     let preds = p.access(&MemoryAccess::new(1, addr));
+///     let preds = p.access_collect(&MemoryAccess::new(1, addr));
 ///     if addr == 0 && preds.len() == 1 {
 ///         assert_eq!(preds[0], 1); // line 1 followed line 0 last time
 ///     }
@@ -49,15 +49,14 @@ impl Prefetcher for Stms {
         "stms"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         let line = access.line();
-        let mut preds = Vec::new();
         if let Some(&pos) = self.last_pos.get(&line) {
-            preds.extend(self.history[pos + 1..].iter().take(self.degree).copied());
+            out.extend(self.history[pos + 1..].iter().take(self.degree).copied());
         }
         self.last_pos.insert(line, self.history.len());
         self.history.push(line);
-        preds
     }
 
     fn degree(&self) -> usize {
@@ -82,7 +81,7 @@ mod tests {
     fn run(p: &mut Stms, lines: &[u64]) -> Vec<Vec<u64>> {
         lines
             .iter()
-            .map(|&l| p.access(&MemoryAccess::new(1, l * 64)))
+            .map(|&l| p.access_collect(&MemoryAccess::new(1, l * 64)))
             .collect()
     }
 

@@ -41,7 +41,8 @@ impl Prefetcher for StridePc {
         "stride"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         let line = access.line();
         let entry = self.table.entry(access.pc).or_insert(StrideEntry {
             last_line: line,
@@ -58,11 +59,9 @@ impl Prefetcher for StridePc {
         entry.last_line = line;
         if entry.confidence >= 1 && entry.stride != 0 {
             let stride = entry.stride;
-            (1..=self.degree as i64)
-                .filter_map(|k| line.checked_add_signed(stride * k))
-                .collect()
-        } else {
-            Vec::new()
+            out.extend(
+                (1..=self.degree as i64).filter_map(|k| line.checked_add_signed(stride * k)),
+            );
         }
     }
 
@@ -91,30 +90,34 @@ mod tests {
     #[test]
     fn detects_constant_stride_after_confirmation() {
         let mut p = StridePc::new();
-        assert!(p.access(&acc(1, 100)).is_empty());
+        assert!(p.access_collect(&acc(1, 100)).is_empty());
         assert!(
-            p.access(&acc(1, 104)).is_empty(),
+            p.access_collect(&acc(1, 104)).is_empty(),
             "first stride unconfirmed"
         );
-        assert_eq!(p.access(&acc(1, 108)), vec![112], "stride 4 confirmed");
+        assert_eq!(
+            p.access_collect(&acc(1, 108)),
+            vec![112],
+            "stride 4 confirmed"
+        );
     }
 
     #[test]
     fn strides_are_per_pc() {
         let mut p = StridePc::new();
         for i in 0..4 {
-            p.access(&acc(1, 100 + 4 * i));
-            p.access(&acc(2, 900 - 2 * i));
+            p.access_collect(&acc(1, 100 + 4 * i));
+            p.access_collect(&acc(2, 900 - 2 * i));
         }
-        assert_eq!(p.access(&acc(1, 116)), vec![120]);
-        assert_eq!(p.access(&acc(2, 892)), vec![890]);
+        assert_eq!(p.access_collect(&acc(1, 116)), vec![120]);
+        assert_eq!(p.access_collect(&acc(2, 892)), vec![890]);
     }
 
     #[test]
     fn irregular_pc_stays_silent() {
         let mut p = StridePc::new();
         for l in [5u64, 900, 17, 33_000, 2] {
-            assert!(p.access(&acc(3, l)).is_empty());
+            assert!(p.access_collect(&acc(3, l)).is_empty());
         }
     }
 
@@ -122,8 +125,8 @@ mod tests {
     fn degree_extends_stride_run() {
         let mut p = StridePc::new();
         p.set_degree(4);
-        p.access(&acc(1, 10));
-        p.access(&acc(1, 11));
-        assert_eq!(p.access(&acc(1, 12)), vec![13, 14, 15, 16]);
+        p.access_collect(&acc(1, 10));
+        p.access_collect(&acc(1, 11));
+        assert_eq!(p.access_collect(&acc(1, 12)), vec![13, 14, 15, 16]);
     }
 }

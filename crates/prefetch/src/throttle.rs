@@ -29,8 +29,9 @@ const PENDING: usize = 512;
 ///
 /// let mut p = Throttled::new(NextLine::new(), 8);
 /// // A perfectly sequential stream drives the degree up over time.
+/// let mut preds = Vec::new();
 /// for i in 0..4096u64 {
-///     p.access(&MemoryAccess::new(1, i * 64));
+///     p.access(&MemoryAccess::new(1, i * 64), &mut preds);
 /// }
 /// assert!(p.degree() > 1);
 /// ```
@@ -102,7 +103,7 @@ impl<P: Prefetcher> Prefetcher for Throttled<P> {
         "throttled"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
         let line = access.line();
         // Score outstanding predictions: a demand to a predicted line
         // counts as a useful prefetch.
@@ -110,8 +111,9 @@ impl<P: Prefetcher> Prefetcher for Throttled<P> {
             self.pending.remove(pos);
             self.hits += 1;
         }
-        let preds = self.inner.access(access);
-        for &p in &preds {
+        // The inner prefetcher clears `out` and fills it in place.
+        self.inner.access(access, out);
+        for &p in out.iter() {
             // Deduplicate: re-requests of an outstanding line do not
             // count as separate issues (the hierarchy drops them too).
             if self.pending.contains(&p) {
@@ -128,7 +130,6 @@ impl<P: Prefetcher> Prefetcher for Throttled<P> {
             self.since_eval = 0;
             self.evaluate();
         }
-        preds
     }
 
     fn degree(&self) -> usize {
@@ -157,7 +158,7 @@ mod tests {
     fn accurate_prefetcher_ramps_up() {
         let mut p = Throttled::new(NextLine::new(), 8);
         for i in 0..8 * INTERVAL as u64 {
-            p.access(&MemoryAccess::new(1, i * 64));
+            p.access_collect(&MemoryAccess::new(1, i * 64));
         }
         assert!(p.degree() >= 4, "degree stuck at {}", p.degree());
     }
@@ -167,14 +168,14 @@ mod tests {
         let mut p = Throttled::new(NextLine::new(), 8);
         // Ramp up on a sequential phase...
         for i in 0..4 * INTERVAL as u64 {
-            p.access(&MemoryAccess::new(1, i * 64));
+            p.access_collect(&MemoryAccess::new(1, i * 64));
         }
         let ramped = p.degree();
         assert!(ramped > 1);
         // ...then feed a scrambled phase: next-line accuracy collapses.
         for i in 0..6 * INTERVAL as u64 {
             let line = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 20) % 1_000_000;
-            p.access(&MemoryAccess::new(1, line * 64));
+            p.access_collect(&MemoryAccess::new(1, line * 64));
         }
         assert!(p.degree() < ramped, "did not back off: {}", p.degree());
     }
@@ -183,7 +184,7 @@ mod tests {
     fn degree_stays_within_bounds() {
         let mut p = Throttled::new(Stms::new(), 4);
         for i in 0..10_000u64 {
-            p.access(&MemoryAccess::new(1, (i % 64) * 64));
+            p.access_collect(&MemoryAccess::new(1, (i % 64) * 64));
             assert!((1..=4).contains(&p.degree()));
         }
     }
@@ -192,7 +193,7 @@ mod tests {
     fn set_degree_caps_the_controller() {
         let mut p = Throttled::new(NextLine::new(), 8);
         for i in 0..8 * INTERVAL as u64 {
-            p.access(&MemoryAccess::new(1, i * 64));
+            p.access_collect(&MemoryAccess::new(1, i * 64));
         }
         p.set_degree(2);
         assert!(p.degree() <= 2);

@@ -58,7 +58,8 @@ impl Prefetcher for Vldp {
         "vldp"
     }
 
-    fn access(&mut self, access: &MemoryAccess) -> Vec<u64> {
+    fn access(&mut self, access: &MemoryAccess, out: &mut Vec<u64>) {
+        out.clear();
         let line = access.line();
         let page = page_of(access.addr);
         let state = self.pages.entry(page).or_insert(PageState {
@@ -79,15 +80,13 @@ impl Prefetcher for Vldp {
             state.last_line = line;
         }
         // Predict: walk forward applying predicted deltas.
-        let history = self.pages[&page].history.clone();
-        let mut preds = Vec::with_capacity(self.degree);
-        let mut h = history;
+        let mut h = self.pages[&page].history.clone();
         let mut cur = line;
         for _ in 0..self.degree {
             match self.predict_delta(&h) {
                 Some(d) => match cur.checked_add_signed(d) {
                     Some(next) => {
-                        preds.push(next);
+                        out.push(next);
                         cur = next;
                         h.push(d);
                         if h.len() > MAX_HISTORY {
@@ -99,7 +98,6 @@ impl Prefetcher for Vldp {
                 None => break,
             }
         }
-        preds
     }
 
     fn degree(&self) -> usize {
@@ -129,7 +127,7 @@ mod tests {
     fn run(p: &mut Vldp, lines: &[u64]) -> Vec<Vec<u64>> {
         lines
             .iter()
-            .map(|&l| p.access(&MemoryAccess::new(1, l * 64)))
+            .map(|&l| p.access_collect(&MemoryAccess::new(1, l * 64)))
             .collect()
     }
 
@@ -173,7 +171,7 @@ mod tests {
         let mut p = Vldp::new();
         p.set_degree(3);
         run(&mut p, &[50, 52, 54, 56]);
-        let preds = p.access(&MemoryAccess::new(1, 58 * 64));
+        let preds = p.access_collect(&MemoryAccess::new(1, 58 * 64));
         assert_eq!(preds, vec![60, 62, 64]);
     }
 
@@ -183,10 +181,10 @@ mod tests {
         // Page A strides +1; page B strides +2 (lines 0.. are page 0,
         // lines 64.. page 1, etc.).
         for i in 0..8u64 {
-            p.access(&MemoryAccess::new(1, i * 64)); // page 0, +1 lines
-            p.access(&MemoryAccess::new(1, 64 * 64 + i * 2 * 64)); // page 1+, +2 lines
+            p.access_collect(&MemoryAccess::new(1, i * 64)); // page 0, +1 lines
+            p.access_collect(&MemoryAccess::new(1, 64 * 64 + i * 2 * 64)); // page 1+, +2 lines
         }
-        let a = p.access(&MemoryAccess::new(1, 8 * 64));
+        let a = p.access_collect(&MemoryAccess::new(1, 8 * 64));
         assert_eq!(a, vec![9]);
     }
 }

@@ -14,6 +14,11 @@
 //!   requests under size/time thresholds into batched forward passes
 //!   and reports throughput and p50/p99 latency; [`serve`] adapts a
 //!   trained [`VoyagerModel`](voyager::VoyagerModel) to it.
+//! * [`pool`] — a deterministic, work-stealing-free chunked thread
+//!   pool ([`ChunkPool`]) for intra-op parallelism, plus [`par_gemm`],
+//!   a row-partitioned parallel GEMM that is bitwise-identical to the
+//!   single-threaded kernel at any thread count. The trainer reuses it
+//!   to run its model replicas.
 //! * [`checkpoint`] — atomic numbered snapshots of model + optimizer
 //!   state with retention and restore-latest.
 //!
@@ -38,6 +43,7 @@
 pub mod checkpoint;
 pub mod lockorder;
 pub mod microbatch;
+pub mod pool;
 pub mod serve;
 pub mod trainer;
 
@@ -46,5 +52,6 @@ pub use lockorder::{LockRank, OrderedMutex};
 pub use microbatch::{
     BatchModel, ClientHandle, LiveStats, MicrobatchConfig, MicrobatchServer, ServerStats,
 };
+pub use pool::{par_gemm, ChunkPool};
 pub use serve::{InferenceRequest, VoyagerService};
 pub use trainer::{train_data_parallel, TrainReport, TrainerConfig};

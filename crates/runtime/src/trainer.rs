@@ -3,9 +3,10 @@
 //! The paper trains Voyager offline at scale (Section 5.4 puts the cost
 //! at thousands of PC-hours per benchmark); this module provides the
 //! single-node concurrent analog: the trainable samples are cut into
-//! fixed-size *shards*, `N` worker threads compute shard gradients on
-//! identical model replicas, and every step reduces the shards into one
-//! weighted-average gradient that all replicas apply in lockstep.
+//! fixed-size *shards*, the model replicas spread over a
+//! [`ChunkPool`] compute shard gradients in parallel, and every step
+//! reduces the shards into one weighted-average gradient that all
+//! replicas apply in lockstep.
 //!
 //! # Determinism
 //!
@@ -18,19 +19,21 @@
 //!   applying the same reduced gradient in the same order;
 //! * shard gradients are reduced in shard-id order with fixed weights
 //!   (`shard rows / batch rows`, matching the mean-reduced losses), no
-//!   matter the order they arrive in;
+//!   matter the order they finish in — the pool's static shard
+//!   assignment is irrelevant to the result;
 //! * dropout is forced off (`dropout_keep = 1.0`) so the forward pass
 //!   consumes no per-replica randomness.
 //!
 //! Hence `--workers 4` must produce the *same per-step losses* as
 //! `--workers 1`, only faster.
 
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 use voyager::{TrainingSet, VoyagerConfig, VoyagerModel};
 use voyager_nn::GradSet;
+
+use crate::pool::ChunkPool;
 
 /// Configuration of [`train_data_parallel`].
 #[derive(Debug, Clone, Copy)]
@@ -95,20 +98,7 @@ struct Shard {
     end: usize,
 }
 
-enum WorkerCmd {
-    /// Compute gradients for the given shards of the current step.
-    Compute(Vec<Shard>),
-    /// Apply the reduced gradient of the current step to the replica.
-    /// Shared, not cloned: replicas only read it.
-    Apply(Arc<GradSet>),
-    /// Finish and hand the replica back over the given channel.
-    Finish(mpsc::Sender<VoyagerModel>),
-    /// Finish and discard the replica.
-    Shutdown,
-}
-
 struct ShardResult {
-    id: usize,
     rows: usize,
     loss: f32,
     grads: GradSet,
@@ -117,6 +107,12 @@ struct ShardResult {
 /// Trains a fresh model over `set` with `tcfg.workers` threads and
 /// returns the trained model (including optimizer state) plus a
 /// [`TrainReport`].
+///
+/// Each worker owns one model replica; per step, the step's shards are
+/// spread over the replicas with the pool's static partition, each
+/// worker writes its [`ShardResult`]s into per-shard slots, and the
+/// reduced gradient is applied to every replica in parallel through the
+/// same pool.
 ///
 /// Dropout is forced off regardless of `cfg.dropout_keep`; see the
 /// module docs for why.
@@ -135,14 +131,17 @@ pub fn train_data_parallel(
     let workers = tcfg.workers.max(1);
     let shard_rows = tcfg.shard_rows.max(1);
     let vocab = set.vocab();
-    let new_model = || {
-        VoyagerModel::new(
-            &cfg,
-            vocab.pc_vocab_len(),
-            vocab.page_vocab_len(),
-            vocab.offset_vocab_len(),
-        )
-    };
+    let pool = ChunkPool::new(workers);
+    let mut replicas: Vec<VoyagerModel> = (0..workers)
+        .map(|_| {
+            VoyagerModel::new(
+                &cfg,
+                vocab.pc_vocab_len(),
+                vocab.page_vocab_len(),
+                vocab.offset_vocab_len(),
+            )
+        })
+        .collect();
     let mut report = TrainReport {
         step_losses: Vec::new(),
         steps: 0,
@@ -152,112 +151,84 @@ pub fn train_data_parallel(
     };
     let started = Instant::now();
 
-    let trained = std::thread::scope(|scope| {
-        let (result_tx, result_rx) = mpsc::channel::<ShardResult>();
-        let mut cmd_txs = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (cmd_tx, cmd_rx) = mpsc::channel::<WorkerCmd>();
-            cmd_txs.push(cmd_tx);
-            let result_tx = result_tx.clone();
-            let mut replica = new_model();
-            scope.spawn(move || {
-                while let Ok(cmd) = cmd_rx.recv() {
-                    match cmd {
-                        WorkerCmd::Compute(shards) => {
-                            for shard in shards {
-                                let (batch, pt, ot) = set.slice_batch(shard.start, shard.end);
-                                let (loss, grads) = replica.grad_multi(&batch, &pt, &ot);
-                                let sent = result_tx.send(ShardResult {
-                                    id: shard.id,
-                                    rows: shard.end - shard.start,
-                                    loss,
-                                    grads,
-                                });
-                                if sent.is_err() {
-                                    return;
-                                }
-                            }
-                        }
-                        WorkerCmd::Apply(grads) => replica.apply_grad_set(&grads),
-                        WorkerCmd::Finish(model_tx) => {
-                            let _ = model_tx.send(replica);
-                            return;
-                        }
-                        WorkerCmd::Shutdown => return,
+    'training: for _pass in 0..tcfg.passes.max(1) {
+        let mut batch_start = 0usize;
+        while batch_start < set.len() {
+            if tcfg.max_steps.is_some_and(|m| report.steps >= m) {
+                break 'training;
+            }
+            let batch_end = (batch_start + cfg.batch_size).min(set.len());
+            let batch_rows = batch_end - batch_start;
+            // Fixed decomposition into shards of `shard_rows`; only the
+            // shard list depends on the batch, never on `workers`.
+            let mut shards: Vec<Shard> = Vec::new();
+            let mut start = batch_start;
+            while start < batch_end {
+                let end = (start + shard_rows).min(batch_end);
+                shards.push(Shard {
+                    id: shards.len(),
+                    start,
+                    end,
+                });
+                start = end;
+            }
+            let shard_count = shards.len();
+            // Static contiguous assignment of shards to replicas. Which
+            // replica computes which shard does not affect the result
+            // (reduction below is by shard id).
+            let assignment = pool.partition(shard_count);
+            let results: Mutex<Vec<Option<ShardResult>>> =
+                Mutex::new((0..shard_count).map(|_| None).collect());
+            pool.run_chunks(&mut replicas, 1, |first, chunk| {
+                for (i, replica) in chunk.iter_mut().enumerate() {
+                    let Some(range) = assignment.get(first + i) else {
+                        continue;
+                    };
+                    for shard in &shards[range.clone()] {
+                        let (batch, pt, ot) = set.slice_batch(shard.start, shard.end);
+                        let (loss, grads) = replica.grad_multi(&batch, &pt, &ot);
+                        let mut slots = results.lock().unwrap_or_else(PoisonError::into_inner);
+                        slots[shard.id] = Some(ShardResult {
+                            rows: shard.end - shard.start,
+                            loss,
+                            grads,
+                        });
                     }
                 }
             });
-        }
-        drop(result_tx);
-
-        'training: for _pass in 0..tcfg.passes.max(1) {
-            let mut batch_start = 0usize;
-            while batch_start < set.len() {
-                if tcfg.max_steps.is_some_and(|m| report.steps >= m) {
-                    break 'training;
-                }
-                let batch_end = (batch_start + cfg.batch_size).min(set.len());
-                let batch_rows = batch_end - batch_start;
-                // Fixed decomposition into shards of `shard_rows`,
-                // assigned to workers round-robin; the assignment is
-                // irrelevant to the result (reduction is by shard id).
-                let mut assignments: Vec<Vec<Shard>> = vec![Vec::new(); workers];
-                let mut id = 0usize;
-                let mut start = batch_start;
-                while start < batch_end {
-                    let end = (start + shard_rows).min(batch_end);
-                    assignments[id % workers].push(Shard { id, start, end });
-                    id += 1;
-                    start = end;
-                }
-                let shard_count = id;
-                for (tx, shards) in cmd_txs.iter().zip(assignments) {
-                    if !shards.is_empty() {
-                        tx.send(WorkerCmd::Compute(shards)).expect("worker died");
-                    }
-                }
-                let mut results: Vec<Option<ShardResult>> =
-                    (0..shard_count).map(|_| None).collect();
-                for _ in 0..shard_count {
-                    let r = result_rx.recv().expect("worker died");
-                    let slot = r.id;
-                    results[slot] = Some(r);
-                }
-                // Reduce in shard-id order with mean-matching weights.
-                let mut total = GradSet::new();
-                let mut loss = 0.0f32;
-                for r in results.into_iter().map(|r| r.expect("missing shard")) {
-                    let weight = r.rows as f32 / batch_rows as f32;
-                    total.merge_scaled(&r.grads, weight);
-                    loss += r.loss * weight;
-                }
-                // Every replica applies the same reduced set
-                // concurrently, staying bitwise identical. Duplicate
-                // sparse rows are collapsed once here rather than once
-                // per replica.
-                total.coalesce_sparse();
-                let total = Arc::new(total);
-                for tx in &cmd_txs {
-                    tx.send(WorkerCmd::Apply(Arc::clone(&total)))
-                        .expect("worker died");
-                }
-                report.step_losses.push(loss);
-                report.steps += 1;
-                report.samples += batch_rows;
-                batch_start = batch_end;
+            let slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
+            assert!(
+                slots.iter().all(Option::is_some),
+                "missing shard result in step {}",
+                report.steps
+            );
+            // Reduce in shard-id order with mean-matching weights.
+            let mut total = GradSet::new();
+            let mut loss = 0.0f32;
+            for r in slots.into_iter().flatten() {
+                let weight = r.rows as f32 / batch_rows as f32;
+                total.merge_scaled(&r.grads, weight);
+                loss += r.loss * weight;
             }
+            // Every replica applies the same reduced set, staying
+            // bitwise identical. Duplicate sparse rows are collapsed
+            // once here rather than once per replica.
+            total.coalesce_sparse();
+            let reduced = &total;
+            pool.run_chunks(&mut replicas, 1, |_, chunk| {
+                for replica in chunk {
+                    replica.apply_grad_set(reduced);
+                }
+            });
+            report.step_losses.push(loss);
+            report.steps += 1;
+            report.samples += batch_rows;
+            batch_start = batch_end;
         }
-        // All replicas are identical; take worker 0's as the result.
-        let (model_tx, model_rx) = mpsc::channel();
-        cmd_txs[0]
-            .send(WorkerCmd::Finish(model_tx))
-            .expect("worker died");
-        for tx in &cmd_txs[1..] {
-            let _ = tx.send(WorkerCmd::Shutdown);
-        }
-        model_rx.recv().expect("worker died")
-    });
+    }
 
     report.wall_seconds = started.elapsed().as_secs_f64();
+    // All replicas are identical; take the first as the result.
+    let trained = replicas.swap_remove(0);
     (trained, report)
 }

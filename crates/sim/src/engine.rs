@@ -268,6 +268,9 @@ pub fn simulate<P: Prefetcher + ?Sized>(
     let width = config.width as f64;
     let rob = config.rob as u64;
     let mshrs = config.mshrs as usize;
+    // Scratch buffer reused across the whole run: the per-access hot
+    // path below does not allocate once it reaches steady state.
+    let mut preds: Vec<u64> = Vec::new();
     for a in trace {
         instr += 1 + a.bubble as u64;
         cycle += (1 + a.bubble as u64) as f64 / width;
@@ -288,7 +291,8 @@ pub fn simulate<P: Prefetcher + ?Sized>(
         if o.reached_llc {
             // The prefetcher observes every LLC access (ChampSim
             // convention) and issues its candidates.
-            for p in prefetcher.access(a) {
+            prefetcher.access(a, &mut preds);
+            for &p in &preds {
                 h.prefetch(p, cycle);
             }
             if o.latency > (config.l1d.latency + config.l2.latency + config.llc.latency) as f64 {

@@ -1,0 +1,600 @@
+//! Cache-blocked, register-tiled matrix-multiply kernels.
+//!
+//! Every matrix product in the workspace — the LSTM gate projections,
+//! the attention scoring, and all of autograd's backward products —
+//! funnels through [`gemm`] / [`gemm_acc`] here, for all three
+//! transpose layouts ([`Layout`]). The kernels write into a
+//! caller-provided output buffer, so steady-state training and
+//! inference perform no per-call heap allocation beyond what the
+//! caller chooses to reuse.
+//!
+//! # Design
+//!
+//! The blocked kernels process the output in `MR x NR` register tiles
+//! (`4 x 8`): a tile's 32 partial sums live in registers across the
+//! whole reduction loop, giving the compiler independent accumulator
+//! chains to vectorise and pipeline, while each input panel is
+//! streamed once per tile. Column panels are additionally blocked at
+//! [`NC`] columns so the active slice of `b` stays cache-resident for
+//! consecutive row tiles.
+//!
+//! # Determinism
+//!
+//! Each output element is accumulated over the reduction index `p` in
+//! strictly increasing order, exactly like the naive triple loop —
+//! blocking reorders *which elements* are computed when, never the
+//! floating-point additions *within* an element. The blocked kernels
+//! are therefore bitwise-identical to [`naive_gemm`] for every input,
+//! and row-partitioned parallel drivers (see `voyager-runtime`) are
+//! bitwise-identical at any thread count.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::Tensor2;
+
+/// Rows per register tile.
+pub const MR: usize = 4;
+/// Columns per register tile.
+pub const NR: usize = 8;
+/// Column-panel width for cache blocking.
+pub const NC: usize = 256;
+
+/// Transpose layout of a GEMM: which operand, if any, is consumed
+/// transposed.
+///
+/// Shapes (with output `[m, n]` and reduction depth `k`):
+///
+/// * `NN`: `a [m, k] @ b [k, n]`
+/// * `TN`: `a [k, m]` (transposed) `@ b [k, n]`
+/// * `NT`: `a [m, k] @ b [n, k]` (transposed)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// `a @ b` with both operands in natural orientation.
+    NN,
+    /// `a^T @ b`: the left operand is stored `[k, m]`.
+    TN,
+    /// `a @ b^T`: the right operand is stored `[n, k]`.
+    NT,
+}
+
+/// When set, [`gemm`] / [`gemm_acc`] route to the naive reference
+/// kernel. Used by benchmarks to measure the unoptimised baseline
+/// through unmodified call sites.
+static FORCE_NAIVE: AtomicBool = AtomicBool::new(false);
+
+/// Routes all subsequent [`gemm`] / [`gemm_acc`] calls through the
+/// naive reference kernel (`true`) or the blocked kernels (`false`).
+///
+/// Intended for benchmarks that compare the two paths through real
+/// model code; results are numerically identical either way (see the
+/// module-level determinism note).
+pub fn set_force_naive(force: bool) {
+    FORCE_NAIVE.store(force, Ordering::Relaxed);
+}
+
+/// Returns whether the naive reference kernel is currently forced.
+pub fn force_naive() -> bool {
+    FORCE_NAIVE.load(Ordering::Relaxed)
+}
+
+/// Output shape `(m, n)` and reduction depth `k` of `a ? b` under
+/// `layout`, checking that the operand shapes agree.
+///
+/// # Panics
+///
+/// Panics if the reduction dimensions of `a` and `b` differ.
+pub fn gemm_dims(a: &Tensor2, b: &Tensor2, layout: Layout) -> (usize, usize, usize) {
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    let (m, k, n, bk) = match layout {
+        Layout::NN => (ar, ac, bc, br),
+        Layout::TN => (ac, ar, bc, br),
+        Layout::NT => (ar, ac, br, bc),
+    };
+    assert_eq!(
+        k, bk,
+        "gemm {layout:?} shape mismatch: {ar}x{ac} vs {br}x{bc}"
+    );
+    (m, n, k)
+}
+
+/// Blocked matrix multiply `out = a ? b` for the given [`Layout`],
+/// writing into the caller-provided `out` (resized/reshaped to
+/// `[m, n]` if needed; its allocation is reused when already large
+/// enough).
+///
+/// # Panics
+///
+/// Panics if the operand shapes disagree under `layout`.
+pub fn gemm(a: &Tensor2, b: &Tensor2, layout: Layout, out: &mut Tensor2) {
+    let (m, n, _) = gemm_dims(a, b, layout);
+    reshape_for_output(out, m, n);
+    if force_naive() {
+        naive_gemm_rows(a, b, layout, 0..m, out.as_mut_slice(), false);
+    } else {
+        gemm_rows(a, b, layout, 0..m, out.as_mut_slice());
+    }
+}
+
+/// Blocked matrix multiply-accumulate `out += a ? b` for the given
+/// [`Layout`].
+///
+/// # Panics
+///
+/// Panics if the operand shapes disagree under `layout`, or if `out`
+/// is not already `[m, n]`.
+pub fn gemm_acc(a: &Tensor2, b: &Tensor2, layout: Layout, out: &mut Tensor2) {
+    let (m, n, _) = gemm_dims(a, b, layout);
+    assert_eq!(out.shape(), (m, n), "gemm_acc output shape mismatch");
+    if force_naive() {
+        naive_gemm_rows(a, b, layout, 0..m, out.as_mut_slice(), true);
+    } else {
+        gemm_rows_impl(a, b, layout, 0..m, out.as_mut_slice(), true);
+    }
+}
+
+/// Computes output rows `rows` of `a ? b` into `out_rows`
+/// (`rows.len() * n` elements, row-major, overwritten).
+///
+/// This is the unit of work for row-partitioned parallel GEMM: the
+/// driver splits the output into disjoint row ranges and calls this
+/// kernel on each, which is bitwise-identical to a single
+/// whole-matrix call at any partitioning.
+///
+/// # Panics
+///
+/// Panics if shapes disagree, `rows` exceeds `m`, or `out_rows` has
+/// the wrong length.
+pub fn gemm_rows(
+    a: &Tensor2,
+    b: &Tensor2,
+    layout: Layout,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+) {
+    gemm_rows_impl(a, b, layout, rows, out_rows, false);
+}
+
+/// Ensures `out` is an `[m, n]` tensor, reusing its buffer.
+fn reshape_for_output(out: &mut Tensor2, m: usize, n: usize) {
+    if out.shape() != (m, n) {
+        *out = Tensor2::zeros(m, n);
+    }
+}
+
+fn check_rows(m: usize, n: usize, rows: &Range<usize>, out_len: usize) {
+    assert!(
+        rows.start <= rows.end && rows.end <= m,
+        "row range {rows:?} out of bounds for {m} rows"
+    );
+    assert_eq!(
+        out_len,
+        rows.len() * n,
+        "output slice holds {out_len} elements, need {} for {} rows of {n}",
+        rows.len() * n,
+        rows.len()
+    );
+}
+
+fn gemm_rows_impl(
+    a: &Tensor2,
+    b: &Tensor2,
+    layout: Layout,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
+    let (m, n, k) = gemm_dims(a, b, layout);
+    check_rows(m, n, &rows, out_rows.len());
+    if n == 0 {
+        return;
+    }
+    let (a, b) = (a.as_slice(), b.as_slice());
+    // Column panels keep the active slice of `b` cache-resident across
+    // consecutive row tiles; the panel split does not touch the
+    // per-element reduction order.
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        match layout {
+            Layout::NN => block_nn(a, b, k, n, rows.clone(), jc, nc, out_rows, acc),
+            Layout::TN => block_tn(a, b, m, k, n, rows.clone(), jc, nc, out_rows, acc),
+            Layout::NT => block_nt(a, b, k, n, rows.clone(), jc, nc, out_rows, acc),
+        }
+        jc += nc;
+    }
+}
+
+/// Writes a finished register tile into the output slice.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn store_tile(
+    tile: &[[f32; NR]; MR],
+    out_rows: &mut [f32],
+    n: usize,
+    r0: usize,
+    mr: usize,
+    j0: usize,
+    nr: usize,
+    acc: bool,
+) {
+    for (r, row) in tile.iter().enumerate().take(mr) {
+        let dst = &mut out_rows[(r0 + r) * n + j0..(r0 + r) * n + j0 + nr];
+        if acc {
+            for (d, &v) in dst.iter_mut().zip(row) {
+                *d += v;
+            }
+        } else {
+            dst.copy_from_slice(&row[..nr]);
+        }
+    }
+}
+
+/// `NN` panel: `out[i][j] = sum_p a[i*k + p] * b[p*n + j]`.
+#[allow(clippy::too_many_arguments)]
+fn block_nn(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    rows: Range<usize>,
+    jc: usize,
+    nc: usize,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
+    let r_base = rows.start;
+    let mut i = rows.start;
+    while i < rows.end {
+        let mr = MR.min(rows.end - i);
+        let mut j = jc;
+        while j < jc + nc {
+            let nr = NR.min(jc + nc - j);
+            let mut tile = [[0.0f32; NR]; MR];
+            if mr == MR && nr == NR {
+                let a0 = &a[i * k..(i + 1) * k];
+                let a1 = &a[(i + 1) * k..(i + 2) * k];
+                let a2 = &a[(i + 2) * k..(i + 3) * k];
+                let a3 = &a[(i + 3) * k..(i + 4) * k];
+                let mut t0 = [0.0f32; NR];
+                let mut t1 = [0.0f32; NR];
+                let mut t2 = [0.0f32; NR];
+                let mut t3 = [0.0f32; NR];
+                for p in 0..k {
+                    let bs = &b[p * n + j..p * n + j + NR];
+                    let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
+                    for c in 0..NR {
+                        let bv = bs[c];
+                        t0[c] += x0 * bv;
+                        t1[c] += x1 * bv;
+                        t2[c] += x2 * bv;
+                        t3[c] += x3 * bv;
+                    }
+                }
+                tile = [t0, t1, t2, t3];
+            } else {
+                for (r, trow) in tile.iter_mut().enumerate().take(mr) {
+                    let arow = &a[(i + r) * k..(i + r + 1) * k];
+                    for (p, &x) in arow.iter().enumerate() {
+                        let bs = &b[p * n + j..p * n + j + nr];
+                        for (t, &bv) in trow.iter_mut().zip(bs) {
+                            *t += x * bv;
+                        }
+                    }
+                }
+            }
+            store_tile(&tile, out_rows, n, i - r_base, mr, j, nr, acc);
+            j += nr;
+        }
+        i += mr;
+    }
+}
+
+/// `TN` panel: `out[i][j] = sum_p a[p*m + i] * b[p*n + j]`.
+#[allow(clippy::too_many_arguments)]
+fn block_tn(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    rows: Range<usize>,
+    jc: usize,
+    nc: usize,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
+    let r_base = rows.start;
+    let mut i = rows.start;
+    while i < rows.end {
+        let mr = MR.min(rows.end - i);
+        let mut j = jc;
+        while j < jc + nc {
+            let nr = NR.min(jc + nc - j);
+            let mut tile = [[0.0f32; NR]; MR];
+            if mr == MR && nr == NR {
+                let mut t0 = [0.0f32; NR];
+                let mut t1 = [0.0f32; NR];
+                let mut t2 = [0.0f32; NR];
+                let mut t3 = [0.0f32; NR];
+                for p in 0..k {
+                    let asv = &a[p * m + i..p * m + i + MR];
+                    let bs = &b[p * n + j..p * n + j + NR];
+                    let (x0, x1, x2, x3) = (asv[0], asv[1], asv[2], asv[3]);
+                    for c in 0..NR {
+                        let bv = bs[c];
+                        t0[c] += x0 * bv;
+                        t1[c] += x1 * bv;
+                        t2[c] += x2 * bv;
+                        t3[c] += x3 * bv;
+                    }
+                }
+                tile = [t0, t1, t2, t3];
+            } else {
+                for p in 0..k {
+                    let asv = &a[p * m + i..p * m + i + mr];
+                    let bs = &b[p * n + j..p * n + j + nr];
+                    for (r, &x) in asv.iter().enumerate() {
+                        for (t, &bv) in tile[r].iter_mut().zip(bs) {
+                            *t += x * bv;
+                        }
+                    }
+                }
+            }
+            store_tile(&tile, out_rows, n, i - r_base, mr, j, nr, acc);
+            j += nr;
+        }
+        i += mr;
+    }
+}
+
+/// `NT` panel: `out[i][j] = sum_p a[i*k + p] * b[j*k + p]`.
+#[allow(clippy::too_many_arguments)]
+fn block_nt(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    rows: Range<usize>,
+    jc: usize,
+    nc: usize,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
+    let r_base = rows.start;
+    let mut i = rows.start;
+    while i < rows.end {
+        let mr = MR.min(rows.end - i);
+        let mut j = jc;
+        while j < jc + nc {
+            let nr = NR.min(jc + nc - j);
+            let mut tile = [[0.0f32; NR]; MR];
+            if mr == MR && nr == NR {
+                // 32 independent accumulator chains: the dot-product
+                // form cannot vectorise over `p` without reassociating
+                // sums, so throughput comes from instruction-level
+                // parallelism across the tile instead.
+                let arows: [&[f32]; MR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
+                let brows: [&[f32]; NR] = std::array::from_fn(|c| &b[(j + c) * k..(j + c + 1) * k]);
+                for p in 0..k {
+                    let av: [f32; MR] = std::array::from_fn(|r| arows[r][p]);
+                    let bv: [f32; NR] = std::array::from_fn(|c| brows[c][p]);
+                    for (trow, &x) in tile.iter_mut().zip(&av) {
+                        for (t, &y) in trow.iter_mut().zip(&bv) {
+                            *t += x * y;
+                        }
+                    }
+                }
+            } else {
+                for (r, trow) in tile.iter_mut().enumerate().take(mr) {
+                    let arow = &a[(i + r) * k..(i + r + 1) * k];
+                    for (c, t) in trow.iter_mut().enumerate().take(nr) {
+                        let brow = &b[(j + c) * k..(j + c + 1) * k];
+                        let mut s = 0.0f32;
+                        for (&x, &y) in arow.iter().zip(brow) {
+                            s += x * y;
+                        }
+                        *t = s;
+                    }
+                }
+            }
+            store_tile(&tile, out_rows, n, i - r_base, mr, j, nr, acc);
+            j += nr;
+        }
+        i += mr;
+    }
+}
+
+/// Reference kernel: the straightforward triple loop, one sequential
+/// accumulator per output element. Golden-value tests compare the
+/// blocked kernels against this, and benchmarks report it as the
+/// baseline.
+///
+/// # Panics
+///
+/// Panics if the operand shapes disagree under `layout`.
+pub fn naive_gemm(a: &Tensor2, b: &Tensor2, layout: Layout, out: &mut Tensor2) {
+    let (m, n, _) = gemm_dims(a, b, layout);
+    reshape_for_output(out, m, n);
+    naive_gemm_rows(a, b, layout, 0..m, out.as_mut_slice(), false);
+}
+
+fn naive_gemm_rows(
+    a: &Tensor2,
+    b: &Tensor2,
+    layout: Layout,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
+    let (m, n, k) = gemm_dims(a, b, layout);
+    check_rows(m, n, &rows, out_rows.len());
+    let (a, b) = (a.as_slice(), b.as_slice());
+    for i in rows.clone() {
+        let out_row = &mut out_rows[(i - rows.start) * n..(i - rows.start + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                let (x, y) = match layout {
+                    Layout::NN => (a[i * k + p], b[p * n + j]),
+                    Layout::TN => (a[p * m + i], b[p * n + j]),
+                    Layout::NT => (a[i * k + p], b[j * k + p]),
+                };
+                s += x * y;
+            }
+            if acc {
+                *o += s;
+            } else {
+                *o = s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::thread_rng;
+    use crate::rng::Rng;
+
+    const LAYOUTS: [Layout; 3] = [Layout::NN, Layout::TN, Layout::NT];
+
+    fn operands(
+        m: usize,
+        n: usize,
+        k: usize,
+        layout: Layout,
+        rng: &mut impl Rng,
+    ) -> (Tensor2, Tensor2) {
+        let (ashape, bshape) = match layout {
+            Layout::NN => ((m, k), (k, n)),
+            Layout::TN => ((k, m), (k, n)),
+            Layout::NT => ((m, k), (n, k)),
+        };
+        (
+            Tensor2::uniform(ashape.0, ashape.1, 1.0, rng),
+            Tensor2::uniform(bshape.0, bshape.1, 1.0, rng),
+        )
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise_across_shapes() {
+        let mut rng = thread_rng();
+        // Includes sizes below, at, above, and far from tile multiples.
+        let shapes = [
+            (1, 1, 1),
+            (2, 3, 4),
+            (4, 8, 16),
+            (5, 9, 7),
+            (7, 17, 13),
+            (12, 24, 32),
+            (33, 65, 31),
+            (64, 64, 64),
+        ];
+        for layout in LAYOUTS {
+            for &(m, n, k) in &shapes {
+                let (a, b) = operands(m, n, k, layout, &mut rng);
+                let mut blocked = Tensor2::zeros(1, 1);
+                let mut naive = Tensor2::zeros(1, 1);
+                gemm(&a, &b, layout, &mut blocked);
+                naive_gemm(&a, &b, layout, &mut naive);
+                assert_eq!(blocked.shape(), (m, n));
+                for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{layout:?} {m}x{n}x{k}: {x} != {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acc_adds_on_top_of_existing_output() {
+        let mut rng = thread_rng();
+        for layout in LAYOUTS {
+            let (a, b) = operands(6, 10, 5, layout, &mut rng);
+            let (c, d) = operands(6, 10, 3, layout, &mut rng);
+            let mut fused = Tensor2::zeros(1, 1);
+            gemm(&a, &b, layout, &mut fused);
+            gemm_acc(&c, &d, layout, &mut fused);
+            let mut first = Tensor2::zeros(1, 1);
+            let mut second = Tensor2::zeros(1, 1);
+            gemm(&a, &b, layout, &mut first);
+            gemm(&c, &d, layout, &mut second);
+            for ((f, x), y) in fused
+                .as_slice()
+                .iter()
+                .zip(first.as_slice())
+                .zip(second.as_slice())
+            {
+                assert_eq!(f.to_bits(), (x + y).to_bits(), "{layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_partition_is_bitwise_identical_to_whole_call() {
+        let mut rng = thread_rng();
+        for layout in LAYOUTS {
+            let (m, n, k) = (13, 11, 9);
+            let (a, b) = operands(m, n, k, layout, &mut rng);
+            let mut whole = Tensor2::zeros(1, 1);
+            gemm(&a, &b, layout, &mut whole);
+            // Uneven three-way partition.
+            let mut parts = vec![0.0f32; m * n];
+            for (lo, hi) in [(0usize, 5usize), (5, 6), (6, m)] {
+                gemm_rows(&a, &b, layout, lo..hi, &mut parts[lo * n..hi * n]);
+            }
+            for (x, y) in whole.as_slice().iter().zip(&parts) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn force_naive_round_trips_and_matches() {
+        let mut rng = thread_rng();
+        let (a, b) = operands(9, 6, 4, Layout::NN, &mut rng);
+        let mut fast = Tensor2::zeros(1, 1);
+        gemm(&a, &b, Layout::NN, &mut fast);
+        set_force_naive(true);
+        assert!(force_naive());
+        let mut slow = Tensor2::zeros(1, 1);
+        gemm(&a, &b, Layout::NN, &mut slow);
+        set_force_naive(false);
+        assert!(!force_naive());
+        assert_eq!(fast.as_slice(), slow.as_slice());
+    }
+
+    #[test]
+    fn degenerate_shapes_are_handled() {
+        let a = Tensor2::zeros(0, 3);
+        let b = Tensor2::zeros(3, 4);
+        let mut out = Tensor2::zeros(1, 1);
+        gemm(&a, &b, Layout::NN, &mut out);
+        assert_eq!(out.shape(), (0, 4));
+
+        let a = Tensor2::zeros(2, 0);
+        let b = Tensor2::zeros(0, 4);
+        gemm(&a, &b, Layout::NN, &mut out);
+        assert_eq!(out.shape(), (2, 4));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+
+        let a = Tensor2::zeros(2, 3);
+        let b = Tensor2::zeros(3, 0);
+        gemm(&a, &b, Layout::NN, &mut out);
+        assert_eq!(out.shape(), (2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let a = Tensor2::zeros(2, 3);
+        let b = Tensor2::zeros(4, 5);
+        let mut out = Tensor2::zeros(1, 1);
+        gemm(&a, &b, Layout::NN, &mut out);
+    }
+}

@@ -42,8 +42,10 @@ mod tensor;
 mod verify;
 
 pub mod gradcheck;
+pub mod kernels;
 pub mod rng;
 
+pub use kernels::{gemm, gemm_acc, Layout};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor2;
 pub use verify::{TapeError, TapeReport};

@@ -73,6 +73,13 @@ pub(crate) enum Op {
         a: Var,
         mask: Tensor2,
     },
+    LstmGates {
+        x: Var,
+        h: Var,
+        wx: Var,
+        wh: Var,
+        bias: Var,
+    },
     SumAll {
         a: Var,
     },
@@ -403,6 +410,70 @@ impl Tape {
         self.push(Op::MulMask { a, mask }, value)
     }
 
+    /// Fused LSTM gate pre-activations
+    /// `x @ wx + h @ wh + bias` as a single tape node.
+    ///
+    /// For input `x` of `[m, i]`, hidden state `h` of `[m, hidden]`,
+    /// weights `wx` of `[i, 4*hidden]` / `wh` of `[hidden, 4*hidden]`
+    /// and `bias` of `[1, 4*hidden]`, produces the `[m, 4*hidden]`
+    /// pre-activations of all four LSTM gates in one batched GEMM pair
+    /// (one multiply plus one multiply-accumulate into the same output
+    /// buffer), replacing the four-node
+    /// `matmul + matmul + add + add_row` chain. The result is
+    /// bitwise-identical to the unfused chain, and so are the
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent or the weight width is
+    /// not four gates of `hidden` columns each.
+    pub fn lstm_gates(&mut self, x: Var, h: Var, wx: Var, wh: Var, bias: Var) -> Var {
+        let (m, i) = self.value(x).shape();
+        let (hm, hidden) = self.value(h).shape();
+        let (wxr, g4) = self.value(wx).shape();
+        let wh_shape = self.value(wh).shape();
+        let bias_shape = self.value(bias).shape();
+        assert_eq!(hm, m, "lstm_gates: x has {m} rows but h has {hm}");
+        assert_eq!(wxr, i, "lstm_gates: wx is {wxr}x{g4} for {i} inputs");
+        assert_eq!(
+            g4,
+            4 * hidden,
+            "lstm_gates: weight width {g4} is not 4 gates of {hidden}"
+        );
+        assert_eq!(
+            wh_shape,
+            (hidden, g4),
+            "lstm_gates: wh is {wh_shape:?}, expected {:?}",
+            (hidden, g4)
+        );
+        assert_eq!(
+            bias_shape,
+            (1, g4),
+            "lstm_gates: bias is {bias_shape:?}, expected {:?}",
+            (1, g4)
+        );
+        let mut value = Tensor2::zeros(m, g4);
+        crate::kernels::gemm(
+            self.value(x),
+            self.value(wx),
+            crate::kernels::Layout::NN,
+            &mut value,
+        );
+        crate::kernels::gemm_acc(
+            self.value(h),
+            self.value(wh),
+            crate::kernels::Layout::NN,
+            &mut value,
+        );
+        let b = self.value(bias).as_slice().to_vec();
+        for r in 0..m {
+            for (v, &bv) in value.row_mut(r).iter_mut().zip(&b) {
+                *v += bv;
+            }
+        }
+        self.push(Op::LstmGates { x, h, wx, wh, bias }, value)
+    }
+
     /// Sum of all elements, as a `[1, 1]` tensor.
     pub fn sum_all(&mut self, a: Var) -> Var {
         let value = Tensor2::scalar(self.value(a).sum());
@@ -679,6 +750,27 @@ impl Tape {
                 let da = g.zip(mask, |gv, mv| gv * mv);
                 self.accumulate(a, da);
             }
+            Op::LstmGates { x, h, wx, wh, bias } => {
+                let (x, h, wx, wh, bias) = (*x, *h, *wx, *wh, *bias);
+                // The fused node is matmul + matmul + broadcast add, so
+                // its backward is the sum of those ops' backwards.
+                let dx = g.matmul_nt(self.value(wx));
+                let dwx = self.value(x).matmul_tn(g);
+                let dh = g.matmul_nt(self.value(wh));
+                let dwh = self.value(h).matmul_tn(g);
+                let (m, n) = g.shape();
+                let mut db = Tensor2::zeros(1, n);
+                for r in 0..m {
+                    for (d, &gv) in db.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *d += gv;
+                    }
+                }
+                self.accumulate(x, dx);
+                self.accumulate(h, dh);
+                self.accumulate(wx, dwx);
+                self.accumulate(wh, dwh);
+                self.accumulate(bias, db);
+            }
             Op::SumAll { a } => {
                 let a = *a;
                 let (m, n) = self.value(a).shape();
@@ -837,6 +929,61 @@ mod tests {
         let w = tape.leaf(Tensor2::from_rows(&[&[0.25, 0.75]]), false);
         let mixed = tape.chunk_weighted_sum(w, chunks);
         assert_eq!(tape.value(mixed).as_slice(), &[0.25 + 2.25, 0.5 + 3.0]);
+    }
+
+    #[test]
+    fn lstm_gates_matches_unfused_chain_bitwise() {
+        let mut rng = crate::rng::thread_rng();
+        let (m, i, h) = (3, 5, 4);
+        let xs = Tensor2::uniform(m, i, 1.0, &mut rng);
+        let hs = Tensor2::uniform(m, h, 1.0, &mut rng);
+        let wxs = Tensor2::uniform(i, 4 * h, 1.0, &mut rng);
+        let whs = Tensor2::uniform(h, 4 * h, 1.0, &mut rng);
+        let bs = Tensor2::uniform(1, 4 * h, 1.0, &mut rng);
+
+        let mut fused = Tape::new();
+        let (x, hv) = (fused.leaf(xs.clone(), true), fused.leaf(hs.clone(), true));
+        let (wx, wh) = (fused.leaf(wxs.clone(), true), fused.leaf(whs.clone(), true));
+        let b = fused.leaf(bs.clone(), true);
+        let gates = fused.lstm_gates(x, hv, wx, wh, b);
+        let act = fused.tanh(gates);
+        let loss = fused.sum_all(act);
+        fused.backward(loss);
+
+        let mut plain = Tape::new();
+        let (x2, hv2) = (plain.leaf(xs, true), plain.leaf(hs, true));
+        let (wx2, wh2) = (plain.leaf(wxs, true), plain.leaf(whs, true));
+        let b2 = plain.leaf(bs, true);
+        let xa = plain.matmul(x2, wx2);
+        let ha = plain.matmul(hv2, wh2);
+        let s = plain.add(xa, ha);
+        let gates2 = plain.add_row(s, b2);
+        let act2 = plain.tanh(gates2);
+        let loss2 = plain.sum_all(act2);
+        plain.backward(loss2);
+
+        assert_eq!(
+            fused.value(gates).as_slice(),
+            plain.value(gates2).as_slice()
+        );
+        for (f, p) in [(x, x2), (hv, hv2), (wx, wx2), (wh, wh2), (b, b2)] {
+            assert_eq!(
+                fused.grad(f).unwrap().as_slice(),
+                plain.grad(p).unwrap().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lstm_gates")]
+    fn lstm_gates_rejects_non_four_gate_weights() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor2::zeros(2, 3), false);
+        let h = tape.leaf(Tensor2::zeros(2, 4), false);
+        let wx = tape.leaf(Tensor2::zeros(3, 12), false);
+        let wh = tape.leaf(Tensor2::zeros(4, 12), false);
+        let b = tape.leaf(Tensor2::zeros(1, 12), false);
+        let _ = tape.lstm_gates(x, h, wx, wh, b);
     }
 
     #[test]

@@ -199,79 +199,43 @@ impl Tensor2 {
 
     /// Matrix multiplication `self [m,k] @ rhs [k,n] -> [m,n]`.
     ///
+    /// All three `matmul*` variants are thin wrappers around the single
+    /// blocked [`gemm`](crate::kernels::gemm) entry point, so the
+    /// transpose variants share one inner loop and cannot drift. Hot
+    /// paths that want to reuse an output buffer should call
+    /// [`gemm`](crate::kernels::gemm) directly.
+    ///
     /// # Panics
     ///
     /// Panics if the inner dimensions do not agree.
     pub fn matmul(&self, rhs: &Tensor2) -> Tensor2 {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matmul shape mismatch: {}x{} @ {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor2::zeros(m, n);
-        // i-k-j loop order keeps the inner loop streaming over contiguous
-        // rows of `rhs` and `out`.
-        for i in 0..m {
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        self.gemm_into_new(rhs, crate::kernels::Layout::NN)
     }
 
     /// Matrix multiplication with the left operand transposed:
     /// `self^T [k,m] @ rhs [k,n] -> [m,n]` where `self` is `[k,m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not agree.
     pub fn matmul_tn(&self, rhs: &Tensor2) -> Tensor2 {
-        assert_eq!(
-            self.rows, rhs.rows,
-            "matmul_tn shape mismatch: {}x{} (T) @ {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let (k, m, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Tensor2::zeros(m, n);
-        for p in 0..k {
-            let lhs_row = &self.data[p * m..(p + 1) * m];
-            let rhs_row = &rhs.data[p * n..(p + 1) * n];
-            for (i, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        self.gemm_into_new(rhs, crate::kernels::Layout::TN)
     }
 
     /// Matrix multiplication with the right operand transposed:
     /// `self [m,k] @ rhs^T [k,n] -> [m,n]` where `rhs` is `[n,k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not agree.
     pub fn matmul_nt(&self, rhs: &Tensor2) -> Tensor2 {
-        assert_eq!(
-            self.cols, rhs.cols,
-            "matmul_nt shape mismatch: {}x{} @ {}x{} (T)",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        self.gemm_into_new(rhs, crate::kernels::Layout::NT)
+    }
+
+    fn gemm_into_new(&self, rhs: &Tensor2, layout: crate::kernels::Layout) -> Tensor2 {
+        let (m, n, _) = crate::kernels::gemm_dims(self, rhs, layout);
         let mut out = Tensor2::zeros(m, n);
-        for i in 0..m {
-            let lhs_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let rhs_row = &rhs.data[j * k..(j + 1) * k];
-                *o = dot(lhs_row, rhs_row);
-            }
-        }
+        crate::kernels::gemm(self, rhs, layout, &mut out);
         out
     }
 
@@ -381,10 +345,6 @@ impl Tensor2 {
     }
 }
 
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,7 +395,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "matmul shape mismatch")]
+    #[should_panic(expected = "shape mismatch")]
     fn matmul_rejects_mismatch() {
         let a = Tensor2::zeros(2, 3);
         let b = Tensor2::zeros(2, 3);

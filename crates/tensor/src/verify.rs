@@ -282,6 +282,31 @@ impl Tape {
                 }
                 mismatch("mul_mask", shape(a))
             }
+            Op::LstmGates { x, h, wx, wh, bias } => {
+                let ((m, i), (hm, hidden)) = (shape(x), shape(h));
+                let ((wxr, g4), whs) = (shape(wx), shape(wh));
+                if hm != m {
+                    return inconsistent("lstm_gates", format!("x has {m} rows but h has {hm}"));
+                }
+                if wxr != i || g4 != 4 * hidden || whs != (hidden, g4) {
+                    return inconsistent(
+                        "lstm_gates",
+                        format!(
+                            "weights {:?}/{whs:?} for x {:?}, h {:?}",
+                            (wxr, g4),
+                            (m, i),
+                            (hm, hidden)
+                        ),
+                    );
+                }
+                if shape(bias) != (1, g4) {
+                    return inconsistent(
+                        "lstm_gates",
+                        format!("bias {:?}, expected {:?}", shape(bias), (1, g4)),
+                    );
+                }
+                mismatch("lstm_gates", (m, g4))
+            }
             Op::SumAll { .. } => mismatch("sum_all", (1, 1)),
             Op::MeanAll { .. } => mismatch("mean_all", (1, 1)),
             Op::SoftmaxCe {
@@ -346,6 +371,7 @@ fn op_inputs(op: &Op) -> Vec<usize> {
         | Op::MeanAll { a } => vec![a.0],
         Op::ConcatCols { parts } => parts.iter().map(|v| v.0).collect(),
         Op::ChunkDot { q, chunks, .. } => vec![q.0, chunks.0],
+        Op::LstmGates { x, h, wx, wh, bias } => vec![x.0, h.0, wx.0, wh.0, bias.0],
         Op::ChunkWeightedSum { w, chunks } => vec![w.0, chunks.0],
         Op::SoftmaxCe { logits, .. } => vec![logits.0],
         Op::BceLogits { logits, .. } => vec![logits.0],

@@ -42,7 +42,7 @@ fn main() {
         ("isb+bo hybrid", Box::new(IsbBoHybrid::new())),
     ];
     for (name, mut p) in classical {
-        let preds: Vec<Vec<u64>> = stream.iter().map(|a| p.access(a)).collect();
+        let preds: Vec<Vec<u64>> = stream.iter().map(|a| p.access_collect(a)).collect();
         let score = unified_accuracy_coverage_windowed(&stream, &preds, 10);
         println!(
             "{:<34} {:>9.3} {:>14}",

@@ -20,7 +20,7 @@ use voyager_trace::gen::{Benchmark, GeneratorConfig};
 use voyager_trace::Trace;
 
 fn classical(stream: &Trace, p: &mut dyn Prefetcher) -> f64 {
-    let preds: Vec<Vec<u64>> = stream.iter().map(|a| p.access(a)).collect();
+    let preds: Vec<Vec<u64>> = stream.iter().map(|a| p.access_collect(a)).collect();
     unified_accuracy_coverage_windowed(stream, &preds, 10).value()
 }
 

@@ -54,7 +54,7 @@ fn main() {
     let online_score = run.unified_score_windowed(&stream, 10);
     let profiled_score = profiled.unified_score_windowed(&stream, 10);
     let mut isb = Isb::new();
-    let isb_preds: Vec<Vec<u64>> = stream.iter().map(|a| isb.access(a)).collect();
+    let isb_preds: Vec<Vec<u64>> = stream.iter().map(|a| isb.access_collect(a)).collect();
     let isb_score = unified_accuracy_coverage_windowed(&stream, &isb_preds, 10);
     println!("\nunified accuracy/coverage (window 10):");
     println!("  voyager (online, §5.1):   {online_score}");

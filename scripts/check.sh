@@ -16,5 +16,6 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo run --release -p voyager-analyze
 run cargo build --release
 run cargo test -q
+run cargo run --release -p voyager-bench --bin pr3_kernels -- --smoke
 
 echo "==> all checks passed"

@@ -69,7 +69,7 @@ fn windowed_score_dominates_strict_score() {
     let trace = Benchmark::Omnetpp.generate(&GeneratorConfig::small());
     let stream = llc_stream(&trace, &SimConfig::scaled());
     let mut isb = Isb::new();
-    let preds: Vec<Vec<u64>> = stream.iter().map(|a| isb.access(a)).collect();
+    let preds: Vec<Vec<u64>> = stream.iter().map(|a| isb.access_collect(a)).collect();
     let strict = unified_accuracy_coverage_windowed(&stream, &preds, 1);
     let windowed = unified_accuracy_coverage_windowed(&stream, &preds, 10);
     assert!(windowed.correct >= strict.correct);
@@ -88,8 +88,8 @@ fn degree_truncation_is_a_prefix_of_higher_degree() {
     let mut r4 = ReplayPrefetcher::new(run.predictions.clone());
     r4.set_degree(4);
     for a in &stream {
-        let p1 = r1.access(a);
-        let p4 = r4.access(a);
+        let p1 = r1.access_collect(a);
+        let p4 = r4.access_collect(a);
         assert!(p1.len() <= 1);
         assert!(p4.len() <= 4);
         if !p1.is_empty() {

@@ -12,7 +12,7 @@ use voyager_trace::{MemoryAccess, Trace};
 const W: usize = 10;
 
 fn classical(stream: &Trace, p: &mut dyn Prefetcher) -> f64 {
-    let preds: Vec<Vec<u64>> = stream.iter().map(|a| p.access(a)).collect();
+    let preds: Vec<Vec<u64>> = stream.iter().map(|a| p.access_collect(a)).collect();
     unified_accuracy_coverage_windowed(stream, &preds, W).value()
 }
 

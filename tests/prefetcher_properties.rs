@@ -51,7 +51,11 @@ fn predictions_never_exceed_degree() {
         for mut p in all_prefetchers() {
             p.set_degree(degree);
             for a in &trace {
-                assert!(p.access(a).len() <= degree, "{} exceeded degree", p.name());
+                assert!(
+                    p.access_collect(a).len() <= degree,
+                    "{} exceeded degree",
+                    p.name()
+                );
             }
         }
     }
@@ -64,7 +68,7 @@ fn prefetchers_are_deterministic() {
         let trace = rand_trace(150, &mut rng);
         for (mut p1, mut p2) in all_prefetchers().into_iter().zip(all_prefetchers()) {
             for a in &trace {
-                assert_eq!(p1.access(a), p2.access(a));
+                assert_eq!(p1.access_collect(a), p2.access_collect(a));
             }
         }
     }
@@ -78,7 +82,7 @@ fn metadata_is_monotone_nondecreasing() {
         for mut p in all_prefetchers() {
             let mut last = p.metadata_bytes();
             for a in &trace {
-                let _ = p.access(a);
+                let _ = p.access_collect(a);
                 let now = p.metadata_bytes();
                 assert!(now >= last, "{} metadata shrank", p.name());
                 last = now;
@@ -112,7 +116,7 @@ fn windowed_score_is_monotone_in_window() {
     for _ in 0..CASES {
         let trace = rand_trace(200, &mut rng);
         let mut isb = Isb::new();
-        let preds: Vec<Vec<u64>> = trace.iter().map(|a| isb.access(a)).collect();
+        let preds: Vec<Vec<u64>> = trace.iter().map(|a| isb.access_collect(a)).collect();
         let mut last = 0usize;
         for w in [1usize, 2, 4, 8, 16] {
             let s = unified_accuracy_coverage_windowed(&trace, &preds, w);
@@ -130,7 +134,7 @@ fn score_value_and_precision_are_probabilities() {
         let degree = rng.gen_range(1usize..4);
         for mut p in all_prefetchers() {
             p.set_degree(degree);
-            let preds: Vec<Vec<u64>> = trace.iter().map(|a| p.access(a)).collect();
+            let preds: Vec<Vec<u64>> = trace.iter().map(|a| p.access_collect(a)).collect();
             let s = unified_accuracy_coverage_windowed(&trace, &preds, 10);
             assert!((0.0..=1.0).contains(&s.value()));
             assert!((0.0..=1.0).contains(&s.precision()));
@@ -161,7 +165,7 @@ fn stms_exactly_replays_a_repeated_stream() {
             .map(|&l| MemoryAccess::new(1, l * 64))
             .collect();
         let mut stms = Stms::new();
-        let preds: Vec<Vec<u64>> = trace.iter().map(|a| stms.access(a)).collect();
+        let preds: Vec<Vec<u64>> = trace.iter().map(|a| stms.access_collect(a)).collect();
         // Predictions during the second pass (except the very last access).
         for t in lines.len()..trace.len() - 1 {
             assert_eq!(&preds[t], &vec![trace[t + 1].line()]);
