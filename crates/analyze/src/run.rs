@@ -12,7 +12,7 @@ use std::path::Path;
 /// (CLI tools) is exempt from the panic lints but still policed for
 /// offline-ness and lock order.
 const LIB_CRATES: &[&str] = &[
-    "tensor", "nn", "trace", "sim", "prefetch", "core", "runtime", "analyze",
+    "tensor", "nn", "trace", "sim", "prefetch", "core", "runtime", "analyze", "obs",
 ];
 
 /// Modules whose entire purpose is wall-clock measurement or seeding:
@@ -24,8 +24,10 @@ const TIMING_MODULES: &[&str] = &[
     "crates/core/src/online.rs",        // online-loop latency accounting
     "crates/runtime/src/microbatch.rs", // serving latency percentiles
     "crates/runtime/src/trainer.rs",    // wall-clock throughput report
-    "crates/tensor/src/rng.rs",         // thread_rng seeding (the one
-                                        // sanctioned nondeterminism entry)
+    "crates/obs/src/clock.rs",          // MonotonicClock: the Clock
+    // impl behind span timing
+    "crates/tensor/src/rng.rs", // thread_rng seeding (the one
+                                // sanctioned nondeterminism entry)
 ];
 
 /// Import roots every workspace file may use.
@@ -39,6 +41,7 @@ const WORKSPACE_ROOTS: &[&str] = &[
     "voyager_runtime",
     "voyager_bench",
     "voyager_analyze",
+    "voyager_obs",
     "voyager_repro",
 ];
 

@@ -29,7 +29,12 @@ fn main() {
         .map(|c| {
             (
                 c.benchmark.clone(),
-                c.results.iter().map(|(_, o)| o.accuracy()).collect(),
+                c.results
+                    .iter()
+                    // Prefetchers that issued nothing have no accuracy;
+                    // render those cells as 0 in the table.
+                    .map(|(_, o)| o.accuracy().unwrap_or(0.0))
+                    .collect(),
             )
         })
         .collect();
@@ -42,7 +47,7 @@ fn main() {
                 c.benchmark.clone(),
                 c.results
                     .iter()
-                    .map(|(_, o)| o.coverage_vs(&c.baseline))
+                    .map(|(_, o)| o.coverage_vs(&c.baseline).unwrap_or(0.0))
                     .collect(),
             )
         })

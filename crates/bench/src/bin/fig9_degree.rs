@@ -29,12 +29,20 @@ fn main() {
         for (di, &d) in DEGREES.iter().enumerate() {
             let mut isb = Isb::new();
             isb.set_degree(d);
-            cov[0][di].push(simulate(&w.trace, &mut isb, &cfg).coverage_vs(&baseline));
+            cov[0][di].push(
+                simulate(&w.trace, &mut isb, &cfg)
+                    .coverage_vs(&baseline)
+                    .unwrap_or(0.0),
+            );
             let mut hybrid = IsbBoHybrid::new();
             hybrid.set_degree(d);
-            cov[1][di].push(simulate(&w.trace, &mut hybrid, &cfg).coverage_vs(&baseline));
+            cov[1][di].push(
+                simulate(&w.trace, &mut hybrid, &cfg)
+                    .coverage_vs(&baseline)
+                    .unwrap_or(0.0),
+            );
             let out = replay_sim(&w.trace, vy.predictions.clone(), d);
-            cov[2][di].push(out.coverage_vs(&baseline));
+            cov[2][di].push(out.coverage_vs(&baseline).unwrap_or(0.0));
         }
     }
     println!("\n== Figure 9: mean coverage vs prefetch degree ==");

@@ -256,122 +256,6 @@ fn render_json(
     s
 }
 
-/// Minimal JSON well-formedness check (no third-party deps): validates
-/// one complete JSON value with balanced structure and legal scalars.
-fn check_json(input: &str) -> Result<(), String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    fn skip_ws(b: &[u8], p: &mut usize) {
-        while *p < b.len() && (b[*p] as char).is_ascii_whitespace() {
-            *p += 1;
-        }
-    }
-    fn value(b: &[u8], p: &mut usize) -> Result<(), String> {
-        skip_ws(b, p);
-        match b.get(*p) {
-            Some(b'{') => {
-                *p += 1;
-                skip_ws(b, p);
-                if b.get(*p) == Some(&b'}') {
-                    *p += 1;
-                    return Ok(());
-                }
-                loop {
-                    skip_ws(b, p);
-                    string(b, p)?;
-                    skip_ws(b, p);
-                    if b.get(*p) != Some(&b':') {
-                        return Err(format!("expected ':' at byte {p:?}"));
-                    }
-                    *p += 1;
-                    value(b, p)?;
-                    skip_ws(b, p);
-                    match b.get(*p) {
-                        Some(b',') => *p += 1,
-                        Some(b'}') => {
-                            *p += 1;
-                            return Ok(());
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {p:?}")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *p += 1;
-                skip_ws(b, p);
-                if b.get(*p) == Some(&b']') {
-                    *p += 1;
-                    return Ok(());
-                }
-                loop {
-                    value(b, p)?;
-                    skip_ws(b, p);
-                    match b.get(*p) {
-                        Some(b',') => *p += 1,
-                        Some(b']') => {
-                            *p += 1;
-                            return Ok(());
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {p:?}")),
-                    }
-                }
-            }
-            Some(b'"') => string(b, p),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => {
-                let start = *p;
-                *p += 1;
-                while *p < b.len()
-                    && (b[*p].is_ascii_digit()
-                        || b[*p] == b'.'
-                        || b[*p] == b'e'
-                        || b[*p] == b'E'
-                        || b[*p] == b'+'
-                        || b[*p] == b'-')
-                {
-                    *p += 1;
-                }
-                let text = std::str::from_utf8(&b[start..*p]).map_err(|e| e.to_string())?;
-                text.parse::<f64>()
-                    .map(|_| ())
-                    .map_err(|_| format!("bad number {text:?}"))
-            }
-            Some(_) => {
-                for lit in ["true", "false", "null"] {
-                    if b[*p..].starts_with(lit.as_bytes()) {
-                        *p += lit.len();
-                        return Ok(());
-                    }
-                }
-                Err(format!("unexpected token at byte {p:?}"))
-            }
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-    fn string(b: &[u8], p: &mut usize) -> Result<(), String> {
-        if b.get(*p) != Some(&b'"') {
-            return Err(format!("expected '\"' at byte {p:?}"));
-        }
-        *p += 1;
-        while let Some(&c) = b.get(*p) {
-            match c {
-                b'"' => {
-                    *p += 1;
-                    return Ok(());
-                }
-                b'\\' => *p += 2,
-                _ => *p += 1,
-            }
-        }
-        Err("unterminated string".to_string())
-    }
-    value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing garbage at byte {pos}"));
-    }
-    Ok(())
-}
-
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (sizes, gemm_iters, train_iters, serve_requests): (&[usize], usize, usize, usize) = if smoke
@@ -416,7 +300,7 @@ fn main() {
         &train,
         &serve,
     );
-    if let Err(e) = check_json(&json) {
+    if let Err(e) = voyager_obs::json::validate(&json) {
         eprintln!("generated JSON is malformed: {e}\n{json}");
         std::process::exit(1);
     }

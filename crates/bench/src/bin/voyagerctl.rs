@@ -25,6 +25,11 @@
 //!                        [--config test|scaled]
 //!     Drive the microbatched inference server with C client threads
 //!     and print throughput plus p50/p99 latency.
+//! voyagerctl metrics [--smoke]
+//!     Run a short sim + train + serve pipeline with the voyager-obs
+//!     observability layer enabled and dump the full metrics snapshot
+//!     (counters, histograms, span tree) as validated JSON on stdout.
+//!     `--smoke` shrinks the workload for CI.
 //! ```
 
 use std::fs::File;
@@ -33,13 +38,14 @@ use std::process::ExitCode;
 use std::str::FromStr;
 
 use voyager::{DeltaLstm, DeltaLstmConfig, OnlineRun, TrainingSet, VoyagerConfig, VoyagerModel};
+use voyager_obs::{Profiler, Registry};
 use voyager_prefetch::{
     BestOffset, Domino, Isb, IsbBoHybrid, IsbStructural, Markov, NextLine, Prefetcher, Sms, Stms,
     StridePc, Vldp,
 };
 use voyager_runtime::{
-    train_data_parallel, CheckpointManager, InferenceRequest, MicrobatchConfig, MicrobatchServer,
-    TrainerConfig, VoyagerService,
+    train_data_parallel, train_data_parallel_profiled, CheckpointManager, InferenceRequest,
+    MicrobatchConfig, MicrobatchServer, TrainerConfig, VoyagerService,
 };
 use voyager_sim::{llc_stream, unified_accuracy_coverage_windowed, SimConfig};
 use voyager_trace::gen::{Benchmark, GeneratorConfig};
@@ -58,8 +64,9 @@ fn main() -> ExitCode {
         Some("simpoints") => cmd_simpoints(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         _ => {
-            eprintln!("usage: voyagerctl <gen|stats|filter|run|simpoints|train|serve-bench> ... (see --help in the module docs)");
+            eprintln!("usage: voyagerctl <gen|stats|filter|run|simpoints|train|serve-bench|metrics> ... (see --help in the module docs)");
             return ExitCode::from(2);
         }
     };
@@ -360,6 +367,148 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
         stats.latency_quantile(0.5),
         stats.latency_quantile(0.99)
     );
+    Ok(())
+}
+
+/// Runs a short end-to-end pipeline (timing sim, data-parallel
+/// training, microbatched serving) with every observability hook
+/// enabled, folds the results into one [`Registry`] snapshot, and
+/// prints the validated JSON dump on stdout.
+fn cmd_metrics(args: &[String]) -> CliResult {
+    if let Some(bad) = args.iter().find(|a| a.as_str() != "--smoke") {
+        return Err(format!("usage: metrics [--smoke] (unexpected argument {bad:?})").into());
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (gen_cfg, cfg, steps, requests) = if smoke {
+        (
+            GeneratorConfig::small(),
+            VoyagerConfig::test(),
+            4usize,
+            64usize,
+        )
+    } else {
+        (GeneratorConfig::medium(), VoyagerConfig::scaled(), 32, 512)
+    };
+    voyager_tensor::kernels::reset_kernel_metrics();
+    let registry = Registry::new();
+    let profiler = Profiler::monotonic();
+
+    // Timing simulation: per-level demand counters plus the prefetch
+    // outcome breakdown from SimOutcome.
+    let trace = Benchmark::Pr.generate(&gen_cfg);
+    let sim_cfg = SimConfig::scaled();
+    let outcome = {
+        let _sim = profiler.span("sim");
+        voyager_sim::simulate(&trace, &mut BestOffset::new(), &sim_cfg)
+    };
+    for (name, v) in [
+        ("sim.core.instructions", outcome.instructions),
+        ("sim.core.mshr_stalls", outcome.mshr_stalls),
+        ("sim.core.rob_stalls", outcome.rob_stalls),
+        ("sim.l1.accesses", outcome.l1_accesses),
+        ("sim.l1.misses", outcome.l1_misses),
+        ("sim.l2.accesses", outcome.l2_accesses),
+        ("sim.l2.misses", outcome.l2_misses),
+        ("sim.llc.accesses", outcome.llc_accesses),
+        ("sim.llc.misses", outcome.llc_misses),
+        ("sim.prefetch.issued", outcome.issued_prefetches),
+        ("sim.prefetch.useful", outcome.useful_prefetches),
+        ("sim.prefetch.late_hits", outcome.late_prefetch_hits),
+    ] {
+        registry.counter(name).add(v);
+    }
+
+    // Data-parallel training under the span profiler (epoch > step >
+    // grad/allreduce/optimizer tree).
+    let stream = llc_stream(&trace, &sim_cfg);
+    let set = TrainingSet::build(&stream, &cfg);
+    if set.is_empty() {
+        return Err("stream produced no trainable samples".into());
+    }
+    let mut tcfg = TrainerConfig::new(2, &cfg);
+    tcfg.max_steps = Some(steps);
+    let (_model, report) = train_data_parallel_profiled(&set, &cfg, &tcfg, &profiler);
+    registry.counter("train.steps").add(report.steps as u64);
+    registry.counter("train.samples").add(report.samples as u64);
+    registry.gauge("train.workers").set(report.workers as i64);
+
+    // Microbatched serving: the server's shared histograms split
+    // request latency into queue wait and batched compute.
+    let vocab = voyager_trace::vocab::Vocabulary::build(&stream, &cfg.vocab);
+    let tokens = vocab.tokenize(&stream);
+    if tokens.len() < cfg.seq_len {
+        return Err("stream shorter than one history window".into());
+    }
+    let windows: Vec<InferenceRequest> = (cfg.seq_len - 1..tokens.len())
+        .map(|t| {
+            let w = &tokens[t + 1 - cfg.seq_len..=t];
+            InferenceRequest {
+                pc: w.iter().map(|a| a.pc as usize).collect(),
+                page: w.iter().map(|a| a.page as usize).collect(),
+                offset: w.iter().map(|a| a.offset as usize).collect(),
+            }
+        })
+        .collect();
+    let model = VoyagerModel::new(
+        &cfg,
+        vocab.pc_vocab_len(),
+        vocab.page_vocab_len(),
+        vocab.offset_vocab_len(),
+    );
+    let stats = {
+        let _serve = profiler.span("serve");
+        let (server, client) =
+            MicrobatchServer::spawn(VoyagerService::new(model, 2), MicrobatchConfig::default());
+        let clients = 2usize;
+        let per_client = requests.div_ceil(clients);
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let client = client.clone();
+                let windows = &windows;
+                scope.spawn(move || {
+                    for i in 0..per_client {
+                        let req = windows[(c * per_client + i) % windows.len()].clone();
+                        if client.infer(req).is_none() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        drop(client);
+        server.join()
+    };
+    registry
+        .counter("serve.requests")
+        .add(stats.requests as u64);
+    registry.counter("serve.batches").add(stats.batches as u64);
+
+    // Kernel-layer counters (the bench crate builds voyager-tensor
+    // with the `obs` feature, so these are live).
+    registry
+        .counter("tensor.gemm.calls")
+        .add(voyager_tensor::kernels::gemm_invocations());
+    registry
+        .counter("tensor.gemm.flops")
+        .add(voyager_tensor::kernels::gemm_flops());
+
+    // Fold the server's histogram snapshots into the registry snapshot
+    // and compose the final document.
+    let mut snap = registry.snapshot();
+    snap.histograms
+        .insert("serve.latency_ns".into(), stats.latency);
+    snap.histograms
+        .insert("serve.queue_wait_ns".into(), stats.queue_wait);
+    snap.histograms
+        .insert("serve.compute_ns".into(), stats.compute);
+    let json = format!(
+        "{{\"voyagerctl\": \"metrics\", \"mode\": \"{}\", \"benchmark\": \"pr\", \"metrics\": {}, \"spans\": {}}}",
+        if smoke { "smoke" } else { "full" },
+        snap.to_json(),
+        profiler.report().to_json(),
+    );
+    voyager_obs::json::validate(&json).map_err(|e| format!("metrics JSON is malformed: {e}"))?;
+    println!("{json}");
     Ok(())
 }
 

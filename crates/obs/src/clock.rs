@@ -1,0 +1,96 @@
+//! Monotonic time sources for span timing.
+//!
+//! Spans never read the wall clock directly: they go through the
+//! [`Clock`] trait so tests can inject a [`ManualClock`] and assert on
+//! exact durations. [`MonotonicClock`] is the production source and
+//! the only place in `voyager-obs` that touches `Instant` — this file
+//! is the crate's sanctioned timing module under the
+//! `voyager-analyze` nondeterminism lint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone nanosecond source with an arbitrary fixed origin.
+///
+/// Implementations must be non-decreasing: two reads `a` then `b` on
+/// any threads satisfy `a <= b` under the usual happens-before rules.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds elapsed since the clock's origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: wall time via a monotonic [`Instant`] origin.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose origin is the moment of construction.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // Saturates after ~584 years of process uptime.
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// A deterministic test clock advanced explicitly by the caller.
+///
+/// Starts at 0 and only moves when [`ManualClock::advance`] is called,
+/// so span durations in tests are exact, asserted-on values.
+#[derive(Debug, Default)]
+pub struct ManualClock(AtomicU64);
+
+impl ManualClock {
+    /// Creates a clock at time 0 (usable in `static` position).
+    pub const fn new() -> Self {
+        ManualClock(AtomicU64::new(0))
+    }
+
+    /// Moves the clock forward by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_nondecreasing() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(42);
+        assert_eq!(c.now_ns(), 42);
+        c.advance(8);
+        assert_eq!(c.now_ns(), 50);
+    }
+}

@@ -1,0 +1,211 @@
+//! Hand-rolled JSON helpers shared by every exporter in the workspace.
+//!
+//! The workspace builds offline with zero third-party crates, so JSON
+//! is rendered by string concatenation (the conventions established by
+//! the PR 3 bench harness: objects with `"key": value` pairs, two-space
+//! indent at top level where pretty output matters, finite numbers
+//! only). This module centralizes the two pieces every emitter needs:
+//! string escaping / float formatting for the render side, and
+//! [`validate`], a minimal well-formedness checker run over emitted
+//! documents before they are written, so a malformed render fails the
+//! producing process rather than a downstream consumer.
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as a JSON-legal number: finite values with three
+/// decimals, non-finite values as `0.0` (JSON has no NaN/Inf).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Minimal JSON well-formedness check (no third-party deps): validates
+/// one complete JSON value with balanced structure and legal scalars.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed byte found.
+pub fn validate(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], p: &mut usize) {
+    while *p < b.len() && (b[*p] as char).is_ascii_whitespace() {
+        *p += 1;
+    }
+}
+
+fn value(b: &[u8], p: &mut usize) -> Result<(), String> {
+    skip_ws(b, p);
+    match b.get(*p) {
+        Some(b'{') => {
+            *p += 1;
+            skip_ws(b, p);
+            if b.get(*p) == Some(&b'}') {
+                *p += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, p);
+                string(b, p)?;
+                skip_ws(b, p);
+                if b.get(*p) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {p:?}"));
+                }
+                *p += 1;
+                value(b, p)?;
+                skip_ws(b, p);
+                match b.get(*p) {
+                    Some(b',') => *p += 1,
+                    Some(b'}') => {
+                        *p += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {p:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *p += 1;
+            skip_ws(b, p);
+            if b.get(*p) == Some(&b']') {
+                *p += 1;
+                return Ok(());
+            }
+            loop {
+                value(b, p)?;
+                skip_ws(b, p);
+                match b.get(*p) {
+                    Some(b',') => *p += 1,
+                    Some(b']') => {
+                        *p += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {p:?}")),
+                }
+            }
+        }
+        Some(b'"') => string(b, p),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *p;
+            *p += 1;
+            while *p < b.len()
+                && (b[*p].is_ascii_digit()
+                    || b[*p] == b'.'
+                    || b[*p] == b'e'
+                    || b[*p] == b'E'
+                    || b[*p] == b'+'
+                    || b[*p] == b'-')
+            {
+                *p += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*p]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(|_| ())
+                .map_err(|_| format!("bad number {text:?}"))
+        }
+        Some(_) => {
+            for lit in ["true", "false", "null"] {
+                if b[*p..].starts_with(lit.as_bytes()) {
+                    *p += lit.len();
+                    return Ok(());
+                }
+            }
+            Err(format!("unexpected token at byte {p:?}"))
+        }
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn string(b: &[u8], p: &mut usize) -> Result<(), String> {
+    if b.get(*p) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {p:?}"));
+    }
+    *p += 1;
+    while let Some(&c) = b.get(*p) {
+        match c {
+            b'"' => {
+                *p += 1;
+                return Ok(());
+            }
+            b'\\' => *p += 2,
+            _ => *p += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "{\"a\": 1, \"b\": [true, false, null], \"c\": {\"d\": -1.5e3}}",
+            "\"just a string\"",
+            "  42  ",
+        ] {
+            assert!(validate(doc).is_ok(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "{",
+            "{\"a\": }",
+            "[1, 2,]",
+            "{\"a\" 1}",
+            "nul",
+            "{} trailing",
+            "\"unterminated",
+            "--3",
+        ] {
+            assert!(validate(doc).is_err(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        let doc = format!("{{\"k\": \"{}\"}}", escape("quote \" slash \\ nl \n"));
+        assert!(validate(&doc).is_ok());
+    }
+
+    #[test]
+    fn fmt_f64_never_emits_non_finite() {
+        assert_eq!(fmt_f64(1.5), "1.500");
+        assert_eq!(fmt_f64(f64::NAN), "0.0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0.0");
+        assert!(validate(&fmt_f64(f64::NEG_INFINITY)).is_ok());
+    }
+}

@@ -1,0 +1,71 @@
+//! Zero-dependency observability core for the Voyager reproduction.
+//!
+//! The paper evaluates Voyager entirely through measured statistics —
+//! accuracy, coverage, IPC, and the Section 6.5 compute/latency
+//! overheads — and the repo's north star (a production-scale serving
+//! stack) is unshippable without trustworthy telemetry. This crate is
+//! the shared instrumentation layer those measurements flow through:
+//!
+//! * [`metrics`] — named atomic [`Counter`]s and [`Gauge`]s, and
+//!   log2-bucketed [`Histogram`]s that keep an exact sample window so
+//!   small-sample quantiles are exact and large-sample quantiles are
+//!   within one bucket width (nearest-rank semantics throughout, see
+//!   [`nearest_rank`]). A [`Registry`] interns metrics by name and
+//!   snapshots them into a deterministic (sorted) [`MetricsSnapshot`].
+//! * [`span`] — RAII scoped-span timers ([`Profiler::span`]) that
+//!   aggregate into a hierarchical self-profile with parent/child
+//!   cycle attribution, a printable tree, and JSON export.
+//! * [`clock`] — the monotonic time source behind spans, injected via
+//!   the [`Clock`] trait so tests use a [`ManualClock`] and stay
+//!   deterministic. [`MonotonicClock`] is the only wall-clock read in
+//!   the crate.
+//! * [`json`] — the hand-rolled JSON conventions shared with the bench
+//!   harness: a no-dependency renderer helper set plus [`json::validate`],
+//!   a well-formedness checker for everything this workspace emits.
+//!
+//! # Determinism rules
+//!
+//! Metric *counts* (counters, histogram bucket counts, span counts)
+//! are pure functions of the workload and may be asserted on in tests.
+//! Span and histogram *durations* come from the injected [`Clock`];
+//! production code uses [`MonotonicClock`] (wall clock), tests inject
+//! [`ManualClock`]. Snapshots iterate `BTreeMap`s, so rendered output
+//! is byte-stable for a fixed set of recorded values.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use voyager_obs::{ManualClock, Profiler, Registry};
+//!
+//! let registry = Registry::new();
+//! registry.counter("demo.events").add(3);
+//!
+//! let clock = Arc::new(ManualClock::new());
+//! let profiler = Profiler::new(clock.clone());
+//! {
+//!     let epoch = profiler.span("epoch");
+//!     clock.advance(500);
+//!     let step = epoch.child("step");
+//!     clock.advance(1_000);
+//!     drop(step);
+//! }
+//! let report = profiler.report();
+//! assert_eq!(report.roots[0].total_ns, 1_500);
+//! assert_eq!(report.roots[0].self_ns, 500);
+//! assert_eq!(registry.snapshot().counters["demo.events"], 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use metrics::{
+    nearest_rank, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+};
+pub use span::{ProfileReport, Profiler, Span, SpanNode};

@@ -1,0 +1,611 @@
+//! Named atomic counters, gauges, and log2-bucketed histograms.
+//!
+//! Everything here is thread-safe behind `&self` and cheap on the hot
+//! path: counters and gauges are single relaxed atomic ops, and a
+//! histogram record is a handful of atomics plus one short mutex
+//! acquisition while the exact-sample window is still filling.
+//!
+//! Quantiles are **nearest-rank** throughout (see [`nearest_rank`]):
+//! the reported value is always an actually-observed sample (exact
+//! path) or the lower bound of the log2 bucket holding that sample
+//! (bucketed path), never an interpolation. This is the shared
+//! replacement for the ad-hoc percentile code that used to live in
+//! `voyager-runtime`'s microbatch server, whose rounding returned the
+//! *upper* of two samples for `q = 0.5`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::json;
+
+/// A monotonically increasing atomic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed counter (usable in `static` position).
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the count to zero (benchmark reruns and tests).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An atomic point-in-time value (queue depths, sizes, temperatures).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Creates a zeroed gauge (usable in `static` position).
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds the value 0 and bucket `k`
+/// (1 ≤ k ≤ 64) holds values in `[2^(k-1), 2^k)`.
+pub const BUCKETS: usize = 65;
+
+/// Default length of the exact-sample window kept alongside the
+/// buckets; samples beyond it are bucket-only.
+pub const DEFAULT_EXACT_CAP: usize = 256;
+
+/// Bucket index of `v` under the log2 scheme above.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `k`.
+fn bucket_lower_bound(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else {
+        1u64 << (k - 1)
+    }
+}
+
+/// Nearest-rank index for quantile `q` over `n` ascending-sorted
+/// samples: the 0-based index of the smallest sample with cumulative
+/// frequency ≥ `q`, i.e. `ceil(q·n) - 1` clamped into `[0, n-1]`.
+///
+/// `None` when `n == 0` — an empty sample has no quantiles, and
+/// callers must not invent one. Guarantees the boundary cases the old
+/// microbatch rounding got wrong or left fragile: `q = 1.0` can never
+/// index out of bounds, `q = 0.5` of one sample is that sample, and
+/// `q = 0.5` of two samples is the *lower* one (nearest rank, not
+/// round-half-up). `q` outside `[0, 1]` (or NaN) is clamped.
+pub fn nearest_rank(n: usize, q: f64) -> Option<usize> {
+    if n == 0 {
+        return None;
+    }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let rank = (q * n as f64).ceil() as usize;
+    Some(rank.clamp(1, n) - 1)
+}
+
+/// A thread-safe log2-bucketed histogram of `u64` samples (typically
+/// latencies in nanoseconds) with an exact window for small samples.
+///
+/// While at most `exact_cap` samples have been recorded, quantiles are
+/// computed from the exact sorted samples; beyond that they fall back
+/// to the bucket holding the requested rank, which is correct to
+/// within one bucket width (a factor of two on this scale).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    exact_cap: usize,
+    exact: Mutex<Vec<u64>>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the default exact window
+    /// ([`DEFAULT_EXACT_CAP`] samples).
+    pub fn new() -> Self {
+        Histogram::with_exact_cap(DEFAULT_EXACT_CAP)
+    }
+
+    /// Creates an empty histogram keeping up to `cap` exact samples.
+    pub fn with_exact_cap(cap: usize) -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            exact_cap: cap,
+            exact: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        let mut exact = self.exact.lock().unwrap_or_else(PoisonError::into_inner);
+        if exact.len() < self.exact_cap {
+            exact.push(v);
+        }
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram for quantile queries and
+    /// export. Taking a snapshot does not disturb concurrent
+    /// recording.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut exact = self
+            .exact
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        exact.sort_unstable();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            exact,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// An immutable copy of a [`Histogram`], safe to keep, clone and query
+/// after the live histogram moves on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+    exact: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (no samples).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+            exact: Vec::new(),
+        }
+    }
+
+    /// Builds a snapshot directly from samples (tests and offline
+    /// aggregation).
+    pub fn from_samples(samples: &[u64]) -> Self {
+        let h = Histogram::with_exact_cap(samples.len());
+        for &s in samples {
+            h.record(s);
+        }
+        h.snapshot()
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (wrapping beyond `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when every recorded sample is in the exact window, so
+    /// [`HistogramSnapshot::quantile`] is exact rather than
+    /// bucket-resolution.
+    pub fn is_exact(&self) -> bool {
+        self.exact.len() as u64 == self.count
+    }
+
+    /// The nearest-rank quantile `q` in `[0, 1]`; 0 when empty.
+    ///
+    /// Exact while the sample count fits the exact window; otherwise
+    /// the lower bound of the log2 bucket containing the rank, clamped
+    /// to the observed `[min, max]` — within one bucket width of the
+    /// true sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let Some(rank) = nearest_rank(self.count as usize, q) else {
+            return 0;
+        };
+        if self.is_exact() {
+            return self.exact[rank];
+        }
+        // min and max are tracked exactly even in bucketed mode.
+        if rank == 0 {
+            return self.min();
+        }
+        if rank as u64 == self.count - 1 {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank as u64 {
+                return bucket_lower_bound(k).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Renders one JSON object value (count/sum/min/max/mean plus
+    /// p50/p90/p99/p100), compact, no trailing newline.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p100\": {}, \"exact\": {}}}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            json::fmt_f64(self.mean()),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.quantile(1.0),
+            self.is_exact(),
+        )
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+/// Interns counters, gauges and histograms by name and snapshots them
+/// all at once. Names are free-form dotted paths by repo convention:
+/// `<crate>.<subsystem>.<what>[_<unit>]`, e.g. `sim.llc.misses` or
+/// `serve.latency_ns`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created zeroed on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// The gauge named `name`, created zeroed on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// The histogram named `name`, created empty (default exact
+    /// window) on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Snapshots every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]: plain sorted maps, open for
+/// callers to fold in metrics gathered elsewhere before export.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders one JSON object value (`{"counters": .., "gauges": ..,
+    /// "histograms": ..}`), compact, no trailing newline. Output is
+    /// byte-stable for a fixed snapshot (sorted maps).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {v}", json::escape(k)));
+        }
+        s.push_str("}, \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {v}", json::escape(k)));
+        }
+        s.push_str("}, \"histograms\": {");
+        for (i, (k, v)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": {}", json::escape(k), v.to_json()));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Renders a human-readable text listing, one metric per line.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.counters {
+            s.push_str(&format!("counter    {k:<32} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            s.push_str(&format!("gauge      {k:<32} {v}\n"));
+        }
+        for (k, v) in &self.histograms {
+            s.push_str(&format!(
+                "histogram  {k:<32} count {} p50 {} p99 {} max {}\n",
+                v.count(),
+                v.quantile(0.5),
+                v.quantile(0.99),
+                v.max(),
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn bucket_scheme_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_lower_bound(1), 1);
+        assert_eq!(bucket_lower_bound(2), 2);
+        assert_eq!(bucket_lower_bound(3), 4);
+    }
+
+    #[test]
+    fn nearest_rank_boundary_grid() {
+        // The satellite-bug grid: n in {0, 1, 2}, q in {0.0, 0.5,
+        // 0.99, 1.0}. The old microbatch rounding returned index 1 for
+        // (n=2, q=0.5) — the upper sample — and this pins the fix.
+        assert_eq!(nearest_rank(0, 0.0), None);
+        assert_eq!(nearest_rank(0, 0.5), None);
+        assert_eq!(nearest_rank(0, 0.99), None);
+        assert_eq!(nearest_rank(0, 1.0), None);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(nearest_rank(1, q), Some(0), "n=1 q={q}");
+        }
+        assert_eq!(nearest_rank(2, 0.0), Some(0));
+        assert_eq!(nearest_rank(2, 0.5), Some(0), "median of 2 is the lower");
+        assert_eq!(nearest_rank(2, 0.99), Some(1));
+        assert_eq!(nearest_rank(2, 1.0), Some(1));
+        // Clamping: out-of-range and NaN q never index out of bounds.
+        assert_eq!(nearest_rank(3, 2.0), Some(2));
+        assert_eq!(nearest_rank(3, -1.0), Some(0));
+        assert_eq!(nearest_rank(3, f64::NAN), Some(0));
+    }
+
+    #[test]
+    fn exact_quantiles_for_small_samples() {
+        let s = HistogramSnapshot::from_samples(&[30, 10, 20]);
+        assert!(s.is_exact());
+        assert_eq!(s.quantile(0.0), 10);
+        assert_eq!(s.quantile(0.5), 20);
+        assert_eq!(s.quantile(1.0), 30);
+        assert_eq!(s.min(), 10);
+        assert_eq!(s.max(), 30);
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucketed_quantile_is_within_one_bucket() {
+        let h = Histogram::with_exact_cap(4); // force the bucketed path
+        for v in [1u64, 2, 4, 8, 100, 1000, 1000, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(!s.is_exact());
+        let p100 = s.quantile(1.0);
+        // True p100 is 1000 (bucket [512, 1024)); the reported lower
+        // bound must be in the same bucket.
+        assert!(p100 <= 1000 && p100 > 500, "p100 {p100}");
+        assert_eq!(s.max(), 1000);
+    }
+
+    #[test]
+    fn registry_interns_and_snapshots_sorted() {
+        let r = Registry::new();
+        r.counter("b.second").add(2);
+        r.counter("a.first").inc();
+        r.counter("a.first").inc(); // same counter, interned
+        r.gauge("depth").set(-4);
+        r.histogram("lat").record(7);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters.keys().collect::<Vec<_>>(),
+            vec!["a.first", "b.second"]
+        );
+        assert_eq!(snap.counters["a.first"], 2);
+        assert_eq!(snap.gauges["depth"], -4);
+        assert_eq!(snap.histograms["lat"].count(), 1);
+        let json = snap.to_json();
+        crate::json::validate(&json).expect("snapshot JSON must be well-formed");
+        // Sorted maps make the render byte-stable.
+        assert_eq!(json, r.snapshot().to_json());
+        assert!(snap.render_text().contains("a.first"));
+    }
+
+    #[test]
+    fn histogram_is_thread_safe() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("recorder thread panicked");
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().max(), 3999);
+    }
+}

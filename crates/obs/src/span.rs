@@ -1,0 +1,317 @@
+//! RAII scoped-span timers aggregating into a hierarchical
+//! self-profile.
+//!
+//! A [`Span`] measures one scope; nesting is *lexical* — child spans
+//! are created from their parent guard ([`Span::child`]) — so the
+//! hierarchy is enforced by borrows, never by thread-local ambient
+//! state, and the aggregated tree shape is a deterministic function of
+//! the code path taken. Durations come from the [`Clock`] injected
+//! into the [`Profiler`], so tests use a
+//! [`ManualClock`](crate::ManualClock) and assert exact values.
+//!
+//! Aggregation is by *path*: every occurrence of `epoch > step > grad`
+//! folds into one node with a count and a total. The report computes
+//! per-node *self* time (total minus children — the parent/child cycle
+//! attribution), renders a printable tree, and exports JSON in the
+//! repo's hand-rolled conventions.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::json;
+
+/// One aggregated node in the live profile tree.
+#[derive(Debug)]
+struct Node {
+    name: &'static str,
+    children: BTreeMap<&'static str, usize>,
+    count: u64,
+    total_ns: u64,
+}
+
+impl Node {
+    fn new(name: &'static str) -> Self {
+        Node {
+            name,
+            children: BTreeMap::new(),
+            count: 0,
+            total_ns: 0,
+        }
+    }
+}
+
+/// Collects scoped spans into a hierarchical self-profile.
+///
+/// Cheap to share by reference across a function tree; span entry and
+/// exit each take one short internal lock. Span *names* must be
+/// `'static` (they come from string literals at instrumentation
+/// sites).
+pub struct Profiler {
+    clock: Arc<dyn Clock>,
+    /// Arena of nodes; index 0 is the synthetic root whose children
+    /// are the top-level spans.
+    tree: Mutex<Vec<Node>>,
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler").finish_non_exhaustive()
+    }
+}
+
+impl Profiler {
+    /// Creates a profiler reading time from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Profiler {
+            clock,
+            tree: Mutex::new(vec![Node::new("")]),
+        }
+    }
+
+    /// Creates a profiler on the production wall clock.
+    pub fn monotonic() -> Self {
+        Profiler::new(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Opens a top-level span named `name`; time accrues to it until
+    /// the returned guard drops.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        self.enter(0, name)
+    }
+
+    fn enter(&self, parent: usize, name: &'static str) -> Span<'_> {
+        let node = {
+            let mut tree = self.tree.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(&existing) = tree[parent].children.get(name) {
+                existing
+            } else {
+                let id = tree.len();
+                tree.push(Node::new(name));
+                tree[parent].children.insert(name, id);
+                id
+            }
+        };
+        Span {
+            profiler: self,
+            node,
+            started_ns: self.clock.now_ns(),
+        }
+    }
+
+    fn exit(&self, node: usize, started_ns: u64) {
+        let elapsed = self.clock.now_ns().saturating_sub(started_ns);
+        let mut tree = self.tree.lock().unwrap_or_else(PoisonError::into_inner);
+        tree[node].count += 1;
+        tree[node].total_ns += elapsed;
+    }
+
+    /// Snapshots the aggregated profile. Spans still open contribute
+    /// their children but not yet their own time.
+    pub fn report(&self) -> ProfileReport {
+        let tree = self.tree.lock().unwrap_or_else(PoisonError::into_inner);
+        fn build(tree: &[Node], id: usize) -> SpanNode {
+            let n = &tree[id];
+            let children: Vec<SpanNode> = n.children.values().map(|&c| build(tree, c)).collect();
+            let child_ns: u64 = children.iter().map(|c| c.total_ns).sum();
+            SpanNode {
+                name: n.name.to_string(),
+                count: n.count,
+                total_ns: n.total_ns,
+                self_ns: n.total_ns.saturating_sub(child_ns),
+                children,
+            }
+        }
+        ProfileReport {
+            roots: tree[0]
+                .children
+                .values()
+                .map(|&c| build(&tree, c))
+                .collect(),
+        }
+    }
+}
+
+/// RAII guard for one span occurrence: created by [`Profiler::span`]
+/// or [`Span::child`], records its elapsed time on drop.
+#[derive(Debug)]
+pub struct Span<'p> {
+    profiler: &'p Profiler,
+    node: usize,
+    started_ns: u64,
+}
+
+impl<'p> Span<'p> {
+    /// Opens a child span under this one.
+    pub fn child(&self, name: &'static str) -> Span<'p> {
+        self.profiler.enter(self.node, name)
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.profiler.exit(self.node, self.started_ns);
+    }
+}
+
+/// One aggregated span in a [`ProfileReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (the string given at the instrumentation site).
+    pub name: String,
+    /// Closed occurrences of this path.
+    pub count: u64,
+    /// Total nanoseconds across occurrences (children included).
+    pub total_ns: u64,
+    /// Nanoseconds not attributed to any child span.
+    pub self_ns: u64,
+    /// Child spans, sorted by name.
+    pub children: Vec<SpanNode>,
+}
+
+/// An aggregated span-tree snapshot from [`Profiler::report`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProfileReport {
+    /// Top-level spans, sorted by name.
+    pub roots: Vec<SpanNode>,
+}
+
+impl ProfileReport {
+    /// Renders the tree as indented text, one span per line.
+    pub fn render_tree(&self) -> String {
+        fn walk(out: &mut String, node: &SpanNode, depth: usize) {
+            let indent = "  ".repeat(depth);
+            out.push_str(&format!(
+                "{indent}{:<width$} count {:>8}  total {:>12} ns  self {:>12} ns\n",
+                node.name,
+                node.count,
+                node.total_ns,
+                node.self_ns,
+                width = 24usize.saturating_sub(indent.len()),
+            ));
+            for c in &node.children {
+                walk(out, c, depth + 1);
+            }
+        }
+        let mut out = String::new();
+        for r in &self.roots {
+            walk(&mut out, r, 0);
+        }
+        out
+    }
+
+    /// Renders one JSON array value of span objects
+    /// (`[{"name", "count", "total_ns", "self_ns", "children"}]`),
+    /// compact, no trailing newline.
+    pub fn to_json(&self) -> String {
+        fn value(node: &SpanNode) -> String {
+            let children: Vec<String> = node.children.iter().map(value).collect();
+            format!(
+                "{{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \"self_ns\": {}, \"children\": [{}]}}",
+                json::escape(&node.name),
+                node.count,
+                node.total_ns,
+                node.self_ns,
+                children.join(", "),
+            )
+        }
+        let roots: Vec<String> = self.roots.iter().map(value).collect();
+        format!("[{}]", roots.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn manual() -> (Arc<ManualClock>, Profiler) {
+        let clock = Arc::new(ManualClock::new());
+        let profiler = Profiler::new(clock.clone());
+        (clock, profiler)
+    }
+
+    #[test]
+    fn spans_aggregate_by_path_with_self_attribution() {
+        let (clock, p) = manual();
+        for _ in 0..3 {
+            let epoch = p.span("epoch");
+            clock.advance(10);
+            {
+                let step = epoch.child("step");
+                clock.advance(100);
+                drop(step);
+            }
+            clock.advance(5);
+            drop(epoch);
+        }
+        let r = p.report();
+        assert_eq!(r.roots.len(), 1);
+        let epoch = &r.roots[0];
+        assert_eq!(epoch.name, "epoch");
+        assert_eq!(epoch.count, 3);
+        assert_eq!(epoch.total_ns, 3 * 115);
+        assert_eq!(epoch.self_ns, 3 * 15);
+        assert_eq!(epoch.children.len(), 1);
+        assert_eq!(epoch.children[0].name, "step");
+        assert_eq!(epoch.children[0].count, 3);
+        assert_eq!(epoch.children[0].total_ns, 300);
+        assert_eq!(epoch.children[0].self_ns, 300);
+    }
+
+    #[test]
+    fn sibling_spans_sorted_and_counted_separately() {
+        let (clock, p) = manual();
+        let root = p.span("train");
+        for _ in 0..2 {
+            let g = root.child("grad");
+            clock.advance(7);
+            drop(g);
+            let a = root.child("apply");
+            clock.advance(3);
+            drop(a);
+        }
+        drop(root);
+        let r = p.report();
+        let names: Vec<&str> = r.roots[0]
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["apply", "grad"], "children sorted by name");
+        assert_eq!(r.roots[0].children[0].total_ns, 6);
+        assert_eq!(r.roots[0].children[1].total_ns, 14);
+    }
+
+    #[test]
+    fn render_and_json_are_deterministic_and_valid() {
+        let (clock, p) = manual();
+        {
+            let s = p.span("serve");
+            clock.advance(1_000);
+            let c = s.child("forward");
+            clock.advance(2_000);
+            drop(c);
+        }
+        let r = p.report();
+        let json = r.to_json();
+        crate::json::validate(&json).expect("span JSON must be well-formed");
+        assert_eq!(json, p.report().to_json(), "byte-stable render");
+        let tree = r.render_tree();
+        assert!(tree.contains("serve"));
+        assert!(tree.contains("  forward"));
+    }
+
+    #[test]
+    fn open_spans_do_not_count_yet() {
+        let (clock, p) = manual();
+        let s = p.span("open");
+        clock.advance(50);
+        let r = p.report();
+        assert_eq!(r.roots[0].count, 0);
+        assert_eq!(r.roots[0].total_ns, 0);
+        drop(s);
+        assert_eq!(p.report().roots[0].count, 1);
+        assert_eq!(p.report().roots[0].total_ns, 50);
+    }
+}

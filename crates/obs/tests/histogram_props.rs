@@ -1,0 +1,125 @@
+//! Property-style seeded-loop tests for histogram quantiles (repo
+//! convention: explicit seeded RNG loops, no proptest dependency).
+//!
+//! The contract under test: for any sample set, the histogram's
+//! nearest-rank quantile is the exact sorted-sample quantile when the
+//! exact window still holds every sample, and within one log2 bucket
+//! width of it once the histogram has degraded to bucketed mode.
+
+use voyager_obs::Histogram;
+
+/// splitmix64 — the workspace's stock seeded generator, inlined here
+/// because `voyager-obs` sits below `voyager-tensor` in the dependency
+/// graph and cannot borrow its RNG.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+const QS: [f64; 6] = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let idx = voyager_obs::nearest_rank(sorted.len(), q).expect("non-empty sample");
+    sorted[idx]
+}
+
+/// Width of the log2 bucket containing `v`: the gap between its lower
+/// bound and the next bucket's lower bound.
+fn bucket_width(v: u64) -> u64 {
+    if v < 2 {
+        1
+    } else {
+        // [2^k, 2^(k+1)) has width 2^k, the bucket's lower bound.
+        1u64 << (63 - v.leading_zeros())
+    }
+}
+
+#[test]
+fn exact_window_quantiles_match_sorted_samples() {
+    for seed in 0..20u64 {
+        let mut rng = SplitMix64(0x5eed_0000 + seed);
+        let n = 1 + (rng.next_u64() % 200) as usize;
+        let h = Histogram::with_exact_cap(4096); // cap >= n: exact path
+        let mut samples: Vec<u64> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = rng.next_u64() % 1_000_000;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        assert!(snap.is_exact());
+        for q in QS {
+            assert_eq!(
+                snap.quantile(q),
+                exact_quantile(&samples, q),
+                "seed {seed} n {n} q {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bucketed_quantiles_within_one_bucket_width_of_exact() {
+    for seed in 0..20u64 {
+        let mut rng = SplitMix64(0xb1c_e7ed + seed);
+        // 1k samples against a 128-entry exact window forces the
+        // bucketed estimation path.
+        let h = Histogram::with_exact_cap(128);
+        let mut samples: Vec<u64> = Vec::with_capacity(1000);
+        for _ in 0..1000 {
+            // Mix magnitudes so many buckets are populated.
+            let shift = (rng.next_u64() % 20) as u32;
+            let v = rng.next_u64() % (1u64 << (shift + 1));
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        assert!(!snap.is_exact());
+        for q in QS {
+            let est = snap.quantile(q);
+            let exact = exact_quantile(&samples, q);
+            let width = bucket_width(exact);
+            let lo = exact.saturating_sub(width);
+            let hi = exact.saturating_add(width);
+            assert!(
+                est >= lo && est <= hi,
+                "seed {seed} q {q}: estimate {est} not within one bucket \
+                 width ({width}) of exact {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn min_max_sum_are_exact_regardless_of_mode() {
+    for seed in 0..10u64 {
+        let mut rng = SplitMix64(0xacc_0157 + seed);
+        let h = Histogram::with_exact_cap(16);
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for _ in 0..500 {
+            let v = rng.next_u64() % 100_000;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 500);
+        assert_eq!(snap.sum(), sum);
+        assert_eq!(snap.min(), min);
+        assert_eq!(snap.max(), max);
+        assert_eq!(snap.quantile(0.0), min, "p0 is the exact min");
+        assert_eq!(snap.quantile(1.0), max, "p100 is the exact max");
+    }
+}

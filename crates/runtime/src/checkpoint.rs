@@ -87,9 +87,10 @@ impl CheckpointManager {
 
     /// Writes a snapshot of `model` (weights + optimizer state) tagged
     /// with `step` and returns its path. The write goes to a temp file
-    /// that is renamed into place, so a crash mid-write never leaves a
-    /// half-written `ckpt-*.vnnt` behind. Saving the same step twice
-    /// overwrites.
+    /// that is fsynced and then renamed into place, and the directory
+    /// entry itself is fsynced after the rename — so a crash (or power
+    /// loss) mid-write never leaves a half-written or unreachable
+    /// `ckpt-*.vnnt` behind. Saving the same step twice overwrites.
     ///
     /// # Errors
     ///
@@ -100,9 +101,18 @@ impl CheckpointManager {
         let mut writer = io::BufWriter::new(file);
         model.save_training_state(&mut writer)?;
         io::Write::flush(&mut writer)?;
-        drop(writer);
+        // Durability, not just atomicity: flush only hands the bytes to
+        // the OS. Sync the file data before the rename (so the renamed
+        // entry can never point at truncated content) and the parent
+        // directory after it (so the new name itself survives a crash).
+        let file = writer
+            .into_inner()
+            .map_err(io::IntoInnerError::into_error)?;
+        file.sync_all()?;
+        drop(file);
         let path = self.dir.join(format!("{PREFIX}{step:010}{SUFFIX}"));
         fs::rename(&tmp, &path)?;
+        fs::File::open(&self.dir)?.sync_all()?;
         self.prune()?;
         Ok(path)
     }
@@ -235,6 +245,30 @@ mod tests {
                 "temp file left behind: {name:?}"
             );
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_restore_save_is_bit_identical() {
+        // Durability regression: the snapshot that lands on disk must
+        // be the complete serialized state, byte for byte. Restore it
+        // into a fresh model, save that, and compare the raw files.
+        let dir = tempdir("bitident");
+        let mgr = CheckpointManager::new(&dir, 4).unwrap();
+        let (mut a, batch, pt, ot) = model_and_batch();
+        for _ in 0..2 {
+            a.train_multi(&batch, &pt, &ot);
+        }
+        let first = mgr.save(&a, 1).unwrap();
+
+        let (mut b, ..) = model_and_batch();
+        assert_eq!(mgr.restore_latest(&mut b).unwrap(), Some(1));
+        let second = mgr.save(&b, 2).unwrap();
+
+        let bytes_a = fs::read(&first).unwrap();
+        let bytes_b = fs::read(&second).unwrap();
+        assert!(!bytes_a.is_empty());
+        assert_eq!(bytes_a, bytes_b, "restored state must re-save identically");
         fs::remove_dir_all(&dir).unwrap();
     }
 

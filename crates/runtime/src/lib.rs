@@ -54,4 +54,4 @@ pub use microbatch::{
 };
 pub use pool::{par_gemm, ChunkPool};
 pub use serve::{InferenceRequest, VoyagerService};
-pub use trainer::{train_data_parallel, TrainReport, TrainerConfig};
+pub use trainer::{train_data_parallel, train_data_parallel_profiled, TrainReport, TrainerConfig};

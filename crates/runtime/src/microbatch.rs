@@ -7,12 +7,16 @@
 //! an mpsc queue into a dedicated model thread that *coalesces* them
 //! into a batch until either a size threshold or a time deadline is
 //! hit, then runs one batched forward pass and fans the results back
-//! out. The server records per-request queue-to-response latencies and
-//! reports throughput plus p50/p99 at shutdown.
+//! out. The server records per-request latencies into shared
+//! `voyager-obs` histograms — split into queue wait (enqueue to batch
+//! close) and compute (batched forward pass) — and reports throughput
+//! plus nearest-rank p50/p99 at shutdown.
 
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use voyager_obs::{Histogram, HistogramSnapshot};
 
 use crate::lockorder::{ranks, OrderedMutex};
 
@@ -50,6 +54,13 @@ impl Default for MicrobatchConfig {
 }
 
 /// Serving statistics, returned by [`MicrobatchServer::join`].
+///
+/// Latency distributions are `voyager-obs` histogram snapshots with
+/// nearest-rank quantile semantics. (The previous in-module percentile
+/// code computed `round((n-1)·q)` over a sorted vector, which returned
+/// the *upper* of two samples for `q = 0.5`; the shared
+/// [`voyager_obs::nearest_rank`] rule returns the lower one, and the
+/// boundary tests below pin that down for n in `{0, 1, 2}`.)
 #[derive(Debug, Clone)]
 pub struct ServerStats {
     /// Requests served.
@@ -58,8 +69,17 @@ pub struct ServerStats {
     pub batches: usize,
     /// Wall-clock seconds the server thread was alive.
     pub wall_seconds: f64,
-    /// Per-request latencies (enqueue to response), sorted ascending.
-    latencies: Vec<Duration>,
+    /// Per-request end-to-end latency (enqueue to response), in ns.
+    pub latency: HistogramSnapshot,
+    /// Per-request queue wait (enqueue to batch close), in ns.
+    pub queue_wait: HistogramSnapshot,
+    /// Per-batch forward-pass compute time, in ns.
+    pub compute: HistogramSnapshot,
+}
+
+/// Saturating `Duration` → whole-nanosecond histogram sample.
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
 }
 
 impl ServerStats {
@@ -81,14 +101,22 @@ impl ServerStats {
         }
     }
 
-    /// Latency at quantile `q` in `[0, 1]` (`0.5` = p50, `0.99` = p99);
-    /// zero when nothing was served.
+    /// End-to-end latency at nearest-rank quantile `q` in `[0, 1]`
+    /// (`0.5` = p50, `0.99` = p99); zero when nothing was served.
     pub fn latency_quantile(&self, q: f64) -> Duration {
-        if self.latencies.is_empty() {
-            return Duration::ZERO;
-        }
-        let idx = ((self.latencies.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        self.latencies[idx]
+        Duration::from_nanos(self.latency.quantile(q))
+    }
+
+    /// Queue-wait latency at nearest-rank quantile `q`; zero when
+    /// nothing was served.
+    pub fn queue_wait_quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.queue_wait.quantile(q))
+    }
+
+    /// Per-batch compute time at nearest-rank quantile `q`; zero when
+    /// no batch ran.
+    pub fn compute_quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.compute.quantile(q))
     }
 }
 
@@ -161,12 +189,13 @@ impl MicrobatchServer {
         let live_writer = live.clone();
         let handle = std::thread::spawn(move || {
             let started = Instant::now();
-            let mut stats = ServerStats {
-                requests: 0,
-                batches: 0,
-                wall_seconds: 0.0,
-                latencies: Vec::new(),
-            };
+            let mut requests = 0usize;
+            let mut batches = 0usize;
+            // Wide exact window: serving benches care about tail
+            // latency, so keep p99 exact well past the default cap.
+            let latency = Histogram::with_exact_cap(4096);
+            let queue_wait = Histogram::with_exact_cap(4096);
+            let compute = Histogram::with_exact_cap(4096);
             // Outer recv blocks for the batch-opening request; the
             // queue disconnecting (all clients dropped) is shutdown.
             while let Ok(first) = rx.recv() {
@@ -193,7 +222,12 @@ impl MicrobatchServer {
                     payloads.push(envelope.payload);
                     meta.push((envelope.enqueued, envelope.reply));
                 }
+                let forward_started = Instant::now();
+                for (enqueued, _) in &meta {
+                    queue_wait.record(duration_ns(forward_started.duration_since(*enqueued)));
+                }
                 let responses = model.forward_batch(&payloads);
+                compute.record(duration_ns(forward_started.elapsed()));
                 assert_eq!(
                     responses.len(),
                     payloads.len(),
@@ -201,16 +235,16 @@ impl MicrobatchServer {
                     responses.len(),
                     payloads.len()
                 );
-                stats.requests += payloads.len();
-                stats.batches += 1;
+                requests += payloads.len();
+                batches += 1;
                 {
                     let mut live = live_writer.lock();
-                    live.requests = stats.requests;
-                    live.batches = stats.batches;
+                    live.requests = requests;
+                    live.batches = batches;
                 }
                 let now = Instant::now();
                 for ((enqueued, reply), response) in meta.into_iter().zip(responses) {
-                    stats.latencies.push(now.duration_since(enqueued));
+                    latency.record(duration_ns(now.duration_since(enqueued)));
                     // A client that gave up waiting is not an error.
                     let _ = reply.send(response);
                 }
@@ -218,9 +252,14 @@ impl MicrobatchServer {
                     break;
                 }
             }
-            stats.wall_seconds = started.elapsed().as_secs_f64();
-            stats.latencies.sort_unstable();
-            stats
+            ServerStats {
+                requests,
+                batches,
+                wall_seconds: started.elapsed().as_secs_f64(),
+                latency: latency.snapshot(),
+                queue_wait: queue_wait.snapshot(),
+                compute: compute.snapshot(),
+            }
         });
         (MicrobatchServer { handle, live }, ClientHandle { tx })
     }
@@ -388,5 +427,54 @@ mod tests {
         assert_eq!(stats.requests, 200);
         assert!(stats.batches <= 200);
         assert!(stats.throughput() > 0.0);
+        // The latency split is recorded per request / per batch, and
+        // queue wait can never exceed the end-to-end latency ceiling.
+        assert_eq!(stats.latency.count(), 200);
+        assert_eq!(stats.queue_wait.count(), 200);
+        assert_eq!(stats.compute.count() as usize, stats.batches);
+        assert!(stats.queue_wait_quantile(1.0) <= stats.latency_quantile(1.0));
+        assert!(stats.compute_quantile(0.5) <= stats.latency_quantile(1.0));
+    }
+
+    /// Builds stats around a known latency sample set, as `join` would.
+    fn stats_with_latencies(samples: &[u64]) -> ServerStats {
+        ServerStats {
+            requests: samples.len(),
+            batches: samples.len().min(1),
+            wall_seconds: 0.0,
+            latency: voyager_obs::HistogramSnapshot::from_samples(samples),
+            queue_wait: voyager_obs::HistogramSnapshot::empty(),
+            compute: voyager_obs::HistogramSnapshot::empty(),
+        }
+    }
+
+    #[test]
+    fn latency_quantile_boundary_grid() {
+        // Regression for the pre-obs percentile indexing: with
+        // `round((n-1)·q)` the n=2 median came back as the *upper*
+        // sample and empty/one-sample cases leaned on ad-hoc guards.
+        // Nearest rank pins every cell of the n × q grid.
+        let qs = [0.0, 0.5, 0.99, 1.0];
+        let s0 = stats_with_latencies(&[]);
+        for q in qs {
+            assert_eq!(s0.latency_quantile(q), Duration::ZERO, "n=0 q={q}");
+        }
+        let s1 = stats_with_latencies(&[500]);
+        for q in qs {
+            assert_eq!(
+                s1.latency_quantile(q),
+                Duration::from_nanos(500),
+                "n=1 q={q}"
+            );
+        }
+        let s2 = stats_with_latencies(&[100, 900]);
+        assert_eq!(s2.latency_quantile(0.0), Duration::from_nanos(100));
+        assert_eq!(
+            s2.latency_quantile(0.5),
+            Duration::from_nanos(100),
+            "median of two samples is the lower one under nearest rank"
+        );
+        assert_eq!(s2.latency_quantile(0.99), Duration::from_nanos(900));
+        assert_eq!(s2.latency_quantile(1.0), Duration::from_nanos(900));
     }
 }

@@ -32,6 +32,7 @@ use std::time::Instant;
 
 use voyager::{TrainingSet, VoyagerConfig, VoyagerModel};
 use voyager_nn::GradSet;
+use voyager_obs::{Profiler, Span};
 
 use crate::pool::ChunkPool;
 
@@ -125,6 +126,36 @@ pub fn train_data_parallel(
     cfg: &VoyagerConfig,
     tcfg: &TrainerConfig,
 ) -> (VoyagerModel, TrainReport) {
+    train_inner(set, cfg, tcfg, None)
+}
+
+/// Like [`train_data_parallel`], but records scoped spans into
+/// `profiler`: per pass an `epoch` span, per optimizer step a `step`
+/// child split into `grad` (parallel shard gradients), `allreduce`
+/// (shard-id-order reduction) and `optimizer` (parallel replica
+/// update). Spans are opened and closed only on the coordinating
+/// thread (the pool barriers inside each phase), so profiling changes
+/// no cross-thread behavior — and the trained result stays bitwise
+/// identical to the unprofiled run.
+///
+/// # Panics
+///
+/// Panics if `set` is empty or a worker thread panics.
+pub fn train_data_parallel_profiled(
+    set: &TrainingSet,
+    cfg: &VoyagerConfig,
+    tcfg: &TrainerConfig,
+    profiler: &Profiler,
+) -> (VoyagerModel, TrainReport) {
+    train_inner(set, cfg, tcfg, Some(profiler))
+}
+
+fn train_inner(
+    set: &TrainingSet,
+    cfg: &VoyagerConfig,
+    tcfg: &TrainerConfig,
+    profiler: Option<&Profiler>,
+) -> (VoyagerModel, TrainReport) {
     assert!(!set.is_empty(), "no trainable samples");
     let mut cfg = *cfg;
     cfg.dropout_keep = 1.0;
@@ -152,11 +183,13 @@ pub fn train_data_parallel(
     let started = Instant::now();
 
     'training: for _pass in 0..tcfg.passes.max(1) {
+        let epoch_span: Option<Span<'_>> = profiler.map(|p| p.span("epoch"));
         let mut batch_start = 0usize;
         while batch_start < set.len() {
             if tcfg.max_steps.is_some_and(|m| report.steps >= m) {
                 break 'training;
             }
+            let step_span = epoch_span.as_ref().map(|e| e.child("step"));
             let batch_end = (batch_start + cfg.batch_size).min(set.len());
             let batch_rows = batch_end - batch_start;
             // Fixed decomposition into shards of `shard_rows`; only the
@@ -179,6 +212,7 @@ pub fn train_data_parallel(
             let assignment = pool.partition(shard_count);
             let results: Mutex<Vec<Option<ShardResult>>> =
                 Mutex::new((0..shard_count).map(|_| None).collect());
+            let grad_span = step_span.as_ref().map(|s| s.child("grad"));
             pool.run_chunks(&mut replicas, 1, |first, chunk| {
                 for (i, replica) in chunk.iter_mut().enumerate() {
                     let Some(range) = assignment.get(first + i) else {
@@ -196,6 +230,7 @@ pub fn train_data_parallel(
                     }
                 }
             });
+            drop(grad_span);
             let slots = results.into_inner().unwrap_or_else(PoisonError::into_inner);
             assert!(
                 slots.iter().all(Option::is_some),
@@ -203,6 +238,7 @@ pub fn train_data_parallel(
                 report.steps
             );
             // Reduce in shard-id order with mean-matching weights.
+            let allreduce_span = step_span.as_ref().map(|s| s.child("allreduce"));
             let mut total = GradSet::new();
             let mut loss = 0.0f32;
             for r in slots.into_iter().flatten() {
@@ -214,12 +250,15 @@ pub fn train_data_parallel(
             // bitwise identical. Duplicate sparse rows are collapsed
             // once here rather than once per replica.
             total.coalesce_sparse();
+            drop(allreduce_span);
+            let optimizer_span = step_span.as_ref().map(|s| s.child("optimizer"));
             let reduced = &total;
             pool.run_chunks(&mut replicas, 1, |_, chunk| {
                 for replica in chunk {
                     replica.apply_grad_set(reduced);
                 }
             });
+            drop(optimizer_span);
             report.step_losses.push(loss);
             report.steps += 1;
             report.samples += batch_rows;

@@ -48,6 +48,46 @@ fn three_workers_match_too() {
 }
 
 #[test]
+fn profiled_run_matches_unprofiled_and_counts_spans() {
+    use std::sync::Arc;
+    use voyager_obs::{ManualClock, Profiler};
+    use voyager_runtime::train_data_parallel_profiled;
+
+    let cfg = VoyagerConfig::test();
+    let set = TrainingSet::build(&stream(), &cfg);
+    let mut tcfg = TrainerConfig::new(2, &cfg);
+    tcfg.max_steps = Some(6);
+
+    let (plain_model, plain) = train_data_parallel(&set, &cfg, &tcfg);
+    let profiler = Profiler::new(Arc::new(ManualClock::new()));
+    let (prof_model, prof) = train_data_parallel_profiled(&set, &cfg, &tcfg, &profiler);
+
+    // Instrumentation must be a pure observer.
+    assert_eq!(plain.step_losses, prof.step_losses);
+    let pa = plain_model.export_param_values();
+    let pb = prof_model.export_param_values();
+    for (a, b) in pa.iter().zip(&pb) {
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    // Span counts are a deterministic function of the workload.
+    let report = profiler.report();
+    assert_eq!(report.roots.len(), 1);
+    let epoch = &report.roots[0];
+    assert_eq!(epoch.name, "epoch");
+    assert_eq!(epoch.count, 1, "max_steps stops within the first pass");
+    assert_eq!(epoch.children.len(), 1);
+    let step = &epoch.children[0];
+    assert_eq!(step.name, "step");
+    assert_eq!(step.count, 6);
+    let names: Vec<&str> = step.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["allreduce", "grad", "optimizer"]);
+    for child in &step.children {
+        assert_eq!(child.count, 6, "{} once per step", child.name);
+    }
+}
+
+#[test]
 fn losses_decrease_over_training() {
     let cfg = VoyagerConfig::test();
     let set = TrainingSet::build(&stream(), &cfg);

@@ -78,6 +78,59 @@ pub fn force_naive() -> bool {
     FORCE_NAIVE.load(Ordering::Relaxed)
 }
 
+#[cfg(feature = "obs")]
+static GEMM_CALLS: voyager_obs::Counter = voyager_obs::Counter::new();
+#[cfg(feature = "obs")]
+static GEMM_FLOPS: voyager_obs::Counter = voyager_obs::Counter::new();
+
+/// Tallies one kernel invocation (`2·m·n·k` flops). Compiles to
+/// nothing without the `obs` feature, keeping the default hot path
+/// untouched.
+#[cfg(feature = "obs")]
+fn note_gemm(m: usize, n: usize, k: usize) {
+    GEMM_CALLS.inc();
+    GEMM_FLOPS.add(2 * (m as u64) * (n as u64) * (k as u64));
+}
+
+#[cfg(not(feature = "obs"))]
+fn note_gemm(_m: usize, _n: usize, _k: usize) {}
+
+/// Total [`gemm`] / [`gemm_acc`] invocations since start (or the last
+/// [`reset_kernel_metrics`]). Always 0 without the `obs` feature.
+pub fn gemm_invocations() -> u64 {
+    #[cfg(feature = "obs")]
+    {
+        GEMM_CALLS.get()
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        0
+    }
+}
+
+/// Total floating-point operations (`2·m·n·k` per call) tallied by the
+/// GEMM entry points. Always 0 without the `obs` feature.
+pub fn gemm_flops() -> u64 {
+    #[cfg(feature = "obs")]
+    {
+        GEMM_FLOPS.get()
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        0
+    }
+}
+
+/// Zeroes the kernel counters (benchmark phase boundaries). A no-op
+/// without the `obs` feature.
+pub fn reset_kernel_metrics() {
+    #[cfg(feature = "obs")]
+    {
+        GEMM_CALLS.reset();
+        GEMM_FLOPS.reset();
+    }
+}
+
 /// Output shape `(m, n)` and reduction depth `k` of `a ? b` under
 /// `layout`, checking that the operand shapes agree.
 ///
@@ -108,7 +161,8 @@ pub fn gemm_dims(a: &Tensor2, b: &Tensor2, layout: Layout) -> (usize, usize, usi
 ///
 /// Panics if the operand shapes disagree under `layout`.
 pub fn gemm(a: &Tensor2, b: &Tensor2, layout: Layout, out: &mut Tensor2) {
-    let (m, n, _) = gemm_dims(a, b, layout);
+    let (m, n, k) = gemm_dims(a, b, layout);
+    note_gemm(m, n, k);
     reshape_for_output(out, m, n);
     if force_naive() {
         naive_gemm_rows(a, b, layout, 0..m, out.as_mut_slice(), false);
@@ -125,7 +179,8 @@ pub fn gemm(a: &Tensor2, b: &Tensor2, layout: Layout, out: &mut Tensor2) {
 /// Panics if the operand shapes disagree under `layout`, or if `out`
 /// is not already `[m, n]`.
 pub fn gemm_acc(a: &Tensor2, b: &Tensor2, layout: Layout, out: &mut Tensor2) {
-    let (m, n, _) = gemm_dims(a, b, layout);
+    let (m, n, k) = gemm_dims(a, b, layout);
+    note_gemm(m, n, k);
     assert_eq!(out.shape(), (m, n), "gemm_acc output shape mismatch");
     if force_naive() {
         naive_gemm_rows(a, b, layout, 0..m, out.as_mut_slice(), true);
@@ -596,5 +651,20 @@ mod tests {
         let b = Tensor2::zeros(4, 5);
         let mut out = Tensor2::zeros(1, 1);
         gemm(&a, &b, Layout::NN, &mut out);
+    }
+    #[cfg(feature = "obs")]
+    #[test]
+    fn kernel_metrics_tally_calls_and_flops() {
+        // Other tests run GEMMs concurrently, so assert on deltas of
+        // locally-known work rather than absolute values.
+        let a = Tensor2::zeros(4, 8);
+        let b = Tensor2::zeros(8, 16);
+        let mut out = Tensor2::zeros(4, 16);
+        let calls0 = gemm_invocations();
+        let flops0 = gemm_flops();
+        gemm(&a, &b, Layout::NN, &mut out);
+        gemm_acc(&a, &b, Layout::NN, &mut out);
+        assert!(gemm_invocations() >= calls0 + 2);
+        assert!(gemm_flops() >= flops0 + 2 * 2 * 4 * 16 * 8);
     }
 }

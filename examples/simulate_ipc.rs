@@ -30,8 +30,8 @@ fn main() {
         "idealized ISB: IPC {:.3} ({:+.1}%), coverage {:.3}, accuracy {:.3}",
         with_isb.ipc,
         100.0 * (with_isb.speedup_vs(&baseline) - 1.0),
-        with_isb.coverage_vs(&baseline),
-        with_isb.accuracy()
+        with_isb.coverage_vs(&baseline).unwrap_or(0.0),
+        with_isb.accuracy().unwrap_or(0.0)
     );
 
     // Voyager: predictions are computed against the LLC stream (which
@@ -46,8 +46,8 @@ fn main() {
         "voyager:       IPC {:.3} ({:+.1}%), coverage {:.3}, accuracy {:.3}",
         with_voyager.ipc,
         100.0 * (with_voyager.speedup_vs(&baseline) - 1.0),
-        with_voyager.coverage_vs(&baseline),
-        with_voyager.accuracy()
+        with_voyager.coverage_vs(&baseline).unwrap_or(0.0),
+        with_voyager.accuracy().unwrap_or(0.0)
     );
     println!("\npaper (Fig. 8, averages): ISB +28.2%, Voyager +41.6% over no prefetching");
 }

@@ -18,4 +18,12 @@ run cargo build --release
 run cargo test -q
 run cargo run --release -p voyager-bench --bin pr3_kernels -- --smoke
 
+# Observability smoke: the metrics dump must stay schema-valid JSON
+# (voyagerctl validates its own output and fails otherwise).
+echo "==> cargo run --release -p voyager-bench --bin voyagerctl -- metrics --smoke"
+mkdir -p target
+cargo run --release -p voyager-bench --bin voyagerctl -- metrics --smoke \
+    > target/metrics.smoke.json
+echo "    wrote target/metrics.smoke.json"
+
 echo "==> all checks passed"

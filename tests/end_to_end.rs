@@ -34,7 +34,7 @@ fn full_pipeline_produces_consistent_metrics() {
     assert_eq!(baseline.llc_accesses, with.llc_accesses);
     // Coverage is bounded and misses never increase (prefetches only add
     // lines to the LLC).
-    let cov = with.coverage_vs(&baseline);
+    let cov = with.coverage_vs(&baseline).expect("baseline has misses");
     assert!((0.0..=1.0).contains(&cov), "coverage {cov}");
     assert!(with.llc_misses <= baseline.llc_misses);
     // Useful prefetches are a subset of issued ones.

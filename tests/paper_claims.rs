@@ -164,9 +164,6 @@ fn simulator_ipc_reflects_prefetch_quality() {
         with.ipc,
         base.ipc
     );
-    assert!(
-        with.coverage_vs(&base) > 0.5,
-        "oracle coverage {:.3}",
-        with.coverage_vs(&base)
-    );
+    let coverage = with.coverage_vs(&base).expect("baseline has misses");
+    assert!(coverage > 0.5, "oracle coverage {coverage:.3}");
 }

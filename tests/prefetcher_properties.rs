@@ -106,7 +106,9 @@ fn simulator_conservation_laws() {
         let mut bo = BestOffset::new();
         let with = simulate(&trace, &mut bo, &cfg);
         assert!(with.llc_misses <= base.llc_misses);
-        assert!((0.0..=1.0).contains(&with.accuracy()));
+        if let Some(accuracy) = with.accuracy() {
+            assert!((0.0..=1.0).contains(&accuracy));
+        }
     }
 }
 
