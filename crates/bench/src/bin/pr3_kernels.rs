@@ -107,6 +107,32 @@ fn check_determinism() -> bool {
     true
 }
 
+/// Pins the small-size parallel regression fix: below the work
+/// threshold `par_gemm` runs the blocked kernel on the calling thread,
+/// so at 64³ the parallel path must track blocked throughput instead
+/// of paying scoped-thread spawn/join for half-speed results (the
+/// committed full run once measured NT/64 at 10.5 vs 19.7 GFLOP/s).
+/// Re-measures a few times so a noisy CI scheduler cannot flake it.
+fn check_small_parallel_matches_blocked(pool: &ChunkPool, iters: usize) {
+    let mut last = (0.0, 0.0);
+    for _ in 0..3 {
+        let row = bench_gemm(64, Layout::NT, iters, pool);
+        last = (row.parallel_gflops, row.blocked_gflops);
+        if row.parallel_gflops >= 0.9 * row.blocked_gflops {
+            return;
+        }
+        println!(
+            "small-GEMM check: parallel {:.2} GF/s < 0.9x blocked {:.2} GF/s, re-measuring",
+            row.parallel_gflops, row.blocked_gflops
+        );
+    }
+    panic!(
+        "parallel NT/64 regressed to {:.2} GF/s vs blocked {:.2} GF/s: \
+         the par_gemm small-size fallback is not engaging",
+        last.0, last.1
+    );
+}
+
 fn seq_batch(b: usize, l: usize, page_vocab: usize) -> SeqBatch {
     SeqBatch {
         pc: (0..b)
@@ -281,6 +307,7 @@ fn main() {
     let deterministic = check_determinism();
     println!("parallel bitwise identical: {deterministic}");
     assert!(deterministic, "parallel GEMM diverged from single-thread");
+    check_small_parallel_matches_blocked(&pool, gemm_iters.max(3));
 
     let train = bench_training(train_iters);
     println!(

@@ -22,9 +22,11 @@
 //! voyagerctl serve-bench <benchmark|trace.vtrc> [--requests N]
 //!                        [--clients C] [--max-batch B]
 //!                        [--max-delay-us U] [--degree D]
-//!                        [--config test|scaled]
+//!                        [--config test|scaled] [--mode tape|fast|int8]
 //!     Drive the microbatched inference server with C client threads
-//!     and print throughput plus p50/p99 latency.
+//!     and print throughput plus p50/p99 latency. `--mode fast` serves
+//!     through the tape-free f32 engine, `--mode int8` through the
+//!     quantized one; `tape` (default) is the reference path.
 //! voyagerctl metrics [--smoke]
 //!     Run a short sim + train + serve pipeline with the voyager-obs
 //!     observability layer enabled and dump the full metrics snapshot
@@ -45,7 +47,7 @@ use voyager_prefetch::{
 };
 use voyager_runtime::{
     train_data_parallel, train_data_parallel_profiled, CheckpointManager, InferenceRequest,
-    MicrobatchConfig, MicrobatchServer, TrainerConfig, VoyagerService,
+    MicrobatchConfig, MicrobatchServer, PredictMode, TrainerConfig, VoyagerService,
 };
 use voyager_sim::{llc_stream, unified_accuracy_coverage_windowed, SimConfig};
 use voyager_trace::gen::{Benchmark, GeneratorConfig};
@@ -273,7 +275,7 @@ fn cmd_train(args: &[String]) -> CliResult {
 
 fn cmd_serve_bench(args: &[String]) -> CliResult {
     let [source, rest @ ..] = args else {
-        return Err("usage: serve-bench <benchmark|trace.vtrc> [--requests N] [--clients C] [--max-batch B] [--max-delay-us U] [--degree D] [--config test|scaled]".into());
+        return Err("usage: serve-bench <benchmark|trace.vtrc> [--requests N] [--clients C] [--max-batch B] [--max-delay-us U] [--degree D] [--config test|scaled] [--mode tape|fast|int8]".into());
     };
     let flags = parse_flags(rest)?;
     let cfg = config_preset(flags.get("config"))?;
@@ -293,6 +295,12 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
         .map(|v| v.parse())
         .transpose()?
         .unwrap_or(2);
+    let mode = match flags.get("mode").map(String::as_str) {
+        None | Some("tape") => PredictMode::Tape,
+        Some("fast") => PredictMode::FastF32,
+        Some("int8") => PredictMode::FastInt8,
+        Some(bad) => return Err(format!("unknown --mode {bad:?} (tape|fast|int8)").into()),
+    };
     let mb = MicrobatchConfig {
         max_batch: flags
             .get("max-batch")
@@ -333,10 +341,11 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
         vocab.offset_vocab_len(),
     );
     println!(
-        "serving {} requests from {} client(s) (max batch {}, max delay {:?}, degree {degree})",
+        "serving {} requests from {} client(s) (max batch {}, max delay {:?}, degree {degree}, mode {mode:?})",
         requests, clients, mb.max_batch, mb.max_delay
     );
-    let (server, client) = MicrobatchServer::spawn(VoyagerService::new(model, degree), mb);
+    let (server, client) =
+        MicrobatchServer::spawn(VoyagerService::with_mode(model, degree, mode), mb);
     let per_client = requests.div_ceil(clients);
     std::thread::scope(|scope| {
         for c in 0..clients {
@@ -457,8 +466,12 @@ fn cmd_metrics(args: &[String]) -> CliResult {
     );
     let stats = {
         let _serve = profiler.span("serve");
-        let (server, client) =
-            MicrobatchServer::spawn(VoyagerService::new(model, 2), MicrobatchConfig::default());
+        // Serve through the quantized fast path so the int8-GEMM and
+        // arena counters below observe live traffic.
+        let (server, client) = MicrobatchServer::spawn(
+            VoyagerService::with_mode(model, 2, PredictMode::FastInt8),
+            MicrobatchConfig::default(),
+        );
         let clients = 2usize;
         let per_client = requests.div_ceil(clients);
         std::thread::scope(|scope| {
@@ -491,6 +504,23 @@ fn cmd_metrics(args: &[String]) -> CliResult {
     registry
         .counter("tensor.gemm.flops")
         .add(voyager_tensor::kernels::gemm_flops());
+    registry
+        .counter("tensor.gemm.int8_calls")
+        .add(voyager_tensor::kernels::int8_gemm_invocations());
+    registry
+        .counter("tensor.gemm.int8_ops")
+        .add(voyager_tensor::kernels::int8_gemm_ops());
+
+    // Inference fast-path telemetry (process-global, always on).
+    registry
+        .counter("infer.fastpath.calls")
+        .add(voyager_tensor::infer::fast_path_calls());
+    registry
+        .counter("infer.arena.grow_events")
+        .add(voyager_tensor::infer::arena_grow_events());
+    registry
+        .counter("infer.arena.grown_bytes")
+        .add(voyager_tensor::infer::arena_grown_bytes());
 
     // Fold the server's histogram snapshots into the registry snapshot
     // and compose the final document.

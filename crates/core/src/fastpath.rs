@@ -1,0 +1,696 @@
+//! Tape-free inference engine: `predict_fast` (f32) and
+//! `predict_int8`.
+//!
+//! [`VoyagerModel::predict`] builds a full autograd
+//! [`Session`](voyager_nn::Session) per call: every parameter tensor is
+//! cloned onto the tape, every op allocates its output, and the tape
+//! records backward metadata that inference never uses. This module
+//! executes the same forward graph directly:
+//!
+//! * **No autograd bookkeeping** — weights are read in place from the
+//!   [`ParamStore`](voyager_nn::ParamStore); nothing is cloned.
+//! * **Preallocated buffer arena** — every intermediate lives in a
+//!   per-model [`Arena`] slot that is resized in place, so steady-state
+//!   calls (same batch shape) perform zero heap allocation in the hot
+//!   loop.
+//! * **Bounded-heap top-k** — candidate selection goes through
+//!   [`voyager_tensor::topk`], shared with the tape path.
+//!
+//! The f32 path is **bitwise identical** to the tape path: it calls the
+//! same GEMM kernels in the same order and the same scalar formulas
+//! ([`voyager_tensor::infer::sigmoid`] / [`softmax_rows_inplace`]) the
+//! tape ops use. The int8 path swaps the four big GEMMs (two fused LSTM
+//! gate matrices, two heads) for [`voyager_nn::qinfer`] quantized
+//! layers over the `i8×i8→i32` kernel; embeddings, attention, and gate
+//! nonlinearities stay in f32, mirroring the paper's Section 5.4 scheme
+//! (8-bit weights, <1% accuracy loss).
+
+use std::cmp::Ordering;
+
+use voyager_nn::{QuantizedLinear, QuantizedLstm};
+use voyager_tensor::infer::{
+    add_row_inplace, note_fast_path_call, quantize_rows_into, sigmoid, softmax_rows_inplace, Arena,
+    BufId, QuantizedRows,
+};
+use voyager_tensor::kernels::{gemm, gemm_acc, Layout};
+use voyager_tensor::{topk, Tensor2};
+
+use crate::model::SeqBatch;
+use crate::VoyagerModel;
+
+/// Arena slot ids for every intermediate of one forward pass. The same
+/// slots are reused across timesteps and calls.
+#[derive(Debug, Clone, Copy)]
+struct Slots {
+    pc_e: BufId,
+    page_e: BufId,
+    off_e: BufId,
+    scores: BufId,
+    mixed: BufId,
+    x: BufId,
+    page_gates: BufId,
+    off_gates: BufId,
+    page_h: BufId,
+    page_c: BufId,
+    off_h: BufId,
+    off_c: BufId,
+    page_logits: BufId,
+    off_logits: BufId,
+}
+
+/// Int8 weights prepared by [`VoyagerModel::prepare_int8`]: the four
+/// GEMM-heavy parameter tensors, quantized once and cached.
+#[derive(Debug)]
+struct Int8Weights {
+    page_lstm: QuantizedLstm,
+    offset_lstm: QuantizedLstm,
+    page_head: QuantizedLinear,
+    offset_head: QuantizedLinear,
+}
+
+/// Reusable scratch for [`rank_row`]: the bounded top-k heap and the
+/// selected page/offset index lists.
+#[derive(Debug, Default)]
+pub(crate) struct RankScratch {
+    heap: Vec<(f32, usize)>,
+    pages: Vec<usize>,
+    offsets: Vec<usize>,
+}
+
+/// Per-model tape-free inference state: the buffer arena, activation
+/// quantization scratch, ranking scratch, and cached int8 weights.
+#[derive(Debug, Default)]
+pub(crate) struct InferState {
+    slots: Option<Slots>,
+    arena: Arena,
+    qx: QuantizedRows,
+    qh: QuantizedRows,
+    acc: Vec<i32>,
+    rank: RankScratch,
+    int8: Option<Int8Weights>,
+}
+
+impl InferState {
+    fn ensure_slots(&mut self) -> Slots {
+        if let Some(s) = self.slots {
+            return s;
+        }
+        let s = Slots {
+            pc_e: self.arena.register(),
+            page_e: self.arena.register(),
+            off_e: self.arena.register(),
+            scores: self.arena.register(),
+            mixed: self.arena.register(),
+            x: self.arena.register(),
+            page_gates: self.arena.register(),
+            off_gates: self.arena.register(),
+            page_h: self.arena.register(),
+            page_c: self.arena.register(),
+            off_h: self.arena.register(),
+            off_c: self.arena.register(),
+            page_logits: self.arena.register(),
+            off_logits: self.arena.register(),
+        };
+        self.slots = Some(s);
+        s
+    }
+}
+
+/// Ranks up to `k` `(page, offset, score)` candidates for one batch
+/// row, exactly as the historical `predict` loop did: top `k` pages ×
+/// top `min(k, 4)` offsets, scored by probability product, stable-
+/// sorted descending. Shared by the tape and tape-free paths.
+pub(crate) fn rank_row(
+    page_probs: &Tensor2,
+    offset_probs: &Tensor2,
+    row: usize,
+    k: usize,
+    page_vocab: usize,
+    offset_vocab: usize,
+    scratch: &mut RankScratch,
+) -> Vec<(u32, u32, f32)> {
+    let fan = k.clamp(1, 4);
+    topk::topk_into(
+        page_probs.row(row),
+        k.min(page_vocab),
+        &mut scratch.heap,
+        &mut scratch.pages,
+    );
+    topk::topk_into(
+        offset_probs.row(row),
+        fan.min(offset_vocab),
+        &mut scratch.heap,
+        &mut scratch.offsets,
+    );
+    let mut pairs: Vec<(u32, u32, f32)> =
+        Vec::with_capacity(scratch.pages.len() * scratch.offsets.len());
+    for &p in &scratch.pages {
+        for &o in &scratch.offsets {
+            pairs.push((
+                p as u32,
+                o as u32,
+                page_probs.get(row, p) * offset_probs.get(row, o),
+            ));
+        }
+    }
+    // Stable insertion sort, descending by score — same order as the
+    // historical `sort_by(|a, b| b.2.total_cmp(&a.2))`, without the
+    // stable sort's allocation.
+    for i in 1..pairs.len() {
+        let mut j = i;
+        while j > 0 && pairs[j].2.total_cmp(&pairs[j - 1].2) == Ordering::Greater {
+            pairs.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+    pairs.truncate(k);
+    pairs
+}
+
+/// Copies embedding-table rows for one timestep into `dst` (the
+/// tape path's `Session::gather` is also a row copy).
+fn gather_step(dst: &mut Tensor2, table: &Tensor2, seqs: &[Vec<usize>], step: usize) {
+    for (i, seq) in seqs.iter().enumerate() {
+        let id = seq[step];
+        assert!(
+            id < table.rows(),
+            "embedding row {id} out of {}",
+            table.rows()
+        );
+        dst.row_mut(i).copy_from_slice(table.row(id));
+    }
+}
+
+/// Applies the LSTM elementwise update for one batch from fused gate
+/// pre-activations (`i, f, g, o` layout), with the exact per-element
+/// operation order of the tape's op chain:
+/// `c' = (sigmoid(f)·c) + (sigmoid(i)·tanh(g))`,
+/// `h' = sigmoid(o)·tanh(c')`.
+fn lstm_elementwise(gates: &Tensor2, h: &mut Tensor2, c: &mut Tensor2, hidden: usize) {
+    let b = gates.rows();
+    for i in 0..b {
+        let grow = gates.row(i);
+        let hrow = h.row_mut(i);
+        let crow = c.row_mut(i);
+        for j in 0..hidden {
+            let ig = sigmoid(grow[j]);
+            let fg = sigmoid(grow[hidden + j]);
+            let gg = grow[2 * hidden + j].tanh();
+            let og = sigmoid(grow[3 * hidden + j]);
+            let fc = fg * crow[j];
+            let igg = ig * gg;
+            let cn = fc + igg;
+            crow[j] = cn;
+            hrow[j] = og * cn.tanh();
+        }
+    }
+}
+
+impl VoyagerModel {
+    /// Tape-free degree-`k` inference, bitwise-identical to
+    /// [`VoyagerModel::predict`] but without autograd bookkeeping: no
+    /// parameter clones, no tape nodes, and (in steady state, with a
+    /// stable batch shape) zero heap allocation in the forward hot
+    /// loop — all intermediates live in a per-model buffer arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ragged or empty batch (like `predict`).
+    pub fn predict_fast(&mut self, batch: &SeqBatch, k: usize) -> Vec<Vec<(u32, u32, f32)>> {
+        note_fast_path_call();
+        self.forward_fast(batch, false);
+        self.rank_from_arena(batch.len(), k)
+    }
+
+    /// Int8 degree-`k` inference: the four GEMM-heavy weight tensors
+    /// (both fused LSTM gate matrices, both heads) run through the
+    /// `i8×i8→i32` kernel with per-row activation quantization;
+    /// embeddings, attention and nonlinearities stay in f32.
+    ///
+    /// Quantized weights are prepared on first use and cached; call
+    /// [`VoyagerModel::prepare_int8`] to re-quantize after further
+    /// training.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ragged or empty batch (like `predict`).
+    pub fn predict_int8(&mut self, batch: &SeqBatch, k: usize) -> Vec<Vec<(u32, u32, f32)>> {
+        note_fast_path_call();
+        if self.infer.int8.is_none() {
+            self.prepare_int8();
+        }
+        self.forward_fast(batch, true);
+        self.rank_from_arena(batch.len(), k)
+    }
+
+    /// Quantizes the current LSTM and head weights for
+    /// [`VoyagerModel::predict_int8`], replacing any cached int8
+    /// weights (call again after training to pick up new values).
+    pub fn prepare_int8(&mut self) {
+        let store = &self.store;
+        let h = self.page_lstm.hidden();
+        self.infer.int8 = Some(Int8Weights {
+            page_lstm: QuantizedLstm::new(
+                store.value(self.page_lstm.wx_id()),
+                store.value(self.page_lstm.wh_id()),
+                store.value(self.page_lstm.bias_id()),
+                h,
+            ),
+            offset_lstm: QuantizedLstm::new(
+                store.value(self.offset_lstm.wx_id()),
+                store.value(self.offset_lstm.wh_id()),
+                store.value(self.offset_lstm.bias_id()),
+                h,
+            ),
+            page_head: QuantizedLinear::new(
+                store.value(self.page_head.weight_id()),
+                store.value(self.page_head.bias_id()),
+            ),
+            offset_head: QuantizedLinear::new(
+                store.value(self.offset_head.weight_id()),
+                store.value(self.offset_head.bias_id()),
+            ),
+        });
+    }
+
+    /// `(grow_events, grown_bytes)` of this model's inference arena.
+    /// Flat across steady-state `predict_fast` / `predict_int8` calls;
+    /// moves only on the first call or when the batch shape grows.
+    pub fn fast_path_arena_stats(&self) -> (u64, u64) {
+        (
+            self.infer.arena.grow_events(),
+            self.infer.arena.grown_bytes(),
+        )
+    }
+
+    /// Runs the tape-free forward pass, leaving row-softmaxed page and
+    /// offset probabilities in the `page_logits` / `off_logits` arena
+    /// slots.
+    fn forward_fast(&mut self, batch: &SeqBatch, int8: bool) {
+        batch.validate();
+        let slots = self.infer.ensure_slots();
+        let b = batch.len();
+        let cfg = &self.cfg;
+        let hidden = self.page_lstm.hidden();
+        let store = &self.store;
+        let st = &mut self.infer;
+
+        let mut page_h = st.arena.acquire(slots.page_h, b, hidden);
+        let mut page_c = st.arena.acquire(slots.page_c, b, hidden);
+        let mut off_h = st.arena.acquire(slots.off_h, b, hidden);
+        let mut off_c = st.arena.acquire(slots.off_c, b, hidden);
+
+        let input_dim = self.page_lstm.input_dim();
+        let d = cfg.page_embed;
+        let experts = self.attn.n_experts();
+
+        for step in 0..batch.seq_len() {
+            // Embedding lookups + concat into the LSTM input `x`,
+            // mirroring the tape path's gather / attention /
+            // concat_cols chain (all copies and the same arithmetic).
+            let mut x = st.arena.acquire(slots.x, b, input_dim);
+            let mut col = 0;
+            if cfg.features.pc {
+                let mut pc_e = st.arena.acquire(slots.pc_e, b, cfg.pc_embed);
+                gather_step(
+                    &mut pc_e,
+                    store.value(self.pc_emb.table_id()),
+                    &batch.pc,
+                    step,
+                );
+                for i in 0..b {
+                    x.row_mut(i)[col..col + cfg.pc_embed].copy_from_slice(pc_e.row(i));
+                }
+                col += cfg.pc_embed;
+                st.arena.put(slots.pc_e, pc_e);
+            }
+            if cfg.features.address {
+                let mut page_e = st.arena.acquire(slots.page_e, b, d);
+                gather_step(
+                    &mut page_e,
+                    store.value(self.page_emb.table_id()),
+                    &batch.page,
+                    step,
+                );
+                let off_width = self.offset_emb.dim();
+                let mut off_e = st.arena.acquire(slots.off_e, b, off_width);
+                gather_step(
+                    &mut off_e,
+                    store.value(self.offset_emb.table_id()),
+                    &batch.offset,
+                    step,
+                );
+                for i in 0..b {
+                    x.row_mut(i)[col..col + d].copy_from_slice(page_e.row(i));
+                }
+                if cfg.page_aware_attention {
+                    // Page-aware offset embedding (Section 4.2.2):
+                    // chunk_dot -> scale -> softmax -> weighted sum.
+                    let mut scores = st.arena.acquire(slots.scores, b, experts);
+                    for i in 0..b {
+                        let qrow = page_e.row(i);
+                        let crow = off_e.row(i);
+                        for s in 0..experts {
+                            let chunk = &crow[s * d..(s + 1) * d];
+                            scores.set(
+                                i,
+                                s,
+                                qrow.iter().zip(chunk).map(|(&qv, &cv)| qv * cv).sum(),
+                            );
+                        }
+                    }
+                    let f = self.attn.scale();
+                    scores.map_inplace(|v| v * f);
+                    softmax_rows_inplace(&mut scores);
+                    let mut mixed = st.arena.acquire(slots.mixed, b, d);
+                    for i in 0..b {
+                        let wrow = scores.row(i);
+                        let crow = off_e.row(i);
+                        let out = mixed.row_mut(i);
+                        for s in 0..experts {
+                            let ws = wrow[s];
+                            for (o, &c) in out.iter_mut().zip(&crow[s * d..(s + 1) * d]) {
+                                *o += ws * c;
+                            }
+                        }
+                    }
+                    for i in 0..b {
+                        x.row_mut(i)[col + d..col + 2 * d].copy_from_slice(mixed.row(i));
+                    }
+                    st.arena.put(slots.scores, scores);
+                    st.arena.put(slots.mixed, mixed);
+                } else {
+                    for i in 0..b {
+                        x.row_mut(i)[col + d..col + 2 * d].copy_from_slice(off_e.row(i));
+                    }
+                }
+                st.arena.put(slots.page_e, page_e);
+                st.arena.put(slots.off_e, off_e);
+            }
+
+            // Both LSTMs advance on the same input.
+            let mut page_gates = st.arena.acquire(slots.page_gates, b, 4 * hidden);
+            let mut off_gates = st.arena.acquire(slots.off_gates, b, 4 * hidden);
+            if int8 {
+                if let Some(qw) = &st.int8 {
+                    quantize_rows_into(&x, &mut st.qx);
+                    quantize_rows_into(&page_h, &mut st.qh);
+                    qw.page_lstm
+                        .gates_into(&st.qx, &st.qh, &mut st.acc, &mut page_gates);
+                    quantize_rows_into(&off_h, &mut st.qh);
+                    qw.offset_lstm
+                        .gates_into(&st.qx, &st.qh, &mut st.acc, &mut off_gates);
+                }
+            } else {
+                gemm(
+                    &x,
+                    store.value(self.page_lstm.wx_id()),
+                    Layout::NN,
+                    &mut page_gates,
+                );
+                gemm_acc(
+                    &page_h,
+                    store.value(self.page_lstm.wh_id()),
+                    Layout::NN,
+                    &mut page_gates,
+                );
+                add_row_inplace(
+                    &mut page_gates,
+                    store.value(self.page_lstm.bias_id()).as_slice(),
+                );
+                gemm(
+                    &x,
+                    store.value(self.offset_lstm.wx_id()),
+                    Layout::NN,
+                    &mut off_gates,
+                );
+                gemm_acc(
+                    &off_h,
+                    store.value(self.offset_lstm.wh_id()),
+                    Layout::NN,
+                    &mut off_gates,
+                );
+                add_row_inplace(
+                    &mut off_gates,
+                    store.value(self.offset_lstm.bias_id()).as_slice(),
+                );
+            }
+            lstm_elementwise(&page_gates, &mut page_h, &mut page_c, hidden);
+            lstm_elementwise(&off_gates, &mut off_h, &mut off_c, hidden);
+            st.arena.put(slots.page_gates, page_gates);
+            st.arena.put(slots.off_gates, off_gates);
+            st.arena.put(slots.x, x);
+        }
+
+        // Heads + row softmax.
+        let mut page_logits = st
+            .arena
+            .acquire(slots.page_logits, b, self.page_vocab.max(1));
+        let mut off_logits = st.arena.acquire(slots.off_logits, b, self.offset_vocab);
+        if int8 {
+            if let Some(qw) = &st.int8 {
+                quantize_rows_into(&page_h, &mut st.qh);
+                qw.page_head
+                    .forward_into(&st.qh, &mut st.acc, &mut page_logits);
+                quantize_rows_into(&off_h, &mut st.qh);
+                qw.offset_head
+                    .forward_into(&st.qh, &mut st.acc, &mut off_logits);
+            }
+        } else {
+            gemm(
+                &page_h,
+                store.value(self.page_head.weight_id()),
+                Layout::NN,
+                &mut page_logits,
+            );
+            add_row_inplace(
+                &mut page_logits,
+                store.value(self.page_head.bias_id()).as_slice(),
+            );
+            gemm(
+                &off_h,
+                store.value(self.offset_head.weight_id()),
+                Layout::NN,
+                &mut off_logits,
+            );
+            add_row_inplace(
+                &mut off_logits,
+                store.value(self.offset_head.bias_id()).as_slice(),
+            );
+        }
+        softmax_rows_inplace(&mut page_logits);
+        softmax_rows_inplace(&mut off_logits);
+
+        st.arena.put(slots.page_h, page_h);
+        st.arena.put(slots.page_c, page_c);
+        st.arena.put(slots.off_h, off_h);
+        st.arena.put(slots.off_c, off_c);
+        st.arena.put(slots.page_logits, page_logits);
+        st.arena.put(slots.off_logits, off_logits);
+    }
+
+    /// Builds the ranked candidate lists from the probabilities left in
+    /// the arena by [`VoyagerModel::forward_fast`].
+    fn rank_from_arena(&mut self, batch_len: usize, k: usize) -> Vec<Vec<(u32, u32, f32)>> {
+        let st = &mut self.infer;
+        let slots = st.ensure_slots();
+        let page_probs = st.arena.get(slots.page_logits);
+        let off_probs = st.arena.get(slots.off_logits);
+        let mut out = Vec::with_capacity(batch_len);
+        for row in 0..batch_len {
+            out.push(rank_row(
+                page_probs,
+                off_probs,
+                row,
+                k,
+                self.page_vocab,
+                self.offset_vocab,
+                &mut st.rank,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FeatureSet, SeqBatch, VoyagerConfig, VoyagerModel};
+    use voyager_tensor::Tensor2;
+
+    fn batch(b: usize, l: usize) -> SeqBatch {
+        SeqBatch {
+            pc: (0..b).map(|i| vec![i % 5; l]).collect(),
+            page: (0..b).map(|i| vec![i % 3; l]).collect(),
+            offset: (0..b).map(|i| vec![(i * 7) % 64; l]).collect(),
+        }
+    }
+
+    fn train_some(m: &mut VoyagerModel, b: usize, steps: usize) {
+        let bat = batch(b, m.config().seq_len);
+        let (pv, ov) = (m.page_vocab.max(1), m.offset_vocab);
+        let mut pt = Tensor2::zeros(b, pv);
+        let mut ot = Tensor2::zeros(b, ov);
+        for i in 0..b {
+            pt.set(i, (i * 5) % pv, 1.0);
+            ot.set(i, (i * 11) % ov, 1.0);
+        }
+        for _ in 0..steps {
+            m.train_multi(&bat, &pt, &ot);
+        }
+    }
+
+    #[test]
+    fn predict_fast_is_bitwise_identical_to_predict() {
+        // The guarantee the engine is built on: for every architecture
+        // variant, every batch size, and every k, the tape-free f32
+        // path reproduces the tape path bit for bit (assert_eq on f32
+        // scores is exact equality).
+        let variants = [
+            VoyagerConfig::test(),
+            VoyagerConfig::test().without_attention(),
+            VoyagerConfig::test().with_features(FeatureSet {
+                pc: false,
+                address: true,
+            }),
+        ];
+        for (vi, cfg) in variants.iter().enumerate() {
+            let mut m = VoyagerModel::new(cfg, 16, 32, 64);
+            train_some(&mut m, 6, 5);
+            for bsize in [1, 3, 8] {
+                let bat = batch(bsize, cfg.seq_len);
+                for k in [1, 4] {
+                    let tape = m.predict(&bat, k);
+                    let fast = m.predict_fast(&bat, k);
+                    assert_eq!(tape, fast, "variant {vi}, batch {bsize}, k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predict_fast_repeated_calls_are_stable() {
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
+        train_some(&mut m, 4, 3);
+        let bat = batch(4, cfg.seq_len);
+        let first = m.predict_fast(&bat, 2);
+        for _ in 0..5 {
+            assert_eq!(m.predict_fast(&bat, 2), first);
+        }
+    }
+
+    #[test]
+    fn arena_grows_only_on_first_call_and_batch_increase() {
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
+        assert_eq!(m.fast_path_arena_stats(), (0, 0));
+        let b1 = batch(1, cfg.seq_len);
+        let b4 = batch(4, cfg.seq_len);
+        m.predict_fast(&b1, 2);
+        let (g1, bytes1) = m.fast_path_arena_stats();
+        assert!(g1 > 0 && bytes1 > 0);
+        for _ in 0..10 {
+            m.predict_fast(&b1, 2);
+        }
+        assert_eq!(m.fast_path_arena_stats(), (g1, bytes1), "steady state grew");
+        m.predict_fast(&b4, 2);
+        let (g4, bytes4) = m.fast_path_arena_stats();
+        assert!(g4 > g1, "larger batch must regrow buffers");
+        for _ in 0..10 {
+            m.predict_fast(&b4, 2);
+        }
+        assert_eq!(m.fast_path_arena_stats(), (g4, bytes4));
+        // Shrinking back reuses the larger allocations.
+        m.predict_fast(&b1, 2);
+        assert_eq!(m.fast_path_arena_stats(), (g4, bytes4));
+    }
+
+    #[test]
+    fn int8_top1_agreement_on_trained_model() {
+        // Section 5.4's claim: 8-bit weights cost < 1% accuracy. Train
+        // a small mapping to convergence, then require >= 99% top-1
+        // (page, offset) agreement between the f32 and int8 fast paths
+        // over 128 rows.
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 8, 64);
+        let patterns = SeqBatch {
+            pc: vec![vec![1; 4], vec![2; 4], vec![3; 4], vec![4; 4]],
+            page: vec![vec![3; 4], vec![5; 4], vec![7; 4], vec![1; 4]],
+            offset: vec![vec![10; 4], vec![20; 4], vec![30; 4], vec![40; 4]],
+        };
+        let pages: [usize; 4] = [6, 7, 2, 4];
+        let offsets: [usize; 4] = [30, 40, 50, 60];
+        for _ in 0..150 {
+            m.train_single(&patterns, &pages, &offsets);
+        }
+        // Convergence check: the f32 path predicts the trained labels.
+        let check = m.predict_fast(&patterns, 1);
+        for (i, row) in check.iter().enumerate() {
+            assert_eq!(
+                (row[0].0 as usize, row[0].1 as usize),
+                (pages[i], offsets[i])
+            );
+        }
+        // 128-row evaluation batch cycling the trained patterns.
+        let rows = 128;
+        let eval = SeqBatch {
+            pc: (0..rows).map(|i| patterns.pc[i % 4].clone()).collect(),
+            page: (0..rows).map(|i| patterns.page[i % 4].clone()).collect(),
+            offset: (0..rows).map(|i| patterns.offset[i % 4].clone()).collect(),
+        };
+        m.prepare_int8();
+        let f32_top = m.predict_fast(&eval, 1);
+        let int8_top = m.predict_int8(&eval, 1);
+        let agree = f32_top
+            .iter()
+            .zip(&int8_top)
+            .filter(|(a, b)| (a[0].0, a[0].1) == (b[0].0, b[0].1))
+            .count();
+        let ratio = agree as f64 / rows as f64;
+        assert!(ratio >= 0.99, "int8 top-1 agreement {ratio} below 99%");
+    }
+
+    #[test]
+    fn int8_probabilities_stay_close_to_f32() {
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
+        train_some(&mut m, 6, 10);
+        let bat = batch(6, cfg.seq_len);
+        let f = m.predict_fast(&bat, 4);
+        let q = m.predict_int8(&bat, 4);
+        for (fr, qr) in f.iter().zip(&q) {
+            for (fc, qc) in fr.iter().zip(qr) {
+                assert!((fc.2 - qc.2).abs() < 0.05, "{fc:?} vs {qc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_int8_refreshes_after_training() {
+        // Quantized weights are a cache of the f32 weights at
+        // prepare time; re-preparing after further training must pick
+        // up the new mapping.
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 8, 64);
+        let patterns = SeqBatch {
+            pc: vec![vec![1; 4], vec![2; 4]],
+            page: vec![vec![3; 4], vec![5; 4]],
+            offset: vec![vec![10; 4], vec![20; 4]],
+        };
+        for _ in 0..120 {
+            m.train_single(&patterns, &[6, 7], &[30, 40]);
+        }
+        let a = m.predict_int8(&patterns, 1); // prepares on first use
+        assert_eq!((a[0][0].0, a[0][0].1), (6, 30));
+        assert_eq!((a[1][0].0, a[1][0].1), (7, 40));
+        // Retrain to a different mapping, re-prepare, and the int8
+        // path must follow the new weights.
+        for _ in 0..200 {
+            m.train_single(&patterns, &[2, 4], &[50, 60]);
+        }
+        m.prepare_int8();
+        let b = m.predict_int8(&patterns, 1);
+        assert_eq!((b[0][0].0, b[0][0].1), (2, 50));
+        assert_eq!((b[1][0].0, b[1][0].1), (4, 60));
+    }
+}

@@ -49,6 +49,7 @@
 mod config;
 mod data;
 mod delta_lstm;
+mod fastpath;
 mod model;
 mod online;
 mod replay;

@@ -42,7 +42,7 @@ impl SeqBatch {
         ids.iter().map(|seq| seq[step]).collect()
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert_eq!(self.pc.len(), self.page.len(), "pc/page batch mismatch");
         assert_eq!(
             self.offset.len(),
@@ -65,20 +65,21 @@ impl SeqBatch {
 /// (page, offset) token pairs.
 #[derive(Debug)]
 pub struct VoyagerModel {
-    cfg: VoyagerConfig,
-    store: ParamStore,
+    pub(crate) cfg: VoyagerConfig,
+    pub(crate) store: ParamStore,
     adam: Adam,
     rng: StdRng,
-    pc_emb: Embedding,
-    page_emb: Embedding,
-    offset_emb: Embedding,
-    attn: ExpertAttention,
-    page_lstm: LstmCell,
-    offset_lstm: LstmCell,
-    page_head: Linear,
-    offset_head: Linear,
-    page_vocab: usize,
-    offset_vocab: usize,
+    pub(crate) pc_emb: Embedding,
+    pub(crate) page_emb: Embedding,
+    pub(crate) offset_emb: Embedding,
+    pub(crate) attn: ExpertAttention,
+    pub(crate) page_lstm: LstmCell,
+    pub(crate) offset_lstm: LstmCell,
+    pub(crate) page_head: Linear,
+    pub(crate) offset_head: Linear,
+    pub(crate) page_vocab: usize,
+    pub(crate) offset_vocab: usize,
+    pub(crate) infer: crate::fastpath::InferState,
 }
 
 impl VoyagerModel {
@@ -165,6 +166,7 @@ impl VoyagerModel {
             offset_head,
             page_vocab,
             offset_vocab,
+            infer: crate::fastpath::InferState::default(),
         }
     }
 
@@ -409,24 +411,20 @@ impl VoyagerModel {
         let op = sess.tape.softmax_rows(ol);
         let page_probs = sess.tape.value(pp);
         let offset_probs = sess.tape.value(op);
+        // Candidate selection and ranking are shared with the tape-free
+        // fast path (crate::fastpath), so the two cannot drift.
+        let mut scratch = crate::fastpath::RankScratch::default();
         let mut out = Vec::with_capacity(batch.len());
-        let fan = k.clamp(1, 4);
         for row in 0..batch.len() {
-            let top_pages = page_probs.topk_row(row, k.min(self.page_vocab));
-            let top_offsets = offset_probs.topk_row(row, fan.min(self.offset_vocab));
-            let mut pairs: Vec<(u32, u32, f32)> = Vec::new();
-            for &p in &top_pages {
-                for &o in &top_offsets {
-                    pairs.push((
-                        p as u32,
-                        o as u32,
-                        page_probs.get(row, p) * offset_probs.get(row, o),
-                    ));
-                }
-            }
-            pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
-            pairs.truncate(k);
-            out.push(pairs);
+            out.push(crate::fastpath::rank_row(
+                page_probs,
+                offset_probs,
+                row,
+                k,
+                self.page_vocab,
+                self.offset_vocab,
+                &mut scratch,
+            ));
         }
         out
     }

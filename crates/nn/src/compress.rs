@@ -82,21 +82,41 @@ pub struct QuantizedTensor {
 
 impl QuantizedTensor {
     /// Quantizes a tensor to int8 with a symmetric-range affine mapping
-    /// covering `[min, max]` of the tensor's values.
+    /// covering `[min, max]` of the tensor's finite values.
+    ///
+    /// The range is anchored to include `0.0` so exact zeros (pruned
+    /// weights) land on the zero point and dequantize back to exactly
+    /// `0.0`. Degenerate inputs are handled explicitly: all-zero /
+    /// constant tensors get a small positive scale (instead of an
+    /// epsilon-sized one), and the range is computed in `f64` so
+    /// tensors spanning `±f32::MAX` cannot overflow it to infinity and
+    /// poison the scale. The resulting scale is always finite and
+    /// positive.
     pub fn quantize(t: &Tensor2) -> Self {
         let (rows, cols) = t.shape();
-        let (mut min, mut max) = (0.0f32, 0.0f32);
+        let (mut min, mut max) = (0.0f64, 0.0f64);
         for &v in t.as_slice() {
-            min = min.min(v);
-            max = max.max(v);
+            if v.is_finite() {
+                min = min.min(v as f64);
+                max = max.max(v as f64);
+            }
         }
-        let range = (max - min).max(1e-12);
-        let scale = range / 255.0;
-        let zero_point = (-128.0 - min / scale).round() as i32;
+        let range = max - min;
+        let scale = if range > 0.0 {
+            (range / 255.0) as f32
+        } else {
+            // All-zero (or empty) tensor: any positive scale round-trips
+            // the all-zero codes exactly.
+            1.0 / 255.0
+        };
+        let zero_point = (-128.0 - min / scale as f64).round().clamp(-128.0, 127.0) as i32;
         let data = t
             .as_slice()
             .iter()
-            .map(|&v| ((v / scale).round() as i32 + zero_point).clamp(-128, 127) as i8)
+            .map(|&v| {
+                let q = (v as f64 / scale as f64).round() as i64 + zero_point as i64;
+                q.clamp(-128, 127) as i8
+            })
             .collect();
         QuantizedTensor {
             rows,
@@ -107,14 +127,19 @@ impl QuantizedTensor {
         }
     }
 
-    /// Reconstructs an `f32` tensor (lossy).
+    /// Reconstructs an `f32` tensor (lossy). The product is formed in
+    /// `f64` and clamped into the finite `f32` range, so extreme-valued
+    /// tensors never dequantize to infinity.
     pub fn dequantize(&self) -> Tensor2 {
         Tensor2::from_vec(
             self.rows,
             self.cols,
             self.data
                 .iter()
-                .map(|&q| (q as i32 - self.zero_point) as f32 * self.scale)
+                .map(|&q| {
+                    let v = (q as i32 - self.zero_point) as f64 * self.scale as f64;
+                    v.clamp(f32::MIN as f64, f32::MAX as f64) as f32
+                })
                 .collect(),
         )
     }
@@ -122,6 +147,21 @@ impl QuantizedTensor {
     /// Shape of the original tensor.
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
+    }
+
+    /// Per-tensor dequantization scale (always finite and positive).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Affine zero point: the code that maps back to `0.0`.
+    pub fn zero_point(&self) -> i32 {
+        self.zero_point
+    }
+
+    /// Quantized codes, row-major.
+    pub fn data(&self) -> &[i8] {
+        &self.data
     }
 
     /// Storage size in bytes (1 byte per weight plus scale/zero-point).
@@ -235,6 +275,46 @@ mod tests {
         let r = q.dequantize();
         assert!(r.get(0, 0).abs() < 1e-2);
         assert!(r.get(0, 3).abs() < 1e-2);
+    }
+
+    #[test]
+    fn quantize_all_zero_tensor_roundtrips_exactly() {
+        let t = Tensor2::zeros(3, 4);
+        let q = QuantizedTensor::quantize(&t);
+        assert!(q.scale().is_finite() && q.scale() > 0.0);
+        let r = q.dequantize();
+        assert!(r.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn quantize_constant_tensor_roundtrips_within_one_bucket() {
+        for c in [5.0f32, -3.25, 1e-6] {
+            let t = Tensor2::full(2, 3, c);
+            let q = QuantizedTensor::quantize(&t);
+            assert!(q.scale().is_finite() && q.scale() > 0.0, "scale for {c}");
+            let r = q.dequantize();
+            for &v in r.as_slice() {
+                assert!(v.is_finite());
+                assert!((v - c).abs() <= q.scale(), "{v} vs {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_extreme_tensor_stays_finite() {
+        // An f32 range computation would overflow (MAX - (-MAX) = inf)
+        // and poison the scale; the f64 path must stay finite.
+        let t = Tensor2::from_rows(&[&[f32::MAX, -f32::MAX, 0.0, 1.0]]);
+        let q = QuantizedTensor::quantize(&t);
+        assert!(q.scale().is_finite() && q.scale() > 0.0);
+        let r = q.dequantize();
+        let bucket = q.scale();
+        for (&a, &b) in t.as_slice().iter().zip(r.as_slice()) {
+            assert!(b.is_finite(), "dequantized {a} to non-finite {b}");
+            assert!((a - b).abs() <= bucket * 1.5, "{a} vs {b}");
+        }
+        // The exact zero still round-trips to exactly zero.
+        assert_eq!(r.get(0, 2), 0.0);
     }
 
     #[test]

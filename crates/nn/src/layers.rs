@@ -211,6 +211,21 @@ impl LstmCell {
         self.input_dim
     }
 
+    /// Parameter id of the fused `[input_dim, 4*hidden]` input weights.
+    pub fn wx_id(&self) -> ParamId {
+        self.wx
+    }
+
+    /// Parameter id of the fused `[hidden, 4*hidden]` recurrent weights.
+    pub fn wh_id(&self) -> ParamId {
+        self.wh
+    }
+
+    /// Parameter id of the fused `[1, 4*hidden]` gate bias.
+    pub fn bias_id(&self) -> ParamId {
+        self.bias
+    }
+
     /// Creates an all-zero initial state for a batch of the given size.
     pub fn zero_state(&self, sess: &mut Session, batch: usize) -> LstmState {
         let h = sess.tape.leaf(Tensor2::zeros(batch, self.hidden), false);
@@ -289,6 +304,11 @@ impl ExpertAttention {
     /// Number of experts.
     pub fn n_experts(&self) -> usize {
         self.n_experts
+    }
+
+    /// The score scaling factor `f` of Eq. 9.
+    pub fn scale(&self) -> f32 {
+        self.scale
     }
 
     /// Like the [`Layer`] `forward` but also returns the attention

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod compress;
+pub mod qinfer;
 pub mod serialize;
 
 mod grads;
@@ -70,3 +71,4 @@ pub use layer::Layer;
 pub use layers::{Embedding, ExpertAttention, Linear, LstmCell, LstmState};
 pub use optim::{Adam, AdamState};
 pub use params::{ParamId, ParamStore, Session};
+pub use qinfer::{QuantizedLinear, QuantizedLstm, QuantizedMatmul};

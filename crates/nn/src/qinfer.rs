@@ -1,0 +1,299 @@
+//! Int8 inference layers: a real quantized compute path.
+//!
+//! [`compress`](crate::compress) *simulates* int8 deployment
+//! (quantize → dequantize → f32 GEMM); this module *computes* in int8.
+//! Weights are quantized once up front with the existing per-tensor
+//! affine [`QuantizedTensor`] scheme and kept as `i8` codes;
+//! activations are quantized per row on the fly
+//! ([`voyager_tensor::infer::quantize_rows_into`], symmetric, no zero
+//! point); the matmul itself is the
+//! [`gemm_i8`](voyager_tensor::kernels::gemm_i8) `i8×i8→i32` kernel.
+//!
+//! Dequantization folds the weight zero point out of the integer
+//! accumulator using the cached per-row activation sums: with
+//! activations `x[i][p] ≈ sa_i·qx[i][p]` and weights
+//! `w[p][j] ≈ sw·(qw[p][j] − zw)`,
+//!
+//! ```text
+//! out[i][j] ≈ sa_i · sw · (acc[i][j] − zw · Σ_p qx[i][p])
+//! ```
+//!
+//! so the hot loop is one integer GEMM plus one fused
+//! scale-and-correct pass over the output. All buffers are
+//! caller-provided and reused across calls; the steady state performs
+//! no heap allocation.
+
+use voyager_tensor::infer::{add_row_inplace, QuantizedRows};
+use voyager_tensor::kernels::gemm_i8;
+use voyager_tensor::Tensor2;
+
+use crate::compress::QuantizedTensor;
+
+/// An int8 weight matrix prepared for [`gemm_i8`] matmuls.
+///
+/// Keeps the codes in the `[in, out]` row-major orientation
+/// [`QuantizedTensor`] produces, which is exactly the NN layout the
+/// kernel consumes — no transpose at quantization or inference time.
+#[derive(Debug, Clone)]
+pub struct QuantizedMatmul {
+    w: QuantizedTensor,
+}
+
+impl QuantizedMatmul {
+    /// Quantizes an `[in, out]` f32 weight matrix.
+    pub fn from_tensor(w: &Tensor2) -> Self {
+        QuantizedMatmul {
+            w: QuantizedTensor::quantize(w),
+        }
+    }
+
+    /// `(in, out)` shape of the underlying weight matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.w.shape()
+    }
+
+    /// Int8 storage size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.w.size_bytes()
+    }
+
+    /// Computes `out = x · w` (or `out += x · w` when `accumulate`)
+    /// from pre-quantized activation rows. `acc` is the reusable `i32`
+    /// accumulator scratch; `out` must already be shaped `[rows, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s columns disagree with the weight input
+    /// dimension or `out` has the wrong shape.
+    pub fn forward_into(
+        &self,
+        x: &QuantizedRows,
+        acc: &mut Vec<i32>,
+        out: &mut Tensor2,
+        accumulate: bool,
+    ) {
+        let (m, k) = x.shape();
+        let (wk, n) = self.w.shape();
+        assert_eq!(k, wk, "quantized matmul reduction mismatch: {k} vs {wk}");
+        assert_eq!(out.shape(), (m, n), "quantized matmul output shape");
+        acc.clear();
+        acc.resize(m * n, 0);
+        gemm_i8(&x.data, self.w.data(), m, n, k, acc);
+        let sw = self.w.scale();
+        let zw = self.w.zero_point();
+        for i in 0..m {
+            let s = x.scales[i] * sw;
+            let corr = zw.wrapping_mul(x.sums[i]);
+            let acc_row = &acc[i * n..(i + 1) * n];
+            let out_row = out.row_mut(i);
+            if accumulate {
+                for (o, &a) in out_row.iter_mut().zip(acc_row) {
+                    *o += s * (a - corr) as f32;
+                }
+            } else {
+                for (o, &a) in out_row.iter_mut().zip(acc_row) {
+                    *o = s * (a - corr) as f32;
+                }
+            }
+        }
+    }
+}
+
+/// An int8 linear layer: quantized weights plus an f32 bias row.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    w: QuantizedMatmul,
+    bias: Vec<f32>,
+}
+
+impl QuantizedLinear {
+    /// Quantizes an `[in, out]` weight matrix and captures the
+    /// `[1, out]` bias (kept in f32 — it is added after
+    /// dequantization, as is standard for int8 inference).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `[1, out]`.
+    pub fn new(w: &Tensor2, bias: &Tensor2) -> Self {
+        assert_eq!(bias.shape(), (1, w.cols()), "bias shape mismatch");
+        QuantizedLinear {
+            w: QuantizedMatmul::from_tensor(w),
+            bias: bias.as_slice().to_vec(),
+        }
+    }
+
+    /// `(in, out)` shape of the weight matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        self.w.shape()
+    }
+
+    /// Computes `out = x · w + bias` into the caller-shaped `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch (see
+    /// [`QuantizedMatmul::forward_into`]).
+    pub fn forward_into(&self, x: &QuantizedRows, acc: &mut Vec<i32>, out: &mut Tensor2) {
+        self.w.forward_into(x, acc, out, false);
+        add_row_inplace(out, &self.bias);
+    }
+}
+
+/// An int8 LSTM cell for inference: both fused gate matrices
+/// quantized, bias in f32, gate nonlinearities applied by the caller
+/// (they stay in f32, where the tape-free engine shares the exact
+/// formulas with the tape).
+#[derive(Debug, Clone)]
+pub struct QuantizedLstm {
+    wx: QuantizedMatmul,
+    wh: QuantizedMatmul,
+    bias: Vec<f32>,
+    hidden: usize,
+}
+
+impl QuantizedLstm {
+    /// Quantizes an LSTM cell's fused `[input, 4*hidden]` /
+    /// `[hidden, 4*hidden]` weights and captures its `[1, 4*hidden]`
+    /// bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent with `hidden`.
+    pub fn new(wx: &Tensor2, wh: &Tensor2, bias: &Tensor2, hidden: usize) -> Self {
+        assert_eq!(wx.cols(), 4 * hidden, "wx gate width mismatch");
+        assert_eq!(wh.shape(), (hidden, 4 * hidden), "wh shape mismatch");
+        assert_eq!(bias.shape(), (1, 4 * hidden), "bias shape mismatch");
+        QuantizedLstm {
+            wx: QuantizedMatmul::from_tensor(wx),
+            wh: QuantizedMatmul::from_tensor(wh),
+            bias: bias.as_slice().to_vec(),
+            hidden,
+        }
+    }
+
+    /// Number of hidden units.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Computes the fused gate pre-activations
+    /// `gates = qx · wx + qh · wh + bias` into the caller-shaped
+    /// `[batch, 4*hidden]` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn gates_into(
+        &self,
+        qx: &QuantizedRows,
+        qh: &QuantizedRows,
+        acc: &mut Vec<i32>,
+        gates: &mut Tensor2,
+    ) {
+        self.wx.forward_into(qx, acc, gates, false);
+        self.wh.forward_into(qh, acc, gates, true);
+        add_row_inplace(gates, &self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voyager_tensor::infer::quantize_rows_into;
+    use voyager_tensor::rng::{SeedableRng, StdRng};
+
+    fn assert_close(got: &Tensor2, want: &Tensor2, tol: f32) {
+        assert_eq!(got.shape(), want.shape());
+        let scale = want.as_slice().iter().fold(1.0f32, |a, &v| a.max(v.abs()));
+        for (&g, &w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!(
+                (g - w).abs() <= tol * scale,
+                "{g} vs {w} (tol {tol} x {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_matmul_tracks_f32_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x = Tensor2::uniform(5, 24, 1.5, &mut rng);
+        let w = Tensor2::uniform(24, 12, 0.8, &mut rng);
+        let qm = QuantizedMatmul::from_tensor(&w);
+        let mut qx = QuantizedRows::new();
+        quantize_rows_into(&x, &mut qx);
+        let mut acc = Vec::new();
+        let mut out = Tensor2::zeros(5, 12);
+        qm.forward_into(&qx, &mut acc, &mut out, false);
+        assert_close(&out, &x.matmul(&w), 0.03);
+    }
+
+    #[test]
+    fn quantized_linear_adds_bias_and_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = Tensor2::uniform(4, 16, 1.0, &mut rng);
+        let w = Tensor2::uniform(16, 8, 0.5, &mut rng);
+        let b = Tensor2::uniform(1, 8, 0.5, &mut rng);
+        let ql = QuantizedLinear::new(&w, &b);
+        let mut want = x.matmul(&w);
+        add_row_inplace(&mut want, b.as_slice());
+
+        let mut qx = QuantizedRows::new();
+        let mut acc = Vec::new();
+        let mut out = Tensor2::zeros(4, 8);
+        quantize_rows_into(&x, &mut qx);
+        ql.forward_into(&qx, &mut acc, &mut out);
+        assert_close(&out, &want, 0.03);
+
+        // Steady state: repeated calls never grow the scratch buffers.
+        let caps = (acc.capacity(), out.capacity());
+        for _ in 0..10 {
+            quantize_rows_into(&x, &mut qx);
+            ql.forward_into(&qx, &mut acc, &mut out);
+            assert_eq!((acc.capacity(), out.capacity()), caps);
+        }
+    }
+
+    #[test]
+    fn quantized_lstm_gates_track_f32_reference() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let hidden = 6;
+        let x = Tensor2::uniform(3, 10, 1.0, &mut rng);
+        let h = Tensor2::uniform(3, hidden, 1.0, &mut rng);
+        let wx = Tensor2::uniform(10, 4 * hidden, 0.6, &mut rng);
+        let wh = Tensor2::uniform(hidden, 4 * hidden, 0.6, &mut rng);
+        let bias = Tensor2::uniform(1, 4 * hidden, 0.4, &mut rng);
+        let qc = QuantizedLstm::new(&wx, &wh, &bias, hidden);
+        assert_eq!(qc.hidden(), hidden);
+
+        let mut want = x.matmul(&wx);
+        let hw = h.matmul(&wh);
+        want.add_scaled(&hw, 1.0);
+        add_row_inplace(&mut want, bias.as_slice());
+
+        let (mut qx, mut qh) = (QuantizedRows::new(), QuantizedRows::new());
+        quantize_rows_into(&x, &mut qx);
+        quantize_rows_into(&h, &mut qh);
+        let mut acc = Vec::new();
+        let mut gates = Tensor2::zeros(3, 4 * hidden);
+        qc.gates_into(&qx, &qh, &mut acc, &mut gates);
+        assert_close(&gates, &want, 0.05);
+    }
+
+    #[test]
+    fn zero_activations_produce_exact_bias() {
+        // All-zero activation rows quantize to scale 0 / all-zero codes
+        // and must contribute exactly nothing.
+        let w = Tensor2::full(4, 3, 0.7);
+        let b = Tensor2::from_rows(&[&[1.0, -2.0, 3.0]]);
+        let ql = QuantizedLinear::new(&w, &b);
+        let x = Tensor2::zeros(2, 4);
+        let mut qx = QuantizedRows::new();
+        quantize_rows_into(&x, &mut qx);
+        let mut acc = Vec::new();
+        let mut out = Tensor2::zeros(2, 3);
+        ql.forward_into(&qx, &mut acc, &mut out);
+        for i in 0..2 {
+            assert_eq!(out.row(i), b.row(0));
+        }
+    }
+}

@@ -53,5 +53,5 @@ pub use microbatch::{
     BatchModel, ClientHandle, LiveStats, MicrobatchConfig, MicrobatchServer, ServerStats,
 };
 pub use pool::{par_gemm, ChunkPool};
-pub use serve::{InferenceRequest, VoyagerService};
+pub use serve::{InferenceRequest, PredictMode, VoyagerService};
 pub use trainer::{train_data_parallel, train_data_parallel_profiled, TrainReport, TrainerConfig};

@@ -180,6 +180,14 @@ impl Default for ChunkPool {
     }
 }
 
+/// Work threshold (in `2·m·n·k` flops) below which [`par_gemm`] stays
+/// on the calling thread: for small problems (e.g. 64³ ≈ 0.5 Mflop),
+/// scoped-thread spawn/join overhead exceeds the compute itself —
+/// BENCH_pr3_kernels.json measured the parallel NT/64 path at roughly
+/// half the blocked kernel's throughput. A 64³ GEMM falls below this
+/// threshold; 128³ (≈ 4.2 Mflop) fans out as before.
+const PAR_GEMM_MIN_FLOPS: usize = 1 << 20;
+
 /// Row-parallel blocked GEMM: partitions the output rows over the
 /// pool and computes each partition with
 /// [`gemm_rows`](voyager_tensor::kernels::gemm_rows).
@@ -187,17 +195,23 @@ impl Default for ChunkPool {
 /// Because each output element is produced by exactly one worker using
 /// the same per-element arithmetic as the single-threaded kernel, the
 /// result is bitwise-identical to [`kernels::gemm`] at any thread
-/// count.
+/// count. Problems smaller than [`PAR_GEMM_MIN_FLOPS`] run directly on
+/// the calling thread (same kernel, whole row range), which is both
+/// faster and trivially bitwise-identical.
 ///
 /// # Panics
 ///
 /// Panics if the operand shapes disagree under `layout`.
 pub fn par_gemm(pool: &ChunkPool, a: &Tensor2, b: &Tensor2, layout: Layout, out: &mut Tensor2) {
-    let (m, n, _) = kernels::gemm_dims(a, b, layout);
+    let (m, n, k) = kernels::gemm_dims(a, b, layout);
     if out.shape() != (m, n) {
         *out = Tensor2::zeros(m, n);
     }
     if m == 0 || n == 0 {
+        return;
+    }
+    if 2 * m * n * k < PAR_GEMM_MIN_FLOPS {
+        kernels::gemm_rows(a, b, layout, 0..m, out.as_mut_slice());
         return;
     }
     pool.run_chunks(out.as_mut_slice(), n, |first_row, rows| {

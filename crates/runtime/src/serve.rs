@@ -17,23 +17,69 @@ pub struct InferenceRequest {
     pub offset: Vec<usize>,
 }
 
+/// Which forward implementation [`VoyagerService`] dispatches each
+/// batch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictMode {
+    /// The tape-based [`VoyagerModel::predict`] (autograd graph built
+    /// and discarded per call). Reference semantics; slowest.
+    #[default]
+    Tape,
+    /// Tape-free f32 fast path ([`VoyagerModel::predict_fast`]):
+    /// bitwise-identical results, arena-backed zero-allocation steady
+    /// state.
+    FastF32,
+    /// Tape-free int8 fast path ([`VoyagerModel::predict_int8`]):
+    /// quantized LSTM/head GEMMs, approximate probabilities.
+    FastInt8,
+}
+
 /// Wraps a trained [`VoyagerModel`] as a [`BatchModel`]: coalesced
-/// requests become one [`SeqBatch`] and one batched
-/// [`VoyagerModel::predict`] call.
+/// requests become one [`SeqBatch`] and one batched predict call,
+/// dispatched per [`PredictMode`].
 #[derive(Debug)]
 pub struct VoyagerService {
     model: VoyagerModel,
     degree: usize,
+    mode: PredictMode,
+    /// Reused across batches so steady-state serving does not
+    /// reallocate the request staging area (rows shrink/grow in place).
+    batch: SeqBatch,
 }
 
 impl VoyagerService {
     /// Serves `model` at prefetch degree `degree` (candidates returned
-    /// per request).
+    /// per request) through the tape-based reference path.
     pub fn new(model: VoyagerModel, degree: usize) -> Self {
+        VoyagerService::with_mode(model, degree, PredictMode::Tape)
+    }
+
+    /// Serves `model` through the given [`PredictMode`]. For
+    /// [`PredictMode::FastInt8`] the quantized weights are prepared
+    /// eagerly here, so the first request does not pay the one-time
+    /// quantization cost.
+    pub fn with_mode(mut model: VoyagerModel, degree: usize, mode: PredictMode) -> Self {
+        if mode == PredictMode::FastInt8 {
+            model.prepare_int8();
+        }
         VoyagerService {
             model,
             degree: degree.max(1),
+            mode,
+            batch: SeqBatch::default(),
         }
+    }
+
+    /// The dispatch mode this service was built with.
+    pub fn mode(&self) -> PredictMode {
+        self.mode
+    }
+
+    /// Arena growth telemetry of the wrapped model's fast path:
+    /// `(grow_events, grown_bytes)`. Both stay flat once serving
+    /// reaches steady state.
+    pub fn arena_stats(&self) -> (u64, u64) {
+        self.model.fast_path_arena_stats()
     }
 }
 
@@ -43,12 +89,25 @@ impl BatchModel for VoyagerService {
     type Response = Vec<(u32, u32, f32)>;
 
     fn forward_batch(&mut self, requests: &[InferenceRequest]) -> Vec<Self::Response> {
-        let mut batch = SeqBatch::default();
-        for r in requests {
-            batch.pc.push(r.pc.clone());
-            batch.page.push(r.page.clone());
-            batch.offset.push(r.offset.clone());
+        let n = requests.len();
+        self.batch.pc.truncate(n);
+        self.batch.page.truncate(n);
+        self.batch.offset.truncate(n);
+        self.batch.pc.resize_with(n, Vec::new);
+        self.batch.page.resize_with(n, Vec::new);
+        self.batch.offset.resize_with(n, Vec::new);
+        for (i, r) in requests.iter().enumerate() {
+            self.batch.pc[i].clear();
+            self.batch.pc[i].extend_from_slice(&r.pc);
+            self.batch.page[i].clear();
+            self.batch.page[i].extend_from_slice(&r.page);
+            self.batch.offset[i].clear();
+            self.batch.offset[i].extend_from_slice(&r.offset);
         }
-        self.model.predict(&batch, self.degree)
+        match self.mode {
+            PredictMode::Tape => self.model.predict(&self.batch, self.degree),
+            PredictMode::FastF32 => self.model.predict_fast(&self.batch, self.degree),
+            PredictMode::FastInt8 => self.model.predict_int8(&self.batch, self.degree),
+        }
     }
 }

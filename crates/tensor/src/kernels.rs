@@ -128,6 +128,8 @@ pub fn reset_kernel_metrics() {
     {
         GEMM_CALLS.reset();
         GEMM_FLOPS.reset();
+        INT8_GEMM_CALLS.reset();
+        INT8_GEMM_OPS.reset();
     }
 }
 
@@ -507,6 +509,111 @@ fn naive_gemm_rows(
     }
 }
 
+#[cfg(feature = "obs")]
+static INT8_GEMM_CALLS: voyager_obs::Counter = voyager_obs::Counter::new();
+#[cfg(feature = "obs")]
+static INT8_GEMM_OPS: voyager_obs::Counter = voyager_obs::Counter::new();
+
+#[cfg(feature = "obs")]
+fn note_gemm_i8(m: usize, n: usize, k: usize) {
+    INT8_GEMM_CALLS.inc();
+    INT8_GEMM_OPS.add(2 * (m as u64) * (n as u64) * (k as u64));
+}
+
+#[cfg(not(feature = "obs"))]
+fn note_gemm_i8(_m: usize, _n: usize, _k: usize) {}
+
+/// Total [`gemm_i8`] invocations since start (or the last
+/// [`reset_kernel_metrics`]). Always 0 without the `obs` feature.
+pub fn int8_gemm_invocations() -> u64 {
+    #[cfg(feature = "obs")]
+    {
+        INT8_GEMM_CALLS.get()
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        0
+    }
+}
+
+/// Total integer multiply-add operations (`2·m·n·k` per call) tallied
+/// by [`gemm_i8`]. Always 0 without the `obs` feature.
+pub fn int8_gemm_ops() -> u64 {
+    #[cfg(feature = "obs")]
+    {
+        INT8_GEMM_OPS.get()
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        0
+    }
+}
+
+/// Quantized matrix multiply `out[m,n] = a[m,k] · b[k,n]` over `i8`
+/// operands accumulating in `i32`, all row-major (NN layout — the
+/// `[in, out]` orientation [`QuantizedTensor`] weights are stored in,
+/// so no transpose is needed at call sites).
+///
+/// The inner loops stream `b` row-by-row (`out[i][j] += a[i][p] *
+/// b[p][j]` with `p` in the middle), the same access pattern that lets
+/// the f32 kernels auto-vectorise: each `p` step is a scalar-times-row
+/// AXPY over the output row. Rows of `a` with a zero code are skipped
+/// — exact for integers, and common after symmetric activation
+/// quantization of post-sigmoid gates.
+///
+/// `i8 × i8` products are at most `127 · 127`, so `i32` accumulation
+/// cannot overflow until `k > 133 000`, far beyond any layer here.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m·k`, `k·n` and `m·n`.
+pub fn gemm_i8(a: &[i8], b: &[i8], m: usize, n: usize, k: usize, out: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "gemm_i8 lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_i8 rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_i8 output length mismatch");
+    note_gemm_i8(m, n, k);
+    for o in out.iter_mut() {
+        *o = 0;
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        // Four A-coefficients per pass: the i32 output row is streamed
+        // k/4 times instead of k times, which dominates the cost at the
+        // skinny shapes inference produces (m = batch, often 1).
+        // Integer arithmetic is exact, so the blocking cannot change
+        // the result.
+        let mut p = 0;
+        while p + 4 <= k {
+            let c0 = a_row[p] as i32;
+            let c1 = a_row[p + 1] as i32;
+            let c2 = a_row[p + 2] as i32;
+            let c3 = a_row[p + 3] as i32;
+            if c0 | c1 | c2 | c3 != 0 {
+                let (b0, rest) = b[p * n..(p + 4) * n].split_at(n);
+                let (b1, rest) = rest.split_at(n);
+                let (b2, b3) = rest.split_at(n);
+                for ((((o, &v0), &v1), &v2), &v3) in
+                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    *o += c0 * v0 as i32 + c1 * v1 as i32 + c2 * v2 as i32 + c3 * v3 as i32;
+                }
+            }
+            p += 4;
+        }
+        for (&ap, p) in a_row[p..].iter().zip(p..k) {
+            if ap == 0 {
+                continue;
+            }
+            let ap = ap as i32;
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += ap * bv as i32;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,6 +759,51 @@ mod tests {
         let mut out = Tensor2::zeros(1, 1);
         gemm(&a, &b, Layout::NN, &mut out);
     }
+    #[test]
+    fn gemm_i8_matches_integer_reference() {
+        let mut rng = thread_rng();
+        for &(m, n, k) in &[(1usize, 1usize, 1usize), (3, 5, 4), (4, 7, 9), (2, 16, 33)] {
+            let a: Vec<i8> = (0..m * k)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect();
+            let b: Vec<i8> = (0..k * n)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect();
+            let mut out = vec![1i32; m * n]; // nonzero: must be overwritten
+            gemm_i8(&a, &b, m, n, k, &mut out);
+            for i in 0..m {
+                for j in 0..n {
+                    let want: i32 = (0..k)
+                        .map(|p| a[i * k + p] as i32 * b[p * n + j] as i32)
+                        .sum();
+                    assert_eq!(out[i * n + j], want, "({m},{n},{k}) at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_i8_rejects_bad_lengths() {
+        let r = std::panic::catch_unwind(|| {
+            let mut out = vec![0i32; 4];
+            gemm_i8(&[1, 2], &[3, 4], 2, 2, 2, &mut out);
+        });
+        assert!(r.is_err());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn int8_metrics_tally_calls_and_ops() {
+        let a = vec![1i8; 4 * 8];
+        let b = vec![1i8; 8 * 16];
+        let mut out = vec![0i32; 4 * 16];
+        let calls0 = int8_gemm_invocations();
+        let ops0 = int8_gemm_ops();
+        gemm_i8(&a, &b, 4, 16, 8, &mut out);
+        assert!(int8_gemm_invocations() > calls0);
+        assert!(int8_gemm_ops() >= ops0 + 2 * 4 * 16 * 8);
+    }
+
     #[cfg(feature = "obs")]
     #[test]
     fn kernel_metrics_tally_calls_and_flops() {

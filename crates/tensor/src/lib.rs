@@ -42,9 +42,12 @@ mod tensor;
 mod verify;
 
 pub mod gradcheck;
+pub mod infer;
 pub mod kernels;
 pub mod rng;
+pub mod topk;
 
+pub use infer::{Arena, BufId, QuantizedRows};
 pub use kernels::{gemm, gemm_acc, Layout};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor2;

@@ -809,25 +809,13 @@ impl Tape {
     }
 }
 
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
+// Forward math is shared with the tape-free engine in `crate::infer`,
+// which is what guarantees fast-path outputs are bitwise identical.
+use crate::infer::sigmoid;
 
 fn softmax_rows(t: &Tensor2) -> Tensor2 {
-    let (m, n) = t.shape();
-    let mut out = Tensor2::zeros(m, n);
-    for i in 0..m {
-        let row = t.row(i);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for (o, &v) in out.row_mut(i).iter_mut().zip(row) {
-            *o = (v - max).exp();
-            sum += *o;
-        }
-        for o in out.row_mut(i) {
-            *o /= sum;
-        }
-    }
+    let mut out = t.clone();
+    crate::infer::softmax_rows_inplace(&mut out);
     out
 }
 

@@ -335,13 +335,27 @@ impl Tensor2 {
     }
 
     /// Indices of the `k` largest elements of `row`, in descending order
-    /// of value.
+    /// of value (ties keep ascending index order). Selection runs
+    /// through the shared bounded heap in [`crate::topk`], `O(n log k)`
+    /// instead of sorting the whole row.
     pub fn topk_row(&self, row: usize, k: usize) -> Vec<usize> {
-        let r = self.row(row);
-        let mut idx: Vec<usize> = (0..r.len()).collect();
-        idx.sort_by(|&a, &b| r[b].partial_cmp(&r[a]).unwrap_or(std::cmp::Ordering::Equal));
-        idx.truncate(k);
-        idx
+        crate::topk::topk_indices(self.row(row), k)
+    }
+
+    /// Reshapes the tensor to `[rows, cols]` in place, zero-filling all
+    /// elements. The backing allocation is reused (and only grows) so
+    /// repeated resizes to steady-state shapes never allocate.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Number of elements the backing allocation can hold without
+    /// growing (used by arena growth accounting).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 }
 
@@ -416,6 +430,20 @@ mod tests {
         assert_eq!(t.argmax_row(0), 1);
         assert_eq!(t.topk_row(0, 3), vec![1, 3, 2]);
         assert_eq!(t.topk_row(0, 10).len(), 4);
+    }
+
+    #[test]
+    fn resize_zeroes_and_reuses_capacity() {
+        let mut t = Tensor2::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        t.resize(1, 3);
+        assert_eq!(t.shape(), (1, 3));
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 0.0]);
+        let cap = t.capacity();
+        t.resize(2, 2);
+        assert_eq!(t.capacity(), cap);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        t.resize(4, 4);
+        assert!(t.capacity() >= 16);
     }
 
     #[test]
