@@ -12,7 +12,7 @@ use std::path::Path;
 /// (CLI tools) is exempt from the panic lints but still policed for
 /// offline-ness and lock order.
 const LIB_CRATES: &[&str] = &[
-    "tensor", "nn", "trace", "sim", "prefetch", "core", "runtime", "analyze", "obs",
+    "tensor", "nn", "trace", "sim", "prefetch", "core", "distill", "runtime", "analyze", "obs",
 ];
 
 /// Modules whose entire purpose is wall-clock measurement or seeding:
@@ -35,6 +35,7 @@ const WORKSPACE_ROOTS: &[&str] = &[
     "voyager",
     "voyager_tensor",
     "voyager_nn",
+    "voyager_distill",
     "voyager_trace",
     "voyager_sim",
     "voyager_prefetch",
@@ -165,8 +166,13 @@ mod tests {
 
     #[test]
     fn lib_crate_src_gets_full_strictness() {
-        let cfg = config_for("crates/tensor/src/tensor.rs");
-        assert!(cfg.lint_nondeterminism && cfg.lint_panics && cfg.lint_docs);
+        for rel in ["crates/tensor/src/tensor.rs", "crates/distill/src/table.rs"] {
+            let cfg = config_for(rel);
+            assert!(
+                cfg.lint_nondeterminism && cfg.lint_panics && cfg.lint_docs,
+                "{rel}"
+            );
+        }
     }
 
     #[test]

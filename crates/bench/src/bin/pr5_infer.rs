@@ -72,6 +72,7 @@ fn mode_name(mode: PredictMode) -> &'static str {
         PredictMode::Tape => "tape",
         PredictMode::FastF32 => "fast_f32",
         PredictMode::FastInt8 => "fast_int8",
+        PredictMode::Table => "table",
     }
 }
 
@@ -139,6 +140,8 @@ fn bytes_per_call(mode: PredictMode, iters: usize) -> f64 {
         PredictMode::Tape => std::hint::black_box(m.predict(&batch, 2)),
         PredictMode::FastF32 => std::hint::black_box(m.predict_fast(&batch, 2)),
         PredictMode::FastInt8 => std::hint::black_box(m.predict_int8(&batch, 2)),
+        // pr5 predates the distilled tables; pr6_table covers them.
+        PredictMode::Table => unreachable!("pr5_infer does not bench table mode"),
     };
     run(&mut model); // warmup: arena growth happens here
     let before = heap_bytes();

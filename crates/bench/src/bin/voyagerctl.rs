@@ -22,16 +22,23 @@
 //! voyagerctl serve-bench <benchmark|trace.vtrc> [--requests N]
 //!                        [--clients C] [--max-batch B]
 //!                        [--max-delay-us U] [--degree D]
-//!                        [--config test|scaled] [--mode tape|fast|int8]
+//!                        [--config test|scaled]
+//!                        [--mode tape|fast|int8|table]
 //!     Drive the microbatched inference server with C client threads
 //!     and print throughput plus p50/p99 latency. `--mode fast` serves
 //!     through the tape-free f32 engine, `--mode int8` through the
-//!     quantized one; `tape` (default) is the reference path.
-//! voyagerctl metrics [--smoke]
+//!     quantized one, `--mode table` through distilled lookup tables
+//!     (built from the stream's own windows; misses fall back to
+//!     int8); `tape` (default) is the reference path.
+//! voyagerctl metrics [--smoke] [--serve-mode int8|table]
 //!     Run a short sim + train + serve pipeline with the voyager-obs
 //!     observability layer enabled and dump the full metrics snapshot
 //!     (counters, histograms, span tree) as validated JSON on stdout.
-//!     `--smoke` shrinks the workload for CI.
+//!     `--smoke` shrinks the workload for CI. `--serve-mode table`
+//!     (the default) serves through distilled tables built from half
+//!     the request windows, so the `infer.table.*` counters observe
+//!     both hits and int8 fallbacks; `--serve-mode int8` restores the
+//!     pure quantized path.
 //! ```
 
 use std::fs::File;
@@ -39,7 +46,9 @@ use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use std::str::FromStr;
 
-use voyager::{DeltaLstm, DeltaLstmConfig, OnlineRun, TrainingSet, VoyagerConfig, VoyagerModel};
+use voyager::{
+    DeltaLstm, DeltaLstmConfig, OnlineRun, SeqBatch, TrainingSet, VoyagerConfig, VoyagerModel,
+};
 use voyager_obs::{Profiler, Registry};
 use voyager_prefetch::{
     BestOffset, Domino, Isb, IsbBoHybrid, IsbStructural, Markov, NextLine, Prefetcher, Sms, Stms,
@@ -275,7 +284,7 @@ fn cmd_train(args: &[String]) -> CliResult {
 
 fn cmd_serve_bench(args: &[String]) -> CliResult {
     let [source, rest @ ..] = args else {
-        return Err("usage: serve-bench <benchmark|trace.vtrc> [--requests N] [--clients C] [--max-batch B] [--max-delay-us U] [--degree D] [--config test|scaled] [--mode tape|fast|int8]".into());
+        return Err("usage: serve-bench <benchmark|trace.vtrc> [--requests N] [--clients C] [--max-batch B] [--max-delay-us U] [--degree D] [--config test|scaled] [--mode tape|fast|int8|table]".into());
     };
     let flags = parse_flags(rest)?;
     let cfg = config_preset(flags.get("config"))?;
@@ -299,7 +308,8 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
         None | Some("tape") => PredictMode::Tape,
         Some("fast") => PredictMode::FastF32,
         Some("int8") => PredictMode::FastInt8,
-        Some(bad) => return Err(format!("unknown --mode {bad:?} (tape|fast|int8)").into()),
+        Some("table") => PredictMode::Table,
+        Some(bad) => return Err(format!("unknown --mode {bad:?} (tape|fast|int8|table)").into()),
     };
     let mb = MicrobatchConfig {
         max_batch: flags
@@ -344,8 +354,29 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
         "serving {} requests from {} client(s) (max batch {}, max delay {:?}, degree {degree}, mode {mode:?})",
         requests, clients, mb.max_batch, mb.max_delay
     );
-    let (server, client) =
-        MicrobatchServer::spawn(VoyagerService::with_mode(model, degree, mode), mb);
+    let service = if mode == PredictMode::Table {
+        let mut model = model;
+        let corpus = windows_to_corpus(&windows, 4096);
+        let (tables, report) = voyager_distill::distill(
+            &mut model,
+            &corpus,
+            &voyager_distill::TableConfig::for_budget(1 << 20),
+        );
+        println!(
+            "distilled {} windows: {} page / {} offset entries, {} KiB, corpus hit rate {}",
+            report.samples,
+            report.page.entries,
+            report.offset.entries,
+            report.memory_bytes / 1024,
+            report
+                .hit_rate
+                .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}")),
+        );
+        VoyagerService::with_tables(model, degree, tables)
+    } else {
+        VoyagerService::with_mode(model, degree, mode)
+    };
+    let (server, client) = MicrobatchServer::spawn(service, mb);
     let per_client = requests.div_ceil(clients);
     std::thread::scope(|scope| {
         for c in 0..clients {
@@ -379,15 +410,42 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Repackages the first `cap` request windows as a [`SeqBatch`]
+/// distillation corpus.
+fn windows_to_corpus(windows: &[InferenceRequest], cap: usize) -> SeqBatch {
+    let take = windows.len().min(cap);
+    let mut corpus = SeqBatch::default();
+    for w in &windows[..take] {
+        corpus.pc.push(w.pc.clone());
+        corpus.page.push(w.page.clone());
+        corpus.offset.push(w.offset.clone());
+    }
+    corpus
+}
+
 /// Runs a short end-to-end pipeline (timing sim, data-parallel
 /// training, microbatched serving) with every observability hook
 /// enabled, folds the results into one [`Registry`] snapshot, and
 /// prints the validated JSON dump on stdout.
 fn cmd_metrics(args: &[String]) -> CliResult {
-    if let Some(bad) = args.iter().find(|a| a.as_str() != "--smoke") {
-        return Err(format!("usage: metrics [--smoke] (unexpected argument {bad:?})").into());
+    const USAGE: &str = "usage: metrics [--smoke] [--serve-mode int8|table]";
+    let mut smoke = false;
+    let mut serve_mode = PredictMode::Table;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--serve-mode" => {
+                serve_mode = match it.next().map(String::as_str) {
+                    Some("int8") => PredictMode::FastInt8,
+                    Some("table") => PredictMode::Table,
+                    Some(bad) => return Err(format!("{USAGE} (unknown serve mode {bad:?})").into()),
+                    None => return Err(format!("{USAGE} (--serve-mode requires a value)").into()),
+                };
+            }
+            bad => return Err(format!("{USAGE} (unexpected argument {bad:?})").into()),
+        }
     }
-    let smoke = args.iter().any(|a| a == "--smoke");
     let (gen_cfg, cfg, steps, requests) = if smoke {
         (
             GeneratorConfig::small(),
@@ -464,14 +522,26 @@ fn cmd_metrics(args: &[String]) -> CliResult {
         vocab.page_vocab_len(),
         vocab.offset_vocab_len(),
     );
+    let service = if serve_mode == PredictMode::Table {
+        // Distill tables from the first half of the request windows:
+        // the served second half then exercises both table hits and
+        // int8 fallbacks, so every counter family observes traffic.
+        let mut model = model;
+        let corpus = windows_to_corpus(&windows, windows.len().div_ceil(2));
+        let (tables, _report) = voyager_distill::distill(
+            &mut model,
+            &corpus,
+            &voyager_distill::TableConfig::for_budget(1 << 20),
+        );
+        VoyagerService::with_tables(model, 2, tables)
+    } else {
+        // Pure quantized fast path: the int8-GEMM and arena counters
+        // below still observe live traffic.
+        VoyagerService::with_mode(model, 2, serve_mode)
+    };
     let stats = {
         let _serve = profiler.span("serve");
-        // Serve through the quantized fast path so the int8-GEMM and
-        // arena counters below observe live traffic.
-        let (server, client) = MicrobatchServer::spawn(
-            VoyagerService::with_mode(model, 2, PredictMode::FastInt8),
-            MicrobatchConfig::default(),
-        );
+        let (server, client) = MicrobatchServer::spawn(service, MicrobatchConfig::default());
         let clients = 2usize;
         let per_client = requests.div_ceil(clients);
         std::thread::scope(|scope| {
@@ -521,6 +591,18 @@ fn cmd_metrics(args: &[String]) -> CliResult {
     registry
         .counter("infer.arena.grown_bytes")
         .add(voyager_tensor::infer::arena_grown_bytes());
+
+    // Distilled-table serving telemetry (process-global, always on;
+    // zero when serving `--serve-mode int8`).
+    registry
+        .counter("infer.table.hits")
+        .add(voyager_distill::table_hits());
+    registry
+        .counter("infer.table.misses")
+        .add(voyager_distill::table_misses());
+    registry
+        .counter("infer.table.fallback_rows")
+        .add(voyager_distill::table_fallback_rows());
 
     // Fold the server's histogram snapshots into the registry snapshot
     // and compose the final document.

@@ -27,7 +27,7 @@
 
 use std::cmp::Ordering;
 
-use voyager_nn::{QuantizedLinear, QuantizedLstm};
+use voyager_nn::{QuantizedLinear, QuantizedLstm, SoftLabelExtractor, SoftLabels};
 use voyager_tensor::infer::{
     add_row_inplace, note_fast_path_call, quantize_rows_into, sigmoid, softmax_rows_inplace, Arena,
     BufId, QuantizedRows,
@@ -271,6 +271,32 @@ impl VoyagerModel {
                 store.value(self.offset_head.bias_id()),
             ),
         });
+    }
+
+    /// Teacher-side soft labels for distillation: runs the tape-free
+    /// f32 forward pass (bitwise-identical to the tape path) and
+    /// extracts, per batch row, the top-`k_page` page and top-
+    /// `k_offset` offset `(token, probability)` candidates from the
+    /// softmaxed output heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a ragged or empty batch (like `predict`).
+    pub fn predict_soft(
+        &mut self,
+        batch: &SeqBatch,
+        k_page: usize,
+        k_offset: usize,
+    ) -> Vec<SoftLabels> {
+        self.forward_fast(batch, false);
+        let st = &mut self.infer;
+        let slots = st.ensure_slots();
+        let page_probs = st.arena.get(slots.page_logits);
+        let offset_probs = st.arena.get(slots.off_logits);
+        let mut ex = SoftLabelExtractor::new();
+        (0..batch.len())
+            .map(|row| ex.extract(page_probs, offset_probs, row, k_page, k_offset))
+            .collect()
     }
 
     /// `(grow_events, grown_bytes)` of this model's inference arena.
@@ -603,6 +629,32 @@ mod tests {
         // Shrinking back reuses the larger allocations.
         m.predict_fast(&b1, 2);
         assert_eq!(m.fast_path_arena_stats(), (g4, bytes4));
+    }
+
+    #[test]
+    fn predict_soft_agrees_with_fast_path_argmax() {
+        // With k = 1 the fast path's single candidate is the pair of
+        // per-head argmaxes, which is exactly what the soft labels'
+        // leading entries must be; and soft probabilities are a valid
+        // ranked sub-distribution.
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
+        train_some(&mut m, 6, 5);
+        let bat = batch(5, cfg.seq_len);
+        let hard = m.predict_fast(&bat, 1);
+        let soft = m.predict_soft(&bat, 4, 4);
+        assert_eq!(soft.len(), 5);
+        for (row, labels) in soft.iter().enumerate() {
+            assert_eq!(labels.pages.len(), 4);
+            assert_eq!(labels.offsets.len(), 4);
+            assert_eq!(labels.pages[0].0, hard[row][0].0);
+            assert_eq!(labels.offsets[0].0, hard[row][0].1);
+            for w in labels.pages.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+            let mass: f32 = labels.pages.iter().map(|&(_, p)| p).sum();
+            assert!(mass > 0.0 && mass <= 1.0 + 1e-5);
+        }
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! The knowledge-distillation pass: teacher forward sweeps → tables.
+
+use voyager::{SeqBatch, VoyagerModel};
+use voyager_nn::SoftLabels;
+
+use crate::table::{DistilledTables, InsertOutcome, TableConfig};
+
+/// Per-layer insertion statistics of one distillation pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Keys that claimed an empty bucket.
+    pub claimed: u64,
+    /// Observations merged into an already-resident key.
+    pub merged: u64,
+    /// Colliding observations where the resident key survived.
+    pub collisions_kept: u64,
+    /// Colliding observations that evicted the resident key.
+    pub evictions: u64,
+    /// Occupied buckets after the pass.
+    pub entries: usize,
+}
+
+impl LayerStats {
+    fn record(&mut self, outcome: InsertOutcome) {
+        match outcome {
+            InsertOutcome::Claimed => self.claimed += 1,
+            InsertOutcome::Merged => self.merged += 1,
+            InsertOutcome::CollisionKept => self.collisions_kept += 1,
+            InsertOutcome::Evicted => self.evictions += 1,
+        }
+    }
+}
+
+/// What one [`distill`] pass produced: insertion statistics per layer
+/// plus a self-evaluation of the student against the teacher on the
+/// distillation corpus itself.
+///
+/// Agreement ratios follow the PR 4 convention: `None` when the
+/// denominator is zero (no samples, or no table hits) rather than an
+/// invented value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DistillReport {
+    /// Corpus rows swept through the teacher.
+    pub samples: usize,
+    /// Page-transition-table insertion stats.
+    pub page: LayerStats,
+    /// Offset-table insertion stats.
+    pub offset: LayerStats,
+    /// Bytes held by the finished tables.
+    pub memory_bytes: usize,
+    /// Fraction of corpus rows the finished tables can serve without
+    /// falling back (both layers hit).
+    pub hit_rate: Option<f64>,
+    /// Over table hits: fraction whose top-1 page matches the
+    /// teacher's top-1 page.
+    pub page_agreement: Option<f64>,
+    /// Over table hits: fraction whose top-1 offset matches the
+    /// teacher's top-1 offset.
+    pub offset_agreement: Option<f64>,
+    /// Over table hits: fraction whose top-1 (page, offset) pair
+    /// matches the teacher's pair exactly.
+    pub joint_agreement: Option<f64>,
+}
+
+fn ratio(num: u64, den: u64) -> Option<f64> {
+    (den > 0).then(|| num as f64 / den as f64)
+}
+
+/// Distills `model` (the f32 teacher) into [`DistilledTables`] over
+/// `corpus`, returning the tables and a [`DistillReport`].
+///
+/// The corpus is swept in sub-batches of `cfg.distill_batch` rows
+/// through [`VoyagerModel::predict_soft`]; each row contributes its
+/// page-history window (keyed per `cfg.history`) with the teacher's
+/// top-`page_topk` soft page labels to the page-transition table, and
+/// its last PC token with the top-`offset_topk` soft offset labels to
+/// the offset table. A second, forward-free pass replays the cached
+/// labels against the finished tables to measure hit rate and per-layer
+/// agreement (via the counter-quiet lookup, so building tables does not
+/// perturb serving telemetry).
+///
+/// An empty corpus yields empty tables and an all-`None` report.
+///
+/// # Panics
+///
+/// Panics if `cfg` is invalid (see [`TableConfig::validate`]) or the
+/// corpus rows are ragged.
+pub fn distill(
+    model: &mut VoyagerModel,
+    corpus: &SeqBatch,
+    cfg: &TableConfig,
+) -> (DistilledTables, DistillReport) {
+    let mut tables = DistilledTables::new(cfg);
+    let mut report = DistillReport {
+        samples: corpus.len(),
+        ..DistillReport::default()
+    };
+    if corpus.is_empty() {
+        report.memory_bytes = tables.memory_bytes();
+        return (tables, report);
+    }
+
+    // Pass 1: teacher forward sweeps, caching soft labels per row so
+    // the evaluation pass below never re-runs the model.
+    let mut labels: Vec<SoftLabels> = Vec::with_capacity(corpus.len());
+    let mut sub = SeqBatch::default();
+    let mut start = 0;
+    while start < corpus.len() {
+        let end = (start + cfg.distill_batch).min(corpus.len());
+        sub.pc.clear();
+        sub.page.clear();
+        sub.offset.clear();
+        sub.pc.extend_from_slice(&corpus.pc[start..end]);
+        sub.page.extend_from_slice(&corpus.page[start..end]);
+        sub.offset.extend_from_slice(&corpus.offset[start..end]);
+        labels.extend(model.predict_soft(&sub, cfg.page_topk, cfg.offset_topk));
+        start = end;
+    }
+
+    for (row, soft) in labels.iter().enumerate() {
+        report
+            .page
+            .record(tables.insert_page(&corpus.page[row], &soft.pages));
+        let Some(&pc) = corpus.pc[row].last() else {
+            continue;
+        };
+        report
+            .offset
+            .record(tables.insert_offset(pc, &soft.offsets));
+    }
+    report.page.entries = tables.page_entries();
+    report.offset.entries = tables.offset_entries();
+    report.memory_bytes = tables.memory_bytes();
+
+    // Pass 2: replay the cached teacher labels against the finished
+    // student to measure agreement per layer over table hits.
+    let mut hits = 0u64;
+    let (mut page_ok, mut offset_ok, mut joint_ok) = (0u64, 0u64, 0u64);
+    for (row, soft) in labels.iter().enumerate() {
+        let Some(&pc) = corpus.pc[row].last() else {
+            continue;
+        };
+        let Some(preds) = tables.predict_quiet(&corpus.page[row], pc, 1) else {
+            continue;
+        };
+        let Some(&(sp, so, _)) = preds.first() else {
+            continue;
+        };
+        hits += 1;
+        let tp = soft.pages.first().map(|&(t, _)| t);
+        let to = soft.offsets.first().map(|&(t, _)| t);
+        if tp == Some(sp) {
+            page_ok += 1;
+        }
+        if to == Some(so) {
+            offset_ok += 1;
+        }
+        if tp == Some(sp) && to == Some(so) {
+            joint_ok += 1;
+        }
+    }
+    report.hit_rate = ratio(hits, corpus.len() as u64);
+    report.page_agreement = ratio(page_ok, hits);
+    report.offset_agreement = ratio(offset_ok, hits);
+    report.joint_agreement = ratio(joint_ok, hits);
+    (tables, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voyager::VoyagerConfig;
+
+    fn trained_teacher() -> (VoyagerModel, SeqBatch) {
+        // The canonical 4-pattern training setup from the fast-path
+        // int8 agreement test: deterministic and quickly learnable.
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
+        let pcs = [1usize, 2, 3, 4];
+        let pages = [3usize, 5, 7, 1];
+        let offsets = [10usize, 20, 30, 40];
+        let tgt_pages = [6usize, 7, 2, 4];
+        let tgt_offsets = [30usize, 40, 50, 60];
+        for it in 0..150 {
+            let p = it % 4;
+            let seq = cfg.seq_len;
+            let batch = SeqBatch {
+                pc: vec![vec![pcs[p]; seq]],
+                page: vec![vec![pages[p]; seq]],
+                offset: vec![vec![offsets[p]; seq]],
+            };
+            m.train_single(&batch, &[tgt_pages[p]], &[tgt_offsets[p]]);
+        }
+        let seq = cfg.seq_len;
+        let mut corpus = SeqBatch::default();
+        for i in 0..64 {
+            let p = i % 4;
+            corpus.pc.push(vec![pcs[p]; seq]);
+            corpus.page.push(vec![pages[p]; seq]);
+            corpus.offset.push(vec![offsets[p]; seq]);
+        }
+        (m, corpus)
+    }
+
+    #[test]
+    fn empty_corpus_gives_empty_tables_and_none_stats() {
+        let cfg = VoyagerConfig::test();
+        let mut m = VoyagerModel::new(&cfg, 16, 32, 64);
+        let tcfg = TableConfig::for_budget(64 * 1024);
+        let (tables, report) = distill(&mut m, &SeqBatch::default(), &tcfg);
+        assert_eq!(report.samples, 0);
+        assert_eq!(tables.page_entries(), 0);
+        assert_eq!(report.hit_rate, None);
+        assert_eq!(report.joint_agreement, None);
+        assert_eq!(report.memory_bytes, tables.memory_bytes());
+    }
+
+    #[test]
+    fn distilled_tables_agree_with_the_teacher_on_the_corpus() {
+        let (mut m, corpus) = trained_teacher();
+        let tcfg = TableConfig::for_budget(256 * 1024);
+        let (tables, report) = distill(&mut m, &corpus, &tcfg);
+        assert_eq!(report.samples, 64);
+        // 4 distinct patterns -> 4 entries per layer, everything hits.
+        assert_eq!(report.page.entries, 4);
+        assert_eq!(report.offset.entries, 4);
+        assert_eq!(report.hit_rate, Some(1.0));
+        // The student memorized the teacher's top-1s exactly.
+        assert_eq!(report.page_agreement, Some(1.0));
+        assert_eq!(report.offset_agreement, Some(1.0));
+        assert_eq!(report.joint_agreement, Some(1.0));
+        // Spot-check one context against a fresh teacher prediction.
+        let probe = SeqBatch {
+            pc: vec![corpus.pc[0].clone()],
+            page: vec![corpus.page[0].clone()],
+            offset: vec![corpus.offset[0].clone()],
+        };
+        let teacher = m.predict_fast(&probe, 1);
+        let student = tables
+            .predict_quiet(&corpus.page[0], corpus.pc[0][corpus.pc[0].len() - 1], 1)
+            .expect("corpus context must hit");
+        assert_eq!(student[0].0, teacher[0][0].0);
+        assert_eq!(student[0].1, teacher[0][0].1);
+    }
+
+    #[test]
+    fn sub_batch_sweeps_match_one_shot_distillation() {
+        let (mut m, corpus) = trained_teacher();
+        let mut a_cfg = TableConfig::for_budget(128 * 1024);
+        a_cfg.distill_batch = 7; // ragged sub-batches
+        let mut b_cfg = a_cfg;
+        b_cfg.distill_batch = 64; // one sweep
+        let (ta, ra) = distill(&mut m, &corpus, &a_cfg);
+        let (tb, rb) = distill(&mut m, &corpus, &b_cfg);
+        // The configs differ (deliberately) in `distill_batch`, so
+        // compare contents: stats and every corpus lookup must match.
+        assert_eq!(ra.page, rb.page);
+        assert_eq!(ra.offset, rb.offset);
+        assert_eq!(ra.hit_rate, rb.hit_rate);
+        for row in 0..corpus.len() {
+            let pc = *corpus.pc[row].last().unwrap();
+            assert_eq!(
+                ta.predict_quiet(&corpus.page[row], pc, 4),
+                tb.predict_quiet(&corpus.page[row], pc, 4),
+                "batching must not change the tables"
+            );
+        }
+    }
+}

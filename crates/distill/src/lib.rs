@@ -1,0 +1,86 @@
+//! Distill-to-tables serving tier ("nanosecond mode").
+//!
+//! The paper concedes (Section 6) that a full neural Voyager is orders
+//! of magnitude too slow for a real LLC prefetcher. "Attention,
+//! Distillation, and Tabularization" (arXiv 2401.06362) shows the
+//! escape hatch: distill the trained attention model into hierarchical
+//! lookup tables that serve at table-lookup speed. This crate is that
+//! tier for our stack:
+//!
+//! * [`DistilledTables`] — a layered, deterministic, hash-indexed
+//!   table structure with a **fixed memory budget**: a page-transition
+//!   table (page-history-indexed, top-k successor pages with
+//!   soft-label-derived weights) backed by PC-indexed offset tables.
+//!   Collisions are resolved by a frequency-decay eviction policy
+//!   (space-saving style), so the layout never grows past its budget.
+//! * [`distill`] — the knowledge-distillation pass: sweeps a training
+//!   corpus through the trained f32 teacher
+//!   ([`VoyagerModel::predict_soft`](voyager::VoyagerModel::predict_soft)),
+//!   extracts each head's top-k soft labels, and accumulates them into
+//!   the tables; returns a [`DistillReport`] with per-layer agreement
+//!   vs. the teacher.
+//! * [`serialize`] — VNNT-style atomic save/load (`VDT1` format) so
+//!   distilled tables ship through the same checkpoint discipline as
+//!   weights; round-trips are bit-identical.
+//! * Process-global `infer.table.*` telemetry ([`table_hits`],
+//!   [`table_misses`], [`table_fallback_rows`]) mirroring the
+//!   fast-path counters in `voyager_tensor::infer`, exported by
+//!   `voyagerctl metrics`.
+//!
+//! Serving integration lives in `voyager-runtime`:
+//! `PredictMode::Table` looks requests up here and falls back to the
+//! int8 fast path on a table miss.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+mod distiller;
+pub mod serialize;
+mod table;
+
+pub use distiller::{distill, DistillReport};
+pub use serialize::TableIoError;
+pub use table::{offset_key, page_key, DistilledTables, InsertOutcome, TableConfig};
+
+// Always-on process-global counters, mirroring
+// `voyager_tensor::infer`'s fast-path telemetry: relaxed atomics,
+// bumped on the serving path and exported as `infer.table.*`.
+static TABLE_HITS: AtomicU64 = AtomicU64::new(0);
+static TABLE_MISSES: AtomicU64 = AtomicU64::new(0);
+static TABLE_FALLBACK_ROWS: AtomicU64 = AtomicU64::new(0);
+
+/// Total table lookups that were served entirely from the tables
+/// (both the page layer and the offset layer hit).
+pub fn table_hits() -> u64 {
+    TABLE_HITS.load(Ordering::Relaxed)
+}
+
+/// Total table lookups where at least one layer missed.
+pub fn table_misses() -> u64 {
+    TABLE_MISSES.load(Ordering::Relaxed)
+}
+
+/// Total serving rows answered by the int8 fallback path after a
+/// table miss (recorded by the serving layer via
+/// [`note_table_fallback_rows`]).
+pub fn table_fallback_rows() -> u64 {
+    TABLE_FALLBACK_ROWS.load(Ordering::Relaxed)
+}
+
+/// Tallies one table hit (called by [`DistilledTables::predict`]).
+pub(crate) fn note_table_hit() {
+    TABLE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tallies one table miss (called by [`DistilledTables::predict`]).
+pub(crate) fn note_table_miss() {
+    TABLE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tallies `rows` requests that fell back to the model path after a
+/// table miss. Called by the serving layer.
+pub fn note_table_fallback_rows(rows: u64) {
+    TABLE_FALLBACK_ROWS.fetch_add(rows, Ordering::Relaxed);
+}

@@ -1,0 +1,155 @@
+//! Property tests for the distilled-table subsystem, pinning the three
+//! guarantees serving relies on:
+//!
+//! 1. **Layout determinism** — rebuilding tables from the same
+//!    observation stream yields bit-identical storage (hashing is a
+//!    pure function of the key, insertion order is the stream order).
+//! 2. **Bounded memory** — no observation stream, however adversarial,
+//!    grows the tables past the budget fixed at construction; eviction
+//!    recycles buckets instead.
+//! 3. **Serialization fidelity** — save → load → save round-trips
+//!    bit-identically, so table snapshots can be shipped and verified
+//!    by byte comparison.
+
+use voyager_distill::serialize::{load_tables, save_tables};
+use voyager_distill::{DistilledTables, InsertOutcome, TableConfig};
+
+/// Deterministic pseudo-random stream (splitmix64), independent of the
+/// tables' own hash so the test isn't accidentally aligned with it.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn cfg() -> TableConfig {
+    TableConfig {
+        history: 3,
+        page_topk: 4,
+        offset_topk: 2,
+        page_buckets_log2: 5,
+        offset_buckets_log2: 4,
+        memory_budget_bytes: 64 * 1024,
+        distill_batch: 16,
+    }
+}
+
+/// One synthetic observation: a page-history window, a pc, and page /
+/// offset soft labels derived from the stream.
+type Observation = (Vec<usize>, usize, Vec<(u32, f32)>, Vec<(u32, f32)>);
+
+fn observation(s: &mut Stream) -> Observation {
+    let hist: Vec<usize> = (0..4).map(|_| (s.next() % 512) as usize).collect();
+    let pc = (s.next() % 300) as usize;
+    let psoft: Vec<(u32, f32)> = (0..3)
+        .map(|_| {
+            (
+                (s.next() % 64) as u32,
+                (s.next() % 100) as f32 / 100.0 + 0.01,
+            )
+        })
+        .collect();
+    let osoft: Vec<(u32, f32)> = (0..2)
+        .map(|_| {
+            (
+                (s.next() % 64) as u32,
+                (s.next() % 100) as f32 / 100.0 + 0.01,
+            )
+        })
+        .collect();
+    (hist, pc, psoft, osoft)
+}
+
+fn build(seed: u64, n: usize) -> (DistilledTables, Vec<InsertOutcome>) {
+    let mut t = DistilledTables::new(&cfg());
+    let mut s = Stream(seed);
+    let mut outcomes = Vec::with_capacity(2 * n);
+    for _ in 0..n {
+        let (hist, pc, psoft, osoft) = observation(&mut s);
+        outcomes.push(t.insert_page(&hist, &psoft));
+        outcomes.push(t.insert_offset(pc, &osoft));
+    }
+    (t, outcomes)
+}
+
+#[test]
+fn rebuilds_from_the_same_stream_are_bit_identical() {
+    for seed in [1u64, 42, 0xDEAD_BEEF] {
+        let (a, oa) = build(seed, 500);
+        let (b, ob) = build(seed, 500);
+        assert_eq!(oa, ob, "insert outcomes must replay identically");
+        assert_eq!(a, b, "in-memory tables must be equal");
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        save_tables(&mut ba, &a).unwrap();
+        save_tables(&mut bb, &b).unwrap();
+        assert_eq!(ba, bb, "serialized layout must be byte-identical");
+    }
+}
+
+#[test]
+fn different_streams_diverge() {
+    // Sanity check that the determinism test has teeth: distinct
+    // streams should (overwhelmingly) produce distinct tables.
+    let (a, _) = build(7, 500);
+    let (b, _) = build(8, 500);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn memory_never_exceeds_the_budget_under_hammering() {
+    let c = cfg();
+    let mut t = DistilledTables::new(&c);
+    let baseline = t.memory_bytes();
+    assert!(baseline <= c.memory_budget_bytes);
+    let mut s = Stream(99);
+    let mut evictions = 0u64;
+    // 20k observations into 32+16 buckets: heavy collision pressure.
+    for _ in 0..10_000 {
+        let (hist, pc, psoft, osoft) = observation(&mut s);
+        if t.insert_page(&hist, &psoft) == InsertOutcome::Evicted {
+            evictions += 1;
+        }
+        if t.insert_offset(pc, &osoft) == InsertOutcome::Evicted {
+            evictions += 1;
+        }
+        assert_eq!(
+            t.memory_bytes(),
+            baseline,
+            "table footprint must never change after construction"
+        );
+    }
+    assert!(
+        evictions > 0,
+        "this pressure level must exercise the eviction policy"
+    );
+    assert!(t.page_entries() <= 1 << c.page_buckets_log2);
+    assert!(t.offset_entries() <= 1 << c.offset_buckets_log2);
+}
+
+#[test]
+fn save_load_round_trips_bit_identically() {
+    let (t, _) = build(123, 800);
+    let mut first = Vec::new();
+    save_tables(&mut first, &t).unwrap();
+    let restored = load_tables(first.as_slice()).unwrap();
+    assert_eq!(restored, t);
+    let mut second = Vec::new();
+    save_tables(&mut second, &restored).unwrap();
+    assert_eq!(first, second, "save -> load -> save must be bit-identical");
+    // And the restored tables answer lookups identically.
+    let mut s = Stream(123);
+    for _ in 0..100 {
+        let (hist, pc, ..) = observation(&mut s);
+        assert_eq!(
+            restored.predict_quiet(&hist, pc, 4),
+            t.predict_quiet(&hist, pc, 4)
+        );
+    }
+}

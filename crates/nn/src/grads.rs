@@ -110,7 +110,20 @@ impl GradSet {
                     data.extend(gb.as_slice().iter().map(|&g| g * weight));
                     *ga = Tensor2::from_vec(ra.len(), cols, data);
                 }
-                _ => panic!("GradSet entry kind differs for parameter {id_a:?}"),
+                (a, b) => {
+                    // Only reachable on a dense/sparse kind mismatch;
+                    // abort through the same assert machinery as the
+                    // sibling structural invariants above.
+                    let kind = |e: &GradEntry| match e {
+                        GradEntry::Dense(_) => "dense",
+                        GradEntry::Sparse { .. } => "sparse",
+                    };
+                    assert_eq!(
+                        kind(a),
+                        kind(b),
+                        "GradSet entry kind differs for parameter {id_a:?}"
+                    );
+                }
             }
         }
     }

@@ -19,6 +19,8 @@
 //!   (`O(sqrt(V))` classes evaluated per step instead of `O(V)`).
 //! * [`serialize`] — parameter checkpointing for the Section 5.5
 //!   profile-then-deploy workflow.
+//! * [`soft`] — soft-label (top-k token/probability) extraction from
+//!   the output heads, the teacher side of table distillation.
 //!
 //! # Example: one gradient step on a tiny regression
 //!
@@ -55,6 +57,7 @@
 pub mod compress;
 pub mod qinfer;
 pub mod serialize;
+pub mod soft;
 
 mod grads;
 mod hier_softmax;
@@ -72,3 +75,4 @@ pub use layers::{Embedding, ExpertAttention, Linear, LstmCell, LstmState};
 pub use optim::{Adam, AdamState};
 pub use params::{ParamId, ParamStore, Session};
 pub use qinfer::{QuantizedLinear, QuantizedLstm, QuantizedMatmul};
+pub use soft::{SoftLabelExtractor, SoftLabels};

@@ -1,0 +1,97 @@
+//! Soft-label extraction from the model's output heads.
+//!
+//! Knowledge distillation (the tables-serving tier) does not train on
+//! the hard argmax of the teacher: it wants the *distribution* the
+//! teacher produced — the top-k `(token, probability)` candidates of
+//! each head — so the student tables can store weighted successor
+//! lists. This module turns the row-softmaxed head outputs of a
+//! forward pass into exactly that, through the shared bounded-heap
+//! top-k ([`voyager_tensor::topk`]) so candidate ordering matches the
+//! inference paths bit for bit.
+
+use voyager_tensor::{topk, Tensor2};
+
+/// The teacher's soft labels for one batch row: top-k
+/// `(token, probability)` candidates from the page head and from the
+/// offset head, each descending by probability (ties by ascending
+/// token, the shared top-k order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftLabels {
+    /// Page-head candidates.
+    pub pages: Vec<(u32, f32)>,
+    /// Offset-head candidates.
+    pub offsets: Vec<(u32, f32)>,
+}
+
+/// Reusable extractor: owns the top-k heap and pair scratch so
+/// sweeping a large corpus row by row does not allocate per row beyond
+/// the returned label vectors.
+#[derive(Debug, Default)]
+pub struct SoftLabelExtractor {
+    heap: Vec<(f32, usize)>,
+    pairs: Vec<(usize, f32)>,
+}
+
+impl SoftLabelExtractor {
+    /// Creates an empty extractor.
+    pub fn new() -> Self {
+        SoftLabelExtractor::default()
+    }
+
+    /// Extracts the top-`k_page` page and top-`k_offset` offset
+    /// candidates (with probabilities) for `row` of the given
+    /// row-softmaxed head outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds for either matrix.
+    pub fn extract(
+        &mut self,
+        page_probs: &Tensor2,
+        offset_probs: &Tensor2,
+        row: usize,
+        k_page: usize,
+        k_offset: usize,
+    ) -> SoftLabels {
+        SoftLabels {
+            pages: self.head_topk(page_probs, row, k_page),
+            offsets: self.head_topk(offset_probs, row, k_offset),
+        }
+    }
+
+    /// Top-`k` `(token, probability)` candidates of one head row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn head_topk(&mut self, probs: &Tensor2, row: usize, k: usize) -> Vec<(u32, f32)> {
+        topk::topk_pairs_into(probs.row(row), k, &mut self.heap, &mut self.pairs);
+        self.pairs.iter().map(|&(i, p)| (i as u32, p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_ranked_candidates_per_head() {
+        let pages = Tensor2::from_rows(&[&[0.1, 0.6, 0.3], &[0.5, 0.2, 0.3]]);
+        let offsets = Tensor2::from_rows(&[&[0.25, 0.75], &[0.9, 0.1]]);
+        let mut ex = SoftLabelExtractor::new();
+        let l0 = ex.extract(&pages, &offsets, 0, 2, 1);
+        assert_eq!(l0.pages, vec![(1, 0.6), (2, 0.3)]);
+        assert_eq!(l0.offsets, vec![(1, 0.75)]);
+        let l1 = ex.extract(&pages, &offsets, 1, 3, 2);
+        assert_eq!(l1.pages, vec![(0, 0.5), (2, 0.3), (1, 0.2)]);
+        assert_eq!(l1.offsets, vec![(0, 0.9), (1, 0.1)]);
+    }
+
+    #[test]
+    fn ties_keep_ascending_token_order() {
+        let probs = Tensor2::from_rows(&[&[0.25, 0.25, 0.25, 0.25]]);
+        let mut ex = SoftLabelExtractor::new();
+        let l = ex.head_topk(&probs, 0, 3);
+        assert_eq!(l, vec![(0, 0.25), (1, 0.25), (2, 0.25)]);
+    }
+}

@@ -3,19 +3,27 @@
 //! Wraps `voyager-nn`'s training-state serialization (weights +
 //! optimizer state) in a directory convention: numbered snapshots
 //! (`ckpt-<step>.vnnt`) written atomically via a temp-file rename, a
-//! retention limit, and restore-latest for crash recovery.
+//! retention limit, and restore-latest for crash recovery. Distilled
+//! table snapshots (`tbl-<step>.vdt`, see `voyager-distill`) ride the
+//! same discipline side by side, with an independent retention count —
+//! a deployment can roll weights and tables forward separately.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use voyager::VoyagerModel;
+use voyager_distill::serialize::{load_tables, save_tables, TableIoError};
+use voyager_distill::DistilledTables;
 use voyager_nn::serialize::LoadParamsError;
 
 const PREFIX: &str = "ckpt-";
 const SUFFIX: &str = ".vnnt";
+const TABLE_PREFIX: &str = "tbl-";
+const TABLE_SUFFIX: &str = ".vdt";
 
-/// Errors returned by [`CheckpointManager::restore_latest`].
+/// Errors returned by [`CheckpointManager::restore_latest`] and
+/// [`CheckpointManager::restore_latest_tables`].
 #[derive(Debug)]
 pub enum CheckpointError {
     /// Underlying I/O failure.
@@ -23,6 +31,8 @@ pub enum CheckpointError {
     /// The snapshot exists but does not match the model (or is
     /// corrupt).
     Load(LoadParamsError),
+    /// The table snapshot exists but is malformed.
+    Table(TableIoError),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -30,6 +40,7 @@ impl std::fmt::Display for CheckpointError {
         match self {
             CheckpointError::Io(e) => write!(f, "i/o error: {e}"),
             CheckpointError::Load(e) => write!(f, "checkpoint load failed: {e}"),
+            CheckpointError::Table(e) => write!(f, "table snapshot load failed: {e}"),
         }
     }
 }
@@ -39,6 +50,7 @@ impl std::error::Error for CheckpointError {
         match self {
             CheckpointError::Io(e) => Some(e),
             CheckpointError::Load(e) => Some(e),
+            CheckpointError::Table(e) => Some(e),
         }
     }
 }
@@ -52,6 +64,12 @@ impl From<io::Error> for CheckpointError {
 impl From<LoadParamsError> for CheckpointError {
     fn from(e: LoadParamsError) -> Self {
         CheckpointError::Load(e)
+    }
+}
+
+impl From<TableIoError> for CheckpointError {
+    fn from(e: TableIoError) -> Self {
+        CheckpointError::Table(e)
     }
 }
 
@@ -96,10 +114,39 @@ impl CheckpointManager {
     ///
     /// Propagates I/O errors.
     pub fn save(&self, model: &VoyagerModel, step: u64) -> io::Result<PathBuf> {
-        let tmp = self.dir.join(format!(".tmp-{PREFIX}{step}"));
+        self.save_atomic(PREFIX, SUFFIX, step, |writer| {
+            model.save_training_state(writer)
+        })
+    }
+
+    /// Writes a snapshot of distilled `tables` tagged with `step`
+    /// (`tbl-<step>.vdt`) and returns its path, with the same
+    /// atomicity and durability discipline as [`CheckpointManager::save`].
+    /// Table snapshots are retained independently of weight snapshots
+    /// (up to `keep` of each). Saving the same step twice overwrites.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_tables(&self, tables: &DistilledTables, step: u64) -> io::Result<PathBuf> {
+        self.save_atomic(TABLE_PREFIX, TABLE_SUFFIX, step, |writer| {
+            save_tables(writer, tables)
+        })
+    }
+
+    /// Temp-file → flush → fsync → rename → parent-dir fsync write of
+    /// one snapshot family member, plus pruning of that family.
+    fn save_atomic(
+        &self,
+        prefix: &str,
+        suffix: &str,
+        step: u64,
+        write: impl FnOnce(&mut io::BufWriter<fs::File>) -> io::Result<()>,
+    ) -> io::Result<PathBuf> {
+        let tmp = self.dir.join(format!(".tmp-{prefix}{step}"));
         let file = fs::File::create(&tmp)?;
         let mut writer = io::BufWriter::new(file);
-        model.save_training_state(&mut writer)?;
+        write(&mut writer)?;
         io::Write::flush(&mut writer)?;
         // Durability, not just atomicity: flush only hands the bytes to
         // the OS. Sync the file data before the rename (so the renamed
@@ -110,28 +157,42 @@ impl CheckpointManager {
             .map_err(io::IntoInnerError::into_error)?;
         file.sync_all()?;
         drop(file);
-        let path = self.dir.join(format!("{PREFIX}{step:010}{SUFFIX}"));
+        let path = self.dir.join(format!("{prefix}{step:010}{suffix}"));
         fs::rename(&tmp, &path)?;
         fs::File::open(&self.dir)?.sync_all()?;
-        self.prune()?;
+        self.prune(prefix, suffix)?;
         Ok(path)
     }
 
-    /// Lists `(step, path)` for every snapshot, sorted by step
+    /// Lists `(step, path)` for every weight snapshot, sorted by step
     /// ascending.
     ///
     /// # Errors
     ///
     /// Propagates directory-read failures.
     pub fn list(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        self.scan(PREFIX, SUFFIX)
+    }
+
+    /// Lists `(step, path)` for every table snapshot, sorted by step
+    /// ascending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures.
+    pub fn list_tables(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        self.scan(TABLE_PREFIX, TABLE_SUFFIX)
+    }
+
+    fn scan(&self, prefix: &str, suffix: &str) -> io::Result<Vec<(u64, PathBuf)>> {
         let mut found = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             let Some(stem) = name
-                .strip_prefix(PREFIX)
-                .and_then(|s| s.strip_suffix(SUFFIX))
+                .strip_prefix(prefix)
+                .and_then(|s| s.strip_suffix(suffix))
             else {
                 continue;
             };
@@ -143,7 +204,7 @@ impl CheckpointManager {
         Ok(found)
     }
 
-    /// The newest snapshot, if any.
+    /// The newest weight snapshot, if any.
     ///
     /// # Errors
     ///
@@ -152,8 +213,17 @@ impl CheckpointManager {
         Ok(self.list()?.pop())
     }
 
-    /// Restores the newest snapshot into `model` and returns its step,
-    /// or `None` if the directory holds no snapshots.
+    /// The newest table snapshot, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures.
+    pub fn latest_tables(&self) -> io::Result<Option<(u64, PathBuf)>> {
+        Ok(self.list_tables()?.pop())
+    }
+
+    /// Restores the newest weight snapshot into `model` and returns its
+    /// step, or `None` if the directory holds no snapshots.
     ///
     /// # Errors
     ///
@@ -168,8 +238,24 @@ impl CheckpointManager {
         Ok(Some(step))
     }
 
-    fn prune(&self) -> io::Result<()> {
-        let mut snapshots = self.list()?;
+    /// Loads the newest table snapshot and returns it with its step, or
+    /// `None` if the directory holds no table snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on I/O failure or a malformed
+    /// snapshot.
+    pub fn restore_latest_tables(&self) -> Result<Option<(u64, DistilledTables)>, CheckpointError> {
+        let Some((step, path)) = self.latest_tables()? else {
+            return Ok(None);
+        };
+        let file = fs::File::open(path)?;
+        let tables = load_tables(io::BufReader::new(file))?;
+        Ok(Some((step, tables)))
+    }
+
+    fn prune(&self, prefix: &str, suffix: &str) -> io::Result<()> {
+        let mut snapshots = self.scan(prefix, suffix)?;
         while snapshots.len() > self.keep {
             let (_, path) = snapshots.remove(0);
             fs::remove_file(path)?;
@@ -269,6 +355,40 @@ mod tests {
         let bytes_b = fs::read(&second).unwrap();
         assert!(!bytes_a.is_empty());
         assert_eq!(bytes_a, bytes_b, "restored state must re-save identically");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn table_snapshots_roundtrip_and_prune_independently() {
+        use voyager_distill::TableConfig;
+        let dir = tempdir("tables");
+        let mgr = CheckpointManager::new(&dir, 2).unwrap();
+        let (model, ..) = model_and_batch();
+        let mut tables = voyager_distill::DistilledTables::new(&TableConfig::for_budget(64 * 1024));
+        tables.insert_page(&[3, 3], &[(6, 0.9)]);
+        tables.insert_offset(1, &[(30, 0.9)]);
+        // Weight snapshots and table snapshots coexist and are
+        // retained per family.
+        mgr.save(&model, 7).unwrap();
+        for step in [1u64, 2, 3] {
+            mgr.save_tables(&tables, step).unwrap();
+        }
+        let steps: Vec<u64> = mgr
+            .list_tables()
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(steps, vec![2, 3]);
+        assert_eq!(mgr.list().unwrap().len(), 1, "weight family untouched");
+        let (step, restored) = mgr.restore_latest_tables().unwrap().unwrap();
+        assert_eq!(step, 3);
+        assert_eq!(restored, tables);
+        // Re-saving the restored tables is bit-identical (VDT1 is
+        // deterministic).
+        let a = fs::read(mgr.latest_tables().unwrap().unwrap().1).unwrap();
+        let again = mgr.save_tables(&restored, 4).unwrap();
+        assert_eq!(a, fs::read(again).unwrap());
         fs::remove_dir_all(&dir).unwrap();
     }
 

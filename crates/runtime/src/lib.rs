@@ -20,7 +20,11 @@
 //!   single-threaded kernel at any thread count. The trainer reuses it
 //!   to run its model replicas.
 //! * [`checkpoint`] — atomic numbered snapshots of model + optimizer
-//!   state with retention and restore-latest.
+//!   state with retention and restore-latest; distilled table
+//!   snapshots (`voyager-distill`) ride the same discipline.
+//! * [`serve`]'s [`PredictMode::Table`] — the distilled-table serving
+//!   tier: requests covered by the tables skip the network entirely
+//!   and the rest fall back to the int8 fast path.
 //!
 //! # Example: deterministic parallel training
 //!

@@ -1,6 +1,7 @@
 //! [`BatchModel`] adapter for serving a trained Voyager model.
 
 use voyager::{SeqBatch, VoyagerModel};
+use voyager_distill::{note_table_fallback_rows, DistilledTables};
 
 use crate::microbatch::BatchModel;
 
@@ -32,6 +33,13 @@ pub enum PredictMode {
     /// Tape-free int8 fast path ([`VoyagerModel::predict_int8`]):
     /// quantized LSTM/head GEMMs, approximate probabilities.
     FastInt8,
+    /// Distilled-table lookup
+    /// ([`DistilledTables::predict`](voyager_distill::DistilledTables::predict)):
+    /// no neural forward at all for contexts the tables cover; rows
+    /// that miss fall back to the int8 fast path. Requires tables
+    /// ([`VoyagerService::with_tables`]); without them every row falls
+    /// back.
+    Table,
 }
 
 /// Wraps a trained [`VoyagerModel`] as a [`BatchModel`]: coalesced
@@ -45,6 +53,15 @@ pub struct VoyagerService {
     /// Reused across batches so steady-state serving does not
     /// reallocate the request staging area (rows shrink/grow in place).
     batch: SeqBatch,
+    /// Distilled tables for [`PredictMode::Table`]; `None` in the
+    /// neural modes (or when serving tables that were never attached,
+    /// in which case every row falls back).
+    tables: Option<DistilledTables>,
+    /// Staging for the rows of a table-mode batch that missed the
+    /// tables, reused like `batch`.
+    fallback_batch: SeqBatch,
+    /// Original batch positions of `fallback_batch`'s rows.
+    fallback_rows: Vec<usize>,
 }
 
 impl VoyagerService {
@@ -55,11 +72,12 @@ impl VoyagerService {
     }
 
     /// Serves `model` through the given [`PredictMode`]. For
-    /// [`PredictMode::FastInt8`] the quantized weights are prepared
-    /// eagerly here, so the first request does not pay the one-time
+    /// [`PredictMode::FastInt8`] and [`PredictMode::Table`] (whose
+    /// miss path is int8) the quantized weights are prepared eagerly
+    /// here, so the first request does not pay the one-time
     /// quantization cost.
     pub fn with_mode(mut model: VoyagerModel, degree: usize, mode: PredictMode) -> Self {
-        if mode == PredictMode::FastInt8 {
+        if matches!(mode, PredictMode::FastInt8 | PredictMode::Table) {
             model.prepare_int8();
         }
         VoyagerService {
@@ -67,7 +85,20 @@ impl VoyagerService {
             degree: degree.max(1),
             mode,
             batch: SeqBatch::default(),
+            tables: None,
+            fallback_batch: SeqBatch::default(),
+            fallback_rows: Vec::new(),
         }
+    }
+
+    /// Serves distilled `tables` in front of `model`
+    /// ([`PredictMode::Table`]): requests whose context both table
+    /// layers cover are answered without running the network; the rest
+    /// fall back to the int8 fast path (prepared eagerly here).
+    pub fn with_tables(model: VoyagerModel, degree: usize, tables: DistilledTables) -> Self {
+        let mut svc = VoyagerService::with_mode(model, degree, PredictMode::Table);
+        svc.tables = Some(tables);
+        svc
     }
 
     /// The dispatch mode this service was built with.
@@ -75,11 +106,62 @@ impl VoyagerService {
         self.mode
     }
 
+    /// The distilled tables attached via [`VoyagerService::with_tables`].
+    pub fn tables(&self) -> Option<&DistilledTables> {
+        self.tables.as_ref()
+    }
+
     /// Arena growth telemetry of the wrapped model's fast path:
     /// `(grow_events, grown_bytes)`. Both stay flat once serving
     /// reaches steady state.
     pub fn arena_stats(&self) -> (u64, u64) {
         self.model.fast_path_arena_stats()
+    }
+
+    /// Table-mode dispatch: serve each row from the tables where
+    /// possible, then run the missing rows (if any) through the int8
+    /// fast path as one sub-batch and merge in request order. The
+    /// blocked GEMM kernels are bitwise-identical per row for any
+    /// batch size, so a fallback row's answer equals what a full-batch
+    /// int8 call would have produced for it.
+    fn forward_table(&mut self) -> Vec<Vec<(u32, u32, f32)>> {
+        let n = self.batch.len();
+        let mut out: Vec<Vec<(u32, u32, f32)>> = vec![Vec::new(); n];
+        self.fallback_rows.clear();
+        for (i, row) in out.iter_mut().enumerate().take(n) {
+            let hit = self.tables.as_ref().and_then(|t| {
+                let pc = self.batch.pc[i].last().copied()?;
+                t.predict(&self.batch.page[i], pc, self.degree)
+            });
+            match hit {
+                Some(preds) => *row = preds,
+                None => self.fallback_rows.push(i),
+            }
+        }
+        if self.fallback_rows.is_empty() {
+            return out;
+        }
+        note_table_fallback_rows(self.fallback_rows.len() as u64);
+        let m = self.fallback_rows.len();
+        self.fallback_batch.pc.truncate(m);
+        self.fallback_batch.page.truncate(m);
+        self.fallback_batch.offset.truncate(m);
+        self.fallback_batch.pc.resize_with(m, Vec::new);
+        self.fallback_batch.page.resize_with(m, Vec::new);
+        self.fallback_batch.offset.resize_with(m, Vec::new);
+        for (j, &i) in self.fallback_rows.iter().enumerate() {
+            self.fallback_batch.pc[j].clear();
+            self.fallback_batch.pc[j].extend_from_slice(&self.batch.pc[i]);
+            self.fallback_batch.page[j].clear();
+            self.fallback_batch.page[j].extend_from_slice(&self.batch.page[i]);
+            self.fallback_batch.offset[j].clear();
+            self.fallback_batch.offset[j].extend_from_slice(&self.batch.offset[i]);
+        }
+        let fallback = self.model.predict_int8(&self.fallback_batch, self.degree);
+        for (&i, preds) in self.fallback_rows.iter().zip(fallback) {
+            out[i] = preds;
+        }
+        out
     }
 }
 
@@ -108,6 +190,7 @@ impl BatchModel for VoyagerService {
             PredictMode::Tape => self.model.predict(&self.batch, self.degree),
             PredictMode::FastF32 => self.model.predict_fast(&self.batch, self.degree),
             PredictMode::FastInt8 => self.model.predict_int8(&self.batch, self.degree),
+            PredictMode::Table => self.forward_table(),
         }
     }
 }

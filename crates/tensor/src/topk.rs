@@ -101,6 +101,36 @@ pub fn topk_indices(values: &[f32], k: usize) -> Vec<usize> {
     out
 }
 
+/// Like [`topk_into`], but emits `(index, value)` pairs so callers that
+/// need the winning values as well — soft-label extraction for
+/// distillation, weighted candidate tables — do not have to re-index
+/// the source slice. Same order contract: descending by value, ties by
+/// ascending index.
+pub fn topk_pairs_into(
+    values: &[f32],
+    k: usize,
+    scratch: &mut Vec<(f32, usize)>,
+    out: &mut Vec<(usize, f32)>,
+) {
+    scratch.clear();
+    out.clear();
+    if k == 0 {
+        return;
+    }
+    for (i, &v) in values.iter().enumerate() {
+        if scratch.len() < k {
+            scratch.push((v, i));
+            let last = scratch.len() - 1;
+            sift_up(scratch, last);
+        } else if rank((v, i), scratch[0]) == Ordering::Greater {
+            scratch[0] = (v, i);
+            sift_down(scratch, 0);
+        }
+    }
+    scratch.sort_unstable_by(|a, b| rank(*b, *a));
+    out.extend(scratch.iter().map(|&(v, i)| (i, v)));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +179,21 @@ mod tests {
                     sort_topk(&values, k),
                     "round {round}: n={n} k={k} values={values:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_variant_matches_indices_and_carries_values() {
+        let v = [2.0, 7.0, 7.0, 2.0, 7.0];
+        let mut scratch = Vec::new();
+        let mut pairs = Vec::new();
+        for k in [0usize, 1, 2, 5, 9] {
+            topk_pairs_into(&v, k, &mut scratch, &mut pairs);
+            let idx: Vec<usize> = pairs.iter().map(|&(i, _)| i).collect();
+            assert_eq!(idx, topk_indices(&v, k), "k={k}");
+            for &(i, val) in &pairs {
+                assert_eq!(val, v[i], "k={k}");
             }
         }
     }
