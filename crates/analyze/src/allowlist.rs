@@ -93,6 +93,13 @@ impl Allowlist {
     pub fn total(&self) -> usize {
         self.entries.values().sum()
     }
+
+    /// Iterates `(lint, path, allowed count)` entries in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, usize)> {
+        self.entries
+            .iter()
+            .map(|((lint, path), &n)| (lint.as_str(), path.as_str(), n))
+    }
 }
 
 /// Outcome of checking findings against the allowlist.

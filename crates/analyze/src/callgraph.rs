@@ -1,0 +1,231 @@
+//! The intra-workspace call graph built from [`parse::parse_fns`]
+//! output.
+//!
+//! Resolution is name-based:
+//!
+//! * Method and free calls resolve to **every** workspace function
+//!   with the callee's name. This over-approximates (a `get()` call
+//!   resolves to every `get` in the workspace) but never misses a real
+//!   edge, which is the correct bias for proving allocation *absence*
+//!   on hot paths.
+//! * Method calls through a *prelude name* ([`PRELUDE_METHODS`]:
+//!   `clone`, `map`, `push`, `iter`, ...) resolve to nothing. Those
+//!   names are overwhelmingly std's slice/`Option`/`Iterator`/`Vec`
+//!   methods; resolving them by bare name would wire every `.map(..)`
+//!   closure into `Tensor2::map` and every `.clone()` into each manual
+//!   `Clone` impl. The *allocation effect* of such calls is still
+//!   judged at the call site by the hot-path pass (`.clone()`,
+//!   `.collect()`, `.push()` et al. are flagged where they appear), so
+//!   the pruning only loses allocations hidden inside a workspace
+//!   method that shadows a prelude name — a naming style the
+//!   workspace avoids.
+//! * Path calls (`Qualifier::name`) resolve only through the
+//!   `(impl type, name)` index — `Vec::new` or `u64::from` resolve to
+//!   nothing rather than to every unrelated workspace `new`/`from`.
+//!   `Self::name` resolves through the caller's own impl type.
+//!
+//! [`parse::parse_fns`]: crate::parse::parse_fns
+
+use crate::parse::{CallKind, CallSite, FnItem};
+use std::collections::BTreeMap;
+
+/// Method names claimed by std's prelude types (slices, `Vec`,
+/// `Option`, `Iterator`, string types). Method calls through these
+/// names are not resolved to workspace functions — see the module docs
+/// for why this is the right bias.
+pub const PRELUDE_METHODS: &[&str] = &[
+    "all",
+    "and_then",
+    "any",
+    "as_mut",
+    "as_ref",
+    "chain",
+    "chunks",
+    "clone",
+    "cloned",
+    "collect",
+    "contains",
+    "copied",
+    "enumerate",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "fold",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "last",
+    "len",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "next",
+    "position",
+    "push",
+    "push_str",
+    "rev",
+    "skip",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sum",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "windows",
+    "zip",
+];
+
+/// The workspace call graph: all parsed functions plus name indices.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every parsed function, sorted by `(path, line)`.
+    pub fns: Vec<FnItem>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    by_qualified: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph and its resolution indices from parsed items.
+    pub fn build(fns: Vec<FnItem>) -> Self {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut by_qualified: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        for (idx, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(idx);
+            if let Some(ty) = &f.impl_type {
+                by_qualified
+                    .entry((ty.clone(), f.name.clone()))
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        CallGraph {
+            fns,
+            by_name,
+            by_qualified,
+        }
+    }
+
+    /// Indices of every function named `name`.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Candidate callee indices for `call` made from `caller`.
+    pub fn resolve(&self, call: &CallSite, caller: &FnItem) -> &[usize] {
+        match &call.kind {
+            CallKind::Path => {
+                let Some(q) = &call.qualifier else { return &[] };
+                let ty = if q == "Self" {
+                    match &caller.impl_type {
+                        Some(t) => t.as_str(),
+                        None => return &[],
+                    }
+                } else {
+                    q.as_str()
+                };
+                self.by_qualified
+                    .get(&(ty.to_string(), call.name.clone()))
+                    .map_or(&[], |v| v.as_slice())
+            }
+            CallKind::Macro => &[],
+            CallKind::Method(_) if PRELUDE_METHODS.contains(&call.name.as_str()) => &[],
+            CallKind::Free | CallKind::Method(_) => self.named(&call.name),
+        }
+    }
+
+    /// Total resolved call edges (for reporting).
+    pub fn edge_count(&self) -> usize {
+        self.fns
+            .iter()
+            .map(|f| {
+                f.calls
+                    .iter()
+                    .map(|c| self.resolve(c, f).len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_fns;
+    use crate::SourceFile;
+
+    fn graph(src: &str) -> CallGraph {
+        CallGraph::build(parse_fns(&SourceFile::parse("x.rs", src)))
+    }
+
+    #[test]
+    fn method_calls_resolve_to_all_impls() {
+        let g = graph(
+            "impl A { fn go(&self) {} }\nimpl B { fn go(&self) {} }\nfn f(x: &A) { x.go(); }",
+        );
+        let f = g.fns.iter().find(|f| f.name == "f").expect("f");
+        assert_eq!(g.resolve(&f.calls[0], f).len(), 2);
+    }
+
+    #[test]
+    fn qualified_calls_resolve_through_the_impl_index_only() {
+        let g = graph("impl A { fn make() {} }\nfn make() {}\nfn f() { A::make(); u64::from(0); }");
+        let f = g.fns.iter().find(|f| f.name == "f").expect("f");
+        let a_make = g.resolve(&f.calls[0], f);
+        assert_eq!(a_make.len(), 1);
+        assert_eq!(g.fns[a_make[0]].impl_type.as_deref(), Some("A"));
+        // `u64::from` must not fall back to unrelated `from` fns.
+        assert!(g.resolve(&f.calls[1], f).is_empty());
+    }
+
+    #[test]
+    fn self_qualifier_uses_the_caller_impl_type() {
+        let g = graph("impl A { fn helper() {} fn f() { Self::helper(); } }");
+        let f = g.fns.iter().find(|f| f.name == "f").expect("f");
+        let r = g.resolve(&f.calls[0], f);
+        assert_eq!(r.len(), 1);
+        assert_eq!(g.fns[r[0]].name, "helper");
+    }
+
+    #[test]
+    fn edge_count_counts_resolved_edges() {
+        let g = graph("fn a() { b(); b(); missing(); }\nfn b() {}");
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn prelude_method_names_are_not_resolved() {
+        // `.map(..)` is an iterator adapter here, not `T::map`; a free
+        // call `map(..)` is workspace code and still resolves.
+        let g = graph(
+            "impl T { fn map(&self) {} }\nfn map() {}\nfn f(v: &[u32]) { v.iter().map(|x| x); map(); }",
+        );
+        let f = g.fns.iter().find(|f| f.name == "f").expect("f");
+        let method_map = f
+            .calls
+            .iter()
+            .find(|c| c.name == "map" && matches!(c.kind, CallKind::Method(_)))
+            .expect("method map");
+        assert!(g.resolve(method_map, f).is_empty());
+        let free_map = f
+            .calls
+            .iter()
+            .find(|c| c.name == "map" && matches!(c.kind, CallKind::Free))
+            .expect("free map");
+        assert_eq!(g.resolve(free_map, f).len(), 2);
+    }
+}

@@ -1,0 +1,332 @@
+//! The `alloc-in-hot-path` pass: hot roots must not reach allocating
+//! APIs.
+//!
+//! The serving guarantees (PR 3/5/6: zero-alloc `Prefetcher::access`,
+//! the 72 B `predict_fast` path, the 33 µs table tier) were enforced
+//! only by point benchmarks. This pass proves them statically: from
+//! each configured hot root, walk the [`CallGraph`] and flag every
+//! reachable allocation site, reporting the full call chain from the
+//! root so a violation three calls deep is still actionable.
+//!
+//! Allocation sites come in two shapes with different rules:
+//!
+//! * **Fresh allocations** — `Vec::new(..)` / `vec![..]` /
+//!   `.to_vec()` / `.collect()` / `.clone()` / `Box::new(..)` /
+//!   `format!` — are always violations outside sanctioned code.
+//!   (`Vec::new` passed as a *function reference*, as in
+//!   `resize_with(n, Vec::new)`, is not a call token sequence and is
+//!   deliberately not matched: reusing staging buffers through
+//!   `resize_with` is the designed amortized-zero idiom.)
+//! * **Growth calls** — `.push(..)` / `.extend(..)` / `.reserve(..)`
+//!   and friends — are legal when rooted at `self` or at a `&mut`
+//!   function parameter (the caller-scratch idiom every `access` impl
+//!   uses), and violations otherwise.
+//!
+//! Sanctioning is three-layered: whole modules (the arena and top-k
+//! scratch implementations — their functions are neither flagged nor
+//! *entered*, since walking into an amortized allocator would flag the
+//! very mechanism the hot paths are sanctioned to lean on), single
+//! functions (result materializers at the API boundary, whose direct
+//! sites are skipped but whose *callees* are still traversed), and
+//! boundary functions that are not entered at all (one-time setup like
+//! `prepare_int8`, amortized reshapes).
+
+use crate::callgraph::CallGraph;
+use crate::parse::{CallKind, CallSite, FnItem, ReceiverRoot};
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration for the hot-path pass.
+#[derive(Debug, Clone, Default)]
+pub struct HotPathConfig {
+    /// Function names treated as hot roots; every function with a
+    /// matching name (e.g. each `Prefetcher::access` impl) is a root.
+    pub roots: Vec<String>,
+    /// Repo-relative module paths that are amortized-allocation
+    /// implementations (arena / scratch): their functions are neither
+    /// flagged nor entered by the walk.
+    pub sanctioned_modules: Vec<String>,
+    /// Function names whose direct allocation sites are sanctioned
+    /// (result materializers); their callees are still traversed.
+    pub sanctioned_fns: Vec<String>,
+    /// Function names the walk does not enter (one-time setup /
+    /// deliberate slow paths behind the root).
+    pub boundary_fns: Vec<String>,
+}
+
+/// Per-root summary for reports.
+#[derive(Debug, Clone)]
+pub struct RootReport {
+    /// Root function name from the config.
+    pub root: String,
+    /// How many workspace functions matched the root name.
+    pub matched: usize,
+    /// Functions reachable from the root (including the root itself).
+    pub reachable: usize,
+    /// Allocation findings attributed to this root.
+    pub violations: usize,
+}
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Methods that produce a fresh heap allocation.
+const FRESH_METHODS: &[&str] = &[
+    "collect",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "clone",
+    "into_owned",
+];
+
+/// Methods that may grow their receiver's heap storage; legal only on
+/// caller-owned scratch (`self` or a `&mut` parameter).
+const GROWTH_METHODS: &[&str] = &[
+    "push",
+    "push_str",
+    "insert",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "resize",
+    "resize_with",
+    "reserve",
+    "reserve_exact",
+];
+
+/// Allocating owner types for qualified constructor calls.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "VecDeque", "Box", "String", "Rc", "Arc", "HashMap", "HashSet", "BTreeMap", "BTreeSet",
+];
+
+/// Constructor names that (with an [`ALLOC_TYPES`] qualifier) build an
+/// owned container in the hot path.
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from", "from_iter", "default"];
+
+/// Describes why `call` allocates, or `None` if it does not.
+fn alloc_kind(call: &CallSite, owner: &FnItem) -> Option<String> {
+    match &call.kind {
+        CallKind::Macro if ALLOC_MACROS.contains(&call.name.as_str()) => {
+            Some(format!("`{}!`", call.name))
+        }
+        CallKind::Method(root) => {
+            if FRESH_METHODS.contains(&call.name.as_str()) {
+                return Some(format!("`.{}()`", call.name));
+            }
+            if GROWTH_METHODS.contains(&call.name.as_str()) {
+                let caller_owned = match root {
+                    ReceiverRoot::SelfRoot => true,
+                    ReceiverRoot::Named(n) => owner.mut_ref_params.contains(n),
+                    ReceiverRoot::Complex => false,
+                };
+                if !caller_owned {
+                    return Some(format!("`.{}()` on a non-scratch receiver", call.name));
+                }
+            }
+            None
+        }
+        CallKind::Path => {
+            let q = call.qualifier.as_deref().unwrap_or("");
+            if ALLOC_TYPES.contains(&q) && ALLOC_CTORS.contains(&call.name.as_str()) {
+                Some(format!("`{}::{}`", q, call.name))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn fn_is_sanctioned(f: &FnItem, cfg: &HotPathConfig) -> bool {
+    cfg.sanctioned_fns.iter().any(|s| s == &f.name)
+        || cfg.sanctioned_modules.iter().any(|m| &f.path == m)
+}
+
+/// Runs the pass: BFS from every root, flagging reachable allocation
+/// sites with their call chain.
+pub fn check(graph: &CallGraph, cfg: &HotPathConfig) -> (Vec<Finding>, Vec<RootReport>) {
+    let mut findings = Vec::new();
+    let mut reports = Vec::new();
+    for root in &cfg.roots {
+        let starts = graph.named(root);
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut seen: BTreeSet<usize> = starts.iter().copied().collect();
+        let mut queue: Vec<usize> = starts.to_vec();
+        let mut head = 0usize;
+        let mut violations = 0usize;
+        while head < queue.len() {
+            let idx = queue[head];
+            head += 1;
+            let f = &graph.fns[idx];
+            let sanctioned = fn_is_sanctioned(f, cfg);
+            for call in &f.calls {
+                if !sanctioned {
+                    if let Some(what) = alloc_kind(call, f) {
+                        violations += 1;
+                        findings.push(Finding {
+                            lint: "alloc-in-hot-path",
+                            path: f.path.clone(),
+                            line: call.line,
+                            message: format!(
+                                "{what} reachable from hot root `{root}` via {}; hot paths must \
+                                 use caller scratch, the arena, or a sanctioned materializer",
+                                chain(graph, &parent, idx),
+                            ),
+                        });
+                    }
+                }
+                if cfg.boundary_fns.iter().any(|b| b == &call.name) {
+                    continue;
+                }
+                for &callee in graph.resolve(call, f) {
+                    // Sanctioned modules are traversal boundaries too.
+                    let target = &graph.fns[callee];
+                    if cfg.sanctioned_modules.iter().any(|m| &target.path == m) {
+                        continue;
+                    }
+                    if seen.insert(callee) {
+                        parent.insert(callee, idx);
+                        queue.push(callee);
+                    }
+                }
+            }
+        }
+        reports.push(RootReport {
+            root: root.clone(),
+            matched: starts.len(),
+            reachable: queue.len(),
+            violations,
+        });
+    }
+    (findings, reports)
+}
+
+/// Renders the call chain `root → ... → fn` for the finding message.
+fn chain(graph: &CallGraph, parent: &BTreeMap<usize, usize>, mut idx: usize) -> String {
+    let mut names = vec![qualified_name(&graph.fns[idx])];
+    let mut hops = 0;
+    while let Some(&p) = parent.get(&idx) {
+        names.push(qualified_name(&graph.fns[p]));
+        idx = p;
+        hops += 1;
+        if hops > 64 {
+            break;
+        }
+    }
+    names.reverse();
+    names.join(" → ")
+}
+
+fn qualified_name(f: &FnItem) -> String {
+    match &f.impl_type {
+        Some(t) => format!("{t}::{}", f.name),
+        None => f.name.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_fns;
+    use crate::SourceFile;
+
+    fn run(src: &str, cfg: &HotPathConfig) -> (Vec<Finding>, Vec<RootReport>) {
+        let graph = CallGraph::build(parse_fns(&SourceFile::parse("x.rs", src)));
+        check(&graph, cfg)
+    }
+
+    fn root_cfg(root: &str) -> HotPathConfig {
+        HotPathConfig {
+            roots: vec![root.to_string()],
+            ..HotPathConfig::default()
+        }
+    }
+
+    #[test]
+    fn transitive_allocation_is_found_with_its_chain() {
+        let (findings, reports) = run(
+            "fn hot() { step(); }\nfn step() { leaf(); }\nfn leaf() { let v = Vec::new(); }",
+            &root_cfg("hot"),
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("hot → step → leaf"));
+        assert_eq!(reports[0].reachable, 3);
+        assert_eq!(reports[0].violations, 1);
+    }
+
+    #[test]
+    fn caller_scratch_growth_is_legal_fresh_growth_is_not() {
+        let (findings, _) = run(
+            "fn hot(out: &mut Vec<u64>) { out.push(1); self.buf.push(2); local.push(3); }",
+            &root_cfg("hot"),
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("non-scratch receiver"));
+    }
+
+    #[test]
+    fn boundary_fns_are_not_entered() {
+        let cfg = HotPathConfig {
+            roots: vec!["hot".into()],
+            boundary_fns: vec!["setup".into()],
+            ..HotPathConfig::default()
+        };
+        let (findings, _) = run(
+            "fn hot() { setup(); }\nfn setup() { let v = vec![0]; }",
+            &cfg,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn sanctioned_fn_sites_are_skipped_but_callees_walked() {
+        let cfg = HotPathConfig {
+            roots: vec!["hot".into()],
+            sanctioned_fns: vec!["materialize".into()],
+            ..HotPathConfig::default()
+        };
+        let (findings, _) = run(
+            "fn hot() { materialize(); }\nfn materialize() { let v = Vec::with_capacity(4); deeper(); }\nfn deeper() { x.to_vec(); }",
+            &cfg,
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("to_vec"));
+    }
+
+    #[test]
+    fn sanctioned_modules_cover_whole_files() {
+        let cfg = HotPathConfig {
+            roots: vec!["hot".into()],
+            sanctioned_modules: vec!["x.rs".into()],
+            ..HotPathConfig::default()
+        };
+        let (findings, _) = run("fn hot() { let v = vec![0]; }", &cfg);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn sanctioned_modules_are_traversal_boundaries() {
+        // The walk must not enter `arena.rs`: flagging the amortized
+        // allocator's internals (or anything it delegates to) would
+        // flag the sanctioned mechanism itself.
+        let mut fns = parse_fns(&SourceFile::parse("hot.rs", "fn hot() { register(); }"));
+        fns.extend(parse_fns(&SourceFile::parse(
+            "arena.rs",
+            "fn register() { deeper(); }",
+        )));
+        fns.extend(parse_fns(&SourceFile::parse(
+            "zeros.rs",
+            "fn deeper() { let v = vec![0]; }",
+        )));
+        let graph = CallGraph::build(fns);
+        let cfg = HotPathConfig {
+            roots: vec!["hot".into()],
+            sanctioned_modules: vec!["arena.rs".into()],
+            ..HotPathConfig::default()
+        };
+        let (findings, reports) = check(&graph, &cfg);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(reports[0].reachable, 1);
+    }
+}

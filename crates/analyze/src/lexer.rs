@@ -396,4 +396,61 @@ mod tests {
         assert!(toks.iter().any(|t| t.is_ident("r")));
         assert!(toks.iter().any(|t| t.text == "\"…\""));
     }
+
+    #[test]
+    fn multi_hash_raw_strings_skip_shorter_closers() {
+        // `"#` inside an `r##` string is content, not a terminator.
+        let toks = lex(r####"let s = r##"has "# unwrap() inside"##; done"####);
+        assert!(toks.iter().all(|t| t.text != "unwrap" && t.text != "has"));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(toks.iter().filter(|t| t.text == "\"…\"").count(), 1);
+    }
+
+    #[test]
+    fn byte_strings_do_not_leak_their_contents() {
+        let toks = lex(r####"let a = b"unwrap()"; let b2 = br#"panic!"#; done"####);
+        assert!(toks.iter().all(|t| t.text != "unwrap" && t.text != "panic"));
+        assert_eq!(toks.iter().filter(|t| t.text == "\"…\"").count(), 2);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn byte_char_with_escaped_quote() {
+        let toks = lex(r"let q = b'\''; let n = b'\n'; done");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Literal && t.text == "'…'")
+                .count(),
+            2
+        );
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn unterminated_literals_at_eof_do_not_hang() {
+        // Each of these ends mid-literal/comment; the lexer must
+        // terminate and never panic. Trailing tokens are best-effort.
+        for src in [
+            "let s = \"abc",
+            "let s = \"abc\\",
+            "let s = r##\"abc\"#",
+            "let c = '\\",
+            "let b = b\"abc",
+        ] {
+            let toks = lex(src);
+            assert!(toks.iter().any(|t| t.is_ident("let")), "{src:?}");
+            assert!(toks.iter().any(|t| t.kind == TokenKind::Literal), "{src:?}");
+        }
+        // An unterminated nested comment swallows the rest of the file
+        // (everything after it really is comment text) but returns.
+        assert!(lex("/* a /* b */ still open").is_empty());
+    }
+
+    #[test]
+    fn nested_block_comment_with_string_like_content() {
+        // Quotes inside comments are comment text, not string openers.
+        let toks = lex("/* \" /* 'x' */ \" */ fn after() {}");
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert!(toks.iter().all(|t| t.kind != TokenKind::Literal));
+    }
 }

@@ -1,31 +1,49 @@
-//! `voyager-analyze`: hand-rolled, zero-dependency static analysis for
-//! the Voyager workspace, in the spirit of rustc's `tidy`.
+//! `voyager-analyze`: hand-rolled static analysis for the Voyager
+//! workspace, in the spirit of rustc's `tidy` — zero third-party
+//! dependencies, built on its own tiny Rust [`lexer`].
 //!
-//! Three passes, all built on the same tiny Rust [`lexer`]:
+//! Token-level passes:
 //!
 //! 1. [`policy`] — source lints that enforce repo policy: no
 //!    third-party dependencies (the offline policy), no nondeterminism
 //!    sources (`Instant::now`, `SystemTime::now`, env reads) outside an
-//!    allowlisted set of timing modules (the trainer's determinism
-//!    contract), no `unwrap`/`expect`/`panic!`/`static mut`/
-//!    `get_unchecked` in library code outside `#[cfg(test)]`, and docs
-//!    on public items.
+//!    allowlisted set of timing modules and no `HashMap`/`HashSet`
+//!    iteration (the trainer's determinism contract), no
+//!    `unwrap`/`expect`/`panic!`/`static mut`/`get_unchecked` in
+//!    library code outside `#[cfg(test)]`, and docs on public items.
 //! 2. [`lockorder`] — extracts a static lock-acquisition graph from
 //!    `Mutex`/`RwLock` usage, flags cycles (potential deadlocks) and
 //!    blocking channel receives performed while holding a lock.
-//! 3. [`allowlist`] — a ratchet over grandfathered violations: the
-//!    checked-in `analyze-allowlist.txt` caps per-file violation counts
-//!    and must only ever shrink.
+//! 3. [`unsafety`] — audits every `unsafe` site for an adjacent
+//!    `// SAFETY:` comment and builds the workspace unsafe inventory.
+//!
+//! Semantic passes, built on [`parse`] (a lightweight item parser) and
+//! [`callgraph`] (name-resolved intra-workspace call graph):
+//!
+//! 4. [`hotpath`] — reachability from configured hot roots
+//!    (`predict_fast`, `Prefetcher::access`, the GEMM kernels, ...)
+//!    must not hit allocating APIs outside sanctioned arena/scratch
+//!    code; violations report the full call chain.
+//!
+//! The [`allowlist`] ratchet caps grandfathered violations (the
+//! checked-in `analyze-allowlist.txt` may only ever shrink), and
+//! [`report`] renders everything as a validated `--json` document for
+//! CI.
 //!
 //! Run it as `cargo run -p voyager-analyze`; it exits non-zero on any
 //! finding not covered by the allowlist and on any stale allowlist
 //! entry.
 
 pub mod allowlist;
+pub mod callgraph;
+pub mod hotpath;
 pub mod lexer;
 pub mod lockorder;
+pub mod parse;
 pub mod policy;
+pub mod report;
 pub mod run;
+pub mod unsafety;
 
 use lexer::{Token, TokenKind};
 use std::path::{Path, PathBuf};
@@ -64,6 +82,9 @@ pub struct SourceFile {
     pub tokens: Vec<Token>,
     /// `in_test[i]` is true if `tokens[i]` is test-only code.
     pub in_test: Vec<bool>,
+    /// Raw source lines (0-indexed), kept for passes that must see
+    /// comments the lexer discards — e.g. the `// SAFETY:` audit.
+    pub lines: Vec<String>,
 }
 
 impl SourceFile {
@@ -75,6 +96,7 @@ impl SourceFile {
             path: path.into(),
             tokens,
             in_test,
+            lines: source.lines().map(str::to_string).collect(),
         }
     }
 }

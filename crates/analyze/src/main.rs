@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p voyager-analyze              # gate the workspace
 //! cargo run -p voyager-analyze -- --graph   # dump the lock graph
+//! cargo run -p voyager-analyze -- --json    # machine-readable report
 //! cargo run -p voyager-analyze -- --emit-allowlist
 //! cargo run -p voyager-analyze -- /path/to/workspace
 //! ```
@@ -15,18 +16,24 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use voyager_analyze::run::{analyze_workspace, load_allowlist};
+use voyager_analyze::report::render_json;
+use voyager_analyze::run::{analyze_workspace, hot_path_config, load_allowlist};
 
 fn main() -> ExitCode {
     let mut emit_allowlist = false;
     let mut graph = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--emit-allowlist" => emit_allowlist = true,
             "--graph" => graph = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: voyager-analyze [--emit-allowlist] [--graph] [workspace-root]");
+                println!(
+                    "usage: voyager-analyze [--emit-allowlist] [--graph] [--json] \
+                     [workspace-root]"
+                );
                 return ExitCode::SUCCESS;
             }
             _ if root.is_none() && !arg.starts_with('-') => root = Some(PathBuf::from(arg)),
@@ -64,6 +71,22 @@ fn main() -> ExitCode {
             println!("{lint} {path} {n}");
         }
         return ExitCode::SUCCESS;
+    }
+
+    if json {
+        // Self-validate before printing: a malformed render must fail
+        // the analyzer, never a downstream consumer.
+        let doc = render_json(&report, &allowlist, &hot_path_config());
+        if let Err(e) = voyager_obs::json::validate(&doc) {
+            eprintln!("error: --json render is malformed: {e}");
+            return ExitCode::FAILURE;
+        }
+        print!("{doc}");
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
 
     if graph {

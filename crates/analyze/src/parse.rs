@@ -1,0 +1,623 @@
+//! A lightweight item parser over the lexer's token stream.
+//!
+//! This extracts just enough structure for reachability passes — which
+//! functions exist (free and associated), which impl block they live
+//! in, whether they are `unsafe`, which parameters are `&mut`
+//! references, and every call site in their bodies — without
+//! pretending to be a real Rust frontend. Resolution is name-based and
+//! intentionally over-approximate: a method call `x.foo()` is a
+//! candidate call to *every* workspace function named `foo`. That is
+//! the right bias for the [hot-path pass](crate::hotpath), which
+//! proves the *absence* of allocation: over-approximation can only
+//! produce false alarms, never missed allocations.
+//!
+//! Test-masked tokens (whole `#[cfg(test)]` / `#[test]` items, see
+//! [`SourceFile`]) are skipped entirely; because the mask always
+//! covers balanced items, skipping them cannot desynchronize the brace
+//! tracking.
+
+use crate::lexer::{Token, TokenKind};
+use crate::SourceFile;
+
+/// The base of a method-call receiver chain, used to decide whether a
+/// growth call (`push`, `extend`, ...) writes into caller-owned
+/// scratch or into a freshly allocated local.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiverRoot {
+    /// The chain starts at `self` (`self.batch.inputs.push(..)`).
+    SelfRoot,
+    /// The chain starts at a named binding (`out.push(..)` → `out`).
+    Named(String),
+    /// Anything else: call results, parenthesized expressions,
+    /// literals. Treated as a fresh value by the hot-path pass.
+    Complex,
+}
+
+/// How a call site refers to its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(...)` — a free (or locally imported) function call.
+    Free,
+    /// `recv.foo(...)` — a method call, with the receiver root.
+    Method(ReceiverRoot),
+    /// `Qualifier::foo(...)` — a path call; the qualifier is the
+    /// immediate parent segment (`Vec` in `std::vec::Vec::new`).
+    Path,
+    /// `foo!(...)` / `foo![...]` / `foo!{...}` — a macro invocation.
+    Macro,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee name (last path segment, method name, or macro name).
+    pub name: String,
+    /// Immediate parent path segment for [`CallKind::Path`] calls.
+    pub qualifier: Option<String>,
+    /// Call shape.
+    pub kind: CallKind,
+    /// 1-based source line of the callee name token.
+    pub line: u32,
+}
+
+/// One `fn` item (free or associated) found in a source file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing impl block's self type (`Tensor2` for
+    /// `impl Layer for Tensor2`), or `None` for free functions.
+    pub impl_type: Option<String>,
+    /// Repo-relative path of the defining file.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the function is declared `unsafe`.
+    pub is_unsafe: bool,
+    /// Names of parameters whose declared type is `&mut _` — growth
+    /// calls rooted at these write into caller-owned scratch.
+    pub mut_ref_params: Vec<String>,
+    /// Every call site in the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// Identifiers that can precede `(` without being a call.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "mut", "ref", "move", "fn", "impl", "pub", "use", "mod", "where", "unsafe", "async",
+    "await", "dyn", "struct", "enum", "trait", "type", "const", "static", "extern", "crate",
+    "super", "self", "Self", "true", "false", "union", "yield",
+];
+
+/// Extracts every non-test function item (with its call sites) from a
+/// lexed file.
+pub fn parse_fns(file: &SourceFile) -> Vec<FnItem> {
+    Parser {
+        toks: &file.tokens,
+        mask: &file.in_test,
+        path: &file.path,
+        i: 0,
+        depth: 0,
+        impls: Vec::new(),
+        open: Vec::new(),
+        done: Vec::new(),
+    }
+    .run()
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    mask: &'a [bool],
+    path: &'a str,
+    i: usize,
+    depth: usize,
+    /// `(self type, body depth)` for each open impl block.
+    impls: Vec<(String, usize)>,
+    /// `(in-progress item, body depth)` for each open fn body.
+    open: Vec<(FnItem, usize)>,
+    done: Vec<FnItem>,
+}
+
+impl Parser<'_> {
+    fn run(mut self) -> Vec<FnItem> {
+        while self.i < self.toks.len() {
+            if self.mask[self.i] {
+                self.i += 1;
+                continue;
+            }
+            let t = &self.toks[self.i];
+            if t.is_punct('{') {
+                self.depth += 1;
+                self.i += 1;
+            } else if t.is_punct('}') {
+                while self.open.last().is_some_and(|(_, d)| *d == self.depth) {
+                    if let Some((f, _)) = self.open.pop() {
+                        self.done.push(f);
+                    }
+                }
+                while self.impls.last().is_some_and(|(_, d)| *d == self.depth) {
+                    self.impls.pop();
+                }
+                self.depth = self.depth.saturating_sub(1);
+                self.i += 1;
+            } else if t.is_ident("impl") {
+                self.scan_impl();
+            } else if t.is_ident("fn") {
+                self.scan_fn();
+            } else if !self.open.is_empty() {
+                self.scan_call();
+            } else {
+                self.i += 1;
+            }
+        }
+        while let Some((f, _)) = self.open.pop() {
+            self.done.push(f);
+        }
+        self.done
+            .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        self.done
+    }
+
+    /// Consumes `impl [<..>] [Trait for] Type [where ..] {`, recording
+    /// the self type: the last angle-depth-0 path segment before the
+    /// body (or `where` clause), which lands on `Cache` for
+    /// `impl fmt::Display for sim::Cache<T>`.
+    fn scan_impl(&mut self) {
+        let mut j = self.i + 1;
+        let mut angle = 0usize;
+        let mut ty: Option<String> = None;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if angle == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                break;
+            }
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && !(j > 0 && self.toks[j - 1].is_punct('-')) {
+                angle = angle.saturating_sub(1);
+            } else if angle == 0 && t.is_ident("where") {
+                break;
+            } else if angle == 0
+                && t.kind == TokenKind::Ident
+                && !matches!(t.text.as_str(), "for" | "dyn" | "mut" | "const" | "unsafe")
+            {
+                ty = Some(t.text.clone());
+            }
+            j += 1;
+        }
+        // Position on the body brace (skipping a `where` clause).
+        while j < self.toks.len() && !self.toks[j].is_punct('{') && !self.toks[j].is_punct(';') {
+            j += 1;
+        }
+        if self.toks.get(j).is_some_and(|t| t.is_punct('{')) {
+            if let Some(ty) = ty {
+                self.impls.push((ty, self.depth + 1));
+            }
+            self.depth += 1;
+            self.i = j + 1;
+        } else {
+            self.i = j.saturating_add(1);
+        }
+    }
+
+    /// Consumes a `fn` item signature and opens its body (or records a
+    /// body-less declaration).
+    fn scan_fn(&mut self) {
+        let fn_idx = self.i;
+        let Some(name_tok) = self
+            .toks
+            .get(fn_idx + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+        else {
+            // `fn(u32) -> u32` function-pointer type, not an item.
+            self.i += 1;
+            return;
+        };
+        let name = name_tok.text.clone();
+        let line = self.toks[fn_idx].line;
+        let is_unsafe = self.fn_is_unsafe(fn_idx);
+
+        // Skip generics, then collect `&mut`-typed parameter names.
+        let mut j = fn_idx + 2;
+        if self.toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = self.skip_angles(j).unwrap_or(j + 1);
+        }
+        let mut mut_ref_params = Vec::new();
+        if self.toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            let mut paren = 0usize;
+            while j < self.toks.len() {
+                let t = &self.toks[j];
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                    if paren == 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if paren == 1
+                    && t.kind == TokenKind::Ident
+                    && self.toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && !self.toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+                {
+                    // `name: &['a] mut T` — a caller-owned scratch sink.
+                    let mut k = j + 2;
+                    while self
+                        .toks
+                        .get(k)
+                        .is_some_and(|n| n.is_punct('&') || n.kind == TokenKind::Lifetime)
+                    {
+                        k += 1;
+                    }
+                    if self.toks.get(k).is_some_and(|n| n.is_ident("mut"))
+                        && self.toks.get(k - 1).is_some_and(|n| n.is_punct('&'))
+                    {
+                        mut_ref_params.push(t.text.clone());
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Scan past the return type / where clause to the body `{` or
+        // the `;` of a body-less declaration. `;` inside `[u8; 4]`
+        // array types is shielded by bracket tracking.
+        let mut bracket = 0usize;
+        let mut body = None;
+        while j < self.toks.len() {
+            let t = &self.toks[j];
+            if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket = bracket.saturating_sub(1);
+            } else if t.is_punct('{') {
+                body = Some(true);
+                break;
+            } else if t.is_punct(';') && bracket == 0 {
+                body = Some(false);
+                break;
+            }
+            j += 1;
+        }
+        let item = FnItem {
+            name,
+            impl_type: self.impls.last().map(|(t, _)| t.clone()),
+            path: self.path.to_string(),
+            line,
+            is_unsafe,
+            mut_ref_params,
+            calls: Vec::new(),
+        };
+        match body {
+            Some(true) => {
+                self.depth += 1;
+                self.open.push((item, self.depth));
+                self.i = j + 1;
+            }
+            _ => {
+                self.done.push(item);
+                self.i = j + 1;
+            }
+        }
+    }
+
+    /// Is the `fn` at `fn_idx` declared `unsafe`? Handles
+    /// `pub const unsafe extern "C" fn`.
+    fn fn_is_unsafe(&self, fn_idx: usize) -> bool {
+        let mut k = fn_idx;
+        while k > 0 {
+            let p = &self.toks[k - 1];
+            let qualifier = (p.kind == TokenKind::Ident
+                && matches!(
+                    p.text.as_str(),
+                    "pub" | "const" | "async" | "extern" | "unsafe"
+                ))
+                || p.kind == TokenKind::Literal; // the "C" of `extern "C"`
+            if !qualifier {
+                return false;
+            }
+            if p.is_ident("unsafe") {
+                return true;
+            }
+            k -= 1;
+        }
+        false
+    }
+
+    /// Records a call site if the token at `self.i` begins one.
+    fn scan_call(&mut self) {
+        let t = &self.toks[self.i];
+        if t.kind != TokenKind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+            self.i += 1;
+            return;
+        }
+        let line = t.line;
+        let name = t.text.clone();
+        // Macro invocation: `name!(..)` / `name![..]` / `name!{..}`.
+        if self.toks.get(self.i + 1).is_some_and(|n| n.is_punct('!'))
+            && self
+                .toks
+                .get(self.i + 2)
+                .is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'))
+        {
+            self.push_call(CallSite {
+                name,
+                qualifier: None,
+                kind: CallKind::Macro,
+                line,
+            });
+            self.i += 2;
+            return;
+        }
+        // `name(..)` or `name::<..>(..)` (turbofish).
+        let mut after = self.i + 1;
+        if self.toks.get(after).is_some_and(|n| n.is_punct(':'))
+            && self.toks.get(after + 1).is_some_and(|n| n.is_punct(':'))
+            && self.toks.get(after + 2).is_some_and(|n| n.is_punct('<'))
+        {
+            match self.skip_angles(after + 2) {
+                Some(end) => after = end,
+                None => {
+                    self.i += 1;
+                    return;
+                }
+            }
+        }
+        if !self.toks.get(after).is_some_and(|n| n.is_punct('(')) {
+            self.i += 1;
+            return;
+        }
+        let prev_dot = self.i > 0 && self.toks[self.i - 1].is_punct('.');
+        let prev_path = self.i >= 2
+            && self.toks[self.i - 1].is_punct(':')
+            && self.toks[self.i - 2].is_punct(':');
+        let call = if prev_dot {
+            let root = if self.i >= 2 {
+                self.receiver_root(self.i - 2)
+            } else {
+                ReceiverRoot::Complex
+            };
+            CallSite {
+                name,
+                qualifier: None,
+                kind: CallKind::Method(root),
+                line,
+            }
+        } else if prev_path {
+            let qualifier = self
+                .i
+                .checked_sub(3)
+                .map(|q| &self.toks[q])
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone());
+            CallSite {
+                name,
+                qualifier,
+                kind: CallKind::Path,
+                line,
+            }
+        } else {
+            CallSite {
+                name,
+                qualifier: None,
+                kind: CallKind::Free,
+                line,
+            }
+        };
+        self.push_call(call);
+        self.i += 1;
+    }
+
+    fn push_call(&mut self, call: CallSite) {
+        if let Some((f, _)) = self.open.last_mut() {
+            f.calls.push(call);
+        }
+    }
+
+    /// Walks a method-call receiver chain backwards from `k` (the
+    /// token before the `.`) to its base: through `.field`, `.0`,
+    /// `[index]`, `?`, and chained `.call(..)` results.
+    fn receiver_root(&self, mut k: usize) -> ReceiverRoot {
+        loop {
+            let t = &self.toks[k];
+            if t.is_punct(')') || t.is_punct(']') {
+                let (open, close) = if t.is_punct(')') {
+                    ('(', ')')
+                } else {
+                    ('[', ']')
+                };
+                let mut d = 0usize;
+                let mut kk = k;
+                loop {
+                    if self.toks[kk].is_punct(close) {
+                        d += 1;
+                    } else if self.toks[kk].is_punct(open) {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    if kk == 0 {
+                        return ReceiverRoot::Complex;
+                    }
+                    kk -= 1;
+                }
+                if kk == 0 {
+                    return ReceiverRoot::Complex;
+                }
+                if close == ']' {
+                    // Indexing: keep walking from the indexed value.
+                    k = kk - 1;
+                    continue;
+                }
+                // `(..)` of a chained method call: continue from the
+                // method's own receiver. A free-call result or plain
+                // parenthesized expression is a fresh value.
+                let before = kk - 1;
+                if self.toks[before].kind == TokenKind::Ident
+                    && before >= 2
+                    && self.toks[before - 1].is_punct('.')
+                {
+                    k = before - 2;
+                    continue;
+                }
+                return ReceiverRoot::Complex;
+            }
+            if t.is_punct('?') {
+                if k == 0 {
+                    return ReceiverRoot::Complex;
+                }
+                k -= 1;
+                continue;
+            }
+            if t.kind == TokenKind::Literal || t.kind == TokenKind::Ident {
+                if k >= 2 && self.toks[k - 1].is_punct('.') {
+                    // `.field` / `.0` segment: keep walking left.
+                    k -= 2;
+                    continue;
+                }
+                if t.is_ident("self") {
+                    return ReceiverRoot::SelfRoot;
+                }
+                if t.kind == TokenKind::Ident {
+                    return ReceiverRoot::Named(t.text.clone());
+                }
+                return ReceiverRoot::Complex;
+            }
+            return ReceiverRoot::Complex;
+        }
+    }
+
+    /// Skips a balanced `<..>` starting at `open` (which must be `<`),
+    /// returning the index one past the matching `>`. `->` arrows
+    /// inside the generics (fn-trait bounds) do not close the angle.
+    /// Bails after 256 tokens — real turbofish is tiny.
+    fn skip_angles(&self, open: usize) -> Option<usize> {
+        let mut d = 0usize;
+        let mut k = open;
+        while k < self.toks.len() && k - open < 256 {
+            if self.toks[k].is_punct('<') {
+                d += 1;
+            } else if self.toks[k].is_punct('>') && !(k > 0 && self.toks[k - 1].is_punct('-')) {
+                d -= 1;
+                if d == 0 {
+                    return Some(k + 1);
+                }
+            }
+            k += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        parse_fns(&SourceFile::parse("x.rs", src))
+    }
+
+    fn calls_of<'a>(items: &'a [FnItem], name: &str) -> &'a FnItem {
+        items.iter().find(|f| f.name == name).expect("fn not found")
+    }
+
+    #[test]
+    fn free_and_associated_fns_are_found() {
+        let items = fns(
+            "fn free() {}\nimpl Foo { fn method(&self) {} }\nimpl Bar for Baz { fn t(&self) {} }",
+        );
+        assert_eq!(items.len(), 3);
+        assert_eq!(calls_of(&items, "free").impl_type, None);
+        assert_eq!(calls_of(&items, "method").impl_type.as_deref(), Some("Foo"));
+        assert_eq!(calls_of(&items, "t").impl_type.as_deref(), Some("Baz"));
+    }
+
+    #[test]
+    fn generic_impl_resolves_self_type_not_type_param() {
+        let items = fns("impl<T: Clone> Holder<T> { fn get(&self) {} }");
+        assert_eq!(items[0].impl_type.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let items = fns(
+            "fn f(out: &mut Vec<u64>) {\n g();\n Vec::new();\n out.push(1);\n self.buf.push(2);\n vec![0];\n xs.iter().collect::<Vec<_>>();\n}",
+        );
+        let f = calls_of(&items, "f");
+        let by_name = |n: &str| f.calls.iter().find(|c| c.name == n).expect("call");
+        assert_eq!(by_name("g").kind, CallKind::Free);
+        assert_eq!(by_name("new").kind, CallKind::Path);
+        assert_eq!(by_name("new").qualifier.as_deref(), Some("Vec"));
+        assert_eq!(
+            by_name("push").kind,
+            CallKind::Method(ReceiverRoot::Named("out".into()))
+        );
+        assert_eq!(by_name("vec").kind, CallKind::Macro);
+        assert_eq!(
+            by_name("collect").kind,
+            CallKind::Method(ReceiverRoot::Named("xs".into()))
+        );
+        assert_eq!(f.mut_ref_params, vec!["out".to_string()]);
+    }
+
+    #[test]
+    fn receiver_roots_walk_chains_indexing_and_try() {
+        let items = fns(
+            "fn f(&mut self) {\n self.batch.inputs.push(1);\n self.rows[i].push(2);\n self.get(k)?.push(3);\n free().push(4);\n}",
+        );
+        let roots: Vec<ReceiverRoot> = calls_of(&items, "f")
+            .calls
+            .iter()
+            .filter(|c| c.name == "push")
+            .map(|c| match &c.kind {
+                CallKind::Method(r) => r.clone(),
+                _ => ReceiverRoot::Complex,
+            })
+            .collect();
+        assert_eq!(
+            roots,
+            vec![
+                ReceiverRoot::SelfRoot,
+                ReceiverRoot::SelfRoot,
+                ReceiverRoot::SelfRoot,
+                ReceiverRoot::Complex,
+            ]
+        );
+    }
+
+    #[test]
+    fn unsafe_fns_and_declarations_are_recorded() {
+        let items = fns(
+            "pub unsafe fn raw() {}\ntrait T { fn decl(&self); }\nunsafe extern \"C\" fn cb() {}",
+        );
+        assert!(calls_of(&items, "raw").is_unsafe);
+        assert!(calls_of(&items, "cb").is_unsafe);
+        assert!(!calls_of(&items, "decl").is_unsafe);
+        assert!(calls_of(&items, "decl").calls.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let items = fns("fn live() {}\n#[cfg(test)]\nmod tests { fn hidden() { x.push(1); } }");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "live");
+    }
+
+    #[test]
+    fn nested_fns_attribute_calls_to_the_inner_fn() {
+        let items = fns("fn outer() { fn inner() { g(); } h(); }");
+        assert_eq!(calls_of(&items, "inner").calls.len(), 1);
+        let outer_calls: Vec<&str> = calls_of(&items, "outer")
+            .calls
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(outer_calls, vec!["h"]);
+    }
+
+    #[test]
+    fn array_return_types_do_not_end_the_signature_early() {
+        let items = fns("fn f() -> [u8; 4] { g(); [0; 4] }");
+        assert_eq!(calls_of(&items, "f").calls.len(), 1);
+    }
+}

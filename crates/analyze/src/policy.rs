@@ -60,6 +60,7 @@ pub fn check(file: &SourceFile, cfg: &PolicyConfig) -> Vec<Finding> {
     check_third_party(file, cfg, &mut findings);
     if cfg.lint_nondeterminism {
         check_nondeterminism(file, &mut findings);
+        check_hash_iteration(file, &mut findings);
     }
     if cfg.lint_panics {
         check_panics(file, &mut findings);
@@ -183,6 +184,169 @@ fn check_nondeterminism(file: &SourceFile, out: &mut Vec<Finding>) {
                         "{what} outside an allowlisted timing module breaks the trainer's bitwise-reproducibility contract"
                     ),
                 ));
+            }
+        }
+    }
+}
+
+/// Methods whose call on a hash container observes iteration order.
+/// Lookup-shaped access (`get`, `contains_key`, `entry`, `insert`) is
+/// deliberately absent: membership maps are deterministic, only
+/// *iteration* leaks the hasher's ordering.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// `HashMap`/`HashSet` iteration in non-test code: iteration order
+/// depends on the process-random `RandomState` hasher, so anything
+/// order-sensitive downstream (float accumulation, first-wins merges,
+/// serialized output) silently loses bitwise reproducibility. Names
+/// are resolved file-locally: a binding, field or parameter whose
+/// declared type (or `type` alias, or initializer) mentions
+/// `HashMap`/`HashSet` is hash-typed; iterating such a name — via an
+/// iteration-shaped method or a `for .. in` — is flagged. Membership
+/// maps that are only ever probed stay legal.
+fn check_hash_iteration(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let is_hash_kw = |t: &crate::lexer::Token| t.is_ident("HashMap") || t.is_ident("HashSet");
+    // Pass 1: `type Alias = ... HashMap ...;` aliases.
+    let mut aliases: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("type")
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            let mut k = i + 3;
+            while k < toks.len() && !toks[k].is_punct(';') {
+                if is_hash_kw(&toks[k]) {
+                    aliases.push(toks[i + 1].text.clone());
+                    break;
+                }
+                k += 1;
+            }
+        }
+    }
+    let hash_ty = |t: &crate::lexer::Token| is_hash_kw(t) || aliases.iter().any(|a| t.is_ident(a));
+    // Pass 2: hash-typed names from annotations (`name: HashMap<..>`,
+    // covering fields and params) and initializers
+    // (`let [mut] name = HashMap::new()`).
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Ident
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && !(i > 0 && toks[i - 1].is_punct(':'))
+        {
+            let mut k = i + 2;
+            while k < toks.len() && k - i < 16 {
+                let n = &toks[k];
+                if n.is_punct(',')
+                    || n.is_punct(';')
+                    || n.is_punct(')')
+                    || n.is_punct('{')
+                    || n.is_punct('=')
+                    || n.is_punct('>')
+                {
+                    break;
+                }
+                if hash_ty(n) {
+                    names.push(t.text.clone());
+                    break;
+                }
+                k += 1;
+            }
+        }
+        if t.is_ident("let") {
+            let mut k = i + 1;
+            if toks.get(k).is_some_and(|n| n.is_ident("mut")) {
+                k += 1;
+            }
+            let Some(name) = toks.get(k).filter(|n| n.kind == TokenKind::Ident) else {
+                continue;
+            };
+            if !toks.get(k + 1).is_some_and(|n| n.is_punct('=')) {
+                continue;
+            }
+            let mut j = k + 2;
+            while j < toks.len() && j - k < 24 && !toks[j].is_punct(';') {
+                if hash_ty(&toks[j]) {
+                    names.push(name.text.clone());
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    let is_hash_name = |t: &crate::lexer::Token| names.iter().any(|n| t.is_ident(n));
+    // Pass 3: flag iteration over hash-typed names.
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if is_hash_name(t)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| HASH_ITER_METHODS.contains(&n.text.as_str()))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(finding(
+                file,
+                "hash-iteration",
+                t.line,
+                format!(
+                    "`.{}()` on hash container `{}`: iteration order is nondeterministic; use \
+                     BTreeMap/BTreeSet or sort before consuming",
+                    toks[i + 2].text,
+                    t.text
+                ),
+            ));
+        }
+        // `for .. in [&[mut]] path.to.name {` — direct iteration.
+        if t.is_ident("in") {
+            let mut k = i + 1;
+            while toks
+                .get(k)
+                .is_some_and(|n| n.is_punct('&') || n.is_ident("mut"))
+            {
+                k += 1;
+            }
+            let mut last: Option<usize> = None;
+            while toks.get(k).is_some_and(|n| n.kind == TokenKind::Ident) {
+                last = Some(k);
+                if toks.get(k + 1).is_some_and(|n| n.is_punct('.'))
+                    && toks.get(k + 2).is_some_and(|n| n.kind == TokenKind::Ident)
+                {
+                    k += 2;
+                } else {
+                    k += 1;
+                    break;
+                }
+            }
+            if let Some(last) = last {
+                if toks.get(k).is_some_and(|n| n.is_punct('{')) && is_hash_name(&toks[last]) {
+                    out.push(finding(
+                        file,
+                        "hash-iteration",
+                        toks[last].line,
+                        format!(
+                            "`for .. in` over hash container `{}`: iteration order is \
+                             nondeterministic; use BTreeMap/BTreeSet or sort before consuming",
+                            toks[last].text
+                        ),
+                    ));
+                }
             }
         }
     }
@@ -387,6 +551,36 @@ mod tests {
     #[test]
     fn nondeterminism_in_tests_is_fine() {
         assert!(lints("#[cfg(test)]\nmod tests { fn f() { Instant::now(); } }").is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_membership_is_not() {
+        let iterate = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> u32 { m.values().sum() }";
+        assert_eq!(lints(iterate), vec!["hash-iteration"]);
+        let probe = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) -> bool { m.contains_key(&1) && m.get(&2).is_some() }";
+        assert!(lints(probe).is_empty());
+        let btree = "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, u32>) -> u32 { m.values().sum() }";
+        assert!(lints(btree).is_empty());
+    }
+
+    #[test]
+    fn for_in_over_hash_field_and_local_is_flagged() {
+        let field = "struct S { table: HashMap<u64, u32> }\nimpl S { fn f(&self) { for v in &self.table { drop(v); } } }";
+        assert_eq!(lints(field), vec!["hash-iteration"]);
+        let local = "fn f() { let mut s = HashSet::new(); s.insert(1); for v in &s { drop(v); } }";
+        assert_eq!(lints(local), vec!["hash-iteration"]);
+    }
+
+    #[test]
+    fn hash_type_aliases_are_tracked() {
+        let src = "type Bbv = HashMap<u64, f64>;\nfn f(b: &Bbv) -> f64 { b.values().sum() }";
+        assert_eq!(lints(src), vec!["hash-iteration"]);
+    }
+
+    #[test]
+    fn hash_iteration_in_tests_is_fine() {
+        let src = "#[cfg(test)]\nmod t { fn f(m: &HashMap<u32, u32>) -> u32 { m.values().sum() } }";
+        assert!(lints(src).is_empty());
     }
 
     #[test]

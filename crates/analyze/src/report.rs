@@ -1,0 +1,219 @@
+//! Machine-readable `--json` report for CI.
+//!
+//! Rendered through the shared hand-rolled JSON layer
+//! ([`voyager_obs::json`]) — the same escaping and validation every
+//! exporter in the workspace uses — so the analyzer's findings,
+//! unsafe inventory, hot-path summaries and lock graph are consumable
+//! by CI without a third-party JSON crate on either side. The emitted
+//! document is self-validated with [`voyager_obs::json::validate`]
+//! before it is printed; a malformed render fails the analyzer, not a
+//! downstream consumer.
+//!
+//! Schema (`schema_version` 1):
+//!
+//! ```text
+//! {
+//!   "tool": "voyager-analyze", "schema_version": 1,
+//!   "clean": bool, "files_scanned": n,
+//!   "summary": {"findings", "violations", "stale_allowlist_entries",
+//!               "grandfathered", "unsafe_sites", "undocumented_unsafe"},
+//!   "findings": [{"lint", "path", "line", "message"}],
+//!   "unsafe_inventory": [{"path", "line", "kind", "has_safety_comment"}],
+//!   "hot_paths": {"roots": [{"root", "matched", "reachable", "violations"}],
+//!                 "sanctioned_modules": [..], "sanctioned_fns": [..],
+//!                 "boundary_fns": [..]},
+//!   "callgraph": {"functions", "edges"},
+//!   "lock_graph": [{"held", "acquired", "path", "line"}],
+//!   "allowlist": [{"lint", "path", "count"}]
+//! }
+//! ```
+
+use crate::allowlist::Allowlist;
+use crate::hotpath::HotPathConfig;
+use crate::run::AnalysisReport;
+use std::fmt::Write as _;
+use voyager_obs::json::escape;
+
+/// Renders the full analysis as a pretty-printed JSON document.
+pub fn render_json(report: &AnalysisReport, allowlist: &Allowlist, cfg: &HotPathConfig) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"voyager-analyze\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    let _ = writeln!(out, "  \"clean\": {},", report.is_clean());
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let undocumented = report
+        .unsafe_sites
+        .iter()
+        .filter(|s| !s.has_safety_comment)
+        .count();
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"findings\": {}, \"violations\": {}, \
+         \"stale_allowlist_entries\": {}, \"grandfathered\": {}, \"unsafe_sites\": {}, \
+         \"undocumented_unsafe\": {}}},",
+        report.findings.len(),
+        report.ratchet.violations.len(),
+        report.ratchet.stale.len(),
+        allowlist.total(),
+        report.unsafe_sites.len(),
+        undocumented,
+    );
+    render_array(&mut out, "findings", &report.findings, |f| {
+        format!(
+            "{{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            escape(f.lint),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        )
+    });
+    render_array(&mut out, "unsafe_inventory", &report.unsafe_sites, |s| {
+        format!(
+            "{{\"path\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"has_safety_comment\": {}}}",
+            escape(&s.path),
+            s.line,
+            escape(s.kind),
+            s.has_safety_comment
+        )
+    });
+    out.push_str("  \"hot_paths\": {\n");
+    render_array_indented(&mut out, 4, "roots", &report.hot_paths, |r| {
+        format!(
+            "{{\"root\": \"{}\", \"matched\": {}, \"reachable\": {}, \"violations\": {}}}",
+            escape(&r.root),
+            r.matched,
+            r.reachable,
+            r.violations
+        )
+    });
+    let _ = writeln!(
+        out,
+        "    \"sanctioned_modules\": {},",
+        string_list(&cfg.sanctioned_modules)
+    );
+    let _ = writeln!(
+        out,
+        "    \"sanctioned_fns\": {},",
+        string_list(&cfg.sanctioned_fns)
+    );
+    let _ = writeln!(
+        out,
+        "    \"boundary_fns\": {}",
+        string_list(&cfg.boundary_fns)
+    );
+    out.push_str("  },\n");
+    let _ = writeln!(
+        out,
+        "  \"callgraph\": {{\"functions\": {}, \"edges\": {}}},",
+        report.graph_fns, report.graph_edges
+    );
+    render_array(&mut out, "lock_graph", &report.edges, |e| {
+        format!(
+            "{{\"held\": \"{}\", \"acquired\": \"{}\", \"path\": \"{}\", \"line\": {}}}",
+            escape(&e.held),
+            escape(&e.acquired),
+            escape(&e.path),
+            e.line
+        )
+    });
+    let entries: Vec<(String, String, usize)> = allowlist
+        .iter()
+        .map(|(l, p, n)| (l.to_string(), p.to_string(), n))
+        .collect();
+    render_array_last(&mut out, "allowlist", &entries, |(lint, path, n)| {
+        format!(
+            "{{\"lint\": \"{}\", \"path\": \"{}\", \"count\": {}}}",
+            escape(lint),
+            escape(path),
+            n
+        )
+    });
+    out.push_str("}\n");
+    out
+}
+
+fn string_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", escape(s))).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+fn render_items<T>(
+    out: &mut String,
+    indent: usize,
+    key: &str,
+    items: &[T],
+    trailing_comma: bool,
+    render: impl Fn(&T) -> String,
+) {
+    let pad = " ".repeat(indent);
+    let comma = if trailing_comma { "," } else { "" };
+    if items.is_empty() {
+        let _ = writeln!(out, "{pad}\"{key}\": []{comma}");
+        return;
+    }
+    let _ = writeln!(out, "{pad}\"{key}\": [");
+    for (i, item) in items.iter().enumerate() {
+        let sep = if i + 1 == items.len() { "" } else { "," };
+        let _ = writeln!(out, "{pad}  {}{sep}", render(item));
+    }
+    let _ = writeln!(out, "{pad}]{comma}");
+}
+
+fn render_array<T>(out: &mut String, key: &str, items: &[T], render: impl Fn(&T) -> String) {
+    render_items(out, 2, key, items, true, render);
+}
+
+fn render_array_indented<T>(
+    out: &mut String,
+    indent: usize,
+    key: &str,
+    items: &[T],
+    render: impl Fn(&T) -> String,
+) {
+    render_items(out, indent, key, items, true, render);
+}
+
+fn render_array_last<T>(out: &mut String, key: &str, items: &[T], render: impl Fn(&T) -> String) {
+    render_items(out, 2, key, items, false, render);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{analyze_workspace, hot_path_config};
+    use std::path::Path;
+
+    #[test]
+    fn report_over_fixture_workspace_validates() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_workspace");
+        let allowlist = Allowlist::default();
+        let report = analyze_workspace(&root, &allowlist).expect("analysis");
+        let json = render_json(&report, &allowlist, &hot_path_config());
+        voyager_obs::json::validate(&json).expect("well-formed JSON");
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"schema_version\": 1"));
+    }
+
+    #[test]
+    fn messages_with_quotes_and_backticks_escape_cleanly() {
+        let allowlist = Allowlist::parse("no-unwrap crates/x.rs 1").expect("allowlist");
+        let report = AnalysisReport {
+            findings: vec![crate::Finding {
+                lint: "no-unwrap",
+                path: "crates/x.rs".into(),
+                line: 3,
+                message: "contains \"quotes\" and \\slashes\\".into(),
+            }],
+            edges: Vec::new(),
+            ratchet: crate::allowlist::check(&[], &Allowlist::default()),
+            files_scanned: 1,
+            unsafe_sites: Vec::new(),
+            hot_paths: Vec::new(),
+            graph_fns: 0,
+            graph_edges: 0,
+        };
+        let json = render_json(&report, &allowlist, &hot_path_config());
+        voyager_obs::json::validate(&json).expect("well-formed JSON");
+    }
+}

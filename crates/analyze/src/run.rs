@@ -2,8 +2,12 @@
 //! full gate pipeline used by both `main` and the self-test.
 
 use crate::allowlist::{self, Allowlist, RatchetReport};
+use crate::callgraph::CallGraph;
+use crate::hotpath::{self, HotPathConfig, RootReport};
 use crate::lockorder::{self, LockEdge};
+use crate::parse;
 use crate::policy::{self, PolicyConfig};
+use crate::unsafety::{self, UnsafeSite};
 use crate::{collect_rust_files, relative_path, Finding, SourceFile};
 use std::path::Path;
 
@@ -46,10 +50,73 @@ const WORKSPACE_ROOTS: &[&str] = &[
     "voyager_repro",
 ];
 
+/// Crates whose `src/` feeds the hot-path call graph: the serving and
+/// compute surface. Tooling crates (`analyze` itself, `obs`, `bench`)
+/// are excluded — their helpers share common method names (`parse`,
+/// `value`, `get`) and name-based resolution would wire them into the
+/// serving graph as false edges.
+const HOT_GRAPH_CRATES: &[&str] = &[
+    "tensor", "nn", "core", "prefetch", "distill", "runtime", "sim", "trace",
+];
+
+/// Function names whose latency budget forbids heap allocation: the
+/// arena-backed inference entry points (PR 5), the distilled-table
+/// lookup (PR 6), every `Prefetcher::access` impl (PR 3's
+/// caller-scratch contract), the microbatch compute loop, and the GEMM
+/// kernels under everything.
+const HOT_ROOTS: &[&str] = &[
+    "predict_fast",
+    "predict_int8",
+    "predict_quiet",
+    "access",
+    "forward_batch",
+    "gemm",
+    "gemm_acc",
+    "gemm_i8",
+];
+
+/// Modules whose entire purpose is amortized allocation: the inference
+/// arena and the bounded-heap top-k scratch. They are the sanctioned
+/// mechanism the hot paths lean on, so the walk neither flags nor
+/// enters them.
+const SANCTIONED_MODULES: &[&str] = &["crates/tensor/src/infer.rs", "crates/tensor/src/topk.rs"];
+
+/// Result materializers at the API boundary: they build the returned
+/// `Vec` (the measured 72 B/call of `predict_fast`) but everything
+/// they call must still be allocation-free. This list is pinned by the
+/// workspace gate test so it can only grow deliberately.
+const SANCTIONED_FNS: &[&str] = &[
+    "rank_row",
+    "rank_from_arena",
+    "predict_quiet",
+    "ranked_candidates",
+    "forward_table",
+];
+
+/// Calls the hot-path walk does not enter: `predict` is the tape slow
+/// path the dispatcher may route to by explicit mode choice,
+/// `prepare_int8` is one-time lazy quantization setup, and
+/// `reshape_for_output` reallocates only when the output shape
+/// changes — steady-state serving reuses the buffer.
+const BOUNDARY_FNS: &[&str] = &["predict", "prepare_int8", "reshape_for_output"];
+
+/// The workspace hot-path configuration (also serialized into the
+/// `--json` report so CI consumers see the exemption surface).
+pub fn hot_path_config() -> HotPathConfig {
+    let own = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+    HotPathConfig {
+        roots: own(HOT_ROOTS),
+        sanctioned_modules: own(SANCTIONED_MODULES),
+        sanctioned_fns: own(SANCTIONED_FNS),
+        boundary_fns: own(BOUNDARY_FNS),
+    }
+}
+
 /// Everything the analysis produced, before and after the ratchet.
 #[derive(Debug)]
 pub struct AnalysisReport {
-    /// Every raw finding (policy + lock passes), allowlisted or not.
+    /// Every raw finding (policy + lock + reachability passes),
+    /// allowlisted or not.
     pub findings: Vec<Finding>,
     /// All nested-acquisition edges seen (for `--graph`).
     pub edges: Vec<LockEdge>,
@@ -57,6 +124,15 @@ pub struct AnalysisReport {
     pub ratchet: RatchetReport,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Every non-test `unsafe` site in the workspace (documented or
+    /// not) — the audit inventory.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// Per-root hot-path reachability summaries.
+    pub hot_paths: Vec<RootReport>,
+    /// Functions in the intra-workspace call graph.
+    pub graph_fns: usize,
+    /// Resolved call edges in the intra-workspace call graph.
+    pub graph_edges: usize,
 }
 
 impl AnalysisReport {
@@ -119,6 +195,8 @@ pub fn analyze_workspace(root: &Path, allowlist: &Allowlist) -> std::io::Result<
     let mut findings = Vec::new();
     let mut edges = Vec::new();
     let mut files_scanned = 0usize;
+    let mut unsafe_sites = Vec::new();
+    let mut graph_fns_src = Vec::new();
     for path in &files {
         let rel = relative_path(root, path);
         // Lint-violation fixtures are inputs to the analyzer's own
@@ -133,8 +211,27 @@ pub fn analyze_workspace(root: &Path, allowlist: &Allowlist) -> std::io::Result<
         let (file_edges, recv_findings) = lockorder::extract(&file);
         edges.extend(file_edges);
         findings.extend(recv_findings);
+        let (unsafe_findings, sites) = unsafety::check(&file);
+        findings.extend(unsafe_findings);
+        unsafe_sites.extend(sites);
+        // The call graph covers the serving/compute crates' `src/`.
+        // Integration tests define helpers with arbitrary names and
+        // would pollute root-name matching; tooling crates would wire
+        // in false edges through common method names.
+        let in_hot_graph = HOT_GRAPH_CRATES.iter().any(|c| {
+            rel.strip_prefix("crates/")
+                .and_then(|r| r.strip_prefix(c))
+                .is_some_and(|r| r.starts_with("/src/"))
+        });
+        if in_hot_graph {
+            graph_fns_src.extend(parse::parse_fns(&file));
+        }
     }
     findings.extend(lockorder::find_cycles(&edges));
+    let graph = CallGraph::build(graph_fns_src);
+    let hot_cfg = hot_path_config();
+    let (hot_findings, hot_paths) = hotpath::check(&graph, &hot_cfg);
+    findings.extend(hot_findings);
     findings.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
     let ratchet = allowlist::check(&findings, allowlist);
     Ok(AnalysisReport {
@@ -142,6 +239,10 @@ pub fn analyze_workspace(root: &Path, allowlist: &Allowlist) -> std::io::Result<
         edges,
         ratchet,
         files_scanned,
+        unsafe_sites,
+        hot_paths,
+        graph_fns: graph.fns.len(),
+        graph_edges: graph.edge_count(),
     })
 }
 

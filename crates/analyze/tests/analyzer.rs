@@ -9,10 +9,13 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 use voyager_analyze::allowlist::{self, Allowlist};
-use voyager_analyze::lockorder;
+use voyager_analyze::callgraph::CallGraph;
+use voyager_analyze::hotpath::{self, HotPathConfig};
+use voyager_analyze::parse::parse_fns;
 use voyager_analyze::policy::{self, PolicyConfig};
-use voyager_analyze::run::{analyze_workspace, load_allowlist};
-use voyager_analyze::SourceFile;
+use voyager_analyze::report::render_json;
+use voyager_analyze::run::{analyze_workspace, hot_path_config, load_allowlist};
+use voyager_analyze::{lockorder, unsafety, SourceFile};
 
 fn fixtures() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -29,6 +32,8 @@ fn lints_in(name: &str) -> Vec<&'static str> {
     let (edges, recv) = lockorder::extract(&file);
     lints.extend(recv.iter().map(|f| f.lint));
     lints.extend(lockorder::find_cycles(&edges).iter().map(|f| f.lint));
+    let (unsafe_findings, _) = unsafety::check(&file);
+    lints.extend(unsafe_findings.iter().map(|f| f.lint));
     lints.sort_unstable();
     lints.dedup();
     lints
@@ -47,9 +52,33 @@ fn each_fixture_trips_exactly_its_lint() {
         ("missing_docs.rs", "missing-docs"),
         ("lock_inversion.rs", "lock-cycle"),
         ("recv_under_lock.rs", "recv-under-lock"),
+        ("unsafe_no_safety.rs", "unsafe-audit"),
+        ("hash_iteration.rs", "hash-iteration"),
     ] {
         assert_eq!(lints_in(file), vec![lint], "fixture {file}");
     }
+}
+
+#[test]
+fn alloc_hot_path_fixture_reports_the_chain() {
+    let source = std::fs::read_to_string(fixtures().join("alloc_hot_path.rs")).unwrap();
+    let file = SourceFile::parse("alloc_hot_path.rs", &source);
+    let graph = CallGraph::build(parse_fns(&file));
+    let cfg = HotPathConfig {
+        roots: vec!["hot_lookup".into()],
+        ..HotPathConfig::default()
+    };
+    let (findings, reports) = hotpath::check(&graph, &cfg);
+    // The `out.push` on the `&mut` parameter is legal; only the
+    // transitive `vec!` is flagged, with its chain.
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].lint, "alloc-in-hot-path");
+    assert!(
+        findings[0].message.contains("hot_lookup → helper"),
+        "{}",
+        findings[0].message
+    );
+    assert_eq!(reports[0].matched, 1);
 }
 
 #[test]
@@ -105,4 +134,94 @@ fn real_workspace_passes_the_gate() {
     );
     // Sanity: the scan actually covered the workspace.
     assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+    // The allowlist is a shrink-only ratchet; it must never grow past
+    // the single grandfathered entry.
+    assert!(
+        allowlist.total() <= 1,
+        "allowlist grew: {}",
+        allowlist.total()
+    );
+}
+
+#[test]
+fn real_workspace_hot_roots_are_allocation_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze_workspace(&root, &load_allowlist(&root).unwrap()).unwrap();
+    let allocs: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.lint == "alloc-in-hot-path")
+        .collect();
+    assert!(allocs.is_empty(), "{allocs:#?}");
+    for r in &report.hot_paths {
+        // A rename in a serving crate must not silently detach a root
+        // from the gate.
+        assert!(r.matched > 0, "hot root `{}` matched no functions", r.root);
+        assert_eq!(r.violations, 0, "root `{}`", r.root);
+        assert!(r.reachable >= r.matched, "root `{}`", r.root);
+    }
+    // The graph really covers the serving/compute surface.
+    assert!(report.graph_fns > 400, "{} fns", report.graph_fns);
+    assert!(report.graph_edges > 1000, "{} edges", report.graph_edges);
+}
+
+#[test]
+fn real_workspace_unsafe_inventory_is_pinned_and_documented() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze_workspace(&root, &load_allowlist(&root).unwrap()).unwrap();
+    let undocumented: Vec<_> = report
+        .unsafe_sites
+        .iter()
+        .filter(|s| !s.has_safety_comment)
+        .collect();
+    assert!(undocumented.is_empty(), "{undocumented:#?}");
+    // The whole inventory is the two bench-bin counting allocators.
+    // A new `unsafe` site must be audited (SAFETY comment) and this
+    // pin updated deliberately.
+    assert_eq!(
+        report.unsafe_sites.len(),
+        10,
+        "unsafe inventory changed: {:#?}",
+        report.unsafe_sites
+    );
+    assert!(report
+        .unsafe_sites
+        .iter()
+        .all(|s| s.path.starts_with("crates/bench/src/bin/")));
+}
+
+#[test]
+fn real_workspace_json_report_validates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allowlist = load_allowlist(&root).unwrap();
+    let report = analyze_workspace(&root, &allowlist).unwrap();
+    let json = render_json(&report, &allowlist, &hot_path_config());
+    voyager_obs::json::validate(&json).expect("well-formed JSON");
+    assert!(json.contains("\"clean\": true"));
+    assert!(json.contains("\"schema_version\": 1"));
+}
+
+#[test]
+fn sanctioned_surface_is_pinned() {
+    // These lists are exemptions from the hot-path walk; growing them
+    // weakens the gate and must be a reviewed, deliberate change.
+    let cfg = hot_path_config();
+    assert_eq!(
+        cfg.sanctioned_fns,
+        [
+            "rank_row",
+            "rank_from_arena",
+            "predict_quiet",
+            "ranked_candidates",
+            "forward_table"
+        ]
+    );
+    assert_eq!(
+        cfg.boundary_fns,
+        ["predict", "prepare_int8", "reshape_for_output"]
+    );
+    assert_eq!(
+        cfg.sanctioned_modules,
+        ["crates/tensor/src/infer.rs", "crates/tensor/src/topk.rs"]
+    );
 }

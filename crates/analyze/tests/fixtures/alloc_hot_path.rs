@@ -1,0 +1,12 @@
+//! Fixture: a hot root reaching a fresh allocation two calls deep
+//! trips `alloc-in-hot-path` with the full call chain. The `out.push`
+//! on the `&mut` parameter is the caller-scratch idiom and is legal.
+
+fn hot_lookup(out: &mut Vec<u64>) {
+    out.push(1);
+    helper();
+}
+
+fn helper() {
+    let _v = vec![0u8; 4];
+}

@@ -1,0 +1,12 @@
+//! Fixture: iterating a `HashMap` trips `hash-iteration`; membership
+//! probes on the same map do not.
+
+use std::collections::HashMap;
+
+fn _sum(m: &HashMap<u64, u32>) -> u32 {
+    let mut total = 0;
+    for (_, v) in m.iter() {
+        total += v;
+    }
+    total + m.get(&0).copied().unwrap_or(0)
+}

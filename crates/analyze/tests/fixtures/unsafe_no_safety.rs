@@ -1,0 +1,7 @@
+//! Fixture: an `unsafe` block without an adjacent `// SAFETY:` comment
+//! trips `unsafe-audit`.
+
+fn _peek(v: &[u8]) -> u8 {
+    let p = v.as_ptr();
+    unsafe { *p }
+}

@@ -31,13 +31,25 @@ struct CountingAlloc;
 
 static HEAP_BYTES: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System`; the only added behavior is a
+// relaxed atomic counter bump, which cannot violate the `GlobalAlloc`
+// contract (no reentrancy into the allocator, layouts forwarded
+// unchanged).
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to `System` with the caller's layout unchanged;
+    // the counter bump is a relaxed atomic and cannot re-enter the
+    // allocator.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         HEAP_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's layout, forwarded unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: pure pass-through; `ptr`/`layout` reach `System` exactly
+    // as the caller provided them.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from a matching `alloc` call and
+        // are forwarded unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

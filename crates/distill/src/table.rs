@@ -200,13 +200,13 @@ impl CandidateTable {
     }
 
     fn slots(&self, b: usize) -> (&[u32], &[f32]) {
-        let r = b * self.topk..(b + 1) * self.topk;
-        (&self.tokens[r.clone()], &self.weights[r])
+        let (lo, hi) = (b * self.topk, (b + 1) * self.topk);
+        (&self.tokens[lo..hi], &self.weights[lo..hi])
     }
 
     fn slots_mut(&mut self, b: usize) -> (&mut [u32], &mut [f32]) {
-        let r = b * self.topk..(b + 1) * self.topk;
-        (&mut self.tokens[r.clone()], &mut self.weights[r.clone()])
+        let (lo, hi) = (b * self.topk, (b + 1) * self.topk);
+        (&mut self.tokens[lo..hi], &mut self.weights[lo..hi])
     }
 
     /// Merges soft labels into an entry's candidate slots: accumulate

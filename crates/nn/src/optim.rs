@@ -1,7 +1,7 @@
 //! Adam optimizer with gradient clipping, learning-rate decay and lazy
 //! (sparse) embedding updates.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use voyager_tensor::Tensor2;
 
@@ -24,7 +24,7 @@ pub struct Adam {
     eps: f32,
     max_grad_norm: Option<f32>,
     t: u64,
-    moments: HashMap<ParamId, (Tensor2, Tensor2)>,
+    moments: BTreeMap<ParamId, (Tensor2, Tensor2)>,
 }
 
 impl Adam {
@@ -39,7 +39,7 @@ impl Adam {
             eps: 1e-8,
             max_grad_norm: Some(5.0),
             t: 0,
-            moments: HashMap::new(),
+            moments: BTreeMap::new(),
         }
     }
 
@@ -91,15 +91,14 @@ impl Adam {
     }
 
     /// Clones the optimizer's mutable state (learning rate, step count,
-    /// per-parameter moments) for checkpointing. Moments are sorted by
-    /// parameter index so the export is deterministic.
+    /// per-parameter moments) for checkpointing. The moment map is
+    /// ordered by parameter index, so the export is deterministic.
     pub fn export_state(&self) -> AdamState {
-        let mut moments: Vec<(usize, Tensor2, Tensor2)> = self
+        let moments: Vec<(usize, Tensor2, Tensor2)> = self
             .moments
             .iter()
             .map(|(id, (m, v))| (id.0, m.clone(), v.clone()))
             .collect();
-        moments.sort_by_key(|(i, _, _)| *i);
         AdamState {
             lr: self.lr,
             steps: self.t,
@@ -178,7 +177,7 @@ impl Adam {
         };
         // Coalesce duplicate rows first so a row gathered k times gets a
         // single combined update (matching dense semantics).
-        let mut combined: HashMap<usize, Vec<f32>> = HashMap::new();
+        let mut combined: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
         for (i, &r) in rows.iter().enumerate() {
             let entry = combined.entry(r).or_insert_with(|| vec![0.0; cols]);
             for (e, &g) in entry.iter_mut().zip(grad.row(i)) {

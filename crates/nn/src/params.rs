@@ -6,7 +6,7 @@ use crate::grads::{GradEntry, GradSet};
 use crate::Adam;
 
 /// Identifier of a parameter tensor inside a [`ParamStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ParamId(pub(crate) usize);
 
 /// Named collection of trainable parameter tensors.

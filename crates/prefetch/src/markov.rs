@@ -1,6 +1,6 @@
 //! Markov prefetching (Joseph & Grunwald, ISCA 1997).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use voyager_trace::MemoryAccess;
 
@@ -19,7 +19,7 @@ const SUCCESSORS: usize = 4;
 /// framing (Eq. 2) makes explicit.
 #[derive(Debug, Default)]
 pub struct Markov {
-    table: HashMap<u64, Vec<(u64, u32)>>,
+    table: BTreeMap<u64, Vec<(u64, u32)>>,
     prev: Option<u64>,
     degree: usize,
 }
@@ -28,9 +28,33 @@ impl Markov {
     /// Creates a Markov prefetcher with degree 1.
     pub fn new() -> Self {
         Markov {
-            table: HashMap::new(),
+            table: BTreeMap::new(),
             prev: None,
             degree: 1,
+        }
+    }
+}
+
+/// Bumps the `-> line` edge in one entry's successor set, evicting the
+/// weakest successor when the set is full. The set is bounded by
+/// [`SUCCESSORS`], so this is amortized table growth, not a per-access
+/// allocation.
+fn train(succ: &mut Vec<(u64, u32)>, line: u64) {
+    match succ.iter_mut().find(|(l, _)| *l == line) {
+        Some((_, c)) => *c = c.saturating_add(1),
+        None => {
+            if succ.len() == SUCCESSORS {
+                // Evict the weakest successor.
+                if let Some(min) = succ
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, c))| *c)
+                    .map(|(i, _)| i)
+                {
+                    succ.remove(min);
+                }
+            }
+            succ.push((line, 1));
         }
     }
 }
@@ -45,31 +69,34 @@ impl Prefetcher for Markov {
         let line = access.line();
         // Train: bump the (prev -> line) edge.
         if let Some(prev) = self.prev {
-            let succ = self.table.entry(prev).or_default();
-            match succ.iter_mut().find(|(l, _)| *l == line) {
-                Some((_, c)) => *c = c.saturating_add(1),
-                None => {
-                    if succ.len() == SUCCESSORS {
-                        // Evict the weakest successor.
-                        if let Some(min) = succ
-                            .iter()
-                            .enumerate()
-                            .min_by_key(|(_, (_, c))| *c)
-                            .map(|(i, _)| i)
-                        {
-                            succ.remove(min);
-                        }
-                    }
-                    succ.push((line, 1));
-                }
-            }
+            train(self.table.entry(prev).or_default(), line);
         }
         self.prev = Some(line);
-        // Predict: successors of the current line by descending count.
+        // Predict: successors of the current line by descending count,
+        // selected in place (the set is at most SUCCESSORS wide) so the
+        // hot path never clones the entry.
         if let Some(succ) = self.table.get(&line) {
-            let mut ranked = succ.clone();
-            ranked.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
-            out.extend(ranked.into_iter().take(self.degree).map(|(l, _)| l));
+            for _ in 0..self.degree.min(succ.len()) {
+                let mut best: Option<(u64, u32)> = None;
+                for &(l, c) in succ {
+                    if out.contains(&l) {
+                        continue;
+                    }
+                    let beats = match best {
+                        // Ties break toward insertion order (earlier
+                        // entries win), matching the old stable sort.
+                        Some((_, bc)) => c > bc,
+                        None => true,
+                    };
+                    if beats {
+                        best = Some((l, c));
+                    }
+                }
+                match best {
+                    Some((l, _)) => out.push(l),
+                    None => break,
+                }
+            }
         }
     }
 

@@ -1,7 +1,7 @@
 //! VLDP: the Variable Length Delta Prefetcher (Shevgoor et al., MICRO
 //! 2015).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use voyager_trace::{page_of, MemoryAccess};
 
@@ -10,11 +10,34 @@ use crate::Prefetcher;
 /// Longest delta history matched by the prediction tables.
 const MAX_HISTORY: usize = 3;
 
-#[derive(Debug, Clone)]
+/// Fixed-width delta history, newest last, right-aligned and
+/// zero-padded at the front. Recorded deltas are never zero, so the
+/// padding is unambiguous.
+type History = [i64; MAX_HISTORY];
+
+#[derive(Debug, Clone, Copy)]
 struct PageState {
     last_line: u64,
-    /// Most recent deltas, newest last.
-    history: Vec<i64>,
+    history: History,
+    /// How many trailing entries of `history` are valid deltas.
+    len: usize,
+}
+
+/// Shifts `delta` into the newest slot of `history`.
+fn push_delta(history: &mut History, len: &mut usize, delta: i64) {
+    for i in 0..MAX_HISTORY - 1 {
+        history[i] = history[i + 1];
+    }
+    history[MAX_HISTORY - 1] = delta;
+    *len = (*len + 1).min(MAX_HISTORY);
+}
+
+/// The newest `len` deltas of `history` as a right-aligned, zero-padded
+/// table key.
+fn key_of(history: &History, len: usize) -> History {
+    let mut key = [0i64; MAX_HISTORY];
+    key[MAX_HISTORY - len..].copy_from_slice(&history[MAX_HISTORY - len..]);
+    key
 }
 
 /// Idealized VLDP: per page it tracks the recent *delta history* and
@@ -23,11 +46,17 @@ struct PageState {
 /// `P(delta_{t+1} | delta_{t-n} .. delta_t)` (the paper's Eq. 7). This
 /// captures recurring multi-delta patterns (e.g. +1,+1,+5) that a
 /// single-stride prefetcher cannot.
+///
+/// Histories are fixed-width arrays and the tables are keyed by those
+/// arrays directly, so `access` does no per-access heap allocation
+/// (the caller-scratch contract) and table iteration order is
+/// deterministic.
 #[derive(Debug, Default)]
 pub struct Vldp {
     pages: HashMap<u64, PageState>,
-    /// One table per history length: history (newest last) -> next delta.
-    tables: Vec<HashMap<Vec<i64>, i64>>,
+    /// One table per history length: history key (newest last) -> next
+    /// delta.
+    tables: Vec<BTreeMap<History, i64>>,
     degree: usize,
 }
 
@@ -36,16 +65,15 @@ impl Vldp {
     pub fn new() -> Self {
         Vldp {
             pages: HashMap::new(),
-            tables: (0..MAX_HISTORY).map(|_| HashMap::new()).collect(),
+            tables: (0..MAX_HISTORY).map(|_| BTreeMap::new()).collect(),
             degree: 1,
         }
     }
 
-    fn predict_delta(&self, history: &[i64]) -> Option<i64> {
+    fn predict_delta(&self, history: &History, len: usize) -> Option<i64> {
         // Longest match first.
-        for len in (1..=history.len().min(MAX_HISTORY)).rev() {
-            let key = history[history.len() - len..].to_vec();
-            if let Some(&d) = self.tables[len - 1].get(&key) {
+        for l in (1..=len.min(MAX_HISTORY)).rev() {
+            if let Some(&d) = self.tables[l - 1].get(&key_of(history, l)) {
                 return Some(d);
             }
         }
@@ -62,36 +90,33 @@ impl Prefetcher for Vldp {
         out.clear();
         let line = access.line();
         let page = page_of(access.addr);
-        let state = self.pages.entry(page).or_insert(PageState {
+        // `PageState` is `Copy`: work on a copy and write it back, so
+        // the page-table borrow does not overlap the delta tables'.
+        let mut state = *self.pages.entry(page).or_insert(PageState {
             last_line: line,
-            history: Vec::new(),
+            history: [0; MAX_HISTORY],
+            len: 0,
         });
         let delta = line as i64 - state.last_line as i64;
         if delta != 0 {
             // Train every history length with the observed next delta.
-            for len in 1..=state.history.len().min(MAX_HISTORY) {
-                let key = state.history[state.history.len() - len..].to_vec();
-                self.tables[len - 1].insert(key, delta);
+            for l in 1..=state.len.min(MAX_HISTORY) {
+                self.tables[l - 1].insert(key_of(&state.history, l), delta);
             }
-            state.history.push(delta);
-            if state.history.len() > MAX_HISTORY {
-                state.history.remove(0);
-            }
+            push_delta(&mut state.history, &mut state.len, delta);
             state.last_line = line;
+            self.pages.insert(page, state);
         }
         // Predict: walk forward applying predicted deltas.
-        let mut h = self.pages[&page].history.clone();
+        let (mut h, mut len) = (state.history, state.len);
         let mut cur = line;
         for _ in 0..self.degree {
-            match self.predict_delta(&h) {
+            match self.predict_delta(&h, len) {
                 Some(d) => match cur.checked_add_signed(d) {
                     Some(next) => {
                         out.push(next);
                         cur = next;
-                        h.push(d);
-                        if h.len() > MAX_HISTORY {
-                            h.remove(0);
-                        }
+                        push_delta(&mut h, &mut len, d);
                     }
                     None => break,
                 },

@@ -177,10 +177,11 @@ impl Cache {
         }
         self.stamp += 1;
         let range = self.set_range(line);
+        let (lo, hi) = (range.start, range.end);
         let stamp = self.stamp;
         let victim_idx = match self.policy {
             ReplacementPolicy::Lru => {
-                let set = &self.lines[range.clone()];
+                let set = &self.lines[lo..hi];
                 set.iter()
                     .enumerate()
                     .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
@@ -192,17 +193,17 @@ impl Cache {
                 // Find an invalid way or a line with RRPV_MAX, aging the
                 // set until one exists.
                 loop {
-                    let set = &self.lines[range.clone()];
+                    let set = &self.lines[lo..hi];
                     if let Some(i) = set.iter().position(|l| !l.valid || l.rrpv == RRPV_MAX) {
                         break i;
                     }
-                    for l in &mut self.lines[range.clone()] {
+                    for l in &mut self.lines[lo..hi] {
                         l.rrpv = (l.rrpv + 1).min(RRPV_MAX);
                     }
                 }
             }
         };
-        let victim = &mut self.lines[range][victim_idx];
+        let victim = &mut self.lines[lo..hi][victim_idx];
         if victim.valid && victim.prefetched {
             self.prefetches_evicted_unused += 1;
         }

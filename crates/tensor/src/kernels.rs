@@ -255,9 +255,9 @@ fn gemm_rows_impl(
     while jc < n {
         let nc = NC.min(n - jc);
         match layout {
-            Layout::NN => block_nn(a, b, k, n, rows.clone(), jc, nc, out_rows, acc),
-            Layout::TN => block_tn(a, b, m, k, n, rows.clone(), jc, nc, out_rows, acc),
-            Layout::NT => block_nt(a, b, k, n, rows.clone(), jc, nc, out_rows, acc),
+            Layout::NN => block_nn(a, b, k, n, rows.start..rows.end, jc, nc, out_rows, acc),
+            Layout::TN => block_tn(a, b, m, k, n, rows.start..rows.end, jc, nc, out_rows, acc),
+            Layout::NT => block_nt(a, b, k, n, rows.start..rows.end, jc, nc, out_rows, acc),
         }
         jc += nc;
     }
@@ -488,7 +488,7 @@ fn naive_gemm_rows(
     let (m, n, k) = gemm_dims(a, b, layout);
     check_rows(m, n, &rows, out_rows.len());
     let (a, b) = (a.as_slice(), b.as_slice());
-    for i in rows.clone() {
+    for i in rows.start..rows.end {
         let out_row = &mut out_rows[(i - rows.start) * n..(i - rows.start + 1) * n];
         for (j, o) in out_row.iter_mut().enumerate() {
             let mut s = 0.0f32;

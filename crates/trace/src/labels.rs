@@ -8,7 +8,7 @@
 //! address in a small future window — and lets the model pick whichever
 //! is most predictable.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::Trace;
 
@@ -152,8 +152,8 @@ pub fn compute_labels(trace: &Trace) -> Vec<LabelSet> {
 
     // PC and basic-block localization: reverse scan with "next index by
     // key" maps.
-    let mut next_by_pc: HashMap<u64, u32> = HashMap::new();
-    let mut next_by_bb: HashMap<u64, u32> = HashMap::new();
+    let mut next_by_pc: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut next_by_bb: BTreeMap<u64, u32> = BTreeMap::new();
     for i in (0..n).rev() {
         let a = &trace[i];
         labels[i].pc = next_by_pc.get(&a.pc).copied();
@@ -183,7 +183,7 @@ pub fn compute_labels(trace: &Trace) -> Vec<LabelSet> {
         if i + 1 >= end {
             continue;
         }
-        let mut counts: HashMap<u64, (u32, u32)> = HashMap::new(); // line -> (count, first idx)
+        let mut counts: BTreeMap<u64, (u32, u32)> = BTreeMap::new(); // line -> (count, first idx)
         for j in i + 1..end {
             if trace[j].line() == trace[i].line() {
                 continue;

@@ -8,7 +8,7 @@
 //! of the trace. Replaying only the SimPoints approximates whole-trace
 //! behaviour at a fraction of the cost.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::labels::basic_block_of;
 use crate::Trace;
@@ -95,12 +95,14 @@ pub fn sample_trace(trace: &Trace, points: &[SimPoint]) -> Trace {
     out
 }
 
-type Bbv = HashMap<u64, f64>;
+// `BTreeMap` so float accumulation in `distance`/`centroids_of` visits
+// keys in a fixed order: k-means results are bitwise-reproducible.
+type Bbv = BTreeMap<u64, f64>;
 
 fn basic_block_vectors(trace: &Trace, interval_len: usize) -> Vec<Bbv> {
     let mut vectors = Vec::new();
     for chunk in trace.as_slice().chunks(interval_len) {
-        let mut v: Bbv = HashMap::new();
+        let mut v: Bbv = BTreeMap::new();
         for a in chunk {
             *v.entry(basic_block_of(a.pc)).or_default() += 1.0;
         }
@@ -128,7 +130,7 @@ fn distance(a: &Bbv, b: &Bbv) -> f64 {
 }
 
 fn centroids_of(vectors: &[Bbv], assignment: &[usize], k: usize) -> Vec<Bbv> {
-    let mut centroids: Vec<Bbv> = vec![HashMap::new(); k];
+    let mut centroids: Vec<Bbv> = vec![BTreeMap::new(); k];
     let mut counts = vec![0usize; k];
     for (v, &c) in vectors.iter().zip(assignment) {
         counts[c] += 1;

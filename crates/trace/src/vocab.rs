@@ -10,7 +10,7 @@
 //! becomes the offset difference modulo 64. The paper finds that 10
 //! deltas cover 99% of mcf's compulsory misses.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::{MemoryAccess, Trace, OFFSETS_PER_PAGE};
 
@@ -106,9 +106,9 @@ pub struct Vocabulary {
 impl Vocabulary {
     /// Profiles `trace` and builds the vocabulary.
     pub fn build(trace: &Trace, config: &VocabConfig) -> Self {
-        let mut line_freq: HashMap<u64, u32> = HashMap::new();
-        let mut page_freq: HashMap<u64, u32> = HashMap::new();
-        let mut pc_freq: HashMap<u64, u32> = HashMap::new();
+        let mut line_freq: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut page_freq: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut pc_freq: BTreeMap<u64, u32> = BTreeMap::new();
         for a in trace {
             *line_freq.entry(a.line()).or_default() += 1;
             *page_freq.entry(a.page()).or_default() += 1;
@@ -125,7 +125,7 @@ impl Vocabulary {
 
         // Delta profiling: page deltas at the positions that will use the
         // delta representation (infrequent lines).
-        let mut delta_freq: HashMap<i64, u32> = HashMap::new();
+        let mut delta_freq: BTreeMap<i64, u32> = BTreeMap::new();
         let mut prev_page: Option<u64> = None;
         for a in trace {
             if let Some(prev) = prev_page {
@@ -304,7 +304,7 @@ impl Vocabulary {
     }
 }
 
-fn top_keys<K: Copy + Eq + std::hash::Hash + Ord>(freq: &HashMap<K, u32>, limit: usize) -> Vec<K> {
+fn top_keys<K: Copy + Ord>(freq: &BTreeMap<K, u32>, limit: usize) -> Vec<K> {
     let mut entries: Vec<(K, u32)> = freq.iter().map(|(&k, &v)| (k, v)).collect();
     // Sort by descending frequency, tie-break on key for determinism.
     entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));

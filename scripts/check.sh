@@ -14,6 +14,15 @@ run() {
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo run --release -p voyager-analyze
+
+# Machine-readable analyzer report: the binary validates the JSON
+# against the voyager_obs schema before printing, so a malformed
+# report fails here, not downstream.
+echo "==> cargo run --release -p voyager-analyze -- --json"
+mkdir -p target
+cargo run --release -p voyager-analyze -- --json > target/analyze.json
+echo "    wrote target/analyze.json"
+
 run cargo build --release
 run cargo test -q
 run cargo run --release -p voyager-bench --bin pr3_kernels -- --smoke
