@@ -26,6 +26,7 @@ const LIB_CRATES: &[&str] = &[
 const TIMING_MODULES: &[&str] = &[
     "crates/core/src/delta_lstm.rs",    // per-phase profiling counters
     "crates/core/src/online.rs",        // online-loop latency accounting
+    "crates/runtime/src/fleet.rs",      // shed-decision EWMA + latency
     "crates/runtime/src/microbatch.rs", // serving latency percentiles
     "crates/runtime/src/trainer.rs",    // wall-clock throughput report
     "crates/obs/src/clock.rs",          // MonotonicClock: the Clock
@@ -70,6 +71,7 @@ const HOT_ROOTS: &[&str] = &[
     "predict_quiet",
     "access",
     "forward_batch",
+    "route",
     "gemm",
     "gemm_acc",
     "gemm_i8",
@@ -95,10 +97,17 @@ const SANCTIONED_FNS: &[&str] = &[
 
 /// Calls the hot-path walk does not enter: `predict` is the tape slow
 /// path the dispatcher may route to by explicit mode choice,
-/// `prepare_int8` is one-time lazy quantization setup, and
+/// `prepare_int8` is one-time lazy quantization setup,
 /// `reshape_for_output` reallocates only when the output shape
-/// changes — steady-state serving reuses the buffer.
-const BOUNDARY_FNS: &[&str] = &["predict", "prepare_int8", "reshape_for_output"];
+/// changes — steady-state serving reuses the buffer — and
+/// `adopt_published` is the fleet hot-swap rebuild, which runs between
+/// batches only when a new model version was published.
+const BOUNDARY_FNS: &[&str] = &[
+    "predict",
+    "prepare_int8",
+    "reshape_for_output",
+    "adopt_published",
+];
 
 /// The workspace hot-path configuration (also serialized into the
 /// `--json` report so CI consumers see the exemption surface).

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use voyager::{SeqBatch, VoyagerConfig, VoyagerModel};
 use voyager_runtime::{
-    par_gemm, ChunkPool, InferenceRequest, MicrobatchConfig, MicrobatchServer, VoyagerService,
+    par_gemm, ChunkPool, InferenceRequest, MicrobatchConfig, MicrobatchServer, ServiceConfig,
 };
 use voyager_tensor::kernels::{self, Layout};
 use voyager_tensor::rng::thread_rng;
@@ -195,7 +195,9 @@ fn bench_serving(requests: usize) -> ServeNumbers {
     let cfg = VoyagerConfig::test();
     let page_vocab = 256;
     let model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
-    let service = VoyagerService::new(model, 2);
+    let service = ServiceConfig::new(2)
+        .build(model)
+        .expect("tape mode needs no tables");
     let (server, client) = MicrobatchServer::spawn(service, MicrobatchConfig::default());
     let clients = 4;
     std::thread::scope(|scope| {
@@ -206,6 +208,7 @@ fn bench_serving(requests: usize) -> ServeNumbers {
                 for i in 0..per_client {
                     let t = c * per_client + i;
                     let req = InferenceRequest {
+                        workload: Default::default(),
                         pc: (0..cfg.seq_len).map(|j| (t + j) % 64).collect(),
                         page: (0..cfg.seq_len).map(|j| (t * 3 + j) % page_vocab).collect(),
                         offset: (0..cfg.seq_len).map(|j| (t * 5 + j) % 64).collect(),

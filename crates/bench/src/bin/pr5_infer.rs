@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use voyager::{SeqBatch, VoyagerConfig, VoyagerModel};
 use voyager_runtime::{
-    InferenceRequest, MicrobatchConfig, MicrobatchServer, PredictMode, VoyagerService,
+    InferenceRequest, MicrobatchConfig, MicrobatchServer, PredictMode, ServiceConfig,
 };
 use voyager_tensor::{infer, kernels};
 
@@ -73,6 +73,7 @@ fn serve_config() -> (VoyagerConfig, usize) {
 
 fn request(t: usize, seq_len: usize, page_vocab: usize) -> InferenceRequest {
     InferenceRequest {
+        workload: Default::default(),
         pc: (0..seq_len).map(|j| (t + j) % 64).collect(),
         page: (0..seq_len).map(|j| (t * 3 + j) % page_vocab).collect(),
         offset: (0..seq_len).map(|j| (t * 5 + j) % 64).collect(),
@@ -104,7 +105,10 @@ struct PathNumbers {
 fn bench_serving(mode: PredictMode, requests: usize) -> PathNumbers {
     let (cfg, page_vocab) = serve_config();
     let model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
-    let service = VoyagerService::with_mode(model, 2, mode);
+    let service = ServiceConfig::new(2)
+        .mode(mode)
+        .build(model)
+        .expect("neural modes need no tables");
     let mb = MicrobatchConfig {
         max_batch: 1,
         max_delay: Duration::from_millis(1),

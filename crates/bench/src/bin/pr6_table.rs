@@ -21,7 +21,7 @@ use std::time::Duration;
 use voyager::{SeqBatch, VoyagerConfig, VoyagerModel};
 use voyager_distill::{distill, DistillReport, TableConfig};
 use voyager_runtime::{
-    InferenceRequest, MicrobatchConfig, MicrobatchServer, PredictMode, VoyagerService,
+    InferenceRequest, MicrobatchConfig, MicrobatchServer, PredictMode, ServiceConfig,
 };
 
 /// System allocator wrapped with a relaxed byte counter (same harness
@@ -73,6 +73,7 @@ fn serve_config() -> (VoyagerConfig, usize) {
 
 fn request(t: usize, seq_len: usize, page_vocab: usize) -> InferenceRequest {
     InferenceRequest {
+        workload: Default::default(),
         pc: (0..seq_len).map(|j| (t + j) % 64).collect(),
         page: (0..seq_len).map(|j| (t * 3 + j) % page_vocab).collect(),
         offset: (0..seq_len).map(|j| (t * 5 + j) % 64).collect(),
@@ -135,9 +136,16 @@ fn bench_serving(
             &TableConfig::for_budget(1 << 20),
         );
         table_info = Some(report);
-        VoyagerService::with_tables(model, 2, tables)
+        ServiceConfig::new(2)
+            .mode(PredictMode::Table)
+            .tables(tables)
+            .build(model)
+            .expect("table mode with tables attached")
     } else {
-        VoyagerService::with_mode(model, 2, mode)
+        ServiceConfig::new(2)
+            .mode(mode)
+            .build(model)
+            .expect("neural modes need no tables")
     };
     let mb = MicrobatchConfig {
         max_batch: 1,

@@ -30,6 +30,16 @@
 //!     quantized one, `--mode table` through distilled lookup tables
 //!     (built from the stream's own windows; misses fall back to
 //!     int8); `tape` (default) is the reference path.
+//! voyagerctl fleet-bench [--shards N] [--clients C] [--requests R]
+//!                        [--depth D] [--slo-us S] [--train-steps T]
+//!     Spawn an N-shard multi-tenant fleet (shards cycle through the
+//!     table/int8/f32 serving tiers) over a versioned model registry,
+//!     drive it with C closed-loop clients per shard for R requests
+//!     each, hot-swap shard w0 to a freshly published v2 mid-run, and
+//!     print per-shard admitted/shed counts and p50/p99 latency.
+//!     `--depth` bounds each shard's queue and `--slo-us` sets the
+//!     admission-control latency objective — shrink them to watch the
+//!     fleet shed load instead of queueing without bound.
 //! voyagerctl metrics [--smoke] [--serve-mode int8|table]
 //!     Run a short sim + train + serve pipeline with the voyager-obs
 //!     observability layer enabled and dump the full metrics snapshot
@@ -45,18 +55,23 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use voyager::{
     DeltaLstm, DeltaLstmConfig, OnlineRun, SeqBatch, TrainingSet, VoyagerConfig, VoyagerModel,
 };
+use voyager_bench::fleet_demo;
 use voyager_obs::{Profiler, Registry};
 use voyager_prefetch::{
     BestOffset, Domino, Isb, IsbBoHybrid, IsbStructural, Markov, NextLine, Prefetcher, Sms, Stms,
     StridePc, Vldp,
 };
 use voyager_runtime::{
-    train_data_parallel, train_data_parallel_profiled, CheckpointManager, InferenceRequest,
-    MicrobatchConfig, MicrobatchServer, PredictMode, TrainerConfig, VoyagerService,
+    train_data_parallel, train_data_parallel_profiled, CheckpointManager, FleetConfig, FleetError,
+    FleetServer, InferenceRequest, MicrobatchConfig, MicrobatchServer, ModelRegistry, PredictMode,
+    ServiceConfig, TrainerConfig,
 };
 use voyager_sim::{llc_stream, unified_accuracy_coverage_windowed, SimConfig};
 use voyager_trace::gen::{Benchmark, GeneratorConfig};
@@ -75,9 +90,10 @@ fn main() -> ExitCode {
         Some("simpoints") => cmd_simpoints(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("serve-bench") => cmd_serve_bench(&args[1..]),
+        Some("fleet-bench") => cmd_fleet_bench(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
         _ => {
-            eprintln!("usage: voyagerctl <gen|stats|filter|run|simpoints|train|serve-bench|metrics> ... (see --help in the module docs)");
+            eprintln!("usage: voyagerctl <gen|stats|filter|run|simpoints|train|serve-bench|fleet-bench|metrics> ... (see --help in the module docs)");
             return ExitCode::from(2);
         }
     };
@@ -338,6 +354,7 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
         .map(|t| {
             let w = &tokens[t + 1 - cfg.seq_len..=t];
             InferenceRequest {
+                workload: Default::default(),
                 pc: w.iter().map(|a| a.pc as usize).collect(),
                 page: w.iter().map(|a| a.page as usize).collect(),
                 offset: w.iter().map(|a| a.offset as usize).collect(),
@@ -372,9 +389,16 @@ fn cmd_serve_bench(args: &[String]) -> CliResult {
                 .hit_rate
                 .map_or_else(|| "n/a".to_string(), |r| format!("{r:.3}")),
         );
-        VoyagerService::with_tables(model, degree, tables)
+        ServiceConfig::new(degree)
+            .mode(PredictMode::Table)
+            .tables(tables)
+            .build(model)
+            .expect("table mode with tables attached")
     } else {
-        VoyagerService::with_mode(model, degree, mode)
+        ServiceConfig::new(degree)
+            .mode(mode)
+            .build(model)
+            .expect("neural modes need no tables")
     };
     let (server, client) = MicrobatchServer::spawn(service, mb);
     let per_client = requests.div_ceil(clients);
@@ -427,6 +451,145 @@ fn windows_to_corpus(windows: &[InferenceRequest], cap: usize) -> SeqBatch {
 /// training, microbatched serving) with every observability hook
 /// enabled, folds the results into one [`Registry`] snapshot, and
 /// prints the validated JSON dump on stdout.
+fn cmd_fleet_bench(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let shards_n: usize = flags
+        .get("shards")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(4)
+        .max(1);
+    let clients: usize = flags
+        .get("clients")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(4)
+        .max(1);
+    let requests: usize = flags
+        .get("requests")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(200)
+        .max(1);
+    let depth: usize = flags
+        .get("depth")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(1024);
+    let slo_us: u64 = flags
+        .get("slo-us")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(250_000);
+    let train_steps: usize = flags
+        .get("train-steps")
+        .map(|v| v.parse())
+        .transpose()?
+        .unwrap_or(40);
+    const DISTILL_WINDOWS: usize = 16;
+
+    let shards = fleet_demo::default_shards(shards_n);
+    let registry = Arc::new(ModelRegistry::new());
+    println!("training and publishing v1 for {shards_n} shard(s)...");
+    fleet_demo::publish_all(&registry, &shards, train_steps, DISTILL_WINDOWS);
+    let cfg = FleetConfig {
+        microbatch: MicrobatchConfig {
+            max_batch: 8,
+            max_delay: Duration::from_micros(200),
+        },
+        max_queue_depth: depth,
+        slo: Duration::from_micros(slo_us),
+    };
+    let (server, client) = FleetServer::spawn(&registry, &shards, &cfg)?;
+    println!(
+        "fleet up: {shards_n} shard(s), {clients} client(s)/shard x {requests} request(s), queue depth {depth}, SLO {slo_us} us"
+    );
+
+    // v2 for the first shard, trained before load starts so the
+    // mid-run publish is just a serialize + atomic version bump.
+    let swap_workload = shards[0].workload;
+    let mut v2 = fleet_demo::trained_model(swap_workload, train_steps, 1);
+    let v2_tables = fleet_demo::tables_for(&mut v2, swap_workload, DISTILL_WINDOWS);
+
+    let offered = shards_n * clients * requests;
+    let completed = Arc::new(AtomicUsize::new(0));
+    let stopped = AtomicUsize::new(0);
+    std::thread::scope(|scope| -> CliResult {
+        for shard in &shards {
+            for c in 0..clients {
+                let client = client.clone();
+                let workload = shard.workload;
+                let completed = completed.clone();
+                let stopped = &stopped;
+                scope.spawn(move || {
+                    for i in 0..requests {
+                        match client.infer(fleet_demo::request(workload, c * requests + i)) {
+                            // Sheds are the expected overload outcome
+                            // and land on the fleet's counters.
+                            Ok(_) | Err(FleetError::Shed(_)) => {}
+                            Err(_) => {
+                                stopped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        }
+        while completed.load(Ordering::Relaxed) < offered / 4 {
+            std::thread::yield_now();
+        }
+        let version = registry.publish(
+            swap_workload,
+            &fleet_demo::model_spec(),
+            &v2,
+            Some(v2_tables),
+        )?;
+        println!("published {version} for shard {swap_workload} mid-run");
+        Ok(())
+    })?;
+    drop(client);
+    let stats = server.join();
+    if stopped.load(Ordering::Relaxed) > 0 {
+        return Err("a shard server stopped while clients were streaming".into());
+    }
+
+    println!(
+        "\n{:<8} {:>9} {:>10} {:>12} {:>12} {:>10} {:>10} {:>4} {:>6}",
+        "shard", "mode", "admitted", "shed:queue", "shed:slo", "p50_us", "p99_us", "ver", "swaps"
+    );
+    for (report, spec) in stats.shards.iter().zip(&shards) {
+        println!(
+            "{:<8} {:>9} {:>10} {:>12} {:>12} {:>10.0} {:>10.0} {:>4} {:>6}",
+            report.name,
+            format!("{:?}", spec.mode).to_lowercase(),
+            report.admitted,
+            report.shed_queue_full,
+            report.shed_deadline,
+            report.latency.quantile(0.5) as f64 / 1e3,
+            report.latency.quantile(0.99) as f64 / 1e3,
+            report.version,
+            report.swaps,
+        );
+    }
+    let shed = stats.shed();
+    println!(
+        "\ntotal: offered {offered}, admitted {}, shed {} ({:.1}%)",
+        stats.admitted(),
+        shed,
+        100.0 * shed as f64 / offered.max(1) as f64,
+    );
+    let swapped = stats
+        .shards
+        .first()
+        .is_some_and(|s| s.swaps >= 1 && s.swap_failures == 0);
+    if !swapped {
+        return Err("shard w0 did not adopt the mid-run publish".into());
+    }
+    println!("hot swap: shard {swap_workload} adopted the mid-run publish with zero failures");
+    Ok(())
+}
+
 fn cmd_metrics(args: &[String]) -> CliResult {
     const USAGE: &str = "usage: metrics [--smoke] [--serve-mode int8|table]";
     let mut smoke = false;
@@ -510,6 +673,7 @@ fn cmd_metrics(args: &[String]) -> CliResult {
         .map(|t| {
             let w = &tokens[t + 1 - cfg.seq_len..=t];
             InferenceRequest {
+                workload: Default::default(),
                 pc: w.iter().map(|a| a.pc as usize).collect(),
                 page: w.iter().map(|a| a.page as usize).collect(),
                 offset: w.iter().map(|a| a.offset as usize).collect(),
@@ -533,11 +697,18 @@ fn cmd_metrics(args: &[String]) -> CliResult {
             &corpus,
             &voyager_distill::TableConfig::for_budget(1 << 20),
         );
-        VoyagerService::with_tables(model, 2, tables)
+        ServiceConfig::new(2)
+            .mode(PredictMode::Table)
+            .tables(tables)
+            .build(model)
+            .expect("table mode with tables attached")
     } else {
         // Pure quantized fast path: the int8-GEMM and arena counters
         // below still observe live traffic.
-        VoyagerService::with_mode(model, 2, serve_mode)
+        ServiceConfig::new(2)
+            .mode(serve_mode)
+            .build(model)
+            .expect("neural modes need no tables")
     };
     let stats = {
         let _serve = profiler.span("serve");

@@ -229,6 +229,180 @@ pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<f64>)]) {
     }
 }
 
+/// Shared synthetic multi-workload fleet used by the `pr8_fleet` bench
+/// and `voyagerctl fleet-bench`: per-workload request streams, shard
+/// specs cycling through the serving tiers, and train-then-publish
+/// helpers over an in-memory [`ModelRegistry`].
+pub mod fleet_demo {
+    use std::time::Duration;
+
+    use voyager::{SeqBatch, VoyagerConfig, VoyagerModel};
+    use voyager_distill::{distill, DistilledTables, TableConfig};
+    use voyager_runtime::{
+        FleetConfig, InferenceRequest, MicrobatchConfig, ModelRegistry, ModelSpec, PredictMode,
+        ShardSpec, Version, WorkloadId,
+    };
+
+    /// Page vocabulary shared by every demo shard.
+    pub const PAGE_VOCAB: usize = 256;
+    const PC_VOCAB: usize = 64;
+    const OFFSET_VOCAB: usize = 64;
+
+    /// The model layout every demo shard serves (test-scale config, so
+    /// fleets spin up in seconds).
+    pub fn model_spec() -> ModelSpec {
+        ModelSpec {
+            cfg: VoyagerConfig::test(),
+            pc_vocab: PC_VOCAB,
+            page_vocab: PAGE_VOCAB,
+            offset_vocab: OFFSET_VOCAB,
+        }
+    }
+
+    /// The `t`-th request of `workload`'s stream. Each workload walks
+    /// its own stride family, so shards see distinct streams and a
+    /// table shard's coverage is specific to its own corpus.
+    pub fn request(workload: WorkloadId, t: usize) -> InferenceRequest {
+        let w = workload.0 as usize;
+        let seq = VoyagerConfig::test().seq_len;
+        InferenceRequest {
+            workload,
+            pc: (0..seq).map(|j| (t * (w + 1) + j) % PC_VOCAB).collect(),
+            page: (0..seq)
+                .map(|j| (t * (2 * w + 3) + j) % PAGE_VOCAB)
+                .collect(),
+            offset: (0..seq).map(|j| (t * (w + 5) + j) % OFFSET_VOCAB).collect(),
+        }
+    }
+
+    /// `n` shard specs cycling through the serving tiers —
+    /// table-fronted int8 (the fleet default), pure int8, fast-f32 —
+    /// at prefetch degree 2.
+    pub fn default_shards(n: usize) -> Vec<ShardSpec> {
+        let modes = [
+            PredictMode::Table,
+            PredictMode::FastInt8,
+            PredictMode::Table,
+            PredictMode::FastF32,
+        ];
+        (0..n)
+            .map(|i| ShardSpec::new(WorkloadId(i as u32), 2, modes[i % modes.len()]))
+            .collect()
+    }
+
+    /// The first `windows` request windows of `workload`'s stream as a
+    /// distillation corpus.
+    pub fn corpus(workload: WorkloadId, windows: usize) -> SeqBatch {
+        let mut c = SeqBatch::default();
+        for t in 0..windows {
+            let r = request(workload, t);
+            c.pc.push(r.pc);
+            c.page.push(r.page);
+            c.offset.push(r.offset);
+        }
+        c
+    }
+
+    /// Trains a fresh model on `workload`'s stream for `train_steps`
+    /// single-window steps. `variant` offsets the training targets, so
+    /// `variant: 1` yields a distinguishable successor model for
+    /// hot-swap demos.
+    pub fn trained_model(workload: WorkloadId, train_steps: usize, variant: usize) -> VoyagerModel {
+        let mut model = model_spec().instantiate();
+        for step in 0..train_steps {
+            let r = request(workload, step);
+            let batch = SeqBatch {
+                pc: vec![r.pc],
+                page: vec![r.page],
+                offset: vec![r.offset],
+            };
+            let w = workload.0 as usize;
+            model.train_single(
+                &batch,
+                &[(step * 7 + w + 13 * variant) % PAGE_VOCAB],
+                &[(step * 11 + w + 17 * variant) % OFFSET_VOCAB],
+            );
+        }
+        model
+    }
+
+    /// Distills serving tables for `workload` from the first
+    /// `distill_windows` windows of its stream. Serve a longer stream
+    /// and both table hits and int8 fallbacks show up.
+    pub fn tables_for(
+        model: &mut VoyagerModel,
+        workload: WorkloadId,
+        distill_windows: usize,
+    ) -> DistilledTables {
+        let (tables, _) = distill(
+            model,
+            &corpus(workload, distill_windows),
+            &TableConfig::for_budget(1 << 18),
+        );
+        tables
+    }
+
+    /// Trains a fresh model on `shard.workload`'s stream and publishes
+    /// it (with distilled tables for [`PredictMode::Table`] shards).
+    /// Returns the published version.
+    pub fn publish_shard(
+        registry: &ModelRegistry,
+        shard: &ShardSpec,
+        train_steps: usize,
+        distill_windows: usize,
+    ) -> Version {
+        let mut model = trained_model(shard.workload, train_steps, 0);
+        let tables = if shard.mode == PredictMode::Table && distill_windows > 0 {
+            Some(tables_for(&mut model, shard.workload, distill_windows))
+        } else {
+            None
+        };
+        registry
+            .publish(shard.workload, &model_spec(), &model, tables)
+            .expect("in-memory publish cannot fail")
+    }
+
+    /// Publishes one trained model per shard (see
+    /// [`publish_shard`]).
+    pub fn publish_all(
+        registry: &ModelRegistry,
+        shards: &[ShardSpec],
+        train_steps: usize,
+        distill_windows: usize,
+    ) {
+        for shard in shards {
+            publish_shard(registry, shard, train_steps, distill_windows);
+        }
+    }
+
+    /// Serving knobs for steady-state phases: roomy queue, generous
+    /// SLO — nothing should shed.
+    pub fn steady_config() -> FleetConfig {
+        FleetConfig {
+            microbatch: MicrobatchConfig {
+                max_batch: 8,
+                max_delay: Duration::from_micros(200),
+            },
+            max_queue_depth: 4096,
+            slo: Duration::from_secs(5),
+        }
+    }
+
+    /// Deliberately tight bounds for overload phases: queue depth far
+    /// below the offered concurrency, tight SLO — admission control
+    /// must shed instead of letting p99 blow through the objective.
+    pub fn overload_config() -> FleetConfig {
+        FleetConfig {
+            microbatch: MicrobatchConfig {
+                max_batch: 8,
+                max_delay: Duration::from_micros(200),
+            },
+            max_queue_depth: 6,
+            slo: Duration::from_millis(100),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

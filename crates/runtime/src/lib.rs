@@ -25,6 +25,11 @@
 //! * [`serve`]'s [`PredictMode::Table`] — the distilled-table serving
 //!   tier: requests covered by the tables skip the network entirely
 //!   and the rest fall back to the int8 fast path.
+//! * [`registry`] + [`fleet`] — multi-tenant serving: a versioned
+//!   model registry (publish / resolve-latest / watch-based hot swap,
+//!   persisted through the checkpoint layer) behind a sharded fleet
+//!   server with per-workload routing, bounded queues, and SLO-aware
+//!   load shedding.
 //!
 //! # Example: deterministic parallel training
 //!
@@ -45,17 +50,27 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod fleet;
 pub mod lockorder;
 pub mod microbatch;
 pub mod pool;
+pub mod registry;
 pub mod serve;
 pub mod trainer;
 
 pub use checkpoint::{CheckpointError, CheckpointManager};
+pub use fleet::{
+    FleetClient, FleetConfig, FleetError, FleetServer, FleetStats, ShardReport, ShardSpec,
+    ShedReason,
+};
 pub use lockorder::{LockRank, OrderedMutex};
 pub use microbatch::{
     BatchModel, ClientHandle, LiveStats, MicrobatchConfig, MicrobatchServer, ServerStats,
+    SubmitError,
 };
 pub use pool::{par_gemm, ChunkPool};
-pub use serve::{InferenceRequest, PredictMode, VoyagerService};
+pub use registry::{ModelRegistry, ModelSpec, RegistryError, ShardArtifact, Version};
+pub use serve::{
+    InferenceRequest, PredictMode, ServiceConfig, ServiceConfigError, VoyagerService, WorkloadId,
+};
 pub use trainer::{train_data_parallel, train_data_parallel_profiled, TrainReport, TrainerConfig};

@@ -29,6 +29,10 @@ pub struct LockRank(pub u16);
 pub mod ranks {
     use super::LockRank;
 
+    /// Model-registry shard map (publish / resolve / recover). Outermost:
+    /// a publisher may hold it while writing checkpoints, and a shard
+    /// adopting a new version resolves before touching server state.
+    pub const MODEL_REGISTRY: LockRank = LockRank(5);
     /// Serving-statistics counters published by the microbatch server.
     pub const SERVER_STATS: LockRank = LockRank(10);
     /// Checkpoint-manager directory state (reserved; the manager is

@@ -12,6 +12,7 @@
 //! close) and compute (batched forward pass) — and reports throughput
 //! plus nearest-rank p50/p99 at shutdown.
 
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -136,17 +137,44 @@ struct Envelope<M: BatchModel> {
     reply: mpsc::Sender<M::Response>,
 }
 
+/// Why [`ClientHandle::try_infer`] refused or failed a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue already held at least the caller's bound of
+    /// not-yet-dequeued requests; nothing was enqueued.
+    QueueFull,
+    /// The server stopped (all handles dropped or thread exited)
+    /// before a response arrived.
+    Disconnected,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "microbatch queue full"),
+            SubmitError::Disconnected => write!(f, "microbatch server stopped"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Handle for submitting requests to a running [`MicrobatchServer`].
 /// Clone it to issue requests from several client threads; the server
 /// shuts down once every clone is dropped.
 pub struct ClientHandle<M: BatchModel> {
     tx: mpsc::Sender<Envelope<M>>,
+    /// Requests enqueued but not yet dequeued into a batch, shared
+    /// with the server thread. Signed so a racing decrement can never
+    /// wrap; transiently negative readings are clamped at the reader.
+    depth: Arc<AtomicI64>,
 }
 
 impl<M: BatchModel> Clone for ClientHandle<M> {
     fn clone(&self) -> Self {
         ClientHandle {
             tx: self.tx.clone(),
+            depth: self.depth.clone(),
         }
     }
 }
@@ -157,14 +185,63 @@ impl<M: BatchModel> ClientHandle<M> {
     /// Returns `None` if the server stopped before responding.
     pub fn infer(&self, request: M::Request) -> Option<M::Response> {
         let (reply, rx) = mpsc::channel();
-        self.tx
+        self.depth.fetch_add(1, Ordering::AcqRel);
+        let sent = self
+            .tx
             .send(Envelope {
                 payload: request,
                 enqueued: Instant::now(),
                 reply,
             })
-            .ok()?;
+            .is_ok();
+        if !sent {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
         rx.recv().ok()
+    }
+
+    /// Bounded submission: enqueues only if fewer than `max_queue`
+    /// requests are currently waiting to be dequeued, then blocks for
+    /// the response. The admission check is a reserve-then-verify
+    /// `fetch_add`, so concurrent submitters can never overshoot the
+    /// bound by more than their own reservation.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] if the bound would be exceeded
+    /// (nothing is enqueued), [`SubmitError::Disconnected`] if the
+    /// server stopped.
+    pub fn try_infer(
+        &self,
+        request: M::Request,
+        max_queue: usize,
+    ) -> Result<M::Response, SubmitError> {
+        let prior = self.depth.fetch_add(1, Ordering::AcqRel);
+        if prior >= max_queue as i64 {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubmitError::QueueFull);
+        }
+        let (reply, rx) = mpsc::channel();
+        let sent = self
+            .tx
+            .send(Envelope {
+                payload: request,
+                enqueued: Instant::now(),
+                reply,
+            })
+            .is_ok();
+        if !sent {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err(SubmitError::Disconnected);
+        }
+        rx.recv().map_err(|_| SubmitError::Disconnected)
+    }
+
+    /// Requests currently enqueued but not yet pulled into a batch.
+    /// Racy by nature; useful for tests and monitoring.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire).max(0) as usize
     }
 }
 
@@ -181,6 +258,8 @@ impl MicrobatchServer {
     pub fn spawn<M: BatchModel>(mut model: M, cfg: MicrobatchConfig) -> (Self, ClientHandle<M>) {
         let max_batch = cfg.max_batch.max(1);
         let (tx, rx) = mpsc::channel::<Envelope<M>>();
+        let depth = Arc::new(AtomicI64::new(0));
+        let depth_server = depth.clone();
         let live = Arc::new(OrderedMutex::new(
             "microbatch-live-stats",
             ranks::SERVER_STATS,
@@ -199,6 +278,7 @@ impl MicrobatchServer {
             // Outer recv blocks for the batch-opening request; the
             // queue disconnecting (all clients dropped) is shutdown.
             while let Ok(first) = rx.recv() {
+                depth_server.fetch_sub(1, Ordering::AcqRel);
                 let deadline = Instant::now() + cfg.max_delay;
                 let mut batch = vec![first];
                 let mut disconnected = false;
@@ -208,7 +288,10 @@ impl MicrobatchServer {
                         break;
                     }
                     match rx.recv_timeout(deadline - now) {
-                        Ok(envelope) => batch.push(envelope),
+                        Ok(envelope) => {
+                            depth_server.fetch_sub(1, Ordering::AcqRel);
+                            batch.push(envelope);
+                        }
                         Err(mpsc::RecvTimeoutError::Timeout) => break,
                         Err(mpsc::RecvTimeoutError::Disconnected) => {
                             disconnected = true;
@@ -261,7 +344,10 @@ impl MicrobatchServer {
                 compute: compute.snapshot(),
             }
         });
-        (MicrobatchServer { handle, live }, ClientHandle { tx })
+        (
+            MicrobatchServer { handle, live },
+            ClientHandle { tx, depth },
+        )
     }
 
     /// Snapshots the running server's counters. Safe to call from any
@@ -434,6 +520,87 @@ mod tests {
         assert_eq!(stats.compute.count() as usize, stats.batches);
         assert!(stats.queue_wait_quantile(1.0) <= stats.latency_quantile(1.0));
         assert!(stats.compute_quantile(0.5) <= stats.latency_quantile(1.0));
+    }
+
+    #[test]
+    fn try_infer_bound_zero_rejects_everything() {
+        let (model, sizes) = echo();
+        let (server, client) = MicrobatchServer::spawn(model, MicrobatchConfig::default());
+        assert_eq!(client.try_infer(1, 0), Err(SubmitError::QueueFull));
+        assert_eq!(client.queue_depth(), 0, "rejected request left no residue");
+        // A nonzero bound admits normally.
+        assert_eq!(client.try_infer(41, 8), Ok(42));
+        drop(client);
+        let stats = server.join();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(sizes.lock().unwrap().as_slice(), &[1]);
+    }
+
+    /// Mock model that parks inside `forward_batch` until released, so
+    /// tests can pin requests in the queue deterministically.
+    struct Gated {
+        entered: mpsc::Sender<()>,
+        release: mpsc::Receiver<()>,
+    }
+
+    impl BatchModel for Gated {
+        type Request = u64;
+        type Response = u64;
+
+        fn forward_batch(&mut self, requests: &[u64]) -> Vec<u64> {
+            let _ = self.entered.send(());
+            let _ = self.release.recv();
+            requests.to_vec()
+        }
+    }
+
+    #[test]
+    fn try_infer_sheds_once_queue_bound_is_reached() {
+        let (entered_tx, entered) = mpsc::channel();
+        let (release, release_rx) = mpsc::channel();
+        let model = Gated {
+            entered: entered_tx,
+            release: release_rx,
+        };
+        let cfg = MicrobatchConfig {
+            max_batch: 1,
+            max_delay: Duration::ZERO,
+        };
+        let (server, client) = MicrobatchServer::spawn(model, cfg);
+        // First request is dequeued into a batch and parks in compute.
+        let c1 = client.clone();
+        let t1 = std::thread::spawn(move || c1.infer(1));
+        entered.recv().unwrap();
+        // Two more requests sit in the queue behind the parked batch.
+        let waiters: Vec<_> = [2u64, 3]
+            .into_iter()
+            .map(|v| {
+                let c = client.clone();
+                std::thread::spawn(move || c.infer(v))
+            })
+            .collect();
+        for _ in 0..10_000 {
+            if client.queue_depth() == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert_eq!(client.queue_depth(), 2);
+        // Bound 2 is already met: the newcomer is shed without
+        // enqueueing, and the depth is unchanged.
+        assert_eq!(client.try_infer(4, 2), Err(SubmitError::QueueFull));
+        assert_eq!(client.queue_depth(), 2);
+        // Release every batch; a roomier bound then admits.
+        for _ in 0..4 {
+            release.send(()).unwrap();
+        }
+        assert_eq!(t1.join().unwrap(), Some(1));
+        for w in waiters {
+            assert!(w.join().unwrap().is_some());
+        }
+        assert_eq!(client.try_infer(4, 10), Ok(4));
+        drop(client);
+        assert_eq!(server.join().requests, 4);
     }
 
     /// Builds stats around a known latency sample set, as `join` would.

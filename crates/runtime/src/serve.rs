@@ -5,11 +5,34 @@ use voyager_distill::{note_table_fallback_rows, DistilledTables};
 
 use crate::microbatch::BatchModel;
 
+/// Identifies the per-workload shard a request should be served by.
+///
+/// The paper trains Voyager per application (Section 5.1); a fleet
+/// deployment therefore runs one model *shard* per workload and routes
+/// on this id (see [`crate::fleet`]). A newtype rather than a bare
+/// `u32` so a workload id can never be confused with a token id or a
+/// request count at a call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WorkloadId(pub u32);
+
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
 /// One inference request: a tokenized history window (all three token
 /// streams, each `seq_len` long — the same shape as one row of a
-/// [`SeqBatch`]).
-#[derive(Debug, Clone)]
+/// [`SeqBatch`]) plus a routing envelope.
+///
+/// The same request type flows through both serving paths: a
+/// standalone [`VoyagerService`] ignores `workload`, while the fleet
+/// ([`crate::fleet::FleetClient`]) routes on it.
+#[derive(Debug, Clone, Default)]
 pub struct InferenceRequest {
+    /// Which shard should serve this request (ignored by a standalone
+    /// service).
+    pub workload: WorkloadId,
     /// PC token ids of the window.
     pub pc: Vec<usize>,
     /// Page token ids of the window.
@@ -37,9 +60,130 @@ pub enum PredictMode {
     /// ([`DistilledTables::predict`](voyager_distill::DistilledTables::predict)):
     /// no neural forward at all for contexts the tables cover; rows
     /// that miss fall back to the int8 fast path. Requires tables
-    /// ([`VoyagerService::with_tables`]); without them every row falls
-    /// back.
+    /// ([`ServiceConfig::tables`]); the builder rejects this mode
+    /// without them ([`ServiceConfigError::TablesRequired`]).
     Table,
+}
+
+/// Why a [`ServiceConfig`] could not be turned into a
+/// [`VoyagerService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceConfigError {
+    /// [`PredictMode::Table`] was requested without attaching tables.
+    /// (Previously this built a service that silently fell back to
+    /// int8 on every row — a misconfiguration that looked healthy.)
+    TablesRequired,
+    /// Tables were attached but the mode is not [`PredictMode::Table`],
+    /// so they could never be consulted.
+    TablesIgnored(PredictMode),
+}
+
+impl std::fmt::Display for ServiceConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceConfigError::TablesRequired => write!(
+                f,
+                "PredictMode::Table requires distilled tables (ServiceConfig::tables); \
+                 without them every row would silently fall back to int8"
+            ),
+            ServiceConfigError::TablesIgnored(mode) => write!(
+                f,
+                "distilled tables were attached but mode {mode:?} never consults them"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceConfigError {}
+
+/// Builder for [`VoyagerService`]: one configuration path for both
+/// standalone serving and fleet shards.
+///
+/// Replaces the former `new` / `with_mode` / `with_tables` constructor
+/// sprawl. Defaults: degree as given (clamped to ≥ 1), mode
+/// [`PredictMode::Tape`], no tables, eager int8 preparation on.
+///
+/// ```no_run
+/// use voyager_runtime::serve::{PredictMode, ServiceConfig};
+/// # fn demo(model: voyager::VoyagerModel) {
+/// let svc = ServiceConfig::new(2)
+///     .mode(PredictMode::FastInt8)
+///     .build(model)
+///     .expect("int8 needs no tables");
+/// # let _ = svc;
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    degree: usize,
+    mode: PredictMode,
+    tables: Option<DistilledTables>,
+    eager_int8: bool,
+}
+
+impl ServiceConfig {
+    /// Starts a configuration serving `degree` candidates per request
+    /// (clamped to at least 1) through the default
+    /// [`PredictMode::Tape`] path.
+    pub fn new(degree: usize) -> Self {
+        ServiceConfig {
+            degree: degree.max(1),
+            mode: PredictMode::default(),
+            tables: None,
+            eager_int8: true,
+        }
+    }
+
+    /// Selects the forward implementation.
+    pub fn mode(mut self, mode: PredictMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Attaches distilled tables for [`PredictMode::Table`] serving.
+    pub fn tables(mut self, tables: DistilledTables) -> Self {
+        self.tables = Some(tables);
+        self
+    }
+
+    /// Whether to quantize the model's weights eagerly at build time
+    /// (default `true`) for the modes whose forward path is int8
+    /// ([`PredictMode::FastInt8`] and the [`PredictMode::Table`]
+    /// fallback). Disabling defers the one-time quantization cost to
+    /// the first batch that needs it.
+    pub fn eager_int8(mut self, eager: bool) -> Self {
+        self.eager_int8 = eager;
+        self
+    }
+
+    /// Builds the service around `model`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceConfigError::TablesRequired`] for
+    /// [`PredictMode::Table`] without tables, and
+    /// [`ServiceConfigError::TablesIgnored`] for tables attached to a
+    /// mode that never reads them.
+    pub fn build(self, mut model: VoyagerModel) -> Result<VoyagerService, ServiceConfigError> {
+        match (self.mode, &self.tables) {
+            (PredictMode::Table, None) => return Err(ServiceConfigError::TablesRequired),
+            (PredictMode::Table, Some(_)) => {}
+            (mode, Some(_)) => return Err(ServiceConfigError::TablesIgnored(mode)),
+            (_, None) => {}
+        }
+        if self.eager_int8 && matches!(self.mode, PredictMode::FastInt8 | PredictMode::Table) {
+            model.prepare_int8();
+        }
+        Ok(VoyagerService {
+            model,
+            degree: self.degree,
+            mode: self.mode,
+            batch: SeqBatch::default(),
+            tables: self.tables,
+            fallback_batch: SeqBatch::default(),
+            fallback_rows: Vec::new(),
+        })
+    }
 }
 
 /// Wraps a trained [`VoyagerModel`] as a [`BatchModel`]: coalesced
@@ -54,8 +198,8 @@ pub struct VoyagerService {
     /// reallocate the request staging area (rows shrink/grow in place).
     batch: SeqBatch,
     /// Distilled tables for [`PredictMode::Table`]; `None` in the
-    /// neural modes (or when serving tables that were never attached,
-    /// in which case every row falls back).
+    /// neural modes (the builder guarantees table mode always has
+    /// them).
     tables: Option<DistilledTables>,
     /// Staging for the rows of a table-mode batch that missed the
     /// tables, reused like `batch`.
@@ -65,48 +209,12 @@ pub struct VoyagerService {
 }
 
 impl VoyagerService {
-    /// Serves `model` at prefetch degree `degree` (candidates returned
-    /// per request) through the tape-based reference path.
-    pub fn new(model: VoyagerModel, degree: usize) -> Self {
-        VoyagerService::with_mode(model, degree, PredictMode::Tape)
-    }
-
-    /// Serves `model` through the given [`PredictMode`]. For
-    /// [`PredictMode::FastInt8`] and [`PredictMode::Table`] (whose
-    /// miss path is int8) the quantized weights are prepared eagerly
-    /// here, so the first request does not pay the one-time
-    /// quantization cost.
-    pub fn with_mode(mut model: VoyagerModel, degree: usize, mode: PredictMode) -> Self {
-        if matches!(mode, PredictMode::FastInt8 | PredictMode::Table) {
-            model.prepare_int8();
-        }
-        VoyagerService {
-            model,
-            degree: degree.max(1),
-            mode,
-            batch: SeqBatch::default(),
-            tables: None,
-            fallback_batch: SeqBatch::default(),
-            fallback_rows: Vec::new(),
-        }
-    }
-
-    /// Serves distilled `tables` in front of `model`
-    /// ([`PredictMode::Table`]): requests whose context both table
-    /// layers cover are answered without running the network; the rest
-    /// fall back to the int8 fast path (prepared eagerly here).
-    pub fn with_tables(model: VoyagerModel, degree: usize, tables: DistilledTables) -> Self {
-        let mut svc = VoyagerService::with_mode(model, degree, PredictMode::Table);
-        svc.tables = Some(tables);
-        svc
-    }
-
     /// The dispatch mode this service was built with.
     pub fn mode(&self) -> PredictMode {
         self.mode
     }
 
-    /// The distilled tables attached via [`VoyagerService::with_tables`].
+    /// The distilled tables attached via [`ServiceConfig::tables`].
     pub fn tables(&self) -> Option<&DistilledTables> {
         self.tables.as_ref()
     }

@@ -15,7 +15,7 @@ use std::time::Duration;
 
 use voyager::{VoyagerConfig, VoyagerModel};
 use voyager_runtime::{
-    InferenceRequest, MicrobatchConfig, MicrobatchServer, PredictMode, VoyagerService,
+    InferenceRequest, MicrobatchConfig, MicrobatchServer, PredictMode, ServiceConfig,
 };
 use voyager_tensor::infer;
 
@@ -24,6 +24,7 @@ type Candidates = Vec<(u32, u32, f32)>;
 
 fn request(t: usize, seq_len: usize, page_vocab: usize) -> InferenceRequest {
     InferenceRequest {
+        workload: Default::default(),
         pc: (0..seq_len).map(|j| (t + j) % 64).collect(),
         page: (0..seq_len).map(|j| (t * 3 + j) % page_vocab).collect(),
         offset: (0..seq_len).map(|j| (t * 5 + j) % 64).collect(),
@@ -36,7 +37,10 @@ fn serve_steady(mode: PredictMode, n: usize) -> (Vec<Candidates>, u64) {
     let cfg = VoyagerConfig::test();
     let page_vocab = 256;
     let model = VoyagerModel::new(&cfg, 64, page_vocab, 64);
-    let service = VoyagerService::with_mode(model, 2, mode);
+    let service = ServiceConfig::new(2)
+        .mode(mode)
+        .build(model)
+        .expect("modes without tables");
     assert_eq!(service.mode(), mode);
     // max_batch = 1 flushes every request immediately, so each forward
     // pass sees exactly one request and the arena warms up on the very

@@ -1,0 +1,233 @@
+//! Registry hot-swap under concurrent serving.
+//!
+//! The fleet's swap contract: publishing a new version never drops a
+//! request, batches admitted before the swap are answered by the old
+//! version, the next batch after adoption serves the new one, and a
+//! shard's results are bitwise-deterministic for a fixed artifact.
+//! The int8 fast path runs each row through the same blocked GEMM at
+//! any batch size, so a response can be classified exactly against
+//! single-row reference predictions from each version.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use voyager::{SeqBatch, VoyagerConfig, VoyagerModel};
+use voyager_runtime::{
+    FleetClient, FleetConfig, FleetServer, InferenceRequest, MicrobatchConfig, ModelRegistry,
+    ModelSpec, PredictMode, ShardSpec, Version, WorkloadId,
+};
+
+const DEGREE: usize = 2;
+const WORKLOAD: WorkloadId = WorkloadId(0);
+
+type Candidates = Vec<(u32, u32, f32)>;
+
+fn model_spec() -> ModelSpec {
+    ModelSpec {
+        cfg: VoyagerConfig::test(),
+        pc_vocab: 16,
+        page_vocab: 32,
+        offset_vocab: 64,
+    }
+}
+
+/// Trains a model on the canonical 4 patterns toward `tgt_pages` /
+/// `tgt_offsets`; different targets yield visibly different predictors.
+fn trained_toward(tgt_pages: [usize; 4], tgt_offsets: [usize; 4]) -> VoyagerModel {
+    let spec = model_spec();
+    let cfg = spec.cfg;
+    let mut m = spec.instantiate();
+    let pcs = [1usize, 2, 3, 4];
+    let pages = [3usize, 5, 7, 1];
+    let offsets = [10usize, 20, 30, 40];
+    for it in 0..150 {
+        let p = it % 4;
+        let batch = SeqBatch {
+            pc: vec![vec![pcs[p]; cfg.seq_len]],
+            page: vec![vec![pages[p]; cfg.seq_len]],
+            offset: vec![vec![offsets[p]; cfg.seq_len]],
+        };
+        m.train_single(&batch, &[tgt_pages[p]], &[tgt_offsets[p]]);
+    }
+    m
+}
+
+/// The probe windows every request cycles through (the training
+/// contexts, where the two versions disagree most sharply).
+fn probe_rows() -> Vec<(Vec<usize>, Vec<usize>, Vec<usize>)> {
+    let cfg = VoyagerConfig::test();
+    let pcs = [1usize, 2, 3, 4];
+    let pages = [3usize, 5, 7, 1];
+    let offsets = [10usize, 20, 30, 40];
+    (0..4)
+        .map(|p| {
+            (
+                vec![pcs[p]; cfg.seq_len],
+                vec![pages[p]; cfg.seq_len],
+                vec![offsets[p]; cfg.seq_len],
+            )
+        })
+        .collect()
+}
+
+fn request(row: usize, rows: &[(Vec<usize>, Vec<usize>, Vec<usize>)]) -> InferenceRequest {
+    let (pc, page, offset) = &rows[row % rows.len()];
+    InferenceRequest {
+        workload: WORKLOAD,
+        pc: pc.clone(),
+        page: page.clone(),
+        offset: offset.clone(),
+    }
+}
+
+/// Single-row int8 reference answers for every probe row.
+fn references(
+    model: &mut VoyagerModel,
+    rows: &[(Vec<usize>, Vec<usize>, Vec<usize>)],
+) -> Vec<Candidates> {
+    model.prepare_int8();
+    rows.iter()
+        .map(|(pc, page, offset)| {
+            let batch = SeqBatch {
+                pc: vec![pc.clone()],
+                page: vec![page.clone()],
+                offset: vec![offset.clone()],
+            };
+            model.predict_int8(&batch, DEGREE).remove(0)
+        })
+        .collect()
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        microbatch: MicrobatchConfig {
+            max_batch: 4,
+            max_delay: Duration::from_micros(200),
+        },
+        // Generous bounds: this test is about swap correctness, no
+        // request may be shed.
+        max_queue_depth: 10_000,
+        slo: Duration::from_secs(30),
+    }
+}
+
+#[test]
+fn hot_swap_under_concurrent_serving_drops_nothing() {
+    let rows = probe_rows();
+    let mut a = trained_toward([6, 7, 2, 4], [30, 40, 50, 60]);
+    let mut b = trained_toward([9, 12, 14, 3], [55, 15, 25, 35]);
+    let a_ref = references(&mut a, &rows);
+    let b_ref = references(&mut b, &rows);
+    assert_ne!(
+        a_ref, b_ref,
+        "versions must be distinguishable for this test to classify responses"
+    );
+
+    let registry = Arc::new(ModelRegistry::new());
+    assert_eq!(
+        registry.publish(WORKLOAD, &model_spec(), &a, None).unwrap(),
+        Version(1)
+    );
+    let specs = [ShardSpec::new(WORKLOAD, DEGREE, PredictMode::FastInt8)];
+    let (server, client) = FleetServer::spawn(&registry, &specs, &fleet_config()).unwrap();
+
+    // Pre-swap phase: everything admitted before the publish is
+    // answered by version 1, exactly.
+    for t in 0..16 {
+        let got = client.infer(request(t, &rows)).expect("pre-swap request");
+        assert_eq!(got, a_ref[t % rows.len()], "pre-swap answers come from v1");
+    }
+
+    // Concurrent phase: clients stream while the publish lands.
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 120;
+    let completed = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let client: FleetClient = client.clone();
+            let rows = rows.clone();
+            let a_ref = a_ref.clone();
+            let b_ref = b_ref.clone();
+            let completed = completed.clone();
+            std::thread::spawn(move || {
+                let mut saw_b = false;
+                let mut a_count = 0usize;
+                for t in 0..PER_CLIENT {
+                    let row = (c + t) % rows.len();
+                    let got = client
+                        .infer(request(row, &rows))
+                        .expect("no request may be dropped across the swap");
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    if got == a_ref[row] {
+                        assert!(
+                            !saw_b,
+                            "client {c} regressed to v1 after seeing v2 at request {t}"
+                        );
+                        a_count += 1;
+                    } else if got == b_ref[row] {
+                        saw_b = true;
+                    } else {
+                        panic!("client {c} request {t}: response matches neither version");
+                    }
+                }
+                a_count
+            })
+        })
+        .collect();
+
+    // Publish v2 once the stream is demonstrably in flight.
+    while completed.load(Ordering::Relaxed) < CLIENTS * PER_CLIENT / 4 {
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        registry.publish(WORKLOAD, &model_spec(), &b, None).unwrap(),
+        Version(2)
+    );
+    let v1_answers: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+
+    // The next batch after the swap serves v2: with the publish
+    // complete, a fresh request must get exactly the v2 answer.
+    let got = client.infer(request(0, &rows)).expect("post-swap request");
+    assert_eq!(got, b_ref[0], "post-swap answers come from v2");
+
+    drop(client);
+    let stats = server.join();
+    let total = 16 + CLIENTS * PER_CLIENT + 1;
+    assert_eq!(stats.shards[0].server.requests, total, "zero dropped");
+    assert_eq!(stats.admitted(), total as u64);
+    assert_eq!(stats.shed(), 0, "nothing may be shed at these bounds");
+    assert_eq!(stats.shards[0].swaps, 1, "exactly one hot swap");
+    assert_eq!(stats.shards[0].swap_failures, 0);
+    assert_eq!(stats.shards[0].version, 2);
+    assert!(
+        v1_answers < CLIENTS * PER_CLIENT,
+        "the swap must have landed while clients were still streaming"
+    );
+}
+
+#[test]
+fn shard_results_are_bitwise_deterministic_across_fleets() {
+    let rows = probe_rows();
+    let model = trained_toward([6, 7, 2, 4], [30, 40, 50, 60]);
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .publish(WORKLOAD, &model_spec(), &model, None)
+        .unwrap();
+    let run = || -> Vec<Candidates> {
+        let specs = [ShardSpec::new(WORKLOAD, DEGREE, PredictMode::FastInt8)];
+        let (server, client) = FleetServer::spawn(&registry, &specs, &fleet_config()).unwrap();
+        let out: Vec<Candidates> = (0..32)
+            .map(|t| client.infer(request(t, &rows)).expect("served"))
+            .collect();
+        drop(client);
+        server.join();
+        out
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "same artifact, same requests: responses must be bitwise-identical"
+    );
+}

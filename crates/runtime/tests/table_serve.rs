@@ -7,7 +7,9 @@
 
 use voyager::{SeqBatch, VoyagerConfig, VoyagerModel};
 use voyager_distill::{distill, TableConfig};
-use voyager_runtime::{BatchModel, InferenceRequest, PredictMode, VoyagerService};
+use voyager_runtime::{
+    BatchModel, InferenceRequest, PredictMode, ServiceConfig, ServiceConfigError,
+};
 
 const DEGREE: usize = 2;
 
@@ -43,6 +45,7 @@ fn trained_model() -> (VoyagerModel, SeqBatch) {
 fn to_requests(batch: &SeqBatch) -> Vec<InferenceRequest> {
     (0..batch.len())
         .map(|i| InferenceRequest {
+            workload: Default::default(),
             pc: batch.pc[i].clone(),
             page: batch.page[i].clone(),
             offset: batch.offset[i].clone(),
@@ -74,7 +77,11 @@ fn table_miss_falls_back_to_exact_int8_predictions() {
     }
 
     let fallbacks_before = voyager_distill::table_fallback_rows();
-    let mut svc = VoyagerService::with_tables(model, DEGREE, tables);
+    let mut svc = ServiceConfig::new(DEGREE)
+        .mode(PredictMode::Table)
+        .tables(tables)
+        .build(model)
+        .expect("table mode with tables attached");
     assert_eq!(svc.mode(), PredictMode::Table);
     let got = svc.forward_batch(&to_requests(&probe));
     assert_eq!(
@@ -101,7 +108,11 @@ fn table_hits_agree_with_the_teacher_and_mix_with_fallbacks() {
     let expected_miss = model.predict_int8(&miss_probe, DEGREE);
 
     let (tables, _) = distill(&mut model, &corpus, &TableConfig::for_budget(64 * 1024));
-    let mut svc = VoyagerService::with_tables(model, DEGREE, tables);
+    let mut svc = ServiceConfig::new(DEGREE)
+        .mode(PredictMode::Table)
+        .tables(tables)
+        .build(model)
+        .expect("table mode with tables attached");
     assert!(svc.tables().is_some());
 
     // A mixed batch: covered corpus rows + one unseen row, in one
@@ -124,12 +135,29 @@ fn table_hits_agree_with_the_teacher_and_mix_with_fallbacks() {
 }
 
 #[test]
-fn table_mode_without_tables_serves_everything_via_int8() {
+fn table_mode_without_tables_is_a_typed_build_error() {
+    // Regression: this combination used to build a service that
+    // silently fell back to int8 on every row — a misconfiguration
+    // that looked healthy. The builder now rejects it outright.
+    let (model, _) = trained_model();
+    let err = ServiceConfig::new(DEGREE)
+        .mode(PredictMode::Table)
+        .build(model)
+        .unwrap_err();
+    assert_eq!(err, ServiceConfigError::TablesRequired);
+}
+
+#[test]
+fn tables_on_a_non_table_mode_are_a_typed_build_error() {
     let (mut model, corpus) = trained_model();
-    model.prepare_int8();
-    let expected = model.predict_int8(&corpus, DEGREE);
-    let mut svc = VoyagerService::with_mode(model, DEGREE, PredictMode::Table);
-    assert!(svc.tables().is_none());
-    let got = svc.forward_batch(&to_requests(&corpus));
-    assert_eq!(got, expected, "no tables attached: pure int8 behaviour");
+    let (tables, _) = distill(&mut model, &corpus, &TableConfig::for_budget(64 * 1024));
+    let err = ServiceConfig::new(DEGREE)
+        .mode(PredictMode::FastInt8)
+        .tables(tables)
+        .build(model)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ServiceConfigError::TablesIgnored(PredictMode::FastInt8)
+    );
 }
