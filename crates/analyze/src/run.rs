@@ -75,13 +75,19 @@ const HOT_ROOTS: &[&str] = &[
     "gemm",
     "gemm_acc",
     "gemm_i8",
+    "gemm_i8_dequant",
 ];
 
 /// Modules whose entire purpose is amortized allocation: the inference
-/// arena and the bounded-heap top-k scratch. They are the sanctioned
-/// mechanism the hot paths lean on, so the walk neither flags nor
-/// enters them.
-const SANCTIONED_MODULES: &[&str] = &["crates/tensor/src/infer.rs", "crates/tensor/src/topk.rs"];
+/// arena, the bounded-heap top-k scratch, and the SIMD GEMM packing
+/// scratch (thread-local panels that grow to a high-water mark). They
+/// are the sanctioned mechanism the hot paths lean on, so the walk
+/// neither flags nor enters them.
+const SANCTIONED_MODULES: &[&str] = &[
+    "crates/tensor/src/infer.rs",
+    "crates/tensor/src/topk.rs",
+    "crates/tensor/src/simd/pack.rs",
+];
 
 /// Result materializers at the API boundary: they build the returned
 /// `Vec` (the measured 72 B/call of `predict_fast`) but everything

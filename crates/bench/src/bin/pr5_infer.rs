@@ -224,6 +224,10 @@ fn render_json(mode: &str, paths: &[PathNumbers], agreement: f64) -> String {
     s.push_str("{\n");
     s.push_str("  \"bench\": \"pr5_infer\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"dispatch\": \"{}\",\n",
+        kernels::active_isa().name()
+    ));
     s.push_str("  \"serve\": [\n");
     for (i, p) in paths.iter().enumerate() {
         s.push_str(&format!(

@@ -751,6 +751,11 @@ fn cmd_metrics(args: &[String]) -> CliResult {
     registry
         .counter("tensor.gemm.int8_ops")
         .add(voyager_tensor::kernels::int8_gemm_ops());
+    // Which SIMD tier the kernels dispatched to on this host
+    // (0 = scalar, 1 = avx2, 2 = avx512, 3 = neon — Isa::ordinal).
+    registry
+        .gauge("tensor.gemm.dispatch")
+        .set(voyager_tensor::kernels::active_isa().ordinal());
 
     // Inference fast-path telemetry (process-global, always on).
     registry

@@ -85,7 +85,6 @@ pub(crate) struct InferState {
     arena: Arena,
     qx: QuantizedRows,
     qh: QuantizedRows,
-    acc: Vec<i32>,
     rank: RankScratch,
     int8: Option<Int8Weights>,
 }
@@ -421,11 +420,9 @@ impl VoyagerModel {
                 if let Some(qw) = &st.int8 {
                     quantize_rows_into(&x, &mut st.qx);
                     quantize_rows_into(&page_h, &mut st.qh);
-                    qw.page_lstm
-                        .gates_into(&st.qx, &st.qh, &mut st.acc, &mut page_gates);
+                    qw.page_lstm.gates_into(&st.qx, &st.qh, &mut page_gates);
                     quantize_rows_into(&off_h, &mut st.qh);
-                    qw.offset_lstm
-                        .gates_into(&st.qx, &st.qh, &mut st.acc, &mut off_gates);
+                    qw.offset_lstm.gates_into(&st.qx, &st.qh, &mut off_gates);
                 }
             } else {
                 gemm(
@@ -476,11 +473,9 @@ impl VoyagerModel {
         if int8 {
             if let Some(qw) = &st.int8 {
                 quantize_rows_into(&page_h, &mut st.qh);
-                qw.page_head
-                    .forward_into(&st.qh, &mut st.acc, &mut page_logits);
+                qw.page_head.forward_into(&st.qh, &mut page_logits);
                 quantize_rows_into(&off_h, &mut st.qh);
-                qw.offset_head
-                    .forward_into(&st.qh, &mut st.acc, &mut off_logits);
+                qw.offset_head.forward_into(&st.qh, &mut off_logits);
             }
         } else {
             gemm(

@@ -18,18 +18,21 @@
 //! out[i][j] ≈ sa_i · sw · (acc[i][j] − zw · Σ_p qx[i][p])
 //! ```
 //!
-//! so the hot loop is one integer GEMM plus one fused
-//! scale-and-correct pass over the output. All buffers are
-//! caller-provided and reused across calls; the steady state performs
-//! no heap allocation.
+//! and the whole thing — integer GEMM plus scale-and-correct
+//! epilogue — is one call into
+//! [`gemm_i8_dequant`](voyager_tensor::kernels::gemm_i8_dequant). On
+//! SIMD tiers the i32 accumulators never leave registers, so the
+//! `m × n` i32 scratch buffer the old unfused sequence carried is
+//! gone entirely. Output buffers are caller-provided and reused
+//! across calls; the steady state performs no heap allocation.
 
 use voyager_tensor::infer::{add_row_inplace, QuantizedRows};
-use voyager_tensor::kernels::gemm_i8;
+use voyager_tensor::kernels::gemm_i8_dequant;
 use voyager_tensor::Tensor2;
 
 use crate::compress::QuantizedTensor;
 
-/// An int8 weight matrix prepared for [`gemm_i8`] matmuls.
+/// An int8 weight matrix prepared for [`gemm_i8_dequant`] matmuls.
 ///
 /// Keeps the codes in the `[in, out]` row-major orientation
 /// [`QuantizedTensor`] produces, which is exactly the NN layout the
@@ -58,44 +61,32 @@ impl QuantizedMatmul {
     }
 
     /// Computes `out = x · w` (or `out += x · w` when `accumulate`)
-    /// from pre-quantized activation rows. `acc` is the reusable `i32`
-    /// accumulator scratch; `out` must already be shaped `[rows, out]`.
+    /// from pre-quantized activation rows; `out` must already be
+    /// shaped `[rows, out]`. The integer GEMM and the per-row
+    /// dequantization epilogue run as one fused kernel call.
     ///
     /// # Panics
     ///
     /// Panics if `x`'s columns disagree with the weight input
     /// dimension or `out` has the wrong shape.
-    pub fn forward_into(
-        &self,
-        x: &QuantizedRows,
-        acc: &mut Vec<i32>,
-        out: &mut Tensor2,
-        accumulate: bool,
-    ) {
+    pub fn forward_into(&self, x: &QuantizedRows, out: &mut Tensor2, accumulate: bool) {
         let (m, k) = x.shape();
         let (wk, n) = self.w.shape();
         assert_eq!(k, wk, "quantized matmul reduction mismatch: {k} vs {wk}");
         assert_eq!(out.shape(), (m, n), "quantized matmul output shape");
-        acc.clear();
-        acc.resize(m * n, 0);
-        gemm_i8(&x.data, self.w.data(), m, n, k, acc);
-        let sw = self.w.scale();
-        let zw = self.w.zero_point();
-        for i in 0..m {
-            let s = x.scales[i] * sw;
-            let corr = zw.wrapping_mul(x.sums[i]);
-            let acc_row = &acc[i * n..(i + 1) * n];
-            let out_row = out.row_mut(i);
-            if accumulate {
-                for (o, &a) in out_row.iter_mut().zip(acc_row) {
-                    *o += s * (a - corr) as f32;
-                }
-            } else {
-                for (o, &a) in out_row.iter_mut().zip(acc_row) {
-                    *o = s * (a - corr) as f32;
-                }
-            }
-        }
+        gemm_i8_dequant(
+            &x.data,
+            self.w.data(),
+            m,
+            n,
+            k,
+            &x.scales,
+            &x.sums,
+            self.w.scale(),
+            self.w.zero_point(),
+            out.as_mut_slice(),
+            accumulate,
+        );
     }
 }
 
@@ -133,8 +124,8 @@ impl QuantizedLinear {
     ///
     /// Panics on any shape mismatch (see
     /// [`QuantizedMatmul::forward_into`]).
-    pub fn forward_into(&self, x: &QuantizedRows, acc: &mut Vec<i32>, out: &mut Tensor2) {
-        self.w.forward_into(x, acc, out, false);
+    pub fn forward_into(&self, x: &QuantizedRows, out: &mut Tensor2) {
+        self.w.forward_into(x, out, false);
         add_row_inplace(out, &self.bias);
     }
 }
@@ -183,15 +174,9 @@ impl QuantizedLstm {
     /// # Panics
     ///
     /// Panics on any shape mismatch.
-    pub fn gates_into(
-        &self,
-        qx: &QuantizedRows,
-        qh: &QuantizedRows,
-        acc: &mut Vec<i32>,
-        gates: &mut Tensor2,
-    ) {
-        self.wx.forward_into(qx, acc, gates, false);
-        self.wh.forward_into(qh, acc, gates, true);
+    pub fn gates_into(&self, qx: &QuantizedRows, qh: &QuantizedRows, gates: &mut Tensor2) {
+        self.wx.forward_into(qx, gates, false);
+        self.wh.forward_into(qh, gates, true);
         add_row_inplace(gates, &self.bias);
     }
 }
@@ -221,9 +206,8 @@ mod tests {
         let qm = QuantizedMatmul::from_tensor(&w);
         let mut qx = QuantizedRows::new();
         quantize_rows_into(&x, &mut qx);
-        let mut acc = Vec::new();
         let mut out = Tensor2::zeros(5, 12);
-        qm.forward_into(&qx, &mut acc, &mut out, false);
+        qm.forward_into(&qx, &mut out, false);
         assert_close(&out, &x.matmul(&w), 0.03);
     }
 
@@ -238,18 +222,18 @@ mod tests {
         add_row_inplace(&mut want, b.as_slice());
 
         let mut qx = QuantizedRows::new();
-        let mut acc = Vec::new();
         let mut out = Tensor2::zeros(4, 8);
         quantize_rows_into(&x, &mut qx);
-        ql.forward_into(&qx, &mut acc, &mut out);
+        ql.forward_into(&qx, &mut out);
         assert_close(&out, &want, 0.03);
 
-        // Steady state: repeated calls never grow the scratch buffers.
-        let caps = (acc.capacity(), out.capacity());
+        // Steady state: repeated calls never grow the output buffer
+        // (the fused kernel needs no i32 scratch at all).
+        let caps = out.capacity();
         for _ in 0..10 {
             quantize_rows_into(&x, &mut qx);
-            ql.forward_into(&qx, &mut acc, &mut out);
-            assert_eq!((acc.capacity(), out.capacity()), caps);
+            ql.forward_into(&qx, &mut out);
+            assert_eq!(out.capacity(), caps);
         }
     }
 
@@ -273,9 +257,8 @@ mod tests {
         let (mut qx, mut qh) = (QuantizedRows::new(), QuantizedRows::new());
         quantize_rows_into(&x, &mut qx);
         quantize_rows_into(&h, &mut qh);
-        let mut acc = Vec::new();
         let mut gates = Tensor2::zeros(3, 4 * hidden);
-        qc.gates_into(&qx, &qh, &mut acc, &mut gates);
+        qc.gates_into(&qx, &qh, &mut gates);
         assert_close(&gates, &want, 0.05);
     }
 
@@ -289,9 +272,8 @@ mod tests {
         let x = Tensor2::zeros(2, 4);
         let mut qx = QuantizedRows::new();
         quantize_rows_into(&x, &mut qx);
-        let mut acc = Vec::new();
         let mut out = Tensor2::zeros(2, 3);
-        ql.forward_into(&qx, &mut acc, &mut out);
+        ql.forward_into(&qx, &mut out);
         for i in 0..2 {
             assert_eq!(out.row(i), b.row(0));
         }

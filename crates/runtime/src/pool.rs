@@ -180,12 +180,18 @@ impl Default for ChunkPool {
     }
 }
 
-/// Work threshold (in `2·m·n·k` flops) below which [`par_gemm`] stays
-/// on the calling thread: for small problems (e.g. 64³ ≈ 0.5 Mflop),
-/// scoped-thread spawn/join overhead exceeds the compute itself —
-/// BENCH_pr3_kernels.json measured the parallel NT/64 path at roughly
-/// half the blocked kernel's throughput. A 64³ GEMM falls below this
-/// threshold; 128³ (≈ 4.2 Mflop) fans out as before.
+/// Work budget (in `2·m·n·k` flops) per [`par_gemm`] chunk. Problems
+/// below one budget stay on the calling thread: for small problems
+/// (e.g. 64³ ≈ 0.5 Mflop), scoped-thread spawn/join overhead exceeds
+/// the compute itself — BENCH_pr3_kernels.json once measured the
+/// parallel NT/64 path at roughly half the blocked kernel's
+/// throughput. Larger problems fan out to `flops / budget` chunks,
+/// capped by the pool width, so crossing the threshold never jumps
+/// straight from one chunk to `threads` slivers of near-threshold
+/// size — that all-or-nothing fan-out is what left parallel NT *under*
+/// the single-thread kernel on the committed run: each sliver re-paid
+/// per-call setup (and, with packed kernels, re-packed all of B) for
+/// only a fraction of the work.
 const PAR_GEMM_MIN_FLOPS: usize = 1 << 20;
 
 /// Row-parallel blocked GEMM: partitions the output rows over the
@@ -195,9 +201,10 @@ const PAR_GEMM_MIN_FLOPS: usize = 1 << 20;
 /// Because each output element is produced by exactly one worker using
 /// the same per-element arithmetic as the single-threaded kernel, the
 /// result is bitwise-identical to [`kernels::gemm`] at any thread
-/// count. Problems smaller than [`PAR_GEMM_MIN_FLOPS`] run directly on
-/// the calling thread (same kernel, whole row range), which is both
-/// faster and trivially bitwise-identical.
+/// count. The fan-out is scaled to the work (see
+/// [`PAR_GEMM_MIN_FLOPS`]) and chunk boundaries are cut at
+/// [`kernels::gemm_row_alignment`] multiples so every chunk but the
+/// last packs full register-tile row blocks.
 ///
 /// # Panics
 ///
@@ -210,13 +217,37 @@ pub fn par_gemm(pool: &ChunkPool, a: &Tensor2, b: &Tensor2, layout: Layout, out:
     if m == 0 || n == 0 {
         return;
     }
-    if 2 * m * n * k < PAR_GEMM_MIN_FLOPS {
+    let flops = 2 * m * n * k;
+    let align = kernels::gemm_row_alignment().max(1);
+    let blocks = m.div_ceil(align);
+    // One chunk per work budget, capped by pool width and by the
+    // number of MR-row blocks. A pure function of (shape, threads) —
+    // never of runtime timing — so partitions stay deterministic.
+    let chunks = (flops / PAR_GEMM_MIN_FLOPS).clamp(1, pool.threads().min(blocks));
+    if chunks <= 1 {
         kernels::gemm_rows(a, b, layout, 0..m, out.as_mut_slice());
         return;
     }
-    pool.run_chunks(out.as_mut_slice(), n, |first_row, rows| {
-        let hi = first_row + rows.len() / n;
-        kernels::gemm_rows(a, b, layout, first_row..hi, rows);
+    let ranges = ChunkPool::new(chunks).partition(blocks);
+    std::thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        let mut head: Option<(Range<usize>, &mut [f32])> = None;
+        for r in ranges {
+            let lo = r.start * align;
+            let hi = (r.end * align).min(m);
+            let (chunk, tail) = rest.split_at_mut((hi - lo) * n);
+            rest = tail;
+            if head.is_none() {
+                // The calling thread takes the first chunk after the
+                // workers are launched, instead of idling in join.
+                head = Some((lo..hi, chunk));
+            } else {
+                scope.spawn(move || kernels::gemm_rows(a, b, layout, lo..hi, chunk));
+            }
+        }
+        if let Some((rows, chunk)) = head {
+            kernels::gemm_rows(a, b, layout, rows, chunk);
+        }
     });
 }
 
@@ -274,7 +305,11 @@ mod tests {
     fn par_gemm_is_bitwise_identical_across_thread_counts() {
         let mut rng = thread_rng();
         for layout in [Layout::NN, Layout::TN, Layout::NT] {
-            let (m, n, k) = (37, 29, 23);
+            // Big enough that 2·m·n·k clears PAR_GEMM_MIN_FLOPS several
+            // times over, so multi-thread pools genuinely fan out; odd
+            // n keeps panel tails in play and m is not a multiple of
+            // the aligned chunk size.
+            let (m, n, k) = (161, 101, 128);
             let (ashape, bshape) = match layout {
                 Layout::NN => ((m, k), (k, n)),
                 Layout::TN => ((k, m), (k, n)),

@@ -1,4 +1,5 @@
-//! Cache-blocked, register-tiled matrix-multiply kernels.
+//! Cache-blocked, register-tiled matrix-multiply kernels with runtime
+//! SIMD dispatch.
 //!
 //! Every matrix product in the workspace — the LSTM gate projections,
 //! the attention scoring, and all of autograd's backward products —
@@ -10,35 +11,61 @@
 //!
 //! # Design
 //!
-//! The blocked kernels process the output in `MR x NR` register tiles
-//! (`4 x 8`): a tile's 32 partial sums live in registers across the
-//! whole reduction loop, giving the compiler independent accumulator
-//! chains to vectorise and pipeline, while each input panel is
-//! streamed once per tile. Column panels are additionally blocked at
-//! [`NC`] columns so the active slice of `b` stays cache-resident for
-//! consecutive row tiles.
+//! Entry points dispatch once per call on the CPU tier selected by
+//! [`crate::simd`] runtime feature detection:
+//!
+//! * **SIMD tiers** (AVX2/FMA, AVX-512F, NEON) pack A and B into
+//!   zero-padded register panels once per call — so TN's column-major
+//!   A walk and NT's row-major B walk stop paying strided loads — and
+//!   sweep an explicit vector register tile over the panels
+//!   (`6 × 16`, `8 × 32`, `4 × 8` respectively).
+//! * The **scalar blocked** fallback processes the output in
+//!   `MR x NR` (`4 x 8`) register tiles with [`NC`]-column cache
+//!   panels, exactly as before SIMD dispatch existed. It doubles as
+//!   the golden reference: [`set_force_scalar`] routes every call
+//!   through it.
 //!
 //! # Determinism
 //!
 //! Each output element is accumulated over the reduction index `p` in
-//! strictly increasing order, exactly like the naive triple loop —
-//! blocking reorders *which elements* are computed when, never the
-//! floating-point additions *within* an element. The blocked kernels
-//! are therefore bitwise-identical to [`naive_gemm`] for every input,
-//! and row-partitioned parallel drivers (see `voyager-runtime`) are
-//! bitwise-identical at any thread count.
+//! strictly increasing order by a **fused multiply-add** chain:
+//! `f32::mul_add` in the scalar and naive kernels, `vfmadd` / `fmla`
+//! in the vector tiles. An IEEE-754 fma is correctly rounded, so the
+//! same chain produces the same bits on every host; blocking, packing
+//! (zero padding is exact: `fma(0, 0, acc) == acc`), tile shape, and
+//! row partitioning change *which elements* are computed when, never
+//! the arithmetic *within* an element. Naive, scalar blocked, every
+//! SIMD tier, and the row-partitioned parallel driver (see
+//! `voyager-runtime`) are therefore all bitwise-identical, on and
+//! across hosts. On x86-64 the scalar kernels are compiled twice —
+//! once plain, once with the `fma` target feature — and the fast copy
+//! is picked at runtime, so the fallback does not pay a libm `fmaf`
+//! call per element on FMA hardware (the bits are identical either
+//! way).
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use crate::simd;
 use crate::Tensor2;
 
-/// Rows per register tile.
+pub use crate::simd::{active_isa, detected_isa, force_scalar, set_force_scalar, Isa};
+
+/// Rows per scalar register tile.
 pub const MR: usize = 4;
-/// Columns per register tile.
+/// Columns per scalar register tile.
 pub const NR: usize = 8;
-/// Column-panel width for cache blocking.
+/// Column-panel width for cache blocking (scalar path).
 pub const NC: usize = 256;
+
+/// Maximum reduction depth `k` for the int8 kernels before an `i32`
+/// accumulator could overflow: the worst-case `i8 × i8` product is
+/// `(−128) · (−128) = 16 384`, so at most
+/// `⌊(2³¹ − 1) / 16 384⌋ = 131 071` terms are always representable.
+/// Enforced with `debug_assert!` at the [`gemm_i8`] /
+/// [`gemm_i8_dequant`] entry points; layers here sit orders of
+/// magnitude below it.
+pub const MAX_GEMM_I8_K: usize = (i32::MAX as usize) / (128 * 128);
 
 /// Transpose layout of a GEMM: which operand, if any, is consumed
 /// transposed.
@@ -64,11 +91,13 @@ pub enum Layout {
 static FORCE_NAIVE: AtomicBool = AtomicBool::new(false);
 
 /// Routes all subsequent [`gemm`] / [`gemm_acc`] calls through the
-/// naive reference kernel (`true`) or the blocked kernels (`false`).
+/// naive reference kernel (`true`) or the dispatched kernels
+/// (`false`).
 ///
 /// Intended for benchmarks that compare the two paths through real
-/// model code; results are numerically identical either way (see the
-/// module-level determinism note).
+/// model code; results are bitwise-identical either way (see the
+/// module-level determinism note). See [`set_force_scalar`] for the
+/// analogous SIMD-vs-scalar-blocked switch.
 pub fn set_force_naive(force: bool) {
     FORCE_NAIVE.store(force, Ordering::Relaxed);
 }
@@ -154,10 +183,11 @@ pub fn gemm_dims(a: &Tensor2, b: &Tensor2, layout: Layout) -> (usize, usize, usi
     (m, n, k)
 }
 
-/// Blocked matrix multiply `out = a ? b` for the given [`Layout`],
-/// writing into the caller-provided `out` (resized/reshaped to
-/// `[m, n]` if needed; its allocation is reused when already large
-/// enough).
+/// Matrix multiply `out = a ? b` for the given [`Layout`], writing
+/// into the caller-provided `out` (resized/reshaped to `[m, n]` if
+/// needed; its allocation is reused when already large enough).
+/// Dispatches to the detected SIMD tier, or the scalar blocked
+/// fallback.
 ///
 /// # Panics
 ///
@@ -169,11 +199,11 @@ pub fn gemm(a: &Tensor2, b: &Tensor2, layout: Layout, out: &mut Tensor2) {
     if force_naive() {
         naive_gemm_rows(a, b, layout, 0..m, out.as_mut_slice(), false);
     } else {
-        gemm_rows(a, b, layout, 0..m, out.as_mut_slice());
+        gemm_rows_impl(a, b, layout, 0..m, out.as_mut_slice(), false);
     }
 }
 
-/// Blocked matrix multiply-accumulate `out += a ? b` for the given
+/// Matrix multiply-accumulate `out += a ? b` for the given
 /// [`Layout`].
 ///
 /// # Panics
@@ -197,7 +227,8 @@ pub fn gemm_acc(a: &Tensor2, b: &Tensor2, layout: Layout, out: &mut Tensor2) {
 /// This is the unit of work for row-partitioned parallel GEMM: the
 /// driver splits the output into disjoint row ranges and calls this
 /// kernel on each, which is bitwise-identical to a single
-/// whole-matrix call at any partitioning.
+/// whole-matrix call at any partitioning — including empty ranges and
+/// ranges not aligned to any tier's tile height.
 ///
 /// # Panics
 ///
@@ -211,6 +242,15 @@ pub fn gemm_rows(
     out_rows: &mut [f32],
 ) {
     gemm_rows_impl(a, b, layout, rows, out_rows, false);
+}
+
+/// The active tier's register-tile height `MR` — the row granularity
+/// at which parallel drivers should cut [`gemm_rows`] partitions so
+/// chunk boundaries fall on tile edges. Misaligned cuts are still
+/// *correct* (and bitwise-identical); they just waste a padded tail
+/// tile per chunk.
+pub fn gemm_row_alignment() -> usize {
+    simd::active_isa().tile_dims().0
 }
 
 /// Ensures `out` is an `[m, n]` tensor, reusing its buffer.
@@ -244,10 +284,47 @@ fn gemm_rows_impl(
 ) {
     let (m, n, k) = gemm_dims(a, b, layout);
     check_rows(m, n, &rows, out_rows.len());
-    if n == 0 {
+    if n == 0 || rows.is_empty() {
+        return;
+    }
+    if k == 0 {
+        // An empty reduction contributes exactly 0.0 to every element,
+        // same as the reference's zero-length accumulator chain (the
+        // `+= 0.0` matters bitwise: it normalises -0.0 in `out`).
+        for o in out_rows.iter_mut() {
+            if acc {
+                *o += 0.0;
+            } else {
+                *o = 0.0;
+            }
+        }
         return;
     }
     let (a, b) = (a.as_slice(), b.as_slice());
+    match simd::active_isa() {
+        Isa::Scalar => simd::run_scalar_blocked(a, b, layout, m, n, k, rows, out_rows, acc),
+        isa => simd::gemm_rows_packed(isa, a, b, layout, m, n, k, rows, out_rows, acc),
+    }
+}
+
+/// Scalar blocked kernel body, shared by the plain and
+/// `fma`-target-feature compilations picked in
+/// [`simd::run_scalar_blocked`]. Both run the identical
+/// `f32::mul_add` chains — the clone only avoids a libm `fmaf` call
+/// per element.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn blocked_rows_body(
+    a: &[f32],
+    b: &[f32],
+    layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
     // Column panels keep the active slice of `b` cache-resident across
     // consecutive row tiles; the panel split does not touch the
     // per-element reduction order.
@@ -264,7 +341,7 @@ fn gemm_rows_impl(
 }
 
 /// Writes a finished register tile into the output slice.
-#[inline]
+#[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn store_tile(
     tile: &[[f32; NR]; MR],
@@ -289,6 +366,7 @@ fn store_tile(
 }
 
 /// `NN` panel: `out[i][j] = sum_p a[i*k + p] * b[p*n + j]`.
+#[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn block_nn(
     a: &[f32],
@@ -323,10 +401,10 @@ fn block_nn(
                     let (x0, x1, x2, x3) = (a0[p], a1[p], a2[p], a3[p]);
                     for c in 0..NR {
                         let bv = bs[c];
-                        t0[c] += x0 * bv;
-                        t1[c] += x1 * bv;
-                        t2[c] += x2 * bv;
-                        t3[c] += x3 * bv;
+                        t0[c] = x0.mul_add(bv, t0[c]);
+                        t1[c] = x1.mul_add(bv, t1[c]);
+                        t2[c] = x2.mul_add(bv, t2[c]);
+                        t3[c] = x3.mul_add(bv, t3[c]);
                     }
                 }
                 tile = [t0, t1, t2, t3];
@@ -336,7 +414,7 @@ fn block_nn(
                     for (p, &x) in arow.iter().enumerate() {
                         let bs = &b[p * n + j..p * n + j + nr];
                         for (t, &bv) in trow.iter_mut().zip(bs) {
-                            *t += x * bv;
+                            *t = x.mul_add(bv, *t);
                         }
                     }
                 }
@@ -349,6 +427,7 @@ fn block_nn(
 }
 
 /// `TN` panel: `out[i][j] = sum_p a[p*m + i] * b[p*n + j]`.
+#[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn block_tn(
     a: &[f32],
@@ -381,10 +460,10 @@ fn block_tn(
                     let (x0, x1, x2, x3) = (asv[0], asv[1], asv[2], asv[3]);
                     for c in 0..NR {
                         let bv = bs[c];
-                        t0[c] += x0 * bv;
-                        t1[c] += x1 * bv;
-                        t2[c] += x2 * bv;
-                        t3[c] += x3 * bv;
+                        t0[c] = x0.mul_add(bv, t0[c]);
+                        t1[c] = x1.mul_add(bv, t1[c]);
+                        t2[c] = x2.mul_add(bv, t2[c]);
+                        t3[c] = x3.mul_add(bv, t3[c]);
                     }
                 }
                 tile = [t0, t1, t2, t3];
@@ -394,7 +473,7 @@ fn block_tn(
                     let bs = &b[p * n + j..p * n + j + nr];
                     for (r, &x) in asv.iter().enumerate() {
                         for (t, &bv) in tile[r].iter_mut().zip(bs) {
-                            *t += x * bv;
+                            *t = x.mul_add(bv, *t);
                         }
                     }
                 }
@@ -407,6 +486,7 @@ fn block_tn(
 }
 
 /// `NT` panel: `out[i][j] = sum_p a[i*k + p] * b[j*k + p]`.
+#[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn block_nt(
     a: &[f32],
@@ -431,7 +511,9 @@ fn block_nt(
                 // 32 independent accumulator chains: the dot-product
                 // form cannot vectorise over `p` without reassociating
                 // sums, so throughput comes from instruction-level
-                // parallelism across the tile instead.
+                // parallelism across the tile instead. (The SIMD tiers
+                // avoid this entirely by packing B, which transposes
+                // NT into the broadcast-AXPY form.)
                 let arows: [&[f32]; MR] = std::array::from_fn(|r| &a[(i + r) * k..(i + r + 1) * k]);
                 let brows: [&[f32]; NR] = std::array::from_fn(|c| &b[(j + c) * k..(j + c + 1) * k]);
                 for p in 0..k {
@@ -439,7 +521,7 @@ fn block_nt(
                     let bv: [f32; NR] = std::array::from_fn(|c| brows[c][p]);
                     for (trow, &x) in tile.iter_mut().zip(&av) {
                         for (t, &y) in trow.iter_mut().zip(&bv) {
-                            *t += x * y;
+                            *t = x.mul_add(y, *t);
                         }
                     }
                 }
@@ -450,7 +532,7 @@ fn block_nt(
                         let brow = &b[(j + c) * k..(j + c + 1) * k];
                         let mut s = 0.0f32;
                         for (&x, &y) in arow.iter().zip(brow) {
-                            s += x * y;
+                            s = x.mul_add(y, s);
                         }
                         *t = s;
                     }
@@ -464,9 +546,9 @@ fn block_nt(
 }
 
 /// Reference kernel: the straightforward triple loop, one sequential
-/// accumulator per output element. Golden-value tests compare the
-/// blocked kernels against this, and benchmarks report it as the
-/// baseline.
+/// fused-multiply-add accumulator per output element. Golden-value
+/// tests compare the dispatched kernels against this, and benchmarks
+/// report it as the baseline.
 ///
 /// # Panics
 ///
@@ -488,6 +570,24 @@ fn naive_gemm_rows(
     let (m, n, k) = gemm_dims(a, b, layout);
     check_rows(m, n, &rows, out_rows.len());
     let (a, b) = (a.as_slice(), b.as_slice());
+    simd::run_naive(a, b, layout, m, n, k, rows, out_rows, acc);
+}
+
+/// Naive kernel body, shared by the plain and `fma`-target-feature
+/// compilations picked in [`simd::run_naive`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn naive_rows_body(
+    a: &[f32],
+    b: &[f32],
+    layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
     for i in rows.start..rows.end {
         let out_row = &mut out_rows[(i - rows.start) * n..(i - rows.start + 1) * n];
         for (j, o) in out_row.iter_mut().enumerate() {
@@ -498,7 +598,7 @@ fn naive_gemm_rows(
                     Layout::TN => (a[p * m + i], b[p * n + j]),
                     Layout::NT => (a[i * k + p], b[j * k + p]),
                 };
-                s += x * y;
+                s = x.mul_add(y, s);
             }
             if acc {
                 *o += s;
@@ -523,8 +623,9 @@ fn note_gemm_i8(m: usize, n: usize, k: usize) {
 #[cfg(not(feature = "obs"))]
 fn note_gemm_i8(_m: usize, _n: usize, _k: usize) {}
 
-/// Total [`gemm_i8`] invocations since start (or the last
-/// [`reset_kernel_metrics`]). Always 0 without the `obs` feature.
+/// Total [`gemm_i8`] / [`gemm_i8_dequant`] invocations since start (or
+/// the last [`reset_kernel_metrics`]). Always 0 without the `obs`
+/// feature.
 pub fn int8_gemm_invocations() -> u64 {
     #[cfg(feature = "obs")]
     {
@@ -537,7 +638,7 @@ pub fn int8_gemm_invocations() -> u64 {
 }
 
 /// Total integer multiply-add operations (`2·m·n·k` per call) tallied
-/// by [`gemm_i8`]. Always 0 without the `obs` feature.
+/// by the int8 entry points. Always 0 without the `obs` feature.
 pub fn int8_gemm_ops() -> u64 {
     #[cfg(feature = "obs")]
     {
@@ -551,18 +652,20 @@ pub fn int8_gemm_ops() -> u64 {
 
 /// Quantized matrix multiply `out[m,n] = a[m,k] · b[k,n]` over `i8`
 /// operands accumulating in `i32`, all row-major (NN layout — the
-/// `[in, out]` orientation [`QuantizedTensor`] weights are stored in,
+/// `[in, out]` orientation `QuantizedTensor` weights are stored in,
 /// so no transpose is needed at call sites).
 ///
-/// The inner loops stream `b` row-by-row (`out[i][j] += a[i][p] *
-/// b[p][j]` with `p` in the middle), the same access pattern that lets
-/// the f32 kernels auto-vectorise: each `p` step is a scalar-times-row
-/// AXPY over the output row. Rows of `a` with a zero code are skipped
-/// — exact for integers, and common after symmetric activation
-/// quantization of post-sigmoid gates.
+/// Dispatches to widening SIMD kernels (i8 → i16 products, which are
+/// exact at magnitude ≤ 16 384, accumulated in i32 lanes) on AVX2 and
+/// NEON hosts; the scalar fallback streams `b` row-by-row as a
+/// scalar-times-row AXPY. Rows of `a` with a zero code are skipped on
+/// every path — exact for integers, and common after symmetric
+/// activation quantization of post-sigmoid gates. Integer arithmetic
+/// has no rounding, so all paths agree bit-for-bit.
 ///
-/// `i8 × i8` products are at most `127 · 127`, so `i32` accumulation
-/// cannot overflow until `k > 133 000`, far beyond any layer here.
+/// The worst-case product is `(−128) · (−128) = 16 384`, so `i32`
+/// accumulation is overflow-free only up to `k =` [`MAX_GEMM_I8_K`]
+/// `= 131 071` terms; a `debug_assert!` enforces the bound here.
 ///
 /// # Panics
 ///
@@ -571,45 +674,141 @@ pub fn gemm_i8(a: &[i8], b: &[i8], m: usize, n: usize, k: usize, out: &mut [i32]
     assert_eq!(a.len(), m * k, "gemm_i8 lhs length mismatch");
     assert_eq!(b.len(), k * n, "gemm_i8 rhs length mismatch");
     assert_eq!(out.len(), m * n, "gemm_i8 output length mismatch");
+    debug_assert!(
+        k <= MAX_GEMM_I8_K,
+        "gemm_i8 depth {k} exceeds the i32 overflow bound {MAX_GEMM_I8_K}"
+    );
     note_gemm_i8(m, n, k);
+    if !simd::try_gemm_i8(a, b, m, n, k, out) {
+        scalar_gemm_i8(a, b, m, n, k, out);
+    }
+}
+
+/// Quantized matrix multiply with the dequantization epilogue fused
+/// in: `out[i][j] (+)= scales[i] · sw · (acc[i][j] − zw · sums[i])`
+/// where `acc` is the i32 product of [`gemm_i8`]. On SIMD tiers the
+/// i32 accumulators live entirely in registers — the `m × n` i32
+/// scratch buffer the unfused sequence needs is gone. `scales` and
+/// `sums` are the per-row activation quantization parameters
+/// (`QuantizedRows`), `sw`/`zw` the weight scale and zero point.
+///
+/// The correction subtraction uses wrapping i32 arithmetic and the
+/// i32 → f32 conversion rounds to nearest even on every path, so
+/// scalar and SIMD results are bitwise-identical. With `accumulate`,
+/// contributions are added on top of `out` (`gates += wh·h` in the
+/// quantized LSTM); otherwise `out` is overwritten.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m·k`, `k·n`, `m·n`, and
+/// `m` for `scales` / `sums`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_dequant(
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    n: usize,
+    k: usize,
+    scales: &[f32],
+    sums: &[i32],
+    sw: f32,
+    zw: i32,
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "gemm_i8_dequant lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_i8_dequant rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_i8_dequant output length mismatch");
+    assert_eq!(scales.len(), m, "gemm_i8_dequant scales length mismatch");
+    assert_eq!(sums.len(), m, "gemm_i8_dequant sums length mismatch");
+    debug_assert!(
+        k <= MAX_GEMM_I8_K,
+        "gemm_i8_dequant depth {k} exceeds the i32 overflow bound {MAX_GEMM_I8_K}"
+    );
+    note_gemm_i8(m, n, k);
+    if !simd::try_gemm_i8_dequant(a, b, m, n, k, scales, sums, sw, zw, out, accumulate) {
+        scalar_gemm_i8_dequant(a, b, m, n, k, scales, sums, sw, zw, out, accumulate);
+    }
+}
+
+/// Scalar int8 reference: AXPY row streaming with zero-skip.
+fn scalar_gemm_i8(a: &[i8], b: &[i8], m: usize, n: usize, k: usize, out: &mut [i32]) {
     for o in out.iter_mut() {
         *o = 0;
     }
     for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        // Four A-coefficients per pass: the i32 output row is streamed
-        // k/4 times instead of k times, which dominates the cost at the
-        // skinny shapes inference produces (m = batch, often 1).
-        // Integer arithmetic is exact, so the blocking cannot change
-        // the result.
-        let mut p = 0;
-        while p + 4 <= k {
-            let c0 = a_row[p] as i32;
-            let c1 = a_row[p + 1] as i32;
-            let c2 = a_row[p + 2] as i32;
-            let c3 = a_row[p + 3] as i32;
-            if c0 | c1 | c2 | c3 != 0 {
-                let (b0, rest) = b[p * n..(p + 4) * n].split_at(n);
-                let (b1, rest) = rest.split_at(n);
-                let (b2, b3) = rest.split_at(n);
-                for ((((o, &v0), &v1), &v2), &v3) in
-                    out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                {
-                    *o += c0 * v0 as i32 + c1 * v1 as i32 + c2 * v2 as i32 + c3 * v3 as i32;
-                }
-            }
-            p += 4;
+        i8_axpy_row(
+            &a[i * k..(i + 1) * k],
+            b,
+            n,
+            k,
+            &mut out[i * n..(i + 1) * n],
+        );
+    }
+}
+
+/// Scalar fused-dequant fallback: one reusable n-length i32 strip per
+/// row (thread-local, sanctioned scratch) instead of an `m × n`
+/// buffer.
+#[allow(clippy::too_many_arguments)]
+fn scalar_gemm_i8_dequant(
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    n: usize,
+    k: usize,
+    scales: &[f32],
+    sums: &[i32],
+    sw: f32,
+    zw: i32,
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    simd::pack::for_each_zeroed_i8_strip(n, m, |i, accrow| {
+        i8_axpy_row(&a[i * k..(i + 1) * k], b, n, k, accrow);
+        let corr = zw.wrapping_mul(sums[i]);
+        let sc = scales[i] * sw;
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (o, &acc) in orow.iter_mut().zip(accrow.iter()) {
+            let v = sc * (acc.wrapping_sub(corr)) as f32;
+            *o = if accumulate { *o + v } else { v };
         }
-        for (&ap, p) in a_row[p..].iter().zip(p..k) {
-            if ap == 0 {
-                continue;
+    });
+}
+
+/// One output row of the scalar int8 kernel: `out_row[j] += Σ_p
+/// a_row[p] · b[p][j]` over a zeroed `out_row`.
+///
+/// Four A-coefficients per pass: the i32 output row is streamed `k/4`
+/// times instead of `k` times, which dominates the cost at the skinny
+/// shapes inference produces (`m` = batch, often 1). Integer
+/// arithmetic is exact, so the blocking cannot change the result.
+fn i8_axpy_row(a_row: &[i8], b: &[i8], n: usize, k: usize, out_row: &mut [i32]) {
+    let mut p = 0;
+    while p + 4 <= k {
+        let c0 = a_row[p] as i32;
+        let c1 = a_row[p + 1] as i32;
+        let c2 = a_row[p + 2] as i32;
+        let c3 = a_row[p + 3] as i32;
+        if c0 | c1 | c2 | c3 != 0 {
+            let (b0, rest) = b[p * n..(p + 4) * n].split_at(n);
+            let (b1, rest) = rest.split_at(n);
+            let (b2, b3) = rest.split_at(n);
+            for ((((o, &v0), &v1), &v2), &v3) in out_row.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                *o += c0 * v0 as i32 + c1 * v1 as i32 + c2 * v2 as i32 + c3 * v3 as i32;
             }
-            let ap = ap as i32;
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += ap * bv as i32;
-            }
+        }
+        p += 4;
+    }
+    for (&ap, p) in a_row[p..].iter().zip(p..k) {
+        if ap == 0 {
+            continue;
+        }
+        let ap = ap as i32;
+        let b_row = &b[p * n..(p + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row) {
+            *o += ap * bv as i32;
         }
     }
 }
@@ -618,7 +817,7 @@ pub fn gemm_i8(a: &[i8], b: &[i8], m: usize, n: usize, k: usize, out: &mut [i32]
 mod tests {
     use super::*;
     use crate::rng::thread_rng;
-    use crate::rng::Rng;
+    use crate::rng::{Rng, SeedableRng, StdRng};
 
     const LAYOUTS: [Layout; 3] = [Layout::NN, Layout::TN, Layout::NT];
 
@@ -638,6 +837,13 @@ mod tests {
             Tensor2::uniform(ashape.0, ashape.1, 1.0, rng),
             Tensor2::uniform(bshape.0, bshape.1, 1.0, rng),
         )
+    }
+
+    fn assert_bits_eq(got: &[f32], want: &[f32], ctx: &str) {
+        assert_eq!(got.len(), want.len(), "{ctx}: length");
+        for (i, (x, y)) in got.iter().zip(want).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx} at {i}: {x} != {y}");
+        }
     }
 
     #[test]
@@ -662,14 +868,72 @@ mod tests {
                 gemm(&a, &b, layout, &mut blocked);
                 naive_gemm(&a, &b, layout, &mut naive);
                 assert_eq!(blocked.shape(), (m, n));
-                for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
-                    assert_eq!(
-                        x.to_bits(),
-                        y.to_bits(),
-                        "{layout:?} {m}x{n}x{k}: {x} != {y}"
-                    );
-                }
+                assert_bits_eq(
+                    blocked.as_slice(),
+                    naive.as_slice(),
+                    &format!("{layout:?} {m}x{n}x{k}"),
+                );
             }
+        }
+    }
+
+    #[test]
+    fn simd_matches_scalar_bitwise_per_layout_and_tail() {
+        let _guard = simd::test_toggle_lock();
+        let mut rng = thread_rng();
+        // Shapes hitting full tiles and every (mr, nr) tail class of
+        // every tier's tile: 4x8 scalar, 6x16 AVX2, 8x32 AVX-512,
+        // 4x8 NEON — plus k values below and above the tile heights.
+        let shapes = [
+            (1, 1, 1),
+            (2, 3, 4),
+            (3, 5, 2),
+            (4, 8, 5),
+            (5, 9, 7),
+            (6, 16, 3),
+            (7, 17, 13),
+            (8, 32, 4),
+            (9, 33, 5),
+            (11, 31, 17),
+            (12, 24, 32),
+            (13, 40, 21),
+            (16, 48, 64),
+            (33, 65, 31),
+        ];
+        for layout in LAYOUTS {
+            for &(m, n, k) in &shapes {
+                let (a, b) = operands(m, n, k, layout, &mut rng);
+                let mut fast = Tensor2::zeros(1, 1);
+                gemm(&a, &b, layout, &mut fast);
+                set_force_scalar(true);
+                let mut slow = Tensor2::zeros(1, 1);
+                gemm(&a, &b, layout, &mut slow);
+                set_force_scalar(false);
+                assert_bits_eq(
+                    fast.as_slice(),
+                    slow.as_slice(),
+                    &format!("{layout:?} {m}x{n}x{k} ({})", detected_isa().name()),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn acc_is_bitwise_identical_across_dispatch() {
+        let _guard = simd::test_toggle_lock();
+        let mut rng = thread_rng();
+        for layout in LAYOUTS {
+            let (a, b) = operands(7, 17, 13, layout, &mut rng);
+            let (c, d) = operands(7, 17, 5, layout, &mut rng);
+            let mut fast = Tensor2::zeros(1, 1);
+            gemm(&a, &b, layout, &mut fast);
+            gemm_acc(&c, &d, layout, &mut fast);
+            set_force_scalar(true);
+            let mut slow = Tensor2::zeros(1, 1);
+            gemm(&a, &b, layout, &mut slow);
+            gemm_acc(&c, &d, layout, &mut slow);
+            set_force_scalar(false);
+            assert_bits_eq(fast.as_slice(), slow.as_slice(), &format!("{layout:?}"));
         }
     }
 
@@ -710,8 +974,89 @@ mod tests {
             for (lo, hi) in [(0usize, 5usize), (5, 6), (6, m)] {
                 gemm_rows(&a, &b, layout, lo..hi, &mut parts[lo * n..hi * n]);
             }
-            for (x, y) in whole.as_slice().iter().zip(&parts) {
-                assert_eq!(x.to_bits(), y.to_bits(), "{layout:?}");
+            assert_bits_eq(whole.as_slice(), &parts, &format!("{layout:?}"));
+        }
+    }
+
+    #[test]
+    fn gemm_rows_empty_and_unaligned_ranges_are_exact() {
+        let _guard = simd::test_toggle_lock();
+        let mut rng = thread_rng();
+        let (m, n, k) = (19, 23, 11);
+        for layout in LAYOUTS {
+            let (a, b) = operands(m, n, k, layout, &mut rng);
+            let mut whole = Tensor2::zeros(1, 1);
+            gemm(&a, &b, layout, &mut whole);
+            for force in [false, true] {
+                set_force_scalar(force);
+                // Degenerate (empty) ranges: no output, no panic.
+                for lo in [0usize, 7, m] {
+                    let mut empty: [f32; 0] = [];
+                    gemm_rows(&a, &b, layout, lo..lo, &mut empty);
+                }
+                // Partition at cuts not aligned to any tier's tile
+                // height (1- and 6-row blocks, plus tails) — exercises
+                // the clipped tail store of every tile shape.
+                let cuts = [0usize, 1, 6, 7, 13, m];
+                let mut parts = vec![0.0f32; m * n];
+                for w in cuts.windows(2) {
+                    gemm_rows(&a, &b, layout, w[0]..w[1], &mut parts[w[0] * n..w[1] * n]);
+                }
+                assert_bits_eq(
+                    whole.as_slice(),
+                    &parts,
+                    &format!("{layout:?} force_scalar={force}"),
+                );
+            }
+            set_force_scalar(false);
+        }
+    }
+
+    #[test]
+    fn property_random_shapes_agree_across_dispatch_paths() {
+        let _guard = simd::test_toggle_lock();
+        // Seeded loop: deterministic shapes and data, byte-stable
+        // across hosts (splitmix64), so a failure reproduces exactly.
+        let mut rng = StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15);
+        for round in 0..48 {
+            let m = rng.gen_range(1..40u64) as usize;
+            let n = rng.gen_range(1..72u64) as usize;
+            let k = rng.gen_range(1..48u64) as usize;
+            let layout = LAYOUTS[(round % 3) as usize];
+            let (a, b) = operands(m, n, k, layout, &mut rng);
+            let mut fast = Tensor2::zeros(1, 1);
+            gemm(&a, &b, layout, &mut fast);
+            set_force_scalar(true);
+            let mut slow = Tensor2::zeros(1, 1);
+            gemm(&a, &b, layout, &mut slow);
+            set_force_scalar(false);
+            let mut reference = Tensor2::zeros(1, 1);
+            naive_gemm(&a, &b, layout, &mut reference);
+            let ctx = format!("round {round} {layout:?} {m}x{n}x{k}");
+            assert_bits_eq(fast.as_slice(), slow.as_slice(), &ctx);
+            assert_bits_eq(fast.as_slice(), reference.as_slice(), &ctx);
+
+            // Int8: SIMD vs the exact integer reference.
+            let qa: Vec<i8> = (0..m * k)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect();
+            let qb: Vec<i8> = (0..k * n)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect();
+            let mut qfast = vec![1i32; m * n];
+            gemm_i8(&qa, &qb, m, n, k, &mut qfast);
+            set_force_scalar(true);
+            let mut qslow = vec![2i32; m * n];
+            gemm_i8(&qa, &qb, m, n, k, &mut qslow);
+            set_force_scalar(false);
+            assert_eq!(qfast, qslow, "{ctx} int8 dispatch");
+            for i in 0..m {
+                for j in 0..n {
+                    let want: i32 = (0..k)
+                        .map(|p| qa[i * k + p] as i32 * qb[p * n + j] as i32)
+                        .sum();
+                    assert_eq!(qfast[i * n + j], want, "{ctx} int8 at ({i},{j})");
+                }
             }
         }
     }
@@ -759,6 +1104,7 @@ mod tests {
         let mut out = Tensor2::zeros(1, 1);
         gemm(&a, &b, Layout::NN, &mut out);
     }
+
     #[test]
     fn gemm_i8_matches_integer_reference() {
         let mut rng = thread_rng();
@@ -780,6 +1126,98 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn gemm_i8_boundary_depth_is_exact() {
+        let _guard = simd::test_toggle_lock();
+        // Worst-case magnitudes at the documented depth limit: the
+        // accumulator reaches 131 071 · 16 384 = 2 147 467 264, just
+        // below i32::MAX. n = 16 drives the vector strip path, n = 1
+        // the scalar-tail path.
+        let k = MAX_GEMM_I8_K;
+        let want = (k as i64 * 16_384) as i32;
+        assert!((want as i64) == k as i64 * 16_384, "bound fits i32");
+        for n in [1usize, 16] {
+            let a = vec![-128i8; k];
+            let b = vec![-128i8; k * n];
+            let mut out = vec![0i32; n];
+            for force in [false, true] {
+                set_force_scalar(force);
+                gemm_i8(&a, &b, 1, n, k, &mut out);
+                assert!(out.iter().all(|&v| v == want), "n={n} force={force}");
+            }
+        }
+        set_force_scalar(false);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn gemm_i8_depth_beyond_bound_is_rejected_in_debug() {
+        let r = std::panic::catch_unwind(|| {
+            let k = MAX_GEMM_I8_K + 1;
+            let a = vec![0i8; k];
+            let b = vec![0i8; k];
+            let mut out = vec![0i32; 1];
+            gemm_i8(&a, &b, 1, 1, k, &mut out);
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn gemm_i8_dequant_matches_unfused_reference_across_dispatch() {
+        let _guard = simd::test_toggle_lock();
+        let mut rng = StdRng::seed_from_u64(42);
+        let sw = 0.031_25f32;
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (1, 16, 8),
+            (2, 17, 9),
+            (3, 33, 5),
+            (4, 40, 21),
+        ] {
+            let a: Vec<i8> = (0..m * k)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect();
+            let b: Vec<i8> = (0..k * n)
+                .map(|_| rng.gen_range(-128i32..=127) as i8)
+                .collect();
+            let scales: Vec<f32> = (0..m).map(|i| 0.01 + i as f32 * 0.003).collect();
+            let sums: Vec<i32> = a
+                .chunks_exact(k)
+                .map(|row| row.iter().map(|&v| v as i32).sum())
+                .collect();
+            let zw = rng.gen_range(-5i32..=5);
+            // Unfused reference: integer GEMM, then the epilogue.
+            let mut acc = vec![0i32; m * n];
+            gemm_i8(&a, &b, m, n, k, &mut acc);
+            for accumulate in [false, true] {
+                let base: Vec<f32> = (0..m * n).map(|x| x as f32 * 0.5 - 7.0).collect();
+                let mut want = base.clone();
+                for i in 0..m {
+                    let corr = zw.wrapping_mul(sums[i]);
+                    let sc = scales[i] * sw;
+                    for j in 0..n {
+                        let v = sc * (acc[i * n + j].wrapping_sub(corr)) as f32;
+                        let o = &mut want[i * n + j];
+                        *o = if accumulate { *o + v } else { v };
+                    }
+                }
+                for force in [false, true] {
+                    set_force_scalar(force);
+                    let mut got = base.clone();
+                    gemm_i8_dequant(
+                        &a, &b, m, n, k, &scales, &sums, sw, zw, &mut got, accumulate,
+                    );
+                    assert_bits_eq(
+                        &got,
+                        &want,
+                        &format!("{m}x{n}x{k} accumulate={accumulate} force={force}"),
+                    );
+                }
+            }
+        }
+        set_force_scalar(false);
     }
 
     #[test]

@@ -34,7 +34,11 @@
 //! assert_eq!(tape.grad(x).unwrap().get(0, 1), 4.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `simd` module is the one sanctioned home
+// for `unsafe` (std::arch intrinsics behind runtime feature
+// detection, every site carrying a `// SAFETY:` comment, audited by
+// voyager-analyze). Everything else in the crate stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod tape;
@@ -45,6 +49,8 @@ pub mod gradcheck;
 pub mod infer;
 pub mod kernels;
 pub mod rng;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod topk;
 
 pub use infer::{Arena, BufId, QuantizedRows};

@@ -1,0 +1,579 @@
+//! Runtime CPU dispatch for the SIMD micro-kernels.
+//!
+//! The blocked GEMM in [`kernels`](crate::kernels) picks an
+//! instruction-set tier **once** per process via [`Isa`] detection
+//! (`is_x86_feature_detected!` on x86-64, baseline NEON on aarch64)
+//! and routes every kernel invocation through it. The scalar blocked
+//! path remains as the portable fallback and as the golden reference
+//! the SIMD tiers are tested against.
+//!
+//! # Bitwise identity across tiers
+//!
+//! Every tier — scalar, AVX2/FMA, AVX-512, NEON — accumulates each
+//! output element over the reduction index `p` in strictly increasing
+//! order using *fused* multiply-adds (`f32::mul_add` in the scalar
+//! reference, `vfmadd`/`fmla` in the vector kernels). An IEEE-754
+//! fused multiply-add is correctly rounded, so the same sequence of
+//! fmas produces the same bits on every CPU; the tiers differ only in
+//! *how many elements* advance per instruction, never in the
+//! per-element arithmetic. Golden tests in `kernels` assert this
+//! bitwise agreement for every layout and tail shape.
+//!
+//! # Forcing the scalar path
+//!
+//! Two switches exist, mirroring `set_force_naive`:
+//!
+//! * [`set_force_scalar`] — a runtime toggle used by benchmarks and
+//!   the golden tests to compare tiers through unmodified call sites.
+//! * The `force-scalar` cargo feature — a compile-time kill switch CI
+//!   uses to run the whole test suite over the fallback path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+pub(crate) mod pack;
+
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
+
+/// The instruction-set tier the GEMM kernels dispatch to.
+///
+/// Ordinals (see [`Isa::ordinal`]) are stable and exported as the
+/// `tensor.gemm.dispatch` gauge by `voyagerctl metrics`:
+/// `0 = scalar`, `1 = avx2`, `2 = avx512`, `3 = neon`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// Portable scalar blocked kernels (the golden reference).
+    Scalar,
+    /// AVX2 + FMA: 8-lane f32 tiles, 16-lane i8→i16 widening dots.
+    Avx2,
+    /// AVX-512F/BW: 16-lane f32 tiles (two FMA ports on server parts).
+    Avx512,
+    /// AArch64 NEON: 4-lane f32 tiles via `fmla`.
+    Neon,
+}
+
+impl Isa {
+    /// Lower-case tier name, as reported in bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+            Isa::Neon => "neon",
+        }
+    }
+
+    /// Stable numeric id for the `tensor.gemm.dispatch` gauge.
+    pub fn ordinal(self) -> i64 {
+        match self {
+            Isa::Scalar => 0,
+            Isa::Avx2 => 1,
+            Isa::Avx512 => 2,
+            Isa::Neon => 3,
+        }
+    }
+
+    /// `(MR, NR)` register-tile shape of this tier's micro-kernel.
+    /// Tile shape never affects results (per-element arithmetic is
+    /// tile-independent), only throughput.
+    pub(crate) fn tile_dims(self) -> (usize, usize) {
+        match self {
+            Isa::Scalar => (crate::kernels::MR, crate::kernels::NR),
+            Isa::Avx2 => (6, 16),
+            Isa::Avx512 => (8, 32),
+            Isa::Neon => (4, 8),
+        }
+    }
+}
+
+/// When set, all kernel entry points route to the scalar blocked path
+/// regardless of detected CPU features. Results are bitwise-identical
+/// either way; this exists for benchmarks and golden tests.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Routes all subsequent kernel calls through the scalar blocked path
+/// (`true`) or the detected SIMD tier (`false`). Mirrors
+/// `set_force_naive`; see the module docs for the identity contract.
+pub fn set_force_scalar(force: bool) {
+    FORCE_SCALAR.store(force, Ordering::Relaxed);
+}
+
+/// Returns whether the scalar blocked path is currently forced.
+pub fn force_scalar() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// Cached hardware probe: the best available tier plus whether the
+/// host has a hardware FMA unit (used to pick the fast compiled copy
+/// of the *scalar* kernels — same arithmetic, same bits, no libm
+/// round trip per element).
+static DETECTED: OnceLock<(Isa, bool)> = OnceLock::new();
+
+#[cfg(target_arch = "x86_64")]
+fn detect_hw() -> (Isa, bool) {
+    let fma = is_x86_feature_detected!("fma");
+    let avx2 = is_x86_feature_detected!("avx2");
+    if fma && avx2 && is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+        (Isa::Avx512, true)
+    } else if fma && avx2 {
+        (Isa::Avx2, true)
+    } else {
+        (Isa::Scalar, fma)
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn detect_hw() -> (Isa, bool) {
+    // NEON (with fused `fmla`) is part of the baseline aarch64 target.
+    (Isa::Neon, false)
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn detect_hw() -> (Isa, bool) {
+    (Isa::Scalar, false)
+}
+
+fn detection() -> (Isa, bool) {
+    if cfg!(feature = "force-scalar") {
+        // Compile-time kill switch: pretend the host has nothing. The
+        // scalar path may still use the FMA-compiled copy — identical
+        // bits, it only skips the libm fma round trip per element.
+        return *DETECTED.get_or_init(detect_hw_fma_only);
+    }
+    *DETECTED.get_or_init(detect_hw)
+}
+
+#[cfg(all(target_arch = "x86_64", feature = "force-scalar"))]
+fn detect_hw_fma_only() -> (Isa, bool) {
+    (Isa::Scalar, is_x86_feature_detected!("fma"))
+}
+
+#[cfg(all(not(target_arch = "x86_64"), feature = "force-scalar"))]
+fn detect_hw_fma_only() -> (Isa, bool) {
+    (Isa::Scalar, false)
+}
+
+#[cfg(not(feature = "force-scalar"))]
+#[allow(dead_code)]
+fn detect_hw_fma_only() -> (Isa, bool) {
+    (Isa::Scalar, false)
+}
+
+/// The tier the kernels will actually use for the next call: the
+/// detected tier, downgraded to [`Isa::Scalar`] while
+/// [`set_force_scalar`] is on or when built with the `force-scalar`
+/// feature.
+pub fn active_isa() -> Isa {
+    if force_scalar() {
+        Isa::Scalar
+    } else {
+        detection().0
+    }
+}
+
+/// The tier runtime feature detection selected for this host,
+/// ignoring the force switches (still [`Isa::Scalar`] under the
+/// `force-scalar` feature, which disables detection entirely).
+pub fn detected_isa() -> Isa {
+    detection().0
+}
+
+/// Whether the host has a hardware FMA unit (drives the choice of
+/// compiled copy for the scalar kernels on x86-64).
+pub(crate) fn fma_available() -> bool {
+    detection().1
+}
+
+use crate::kernels::Layout;
+use std::ops::Range;
+
+/// Cache-blocking budget for one group of packed A row-block panels;
+/// sized to fit mid-level cache alongside one B panel on typical
+/// server parts (256 KB of A + at most 64 KB of B panel).
+const GROUP_A_BYTES: usize = 256 * 1024;
+
+/// Packed-panel GEMM driver shared by every SIMD tier. Packs B into
+/// NR-wide panels once for the whole call and each MR-row block of A
+/// once per block, then sweeps the layout-blind register tile over
+/// the panels. `out_rows` covers rows `rows.start..rows.end` of the
+/// full output (row `i` lives at `(i - rows.start) * n`), matching
+/// the `gemm_rows` contract used by `par_gemm`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_rows_packed(
+    isa: Isa,
+    a: &[f32],
+    b: &[f32],
+    layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
+    let (mrw, nrw) = isa.tile_dims();
+    pack::with_scratch(|s| {
+        let pack::PackScratch { a: sa, b: sb, .. } = s;
+        pack::pack_b(b, layout, k, n, nrw, sb);
+        pack::pack_a(a, layout, m, k, rows.clone(), mrw, sa);
+        // Group-then-panel-outer sweep (BLIS-style cache blocking):
+        // within one group of row blocks (~256 KB of packed A, sized to
+        // sit in L2) each ~k·NR B panel is loaded once and stays
+        // cache-resident while the group's row blocks stream past it.
+        // The alternative — row blocks outer — re-streams the *entire*
+        // packed B per row block, which made the first cut of this
+        // driver memory-bound at size 512. Loop order only changes
+        // which output tiles compute first, never the per-element fma
+        // chain, so results stay bitwise identical.
+        let blocks = rows.len().div_ceil(mrw);
+        let panels = n.div_ceil(nrw);
+        let panel_a = k * mrw;
+        let group = (GROUP_A_BYTES / (panel_a * size_of::<f32>())).max(1);
+        let mut g0 = 0;
+        while g0 < blocks {
+            let g1 = (g0 + group).min(blocks);
+            for t in 0..panels {
+                let j = t * nrw;
+                let nr = nrw.min(n - j);
+                let bpanel = &sb[t * k * nrw..(t + 1) * k * nrw];
+                for bi in g0..g1 {
+                    let i = rows.start + bi * mrw;
+                    let mr = mrw.min(rows.end - i);
+                    let apanel = &sa[bi * panel_a..(bi + 1) * panel_a];
+                    dispatch_tile(
+                        isa,
+                        apanel,
+                        bpanel,
+                        k,
+                        out_rows,
+                        i - rows.start,
+                        mr,
+                        j,
+                        n,
+                        nr,
+                        acc,
+                    );
+                }
+            }
+            g0 = g1;
+        }
+    });
+}
+
+/// Routes one register tile to the active tier's micro-kernel.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_tile(
+    isa: Isa,
+    ap: &[f32],
+    bp: &[f32],
+    k: usize,
+    out: &mut [f32],
+    r0: usize,
+    mr: usize,
+    j0: usize,
+    n: usize,
+    nr: usize,
+    acc: bool,
+) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: dispatch yields Avx2 only after
+        // `is_x86_feature_detected!` confirmed avx2 and fma on this CPU
+        // (see `detect_hw`), so the target-feature contract holds.
+        Isa::Avx2 => unsafe { x86::tile_f32_avx2(ap, bp, k, out, r0, mr, j0, n, nr, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: dispatch yields Avx512 only after
+        // `is_x86_feature_detected!` confirmed avx512f on this CPU.
+        Isa::Avx512 => unsafe { x86::tile_f32_avx512(ap, bp, k, out, r0, mr, j0, n, nr, acc) },
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => neon::tile_f32(ap, bp, k, out, r0, mr, j0, n, nr, acc),
+        // Scalar never reaches here in production (kernels route it to
+        // the unpacked blocked path first), but the packed scalar tile
+        // keeps dispatch total on every architecture and lets tests
+        // exercise the packing in isolation.
+        _ => {
+            let (mrw, nrw) = isa.tile_dims();
+            tile_f32_scalar_packed(ap, bp, mrw, nrw, k, out, r0, mr, j0, n, nr, acc);
+        }
+    }
+}
+
+/// Portable packed register tile: same panel format and fma
+/// accumulation chain as the vector tiles, one element at a time.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tile_f32_scalar_packed(
+    ap: &[f32],
+    bp: &[f32],
+    mrw: usize,
+    nrw: usize,
+    k: usize,
+    out: &mut [f32],
+    r0: usize,
+    mr: usize,
+    j0: usize,
+    n: usize,
+    nr: usize,
+    acc: bool,
+) {
+    debug_assert!(mr <= mrw && nr <= nrw && mrw * nrw <= 8 * 32);
+    let mut spill = [0.0f32; 8 * 32];
+    for (bs, av) in bp.chunks_exact(nrw).zip(ap.chunks_exact(mrw)).take(k) {
+        for (r, &x) in av.iter().enumerate().take(mr) {
+            let row = &mut spill[r * nrw..r * nrw + nr];
+            for (d, &bv) in row.iter_mut().zip(bs) {
+                *d = x.mul_add(bv, *d);
+            }
+        }
+    }
+    store_clipped(&spill, nrw, out, r0, mr, j0, n, nr, acc);
+}
+
+/// Copies (or adds, for `gemm_acc`) an `mr × nr` register tile from
+/// its `nrw`-wide spill buffer into the output, clipping the padded
+/// lanes. Shared by every tier's edge-tile path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn store_clipped(
+    spill: &[f32],
+    nrw: usize,
+    out: &mut [f32],
+    r0: usize,
+    mr: usize,
+    j0: usize,
+    n: usize,
+    nr: usize,
+    acc: bool,
+) {
+    for r in 0..mr {
+        let src = &spill[r * nrw..r * nrw + nr];
+        let start = (r0 + r) * n + j0;
+        let dst = &mut out[start..start + nr];
+        if acc {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        } else {
+            dst.copy_from_slice(src);
+        }
+    }
+}
+
+/// Runs the scalar blocked kernel through its fastest compiled copy:
+/// the `fma`-target-feature clone on x86-64 hosts with an FMA unit
+/// (no libm `fmaf` round trip per element), the plain build
+/// elsewhere. Both compile the identical `f32::mul_add` source, so
+/// the bits never depend on which copy ran.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_scalar_blocked(
+    a: &[f32],
+    b: &[f32],
+    layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: `fma_available` is true only after
+        // `is_x86_feature_detected!("fma")` succeeded on this CPU, so
+        // the target-feature contract of the clone holds.
+        unsafe { blocked_rows_fma(a, b, layout, m, n, k, rows.clone(), out_rows, acc) };
+        return;
+    }
+    crate::kernels::blocked_rows_body(a, b, layout, m, n, k, rows, out_rows, acc);
+}
+
+/// The scalar blocked kernel body compiled with the `fma` target
+/// feature — see [`run_scalar_blocked`].
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "fma")]
+fn blocked_rows_fma(
+    a: &[f32],
+    b: &[f32],
+    layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
+    crate::kernels::blocked_rows_body(a, b, layout, m, n, k, rows, out_rows, acc);
+}
+
+/// Runs the naive reference kernel through its fastest compiled copy;
+/// same dual-compilation story as [`run_scalar_blocked`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_naive(
+    a: &[f32],
+    b: &[f32],
+    layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // SAFETY: `fma_available` is true only after
+        // `is_x86_feature_detected!("fma")` succeeded on this CPU, so
+        // the target-feature contract of the clone holds.
+        unsafe { naive_rows_fma(a, b, layout, m, n, k, rows.clone(), out_rows, acc) };
+        return;
+    }
+    crate::kernels::naive_rows_body(a, b, layout, m, n, k, rows, out_rows, acc);
+}
+
+/// The naive kernel body compiled with the `fma` target feature — see
+/// [`run_naive`].
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "fma")]
+fn naive_rows_fma(
+    a: &[f32],
+    b: &[f32],
+    layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    rows: Range<usize>,
+    out_rows: &mut [f32],
+    acc: bool,
+) {
+    crate::kernels::naive_rows_body(a, b, layout, m, n, k, rows, out_rows, acc);
+}
+
+/// Runs the active SIMD tier's int8 kernel, or returns `false` when
+/// the scalar path is active (the caller then runs the portable AXPY
+/// reference). Kept here so `unsafe` dispatch stays inside this
+/// module.
+pub(crate) fn try_gemm_i8(
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [i32],
+) -> bool {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 => {
+            // SAFETY: Avx2/Avx512 are selected only after
+            // `is_x86_feature_detected!("avx2")` succeeded on this CPU
+            // (see `detect_hw`), satisfying the kernel's target feature.
+            unsafe { x86::gemm_i8(a, b, m, n, k, out) };
+            true
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            neon::gemm_i8(a, b, m, n, k, out);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Runs the active SIMD tier's fused int8-dequant kernel, or returns
+/// `false` when the scalar path is active. See [`try_gemm_i8`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_gemm_i8_dequant(
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    n: usize,
+    k: usize,
+    scales: &[f32],
+    sums: &[i32],
+    sw: f32,
+    zw: i32,
+    out: &mut [f32],
+    accumulate: bool,
+) -> bool {
+    match active_isa() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2 | Isa::Avx512 => {
+            // SAFETY: Avx2/Avx512 are selected only after
+            // `is_x86_feature_detected!("avx2")` succeeded on this CPU
+            // (see `detect_hw`), satisfying the kernel's target feature.
+            unsafe { x86::gemm_i8_dequant(a, b, m, n, k, scales, sums, sw, zw, out, accumulate) };
+            true
+        }
+        #[cfg(target_arch = "aarch64")]
+        Isa::Neon => {
+            neon::gemm_i8_dequant(a, b, m, n, k, scales, sums, sw, zw, out, accumulate);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Scalar dot product of activation row `a_row` with column `j` of
+/// the row-major `[k, n]` int8 weight matrix — the column tail of the
+/// vector int8 kernels. Skips zero activations like the AXPY
+/// reference (exact for integers).
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+pub(crate) fn i8_dot_col(a_row: &[i8], b: &[i8], n: usize, j: usize) -> i32 {
+    let mut acc = 0i32;
+    for (p, &cv) in a_row.iter().enumerate() {
+        if cv != 0 {
+            acc += cv as i32 * b[p * n + j] as i32;
+        }
+    }
+    acc
+}
+
+/// Serializes tests that toggle the global [`set_force_scalar`]
+/// switch so concurrent toggles cannot interleave. Tests that merely
+/// *run* kernels need no lock — results are bitwise-identical on
+/// every path, so a mid-test toggle cannot change what they observe.
+#[cfg(test)]
+pub(crate) fn test_toggle_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_scalar_round_trips() {
+        let _guard = test_toggle_lock();
+        set_force_scalar(true);
+        assert!(force_scalar());
+        assert_eq!(active_isa(), Isa::Scalar);
+        set_force_scalar(false);
+        assert!(!force_scalar());
+        assert_eq!(active_isa(), detected_isa());
+    }
+
+    #[test]
+    fn ordinals_and_names_are_stable() {
+        for (isa, ord, name) in [
+            (Isa::Scalar, 0, "scalar"),
+            (Isa::Avx2, 1, "avx2"),
+            (Isa::Avx512, 2, "avx512"),
+            (Isa::Neon, 3, "neon"),
+        ] {
+            assert_eq!(isa.ordinal(), ord);
+            assert_eq!(isa.name(), name);
+        }
+    }
+
+    #[test]
+    fn tile_dims_are_positive() {
+        for isa in [Isa::Scalar, Isa::Avx2, Isa::Avx512, Isa::Neon] {
+            let (mr, nr) = isa.tile_dims();
+            assert!(mr > 0 && nr > 0);
+        }
+    }
+}

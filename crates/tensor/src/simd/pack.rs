@@ -1,0 +1,243 @@
+//! Panel packing for the SIMD micro-kernels.
+//!
+//! The three GEMM layouts differ only in how operand memory is
+//! traversed; the micro-kernels themselves are layout-blind. Before
+//! the tile sweep we copy B once per call into NR-wide column panels
+//! (`[panel][p][NR]`, zero-padded on the right) and each MR-row block
+//! of A into an `[p][MR]` panel (zero-padded at the bottom). After
+//! packing, every layout — including TN's column-major A walk and
+//! NT's row-major B walk — feeds the kernels unit-stride, which is
+//! what removes the strided-load penalty ROADMAP item 1 calls out.
+//!
+//! Zero padding is exact under the fused-multiply-add contract:
+//! `fma(0.0, 0.0, acc) == acc` bit-for-bit, so padded lanes never
+//! perturb real outputs (they are simply not stored back).
+//!
+//! Scratch buffers are thread-local and grow to the high-water mark;
+//! this module is on the analyzer's sanctioned-allocation list for
+//! exactly that reason (same policy as `infer::Arena`).
+
+use crate::kernels::Layout;
+use std::cell::RefCell;
+
+/// Reusable per-thread packing scratch. `a` holds all `[k][MR]`
+/// row-block panels, `b` holds all `[k][NR]` panels of the call, and
+/// `i8acc` is the per-row i32 accumulator strip used by the scalar
+/// fused int8 path.
+#[derive(Default)]
+pub(crate) struct PackScratch {
+    pub(crate) a: Vec<f32>,
+    pub(crate) b: Vec<f32>,
+    pub(crate) i8acc: Vec<i32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<PackScratch> = RefCell::new(PackScratch::default());
+}
+
+/// Runs `f` with this thread's packing scratch. Kernels never nest,
+/// so the `RefCell` borrow is unique by construction.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut PackScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Runs `f(row, strip)` for each of `rows` rows with this thread's
+/// reusable `n`-length i32 strip, re-zeroed before every call. This is
+/// the scalar fused-int8 path's whole scratch story — one strip
+/// instead of an `m × n` accumulator buffer — kept here so the
+/// amortized growth lives in the sanctioned module.
+pub(crate) fn for_each_zeroed_i8_strip(
+    n: usize,
+    rows: usize,
+    mut f: impl FnMut(usize, &mut [i32]),
+) {
+    with_scratch(|s| {
+        s.i8acc.clear();
+        s.i8acc.resize(n, 0);
+        for i in 0..rows {
+            for v in s.i8acc.iter_mut() {
+                *v = 0;
+            }
+            f(i, &mut s.i8acc);
+        }
+    });
+}
+
+/// Packs rows `rows` of A into `ceil(rows.len() / mrw)` row-block
+/// panels laid out `[block][p][mrw]` in `dst`, zero-padding the last
+/// block's missing rows. For NN/NT, A is `[m, k]` row-major; for TN,
+/// A is `[k, m]` (the pack is where the transpose happens, once per
+/// call instead of per tile visit). Each `[k][mrw]` panel is ~16 KB
+/// at the largest tile, so the strided writes of the NN transpose
+/// land in L1.
+pub(crate) fn pack_a(
+    a: &[f32],
+    layout: Layout,
+    m: usize,
+    k: usize,
+    rows: core::ops::Range<usize>,
+    mrw: usize,
+    dst: &mut Vec<f32>,
+) {
+    debug_assert!(rows.end <= m);
+    let blocks = rows.len().div_ceil(mrw);
+    dst.resize(blocks * k * mrw, 0.0);
+    for bi in 0..blocks {
+        let i0 = rows.start + bi * mrw;
+        let mr = mrw.min(rows.end - i0);
+        let panel = &mut dst[bi * k * mrw..(bi + 1) * k * mrw];
+        match layout {
+            Layout::NN | Layout::NT => {
+                for (r, row) in a[i0 * k..(i0 + mr) * k].chunks_exact(k).enumerate() {
+                    for (p, &v) in row.iter().enumerate() {
+                        panel[p * mrw + r] = v;
+                    }
+                }
+            }
+            Layout::TN => {
+                for p in 0..k {
+                    let src = &a[p * m + i0..p * m + i0 + mr];
+                    panel[p * mrw..p * mrw + mr].copy_from_slice(src);
+                }
+            }
+        }
+        if mr < mrw {
+            for p in 0..k {
+                for slot in &mut panel[p * mrw + mr..(p + 1) * mrw] {
+                    *slot = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Packs all of B into `ceil(n / nrw)` column panels laid out
+/// `[panel][p][nrw]` in `dst`, zero-padding the last panel's missing
+/// columns. For NN/TN, B is `[k, n]` row-major; for NT, B is `[n, k]`
+/// (again the pack performs the transpose once per call).
+pub(crate) fn pack_b(
+    b: &[f32],
+    layout: Layout,
+    k: usize,
+    n: usize,
+    nrw: usize,
+    dst: &mut Vec<f32>,
+) {
+    let panels = n.div_ceil(nrw);
+    dst.resize(panels * k * nrw, 0.0);
+    for t in 0..panels {
+        let j0 = t * nrw;
+        let w = nrw.min(n - j0);
+        let base = t * k * nrw;
+        match layout {
+            Layout::NN | Layout::TN => {
+                for p in 0..k {
+                    let src = &b[p * n + j0..p * n + j0 + w];
+                    dst[base + p * nrw..base + p * nrw + w].copy_from_slice(src);
+                }
+            }
+            Layout::NT => {
+                for (c, row) in b[j0 * k..(j0 + w) * k].chunks_exact(k).enumerate() {
+                    for (p, &v) in row.iter().enumerate() {
+                        dst[base + p * nrw + c] = v;
+                    }
+                }
+            }
+        }
+        if w < nrw {
+            for p in 0..k {
+                for slot in &mut dst[base + p * nrw + w..base + (p + 1) * nrw] {
+                    *slot = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize) -> Vec<f32> {
+        (0..len).map(|i| (i as f32) * 0.5 - 3.0).collect()
+    }
+
+    #[test]
+    fn pack_a_matches_all_layouts_with_padding() {
+        let (m, k) = (5, 7);
+        let mrw = 4;
+        // Row-major [m, k] for NN/NT; [k, m] for TN holding the same
+        // logical matrix a[i][p] = i * 100 + p.
+        let a_nn: Vec<f32> = (0..m * k).map(|x| ((x / k) * 100 + x % k) as f32).collect();
+        let a_tn: Vec<f32> = (0..k * m).map(|x| ((x % m) * 100 + x / m) as f32).collect();
+        for (layout, a) in [
+            (Layout::NN, &a_nn),
+            (Layout::NT, &a_nn),
+            (Layout::TN, &a_tn),
+        ] {
+            let mut dst = vec![9.0; 3]; // stale junk must be overwritten
+            pack_a(a, layout, m, k, 0..m, mrw, &mut dst);
+            let blocks = m.div_ceil(mrw); // last block: mr = 1 < mrw
+            assert_eq!(dst.len(), blocks * k * mrw);
+            for bi in 0..blocks {
+                let base = bi * k * mrw;
+                for p in 0..k {
+                    for r in 0..mrw {
+                        let i = bi * mrw + r;
+                        let want = if i < m { (i * 100 + p) as f32 } else { 0.0 };
+                        assert_eq!(
+                            dst[base + p * mrw + r],
+                            want,
+                            "layout {layout:?} bi={bi} p={p} r={r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_matches_all_layouts_with_padding() {
+        let (k, n) = (3, 11);
+        let nrw = 4;
+        // Logical b[p][j] = p * 100 + j; [k, n] for NN/TN, [n, k] for NT.
+        let b_nn: Vec<f32> = (0..k * n).map(|x| ((x / n) * 100 + x % n) as f32).collect();
+        let b_nt: Vec<f32> = (0..n * k).map(|x| ((x % k) * 100 + x / k) as f32).collect();
+        for (layout, b) in [
+            (Layout::NN, &b_nn),
+            (Layout::TN, &b_nn),
+            (Layout::NT, &b_nt),
+        ] {
+            let mut dst = fill(5); // stale junk must be overwritten
+            pack_b(b, layout, k, n, nrw, &mut dst);
+            let panels = n.div_ceil(nrw);
+            assert_eq!(dst.len(), panels * k * nrw);
+            for t in 0..panels {
+                for p in 0..k {
+                    for c in 0..nrw {
+                        let j = t * nrw + c;
+                        let want = if j < n { (p * 100 + j) as f32 } else { 0.0 };
+                        assert_eq!(
+                            dst[t * k * nrw + p * nrw + c],
+                            want,
+                            "layout {layout:?} t={t} p={p} c={c}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        let cap = with_scratch(|s| {
+            s.b.resize(1024, 0.0);
+            s.b.capacity()
+        });
+        let cap2 = with_scratch(|s| {
+            s.b.clear();
+            s.b.capacity()
+        });
+        assert!(cap2 >= cap);
+    }
+}

@@ -1,0 +1,262 @@
+//! x86-64 micro-kernels: AVX2/FMA and AVX-512F register tiles for
+//! f32 GEMM, plus AVX2 widening kernels for the int8 path.
+//!
+//! Every function here is a safe `#[target_feature]` function: the
+//! arithmetic intrinsics are safe to use once the feature is enabled,
+//! and the pointer loads/stores are wrapped in `unsafe` blocks whose
+//! bounds are established by slice ops immediately above them. The
+//! *callers* (the dispatch sites in `simd::dispatch_tile` and
+//! `kernels`) carry the `// SAFETY:` obligations that the CPU really
+//! has the feature — dispatch only selects these after
+//! `is_x86_feature_detected!` succeeds.
+//!
+//! Identity contract: the f32 tiles accumulate each output element
+//! over `p` in ascending order with `vfmadd` — the same correctly
+//! rounded fused multiply-add the scalar reference performs with
+//! `f32::mul_add` — so results are bitwise-identical to the scalar
+//! path. The int8 kernels are exact integer arithmetic (|i8·i8| ≤
+//! 16384 fits i16; see `MAX_GEMM_I8_K` for the i32 bound).
+
+use super::store_clipped;
+use std::arch::x86_64::{
+    __m128i, __m256i, _mm256_add_epi32, _mm256_add_ps, _mm256_castsi256_si128,
+    _mm256_cvtepi16_epi32, _mm256_cvtepi32_ps, _mm256_cvtepi8_epi16, _mm256_extracti128_si256,
+    _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_mullo_epi16, _mm256_set1_epi16,
+    _mm256_set1_epi32, _mm256_set1_ps, _mm256_setzero_ps, _mm256_setzero_si256, _mm256_storeu_ps,
+    _mm256_storeu_si256, _mm256_sub_epi32, _mm512_add_ps, _mm512_fmadd_ps, _mm512_loadu_ps,
+    _mm512_set1_ps, _mm512_setzero_ps, _mm512_storeu_ps, _mm_loadu_si128,
+};
+
+/// AVX2/FMA f32 register tile: MR = 6 rows × NR = 16 columns held in
+/// twelve ymm accumulators. `ap` is a `[k][6]` packed A panel, `bp` a
+/// `[k][16]` packed B panel; `mr ≤ 6` / `nr ≤ 16` clip the store for
+/// edge tiles (padded lanes are computed but never stored).
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2,fma")]
+pub(crate) fn tile_f32_avx2(
+    ap: &[f32],
+    bp: &[f32],
+    k: usize,
+    out: &mut [f32],
+    r0: usize,
+    mr: usize,
+    j0: usize,
+    n: usize,
+    nr: usize,
+    acc: bool,
+) {
+    let mut c = [[_mm256_setzero_ps(); 2]; 6];
+    for (bs, av) in bp.chunks_exact(16).zip(ap.chunks_exact(6)).take(k) {
+        // SAFETY: `chunks_exact(16)` yields slices of exactly 16 f32s,
+        // so both unaligned 8-lane loads stay in bounds.
+        let (b0, b1) = unsafe {
+            (
+                _mm256_loadu_ps(bs.as_ptr()),
+                _mm256_loadu_ps(bs.as_ptr().add(8)),
+            )
+        };
+        for (cr, &x) in c.iter_mut().zip(av) {
+            let xv = _mm256_set1_ps(x);
+            cr[0] = _mm256_fmadd_ps(xv, b0, cr[0]);
+            cr[1] = _mm256_fmadd_ps(xv, b1, cr[1]);
+        }
+    }
+    if mr == 6 && nr == 16 {
+        for (r, cr) in c.iter().enumerate() {
+            let start = (r0 + r) * n + j0;
+            let dst = &mut out[start..start + 16];
+            // SAFETY: `dst` is exactly 16 f32s by the slice op above.
+            unsafe {
+                let p = dst.as_mut_ptr();
+                let (mut v0, mut v1) = (cr[0], cr[1]);
+                if acc {
+                    v0 = _mm256_add_ps(_mm256_loadu_ps(p), v0);
+                    v1 = _mm256_add_ps(_mm256_loadu_ps(p.add(8)), v1);
+                }
+                _mm256_storeu_ps(p, v0);
+                _mm256_storeu_ps(p.add(8), v1);
+            }
+        }
+    } else {
+        let mut spill = [0.0f32; 6 * 16];
+        for (r, cr) in c.iter().enumerate() {
+            // SAFETY: `spill` holds 6 rows of 16 f32s; `r < 6`.
+            unsafe {
+                _mm256_storeu_ps(spill.as_mut_ptr().add(r * 16), cr[0]);
+                _mm256_storeu_ps(spill.as_mut_ptr().add(r * 16 + 8), cr[1]);
+            }
+        }
+        store_clipped(&spill, 16, out, r0, mr, j0, n, nr, acc);
+    }
+}
+
+/// AVX-512F f32 register tile: MR = 8 rows × NR = 32 columns in
+/// sixteen zmm accumulators (wide enough to keep both FMA ports of a
+/// server core busy). Same packing and identity contract as
+/// [`tile_f32_avx2`].
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f")]
+pub(crate) fn tile_f32_avx512(
+    ap: &[f32],
+    bp: &[f32],
+    k: usize,
+    out: &mut [f32],
+    r0: usize,
+    mr: usize,
+    j0: usize,
+    n: usize,
+    nr: usize,
+    acc: bool,
+) {
+    let mut c = [[_mm512_setzero_ps(); 2]; 8];
+    for (bs, av) in bp.chunks_exact(32).zip(ap.chunks_exact(8)).take(k) {
+        // SAFETY: `chunks_exact(32)` yields slices of exactly 32 f32s,
+        // so both unaligned 16-lane loads stay in bounds.
+        let (b0, b1) = unsafe {
+            (
+                _mm512_loadu_ps(bs.as_ptr()),
+                _mm512_loadu_ps(bs.as_ptr().add(16)),
+            )
+        };
+        for (cr, &x) in c.iter_mut().zip(av) {
+            let xv = _mm512_set1_ps(x);
+            cr[0] = _mm512_fmadd_ps(xv, b0, cr[0]);
+            cr[1] = _mm512_fmadd_ps(xv, b1, cr[1]);
+        }
+    }
+    if mr == 8 && nr == 32 {
+        for (r, cr) in c.iter().enumerate() {
+            let start = (r0 + r) * n + j0;
+            let dst = &mut out[start..start + 32];
+            // SAFETY: `dst` is exactly 32 f32s by the slice op above.
+            unsafe {
+                let p = dst.as_mut_ptr();
+                let (mut v0, mut v1) = (cr[0], cr[1]);
+                if acc {
+                    v0 = _mm512_add_ps(_mm512_loadu_ps(p), v0);
+                    v1 = _mm512_add_ps(_mm512_loadu_ps(p.add(16)), v1);
+                }
+                _mm512_storeu_ps(p, v0);
+                _mm512_storeu_ps(p.add(16), v1);
+            }
+        }
+    } else {
+        let mut spill = [0.0f32; 8 * 32];
+        for (r, cr) in c.iter().enumerate() {
+            // SAFETY: `spill` holds 8 rows of 32 f32s; `r < 8`.
+            unsafe {
+                _mm512_storeu_ps(spill.as_mut_ptr().add(r * 32), cr[0]);
+                _mm512_storeu_ps(spill.as_mut_ptr().add(r * 32 + 16), cr[1]);
+            }
+        }
+        store_clipped(&spill, 32, out, r0, mr, j0, n, nr, acc);
+    }
+}
+
+/// Accumulates a 16-column strip of one int8 output row: for each
+/// `p`, widen 16 i8 weights to i16, multiply by the broadcast
+/// activation (|i8·i8| ≤ 16384, exact in i16), widen to i32 and add.
+/// Returns the two 8-lane i32 accumulators for columns `j..j + 16`.
+/// Keeps the scalar path's skip of zero activations (exact for
+/// integer arithmetic).
+#[target_feature(enable = "avx2")]
+fn i8_strip(a_row: &[i8], b: &[i8], n: usize, j: usize) -> (__m256i, __m256i) {
+    let mut acc0 = _mm256_setzero_si256();
+    let mut acc1 = _mm256_setzero_si256();
+    for (p, &cv) in a_row.iter().enumerate() {
+        if cv == 0 {
+            continue;
+        }
+        let bs = &b[p * n + j..p * n + j + 16];
+        // SAFETY: `bs` is exactly 16 i8s by the slice op above; the
+        // unaligned 128-bit load reads exactly those 16 bytes.
+        let bv: __m128i = unsafe { _mm_loadu_si128(bs.as_ptr().cast()) };
+        let wide = _mm256_mullo_epi16(_mm256_cvtepi8_epi16(bv), _mm256_set1_epi16(cv as i16));
+        acc0 = _mm256_add_epi32(acc0, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(wide)));
+        acc1 = _mm256_add_epi32(
+            acc1,
+            _mm256_cvtepi16_epi32(_mm256_extracti128_si256::<1>(wide)),
+        );
+    }
+    (acc0, acc1)
+}
+
+/// AVX2 int8 GEMM: `out[i][j] = Σ_p a[i][p] · b[p][j]` in i32, 16
+/// columns per strip with a scalar column tail. Integer arithmetic is
+/// exact, so this matches the scalar reference bit-for-bit (the
+/// caller enforces the `MAX_GEMM_I8_K` overflow bound).
+#[target_feature(enable = "avx2")]
+pub(crate) fn gemm_i8(a: &[i8], b: &[i8], m: usize, n: usize, k: usize, out: &mut [i32]) {
+    let nb = n - n % 16;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j < nb {
+            let (acc0, acc1) = i8_strip(a_row, b, n, j);
+            // SAFETY: `j + 16 <= nb <= n`, so both 8-lane i32 stores
+            // land inside `orow` (length n).
+            unsafe {
+                _mm256_storeu_si256(orow.as_mut_ptr().add(j).cast(), acc0);
+                _mm256_storeu_si256(orow.as_mut_ptr().add(j + 8).cast(), acc1);
+            }
+            j += 16;
+        }
+        for (j, o) in orow.iter_mut().enumerate().skip(nb) {
+            *o = super::i8_dot_col(a_row, b, n, j);
+        }
+    }
+}
+
+/// AVX2 int8 GEMM with the dequantization epilogue fused into the
+/// register tile: the i32 accumulators never touch memory. Per row
+/// `i`, `out[i][j] (+)= scales[i]·sw · (acc − zw·sums[i])`, with the
+/// correction in wrapping i32 arithmetic and the i32→f32 conversion
+/// rounding to nearest even — both identical to the scalar reference.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+pub(crate) fn gemm_i8_dequant(
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    n: usize,
+    k: usize,
+    scales: &[f32],
+    sums: &[i32],
+    sw: f32,
+    zw: i32,
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    let nb = n - n % 16;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let corr = zw.wrapping_mul(sums[i]);
+        let s = scales[i] * sw;
+        let vc = _mm256_set1_epi32(corr);
+        let vs = _mm256_set1_ps(s);
+        let mut j = 0;
+        while j < nb {
+            let (acc0, acc1) = i8_strip(a_row, b, n, j);
+            let mut f0 = _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_sub_epi32(acc0, vc)), vs);
+            let mut f1 = _mm256_mul_ps(_mm256_cvtepi32_ps(_mm256_sub_epi32(acc1, vc)), vs);
+            // SAFETY: `j + 16 <= nb <= n`, so both 8-lane loads and
+            // stores land inside `orow` (length n).
+            unsafe {
+                let p = orow.as_mut_ptr().add(j);
+                if accumulate {
+                    f0 = _mm256_add_ps(_mm256_loadu_ps(p), f0);
+                    f1 = _mm256_add_ps(_mm256_loadu_ps(p.add(8)), f1);
+                }
+                _mm256_storeu_ps(p, f0);
+                _mm256_storeu_ps(p.add(8), f1);
+            }
+            j += 16;
+        }
+        for (j, o) in orow.iter_mut().enumerate().skip(nb) {
+            let v = s * (super::i8_dot_col(a_row, b, n, j).wrapping_sub(corr)) as f32;
+            *o = if accumulate { *o + v } else { v };
+        }
+    }
+}

@@ -25,6 +25,11 @@ echo "    wrote target/analyze.json"
 
 run cargo build --release
 run cargo test -q
+
+# The numeric suite again with the SIMD tiers compiled out: the scalar
+# fallback must stand on its own (CI runs the same job).
+run cargo test -q -p voyager-tensor -p voyager-nn -p voyager-runtime \
+    --features voyager-tensor/force-scalar
 run cargo run --release -p voyager-bench --bin pr3_kernels -- --smoke
 run cargo run --release -p voyager-bench --bin pr5_infer -- --smoke
 run cargo run --release -p voyager-bench --bin pr6_table -- --smoke
