@@ -63,8 +63,9 @@ const HOT_GRAPH_CRATES: &[&str] = &[
 /// Function names whose latency budget forbids heap allocation: the
 /// arena-backed inference entry points (PR 5), the distilled-table
 /// lookup (PR 6), every `Prefetcher::access` impl (PR 3's
-/// caller-scratch contract), the microbatch compute loop, and the GEMM
-/// kernels under everything.
+/// caller-scratch contract), the microbatch compute loop, the
+/// hierarchical-head shortlist scorers (PR 10), and the GEMM kernels
+/// under everything.
 const HOT_ROOTS: &[&str] = &[
     "predict_fast",
     "predict_int8",
@@ -76,6 +77,8 @@ const HOT_ROOTS: &[&str] = &[
     "gemm_acc",
     "gemm_i8",
     "gemm_i8_dequant",
+    "hier_candidates",
+    "hier_candidates_int8",
 ];
 
 /// Modules whose entire purpose is amortized allocation: the inference
@@ -95,6 +98,7 @@ const SANCTIONED_MODULES: &[&str] = &[
 /// workspace gate test so it can only grow deliberately.
 const SANCTIONED_FNS: &[&str] = &[
     "rank_row",
+    "rank_row_sparse",
     "rank_from_arena",
     "predict_quiet",
     "ranked_candidates",

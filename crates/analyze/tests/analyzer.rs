@@ -212,6 +212,7 @@ fn sanctioned_surface_is_pinned() {
         cfg.sanctioned_fns,
         [
             "rank_row",
+            "rank_row_sparse",
             "rank_from_arena",
             "predict_quiet",
             "ranked_candidates",

@@ -13,6 +13,19 @@ pub enum LabelMode {
     Single(LabelScheme),
 }
 
+/// Which output head scores the page vocabulary (Section 5.5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OutputHead {
+    /// A flat `[hidden, vocab]` linear head — `O(V)` per step. The
+    /// paper's trained configuration.
+    #[default]
+    Dense,
+    /// Two-level hierarchical softmax — `O(sqrt(V))` classes touched per
+    /// step, enabling vocabularies 100x larger at comparable step time
+    /// (Section 5.5's future-work direction).
+    Hier,
+}
+
 /// Which inputs feed the model (Fig. 12's feature ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FeatureSet {
@@ -85,6 +98,13 @@ pub struct VoyagerConfig {
     pub page_aware_attention: bool,
     /// Vocabulary construction (page cap, delta tokens, PC cap).
     pub vocab: VocabConfig,
+    /// Page output head: flat dense softmax or the two-level
+    /// hierarchical head. The offset head (64 classes) is always dense.
+    pub output_head: OutputHead,
+    /// Clusters shortlisted per prediction when `output_head` is
+    /// [`OutputHead::Hier`] (leaf scores are only computed for the
+    /// `hier_fan` most probable clusters).
+    pub hier_fan: usize,
     /// RNG seed for initialisation and dropout.
     pub seed: u64,
 }
@@ -117,6 +137,8 @@ impl VoyagerConfig {
                 min_address_freq: 2,
                 max_pcs: 65_536,
             },
+            output_head: OutputHead::Dense,
+            hier_fan: 4,
             seed: 0x1337,
         }
     }
@@ -151,6 +173,8 @@ impl VoyagerConfig {
                 min_address_freq: 2,
                 max_pcs: 2_048,
             },
+            output_head: OutputHead::Dense,
+            hier_fan: 4,
             seed: 0x1337,
         }
     }
@@ -180,6 +204,8 @@ impl VoyagerConfig {
                 min_address_freq: 2,
                 max_pcs: 256,
             },
+            output_head: OutputHead::Dense,
+            hier_fan: 4,
             seed: 0x1337,
         }
     }
@@ -206,6 +232,20 @@ impl VoyagerConfig {
     pub fn with_degree(mut self, degree: usize) -> Self {
         assert!(degree > 0, "degree must be positive");
         self.degree = degree;
+        self
+    }
+
+    /// Returns a copy with a different page output head.
+    pub fn with_output_head(mut self, head: OutputHead) -> Self {
+        self.output_head = head;
+        self
+    }
+
+    /// Returns a copy with a different cluster shortlist width for the
+    /// hierarchical head.
+    pub fn with_hier_fan(mut self, fan: usize) -> Self {
+        assert!(fan > 0, "hier_fan must be positive");
+        self.hier_fan = fan;
         self
     }
 
@@ -243,6 +283,7 @@ impl VoyagerConfig {
             self.features.address || self.features.pc,
             "at least one input feature required"
         );
+        assert!(self.hier_fan > 0, "hier_fan must be positive");
     }
 }
 
@@ -300,6 +341,24 @@ mod tests {
     #[should_panic(expected = "degree must be positive")]
     fn zero_degree_rejected() {
         let _ = VoyagerConfig::test().with_degree(0);
+    }
+
+    #[test]
+    fn output_head_defaults_to_dense_and_builds() {
+        assert_eq!(VoyagerConfig::test().output_head, OutputHead::Dense);
+        assert_eq!(OutputHead::default(), OutputHead::Dense);
+        let c = VoyagerConfig::test()
+            .with_output_head(OutputHead::Hier)
+            .with_hier_fan(8);
+        assert_eq!(c.output_head, OutputHead::Hier);
+        assert_eq!(c.hier_fan, 8);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hier_fan must be positive")]
+    fn zero_hier_fan_rejected() {
+        let _ = VoyagerConfig::test().with_hier_fan(0);
     }
 
     #[test]

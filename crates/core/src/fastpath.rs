@@ -27,15 +27,18 @@
 
 use std::cmp::Ordering;
 
-use voyager_nn::{QuantizedLinear, QuantizedLstm, SoftLabelExtractor, SoftLabels};
+use voyager_nn::{
+    HierarchicalSoftmax, ParamStore, QuantizedHierHead, QuantizedLinear, QuantizedLstm,
+    SoftLabelExtractor, SoftLabels, PAD_MASK,
+};
 use voyager_tensor::infer::{
     add_row_inplace, note_fast_path_call, quantize_rows_into, sigmoid, softmax_rows_inplace, Arena,
     BufId, QuantizedRows,
 };
-use voyager_tensor::kernels::{gemm, gemm_acc, Layout};
+use voyager_tensor::kernels::{gemm, gemm_acc, gemm_slices, Layout};
 use voyager_tensor::{topk, Tensor2};
 
-use crate::model::SeqBatch;
+use crate::model::{PageHead, SeqBatch};
 use crate::VoyagerModel;
 
 /// Arena slot ids for every intermediate of one forward pass. The same
@@ -64,8 +67,39 @@ struct Slots {
 struct Int8Weights {
     page_lstm: QuantizedLstm,
     offset_lstm: QuantizedLstm,
-    page_head: QuantizedLinear,
+    page_head: Int8PageHead,
     offset_head: QuantizedLinear,
+}
+
+/// Quantized form of the configured page head.
+#[derive(Debug)]
+enum Int8PageHead {
+    Dense(QuantizedLinear),
+    Hier(QuantizedHierHead),
+}
+
+/// Reusable scratch for the hierarchical page head: cluster
+/// probabilities, one branch-logit row, the top-k shortlist, and the
+/// flattened `(class, probability)` candidate lists with per-row
+/// `[start, end)` extents. Buffers are `resize`d in place, so
+/// steady-state calls allocate nothing.
+#[derive(Debug, Default)]
+pub(crate) struct HierScratch {
+    /// `[batch, clusters]` cluster probabilities.
+    cluster: Tensor2,
+    /// `[1, branch]` leaf logits (then probabilities) of one cluster.
+    branch: Tensor2,
+    /// Shortlisted cluster ids of the current row.
+    top: Vec<usize>,
+    /// Bounded top-k heap storage.
+    heap: Vec<(f32, usize)>,
+    /// Candidate page classes, all rows concatenated.
+    classes: Vec<u32>,
+    /// Candidate probabilities (`p_cluster * p_branch`), parallel to
+    /// `classes`.
+    probs: Vec<f32>,
+    /// Per-row `[start, end)` extents into `classes` / `probs`.
+    rows: Vec<(usize, usize)>,
 }
 
 /// Reusable scratch for [`rank_row`]: the bounded top-k heap and the
@@ -85,7 +119,8 @@ pub(crate) struct InferState {
     arena: Arena,
     qx: QuantizedRows,
     qh: QuantizedRows,
-    rank: RankScratch,
+    pub(crate) rank: RankScratch,
+    pub(crate) hier: HierScratch,
     int8: Option<Int8Weights>,
 }
 
@@ -155,6 +190,182 @@ pub(crate) fn rank_row(
     // Stable insertion sort, descending by score — same order as the
     // historical `sort_by(|a, b| b.2.total_cmp(&a.2))`, without the
     // stable sort's allocation.
+    for i in 1..pairs.len() {
+        let mut j = i;
+        while j > 0 && pairs[j].2.total_cmp(&pairs[j - 1].2) == Ordering::Greater {
+            pairs.swap(j, j - 1);
+            j -= 1;
+        }
+    }
+    pairs.truncate(k);
+    pairs
+}
+
+/// Scores the hierarchical page head (f32): one `[batch, clusters]`
+/// cluster GEMM + softmax, then — per row — branch GEMMs for only the
+/// top-`fan` clusters. Leaves `(class, p_cluster * p_branch)` candidate
+/// lists in `scratch`. This is the ONE scoring routine both
+/// [`VoyagerModel::predict`] and [`VoyagerModel::predict_fast`] call,
+/// so the two paths agree bit for bit by construction.
+pub(crate) fn hier_candidates(
+    store: &ParamStore,
+    hs: &HierarchicalSoftmax,
+    h: &Tensor2,
+    fan: usize,
+    scratch: &mut HierScratch,
+) {
+    let b = h.rows();
+    let (clusters, branch) = (hs.clusters(), hs.branch());
+    let hidden = hs.hidden();
+    scratch.cluster.resize(b, clusters);
+    gemm(
+        h,
+        store.value(hs.cluster_head().weight_id()),
+        Layout::NN,
+        &mut scratch.cluster,
+    );
+    add_row_inplace(
+        &mut scratch.cluster,
+        store.value(hs.cluster_head().bias_id()).as_slice(),
+    );
+    softmax_rows_inplace(&mut scratch.cluster);
+    let leaves = store.value(hs.leaves_id()).as_slice();
+    hier_score_shortlist(
+        clusters,
+        branch,
+        hs.num_classes(),
+        fan,
+        scratch,
+        |row, c, out| {
+            // One [1, branch] GEMM against the cluster's leaf block
+            // (leaves are [class, hidden] row-major, so NT layout).
+            gemm_slices(
+                h.row(row),
+                &leaves[c * branch * hidden..(c + 1) * branch * hidden],
+                Layout::NT,
+                1,
+                branch,
+                hidden,
+                out,
+                false,
+            );
+        },
+    );
+}
+
+/// Int8 twin of [`hier_candidates`]: cluster logits and shortlisted
+/// branch logits run through the quantized head; shortlist logic and
+/// softmaxes are shared.
+pub(crate) fn hier_candidates_int8(
+    qhead: &QuantizedHierHead,
+    qx: &QuantizedRows,
+    fan: usize,
+    scratch: &mut HierScratch,
+) {
+    let (b, _) = qx.shape();
+    scratch.cluster.resize(b, qhead.clusters());
+    qhead.cluster_logits_into(qx, &mut scratch.cluster);
+    softmax_rows_inplace(&mut scratch.cluster);
+    hier_score_shortlist(
+        qhead.clusters(),
+        qhead.branch(),
+        qhead.num_classes(),
+        fan,
+        scratch,
+        |row, c, out| qhead.branch_logits_into(qx, row, c, out),
+    );
+}
+
+/// Shared shortlist core: per row, pick the top-`fan` clusters from the
+/// (already softmaxed) cluster probabilities in `scratch.cluster`, have
+/// `branch_logits_into(row, cluster, out)` fill each shortlisted
+/// cluster's branch logits, mask padding slots with [`PAD_MASK`],
+/// softmax, and emit `(class, p_cluster * p_branch)` candidates.
+fn hier_score_shortlist(
+    clusters: usize,
+    branch: usize,
+    num_classes: usize,
+    fan: usize,
+    scratch: &mut HierScratch,
+    mut branch_logits_into: impl FnMut(usize, usize, &mut [f32]),
+) {
+    let b = scratch.cluster.rows();
+    scratch.branch.resize(1, branch);
+    scratch.classes.clear();
+    scratch.probs.clear();
+    scratch.rows.clear();
+    let fan = fan.clamp(1, clusters);
+    for row in 0..b {
+        let start = scratch.classes.len();
+        topk::topk_into(
+            scratch.cluster.row(row),
+            fan,
+            &mut scratch.heap,
+            &mut scratch.top,
+        );
+        for i in 0..scratch.top.len() {
+            let c = scratch.top[i];
+            let pc = scratch.cluster.get(row, c);
+            let out = scratch.branch.row_mut(0);
+            branch_logits_into(row, c, out);
+            // Only the last cluster can hold padding; the additive
+            // mask matches the tape path's `mask_branch_logits`.
+            for (j, o) in out.iter_mut().enumerate() {
+                if c * branch + j >= num_classes {
+                    *o += PAD_MASK;
+                }
+            }
+            softmax_rows_inplace(&mut scratch.branch);
+            let brow = scratch.branch.row(0);
+            for (j, &pb) in brow.iter().enumerate().take(branch) {
+                let class = c * branch + j;
+                if class < num_classes {
+                    scratch.classes.push(class as u32);
+                    scratch.probs.push(pc * pb);
+                }
+            }
+        }
+        scratch.rows.push((start, scratch.classes.len()));
+    }
+}
+
+/// [`rank_row`]'s twin over the sparse hierarchical candidate lists:
+/// top `k` candidate pages × top `min(k, 4)` offsets, probability
+/// product, same stable descending order.
+pub(crate) fn rank_row_sparse(
+    hier: &HierScratch,
+    row: usize,
+    offset_probs: &Tensor2,
+    k: usize,
+    offset_vocab: usize,
+    scratch: &mut RankScratch,
+) -> Vec<(u32, u32, f32)> {
+    let (start, end) = hier.rows[row];
+    let cand_probs = &hier.probs[start..end];
+    let fan = k.clamp(1, 4);
+    topk::topk_into(
+        cand_probs,
+        k.min(cand_probs.len()),
+        &mut scratch.heap,
+        &mut scratch.pages,
+    );
+    topk::topk_into(
+        offset_probs.row(row),
+        fan.min(offset_vocab),
+        &mut scratch.heap,
+        &mut scratch.offsets,
+    );
+    let mut pairs: Vec<(u32, u32, f32)> =
+        Vec::with_capacity(scratch.pages.len() * scratch.offsets.len());
+    for &pi in &scratch.pages {
+        for &o in &scratch.offsets {
+            pairs.push((
+                hier.classes[start + pi],
+                o as u32,
+                cand_probs[pi] * offset_probs.get(row, o),
+            ));
+        }
+    }
     for i in 1..pairs.len() {
         let mut j = i;
         while j > 0 && pairs[j].2.total_cmp(&pairs[j - 1].2) == Ordering::Greater {
@@ -261,10 +472,20 @@ impl VoyagerModel {
                 store.value(self.offset_lstm.bias_id()),
                 h,
             ),
-            page_head: QuantizedLinear::new(
-                store.value(self.page_head.weight_id()),
-                store.value(self.page_head.bias_id()),
-            ),
+            page_head: match &self.page_head {
+                PageHead::Dense(lin) => Int8PageHead::Dense(QuantizedLinear::new(
+                    store.value(lin.weight_id()),
+                    store.value(lin.bias_id()),
+                )),
+                PageHead::Hier(hs) => Int8PageHead::Hier(QuantizedHierHead::new(
+                    store.value(hs.cluster_head().weight_id()),
+                    store.value(hs.cluster_head().bias_id()),
+                    store.value(hs.leaves_id()),
+                    hs.clusters(),
+                    hs.branch(),
+                    hs.num_classes(),
+                )),
+            },
             offset_head: QuantizedLinear::new(
                 store.value(self.offset_head.weight_id()),
                 store.value(self.offset_head.bias_id()),
@@ -290,12 +511,41 @@ impl VoyagerModel {
         self.forward_fast(batch, false);
         let st = &mut self.infer;
         let slots = st.ensure_slots();
-        let page_probs = st.arena.get(slots.page_logits);
         let offset_probs = st.arena.get(slots.off_logits);
         let mut ex = SoftLabelExtractor::new();
-        (0..batch.len())
-            .map(|row| ex.extract(page_probs, offset_probs, row, k_page, k_offset))
-            .collect()
+        match &self.page_head {
+            PageHead::Dense(_) => {
+                let page_probs = st.arena.get(slots.page_logits);
+                (0..batch.len())
+                    .map(|row| ex.extract(page_probs, offset_probs, row, k_page, k_offset))
+                    .collect()
+            }
+            PageHead::Hier(_) => {
+                // Page candidates come from the sparse hierarchical
+                // shortlist; the probabilities are the same sub-
+                // distribution the fast path ranks.
+                let mut heap = Vec::new();
+                let mut pairs = Vec::new();
+                (0..batch.len())
+                    .map(|row| {
+                        let (start, end) = st.hier.rows[row];
+                        topk::topk_pairs_into(
+                            &st.hier.probs[start..end],
+                            k_page.min(end - start),
+                            &mut heap,
+                            &mut pairs,
+                        );
+                        SoftLabels {
+                            pages: pairs
+                                .iter()
+                                .map(|&(i, p)| (st.hier.classes[start + i], p))
+                                .collect(),
+                            offsets: ex.head_topk(offset_probs, row, k_offset),
+                        }
+                    })
+                    .collect()
+            }
+        }
     }
 
     /// `(grow_events, grown_bytes)` of this model's inference arena.
@@ -465,29 +715,14 @@ impl VoyagerModel {
             st.arena.put(slots.x, x);
         }
 
-        // Heads + row softmax.
-        let mut page_logits = st
-            .arena
-            .acquire(slots.page_logits, b, self.page_vocab.max(1));
+        // Offset head + row softmax (identical for both page heads).
         let mut off_logits = st.arena.acquire(slots.off_logits, b, self.offset_vocab);
         if int8 {
             if let Some(qw) = &st.int8 {
-                quantize_rows_into(&page_h, &mut st.qh);
-                qw.page_head.forward_into(&st.qh, &mut page_logits);
                 quantize_rows_into(&off_h, &mut st.qh);
                 qw.offset_head.forward_into(&st.qh, &mut off_logits);
             }
         } else {
-            gemm(
-                &page_h,
-                store.value(self.page_head.weight_id()),
-                Layout::NN,
-                &mut page_logits,
-            );
-            add_row_inplace(
-                &mut page_logits,
-                store.value(self.page_head.bias_id()).as_slice(),
-            );
             gemm(
                 &off_h,
                 store.value(self.offset_head.weight_id()),
@@ -499,14 +734,56 @@ impl VoyagerModel {
                 store.value(self.offset_head.bias_id()).as_slice(),
             );
         }
-        softmax_rows_inplace(&mut page_logits);
         softmax_rows_inplace(&mut off_logits);
+
+        // Page head: dense leaves softmaxed `[batch, vocab]`
+        // probabilities in the `page_logits` arena slot; hierarchical
+        // leaves sparse candidate lists in `st.hier` instead (nothing
+        // `O(vocab)` is ever materialized).
+        match &self.page_head {
+            PageHead::Dense(lin) => {
+                let mut page_logits =
+                    st.arena
+                        .acquire(slots.page_logits, b, self.page_vocab.max(1));
+                if int8 {
+                    if let Some(qw) = &st.int8 {
+                        let Int8PageHead::Dense(qhead) = &qw.page_head else {
+                            unreachable!("int8 weights quantized from a different head");
+                        };
+                        quantize_rows_into(&page_h, &mut st.qh);
+                        qhead.forward_into(&st.qh, &mut page_logits);
+                    }
+                } else {
+                    gemm(
+                        &page_h,
+                        store.value(lin.weight_id()),
+                        Layout::NN,
+                        &mut page_logits,
+                    );
+                    add_row_inplace(&mut page_logits, store.value(lin.bias_id()).as_slice());
+                }
+                softmax_rows_inplace(&mut page_logits);
+                st.arena.put(slots.page_logits, page_logits);
+            }
+            PageHead::Hier(hs) => {
+                if int8 {
+                    if let Some(qw) = &st.int8 {
+                        let Int8PageHead::Hier(qhead) = &qw.page_head else {
+                            unreachable!("int8 weights quantized from a different head");
+                        };
+                        quantize_rows_into(&page_h, &mut st.qh);
+                        hier_candidates_int8(qhead, &st.qh, cfg.hier_fan, &mut st.hier);
+                    }
+                } else {
+                    hier_candidates(store, hs, &page_h, cfg.hier_fan, &mut st.hier);
+                }
+            }
+        }
 
         st.arena.put(slots.page_h, page_h);
         st.arena.put(slots.page_c, page_c);
         st.arena.put(slots.off_h, off_h);
         st.arena.put(slots.off_c, off_c);
-        st.arena.put(slots.page_logits, page_logits);
         st.arena.put(slots.off_logits, off_logits);
     }
 
@@ -515,19 +792,35 @@ impl VoyagerModel {
     fn rank_from_arena(&mut self, batch_len: usize, k: usize) -> Vec<Vec<(u32, u32, f32)>> {
         let st = &mut self.infer;
         let slots = st.ensure_slots();
-        let page_probs = st.arena.get(slots.page_logits);
         let off_probs = st.arena.get(slots.off_logits);
         let mut out = Vec::with_capacity(batch_len);
-        for row in 0..batch_len {
-            out.push(rank_row(
-                page_probs,
-                off_probs,
-                row,
-                k,
-                self.page_vocab,
-                self.offset_vocab,
-                &mut st.rank,
-            ));
+        match &self.page_head {
+            PageHead::Dense(_) => {
+                let page_probs = st.arena.get(slots.page_logits);
+                for row in 0..batch_len {
+                    out.push(rank_row(
+                        page_probs,
+                        off_probs,
+                        row,
+                        k,
+                        self.page_vocab,
+                        self.offset_vocab,
+                        &mut st.rank,
+                    ));
+                }
+            }
+            PageHead::Hier(_) => {
+                for row in 0..batch_len {
+                    out.push(rank_row_sparse(
+                        &st.hier,
+                        row,
+                        off_probs,
+                        k,
+                        self.offset_vocab,
+                        &mut st.rank,
+                    ));
+                }
+            }
         }
         out
     }

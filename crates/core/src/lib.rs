@@ -56,9 +56,9 @@ mod replay;
 
 pub use voyager_tensor::rng;
 
-pub use config::{FeatureSet, LabelMode, VoyagerConfig};
+pub use config::{FeatureSet, LabelMode, OutputHead, VoyagerConfig};
 pub use data::TrainingSet;
 pub use delta_lstm::{DeltaLstm, DeltaLstmConfig};
-pub use model::{SeqBatch, VoyagerModel};
+pub use model::{hier_shape, SeqBatch, VoyagerModel};
 pub use online::OnlineRun;
 pub use replay::ReplayPrefetcher;

@@ -3,12 +3,12 @@
 use voyager_tensor::rng::{SeedableRng, StdRng};
 
 use voyager_nn::{
-    compress, Adam, Embedding, ExpertAttention, GradSet, Layer, Linear, LstmCell, ParamStore,
-    Session,
+    compress, Adam, Embedding, ExpertAttention, GradSet, HierarchicalSoftmax, Layer, Linear,
+    LstmCell, ParamStore, Session,
 };
 use voyager_tensor::{Tensor2, Var};
 
-use crate::VoyagerConfig;
+use crate::{OutputHead, VoyagerConfig};
 
 /// A minibatch of token sequences: `[batch][seq_len]` ids for PCs,
 /// pages and offsets.
@@ -57,6 +57,27 @@ impl SeqBatch {
     }
 }
 
+/// The page output head: a flat dense linear layer (the paper's
+/// trained configuration, `O(V)` per step) or the two-level
+/// hierarchical softmax (Section 5.5, `O(sqrt(V))`).
+#[derive(Debug)]
+pub(crate) enum PageHead {
+    /// Flat `[hidden, vocab]` linear head.
+    Dense(Linear),
+    /// Two-level cluster/branch head.
+    Hier(HierarchicalSoftmax),
+}
+
+/// The `clusters x branch` grid used for a hierarchical page head over
+/// `vocab` classes: `branch = min(ceil(sqrt(vocab)), 256)` (capped so
+/// the per-cluster leaf GEMM stays register-blocking-friendly at huge
+/// vocabularies), `clusters = ceil(vocab / branch)`.
+pub fn hier_shape(vocab: usize) -> (usize, usize) {
+    let v = vocab.max(1);
+    let branch = ((v as f64).sqrt().ceil() as usize).clamp(1, 256);
+    (v.div_ceil(branch), branch)
+}
+
 /// The hierarchical neural prefetching model.
 ///
 /// Owns its parameters and optimizer; [`VoyagerModel::train_multi`] /
@@ -75,7 +96,7 @@ pub struct VoyagerModel {
     pub(crate) attn: ExpertAttention,
     pub(crate) page_lstm: LstmCell,
     pub(crate) offset_lstm: LstmCell,
-    pub(crate) page_head: Linear,
+    pub(crate) page_head: PageHead,
     pub(crate) offset_head: Linear,
     pub(crate) page_vocab: usize,
     pub(crate) offset_vocab: usize,
@@ -137,13 +158,27 @@ impl VoyagerModel {
             cfg.lstm_units,
             &mut rng,
         );
-        let page_head = Linear::new(
-            &mut store,
-            "page_head",
-            cfg.lstm_units,
-            page_vocab.max(1),
-            &mut rng,
-        );
+        let page_head = match cfg.output_head {
+            OutputHead::Dense => PageHead::Dense(Linear::new(
+                &mut store,
+                "page_head",
+                cfg.lstm_units,
+                page_vocab.max(1),
+                &mut rng,
+            )),
+            OutputHead::Hier => {
+                let (clusters, branch) = hier_shape(page_vocab);
+                PageHead::Hier(HierarchicalSoftmax::with_shape(
+                    &mut store,
+                    "page_head",
+                    cfg.lstm_units,
+                    page_vocab.max(1),
+                    clusters,
+                    branch,
+                    &mut rng,
+                ))
+            }
+        };
         let offset_head = Linear::new(
             &mut store,
             "offset_head",
@@ -285,10 +320,39 @@ impl VoyagerModel {
         assert_eq!(page_targets.shape(), (batch.len(), self.page_vocab));
         assert_eq!(offset_targets.shape(), (batch.len(), self.offset_vocab));
         let mut sess = Session::new();
-        let (pl, ol) = self.forward(&mut sess, batch, true);
-        let lp = sess.tape.bce_with_logits(pl, page_targets);
-        let lo = sess.tape.bce_with_logits(ol, offset_targets);
-        let loss = sess.tape.add(lp, lo);
+        let loss = self.multi_loss(
+            &mut sess,
+            batch,
+            PageMulti::Dense(page_targets),
+            offset_targets,
+        );
+        let value = sess.tape.value(loss).get(0, 0);
+        (value, sess.collect_grads(loss))
+    }
+
+    /// Sparse-target counterpart of [`VoyagerModel::grad_multi`]: page
+    /// positives arrive as per-row class lists instead of a `[batch,
+    /// vocab]` multi-hot, so target construction stays `O(positives)`
+    /// at 100x vocabularies.
+    pub fn grad_multi_sparse(
+        &mut self,
+        batch: &SeqBatch,
+        page_positives: &[Vec<usize>],
+        offset_targets: &Tensor2,
+    ) -> (f32, GradSet) {
+        assert_eq!(
+            page_positives.len(),
+            batch.len(),
+            "one positive list per row"
+        );
+        assert_eq!(offset_targets.shape(), (batch.len(), self.offset_vocab));
+        let mut sess = Session::new();
+        let loss = self.multi_loss(
+            &mut sess,
+            batch,
+            PageMulti::Sparse(page_positives),
+            offset_targets,
+        );
         let value = sess.tape.value(loss).get(0, 0);
         (value, sess.collect_grads(loss))
     }
@@ -301,10 +365,7 @@ impl VoyagerModel {
         offset_targets: &[usize],
     ) -> (f32, GradSet) {
         let mut sess = Session::new();
-        let (pl, ol) = self.forward(&mut sess, batch, true);
-        let lp = sess.tape.softmax_cross_entropy(pl, page_targets);
-        let lo = sess.tape.softmax_cross_entropy(ol, offset_targets);
-        let loss = sess.tape.add(lp, lo);
+        let loss = self.single_loss(&mut sess, batch, page_targets, offset_targets);
         let value = sess.tape.value(loss).get(0, 0);
         (value, sess.collect_grads(loss))
     }
@@ -317,7 +378,74 @@ impl VoyagerModel {
         self.adam.apply_grad_set(&mut self.store, grads);
     }
 
-    fn forward(&mut self, sess: &mut Session, batch: &SeqBatch, train: bool) -> (Var, Var) {
+    /// Builds the combined page + offset loss for a multi-label batch,
+    /// routing the page side through the configured output head.
+    fn multi_loss(
+        &mut self,
+        sess: &mut Session,
+        batch: &SeqBatch,
+        page_targets: PageMulti<'_>,
+        offset_targets: &Tensor2,
+    ) -> Var {
+        let (ph, oh) = self.forward_trunk(sess, batch, true);
+        let lp = match (&self.page_head, page_targets) {
+            (PageHead::Dense(lin), PageMulti::Dense(t)) => {
+                let pl = lin.forward(sess, &self.store, ph);
+                sess.tape.bce_with_logits(pl, t)
+            }
+            (PageHead::Dense(lin), PageMulti::Sparse(pos)) => {
+                let mut t = Tensor2::zeros(pos.len(), self.page_vocab.max(1));
+                for (row, classes) in pos.iter().enumerate() {
+                    for &c in classes {
+                        assert!(
+                            c < self.page_vocab,
+                            "page class {c} out of {}",
+                            self.page_vocab
+                        );
+                        t.set(row, c, 1.0);
+                    }
+                }
+                let pl = lin.forward(sess, &self.store, ph);
+                sess.tape.bce_with_logits(pl, &t)
+            }
+            (PageHead::Hier(hs), PageMulti::Dense(t)) => {
+                let pos = dense_to_positives(t);
+                hs.loss_multi(sess, &self.store, ph, &pos)
+            }
+            (PageHead::Hier(hs), PageMulti::Sparse(pos)) => {
+                hs.loss_multi(sess, &self.store, ph, pos)
+            }
+        };
+        let ol = self.offset_head.forward(sess, &self.store, oh);
+        let lo = sess.tape.bce_with_logits(ol, offset_targets);
+        sess.tape.add(lp, lo)
+    }
+
+    /// Builds the combined page + offset loss for a single-label batch.
+    fn single_loss(
+        &mut self,
+        sess: &mut Session,
+        batch: &SeqBatch,
+        page_targets: &[usize],
+        offset_targets: &[usize],
+    ) -> Var {
+        let (ph, oh) = self.forward_trunk(sess, batch, true);
+        let lp = match &self.page_head {
+            PageHead::Dense(lin) => {
+                let pl = lin.forward(sess, &self.store, ph);
+                sess.tape.softmax_cross_entropy(pl, page_targets)
+            }
+            PageHead::Hier(hs) => hs.loss(sess, &self.store, ph, page_targets),
+        };
+        let ol = self.offset_head.forward(sess, &self.store, oh);
+        let lo = sess.tape.softmax_cross_entropy(ol, offset_targets);
+        sess.tape.add(lp, lo)
+    }
+
+    /// Shared trunk (embeddings → attention → both LSTMs): returns the
+    /// final `(page_h, offset_h)` hidden states. The caller applies the
+    /// heads, which depend on the configured page output head.
+    fn forward_trunk(&mut self, sess: &mut Session, batch: &SeqBatch, train: bool) -> (Var, Var) {
         batch.validate();
         let b = batch.len();
         let mut page_state = self.page_lstm.zero_state(sess, b);
@@ -352,9 +480,7 @@ impl VoyagerModel {
                 .offset_lstm
                 .forward(sess, &self.store, (x, offset_state));
         }
-        let page_logits = self.page_head.forward(sess, &self.store, page_state.h);
-        let offset_logits = self.offset_head.forward(sess, &self.store, offset_state.h);
-        (page_logits, offset_logits)
+        (page_state.h, offset_state.h)
     }
 
     /// One multi-label training step (Section 4.4): binary cross-entropy
@@ -373,10 +499,46 @@ impl VoyagerModel {
         assert_eq!(page_targets.shape(), (batch.len(), self.page_vocab));
         assert_eq!(offset_targets.shape(), (batch.len(), self.offset_vocab));
         let mut sess = Session::new();
-        let (pl, ol) = self.forward(&mut sess, batch, true);
-        let lp = sess.tape.bce_with_logits(pl, page_targets);
-        let lo = sess.tape.bce_with_logits(ol, offset_targets);
-        let loss = sess.tape.add(lp, lo);
+        let loss = self.multi_loss(
+            &mut sess,
+            batch,
+            PageMulti::Dense(page_targets),
+            offset_targets,
+        );
+        let value = sess.tape.value(loss).get(0, 0);
+        sess.step(loss, &mut self.store, &mut self.adam);
+        value
+    }
+
+    /// One multi-label training step with sparse page targets: per-row
+    /// lists of positive page classes instead of a `[batch, vocab]`
+    /// multi-hot tensor. With the hierarchical head this is the only
+    /// step cost that exists — nothing `O(vocab)` is ever materialized.
+    /// Returns the summed loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row-count mismatch, an empty positive list (with the
+    /// hierarchical head), or out-of-range classes.
+    pub fn train_multi_sparse(
+        &mut self,
+        batch: &SeqBatch,
+        page_positives: &[Vec<usize>],
+        offset_targets: &Tensor2,
+    ) -> f32 {
+        assert_eq!(
+            page_positives.len(),
+            batch.len(),
+            "one positive list per row"
+        );
+        assert_eq!(offset_targets.shape(), (batch.len(), self.offset_vocab));
+        let mut sess = Session::new();
+        let loss = self.multi_loss(
+            &mut sess,
+            batch,
+            PageMulti::Sparse(page_positives),
+            offset_targets,
+        );
         let value = sess.tape.value(loss).get(0, 0);
         sess.step(loss, &mut self.store, &mut self.adam);
         value
@@ -391,10 +553,7 @@ impl VoyagerModel {
         offset_targets: &[usize],
     ) -> f32 {
         let mut sess = Session::new();
-        let (pl, ol) = self.forward(&mut sess, batch, true);
-        let lp = sess.tape.softmax_cross_entropy(pl, page_targets);
-        let lo = sess.tape.softmax_cross_entropy(ol, offset_targets);
-        let loss = sess.tape.add(lp, lo);
+        let loss = self.single_loss(&mut sess, batch, page_targets, offset_targets);
         let value = sess.tape.value(loss).get(0, 0);
         sess.step(loss, &mut self.store, &mut self.adam);
         value
@@ -406,28 +565,86 @@ impl VoyagerModel {
     /// extension of its argmax inference).
     pub fn predict(&mut self, batch: &SeqBatch, k: usize) -> Vec<Vec<(u32, u32, f32)>> {
         let mut sess = Session::new();
-        let (pl, ol) = self.forward(&mut sess, batch, false);
-        let pp = sess.tape.softmax_rows(pl);
+        let (ph, oh) = self.forward_trunk(&mut sess, batch, false);
+        let ol = self.offset_head.forward(&mut sess, &self.store, oh);
         let op = sess.tape.softmax_rows(ol);
-        let page_probs = sess.tape.value(pp);
-        let offset_probs = sess.tape.value(op);
-        // Candidate selection and ranking are shared with the tape-free
-        // fast path (crate::fastpath), so the two cannot drift.
-        let mut scratch = crate::fastpath::RankScratch::default();
-        let mut out = Vec::with_capacity(batch.len());
-        for row in 0..batch.len() {
-            out.push(crate::fastpath::rank_row(
-                page_probs,
-                offset_probs,
-                row,
-                k,
-                self.page_vocab,
-                self.offset_vocab,
-                &mut scratch,
-            ));
+        match &self.page_head {
+            PageHead::Dense(lin) => {
+                let pl = lin.forward(&mut sess, &self.store, ph);
+                let pp = sess.tape.softmax_rows(pl);
+                let page_probs = sess.tape.value(pp);
+                let offset_probs = sess.tape.value(op);
+                // Candidate selection and ranking are shared with the
+                // tape-free fast path (crate::fastpath), so the two
+                // cannot drift.
+                let mut scratch = crate::fastpath::RankScratch::default();
+                let mut out = Vec::with_capacity(batch.len());
+                for row in 0..batch.len() {
+                    out.push(crate::fastpath::rank_row(
+                        page_probs,
+                        offset_probs,
+                        row,
+                        k,
+                        self.page_vocab,
+                        self.offset_vocab,
+                        &mut scratch,
+                    ));
+                }
+                out
+            }
+            PageHead::Hier(hs) => {
+                // The hierarchical scoring (cluster GEMM → shortlist →
+                // branch GEMMs) is ONE routine shared with predict_fast
+                // — identity between the two paths holds by
+                // construction.
+                let h = sess.tape.value(ph);
+                let offset_probs = sess.tape.value(op);
+                crate::fastpath::hier_candidates(
+                    &self.store,
+                    hs,
+                    h,
+                    self.cfg.hier_fan,
+                    &mut self.infer.hier,
+                );
+                let st = &mut self.infer;
+                let mut out = Vec::with_capacity(batch.len());
+                for row in 0..batch.len() {
+                    out.push(crate::fastpath::rank_row_sparse(
+                        &st.hier,
+                        row,
+                        offset_probs,
+                        k,
+                        self.offset_vocab,
+                        &mut st.rank,
+                    ));
+                }
+                out
+            }
         }
-        out
     }
+}
+
+/// Multi-label page targets: the dense `[batch, vocab]` multi-hot the
+/// original API takes, or per-row positive-class lists.
+enum PageMulti<'a> {
+    Dense(&'a Tensor2),
+    Sparse(&'a [Vec<usize>]),
+}
+
+/// Scans a dense multi-hot tensor into per-row positive class lists
+/// (entries > 0.5 count as positive).
+fn dense_to_positives(targets: &Tensor2) -> Vec<Vec<usize>> {
+    (0..targets.rows())
+        .map(|row| {
+            targets
+                .row(row)
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v > 0.5)
+                .map(|(c, _)| c)
+                .collect()
+        })
+        .collect()
 }
 
 fn input_dim(cfg: &VoyagerConfig) -> usize {

@@ -69,10 +69,10 @@ mod params;
 pub use voyager_tensor::rng;
 
 pub use grads::{GradEntry, GradSet};
-pub use hier_softmax::HierarchicalSoftmax;
+pub use hier_softmax::{HierarchicalSoftmax, PAD_MASK};
 pub use layer::Layer;
 pub use layers::{Embedding, ExpertAttention, Linear, LstmCell, LstmState};
 pub use optim::{Adam, AdamState};
 pub use params::{ParamId, ParamStore, Session};
-pub use qinfer::{QuantizedLinear, QuantizedLstm, QuantizedMatmul};
+pub use qinfer::{QuantizedHierHead, QuantizedLinear, QuantizedLstm, QuantizedMatmul};
 pub use soft::{SoftLabelExtractor, SoftLabels};

@@ -145,15 +145,22 @@ impl Adam {
             let t = self.t as i32;
             (1.0 - self.beta1.powi(t), 1.0 - self.beta2.powi(t))
         };
-        for i in 0..value.len() {
-            let g = grad.as_slice()[i] * clip;
-            let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g;
-            let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g * g;
-            m.as_mut_slice()[i] = mi;
-            v.as_mut_slice()[i] = vi;
-            let mhat = mi / bc1;
-            let vhat = vi / bc2;
-            value.as_mut_slice()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        // Zipped slice iterators instead of indexed access: the bounds
+        // checks are elided and the moment/update arithmetic (including
+        // the sqrt) auto-vectorizes, which matters because every dense
+        // parameter in the model flows through this loop each step.
+        let iter = value
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()));
+        for ((val, &g), (mi, vi)) in iter {
+            let g = g * clip;
+            *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+            *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+            let mhat = *mi / bc1;
+            let vhat = *vi / bc2;
+            *val -= self.lr * mhat / (vhat.sqrt() + self.eps);
         }
     }
 
@@ -176,22 +183,36 @@ impl Adam {
             (1.0 - self.beta1.powi(t), 1.0 - self.beta2.powi(t))
         };
         // Coalesce duplicate rows first so a row gathered k times gets a
-        // single combined update (matching dense semantics).
-        let mut combined: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
-        for (i, &r) in rows.iter().enumerate() {
-            let entry = combined.entry(r).or_insert_with(|| vec![0.0; cols]);
-            for (e, &g) in entry.iter_mut().zip(grad.row(i)) {
-                *e += g * clip;
+        // single combined update (matching dense semantics). Sorting the
+        // gather indices and accumulating runs into one reused buffer
+        // keeps this allocation-free per row and lets each touched row
+        // be updated through contiguous slices — the hierarchical page
+        // head feeds thousands of scattered leaf rows through here every
+        // step, where the old per-row `BTreeMap<usize, Vec<f32>>` plus
+        // element-wise `get`/`set` dominated the whole training step.
+        let mut order: Vec<u32> = (0..rows.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| rows[i as usize]);
+        let mut acc = vec![0.0f32; cols];
+        let mut i = 0;
+        while i < order.len() {
+            let r = rows[order[i] as usize];
+            acc.fill(0.0);
+            while i < order.len() && rows[order[i] as usize] == r {
+                for (a, &g) in acc.iter_mut().zip(grad.row(order[i] as usize)) {
+                    *a += g * clip;
+                }
+                i += 1;
             }
-        }
-        for (r, grow) in combined {
-            for (c, &g) in grow.iter().enumerate() {
-                let mi = self.beta1 * m.get(r, c) + (1.0 - self.beta1) * g;
-                let vi = self.beta2 * v.get(r, c) + (1.0 - self.beta2) * g * g;
-                m.set(r, c, mi);
-                v.set(r, c, vi);
-                let update = self.lr * (mi / bc1) / ((vi / bc2).sqrt() + self.eps);
-                value.set(r, c, value.get(r, c) - update);
+            let mrow = m.row_mut(r);
+            let vrow = v.row_mut(r);
+            let valrow = value.row_mut(r);
+            for c in 0..cols {
+                let g = acc[c];
+                let mi = self.beta1 * mrow[c] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * vrow[c] + (1.0 - self.beta2) * g * g;
+                mrow[c] = mi;
+                vrow[c] = vi;
+                valrow[c] -= self.lr * (mi / bc1) / ((vi / bc2).sqrt() + self.eps);
             }
         }
     }

@@ -88,6 +88,35 @@ impl QuantizedMatmul {
             accumulate,
         );
     }
+
+    /// Computes one output row `out = x[row] · w` from pre-quantized
+    /// activation rows — the `m = 1` GEMM the hierarchical head uses to
+    /// score a single shortlisted cluster's branch block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range, the reduction dims disagree, or
+    /// `out` is not `[n]`-shaped.
+    pub fn forward_row_into(&self, x: &QuantizedRows, row: usize, out: &mut [f32]) {
+        let (m, k) = x.shape();
+        let (wk, n) = self.w.shape();
+        assert!(row < m, "row {row} out of {m}");
+        assert_eq!(k, wk, "quantized matmul reduction mismatch: {k} vs {wk}");
+        assert_eq!(out.len(), n, "quantized matmul output width");
+        gemm_i8_dequant(
+            x.row(row),
+            self.w.data(),
+            1,
+            n,
+            k,
+            &x.scales[row..row + 1],
+            &x.sums[row..row + 1],
+            self.w.scale(),
+            self.w.zero_point(),
+            out,
+            false,
+        );
+    }
 }
 
 /// An int8 linear layer: quantized weights plus an f32 bias row.
@@ -181,6 +210,124 @@ impl QuantizedLstm {
     }
 }
 
+/// An int8 two-level hierarchical page head: a quantized cluster
+/// linear layer plus per-cluster branch blocks.
+///
+/// Each cluster's `[branch, hidden]` slice of the leaf table is stored
+/// *transposed* (`[hidden, branch]`, quantized independently) so
+/// scoring a shortlisted cluster for one activation row is a single
+/// `m = 1` NN-layout [`gemm_i8_dequant`] call — no transposition at
+/// inference time, and per-cluster quantization scales keep the
+/// dequantization error local to each block.
+#[derive(Debug, Clone)]
+pub struct QuantizedHierHead {
+    cluster: QuantizedLinear,
+    blocks: Vec<QuantizedMatmul>,
+    branch: usize,
+    num_classes: usize,
+}
+
+impl QuantizedHierHead {
+    /// Quantizes a hierarchical head: the `[hidden, clusters]` cluster
+    /// weights + `[1, clusters]` bias and the leaf table. The leaf
+    /// tensor may be shaped `[clusters, branch * hidden]` (the training
+    /// layout) or `[clusters * branch, hidden]`; both describe the same
+    /// flat memory and only its length is checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    pub fn new(
+        cluster_w: &Tensor2,
+        cluster_b: &Tensor2,
+        leaves: &Tensor2,
+        clusters: usize,
+        branch: usize,
+        num_classes: usize,
+    ) -> Self {
+        let hidden = cluster_w.rows();
+        assert_eq!(cluster_w.cols(), clusters, "cluster head width mismatch");
+        assert_eq!(
+            leaves.len(),
+            clusters * branch * hidden,
+            "leaf table size mismatch"
+        );
+        assert!(
+            num_classes <= clusters * branch && num_classes > (clusters - 1) * branch,
+            "grid {clusters}x{branch} inconsistent with {num_classes} classes"
+        );
+        let flat = leaves.as_slice();
+        let mut blocks = Vec::with_capacity(clusters);
+        let mut block = Tensor2::zeros(hidden, branch);
+        for c in 0..clusters {
+            for j in 0..branch {
+                let leaf = &flat[(c * branch + j) * hidden..][..hidden];
+                for (i, &v) in leaf.iter().enumerate() {
+                    block.set(i, j, v);
+                }
+            }
+            blocks.push(QuantizedMatmul::from_tensor(&block));
+        }
+        QuantizedHierHead {
+            cluster: QuantizedLinear::new(cluster_w, cluster_b),
+            blocks,
+            branch,
+            num_classes,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Branch factor (classes per cluster).
+    pub fn branch(&self) -> usize {
+        self.branch
+    }
+
+    /// Number of real classes (the grid tail beyond this is padding).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Int8 storage of all quantized weights, in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.cluster.shape().0 * self.cluster.shape().1
+            + self
+                .blocks
+                .iter()
+                .map(QuantizedMatmul::size_bytes)
+                .sum::<usize>()
+    }
+
+    /// Computes `[batch, clusters]` cluster logits into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn cluster_logits_into(&self, x: &QuantizedRows, out: &mut Tensor2) {
+        self.cluster.forward_into(x, out);
+    }
+
+    /// Computes the `branch` leaf logits of one `(activation row,
+    /// cluster)` pair into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster` is out of range or `out` is not
+    /// `[branch]`-shaped.
+    pub fn branch_logits_into(
+        &self,
+        x: &QuantizedRows,
+        row: usize,
+        cluster: usize,
+        out: &mut [f32],
+    ) {
+        self.blocks[cluster].forward_row_into(x, row, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +407,67 @@ mod tests {
         let mut gates = Tensor2::zeros(3, 4 * hidden);
         qc.gates_into(&qx, &qh, &mut gates);
         assert_close(&gates, &want, 0.05);
+    }
+
+    #[test]
+    fn forward_row_matches_full_batch() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let x = Tensor2::uniform(5, 12, 1.0, &mut rng);
+        let w = Tensor2::uniform(12, 7, 0.6, &mut rng);
+        let qm = QuantizedMatmul::from_tensor(&w);
+        let mut qx = QuantizedRows::new();
+        quantize_rows_into(&x, &mut qx);
+        let mut full = Tensor2::zeros(5, 7);
+        qm.forward_into(&qx, &mut full, false);
+        let mut row_out = vec![0.0f32; 7];
+        for r in 0..5 {
+            qm.forward_row_into(&qx, r, &mut row_out);
+            assert_eq!(&row_out[..], full.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn hier_head_blocks_track_f32_leaf_scores() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let (hidden, clusters, branch, num_classes) = (10, 4, 3, 11);
+        let cw = Tensor2::uniform(hidden, clusters, 0.7, &mut rng);
+        let cb = Tensor2::uniform(1, clusters, 0.3, &mut rng);
+        let leaves = Tensor2::uniform(clusters * branch, hidden, 0.7, &mut rng);
+        let qh = QuantizedHierHead::new(&cw, &cb, &leaves, clusters, branch, num_classes);
+        assert_eq!(qh.clusters(), clusters);
+        assert_eq!(qh.branch(), branch);
+        assert_eq!(qh.num_classes(), num_classes);
+        assert!(qh.size_bytes() >= hidden * (clusters + clusters * branch));
+
+        let x = Tensor2::uniform(3, hidden, 1.0, &mut rng);
+        let mut qx = QuantizedRows::new();
+        quantize_rows_into(&x, &mut qx);
+
+        let mut cl = Tensor2::zeros(3, clusters);
+        qh.cluster_logits_into(&qx, &mut cl);
+        let mut want_cl = x.matmul(&cw);
+        add_row_inplace(&mut want_cl, cb.as_slice());
+        assert_close(&cl, &want_cl, 0.03);
+
+        let mut out = vec![0.0f32; branch];
+        for row in 0..3 {
+            for c in 0..clusters {
+                qh.branch_logits_into(&qx, row, c, &mut out);
+                for (j, &got) in out.iter().enumerate() {
+                    let want: f32 = x
+                        .row(row)
+                        .iter()
+                        .zip(leaves.row(c * branch + j))
+                        .map(|(&a, &b)| a * b)
+                        .sum();
+                    let scale = want.abs().max(1.0);
+                    assert!(
+                        (got - want).abs() <= 0.05 * scale,
+                        "row {row} cluster {c} slot {j}: {got} vs {want}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

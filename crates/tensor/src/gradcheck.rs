@@ -206,6 +206,26 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_select_rows_with_repeats() {
+        let mut rng = rng();
+        // Repeated indices: row 1 is selected twice, row 2 never — the
+        // scatter-add backward must accumulate duplicates and leave
+        // unselected rows at zero.
+        let a = Tensor2::uniform(3, 4, 1.0, &mut rng);
+        let w = Tensor2::uniform(4, 4, 1.0, &mut rng);
+        check(
+            |t, v| {
+                let s = t.select_rows(v[0], &[1, 0, 1, 0]);
+                let m = t.mul(s, v[1]);
+                let sm = t.tanh(m);
+                t.sum_all(sm)
+            },
+            &[a, w],
+            2e-2,
+        );
+    }
+
+    #[test]
     fn gradcheck_add_row_bias() {
         let mut rng = rng();
         let a = Tensor2::uniform(3, 2, 1.0, &mut rng);

@@ -300,10 +300,63 @@ fn gemm_rows_impl(
         }
         return;
     }
+    let bver = b.version();
     let (a, b) = (a.as_slice(), b.as_slice());
     match simd::active_isa() {
         Isa::Scalar => simd::run_scalar_blocked(a, b, layout, m, n, k, rows, out_rows, acc),
-        isa => simd::gemm_rows_packed(isa, a, b, layout, m, n, k, rows, out_rows, acc),
+        isa => simd::gemm_rows_packed(isa, a, b, layout, m, n, k, rows, out_rows, acc, bver),
+    }
+}
+
+/// Matrix multiply over raw slices: `out (+)= a ? b` with explicit
+/// `(m, n, k)` dimensions. This is the entry point for operands that
+/// are *sub-blocks* of a larger tensor — the hierarchical output head
+/// multiplies one hidden row against the contiguous `[branch, hidden]`
+/// leaf-weight block of each shortlisted cluster, which has no
+/// `Tensor2` of its own. Routes through the identical dispatch as
+/// [`gemm`] (naive switch included), so results are bitwise-identical
+/// to a whole-tensor call on the same bytes; slice operands carry no
+/// content version, so the packed-B cache is bypassed.
+///
+/// # Panics
+///
+/// Panics if the slice lengths do not match `m·k` / `k·n` (per
+/// `layout`) and `m·n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_slices(
+    a: &[f32],
+    b: &[f32],
+    layout: Layout,
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+    accumulate: bool,
+) {
+    assert_eq!(a.len(), m * k, "gemm_slices lhs length mismatch");
+    assert_eq!(b.len(), k * n, "gemm_slices rhs length mismatch");
+    assert_eq!(out.len(), m * n, "gemm_slices output length mismatch");
+    note_gemm(m, n, k);
+    if n == 0 || m == 0 {
+        return;
+    }
+    if k == 0 {
+        for o in out.iter_mut() {
+            if accumulate {
+                *o += 0.0;
+            } else {
+                *o = 0.0;
+            }
+        }
+        return;
+    }
+    if force_naive() {
+        simd::run_naive(a, b, layout, m, n, k, 0..m, out, accumulate);
+        return;
+    }
+    match simd::active_isa() {
+        Isa::Scalar => simd::run_scalar_blocked(a, b, layout, m, n, k, 0..m, out, accumulate),
+        isa => simd::gemm_rows_packed(isa, a, b, layout, m, n, k, 0..m, out, accumulate, 0),
     }
 }
 
@@ -1057,6 +1110,78 @@ mod tests {
                         .sum();
                     assert_eq!(qfast[i * n + j], want, "{ctx} int8 at ({i},{j})");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_b_cache_is_bitwise_invisible() {
+        // Repeated GEMMs against the same weight tensor promote its
+        // packed panels into the cache; every repeat must be
+        // bitwise-identical to the first (fresh-pack) call and to the
+        // naive reference, and mutating the weight must be picked up.
+        let mut rng = StdRng::seed_from_u64(0xCAC4E);
+        for layout in LAYOUTS {
+            let (a, mut b) = operands(7, 33, 17, layout, &mut rng);
+            let mut reference = Tensor2::zeros(1, 1);
+            naive_gemm(&a, &b, layout, &mut reference);
+            let mut first = Tensor2::zeros(1, 1);
+            gemm(&a, &b, layout, &mut first);
+            assert_bits_eq(first.as_slice(), reference.as_slice(), "first call");
+            for round in 0..4 {
+                let mut again = Tensor2::zeros(1, 1);
+                gemm(&a, &b, layout, &mut again);
+                assert_bits_eq(
+                    again.as_slice(),
+                    reference.as_slice(),
+                    &format!("{layout:?} cached round {round}"),
+                );
+            }
+            // Invalidate: new bytes, new version, new results.
+            b.row_mut(0)[0] += 1.0;
+            let mut reference2 = Tensor2::zeros(1, 1);
+            naive_gemm(&a, &b, layout, &mut reference2);
+            for round in 0..3 {
+                let mut got = Tensor2::zeros(1, 1);
+                gemm(&a, &b, layout, &mut got);
+                assert_bits_eq(
+                    got.as_slice(),
+                    reference2.as_slice(),
+                    &format!("{layout:?} post-mutation round {round}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_slices_matches_tensor_entry_bitwise() {
+        let _guard = simd::test_toggle_lock();
+        let mut rng = StdRng::seed_from_u64(0x51_1CE5);
+        for layout in LAYOUTS {
+            for &(m, n, k) in &[
+                (1usize, 256usize, 64usize),
+                (5, 9, 7),
+                (1, 1, 1),
+                (4, 33, 16),
+            ] {
+                let (a, b) = operands(m, n, k, layout, &mut rng);
+                let mut whole = Tensor2::zeros(1, 1);
+                gemm(&a, &b, layout, &mut whole);
+                for force in [false, true] {
+                    set_force_scalar(force);
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_slices(a.as_slice(), b.as_slice(), layout, m, n, k, &mut out, false);
+                    assert_bits_eq(
+                        &out,
+                        whole.as_slice(),
+                        &format!("{layout:?} {m}x{n}x{k} force={force}"),
+                    );
+                    // Accumulate path: adds exactly one more product.
+                    gemm_slices(a.as_slice(), b.as_slice(), layout, m, n, k, &mut out, true);
+                    let doubled: Vec<f32> = whole.as_slice().iter().map(|&v| v + v).collect();
+                    assert_bits_eq(&out, &doubled, &format!("{layout:?} acc force={force}"));
+                }
+                set_force_scalar(false);
             }
         }
     }

@@ -33,6 +33,8 @@ use std::sync::OnceLock;
 
 pub(crate) mod pack;
 
+pub use pack::{clear_packed_b_cache, packed_b_cache_stats};
+
 #[cfg(target_arch = "aarch64")]
 pub(crate) mod neon;
 #[cfg(target_arch = "x86_64")]
@@ -201,6 +203,13 @@ const GROUP_A_BYTES: usize = 256 * 1024;
 /// the panels. `out_rows` covers rows `rows.start..rows.end` of the
 /// full output (row `i` lives at `(i - rows.start) * n`), matching
 /// the `gemm_rows` contract used by `par_gemm`.
+///
+/// `b_version` is the B operand's content-version stamp
+/// (`Tensor2::version`), or `0` for unversioned slice operands. A
+/// non-zero version lets the driver serve B's panels from the packed-B
+/// cache when the same bytes were packed recently (see
+/// [`pack::cached_b`]); packing is deterministic, so the hit path is
+/// bitwise-identical to packing fresh.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_rows_packed(
     isa: Isa,
@@ -213,11 +222,23 @@ pub(crate) fn gemm_rows_packed(
     rows: Range<usize>,
     out_rows: &mut [f32],
     acc: bool,
+    b_version: u64,
 ) {
     let (mrw, nrw) = isa.tile_dims();
+    let cached = pack::cached_b(b, layout, k, n, nrw, b_version);
     pack::with_scratch(|s| {
-        let pack::PackScratch { a: sa, b: sb, .. } = s;
-        pack::pack_b(b, layout, k, n, nrw, sb);
+        let pack::PackScratch {
+            a: sa,
+            b: scratch_b,
+            ..
+        } = s;
+        let sb: &[f32] = match &cached {
+            Some(panels) => panels,
+            None => {
+                pack::pack_b(b, layout, k, n, nrw, scratch_b);
+                scratch_b
+            }
+        };
         pack::pack_a(a, layout, m, k, rows.clone(), mrw, sa);
         // Group-then-panel-outer sweep (BLIS-style cache blocking):
         // within one group of row blocks (~256 KB of packed A, sized to

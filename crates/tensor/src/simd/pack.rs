@@ -19,6 +19,8 @@
 
 use crate::kernels::Layout;
 use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Reusable per-thread packing scratch. `a` holds all `[k][MR]`
 /// row-block panels, `b` holds all `[k][NR]` panels of the call, and
@@ -61,6 +63,165 @@ pub(crate) fn for_each_zeroed_i8_strip(
             f(i, &mut s.i8acc);
         }
     });
+}
+
+// ---------------------------------------------------------------------
+// Packed-B panel cache (ROADMAP PR-9 follow-up).
+//
+// Model weights sit on the B side of every forward GEMM (`x @ W`) and
+// of the backward data-gradient product (`dY @ W^T`), and they keep
+// the same bytes across thousands of calls between optimizer steps.
+// Re-packing them into NR-wide panels on every call is pure overhead —
+// the panels are a deterministic function of (bytes, layout, panel
+// width). This cache keys packed panels on the tensor's content
+// version (`Tensor2::version`, refreshed on every mutation, so
+// invalidation is automatic) plus the pack-shaping parameters.
+//
+// Single-use B operands — activations, whose versions never repeat —
+// must not churn the cache, so a key is only *promoted* into the cache
+// the second time it misses (a small ring remembers recently missed
+// keys). Weights therefore pay two packs and then hit forever;
+// activations always pack into the reusable thread scratch and never
+// allocate a cache entry. Entries are LRU-evicted beyond a byte and
+// entry budget. Everything is thread-local (no locks on the hot path);
+// a parallel driver's workers each warm their own copy.
+//
+// Cache hits are bitwise-exact by construction: `pack_b` is
+// deterministic, and an unchanged version guarantees unchanged operand
+// bytes. `packed_b_cache_stats` exposes hit/miss counters so tests and
+// benches can assert the steady state.
+
+/// Identity of one packed-B image: content version of the source
+/// tensor plus every parameter that shapes the panel bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct BKey {
+    version: u64,
+    layout: Layout,
+    k: usize,
+    n: usize,
+    nrw: usize,
+}
+
+/// Max panel bytes the per-thread cache may retain.
+const B_CACHE_MAX_BYTES: usize = 64 << 20;
+/// Max entries per thread (weights in flight are ~a dozen keys).
+const B_CACHE_MAX_ENTRIES: usize = 32;
+/// Recently missed keys remembered for second-miss promotion.
+const B_MISS_RING: usize = 32;
+
+#[derive(Default)]
+struct BCache {
+    /// `(key, panels, last-use tick)`; linear scan — the entry cap is
+    /// tiny next to the cost of one pack.
+    entries: Vec<(BKey, Rc<Vec<f32>>, u64)>,
+    missed: Vec<BKey>,
+    miss_cursor: usize,
+    tick: u64,
+}
+
+thread_local! {
+    static B_CACHE: RefCell<BCache> = RefCell::new(BCache::default());
+}
+
+static B_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static B_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the packed-B cache across all threads since
+/// process start. A miss is any versioned lookup that had to pack,
+/// whether or not the result was then promoted into the cache.
+pub fn packed_b_cache_stats() -> (u64, u64) {
+    (
+        B_CACHE_HITS.load(Ordering::Relaxed),
+        B_CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Drops this thread's cached panels and promotion ring (test support;
+/// steady-state code never needs it).
+pub fn clear_packed_b_cache() {
+    B_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        c.entries.clear();
+        c.missed.clear();
+        c.miss_cursor = 0;
+    });
+}
+
+/// Looks up (or, on a second miss, builds and caches) the packed-B
+/// panels for a *versioned* operand. Returns `None` for `version == 0`
+/// (unversioned: slice-level callers) or when the key was not seen
+/// recently — the caller then packs into its scratch as before.
+pub(crate) fn cached_b(
+    b: &[f32],
+    layout: Layout,
+    k: usize,
+    n: usize,
+    nrw: usize,
+    version: u64,
+) -> Option<Rc<Vec<f32>>> {
+    if version == 0 {
+        return None;
+    }
+    let key = BKey {
+        version,
+        layout,
+        k,
+        n,
+        nrw,
+    };
+    B_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        c.tick += 1;
+        let now = c.tick;
+        if let Some(entry) = c.entries.iter_mut().find(|(ek, _, _)| *ek == key) {
+            entry.2 = now;
+            B_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Some(Rc::clone(&entry.1));
+        }
+        B_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        if let Some(pos) = c.missed.iter().position(|mk| *mk == key) {
+            // Second miss: this operand repeats across calls — promote.
+            c.missed.swap_remove(pos);
+            if c.miss_cursor > c.missed.len() {
+                c.miss_cursor = 0;
+            }
+            let mut panels = Vec::new();
+            pack_b(b, layout, k, n, nrw, &mut panels);
+            let panels = Rc::new(panels);
+            c.entries.push((key, Rc::clone(&panels), now));
+            evict(&mut c);
+            return Some(panels);
+        }
+        // First sighting: remember the key, let the caller use scratch.
+        if c.missed.len() < B_MISS_RING {
+            c.missed.push(key);
+        } else {
+            let cur = c.miss_cursor;
+            c.missed[cur] = key;
+            c.miss_cursor = (cur + 1) % B_MISS_RING;
+        }
+        None
+    })
+}
+
+/// Evicts least-recently-used entries until the cache fits its entry
+/// and byte budgets.
+fn evict(c: &mut BCache) {
+    let bytes = |e: &[(BKey, Rc<Vec<f32>>, u64)]| -> usize {
+        e.iter().map(|(_, p, _)| p.len() * size_of::<f32>()).sum()
+    };
+    while c.entries.len() > B_CACHE_MAX_ENTRIES || bytes(&c.entries) > B_CACHE_MAX_BYTES {
+        let Some(oldest) = c
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, _, t))| *t)
+            .map(|(i, _)| i)
+        else {
+            return; // empty cache is already within budget
+        };
+        c.entries.swap_remove(oldest);
+    }
 }
 
 /// Packs rows `rows` of A into `ceil(rows.len() / mrw)` row-block
@@ -154,12 +315,93 @@ pub(crate) fn pack_b(
     }
 }
 
+/// Number of live entries in this thread's packed-B cache (test
+/// support).
+#[cfg(test)]
+pub(crate) fn b_cache_len() -> usize {
+    B_CACHE.with(|c| c.borrow().entries.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Tensor2;
 
     fn fill(len: usize) -> Vec<f32> {
         (0..len).map(|i| (i as f32) * 0.5 - 3.0).collect()
+    }
+
+    #[test]
+    fn cached_b_promotes_on_second_miss_and_matches_fresh_pack() {
+        clear_packed_b_cache();
+        let mut rng = crate::rng::StdRng::seed_from_u64(77);
+        use crate::rng::SeedableRng;
+        let mut t = Tensor2::uniform(9, 13, 1.0, &mut rng);
+        let (k, n) = t.shape();
+        let nrw = 8;
+        // First sighting only records the key.
+        assert!(cached_b(t.as_slice(), Layout::NN, k, n, nrw, t.version()).is_none());
+        // Second miss promotes; panels must match a fresh pack exactly.
+        let p = cached_b(t.as_slice(), Layout::NN, k, n, nrw, t.version())
+            .expect("second miss promotes");
+        let mut fresh = Vec::new();
+        pack_b(t.as_slice(), Layout::NN, k, n, nrw, &mut fresh);
+        assert_eq!(p.len(), fresh.len());
+        for (a, b) in p.iter().zip(&fresh) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Third call is a hit on the same entry.
+        let p2 = cached_b(t.as_slice(), Layout::NN, k, n, nrw, t.version()).expect("hit");
+        assert!(Rc::ptr_eq(&p, &p2));
+        // Different pack shaping is a different key, not a stale hit.
+        assert!(cached_b(t.as_slice(), Layout::NN, k, n, 16, t.version()).is_none());
+        // Mutation refreshes the version: the old entry can never be
+        // served for the new bytes.
+        let v_old = t.version();
+        t.set(0, 0, 42.0);
+        assert_ne!(t.version(), v_old);
+        assert!(cached_b(t.as_slice(), Layout::NN, k, n, nrw, t.version()).is_none());
+        let p3 = cached_b(t.as_slice(), Layout::NN, k, n, nrw, t.version())
+            .expect("promoted after mutation");
+        let mut fresh2 = Vec::new();
+        pack_b(t.as_slice(), Layout::NN, k, n, nrw, &mut fresh2);
+        for (a, b) in p3.iter().zip(&fresh2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Unversioned operands never touch the cache.
+        assert!(cached_b(t.as_slice(), Layout::NN, k, n, nrw, 0).is_none());
+        assert!(cached_b(t.as_slice(), Layout::NN, k, n, nrw, 0).is_none());
+        clear_packed_b_cache();
+    }
+
+    #[test]
+    fn cache_entry_budget_is_enforced() {
+        clear_packed_b_cache();
+        let t = Tensor2::full(4, 4, 1.0);
+        // Synthetic versions; each key is seen twice so it promotes.
+        for v in 1..=(B_CACHE_MAX_ENTRIES as u64 + 9) {
+            assert!(cached_b(t.as_slice(), Layout::NN, 4, 4, 8, v).is_none());
+            assert!(cached_b(t.as_slice(), Layout::NN, 4, 4, 8, v).is_some());
+        }
+        assert!(b_cache_len() <= B_CACHE_MAX_ENTRIES);
+        clear_packed_b_cache();
+    }
+
+    #[test]
+    fn cache_stats_accumulate() {
+        clear_packed_b_cache();
+        let (h0, m0) = packed_b_cache_stats();
+        let t = Tensor2::full(3, 3, 2.0);
+        let v = t.version();
+        assert!(cached_b(t.as_slice(), Layout::NN, 3, 3, 8, v).is_none());
+        let _ = cached_b(t.as_slice(), Layout::NN, 3, 3, 8, v);
+        let _ = cached_b(t.as_slice(), Layout::NN, 3, 3, 8, v);
+        let (h1, m1) = packed_b_cache_stats();
+        // Other test threads may also bump the global counters, so
+        // assert only the lower bound from this thread's calls.
+        assert!(h1 > h0);
+        assert!(m1 >= m0 + 2);
+        clear_packed_b_cache();
     }
 
     #[test]

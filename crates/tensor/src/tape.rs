@@ -60,6 +60,10 @@ pub(crate) enum Op {
     SoftmaxRows {
         a: Var,
     },
+    SelectRows {
+        a: Var,
+        rows: Vec<usize>,
+    },
     ChunkDot {
         q: Var,
         chunks: Var,
@@ -303,6 +307,35 @@ impl Tape {
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let value = softmax_rows(self.value(a));
         self.push(Op::SoftmaxRows { a }, value)
+    }
+
+    /// Gathers rows of `a` by index: `out[i] = a[rows[i]]`, producing
+    /// `[rows.len(), a.cols]`. Indices may repeat — the backward pass
+    /// scatter-*adds* each output-row gradient into its source row, so
+    /// a row selected twice accumulates both contributions.
+    ///
+    /// This is the expansion step of the hierarchical softmax loss:
+    /// each (sample, positive-cluster) pair replicates that sample's
+    /// hidden row once per cluster it must score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_rows(&mut self, a: Var, rows: &[usize]) -> Var {
+        let av = self.value(a);
+        let (m, n) = av.shape();
+        let mut value = Tensor2::zeros(rows.len(), n);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r < m, "select_rows index {r} out of range for {m} rows");
+            value.row_mut(i).copy_from_slice(av.row(r));
+        }
+        self.push(
+            Op::SelectRows {
+                a,
+                rows: rows.to_vec(),
+            },
+            value,
+        )
     }
 
     /// Per-row dot products between a query and `n_chunks` equal-width
@@ -698,6 +731,18 @@ impl Tape {
                 }
                 self.accumulate(a, da);
             }
+            Op::SelectRows { a, rows } => {
+                let a = *a;
+                let rows = rows.clone();
+                let (m, n) = self.value(a).shape();
+                let mut da = Tensor2::zeros(m, n);
+                for (i, &r) in rows.iter().enumerate() {
+                    for (d, &gv) in da.row_mut(r).iter_mut().zip(g.row(i)) {
+                        *d += gv;
+                    }
+                }
+                self.accumulate(a, da);
+            }
             Op::ChunkDot {
                 q,
                 chunks,
@@ -904,6 +949,32 @@ mod tests {
         tape.backward(loss);
         assert_eq!(tape.grad(a).unwrap().as_slice(), &[0.0, 1.0]);
         assert_eq!(tape.grad(b).unwrap().as_slice(), &[1.0]);
+    }
+
+    #[test]
+    fn select_rows_gathers_and_scatter_adds() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(
+            Tensor2::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]),
+            true,
+        );
+        let s = tape.select_rows(a, &[2, 0, 2]);
+        assert_eq!(tape.value(s).as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let loss = tape.sum_all(s);
+        tape.backward(loss);
+        // Row 2 selected twice -> gradient 2; row 1 never -> 0.
+        assert_eq!(
+            tape.grad(a).unwrap().as_slice(),
+            &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "select_rows index")]
+    fn select_rows_rejects_out_of_range() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor2::zeros(2, 2), false);
+        let _ = tape.select_rows(a, &[0, 2]);
     }
 
     #[test]

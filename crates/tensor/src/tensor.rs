@@ -1,8 +1,20 @@
 //! Dense row-major 2-D `f32` tensor.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::rng::Rng;
+
+/// Process-wide content-version counter. Every freshly constructed
+/// tensor and every mutation takes a new value, so a `(version)` pair
+/// of observations with the same value is guaranteed to have seen the
+/// same bytes. Starts at 1; version `0` is reserved by callers (the
+/// packed-B cache) to mean "unversioned, never cache".
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -20,11 +32,26 @@ use crate::rng::Rng;
 /// assert_eq!(t.shape(), (2, 2));
 /// assert_eq!(t.get(1, 0), 3.0);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor2 {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+    /// Content-version stamp: refreshed from a process-wide counter on
+    /// construction and on every `&mut` access that can change the
+    /// data. Two tensors (or the same tensor at two times) carrying the
+    /// same version are guaranteed to hold identical bytes, which is
+    /// what lets the SIMD packed-B cache key on it. `Clone` copies the
+    /// version (the copy holds the same bytes); equality ignores it.
+    version: u64,
+}
+
+impl PartialEq for Tensor2 {
+    fn eq(&self, other: &Self) -> bool {
+        // Versions are an identity stamp, not content; two tensors with
+        // equal shape and data are equal regardless of history.
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
 }
 
 impl fmt::Debug for Tensor2 {
@@ -50,6 +77,7 @@ impl Tensor2 {
             rows,
             cols,
             data: vec![0.0; rows * cols],
+            version: fresh_version(),
         }
     }
 
@@ -59,6 +87,7 @@ impl Tensor2 {
             rows,
             cols,
             data: vec![value; rows * cols],
+            version: fresh_version(),
         }
     }
 
@@ -81,7 +110,12 @@ impl Tensor2 {
             rows,
             cols
         );
-        Tensor2 { rows, cols, data }
+        Tensor2 {
+            rows,
+            cols,
+            data,
+            version: fresh_version(),
+        }
     }
 
     /// Creates a tensor from a slice of rows.
@@ -101,6 +135,7 @@ impl Tensor2 {
             rows: r,
             cols: c,
             data,
+            version: fresh_version(),
         }
     }
 
@@ -109,7 +144,12 @@ impl Tensor2 {
         let data = (0..rows * cols)
             .map(|_| rng.gen_range(-scale..=scale))
             .collect();
-        Tensor2 { rows, cols, data }
+        Tensor2 {
+            rows,
+            cols,
+            data,
+            version: fresh_version(),
+        }
     }
 
     /// Creates a tensor using Xavier/Glorot uniform initialisation for a
@@ -167,6 +207,7 @@ impl Tensor2 {
             row < self.rows && col < self.cols,
             "index ({row},{col}) out of bounds"
         );
+        self.version = fresh_version();
         self.data[row * self.cols + col] = value;
     }
 
@@ -176,8 +217,10 @@ impl Tensor2 {
         &self.data[start..start + self.cols]
     }
 
-    /// Mutably borrows a row as a slice.
+    /// Mutably borrows a row as a slice. Conservatively counts as a
+    /// mutation: the content version is refreshed at borrow time.
     pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        self.version = fresh_version();
         let start = row * self.cols;
         &mut self.data[start..start + self.cols]
     }
@@ -187,8 +230,11 @@ impl Tensor2 {
         &self.data
     }
 
-    /// Mutably borrows the underlying row-major data.
+    /// Mutably borrows the underlying row-major data. Conservatively
+    /// counts as a mutation: the content version is refreshed at borrow
+    /// time.
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.version = fresh_version();
         &mut self.data
     }
 
@@ -256,11 +302,13 @@ impl Tensor2 {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|&v| f(v)).collect(),
+            version: fresh_version(),
         }
     }
 
     /// In-place element-wise map.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.version = fresh_version();
         for v in &mut self.data {
             *v = f(*v);
         }
@@ -282,6 +330,7 @@ impl Tensor2 {
                 .zip(&rhs.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
+            version: fresh_version(),
         }
     }
 
@@ -292,6 +341,7 @@ impl Tensor2 {
     /// Panics if the shapes differ.
     pub fn add_scaled(&mut self, rhs: &Tensor2, scale: f32) {
         assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        self.version = fresh_version();
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += scale * b;
         }
@@ -346,6 +396,7 @@ impl Tensor2 {
     /// elements. The backing allocation is reused (and only grows) so
     /// repeated resizes to steady-state shapes never allocate.
     pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.version = fresh_version();
         self.rows = rows;
         self.cols = cols;
         self.data.clear();
@@ -356,6 +407,13 @@ impl Tensor2 {
     /// growing (used by arena growth accounting).
     pub fn capacity(&self) -> usize {
         self.data.capacity()
+    }
+
+    /// The tensor's content-version stamp (see the field docs). Always
+    /// non-zero; `0` is reserved to mean "unversioned" in caches keyed
+    /// on versions.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 
@@ -455,6 +513,41 @@ mod tests {
         let mut c = a.clone();
         c.add_scaled(&b, 0.5);
         assert_eq!(c.as_slice(), &[2.5, 4.0]);
+    }
+
+    #[test]
+    fn versions_track_mutation_not_content() {
+        let mut t = Tensor2::zeros(2, 2);
+        let v0 = t.version();
+        assert_ne!(v0, 0);
+        // Reads leave the version alone.
+        let _ = (t.get(0, 0), t.row(1), t.as_slice(), t.shape());
+        assert_eq!(t.version(), v0);
+        // Every mutation path refreshes it.
+        t.set(0, 0, 1.0);
+        let v1 = t.version();
+        assert_ne!(v1, v0);
+        t.row_mut(0)[0] = 2.0;
+        assert_ne!(t.version(), v1);
+        let v2 = t.version();
+        t.as_mut_slice()[0] = 3.0;
+        assert_ne!(t.version(), v2);
+        let v3 = t.version();
+        t.map_inplace(|v| v + 1.0);
+        assert_ne!(t.version(), v3);
+        let v4 = t.version();
+        t.add_scaled(&Tensor2::zeros(2, 2), 1.0);
+        assert_ne!(t.version(), v4);
+        let v5 = t.version();
+        t.resize(1, 1);
+        assert_ne!(t.version(), v5);
+        // A clone holds the same bytes, so it keeps the same version,
+        // and equality ignores versions entirely.
+        let c = t.clone();
+        assert_eq!(c.version(), t.version());
+        let fresh = Tensor2::zeros(1, 1);
+        assert_ne!(fresh.version(), t.version());
+        assert_eq!(fresh, t);
     }
 
     #[test]

@@ -249,6 +249,16 @@ impl Tape {
                 mismatch("slice_cols", (m, *len))
             }
             Op::SoftmaxRows { a } => mismatch("softmax_rows", shape(a)),
+            Op::SelectRows { a, rows } => {
+                let (m, n) = shape(a);
+                if let Some(&r) = rows.iter().find(|&&r| r >= m) {
+                    return inconsistent(
+                        "select_rows",
+                        format!("index {r} out of range for {m} rows"),
+                    );
+                }
+                mismatch("select_rows", (rows.len(), n))
+            }
             Op::ChunkDot {
                 q,
                 chunks,
@@ -366,6 +376,7 @@ fn op_inputs(op: &Op) -> Vec<usize> {
         | Op::Relu { a }
         | Op::SliceCols { a, .. }
         | Op::SoftmaxRows { a }
+        | Op::SelectRows { a, .. }
         | Op::MulMask { a, .. }
         | Op::SumAll { a }
         | Op::MeanAll { a } => vec![a.0],

@@ -10,12 +10,14 @@
 mod graph;
 mod oltp;
 mod spec;
+mod zipf;
 
 use crate::rng::{SeedableRng, StdRng};
 
 use crate::Trace;
 
 pub use graph::CsrGraph;
+pub use zipf::{zipf_trace, ZipfSampler};
 
 /// Parameters shared by all generators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

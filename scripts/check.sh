@@ -34,6 +34,7 @@ run cargo run --release -p voyager-bench --bin pr3_kernels -- --smoke
 run cargo run --release -p voyager-bench --bin pr5_infer -- --smoke
 run cargo run --release -p voyager-bench --bin pr6_table -- --smoke
 run cargo run --release -p voyager-bench --bin pr8_fleet -- --smoke
+run cargo run --release -p voyager-bench --bin pr10_vocab -- --smoke
 
 # Observability smoke: the metrics dump must stay schema-valid JSON
 # (voyagerctl validates its own output and fails otherwise).
